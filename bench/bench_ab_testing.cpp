@@ -1,0 +1,114 @@
+// E3 — Figures 15a/15b: A/B testing of ad targeting models.
+//
+// Regenerates both panels: per window, CPM (15a) and CTR (15b) for model A
+// vs model B, via the Figure-13/14 query templates. Shape checks: B's CTR
+// exceeds A's while the CPMs track each other closely — the paper's
+// conclusion that the incumbent B targets better at equal cost.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "src/scrub/scrub_system.h"
+
+using namespace scrub;
+
+int main() {
+  SystemConfig config;
+  config.seed = 77;
+  config.platform.seed = 77;
+  config.platform.adservers_per_dc = 2;
+  config.platform.ctr_model_a = 0.010;
+  config.platform.ctr_model_b = 0.016;
+  ScrubSystem system(config);
+  for (size_t i = 0; i < system.platform().ad_servers().size(); ++i) {
+    system.platform().SetAdServerModel(system.platform().ad_servers()[i],
+                                       i % 2 == 0 ? "modelA" : "modelB");
+  }
+
+  const TimeMicros kTrace = 80 * kMicrosPerSecond;
+  PoissonLoadConfig load;
+  load.requests_per_second = 2000;
+  load.duration = kTrace;
+  load.user_population = 80000;
+  system.workload().SchedulePoissonLoad(load);
+
+  struct WindowMetrics {
+    double cpm[2] = {0, 0};
+    uint64_t impressions[2] = {0, 0};
+    uint64_t clicks[2] = {0, 0};
+  };
+  std::map<TimeMicros, WindowMetrics> windows;
+  for (int m = 0; m < 2; ++m) {
+    const std::string model = m == 0 ? "modelA" : "modelB";
+    auto check = [](const Result<SubmittedQuery>& s) {
+      if (!s.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     s.status().ToString().c_str());
+        std::exit(1);
+      }
+    };
+    check(system.Submit(
+        "SELECT 1000 * AVG(impression.cost) FROM impression "
+        "WHERE impression.model = '" + model + "' "
+        "WINDOW 20 s DURATION 80 s;",
+        [&windows, m](const ResultRow& row) {
+          if (row.values[0].is_double()) {
+            windows[row.window_start].cpm[m] = row.values[0].AsDoubleExact();
+          }
+        }));
+    check(system.Submit(
+        "SELECT COUNT(*) FROM impression "
+        "WHERE impression.model = '" + model + "' "
+        "WINDOW 20 s DURATION 80 s;",
+        [&windows, m](const ResultRow& row) {
+          windows[row.window_start].impressions[m] =
+              static_cast<uint64_t>(row.values[0].AsInt());
+        }));
+    check(system.Submit(
+        "SELECT COUNT(*) FROM click WHERE click.model = '" + model + "' "
+        "WINDOW 20 s DURATION 80 s;",
+        [&windows, m](const ResultRow& row) {
+          windows[row.window_start].clicks[m] =
+              static_cast<uint64_t>(row.values[0].AsInt());
+        }));
+  }
+
+  system.RunUntil(kTrace + kMicrosPerSecond);
+  system.Drain();
+
+  std::printf("E3 / Figures 15a+15b: CPM and CTR per model per 20 s window\n\n");
+  std::printf("%-10s %10s %10s %12s %12s\n", "window(s)", "CPM A", "CPM B",
+              "CTR A", "CTR B");
+  double ctr_sum[2] = {0, 0};
+  double cpm_sum[2] = {0, 0};
+  int n = 0;
+  for (const auto& [start, wm] : windows) {
+    const double ctr_a =
+        wm.impressions[0] == 0
+            ? 0
+            : static_cast<double>(wm.clicks[0]) / wm.impressions[0];
+    const double ctr_b =
+        wm.impressions[1] == 0
+            ? 0
+            : static_cast<double>(wm.clicks[1]) / wm.impressions[1];
+    std::printf("%-10lld %10.3f %10.3f %12.4f %12.4f\n",
+                static_cast<long long>(start / kMicrosPerSecond), wm.cpm[0],
+                wm.cpm[1], ctr_a, ctr_b);
+    cpm_sum[0] += wm.cpm[0];
+    cpm_sum[1] += wm.cpm[1];
+    ctr_sum[0] += ctr_a;
+    ctr_sum[1] += ctr_b;
+    ++n;
+  }
+  const double cpm_ratio = cpm_sum[1] / cpm_sum[0];
+  const double ctr_ratio = ctr_sum[1] / ctr_sum[0];
+  std::printf("\npaper shape checks:\n");
+  std::printf("  CPM(B)/CPM(A) = %.3f (expect ~1: equal cost)\n", cpm_ratio);
+  std::printf("  CTR(B)/CTR(A) = %.3f (expect > 1: B targets better)\n",
+              ctr_ratio);
+  const bool matches = cpm_ratio > 0.9 && cpm_ratio < 1.1 && ctr_ratio > 1.2;
+  std::printf("  => %s\n", matches ? "matches the paper's Figure-15 outcome"
+                                   : "does NOT match");
+  return matches ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+// E6 — Section 8.6: an incorrectly set field (frequency-cap violations).
+//
+// Fault injection: a fraction of ProfileStore updates is lost, so the serve
+// counts the frequency-cap filter reads understate reality. The
+// troubleshooting queries reproduce the investigation: (1) impressions of
+// the capped line item per user — over-cap users are the symptom; (2)
+// profile_update events grouped by their applied flag — lost updates are
+// the root cause. A control run without the fault shows no violations,
+// isolating the injected bug.
+
+#include <cstdio>
+#include <map>
+
+#include "src/scrub/scrub_system.h"
+
+using namespace scrub;
+
+namespace {
+
+struct CapReport {
+  uint64_t users_served = 0;
+  uint64_t users_over_cap = 0;
+  uint64_t worst = 0;
+  uint64_t updates_ok = 0;
+  uint64_t updates_lost = 0;
+};
+
+CapReport Run(double loss_rate) {
+  SystemConfig config;
+  config.seed = 99;
+  config.platform.seed = 99;
+  config.platform.profile_update_loss = loss_rate;
+  ScrubSystem system(config);
+
+  LineItem capped;
+  capped.id = 3333;
+  capped.campaign_id = 33;
+  capped.advisory_bid_price = 6.0;
+  capped.frequency_cap_per_day = 1;
+  system.platform().AddLineItem(capped);
+
+  const TimeMicros kTrace = 60 * kMicrosPerSecond;
+  PoissonLoadConfig load;
+  load.requests_per_second = 1200;
+  load.duration = kTrace;
+  // Enough users that one user's requests are spaced well apart: the
+  // capped item's serve-count update (which trails the impression by the
+  // external-auction delay) lands long before the user's next request, so
+  // any over-serving is attributable to the injected update loss, not to
+  // in-flight races.
+  load.user_population = 20000;
+  load.user_zipf_exponent = 0.5;
+  system.workload().SchedulePoissonLoad(load);
+
+  std::map<int64_t, uint64_t> serves;
+  CapReport report;
+  auto check = [](const Result<SubmittedQuery>& s) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   s.status().ToString().c_str());
+      std::exit(1);
+    }
+  };
+  check(system.Submit(
+      "SELECT impression.user_id, COUNT(*) FROM impression "
+      "WHERE impression.line_item_id = 3333 "
+      "GROUP BY impression.user_id WINDOW 60 s DURATION 60 s;",
+      [&serves](const ResultRow& row) {
+        serves[row.values[0].AsInt()] +=
+            static_cast<uint64_t>(row.values[1].AsInt());
+      }));
+  check(system.Submit(
+      "SELECT profile_update.applied, COUNT(*) FROM profile_update "
+      "WHERE profile_update.line_item_id = 3333 "
+      "GROUP BY profile_update.applied WINDOW 60 s DURATION 60 s;",
+      [&report](const ResultRow& row) {
+        const uint64_t n = static_cast<uint64_t>(row.values[1].AsInt());
+        if (row.values[0].is_bool() && row.values[0].AsBool()) {
+          report.updates_ok += n;
+        } else {
+          report.updates_lost += n;
+        }
+      }));
+
+  system.RunUntil(kTrace + kMicrosPerSecond);
+  system.Drain();
+
+  report.users_served = serves.size();
+  for (const auto& [user, count] : serves) {
+    if (count > 1) {
+      ++report.users_over_cap;
+      report.worst = std::max(report.worst, count);
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6 / Section 8.6: frequency-cap violations from lost profile "
+              "updates (cap: 1 ad/user/day)\n\n");
+  std::printf("%-16s %-14s %-16s %-10s %-14s %-12s\n", "update loss",
+              "users served", "over-cap users", "worst", "updates ok",
+              "updates lost");
+  double over_cap_rate[2] = {0, 0};
+  bool faulty_has_losses = false;
+  int idx = 0;
+  for (const double loss : {0.0, 0.4}) {
+    const CapReport r = Run(loss);
+    std::printf("%-15.0f%% %-14llu %-16llu %-10llu %-14llu %-12llu\n",
+                loss * 100,
+                static_cast<unsigned long long>(r.users_served),
+                static_cast<unsigned long long>(r.users_over_cap),
+                static_cast<unsigned long long>(r.worst),
+                static_cast<unsigned long long>(r.updates_ok),
+                static_cast<unsigned long long>(r.updates_lost));
+    over_cap_rate[idx++] = r.users_served == 0
+                               ? 0.0
+                               : static_cast<double>(r.users_over_cap) /
+                                     static_cast<double>(r.users_served);
+    if (loss > 0.0) {
+      faulty_has_losses = r.updates_lost > 0;
+    }
+  }
+  // The control is not exactly zero: a user whose second request races the
+  // in-flight profile update of their first serve slips past the cap — a
+  // lag real capping systems have. The injected fault must dominate it.
+  std::printf("\npaper shape checks:\n");
+  std::printf("  control over-cap rate: %.2f%% (in-flight race only; "
+              "expect ~1%%)\n",
+              over_cap_rate[0] * 100);
+  std::printf("  faulty over-cap rate:  %.2f%% (expect >> control)\n",
+              over_cap_rate[1] * 100);
+  const bool matches = over_cap_rate[0] < 0.02 && faulty_has_losses &&
+                       over_cap_rate[1] > 10 * over_cap_rate[0];
+  std::printf("  => %s\n",
+              matches ? "over-serving is traced to lost profile updates "
+                        "(matches the paper's diagnosis)"
+                      : "signature absent");
+  return matches ? 0 : 1;
+}

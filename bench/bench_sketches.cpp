@@ -1,0 +1,126 @@
+// E12 — probabilistic aggregates (paper Section 3.2).
+//
+// Throughput and accuracy of the two sketches behind TOP-K and
+// COUNT_DISTINCT: SpaceSaving and HyperLogLog. Accuracy is attached as
+// benchmark counters (relative error for HLL; max rank error among the true
+// top-10 for SpaceSaving on a Zipf stream), alongside a hash-set /
+// exact-counter strawman for the space-vs-accuracy trade.
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/sketch/hyperloglog.h"
+#include "src/sketch/space_saving.h"
+
+namespace scrub {
+namespace {
+
+void BM_HllAdd(benchmark::State& state) {
+  HyperLogLog hll(14);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    hll.Add(static_cast<int64_t>(key++));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["size_bytes"] =
+      static_cast<double>(hll.SizeBytes());
+}
+BENCHMARK(BM_HllAdd);
+
+void BM_HllAccuracy(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  double rel_err = 0;
+  for (auto _ : state) {
+    HyperLogLog hll(14);
+    for (int64_t i = 0; i < n; ++i) {
+      hll.Add(i * 2654435761 + 7);
+    }
+    const double est = hll.Estimate();
+    rel_err = std::abs(est - static_cast<double>(n)) / static_cast<double>(n);
+    benchmark::DoNotOptimize(est);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+  state.counters["rel_err"] = rel_err;
+}
+BENCHMARK(BM_HllAccuracy)->Arg(10000)->Arg(1000000);
+
+void BM_ExactDistinctStrawman(benchmark::State& state) {
+  // What COUNT_DISTINCT would cost without the sketch: a hash set that
+  // grows with the key universe (the paper's reason for HyperLogLog).
+  const int64_t n = state.range(0);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::unordered_set<int64_t> exact;
+    for (int64_t i = 0; i < n; ++i) {
+      exact.insert(i * 2654435761 + 7);
+    }
+    bytes = exact.size() * (sizeof(int64_t) + sizeof(void*) * 2);
+    benchmark::DoNotOptimize(exact.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+  state.counters["approx_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_ExactDistinctStrawman)->Arg(10000)->Arg(1000000);
+
+void BM_SpaceSavingAdd(benchmark::State& state) {
+  SpaceSaving<uint64_t> ss(static_cast<size_t>(state.range(0)));
+  ZipfGenerator zipf(100000, 1.1);
+  Rng rng(3);
+  for (auto _ : state) {
+    ss.Add(zipf.Next(rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(std::to_string(state.range(0)) + " counters");
+}
+BENCHMARK(BM_SpaceSavingAdd)->Arg(100)->Arg(1000);
+
+void BM_SpaceSavingAccuracy(benchmark::State& state) {
+  // Error of the reported top-10 counts vs exact counts, Zipf stream.
+  const size_t capacity = static_cast<size_t>(state.range(0));
+  double worst_rel_err = 0;
+  for (auto _ : state) {
+    SpaceSaving<uint64_t> ss(capacity);
+    std::unordered_map<uint64_t, uint64_t> exact;
+    ZipfGenerator zipf(100000, 1.1);
+    Rng rng(7);
+    for (int i = 0; i < 300000; ++i) {
+      const uint64_t k = zipf.Next(rng);
+      ss.Add(k);
+      ++exact[k];
+    }
+    worst_rel_err = 0;
+    for (const auto& entry : ss.TopK(10)) {
+      const double err =
+          std::abs(static_cast<double>(entry.count) -
+                   static_cast<double>(exact[entry.key])) /
+          static_cast<double>(exact[entry.key]);
+      worst_rel_err = std::max(worst_rel_err, err);
+    }
+    benchmark::DoNotOptimize(worst_rel_err);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 300000);
+  state.counters["top10_worst_rel_err"] = worst_rel_err;
+}
+BENCHMARK(BM_SpaceSavingAccuracy)->Arg(100)->Arg(1000);
+
+void BM_HllMerge(benchmark::State& state) {
+  // ScrubCentral merges per-host partial sketches; measure the merge.
+  HyperLogLog a(14);
+  HyperLogLog b(14);
+  for (int64_t i = 0; i < 100000; ++i) {
+    a.Add(i);
+    b.Add(i + 50000);
+  }
+  for (auto _ : state) {
+    HyperLogLog c = a;
+    c.Merge(b);
+    benchmark::DoNotOptimize(c.Estimate());
+  }
+}
+BENCHMARK(BM_HllMerge);
+
+}  // namespace
+}  // namespace scrub

@@ -1,0 +1,118 @@
+// Case study 8.3 — A/B testing of ad targeting models (paper Figures 13-15).
+//
+// Model A (the challenger) runs on half the AdServers, model B (the
+// incumbent) on the rest. Two Figure-13/14 query templates measure, per
+// model: CPM = 1000 * AVG(impression.cost) and CTR = COUNT(clicks) /
+// COUNT(impressions). The expected outcome mirrors the paper's: B achieves
+// a higher CTR at roughly the same CPM.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/scrub/scrub_system.h"
+
+using namespace scrub;
+
+namespace {
+
+struct ModelMetrics {
+  double cpm_sum = 0;
+  int cpm_windows = 0;
+  uint64_t impressions = 0;
+  uint64_t clicks = 0;
+};
+
+}  // namespace
+
+int main() {
+  SystemConfig config;
+  config.seed = 77;
+  config.platform.seed = 77;
+  config.platform.adservers_per_dc = 2;  // 4 AdServers: 2 per model
+  // CTRs: the incumbent B genuinely is better (the A/B test should see it).
+  config.platform.ctr_model_a = 0.010;
+  config.platform.ctr_model_b = 0.016;
+  ScrubSystem system(config);
+
+  // Assign models: even AdServers run A, odd run B.
+  for (size_t i = 0; i < system.platform().ad_servers().size(); ++i) {
+    system.platform().SetAdServerModel(system.platform().ad_servers()[i],
+                                       i % 2 == 0 ? "modelA" : "modelB");
+  }
+
+  PoissonLoadConfig load;
+  load.requests_per_second = 1500;
+  load.duration = 60 * kMicrosPerSecond;
+  load.user_population = 50000;
+  system.workload().SchedulePoissonLoad(load);
+
+  // The impression/click events carry the model that won them, so the
+  // Figure-13/14 template's "target the servers running model X" becomes a
+  // selection on the model field at the PresentationServers. (In the paper
+  // the target clause picks the host set; either spelling exercises the
+  // same host-side selection machinery.)
+  ModelMetrics metrics[2];
+  std::vector<Result<SubmittedQuery>> submissions;
+  for (int m = 0; m < 2; ++m) {
+    const std::string model = m == 0 ? "modelA" : "modelB";
+    submissions.push_back(system.Submit(
+        "SELECT 1000 * AVG(impression.cost) FROM impression "
+        "WHERE impression.model = '" + model + "' "
+        "@[SERVICE IN PresentationServers] WINDOW 10 s DURATION 60 s;",
+        [&metrics, m](const ResultRow& row) {
+          if (row.values[0].is_double()) {
+            metrics[m].cpm_sum += row.values[0].AsDoubleExact();
+            ++metrics[m].cpm_windows;
+          }
+        }));
+    submissions.push_back(system.Submit(
+        "SELECT COUNT(*) FROM impression "
+        "WHERE impression.model = '" + model + "' "
+        "@[SERVICE IN PresentationServers] WINDOW 60 s DURATION 60 s;",
+        [&metrics, m](const ResultRow& row) {
+          metrics[m].impressions +=
+              static_cast<uint64_t>(row.values[0].AsInt());
+        }));
+    submissions.push_back(system.Submit(
+        "SELECT COUNT(*) FROM click "
+        "WHERE click.model = '" + model + "' "
+        "@[SERVICE IN PresentationServers] WINDOW 60 s DURATION 60 s;",
+        [&metrics, m](const ResultRow& row) {
+          metrics[m].clicks += static_cast<uint64_t>(row.values[0].AsInt());
+        }));
+  }
+  for (const auto& s : submissions) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   s.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  system.RunUntil(61 * kMicrosPerSecond);
+  system.Drain();
+
+  std::printf("%-8s %-12s %-14s %-10s %-8s\n", "model", "CPM ($)",
+              "impressions", "clicks", "CTR");
+  double ctr[2] = {0, 0};
+  for (int m = 0; m < 2; ++m) {
+    const double cpm = metrics[m].cpm_windows == 0
+                           ? 0.0
+                           : metrics[m].cpm_sum / metrics[m].cpm_windows;
+    ctr[m] = metrics[m].impressions == 0
+                 ? 0.0
+                 : static_cast<double>(metrics[m].clicks) /
+                       static_cast<double>(metrics[m].impressions);
+    std::printf("%-8s %-12.3f %-14llu %-10llu %.4f\n",
+                m == 0 ? "A" : "B", cpm,
+                static_cast<unsigned long long>(metrics[m].impressions),
+                static_cast<unsigned long long>(metrics[m].clicks), ctr[m]);
+  }
+  std::printf("\nconclusion: %s\n",
+              ctr[1] > ctr[0]
+                  ? "B clicks better at similar CPM — keep the incumbent "
+                    "(matches the paper's outcome)"
+                  : "A clicks better — promote the challenger");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Case study 8.6 — an incorrectly set field (lost profile updates).
+//
+// A campaign is capped at one ad per user per day, yet users report seeing
+// more. The injected fault: a fraction of ProfileStore updates is silently
+// lost, so the recorded serve count lags the truth and the frequency-cap
+// filter lets over-served users through. The troubleshooting query counts
+// impressions of the capped line item per user per day; any user with a
+// count above the cap is direct evidence, and the profile_update events
+// (applied = false) point at the root cause.
+
+#include <cstdio>
+#include <map>
+
+#include "src/scrub/scrub_system.h"
+
+using namespace scrub;
+
+int main() {
+  SystemConfig config;
+  config.seed = 99;
+  config.platform.seed = 99;
+  config.platform.profile_update_loss = 0.4;  // the injected fault
+  ScrubSystem system(config);
+
+  // One aggressively-capped, aggressively-priced line item so it wins a lot.
+  LineItem capped;
+  capped.id = 3333;
+  capped.campaign_id = 33;
+  capped.advisory_bid_price = 6.0;
+  capped.frequency_cap_per_day = 1;
+  system.platform().AddLineItem(capped);
+
+  PoissonLoadConfig load;
+  load.requests_per_second = 1500;
+  load.duration = 90 * kMicrosPerSecond;
+  // Users spaced out so serve-count updates land between a user's
+  // requests; over-serving then isolates the injected fault.
+  load.user_population = 20000;
+  load.user_zipf_exponent = 0.5;
+  system.workload().SchedulePoissonLoad(load);
+
+  // Impressions of the capped item per user (windows = the whole trace; a
+  // production run would use 1-day windows).
+  std::map<int64_t, uint64_t> serves_per_user;
+  Result<SubmittedQuery> q1 = system.Submit(
+      "SELECT impression.user_id, COUNT(*) FROM impression "
+      "WHERE impression.line_item_id = 3333 "
+      "GROUP BY impression.user_id WINDOW 90 s DURATION 90 s;",
+      [&](const ResultRow& row) {
+        serves_per_user[row.values[0].AsInt()] +=
+            static_cast<uint64_t>(row.values[1].AsInt());
+      });
+  // Root cause: profile updates that did not apply.
+  uint64_t updates_ok = 0;
+  uint64_t updates_lost = 0;
+  Result<SubmittedQuery> q2 = system.Submit(
+      "SELECT profile_update.applied, COUNT(*) FROM profile_update "
+      "WHERE profile_update.line_item_id = 3333 "
+      "GROUP BY profile_update.applied WINDOW 90 s DURATION 90 s;",
+      [&](const ResultRow& row) {
+        const uint64_t n = static_cast<uint64_t>(row.values[1].AsInt());
+        if (row.values[0].is_bool() && row.values[0].AsBool()) {
+          updates_ok += n;
+        } else {
+          updates_lost += n;
+        }
+      });
+  if (!q1.ok() || !q2.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n",
+                 (!q1.ok() ? q1.status() : q2.status()).ToString().c_str());
+    return 1;
+  }
+
+  system.RunUntil(91 * kMicrosPerSecond);
+  system.Drain();
+
+  uint64_t over_cap_users = 0;
+  uint64_t worst = 0;
+  for (const auto& [user, count] : serves_per_user) {
+    if (count > 1) {
+      ++over_cap_users;
+      worst = std::max(worst, count);
+    }
+  }
+  std::printf("capped line item 3333 (1 ad/user/day):\n");
+  std::printf("  users served:            %zu\n", serves_per_user.size());
+  std::printf("  users served over cap:   %llu (worst: %llu serves)\n",
+              static_cast<unsigned long long>(over_cap_users),
+              static_cast<unsigned long long>(worst));
+  std::printf("  profile updates applied: %llu, lost: %llu (%.0f%%)\n",
+              static_cast<unsigned long long>(updates_ok),
+              static_cast<unsigned long long>(updates_lost),
+              100.0 * static_cast<double>(updates_lost) /
+                  static_cast<double>(std::max<uint64_t>(
+                      1, updates_ok + updates_lost)));
+  if (over_cap_users > 0 && updates_lost > 0) {
+    std::printf("\n=> frequency capping code is fine; the serve counts it "
+                "reads are wrong because profile updates are being lost "
+                "(matches the paper's diagnosis: erroneous input data)\n");
+    return 0;
+  }
+  std::printf("\n=> no over-serving observed\n");
+  return 1;
+}

@@ -1,0 +1,110 @@
+// Case study 8.1 — spam-bot detection (paper Figures 9 and 10).
+//
+// Human users browse pages (one or two page views across the trace, a
+// handful of bid requests each); two bots hammer the platform with large
+// request batches at high frequency. The Figure-9 query groups bid requests
+// by user id in 10-second tumbling windows on one BidServer; bots stick out
+// as users with enormous per-window counts.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/scrub/scrub_system.h"
+
+using namespace scrub;
+
+int main() {
+  SystemConfig config;
+  config.seed = 2018;
+  config.platform.seed = 2018;
+  ScrubSystem system(config);
+
+  const TimeMicros kTrace = 3 * kMicrosPerMinute;  // scaled-down 20 minutes
+
+  // Background: humans.
+  HumanTrafficConfig humans;
+  humans.users = 4000;
+  humans.horizon = kTrace;
+  system.workload().ScheduleHumanTraffic(humans);
+
+  // The anomaly: two bots with distinct signatures. Users are sticky to one
+  // BidServer; the Figure-9 query watches a single server, so pick bot user
+  // ids that route to it (in the real incident, the bots happened to be
+  // visible on the server being watched).
+  const HostId watched = system.platform().bid_servers()[0];
+  std::vector<UserId> bot_users;
+  for (UserId u = 900001; bot_users.size() < 2; ++u) {
+    if (system.platform().BidServerForUser(u) == watched) {
+      bot_users.push_back(u);
+    }
+  }
+  BotConfig bot1;
+  bot1.user_id = bot_users[0];
+  bot1.requests_per_batch = 150;
+  bot1.batch_interval = 12 * kMicrosPerSecond;
+  bot1.stop = kTrace;
+  system.workload().ScheduleBot(bot1);
+  BotConfig bot2;
+  bot2.user_id = bot_users[1];
+  bot2.requests_per_batch = 70;
+  bot2.batch_interval = 25 * kMicrosPerSecond;
+  bot2.stop = kTrace;
+  system.workload().ScheduleBot(bot2);
+
+  // Figure 9, on one BidServer.
+  const std::string host = system.registry().Get(watched).name;
+  const std::string query =
+      "SELECT bid.user_id, COUNT(*) FROM bid "
+      "@[SERVICE IN BidServers AND SERVER = '" + host + "'] "
+      "GROUP BY bid.user_id WINDOW 10 s DURATION 3 m;";
+  std::printf("query> %s\n\n", query.c_str());
+
+  // count-per-window -> how many users hit that count (the dot sizes of
+  // Figure 10), plus per-user batch counts.
+  std::map<uint64_t, uint64_t> count_histogram;
+  std::map<int64_t, uint64_t> per_user_windows;
+  std::map<int64_t, uint64_t> per_user_max;
+  Result<SubmittedQuery> submitted =
+      system.Submit(query, [&](const ResultRow& row) {
+        const int64_t user = row.values[0].AsInt();
+        const uint64_t n = static_cast<uint64_t>(row.values[1].AsInt());
+        ++count_histogram[n];
+        ++per_user_windows[user];
+        per_user_max[user] = std::max(per_user_max[user], n);
+      });
+  if (!submitted.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n",
+                 submitted.status().ToString().c_str());
+    return 1;
+  }
+
+  system.RunUntil(kTrace + kMicrosPerSecond);
+  system.Drain();
+
+  std::printf("Figure-10 shape: requests-per-user-per-window histogram\n");
+  std::printf("%-24s %s\n", "bids per 10s window", "users*windows at that count");
+  for (const auto& [count, users] : count_histogram) {
+    if (count <= 8 || count >= 30) {
+      std::printf("%-24llu %llu\n",
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(users));
+    }
+  }
+
+  std::printf("\nSuspected bots (max window count > 30):\n");
+  std::vector<int64_t> bots;
+  for (const auto& [user, max_count] : per_user_max) {
+    if (max_count > 30) {
+      bots.push_back(user);
+      std::printf("  user %lld: peak %llu bids/window across %llu windows\n",
+                  static_cast<long long>(user),
+                  static_cast<unsigned long long>(max_count),
+                  static_cast<unsigned long long>(per_user_windows[user]));
+    }
+  }
+  std::printf("\n%zu bots detected (injected: 2) -> blacklist and move on\n",
+              bots.size());
+  return bots.size() == 2 ? 0 : 1;
+}

@@ -1,0 +1,161 @@
+#include "src/agent/agent.h"
+
+#include "src/event/wire.h"
+
+namespace scrub {
+
+void ScrubAgent::InstallQuery(const HostPlan& plan) {
+  queries_.erase(plan.query_id);
+  queries_.emplace(plan.query_id,
+                   ActiveQuery(plan, config_.staging_capacity));
+}
+
+void ScrubAgent::RemoveQuery(QueryId query_id) { queries_.erase(query_id); }
+
+TimeMicros ScrubAgent::WindowStartFor(const ActiveQuery& q,
+                                      TimeMicros ts) const {
+  // Counters are kept per slide period; for tumbling queries the slide
+  // equals the window, so this is the window grid.
+  TimeMicros grid = q.plan.slide_micros;
+  if (grid <= 0) {
+    grid = q.plan.window_micros;
+  }
+  if (grid <= 0) {
+    return q.plan.start_time;
+  }
+  const TimeMicros rel = ts - q.plan.start_time;
+  return q.plan.start_time + (rel / grid) * grid;
+}
+
+Event ScrubAgent::ProjectEvent(const Event& event,
+                               const HostSourcePlan& sp) {
+  Event out(event.schema(), event.request_id(), event.timestamp());
+  for (size_t i = 0; i < sp.keep_field.size(); ++i) {
+    if (sp.keep_field[i]) {
+      out.SetField(i, event.field(i));
+    }
+  }
+  return out;
+}
+
+int64_t ScrubAgent::LogEvent(const Event& event) {
+  ++total_events_logged_;
+  const CostModel& c = config_.costs;
+  // Fixed cost of the instrumentation point itself: metadata stamping plus
+  // the active-query table lookup. Paid once per log() call whether or not
+  // any query matches — this is the "no active query" floor the paper's
+  // Section 9 measures.
+  int64_t ns = c.log_fixed_ns +
+               c.log_per_field_ns * static_cast<int64_t>(event.field_count());
+
+  const TimeMicros ts = event.timestamp();
+  for (auto& [qid, q] : queries_) {
+    // Span check: cheap, and implements local self-expiry.
+    if (ts < q.plan.start_time || ts >= q.plan.end_time) {
+      continue;
+    }
+    const HostSourcePlan* sp = q.plan.FindSource(event.type_name());
+    if (sp == nullptr) {
+      continue;
+    }
+    ++q.stats.events_considered;
+
+    // Window counters: M_i before anything else.
+    WindowCounter& counter = q.pending_counters[WindowStartFor(q, ts)];
+    counter.window_start = WindowStartFor(q, ts);
+    ++counter.seen;
+
+    // 1. Event sampling, before any predicate work.
+    if (q.plan.event_sample_rate < 1.0) {
+      ns += c.sample_flip_ns;
+      if (!rng_.NextBool(q.plan.event_sample_rate)) {
+        ++q.stats.events_sampled_out;
+        continue;
+      }
+    }
+    ++counter.sampled;
+
+    // 2. Selection.
+    bool pass = true;
+    for (const CompiledExpr& conjunct : sp->conjuncts) {
+      ns += c.predicate_term_ns * conjunct.node_count;
+      if (!EvalPredicateSingle(conjunct, event)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) {
+      ++q.stats.events_filtered;
+      continue;
+    }
+
+    // 3. Projection + staging. Shedding, never blocking.
+    ns += c.projection_per_field_ns * sp->kept_fields + c.enqueue_ns;
+    Event projected = ProjectEvent(event, *sp);
+    if (q.staged.TryPush(std::move(projected))) {
+      ++q.stats.events_staged;
+    } else {
+      ++q.stats.events_dropped;
+    }
+  }
+
+  meter_->ChargeScrub(ns);
+  return ns;
+}
+
+std::vector<EventBatch> ScrubAgent::Flush(TimeMicros now,
+                                          std::vector<QueryId>* expired) {
+  std::vector<EventBatch> batches;
+  const CostModel& c = config_.costs;
+
+  for (auto it = queries_.begin(); it != queries_.end();) {
+    ActiveQuery& q = it->second;
+    // Drain staged events into one or more batches.
+    while (!q.staged.empty() || !q.pending_counters.empty()) {
+      EventBatch batch;
+      batch.query_id = it->first;
+      batch.host = host_;
+      std::vector<Event> events;
+      q.staged.DrainInto(&events, config_.max_batch_events);
+      batch.event_count = events.size();
+      q.stats.events_shipped += events.size();
+      batch.payload = EncodeBatch(events);
+      // Counters ride with the first batch of the flush.
+      if (!q.pending_counters.empty()) {
+        for (auto& [start, counter] : q.pending_counters) {
+          batch.counters.push_back(counter);
+        }
+        q.pending_counters.clear();
+      }
+      // Serialization is Scrub work on the host.
+      meter_->ChargeScrub(static_cast<int64_t>(batch.payload.size()) *
+                          c.serialize_per_byte_ns);
+      batches.push_back(std::move(batch));
+      if (events.empty()) {
+        break;  // counters-only flush
+      }
+    }
+    // Retire expired queries after their final drain.
+    if (now >= q.plan.end_time) {
+      if (expired != nullptr) {
+        expired->push_back(it->first);
+      }
+      retired_stats_[it->first] = q.stats;
+      it = queries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batches;
+}
+
+const AgentQueryStats* ScrubAgent::StatsFor(QueryId query_id) const {
+  const auto it = queries_.find(query_id);
+  if (it != queries_.end()) {
+    return &it->second.stats;
+  }
+  const auto rit = retired_stats_.find(query_id);
+  return rit == retired_stats_.end() ? nullptr : &rit->second;
+}
+
+}  // namespace scrub

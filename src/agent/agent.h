@@ -1,0 +1,138 @@
+// ScrubAgent: the per-host component.
+//
+// The agent is the only Scrub code that runs on application hosts, and it is
+// deliberately tiny: for each log() call it does (at most) an event-sampling
+// coin flip, the host-side selection conjuncts, projection, and a push into
+// a bounded staging buffer. Joins, grouping and aggregation never run here
+// (Section 4). Three protective properties the paper calls out:
+//
+//  * log() never blocks: the staging buffer sheds (and counts) events when
+//    full rather than back-pressuring the application thread.
+//  * Sampling happens before any predicate work, so a 10% event sample cuts
+//    ~90% of the agent's per-event cost, not just its output volume.
+//  * Queries self-expire: an event arriving after the plan's end_time
+//    deactivates the query locally even if the teardown message is in
+//    flight, so a forgotten query cannot load the host.
+//
+// Every unit of work is charged to the host's CostMeter in simulated
+// nanoseconds; LogEvent returns the charge so the application can add it to
+// the request's latency (that is how E7/E8 measure the paper's 2.5% CPU /
+// 1% latency overheads).
+
+#ifndef SRC_AGENT_AGENT_H_
+#define SRC_AGENT_AGENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bounded_buffer.h"
+#include "src/common/cost_model.h"
+#include "src/common/rng.h"
+#include "src/cluster/host_registry.h"
+#include "src/event/event.h"
+#include "src/plan/expr_eval.h"
+#include "src/plan/plan.h"
+
+namespace scrub {
+
+// Per-window counters for the sampling estimator (Eqs. 1-3): `seen` is M_i
+// (every event of the type logged in the window, before sampling and before
+// selection), `sampled` is m_i (events that survived the coin flip, before
+// selection). ScrubCentral reconstructs the zero readings for sampled
+// events the selection then filtered out.
+struct WindowCounter {
+  TimeMicros window_start = 0;
+  uint64_t seen = 0;
+  uint64_t sampled = 0;
+};
+
+// One flush's worth of traffic from a host to ScrubCentral for one query.
+struct EventBatch {
+  QueryId query_id = 0;
+  HostId host = kInvalidHost;
+  std::string payload;       // wire-encoded events (EncodeBatch)
+  size_t event_count = 0;
+  std::vector<WindowCounter> counters;  // deltas since the previous flush
+
+  size_t WireSize() const { return payload.size() + 32 * counters.size() + 24; }
+};
+
+struct AgentConfig {
+  size_t staging_capacity = 8192;  // events buffered per query
+  size_t max_batch_events = 1024;  // flush splits batches beyond this
+  CostModel costs;
+};
+
+struct AgentQueryStats {
+  uint64_t events_considered = 0;  // log() calls of a matching type
+  uint64_t events_sampled_out = 0;
+  uint64_t events_filtered = 0;    // failed selection
+  uint64_t events_staged = 0;
+  uint64_t events_dropped = 0;     // staging buffer full
+  uint64_t events_shipped = 0;
+};
+
+class ScrubAgent {
+ public:
+  ScrubAgent(HostId host, CostMeter* meter, AgentConfig config,
+             uint64_t sampling_seed)
+      : host_(host),
+        meter_(meter),
+        config_(config),
+        rng_(sampling_seed) {}
+
+  // Installs a query object received from the query server. Replaces any
+  // existing plan with the same id.
+  void InstallQuery(const HostPlan& plan);
+  void RemoveQuery(QueryId query_id);
+  size_t active_queries() const { return queries_.size(); }
+  bool HasQuery(QueryId query_id) const { return queries_.count(query_id) > 0; }
+
+  // The application-facing instrumentation point. Processes the event
+  // against every active query, charges the host CostMeter, and returns the
+  // simulated nanoseconds spent (so callers can fold it into request
+  // latency). The event is shared across queries by const reference; staged
+  // copies are projected.
+  int64_t LogEvent(const Event& event);
+
+  // Drains staged events into batches (at most max_batch_events each) and
+  // emits counter deltas. Also retires queries whose span has passed
+  // `now` (returns their ids in `expired` if non-null).
+  std::vector<EventBatch> Flush(TimeMicros now,
+                                std::vector<QueryId>* expired = nullptr);
+
+  const AgentQueryStats* StatsFor(QueryId query_id) const;
+  uint64_t total_events_logged() const { return total_events_logged_; }
+
+ private:
+  struct ActiveQuery {
+    HostPlan plan;
+    BoundedBuffer<Event> staged;
+    // Counter deltas keyed by window start, flushed incrementally.
+    std::map<TimeMicros, WindowCounter> pending_counters;
+    AgentQueryStats stats;
+
+    explicit ActiveQuery(const HostPlan& p, size_t capacity)
+        : plan(p), staged(capacity) {}
+  };
+
+  // Applies projection: fields outside the keep mask become null.
+  static Event ProjectEvent(const Event& event, const HostSourcePlan& sp);
+
+  TimeMicros WindowStartFor(const ActiveQuery& q, TimeMicros ts) const;
+
+  HostId host_;
+  CostMeter* meter_;
+  AgentConfig config_;
+  Rng rng_;
+  std::unordered_map<QueryId, ActiveQuery> queries_;
+  std::unordered_map<QueryId, AgentQueryStats> retired_stats_;
+  uint64_t total_events_logged_ = 0;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_AGENT_AGENT_H_

@@ -1,0 +1,90 @@
+// Domain objects of the synthetic ad-bidding platform (Section 7 of the
+// paper describes the real one at Turn).
+
+#ifndef SRC_BIDSIM_DOMAIN_H_
+#define SRC_BIDSIM_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace scrub {
+
+using UserId = uint64_t;
+using LineItemId = int64_t;
+using CampaignId = int64_t;
+using ExchangeId = int64_t;
+using PublisherId = int64_t;
+
+// An ad exchange sending bid requests. `active_from` supports the
+// new-exchange-integration case study (Section 8.2): before that instant the
+// exchange sends no traffic.
+struct Exchange {
+  ExchangeId id = 0;
+  std::string name;
+  TimeMicros active_from = 0;
+  double traffic_share = 1.0;  // relative weight when picking the exchange
+};
+
+// A line item: the unit that bids. Targeting is deliberately simple — a set
+// of allowed exchanges and countries — because the case studies depend on
+// *overlap* of targeting, not its sophistication.
+struct LineItem {
+  LineItemId id = 0;
+  CampaignId campaign_id = 0;
+  double advisory_bid_price = 1.0;  // the internal auction bids in a band
+                                    // around this (Section 8.5)
+  std::vector<ExchangeId> exchanges;  // empty = all
+  std::vector<std::string> countries; // empty = all
+  int frequency_cap_per_day = 0;      // 0 = uncapped
+  double daily_budget = 0.0;          // 0 = unlimited
+  bool active = true;
+
+  bool TargetsExchange(ExchangeId ex) const {
+    if (exchanges.empty()) {
+      return true;
+    }
+    for (const ExchangeId e : exchanges) {
+      if (e == ex) {
+        return true;
+      }
+    }
+    return false;
+  }
+  bool TargetsCountry(const std::string& country) const {
+    if (countries.empty()) {
+      return true;
+    }
+    for (const std::string& c : countries) {
+      if (c == country) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Why a line item was excluded during filtering (the reason strings are the
+// values queried in Section 8.4's case study).
+inline constexpr char kExclInactive[] = "inactive";
+inline constexpr char kExclExchange[] = "exchange_mismatch";
+inline constexpr char kExclCountry[] = "country_mismatch";
+inline constexpr char kExclBudget[] = "budget_exhausted";
+inline constexpr char kExclFrequencyCap[] = "frequency_cap";
+
+// A bid request arriving from an exchange.
+struct BidRequest {
+  uint64_t request_id = 0;
+  UserId user_id = 0;
+  ExchangeId exchange_id = 0;
+  PublisherId publisher_id = 0;
+  std::string country;
+  std::string city;
+  TimeMicros arrival = 0;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_BIDSIM_DOMAIN_H_

@@ -1,0 +1,448 @@
+#include "src/bidsim/platform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/strings.h"
+#include "src/sketch/hyperloglog.h"
+
+namespace scrub {
+namespace {
+
+// Fine-grained application costs not worth putting in CostModel: per-line-
+// item filter check and RPC payload sizes.
+constexpr int64_t kFilterCheckNs = 150;
+constexpr size_t kBidRequestRpcBytes = 320;
+constexpr size_t kBidResponseRpcBytes = 160;
+
+}  // namespace
+
+BiddingPlatform::BiddingPlatform(Scheduler* scheduler, Transport* transport,
+                                 HostRegistry* registry,
+                                 SchemaRegistry* schemas,
+                                 PlatformConfig config)
+    : scheduler_(scheduler),
+      transport_(transport),
+      registry_(registry),
+      config_(config),
+      rng_(config.seed),
+      profile_store_(config.profile_update_loss, config.seed ^ 0xbeef) {
+  if (!schemas->Contains(kBidEvent)) {
+    const Status s = RegisterBidsimSchemas(schemas);
+    (void)s;  // duplicate registration is the only failure; guarded above
+  }
+  bid_schema_ = *schemas->Get(kBidEvent);
+  auction_schema_ = *schemas->Get(kAuctionEvent);
+  exclusion_schema_ = *schemas->Get(kExclusionEvent);
+  impression_schema_ = *schemas->Get(kImpressionEvent);
+  click_schema_ = *schemas->Get(kClickEvent);
+  profile_schema_ = *schemas->Get(kProfileUpdateEvent);
+  BuildTopology();
+  BuildCatalog();
+}
+
+void BiddingPlatform::BuildTopology() {
+  for (int dc = 0; dc < config_.datacenters; ++dc) {
+    const std::string dc_name = StrFormat("DC%d", dc + 1);
+    for (int i = 0; i < config_.bidservers_per_dc; ++i) {
+      bid_servers_.push_back(registry_->AddHost(
+          StrFormat("bid-dc%d-%02d", dc + 1, i), "BidServers", dc_name));
+    }
+    for (int i = 0; i < config_.adservers_per_dc; ++i) {
+      const HostId h = registry_->AddHost(
+          StrFormat("ad-dc%d-%02d", dc + 1, i), "AdServers", dc_name);
+      ad_servers_.push_back(h);
+      adserver_model_[h] = "modelB";  // incumbent model by default
+    }
+    for (int i = 0; i < config_.presentation_per_dc; ++i) {
+      presentation_servers_.push_back(registry_->AddHost(
+          StrFormat("pres-dc%d-%02d", dc + 1, i), "PresentationServers",
+          dc_name));
+    }
+  }
+  profile_host_ = registry_->AddHost("profile-dc1-00", "ProfileStore", "DC1");
+}
+
+void BiddingPlatform::BuildCatalog() {
+  static const char* kCountries[] = {"US", "CA", "GB", "DE", "FR", "JP"};
+  for (int e = 0; e < config_.num_exchanges; ++e) {
+    Exchange ex;
+    ex.id = e + 1;
+    ex.name = StrFormat("Exchange%c", 'A' + e);
+    ex.active_from = 0;
+    ex.traffic_share = 1.0;
+    exchanges_.push_back(std::move(ex));
+  }
+  LineItemId next_id = 1000;
+  for (int c = 0; c < config_.num_campaigns; ++c) {
+    for (int l = 0; l < config_.line_items_per_campaign; ++l) {
+      LineItem item;
+      item.id = next_id++;
+      item.campaign_id = c + 1;
+      // Advisory CPM prices between $0.50 and $4.50.
+      item.advisory_bid_price = 0.5 + rng_.NextDouble() * 4.0;
+      // ~Half the items target a subset of exchanges.
+      if (rng_.NextBool(0.5)) {
+        for (const Exchange& ex : exchanges_) {
+          if (rng_.NextBool(0.5)) {
+            item.exchanges.push_back(ex.id);
+          }
+        }
+      }
+      // ~Half target a subset of countries.
+      if (rng_.NextBool(0.5)) {
+        for (const char* country : kCountries) {
+          if (rng_.NextBool(0.4)) {
+            item.countries.emplace_back(country);
+          }
+        }
+      }
+      // A few have tight frequency caps / budgets.
+      if (rng_.NextBool(0.25)) {
+        item.frequency_cap_per_day = static_cast<int>(rng_.NextInRange(1, 3));
+      }
+      if (rng_.NextBool(0.3)) {
+        item.daily_budget = 50.0 + rng_.NextDouble() * 450.0;
+      }
+      AddLineItem(std::move(item));
+    }
+  }
+}
+
+LineItemId BiddingPlatform::AddLineItem(LineItem item) {
+  const LineItemId id = item.id;
+  line_item_index_[id] = line_items_.size();
+  line_items_.push_back(std::move(item));
+  // Per-item CTR multiplier: some creatives are just better.
+  line_item_ctr_mult_.push_back(0.5 + rng_.NextDouble());
+  return id;
+}
+
+void BiddingPlatform::SetAdServerModel(HostId host, std::string model) {
+  adserver_model_[host] = std::move(model);
+}
+
+const std::string& BiddingPlatform::AdServerModel(HostId host) const {
+  static const std::string kNone;
+  const auto it = adserver_model_.find(host);
+  return it == adserver_model_.end() ? kNone : it->second;
+}
+
+HostId BiddingPlatform::BidServerForUser(UserId user) const {
+  // Users route to the data center nearest them and stick to one BidServer
+  // there (every exchange's traffic reaches every data center).
+  const uint64_t mix = HashMix64(user);
+  const int per_dc = config_.bidservers_per_dc;
+  const int dc = static_cast<int>((mix >> 32) %
+                                  static_cast<uint64_t>(config_.datacenters));
+  const int idx = static_cast<int>(mix % static_cast<uint64_t>(per_dc));
+  return bid_servers_[static_cast<size_t>(dc * per_dc + idx)];
+}
+
+HostId BiddingPlatform::PickBidServer(const BidRequest& request) const {
+  return BidServerForUser(request.user_id);
+}
+
+HostId BiddingPlatform::PairedAdServer(HostId bid_server) const {
+  // Same data center, chosen by bid-server position.
+  const auto it =
+      std::find(bid_servers_.begin(), bid_servers_.end(), bid_server);
+  const size_t pos = static_cast<size_t>(it - bid_servers_.begin());
+  const size_t dc = pos / static_cast<size_t>(config_.bidservers_per_dc);
+  const size_t within = pos % static_cast<size_t>(config_.bidservers_per_dc);
+  const size_t per_dc = static_cast<size_t>(config_.adservers_per_dc);
+  return ad_servers_[dc * per_dc + (within % per_dc)];
+}
+
+HostId BiddingPlatform::PresentationServerFor(HostId bid_server) const {
+  const auto it =
+      std::find(bid_servers_.begin(), bid_servers_.end(), bid_server);
+  const size_t pos = static_cast<size_t>(it - bid_servers_.begin());
+  const size_t dc = pos / static_cast<size_t>(config_.bidservers_per_dc);
+  const size_t per_dc = static_cast<size_t>(config_.presentation_per_dc);
+  return presentation_servers_[dc * per_dc + (pos % per_dc)];
+}
+
+int64_t BiddingPlatform::LogAt(HostId host, const Event& event) {
+  if (!logger_) {
+    return 0;
+  }
+  return logger_(host, event);
+}
+
+double BiddingPlatform::CtrFor(const LineItem& item,
+                               const std::string& model) const {
+  const double base =
+      model == "modelA" ? config_.ctr_model_a : config_.ctr_model_b;
+  const auto it = line_item_index_.find(item.id);
+  const double mult =
+      it == line_item_index_.end() ? 1.0 : line_item_ctr_mult_[it->second];
+  return std::min(0.5, base * mult);
+}
+
+bool BiddingPlatform::BudgetExhausted(const LineItem& item,
+                                      TimeMicros now) const {
+  if (item.daily_budget <= 0.0) {
+    return false;
+  }
+  const auto it = spend_.find(item.id);
+  if (it == spend_.end() || it->second.day != now / kMicrosPerDay) {
+    return false;
+  }
+  return it->second.spent >= item.daily_budget;
+}
+
+void BiddingPlatform::SpendBudget(LineItemId item, double cost,
+                                  TimeMicros now) {
+  DailySpend& s = spend_[item];
+  const int64_t day = now / kMicrosPerDay;
+  if (s.day != day) {
+    s.day = day;
+    s.spent = 0.0;
+  }
+  s.spent += cost;
+}
+
+void BiddingPlatform::SubmitBidRequest(BidRequest request) {
+  // Exchange activation gate (Section 8.2 scenario).
+  const Exchange* exchange = nullptr;
+  for (const Exchange& ex : exchanges_) {
+    if (ex.id == request.exchange_id) {
+      exchange = &ex;
+      break;
+    }
+  }
+  if (exchange == nullptr ||
+      request.arrival < exchange->active_from) {
+    return;
+  }
+  if (request.request_id == 0) {
+    request.request_id = NextRequestId();
+  }
+  RequestContext ctx;
+  ctx.request = std::move(request);
+  ctx.bid_server = PickBidServer(ctx.request);
+  ctx.ad_server = PairedAdServer(ctx.bid_server);
+  scheduler_->ScheduleAt(ctx.request.arrival, [this, ctx]() mutable {
+    HandleAtBidServer(std::move(ctx));
+  });
+}
+
+void BiddingPlatform::HandleAtBidServer(RequestContext ctx) {
+  ++stats_.requests;
+  // Parse + route: a slice of the request budget.
+  const int64_t parse_ns = config_.costs.app_request_ns / 4;
+  registry_->meter(ctx.bid_server).ChargeApp(parse_ns);
+  ctx.path_ns += parse_ns;
+
+  const HostId bs = ctx.bid_server;
+  const HostId as = ctx.ad_server;
+  transport_->Send(bs, as, kBidRequestRpcBytes, TrafficCategory::kAppTraffic,
+                   [this, ctx = std::move(ctx)]() mutable {
+                     HandleAtAdServer(std::move(ctx));
+                   });
+}
+
+void BiddingPlatform::HandleAtAdServer(RequestContext ctx) {
+  const TimeMicros now = scheduler_->Now();
+  const BidRequest& req = ctx.request;
+  CostMeter& meter = registry_->meter(ctx.ad_server);
+  int64_t app_ns = 0;
+  int64_t scrub_ns = 0;
+
+  // ---- Filtering phase ----
+  std::vector<const LineItem*> candidates;
+  for (const LineItem& item : line_items_) {
+    app_ns += kFilterCheckNs;
+    const char* reason = nullptr;
+    if (!item.active) {
+      reason = kExclInactive;
+    } else if (!item.TargetsExchange(req.exchange_id)) {
+      reason = kExclExchange;
+    } else if (!item.TargetsCountry(req.country)) {
+      reason = kExclCountry;
+    } else if (BudgetExhausted(item, now)) {
+      reason = kExclBudget;
+    } else if (item.frequency_cap_per_day > 0 &&
+               profile_store_.RecordedServeCount(req.user_id, item.id, now) >=
+                   item.frequency_cap_per_day) {
+      reason = kExclFrequencyCap;
+    }
+    if (reason == nullptr) {
+      candidates.push_back(&item);
+      continue;
+    }
+    ++stats_.exclusions;
+    if (config_.log_exclusions) {
+      Event e(exclusion_schema_, req.request_id, now);
+      e.SetField(0, Value(item.id));
+      e.SetField(1, Value(item.campaign_id));
+      e.SetField(2, Value(static_cast<int64_t>(req.user_id)));
+      e.SetField(3, Value(req.exchange_id));
+      e.SetField(4, Value(req.publisher_id));
+      e.SetField(5, Value(reason));
+      scrub_ns += LogAt(ctx.ad_server, e);
+    }
+  }
+
+  // ---- Internal auction ----
+  if (!candidates.empty()) {
+    app_ns += config_.costs.app_auction_per_item_ns *
+              static_cast<int64_t>(candidates.size());
+    std::vector<Value> ids;
+    std::vector<Value> prices;
+    ids.reserve(candidates.size());
+    prices.reserve(candidates.size());
+    double best_price = -1.0;
+    const LineItem* winner = nullptr;
+    for (const LineItem* item : candidates) {
+      // Scores move the bid in a narrow band around the advisory price
+      // (Section 8.5): the paper's cannibalization dynamics depend on bands
+      // rarely overlapping when advisory prices differ materially.
+      const double band = 0.85 + 0.3 * rng_.NextDouble();
+      const double price = item->advisory_bid_price * band;
+      ids.push_back(Value(item->id));
+      prices.push_back(Value(price));
+      if (price > best_price) {
+        best_price = price;
+        winner = item;
+      }
+    }
+    ctx.winner = winner->id;
+    ctx.winner_campaign = winner->campaign_id;
+    ctx.winning_price = best_price;
+    ctx.model = AdServerModel(ctx.ad_server);
+
+    Event e(auction_schema_, req.request_id, now);
+    e.SetField(0, Value(static_cast<int64_t>(req.user_id)));
+    e.SetField(1, Value(req.exchange_id));
+    e.SetField(2, Value(req.publisher_id));
+    e.SetField(3, Value(std::move(ids)));
+    e.SetField(4, Value(std::move(prices)));
+    e.SetField(5, Value(ctx.winner));
+    e.SetField(6, Value(ctx.winning_price));
+    scrub_ns += LogAt(ctx.ad_server, e);
+  }
+
+  meter.ChargeApp(app_ns);
+  ctx.path_ns += app_ns + scrub_ns;
+
+  const HostId bs = ctx.bid_server;
+  const HostId as = ctx.ad_server;
+  transport_->Send(as, bs, kBidResponseRpcBytes, TrafficCategory::kAppTraffic,
+                   [this, ctx = std::move(ctx)]() mutable {
+                     CompleteAtBidServer(std::move(ctx));
+                   });
+}
+
+void BiddingPlatform::CompleteAtBidServer(RequestContext ctx) {
+  const TimeMicros now = scheduler_->Now();
+  const BidRequest& req = ctx.request;
+  CostMeter& meter = registry_->meter(ctx.bid_server);
+  const int64_t respond_ns = config_.costs.app_request_ns / 4;
+  int64_t scrub_ns = 0;
+
+  if (ctx.winner >= 0) {
+    ++stats_.bids;
+    Event e(bid_schema_, req.request_id, now);
+    e.SetField(0, Value(req.exchange_id));
+    e.SetField(1, Value(req.city));
+    e.SetField(2, Value(req.country));
+    e.SetField(3, Value(ctx.winning_price));
+    e.SetField(4, Value(ctx.winner_campaign));
+    e.SetField(5, Value(ctx.winner));
+    e.SetField(6, Value(static_cast<int64_t>(req.user_id)));
+    e.SetField(7, Value(req.publisher_id));
+    static const char* kOses[] = {"ios", "android", "windows", "macos"};
+    static const char* kBrowsers[] = {"chrome", "safari", "firefox"};
+    NestedObject device;
+    device.fields.emplace_back("os", Value(kOses[req.user_id % 4]));
+    device.fields.emplace_back("browser",
+                               Value(kBrowsers[req.user_id % 3]));
+    e.SetField(8, Value(std::move(device)));
+    scrub_ns += LogAt(ctx.bid_server, e);
+  } else {
+    ++stats_.no_bids;
+  }
+
+  meter.ChargeApp(respond_ns);
+  ctx.path_ns += respond_ns + scrub_ns;
+
+  // Request latency: transport time elapsed plus accumulated processing.
+  const TimeMicros latency =
+      (now - req.arrival) + ctx.path_ns / 1000;
+  request_latency_us_.Record(latency);
+
+  if (ctx.winner < 0) {
+    return;
+  }
+  // External auction.
+  const double p_win =
+      std::clamp(config_.win_rate_scale * ctx.winning_price, 0.02, 0.90);
+  if (!rng_.NextBool(p_win)) {
+    return;
+  }
+  scheduler_->ScheduleAfter(config_.external_auction_delay,
+                            [this, ctx = std::move(ctx)]() mutable {
+                              ServeImpression(std::move(ctx));
+                            });
+}
+
+void BiddingPlatform::ServeImpression(RequestContext ctx) {
+  const TimeMicros now = scheduler_->Now();
+  const BidRequest& req = ctx.request;
+  const HostId pres = PresentationServerFor(ctx.bid_server);
+  ++stats_.impressions;
+
+  // Second-price proxy: clear at ~70% of our bid. Bid prices are CPM
+  // dollars, so the per-impression cost divides by 1000 (CPM = 1000 *
+  // AVG(cost) then recovers the paper's Figure-13 metric).
+  const double cost = 0.7 * ctx.winning_price / 1000.0;
+
+  Event e(impression_schema_, req.request_id, now);
+  e.SetField(0, Value(ctx.winner));
+  e.SetField(1, Value(ctx.winner_campaign));
+  e.SetField(2, Value(req.exchange_id));
+  e.SetField(3, Value(req.publisher_id));
+  e.SetField(4, Value(static_cast<int64_t>(req.user_id)));
+  e.SetField(5, Value(cost));
+  e.SetField(6, Value(ctx.model));
+  LogAt(pres, e);
+  registry_->meter(pres).ChargeApp(20'000);  // render + record
+
+  SpendBudget(ctx.winner, cost, now);
+
+  // ProfileStore update (with the Section 8.6 injected loss).
+  const bool applied = profile_store_.RecordServe(req.user_id, ctx.winner, now);
+  Event pe(profile_schema_, req.request_id, now);
+  pe.SetField(0, Value(static_cast<int64_t>(req.user_id)));
+  pe.SetField(1, Value(ctx.winner));
+  pe.SetField(2, Value(static_cast<int64_t>(
+                    profile_store_.RecordedServeCount(req.user_id, ctx.winner,
+                                                      now))));
+  pe.SetField(3, Value(applied));
+  LogAt(profile_host_, pe);
+
+  // Click?
+  const auto it = line_item_index_.find(ctx.winner);
+  if (it == line_item_index_.end()) {
+    return;
+  }
+  const double ctr = CtrFor(line_items_[it->second], ctx.model);
+  if (!rng_.NextBool(ctr)) {
+    return;
+  }
+  scheduler_->ScheduleAfter(
+      config_.click_delay, [this, ctx = std::move(ctx), pres]() mutable {
+        ++stats_.clicks;
+        Event ce(click_schema_, ctx.request.request_id, scheduler_->Now());
+        ce.SetField(0, Value(ctx.winner));
+        ce.SetField(1, Value(ctx.winner_campaign));
+        ce.SetField(2, Value(ctx.request.exchange_id));
+        ce.SetField(3, Value(static_cast<int64_t>(ctx.request.user_id)));
+        ce.SetField(4, Value(ctx.model));
+        LogAt(pres, ce);
+      });
+}
+
+}  // namespace scrub

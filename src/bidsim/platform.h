@@ -1,0 +1,202 @@
+// The synthetic ad-bidding platform (the paper's Section 7 substrate).
+//
+// Topology: per data center, a set of BidServers (receive bid requests,
+// return bid responses), AdServers (filtering phase + internal auction),
+// PresentationServers (impressions/clicks), and a ProfileStore replica
+// (frequency caps). Scrub integrates with all of them (the paper: "Scrub is
+// integrated with the BidServers, the AdServers, the PresentationServers and
+// the ProfileStore").
+//
+// Request pipeline, spread across hosts exactly as the paper describes:
+//   1. A bid request arrives at a BidServer (from an exchange).
+//   2. The BidServer RPCs its data center's AdServer, which filters the
+//      line-item catalog (logging one `exclusion` event per filtered item),
+//      runs the internal auction over the survivors (logging an `auction`
+//      event carrying all participants and bids), and returns the winner.
+//   3. The BidServer sends the bid response (logging the Figure-1 `bid`
+//      event) — this completes the latency-critical path (20 ms SLO).
+//   4. If the external auction is won, a PresentationServer logs an
+//      `impression` event, charges budget, and updates the ProfileStore
+//      (logging `profile_update`); a click may follow (`click` event).
+//
+// Every piece of application work charges app CPU to the host's meter;
+// every Scrub log() call charges Scrub CPU and extends the request's
+// processing time, which is how the paper's Section 9 overhead numbers are
+// reproduced (E7/E8).
+
+#ifndef SRC_BIDSIM_PLATFORM_H_
+#define SRC_BIDSIM_PLATFORM_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/bidsim/domain.h"
+#include "src/bidsim/profile_store.h"
+#include "src/bidsim/schemas.h"
+#include "src/cluster/host_registry.h"
+#include "src/cluster/scheduler.h"
+#include "src/cluster/transport.h"
+#include "src/common/cost_model.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/event/event.h"
+
+namespace scrub {
+
+// How the platform emits Scrub events. Returns the simulated nanoseconds the
+// log() call cost on that host (folded into request latency when the call is
+// on the latency-critical path). The harness points this at the ScrubAgents;
+// the baseline harness tees it into the log shipper; tests can capture.
+using EventLoggerFn = std::function<int64_t(HostId, const Event&)>;
+
+struct PlatformConfig {
+  int datacenters = 2;
+  int bidservers_per_dc = 4;
+  int adservers_per_dc = 2;
+  int presentation_per_dc = 1;
+
+  int num_exchanges = 4;
+  int num_campaigns = 10;
+  int line_items_per_campaign = 6;
+  int num_publishers = 50;
+
+  // External auction + user behaviour.
+  double win_rate_scale = 0.25;        // P(win) ~ scale * bid_price (clamped)
+  double ctr_model_a = 0.010;          // click-through rates per model
+  double ctr_model_b = 0.016;
+  TimeMicros external_auction_delay = 120 * kMicrosPerMilli;
+  TimeMicros click_delay = 2 * kMicrosPerSecond;
+
+  // Fault injection for the Section 8.6 case study.
+  double profile_update_loss = 0.0;
+
+  bool log_exclusions = true;  // exclusion events dominate volume; E7 can
+                               // toggle them to sweep event rate
+
+  uint64_t seed = 42;
+  CostModel costs;
+};
+
+struct PlatformStats {
+  uint64_t requests = 0;
+  uint64_t bids = 0;
+  uint64_t no_bids = 0;        // every candidate excluded
+  uint64_t impressions = 0;
+  uint64_t clicks = 0;
+  uint64_t exclusions = 0;
+};
+
+class BiddingPlatform {
+ public:
+  // Registers the bidsim event types into `schemas` (if not already there) —
+  // the same registry ScrubCentral decodes against.
+  BiddingPlatform(Scheduler* scheduler, Transport* transport,
+                  HostRegistry* registry, SchemaRegistry* schemas,
+                  PlatformConfig config);
+
+  // Must be set before traffic is submitted. (A null logger means "Scrub
+  // disabled" — the E7/E8 baseline runs.)
+  void SetEventLogger(EventLoggerFn logger) { logger_ = std::move(logger); }
+
+  // Entry point: schedules the full pipeline for one bid request. If
+  // request_id is 0 a fresh one is assigned. Requests for exchanges not yet
+  // active (Exchange::active_from) are dropped at the door.
+  void SubmitBidRequest(BidRequest request);
+
+  // ---- Scenario knobs used by the case studies ----
+  std::vector<Exchange>& exchanges() { return exchanges_; }
+  std::vector<LineItem>& line_items() { return line_items_; }
+  // Adds a custom line item (e.g. the cannibalization pair); returns its id.
+  LineItemId AddLineItem(LineItem item);
+  // Assigns a targeting model to an AdServer host ("modelA"/"modelB").
+  void SetAdServerModel(HostId host, std::string model);
+  const std::string& AdServerModel(HostId host) const;
+
+  // ---- Topology ----
+  const std::vector<HostId>& bid_servers() const { return bid_servers_; }
+  // Which BidServer a user's requests land on (users are sticky; useful for
+  // single-host case studies like Section 8.1).
+  HostId BidServerForUser(UserId user) const;
+  const std::vector<HostId>& ad_servers() const { return ad_servers_; }
+  const std::vector<HostId>& presentation_servers() const {
+    return presentation_servers_;
+  }
+  HostId profile_store_host() const { return profile_host_; }
+
+  // ---- Measurement ----
+  const PlatformStats& stats() const { return stats_; }
+  const Histogram& request_latency_us() const { return request_latency_us_; }
+  ProfileStore& profile_store() { return profile_store_; }
+  uint64_t NextRequestId() { return next_request_id_++; }
+
+ private:
+  struct RequestContext {
+    BidRequest request;
+    HostId bid_server = kInvalidHost;
+    HostId ad_server = kInvalidHost;
+    int64_t path_ns = 0;  // accumulated processing time on the critical path
+    LineItemId winner = -1;
+    CampaignId winner_campaign = 0;
+    double winning_price = 0.0;  // CPM dollars
+    std::string model;
+  };
+
+  void BuildTopology();
+  void BuildCatalog();
+
+  HostId PickBidServer(const BidRequest& request) const;
+  HostId PairedAdServer(HostId bid_server) const;
+  HostId PresentationServerFor(HostId bid_server) const;
+
+  void HandleAtBidServer(RequestContext ctx);
+  void HandleAtAdServer(RequestContext ctx);
+  void CompleteAtBidServer(RequestContext ctx);
+  void ServeImpression(RequestContext ctx);
+
+  int64_t LogAt(HostId host, const Event& event);
+  double CtrFor(const LineItem& item, const std::string& model) const;
+  bool BudgetExhausted(const LineItem& item, TimeMicros now) const;
+  void SpendBudget(LineItemId item, double cost, TimeMicros now);
+
+  Scheduler* scheduler_;
+  Transport* transport_;
+  HostRegistry* registry_;
+  PlatformConfig config_;
+  EventLoggerFn logger_;
+  Rng rng_;
+  ProfileStore profile_store_;
+
+  SchemaPtr bid_schema_;
+  SchemaPtr auction_schema_;
+  SchemaPtr exclusion_schema_;
+  SchemaPtr impression_schema_;
+  SchemaPtr click_schema_;
+  SchemaPtr profile_schema_;
+
+  std::vector<Exchange> exchanges_;
+  std::vector<LineItem> line_items_;
+  std::unordered_map<LineItemId, size_t> line_item_index_;
+  std::vector<double> line_item_ctr_mult_;
+
+  std::vector<HostId> bid_servers_;
+  std::vector<HostId> ad_servers_;
+  std::vector<HostId> presentation_servers_;
+  HostId profile_host_ = kInvalidHost;
+  std::unordered_map<HostId, std::string> adserver_model_;
+
+  struct DailySpend {
+    int64_t day = -1;
+    double spent = 0.0;
+  };
+  std::unordered_map<LineItemId, DailySpend> spend_;
+
+  PlatformStats stats_;
+  Histogram request_latency_us_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_BIDSIM_PLATFORM_H_

@@ -1,0 +1,29 @@
+#include "src/bidsim/profile_store.h"
+
+namespace scrub {
+
+int ProfileStore::RecordedServeCount(UserId user, LineItemId item,
+                                     TimeMicros now) const {
+  const auto it = counts_.find(Key(user, item));
+  return it == counts_.end() ? 0 : CountFor(it->second.recorded, now);
+}
+
+int ProfileStore::TrueServeCount(UserId user, LineItemId item,
+                                 TimeMicros now) const {
+  const auto it = counts_.find(Key(user, item));
+  return it == counts_.end() ? 0 : CountFor(it->second.true_count, now);
+}
+
+bool ProfileStore::RecordServe(UserId user, LineItemId item, TimeMicros now) {
+  Counts& c = counts_[Key(user, item)];
+  Bump(&c.true_count, now);
+  if (update_loss_rate_ > 0.0 && rng_.NextBool(update_loss_rate_)) {
+    ++updates_lost_;
+    return false;
+  }
+  Bump(&c.recorded, now);
+  ++updates_applied_;
+  return true;
+}
+
+}  // namespace scrub

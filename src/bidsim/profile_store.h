@@ -1,0 +1,76 @@
+// ProfileStore: per-user serve counts backing frequency capping.
+//
+// Turn's platform records, in the user's profile, the number of times each
+// ad has been served; the filtering phase excludes line items whose
+// frequency cap the user has hit (Section 8.6). The `update_loss_rate` knob
+// injects the fault of that case study: a fraction of updates is silently
+// dropped, so the recorded count lags the true count and over-frequency
+// serving slips through.
+
+#ifndef SRC_BIDSIM_PROFILE_STORE_H_
+#define SRC_BIDSIM_PROFILE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/bidsim/domain.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+
+namespace scrub {
+
+class ProfileStore {
+ public:
+  ProfileStore(double update_loss_rate, uint64_t seed)
+      : update_loss_rate_(update_loss_rate), rng_(seed) {}
+
+  // The count the filtering phase sees (possibly stale under injected loss).
+  int RecordedServeCount(UserId user, LineItemId item, TimeMicros now) const;
+  // The ground-truth count (what the user actually experienced); the
+  // troubleshooting query in E6 surfaces the divergence.
+  int TrueServeCount(UserId user, LineItemId item, TimeMicros now) const;
+
+  // Registers one served ad. Returns false if the update was "lost" (the
+  // injected fault) — the true count still advances.
+  bool RecordServe(UserId user, LineItemId item, TimeMicros now);
+
+  uint64_t updates_applied() const { return updates_applied_; }
+  uint64_t updates_lost() const { return updates_lost_; }
+
+ private:
+  struct DayCount {
+    int64_t day = -1;
+    int count = 0;
+  };
+  struct Counts {
+    DayCount recorded;
+    DayCount true_count;
+  };
+
+  static int64_t DayOf(TimeMicros t) { return t / kMicrosPerDay; }
+  static int CountFor(const DayCount& c, TimeMicros now) {
+    return c.day == DayOf(now) ? c.count : 0;
+  }
+  static void Bump(DayCount* c, TimeMicros now) {
+    const int64_t day = DayOf(now);
+    if (c->day != day) {
+      c->day = day;
+      c->count = 0;
+    }
+    ++c->count;
+  }
+
+  double update_loss_rate_;
+  mutable Rng rng_;
+  std::unordered_map<uint64_t, Counts> counts_;  // key: user ^ item mix
+  uint64_t updates_applied_ = 0;
+  uint64_t updates_lost_ = 0;
+
+  static uint64_t Key(UserId user, LineItemId item) {
+    return user * 0x9E3779B97F4A7C15ULL ^ static_cast<uint64_t>(item);
+  }
+};
+
+}  // namespace scrub
+
+#endif  // SRC_BIDSIM_PROFILE_STORE_H_

@@ -1,0 +1,97 @@
+#include "src/bidsim/schemas.h"
+
+namespace scrub {
+namespace {
+
+Status RegisterOne(SchemaRegistry* registry,
+                   Result<SchemaPtr> schema) {
+  if (!schema.ok()) {
+    return schema.status();
+  }
+  return registry->Register(std::move(schema).value());
+}
+
+}  // namespace
+
+Status RegisterBidsimSchemas(SchemaRegistry* registry) {
+  // Figure 1 of the paper, plus the identifiers the case studies select on.
+  Status s = RegisterOne(
+      registry, EventSchema::Builder(kBidEvent)
+                    .AddField("exchange_id", FieldType::kLong)
+                    .AddField("city", FieldType::kString)
+                    .AddField("country", FieldType::kString)
+                    .AddField("bid_price", FieldType::kDouble)
+                    .AddField("campaign_id", FieldType::kLong)
+                    .AddField("line_item_id", FieldType::kLong)
+                    .AddField("user_id", FieldType::kLong)
+                    .AddField("publisher_id", FieldType::kLong)
+                    // Nested object (the paper's XML-ish nesting): queries
+                    // reach into it with paths, e.g. bid.device.os.
+                    .AddField("device", FieldType::kObject)
+                    .Build());
+  if (!s.ok()) {
+    return s;
+  }
+  // One event per internal auction, with the full list of participants and
+  // their bids (Section 8.5).
+  s = RegisterOne(registry,
+                  EventSchema::Builder(kAuctionEvent)
+                      .AddField("user_id", FieldType::kLong)
+                      .AddField("exchange_id", FieldType::kLong)
+                      .AddField("publisher_id", FieldType::kLong)
+                      .AddField("line_item_ids", FieldType::kLongList)
+                      .AddField("bid_prices", FieldType::kDoubleList)
+                      .AddField("winner_line_item_id", FieldType::kLong)
+                      .AddField("winning_price", FieldType::kDouble)
+                      .Build());
+  if (!s.ok()) {
+    return s;
+  }
+  // One event per line item excluded during the filtering phase
+  // (Section 8.4).
+  s = RegisterOne(registry,
+                  EventSchema::Builder(kExclusionEvent)
+                      .AddField("line_item_id", FieldType::kLong)
+                      .AddField("campaign_id", FieldType::kLong)
+                      .AddField("user_id", FieldType::kLong)
+                      .AddField("exchange_id", FieldType::kLong)
+                      .AddField("publisher_id", FieldType::kLong)
+                      .AddField("reason", FieldType::kString)
+                      .Build());
+  if (!s.ok()) {
+    return s;
+  }
+  s = RegisterOne(registry,
+                  EventSchema::Builder(kImpressionEvent)
+                      .AddField("line_item_id", FieldType::kLong)
+                      .AddField("campaign_id", FieldType::kLong)
+                      .AddField("exchange_id", FieldType::kLong)
+                      .AddField("publisher_id", FieldType::kLong)
+                      .AddField("user_id", FieldType::kLong)
+                      .AddField("cost", FieldType::kDouble)
+                      .AddField("model", FieldType::kString)
+                      .Build());
+  if (!s.ok()) {
+    return s;
+  }
+  s = RegisterOne(registry,
+                  EventSchema::Builder(kClickEvent)
+                      .AddField("line_item_id", FieldType::kLong)
+                      .AddField("campaign_id", FieldType::kLong)
+                      .AddField("exchange_id", FieldType::kLong)
+                      .AddField("user_id", FieldType::kLong)
+                      .AddField("model", FieldType::kString)
+                      .Build());
+  if (!s.ok()) {
+    return s;
+  }
+  return RegisterOne(registry,
+                     EventSchema::Builder(kProfileUpdateEvent)
+                         .AddField("user_id", FieldType::kLong)
+                         .AddField("line_item_id", FieldType::kLong)
+                         .AddField("serve_count", FieldType::kLong)
+                         .AddField("applied", FieldType::kBool)
+                         .Build());
+}
+
+}  // namespace scrub

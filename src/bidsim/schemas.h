@@ -1,0 +1,30 @@
+// Scrub event types defined by the synthetic bidding platform.
+//
+// Mirrors the event types named in the paper: the `bid` event of Figure 1
+// (generated at BidServers when a bid response is sent), `auction` and
+// `exclusion` events (AdServers, Sections 8.4-8.5), `impression` and `click`
+// events (PresentationServers, Sections 8.2-8.3), and a `profile_update`
+// event (ProfileStore, Section 8.6).
+
+#ifndef SRC_BIDSIM_SCHEMAS_H_
+#define SRC_BIDSIM_SCHEMAS_H_
+
+#include "src/common/status.h"
+#include "src/event/schema.h"
+
+namespace scrub {
+
+inline constexpr char kBidEvent[] = "bid";
+inline constexpr char kAuctionEvent[] = "auction";
+inline constexpr char kExclusionEvent[] = "exclusion";
+inline constexpr char kImpressionEvent[] = "impression";
+inline constexpr char kClickEvent[] = "click";
+inline constexpr char kProfileUpdateEvent[] = "profile_update";
+
+// Registers all six event types. Idempotent-unfriendly by design (duplicate
+// registration is a bug); call once per registry.
+Status RegisterBidsimSchemas(SchemaRegistry* registry);
+
+}  // namespace scrub
+
+#endif  // SRC_BIDSIM_SCHEMAS_H_

@@ -1,0 +1,116 @@
+#include "src/bidsim/workload.h"
+
+#include <memory>
+
+namespace scrub {
+namespace {
+
+const char* kCountriesByUser[] = {"US", "US", "US", "CA", "GB", "DE", "FR",
+                                  "JP"};
+const char* kCitiesByUser[] = {"san_jose", "new_york",  "chicago", "toronto",
+                               "london",   "frankfurt", "paris",   "tokyo"};
+
+}  // namespace
+
+BidRequest WorkloadDriver::MakeRequest(UserId user, TimeMicros when) {
+  BidRequest req;
+  req.request_id = platform_->NextRequestId();
+  req.user_id = user;
+  // Users browse sites plugged into particular exchanges; mix so every
+  // exchange sees every user class. Exchange activation gates traffic in
+  // the platform (Section 8.2).
+  const size_t n_exchanges = platform_->exchanges().size();
+  req.exchange_id =
+      platform_->exchanges()[rng_.NextBelow(n_exchanges)].id;
+  req.publisher_id = static_cast<PublisherId>(1 + rng_.NextBelow(50));
+  const size_t locale = user % (sizeof(kCountriesByUser) / sizeof(char*));
+  req.country = kCountriesByUser[locale];
+  req.city = kCitiesByUser[locale];
+  req.arrival = when;
+  return req;
+}
+
+void WorkloadDriver::FirePageView(UserId user, TimeMicros when, int min_ads,
+                                  int max_ads) {
+  // Ad slots per page skew low (geometric, halving per extra slot): about
+  // half of page views carry a single ad — which is what makes "about half
+  // the users issue a single bid request per window" hold in the paper's
+  // Figure 10.
+  int slots = min_ads;
+  while (slots < max_ads && rng_.NextBool(0.5)) {
+    ++slots;
+  }
+  for (int s = 0; s < slots; ++s) {
+    // Ad slots on one page fire within a couple hundred milliseconds.
+    const TimeMicros jitter =
+        static_cast<TimeMicros>(rng_.NextBelow(200 * kMicrosPerMilli));
+    BidRequest req = MakeRequest(user, when + jitter);
+    ++requests_issued_;
+    platform_->SubmitBidRequest(std::move(req));
+  }
+}
+
+void WorkloadDriver::ScheduleHumanTraffic(const HumanTrafficConfig& config) {
+  for (uint64_t u = 0; u < config.users; ++u) {
+    const UserId user = config.first_user_id + u;
+    const TimeMicros first =
+        static_cast<TimeMicros>(rng_.NextBelow(
+            static_cast<uint64_t>(config.horizon)));
+    const int min_ads = config.min_ads_per_page;
+    const int max_ads = config.max_ads_per_page;
+    scheduler_->ScheduleAt(first, [this, user, first, min_ads, max_ads] {
+      FirePageView(user, first, min_ads, max_ads);
+    });
+    if (rng_.NextBool(config.second_page_view_prob)) {
+      const TimeMicros second =
+          static_cast<TimeMicros>(rng_.NextBelow(
+              static_cast<uint64_t>(config.horizon)));
+      scheduler_->ScheduleAt(second, [this, user, second, min_ads, max_ads] {
+        FirePageView(user, second, min_ads, max_ads);
+      });
+    }
+  }
+}
+
+void WorkloadDriver::ScheduleBot(const BotConfig& config) {
+  for (TimeMicros t = config.start; t < config.stop;
+       t += config.batch_interval) {
+    scheduler_->ScheduleAt(t, [this, config, t] {
+      for (uint64_t i = 0; i < config.requests_per_batch; ++i) {
+        // The batch lands within ~a second: a page-view storm.
+        const TimeMicros jitter =
+            static_cast<TimeMicros>(rng_.NextBelow(kMicrosPerSecond));
+        BidRequest req = MakeRequest(config.user_id, t + jitter);
+        ++requests_issued_;
+        platform_->SubmitBidRequest(std::move(req));
+      }
+    });
+  }
+}
+
+void WorkloadDriver::SchedulePoissonLoad(const PoissonLoadConfig& config) {
+  auto zipf = std::make_shared<ZipfGenerator>(config.user_population,
+                                              config.user_zipf_exponent);
+  const double mean_gap_us =
+      kMicrosPerSecond / config.requests_per_second;
+  // Self-rescheduling arrival chain.
+  auto fire = std::make_shared<std::function<void(TimeMicros)>>();
+  *fire = [this, zipf, mean_gap_us, config, fire](TimeMicros when) {
+    if (when >= config.start + config.duration) {
+      return;
+    }
+    const UserId user = 1 + zipf->Next(rng_);
+    BidRequest req = MakeRequest(user, when);
+    ++requests_issued_;
+    platform_->SubmitBidRequest(std::move(req));
+    const TimeMicros next =
+        when + std::max<TimeMicros>(
+                   1, static_cast<TimeMicros>(
+                          rng_.NextExponential(mean_gap_us)));
+    scheduler_->ScheduleAt(next, [fire, next] { (*fire)(next); });
+  };
+  scheduler_->ScheduleAt(config.start,
+                         [fire, start = config.start] { (*fire)(start); });
+}
+
+}  // namespace scrub

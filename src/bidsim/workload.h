@@ -1,0 +1,82 @@
+// Traffic generation for the synthetic bidding platform.
+//
+// Three generators, matching what the paper's case studies need:
+//  * Human browsing: each user views a page once or twice over the horizon;
+//    a page view fires a small burst of bid requests (multiple ad slots per
+//    page). This is the background of the Section 8.1 spam study: "about
+//    half of the users issue a single bid request [per window]... most users
+//    issue a single batch of bid requests during the experiment".
+//  * Spam bots: a few users issuing very large batches at high frequency —
+//    the anomaly the Figure-10 query exposes.
+//  * Poisson load: an aggregate request rate with Zipf-popular users, used
+//    by the performance experiments (E7-E9) where traffic *rate*, not user
+//    behaviour, is the variable.
+
+#ifndef SRC_BIDSIM_WORKLOAD_H_
+#define SRC_BIDSIM_WORKLOAD_H_
+
+#include <vector>
+
+#include "src/bidsim/platform.h"
+#include "src/common/rng.h"
+
+namespace scrub {
+
+struct HumanTrafficConfig {
+  uint64_t users = 10000;
+  UserId first_user_id = 1;
+  double second_page_view_prob = 0.3;  // some users come back once
+  int min_ads_per_page = 1;
+  int max_ads_per_page = 4;
+  TimeMicros horizon = 20 * kMicrosPerMinute;
+};
+
+struct BotConfig {
+  UserId user_id = 0;
+  uint64_t requests_per_batch = 120;  // large batches...
+  TimeMicros batch_interval = 15 * kMicrosPerSecond;  // ...at high frequency
+  TimeMicros start = 0;
+  TimeMicros stop = 20 * kMicrosPerMinute;
+};
+
+struct PoissonLoadConfig {
+  double requests_per_second = 1000.0;
+  TimeMicros start = 0;
+  TimeMicros duration = 30 * kMicrosPerSecond;
+  uint64_t user_population = 100000;
+  double user_zipf_exponent = 1.05;
+};
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(Scheduler* scheduler, BiddingPlatform* platform,
+                 uint64_t seed)
+      : scheduler_(scheduler), platform_(platform), rng_(seed) {}
+
+  // Schedules all page views for a human population up front (cheap: two
+  // scheduler entries per user at most; the ad-slot fan-out happens at fire
+  // time).
+  void ScheduleHumanTraffic(const HumanTrafficConfig& config);
+
+  void ScheduleBot(const BotConfig& config);
+
+  // Poisson arrivals; users drawn from a Zipf distribution. Schedules
+  // arrivals lazily (one timer chases the next arrival) so a long run does
+  // not pre-materialize millions of entries.
+  void SchedulePoissonLoad(const PoissonLoadConfig& config);
+
+  uint64_t requests_issued() const { return requests_issued_; }
+
+ private:
+  BidRequest MakeRequest(UserId user, TimeMicros when);
+  void FirePageView(UserId user, TimeMicros when, int min_ads, int max_ads);
+
+  Scheduler* scheduler_;
+  BiddingPlatform* platform_;
+  Rng rng_;
+  uint64_t requests_issued_ = 0;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_BIDSIM_WORKLOAD_H_

@@ -1,0 +1,217 @@
+// ScrubCentral: the dedicated centralized query-execution facility.
+//
+// Everything the language allows beyond selection/projection executes here
+// (Section 4): the implicit equi-join on request id, tumbling-window
+// assignment, group-by, exact aggregation (COUNT/SUM/AVG/MIN/MAX),
+// probabilistic aggregation (TOP-K via SpaceSaving, COUNT_DISTINCT via
+// HyperLogLog), and the sampling estimator of Equations 1-3.
+//
+// Execution model: batches arrive from host agents; events are decoded,
+// window-assigned by their host-side timestamp, joined per request id
+// within a window, and folded into per-(window, group) accumulators. A
+// window closes once the clock passes its end plus an allowed-lateness
+// grace (covering cross-DC transit and agent flush cadence); closing emits
+// result rows to the registered sink. Late events landing in a closed
+// window are counted and dropped — accuracy traded for bounded state,
+// exactly the paper's stance.
+
+#ifndef SRC_CENTRAL_CENTRAL_H_
+#define SRC_CENTRAL_CENTRAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/agent/agent.h"
+#include "src/common/cost_model.h"
+#include "src/event/schema.h"
+#include "src/event/wire.h"
+#include "src/plan/plan.h"
+#include "src/sketch/hyperloglog.h"
+#include "src/sketch/multistage.h"
+#include "src/sketch/space_saving.h"
+
+namespace scrub {
+
+// Group keys and mergeable aggregate state are shared with the sharded
+// deployment (ShardedCentral), whose coordinator merges per-shard partials.
+using GroupKey = std::vector<Value>;
+
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& key) const {
+    size_t seed = 0x517cc1b7;
+    for (const Value& v : key) {
+      seed ^= v.Hash() + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2);
+    }
+    return seed;
+  }
+};
+
+// One aggregate's running state within one group. Mergeable: partials from
+// independent shards combine into the same state one stream would build.
+struct AggAccumulator {
+  uint64_t count = 0;
+  double sum = 0.0;
+  bool has_minmax = false;
+  Value min_value;
+  Value max_value;
+  std::unique_ptr<HyperLogLog> hll;
+  std::unique_ptr<SpaceSaving<Value, ValueHash>> topk;
+
+  void Merge(AggAccumulator&& other);
+};
+
+// Finalizes one accumulator to its result value on the exact path (scale
+// multiplies COUNT/SUM/TOPK counts; pass 1.0 when sampling is off).
+Value FinalizeAccumulator(const AggregateSpec& spec,
+                          const AggAccumulator& acc, double scale);
+
+// One shard's finished window, shipped to the sharded coordinator.
+struct WindowPartial {
+  QueryId query_id = 0;
+  TimeMicros window_start = 0;
+  std::vector<GroupKey> keys;
+  std::vector<std::vector<AggAccumulator>> accumulators;  // parallel to keys
+};
+
+using PartialSink = std::function<void(WindowPartial&&)>;
+
+struct ResultRow {
+  QueryId query_id = 0;
+  TimeMicros window_start = 0;
+  TimeMicros window_end = 0;
+  std::vector<Value> values;          // one per select column
+  // error_bounds[i] is the ± half-width of the 95% interval when column i is
+  // a sampled COUNT/SUM (Eq. 2); 0 means exact / not applicable.
+  std::vector<double> error_bounds;
+
+  std::string ToString() const;
+};
+
+using ResultSink = std::function<void(const ResultRow&)>;
+
+struct CentralConfig {
+  // How long past a window's end central waits for stragglers.
+  TimeMicros allowed_lateness = 2 * kMicrosPerSecond;
+  // Join-state bound: at most this many distinct request ids buffered per
+  // (query, window). Beyond it, new request ids are shed and counted —
+  // accuracy traded for bounded memory, the paper's standing policy.
+  size_t max_join_requests_per_window = 1 << 20;
+  size_t topk_capacity_factor = 10;  // SpaceSaving counters per requested k
+  size_t min_topk_capacity = 100;
+  int hll_precision = 14;
+  CostModel costs;
+};
+
+struct CentralQueryStats {
+  uint64_t batches = 0;
+  uint64_t events_ingested = 0;
+  uint64_t events_late = 0;        // dropped: window already closed
+  uint64_t tuples_joined = 0;      // joined tuples processed (join queries)
+  uint64_t join_orphans = 0;       // events never matched by window close
+  uint64_t join_shed = 0;          // events dropped: join buffer at capacity
+  uint64_t groups_emitted = 0;
+  uint64_t rows_emitted = 0;
+};
+
+class ScrubCentral {
+ public:
+  ScrubCentral(const SchemaRegistry* registry, CentralConfig config = {})
+      : registry_(registry), config_(config) {}
+
+  // Registers a query; rows will flow to `sink` as windows close.
+  Status InstallQuery(const CentralPlan& plan, ResultSink sink);
+  // Shard mode: windows close by emitting mergeable per-group partials
+  // instead of finalized rows (aggregate-mode plans without sampling only;
+  // the coordinator merges and finalizes).
+  Status InstallQueryPartial(const CentralPlan& plan, PartialSink sink);
+  // Finalizes every open window (emitting rows) and forgets the query.
+  void RemoveQuery(QueryId query_id);
+  bool HasQuery(QueryId query_id) const { return queries_.count(query_id) > 0; }
+
+  // Ingests one host batch (decodes payload against the schema registry).
+  Status IngestBatch(const EventBatch& batch, TimeMicros now);
+
+  // Closes windows whose grace period has passed; retires queries whose span
+  // plus grace has passed. Call periodically from the scheduler.
+  void OnTick(TimeMicros now);
+
+  const CentralQueryStats* StatsFor(QueryId query_id) const;
+  const CostMeter& meter() const { return meter_; }
+  // State-size introspection (memory pressure experiments).
+  size_t OpenWindows(QueryId query_id) const;
+
+ private:
+  using Accumulator = AggAccumulator;
+
+  struct GroupState {
+    GroupKey key;
+    std::vector<Accumulator> accumulators;
+  };
+
+  // Per-host sampling bookkeeping within one window (Eqs. 1-3).
+  struct HostWindowStats {
+    uint64_t population = 0;  // M_i: from agent counters
+    uint64_t sampled = 0;     // m_i: from agent counters
+    uint64_t received = 0;    // events that actually arrived (post-selection)
+    // Readings per *bounded* aggregate (ungrouped scaled COUNT/SUM slots).
+    std::vector<RunningStats> readings;
+  };
+
+  struct WindowState {
+    TimeMicros start = 0;
+    std::unordered_map<GroupKey, GroupState, GroupKeyHash> groups;
+    // Join buffer: request id -> events per source (sources.size() <= 2).
+    std::unordered_map<RequestId, std::vector<std::vector<Event>>> join_state;
+    std::unordered_map<HostId, HostWindowStats> host_stats;
+    bool closed = false;
+  };
+
+  struct ActiveQuery {
+    CentralPlan plan;
+    ResultSink sink;           // row mode
+    PartialSink partial_sink;  // shard mode (exactly one of the two is set)
+    CentralQueryStats stats;
+    std::map<TimeMicros, WindowState> windows;  // keyed by window start
+    // Windows at or before this start have been emitted and erased; events
+    // mapping into them are late.
+    TimeMicros closed_through = std::numeric_limits<TimeMicros>::min();
+    // Aggregate slots that get an Eq. 1-3 treatment: scaled (COUNT/SUM),
+    // sampling active, and no GROUP BY.
+    std::vector<int> bounded_aggregates;
+    // Fallback global scale for grouped scaled aggregates under sampling.
+    bool needs_scaling = false;
+  };
+
+  TimeMicros WindowStartFor(const ActiveQuery& q, TimeMicros ts) const;
+  // All still-open windows covering ts: one for tumbling queries, up to
+  // window/slide for sliding queries. Empty when ts is out of span or every
+  // covering window has already closed (late data).
+  std::vector<WindowState*> WindowsFor(ActiveQuery& q, TimeMicros ts);
+  void ProcessEvent(ActiveQuery& q, WindowState& w, const Event& event,
+                    HostId host);
+  void ProcessTuple(ActiveQuery& q, WindowState& w, const EventTuple& tuple,
+                    HostId host);
+  void UpdateAccumulator(const AggregateSpec& spec, Accumulator* acc,
+                         const EventTuple& tuple);
+  void CloseWindow(ActiveQuery& q, WindowState* w);
+  Value FinalizeAggregate(const ActiveQuery& q, const WindowState& w,
+                          int slot, const Accumulator& acc,
+                          double group_scale, double* error_bound) const;
+  double GroupScaleFor(const ActiveQuery& q, const WindowState& w) const;
+
+  const SchemaRegistry* registry_;
+  CentralConfig config_;
+  CostMeter meter_;
+  std::unordered_map<QueryId, ActiveQuery> queries_;
+  std::unordered_map<QueryId, CentralQueryStats> retired_stats_;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_CENTRAL_CENTRAL_H_

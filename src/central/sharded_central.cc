@@ -1,0 +1,189 @@
+#include "src/central/sharded_central.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/strings.h"
+#include "src/event/wire.h"
+#include "src/sketch/hyperloglog.h"
+
+namespace scrub {
+
+ShardedCentral::ShardedCentral(const SchemaRegistry* registry, size_t shards,
+                               CentralConfig config)
+    : registry_(registry), config_(config) {
+  assert(shards > 0);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<ScrubCentral>(registry, config));
+  }
+}
+
+Status ShardedCentral::InstallQuery(const CentralPlan& plan,
+                                    ResultSink sink) {
+  if (sink == nullptr) {
+    return InvalidArgument("result sink must be set");
+  }
+  if (coordinators_.count(plan.query_id) > 0) {
+    return AlreadyExists(StrFormat(
+        "query %llu already installed",
+        static_cast<unsigned long long>(plan.query_id)));
+  }
+  // Install in partial mode on every shard first; roll back on failure so a
+  // rejected plan leaves no residue.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Status s = shards_[i]->InstallQueryPartial(
+        plan, [this](WindowPartial&& partial) {
+          AbsorbPartial(std::move(partial));
+        });
+    if (!s.ok()) {
+      for (size_t j = 0; j < i; ++j) {
+        shards_[j]->RemoveQuery(plan.query_id);
+      }
+      return s;
+    }
+  }
+  Coordinator c;
+  c.plan = plan;
+  c.sink = std::move(sink);
+  coordinators_.emplace(plan.query_id, std::move(c));
+  return OkStatus();
+}
+
+void ShardedCentral::RemoveQuery(QueryId query_id) {
+  // Shards flush their open windows (partials land in the coordinator),
+  // then the coordinator finalizes whatever it holds.
+  for (auto& shard : shards_) {
+    shard->RemoveQuery(query_id);
+  }
+  const auto it = coordinators_.find(query_id);
+  if (it == coordinators_.end()) {
+    return;
+  }
+  for (auto& [start, groups] : it->second.windows) {
+    FinalizeWindow(it->second, start, groups);
+  }
+  coordinators_.erase(it);
+}
+
+Status ShardedCentral::IngestBatch(const EventBatch& batch, TimeMicros now) {
+  if (coordinators_.count(batch.query_id) == 0) {
+    return OkStatus();  // raced teardown, mirror ScrubCentral's behaviour
+  }
+  if (batch.event_count == 0) {
+    return OkStatus();
+  }
+  Result<std::vector<Event>> events = DecodeBatch(*registry_, batch.payload);
+  if (!events.ok()) {
+    return events.status();
+  }
+  // Re-bucket by request id so join partners colocate.
+  std::vector<std::vector<Event>> buckets(shards_.size());
+  for (Event& event : *events) {
+    const size_t shard = static_cast<size_t>(
+        HashMix64(event.request_id()) % shards_.size());
+    buckets[shard].push_back(std::move(event));
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (buckets[i].empty()) {
+      continue;
+    }
+    EventBatch sub;
+    sub.query_id = batch.query_id;
+    sub.host = batch.host;
+    sub.event_count = buckets[i].size();
+    sub.payload = EncodeBatch(buckets[i]);
+    Status s = shards_[i]->IngestBatch(sub, now);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return OkStatus();
+}
+
+void ShardedCentral::AbsorbPartial(WindowPartial&& partial) {
+  const auto it = coordinators_.find(partial.query_id);
+  if (it == coordinators_.end()) {
+    return;
+  }
+  auto& window = it->second.windows[partial.window_start];
+  for (size_t g = 0; g < partial.keys.size(); ++g) {
+    auto& merged = window[partial.keys[g]];
+    if (merged.empty()) {
+      merged = std::move(partial.accumulators[g]);
+      continue;
+    }
+    for (size_t a = 0; a < merged.size(); ++a) {
+      merged[a].Merge(std::move(partial.accumulators[g][a]));
+    }
+  }
+}
+
+void ShardedCentral::FinalizeWindow(
+    Coordinator& c, TimeMicros start,
+    std::unordered_map<GroupKey, std::vector<AggAccumulator>, GroupKeyHash>&
+        groups) {
+  const CentralPlan& plan = c.plan;
+  // Ungrouped queries emit a row even for empty windows (series stay
+  // continuous), matching single-instance behaviour.
+  if (plan.group_by.empty() && groups.empty()) {
+    groups[GroupKey{}].resize(plan.aggregates.size());
+  }
+  for (auto& [key, accumulators] : groups) {
+    if (accumulators.empty()) {
+      accumulators.resize(plan.aggregates.size());
+    }
+    std::vector<Value> agg_values(plan.aggregates.size());
+    for (size_t i = 0; i < plan.aggregates.size(); ++i) {
+      agg_values[i] =
+          FinalizeAccumulator(plan.aggregates[i], accumulators[i], 1.0);
+    }
+    ResultRow row;
+    row.query_id = plan.query_id;
+    row.window_start = start;
+    row.window_end = start + plan.window_micros;
+    for (const OutputColumn& column : plan.outputs) {
+      row.values.push_back(EvalOutputExpr(column.expr, key, agg_values));
+      row.error_bounds.push_back(0.0);
+    }
+    c.sink(row);
+  }
+}
+
+void ShardedCentral::OnTick(TimeMicros now) {
+  for (auto& shard : shards_) {
+    shard->OnTick(now);
+  }
+  // Shards have emitted every window whose end + lateness has passed (and
+  // retired expired queries, flushing the rest); finalize those windows.
+  for (auto cit = coordinators_.begin(); cit != coordinators_.end();) {
+    Coordinator& c = cit->second;
+    for (auto wit = c.windows.begin(); wit != c.windows.end();) {
+      const TimeMicros window_end = wit->first + c.plan.window_micros;
+      if (window_end + config_.allowed_lateness <= now ||
+          now >= c.plan.end_time + config_.allowed_lateness) {
+        FinalizeWindow(c, wit->first, wit->second);
+        wit = c.windows.erase(wit);
+      } else {
+        ++wit;
+      }
+    }
+    if (now >= c.plan.end_time + config_.allowed_lateness) {
+      cit = coordinators_.erase(cit);
+    } else {
+      ++cit;
+    }
+  }
+}
+
+std::vector<uint64_t> ShardedCentral::ShardLoads(QueryId query_id) const {
+  std::vector<uint64_t> loads;
+  loads.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const CentralQueryStats* stats = shard->StatsFor(query_id);
+    loads.push_back(stats == nullptr ? 0 : stats->events_ingested);
+  }
+  return loads;
+}
+
+}  // namespace scrub

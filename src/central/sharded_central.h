@@ -1,0 +1,85 @@
+// ShardedCentral: a small ScrubCentral cluster.
+//
+// The paper notes that "only a small ScrubCentral cluster was needed" even
+// for fleet-wide queries — central execution scales out because the work is
+// partitionable. This deployment runs N ScrubCentral shards behind a
+// router:
+//
+//  * Incoming batches are re-bucketed per event by request-id hash, so both
+//    sides of the request-id equi-join land on the same shard and every
+//    shard runs the ordinary single-instance pipeline on its slice.
+//  * Shards run in partial mode: closing a window emits mergeable per-group
+//    state (counts, sums, min/max, HyperLogLog registers, SpaceSaving
+//    summaries) instead of rows.
+//  * The coordinator merges the shards' partials per (window, group) and
+//    finalizes exactly one row stream — identical, for exact aggregates, to
+//    what a single instance would produce (tested).
+//
+// Restriction: sampled queries are refused here. Sampling exists to make a
+// query *small*; sharding exists to make a *large* query fit. The two knobs
+// address opposite regimes, and the Eq. 1-3 estimator needs a global view
+// of per-host populations that slicing by request id would destroy.
+
+#ifndef SRC_CENTRAL_SHARDED_CENTRAL_H_
+#define SRC_CENTRAL_SHARDED_CENTRAL_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/central/central.h"
+
+namespace scrub {
+
+class ShardedCentral {
+ public:
+  ShardedCentral(const SchemaRegistry* registry, size_t shards,
+                 CentralConfig config = {});
+
+  // Aggregate-mode plans only (raw-mode queries don't need merging — they
+  // shard trivially); sampling-active plans are refused (see above).
+  Status InstallQuery(const CentralPlan& plan, ResultSink sink);
+  void RemoveQuery(QueryId query_id);
+  bool HasQuery(QueryId query_id) const {
+    return coordinators_.count(query_id) > 0;
+  }
+
+  // Routes the batch's events to shards by request-id hash. The batch's
+  // sampling counters are dropped (no sampling in sharded mode).
+  Status IngestBatch(const EventBatch& batch, TimeMicros now);
+
+  // Ticks every shard, then finalizes coordinator windows whose lateness
+  // bound has passed on all shards.
+  void OnTick(TimeMicros now);
+
+  size_t shard_count() const { return shards_.size(); }
+  const ScrubCentral& shard(size_t i) const { return *shards_[i]; }
+  // Events each shard ingested (balance diagnostics).
+  std::vector<uint64_t> ShardLoads(QueryId query_id) const;
+
+ private:
+  struct Coordinator {
+    CentralPlan plan;
+    ResultSink sink;
+    // window -> group key -> merged accumulators.
+    std::map<TimeMicros,
+             std::unordered_map<GroupKey, std::vector<AggAccumulator>,
+                                GroupKeyHash>>
+        windows;
+  };
+
+  void AbsorbPartial(WindowPartial&& partial);
+  void FinalizeWindow(Coordinator& c, TimeMicros start,
+                      std::unordered_map<GroupKey, std::vector<AggAccumulator>,
+                                         GroupKeyHash>& groups);
+
+  const SchemaRegistry* registry_;
+  CentralConfig config_;
+  std::vector<std::unique_ptr<ScrubCentral>> shards_;
+  std::unordered_map<QueryId, Coordinator> coordinators_;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_CENTRAL_SHARDED_CENTRAL_H_

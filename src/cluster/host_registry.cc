@@ -1,0 +1,93 @@
+#include "src/cluster/host_registry.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/strings.h"
+
+namespace scrub {
+
+HostId HostRegistry::AddHost(std::string name, std::string service,
+                             std::string datacenter, bool monitorable) {
+  HostInfo info;
+  info.id = static_cast<HostId>(hosts_.size());
+  info.name = std::move(name);
+  info.service = std::move(service);
+  info.datacenter = std::move(datacenter);
+  info.monitorable = monitorable;
+  hosts_.push_back(std::move(info));
+  meters_.emplace_back();
+  return hosts_.back().id;
+}
+
+Result<HostId> HostRegistry::FindByName(std::string_view name) const {
+  for (const HostInfo& h : hosts_) {
+    if (h.name == name) {
+      return h.id;
+    }
+  }
+  return NotFound(StrFormat("unknown host '%.*s'",
+                            static_cast<int>(name.size()), name.data()));
+}
+
+Result<std::vector<HostId>> HostRegistry::Resolve(
+    const TargetSpec& targets) const {
+  // Validate names first so a typo is an error, not an empty result.
+  for (const std::string& service : targets.services) {
+    if (std::none_of(hosts_.begin(), hosts_.end(), [&](const HostInfo& h) {
+          return h.service == service;
+        })) {
+      return NotFound(StrFormat("unknown service '%s'", service.c_str()));
+    }
+  }
+  for (const std::string& dc : targets.datacenters) {
+    if (std::none_of(hosts_.begin(), hosts_.end(), [&](const HostInfo& h) {
+          return h.datacenter == dc;
+        })) {
+      return NotFound(StrFormat("unknown data center '%s'", dc.c_str()));
+    }
+  }
+  std::unordered_set<std::string> host_allowlist;
+  for (const std::string& name : targets.hosts) {
+    Result<HostId> id = FindByName(name);
+    if (!id.ok()) {
+      return id.status();
+    }
+    host_allowlist.insert(name);
+  }
+
+  std::vector<HostId> out;
+  for (const HostInfo& h : hosts_) {
+    if (!h.monitorable) {
+      continue;
+    }
+    if (!targets.services.empty() &&
+        std::find(targets.services.begin(), targets.services.end(),
+                  h.service) == targets.services.end()) {
+      continue;
+    }
+    if (!host_allowlist.empty() && host_allowlist.count(h.name) == 0) {
+      continue;
+    }
+    if (!targets.datacenters.empty() &&
+        std::find(targets.datacenters.begin(), targets.datacenters.end(),
+                  h.datacenter) == targets.datacenters.end()) {
+      continue;
+    }
+    out.push_back(h.id);
+  }
+  return out;
+}
+
+std::vector<HostId> HostRegistry::HostsInService(
+    std::string_view service) const {
+  std::vector<HostId> out;
+  for (const HostInfo& h : hosts_) {
+    if (h.service == service) {
+      out.push_back(h.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace scrub

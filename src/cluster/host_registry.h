@@ -1,0 +1,63 @@
+// The simulated fleet: hosts, services, data centers, and resolution of a
+// query's @[...] target clause against them.
+//
+// Putting target selection in the registry (rather than filtering events by
+// host name after the fact) is what lets Scrub keep non-targeted hosts
+// completely free of query work (Section 3.2, "Target hosts").
+
+#ifndef SRC_CLUSTER_HOST_REGISTRY_H_
+#define SRC_CLUSTER_HOST_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/cost_model.h"
+#include "src/common/status.h"
+#include "src/query/ast.h"
+
+namespace scrub {
+
+using HostId = int;
+inline constexpr HostId kInvalidHost = -1;
+
+struct HostInfo {
+  HostId id = kInvalidHost;
+  std::string name;        // "bid-sj-0001"
+  std::string service;     // "BidServers", "AdServers", ...
+  std::string datacenter;  // "DC1", ...
+  bool monitorable = true; // false for Scrub's own infrastructure
+};
+
+class HostRegistry {
+ public:
+  HostId AddHost(std::string name, std::string service,
+                 std::string datacenter, bool monitorable = true);
+
+  const HostInfo& Get(HostId id) const { return hosts_[static_cast<size_t>(id)]; }
+  size_t size() const { return hosts_.size(); }
+
+  Result<HostId> FindByName(std::string_view name) const;
+
+  // All monitorable hosts matching every term of the target clause. An
+  // unrestricted clause matches every monitorable host. Unknown service /
+  // host / datacenter names yield kNotFound, so a typo fails the query at
+  // submission instead of silently matching nothing.
+  Result<std::vector<HostId>> Resolve(const TargetSpec& targets) const;
+
+  std::vector<HostId> HostsInService(std::string_view service) const;
+
+  // Per-host CPU meters: the application and the Scrub agent on a host
+  // charge their work here.
+  CostMeter& meter(HostId id) { return meters_[static_cast<size_t>(id)]; }
+  const CostMeter& meter(HostId id) const {
+    return meters_[static_cast<size_t>(id)];
+  }
+
+ private:
+  std::vector<HostInfo> hosts_;
+  std::vector<CostMeter> meters_;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_CLUSTER_HOST_REGISTRY_H_

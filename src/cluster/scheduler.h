@@ -1,0 +1,81 @@
+// Discrete-event scheduler driving the simulated cluster.
+//
+// Single-threaded and deterministic: events fire in (time, insertion order).
+// All components — the synthetic bidding platform, Scrub agents, transport
+// deliveries, ScrubCentral windows — run as callbacks on this loop against
+// the shared SimClock.
+
+#ifndef SRC_CLUSTER_SCHEDULER_H_
+#define SRC_CLUSTER_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace scrub {
+
+class Scheduler {
+ public:
+  explicit Scheduler(TimeMicros start = 0) : clock_(start) {}
+
+  const SimClock& clock() const { return clock_; }
+  TimeMicros Now() const { return clock_.Now(); }
+
+  void ScheduleAt(TimeMicros when, std::function<void()> fn) {
+    if (when < clock_.Now()) {
+      when = clock_.Now();
+    }
+    queue_.push(Item{when, next_seq_++, std::move(fn)});
+  }
+
+  void ScheduleAfter(TimeMicros delay, std::function<void()> fn) {
+    ScheduleAt(clock_.Now() + delay, std::move(fn));
+  }
+
+  // Runs all events with time <= until, advancing the clock as it goes, then
+  // advances the clock to `until`.
+  void RunUntil(TimeMicros until) {
+    while (!queue_.empty() && queue_.top().when <= until) {
+      Item item = std::move(const_cast<Item&>(queue_.top()));
+      queue_.pop();
+      clock_.AdvanceTo(item.when);
+      item.fn();
+    }
+    clock_.AdvanceTo(until);
+  }
+
+  // Runs until the queue drains.
+  void RunAll() {
+    while (!queue_.empty()) {
+      Item item = std::move(const_cast<Item&>(queue_.top()));
+      queue_.pop();
+      clock_.AdvanceTo(item.when);
+      item.fn();
+    }
+  }
+
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Item {
+    TimeMicros when;
+    uint64_t seq;
+    std::function<void()> fn;
+
+    bool operator>(const Item& other) const {
+      return when != other.when ? when > other.when : seq > other.seq;
+    }
+  };
+
+  SimClock clock_;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_CLUSTER_SCHEDULER_H_

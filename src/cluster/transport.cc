@@ -1,0 +1,58 @@
+#include "src/cluster/transport.h"
+
+namespace scrub {
+
+const char* TrafficCategoryName(TrafficCategory category) {
+  switch (category) {
+    case TrafficCategory::kAppTraffic:
+      return "app_traffic";
+    case TrafficCategory::kScrubControl:
+      return "scrub_control";
+    case TrafficCategory::kScrubEvents:
+      return "scrub_events";
+    case TrafficCategory::kScrubResults:
+      return "scrub_results";
+    case TrafficCategory::kBaselineLog:
+      return "baseline_log";
+    case TrafficCategory::kCategoryCount:
+      break;
+  }
+  return "unknown";
+}
+
+TimeMicros Transport::LatencyBetween(HostId from, HostId to) const {
+  if (from == to) {
+    return config_.same_host_latency;
+  }
+  const HostInfo& a = registry_->Get(from);
+  const HostInfo& b = registry_->Get(to);
+  return a.datacenter == b.datacenter ? config_.same_dc_latency
+                                      : config_.cross_dc_latency;
+}
+
+void Transport::Send(HostId from, HostId to, size_t bytes,
+                     TrafficCategory category,
+                     std::function<void()> deliver) {
+  bytes_by_category_[static_cast<size_t>(category)] += bytes;
+  messages_by_category_[static_cast<size_t>(category)] += 1;
+  const TimeMicros latency =
+      LatencyBetween(from, to) +
+      static_cast<TimeMicros>(config_.micros_per_byte *
+                              static_cast<double>(bytes));
+  scheduler_->ScheduleAfter(latency, std::move(deliver));
+}
+
+uint64_t Transport::total_bytes() const {
+  uint64_t total = 0;
+  for (const uint64_t b : bytes_by_category_) {
+    total += b;
+  }
+  return total;
+}
+
+void Transport::ResetCounters() {
+  bytes_by_category_.fill(0);
+  messages_by_category_.fill(0);
+}
+
+}  // namespace scrub

@@ -1,0 +1,79 @@
+// A fixed-capacity FIFO that sheds on overflow.
+//
+// This is the core of Scrub's "never block the application" discipline: the
+// agent's outbound staging buffer is bounded, and when the buffer is full the
+// newest event is dropped and counted, rather than back-pressuring the
+// application thread that called log().
+
+#ifndef SRC_COMMON_BOUNDED_BUFFER_H_
+#define SRC_COMMON_BOUNDED_BUFFER_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace scrub {
+
+template <typename T>
+class BoundedBuffer {
+ public:
+  explicit BoundedBuffer(size_t capacity)
+      : capacity_(capacity), slots_(capacity) {
+    assert(capacity > 0);
+  }
+
+  // Returns false (and increments dropped()) when full. Never blocks.
+  bool TryPush(T value) {
+    if (size_ == capacity_) {
+      ++dropped_;
+      return false;
+    }
+    slots_[tail_] = std::move(value);
+    tail_ = (tail_ + 1) % capacity_;
+    ++size_;
+    return true;
+  }
+
+  bool TryPop(T* out) {
+    if (size_ == 0) {
+      return false;
+    }
+    *out = std::move(slots_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return true;
+  }
+
+  // Drains up to max_items into out (appended); returns the count drained.
+  size_t DrainInto(std::vector<T>* out, size_t max_items) {
+    size_t n = 0;
+    T item;
+    while (n < max_items && TryPop(&item)) {
+      out->push_back(std::move(item));
+      ++n;
+    }
+    return n;
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+
+  // Total number of pushes rejected because the buffer was full.
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  const size_t capacity_;
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t tail_ = 0;
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_COMMON_BOUNDED_BUFFER_H_

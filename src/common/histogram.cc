@@ -1,0 +1,51 @@
+#include "src/common/histogram.h"
+
+#include "src/common/strings.h"
+
+namespace scrub {
+
+int64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += counts_[b];
+    if (cumulative >= target && counts_[b] > 0) {
+      return std::min(BucketUpper(b), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+}
+
+void Histogram::Reset() {
+  counts_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<int64_t>::max();
+  max_ = std::numeric_limits<int64_t>::min();
+}
+
+std::string Histogram::Summary() const {
+  return StrFormat("count=%llu mean=%.2f p50=%lld p95=%lld p99=%lld max=%lld",
+                   static_cast<unsigned long long>(count_), mean(),
+                   static_cast<long long>(p50()), static_cast<long long>(p95()),
+                   static_cast<long long>(p99()), static_cast<long long>(max()));
+}
+
+}  // namespace scrub

@@ -1,0 +1,142 @@
+// Deterministic random number generation.
+//
+// Everything stochastic in the simulation (traffic arrival, user behaviour,
+// sampling coin flips) draws from explicitly seeded generators so that every
+// experiment is exactly reproducible. We use xoshiro256** seeded through
+// SplitMix64, the standard recipe.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace scrub {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 to spread a small seed over the full 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // xoshiro256**.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection to stay unbiased.
+  uint64_t NextBelow(uint64_t bound) {
+    assert(bound > 0);
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const uint64_t r = NextUint64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli(p).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Exponentially distributed with the given mean (> 0); used for Poisson
+  // inter-arrival times.
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -mean * std::log(u);
+  }
+
+  // Standard normal via Marsaglia polar method.
+  double NextGaussian() {
+    for (;;) {
+      const double u = 2.0 * NextDouble() - 1.0;
+      const double v = 2.0 * NextDouble() - 1.0;
+      const double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) {
+        return u * std::sqrt(-2.0 * std::log(s) / s);
+      }
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+// Zipfian distribution over {0, ..., n-1} with exponent s, via precomputed
+// CDF + binary search. Ad-tech key popularity (users, line items, publishers)
+// is heavy-tailed, which is what makes TOP-K / COUNT_DISTINCT interesting.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double s) : cdf_(n) {
+    assert(n > 0);
+    double sum = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) {
+      c /= sum;
+    }
+  }
+
+  uint64_t Next(Rng& rng) const {
+    const double u = rng.NextDouble();
+    // First index with cdf >= u.
+    uint64_t lo = 0;
+    uint64_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const uint64_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  uint64_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_COMMON_RNG_H_

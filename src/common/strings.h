@@ -1,0 +1,35 @@
+// Small string helpers shared across modules.
+
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scrub {
+
+// Splits on a single character; empty pieces are kept.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+// Joins with a separator.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+// ASCII-only case mapping (query keywords are ASCII).
+std::string AsciiToLower(std::string_view text);
+std::string AsciiToUpper(std::string_view text);
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace scrub
+
+#endif  // SRC_COMMON_STRINGS_H_

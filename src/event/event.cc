@@ -1,0 +1,77 @@
+#include "src/event/event.h"
+
+#include "src/common/strings.h"
+
+namespace scrub {
+
+Status Event::SetFieldByName(std::string_view name, Value value) {
+  const int idx = schema_->FieldIndex(name);
+  if (idx < 0) {
+    return NotFound(StrFormat("event type '%s' has no field '%.*s'",
+                              schema_->type_name().c_str(),
+                              static_cast<int>(name.size()), name.data()));
+  }
+  const FieldType declared = schema_->field(static_cast<size_t>(idx)).type;
+  if (!value.ConformsTo(declared)) {
+    return InvalidArgument(StrFormat(
+        "field '%.*s' of event type '%s' declared %s, got %s",
+        static_cast<int>(name.size()), name.data(),
+        schema_->type_name().c_str(), FieldTypeName(declared),
+        value.ToString().c_str()));
+  }
+  fields_[static_cast<size_t>(idx)] = std::move(value);
+  return OkStatus();
+}
+
+Value Event::GetField(std::string_view name) const {
+  if (name == kRequestIdField) {
+    return Value(static_cast<int64_t>(request_id_));
+  }
+  if (name == kTimestampField) {
+    return Value(static_cast<int64_t>(timestamp_));
+  }
+  const int idx = schema_->FieldIndex(name);
+  if (idx < 0) {
+    return Value::Null();
+  }
+  return fields_[static_cast<size_t>(idx)];
+}
+
+Status Event::Validate() const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (!fields_[i].ConformsTo(schema_->field(i).type)) {
+      return InvalidArgument(StrFormat(
+          "field '%s' of event type '%s' declared %s, got %s",
+          schema_->field(i).name.c_str(), schema_->type_name().c_str(),
+          FieldTypeName(schema_->field(i).type),
+          fields_[i].ToString().c_str()));
+    }
+  }
+  return OkStatus();
+}
+
+size_t Event::WireSize() const {
+  // Header: type-name length + name + request id + timestamp.
+  size_t n = 4 + schema_->type_name().size() + 8 + 8;
+  for (const Value& v : fields_) {
+    n += v.WireSize();
+  }
+  return n;
+}
+
+std::string Event::ToString() const {
+  std::string out = schema_->type_name();
+  out += StrFormat("{rid=%llu, ts=%lld",
+                   static_cast<unsigned long long>(request_id_),
+                   static_cast<long long>(timestamp_));
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    out += ", ";
+    out += schema_->field(i).name;
+    out += "=";
+    out += fields_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace scrub

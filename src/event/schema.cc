@@ -1,0 +1,106 @@
+#include "src/event/schema.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace scrub {
+
+EventSchema::EventSchema(std::string type_name, std::vector<FieldDef> fields)
+    : type_name_(std::move(type_name)), fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, static_cast<int>(i));
+  }
+}
+
+int EventSchema::FieldIndex(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+bool EventSchema::HasField(std::string_view name) const {
+  return name == kRequestIdField || name == kTimestampField ||
+         FieldIndex(name) >= 0;
+}
+
+Result<FieldType> EventSchema::FieldTypeOf(std::string_view name) const {
+  if (name == kRequestIdField) {
+    return FieldType::kLong;
+  }
+  if (name == kTimestampField) {
+    return FieldType::kDateTime;
+  }
+  const int idx = FieldIndex(name);
+  if (idx < 0) {
+    return NotFound(StrFormat("event type '%s' has no field '%.*s'",
+                              type_name_.c_str(),
+                              static_cast<int>(name.size()), name.data()));
+  }
+  return fields_[static_cast<size_t>(idx)].type;
+}
+
+Result<SchemaPtr> EventSchema::Builder::Build() const {
+  if (type_name_.empty()) {
+    return InvalidArgument("event type name must be non-empty");
+  }
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const std::string& name = fields_[i].name;
+    if (name.empty()) {
+      return InvalidArgument(
+          StrFormat("event type '%s': field names must be non-empty",
+                    type_name_.c_str()));
+    }
+    if (name == kRequestIdField || name == kTimestampField) {
+      return InvalidArgument(
+          StrFormat("event type '%s': field '%s' shadows a system field",
+                    type_name_.c_str(), name.c_str()));
+    }
+    for (size_t j = i + 1; j < fields_.size(); ++j) {
+      if (fields_[j].name == name) {
+        return InvalidArgument(
+            StrFormat("event type '%s': duplicate field '%s'",
+                      type_name_.c_str(), name.c_str()));
+      }
+    }
+  }
+  return SchemaPtr(new EventSchema(type_name_, fields_));
+}
+
+Status SchemaRegistry::Register(SchemaPtr schema) {
+  if (schema == nullptr) {
+    return InvalidArgument("null schema");
+  }
+  const auto [it, inserted] = schemas_.emplace(schema->type_name(), schema);
+  (void)it;
+  if (!inserted) {
+    return AlreadyExists(StrFormat("event type '%s' already registered",
+                                   schema->type_name().c_str()));
+  }
+  return OkStatus();
+}
+
+Result<SchemaPtr> SchemaRegistry::Get(std::string_view type_name) const {
+  const auto it = schemas_.find(std::string(type_name));
+  if (it == schemas_.end()) {
+    return NotFound(StrFormat("unknown event type '%.*s'",
+                              static_cast<int>(type_name.size()),
+                              type_name.data()));
+  }
+  return it->second;
+}
+
+bool SchemaRegistry::Contains(std::string_view type_name) const {
+  return schemas_.count(std::string(type_name)) > 0;
+}
+
+std::vector<std::string> SchemaRegistry::TypeNames() const {
+  std::vector<std::string> names;
+  names.reserve(schemas_.size());
+  for (const auto& [name, schema] : schemas_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace scrub

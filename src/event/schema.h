@@ -1,0 +1,103 @@
+// Event type definitions and the schema registry.
+//
+// Mirrors the paper's @ScrubType/@ScrubField annotations (Figure 1): an event
+// type has a string label and a list of typed fields. Scrub adds exactly two
+// system fields to every event — a unique request identifier and a timestamp
+// — which are addressable in queries as `__request_id` and `__timestamp`.
+// Schemas are registered statically at application startup; there is no
+// dynamic instrumentation (Section 5 design choice).
+
+#ifndef SRC_EVENT_SCHEMA_H_
+#define SRC_EVENT_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/event/value.h"
+
+namespace scrub {
+
+// Names of the two system fields Scrub annotates onto every event.
+inline constexpr std::string_view kRequestIdField = "__request_id";
+inline constexpr std::string_view kTimestampField = "__timestamp";
+
+struct FieldDef {
+  std::string name;
+  FieldType type;
+};
+
+class EventSchema {
+ public:
+  // Fluent construction:
+  //   EventSchema::Builder("bid")
+  //       .AddField("exchange_id", FieldType::kLong)
+  //       .AddField("bid_price", FieldType::kDouble)
+  //       .Build();
+  class Builder;
+
+  const std::string& type_name() const { return type_name_; }
+  const std::vector<FieldDef>& fields() const { return fields_; }
+  size_t field_count() const { return fields_.size(); }
+
+  // Index of a user field, or -1. System fields are NOT in this table; they
+  // live on the Event itself.
+  int FieldIndex(std::string_view name) const;
+  // True for user fields and the two system fields alike.
+  bool HasField(std::string_view name) const;
+  // Type of a user or system field (__request_id -> long,
+  // __timestamp -> datetime). kNotFound for unknown names.
+  Result<FieldType> FieldTypeOf(std::string_view name) const;
+
+  const FieldDef& field(size_t i) const { return fields_[i]; }
+
+ private:
+  EventSchema(std::string type_name, std::vector<FieldDef> fields);
+
+  std::string type_name_;
+  std::vector<FieldDef> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+class EventSchema::Builder {
+ public:
+  explicit Builder(std::string type_name) : type_name_(std::move(type_name)) {}
+
+  Builder& AddField(std::string name, FieldType type) {
+    fields_.push_back({std::move(name), type});
+    return *this;
+  }
+
+  // Fails on empty type name, duplicate field names, or a user field that
+  // shadows a system field.
+  Result<std::shared_ptr<const EventSchema>> Build() const;
+
+ private:
+  std::string type_name_;
+  std::vector<FieldDef> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<const EventSchema>;
+
+// Process-wide table of event types, shared by the application (to log
+// events), the query server (to validate queries) and ScrubCentral (to decode
+// the wire format).
+class SchemaRegistry {
+ public:
+  Status Register(SchemaPtr schema);
+  Result<SchemaPtr> Get(std::string_view type_name) const;
+  bool Contains(std::string_view type_name) const;
+  std::vector<std::string> TypeNames() const;
+  size_t size() const { return schemas_.size(); }
+
+ private:
+  std::unordered_map<std::string, SchemaPtr> schemas_;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_EVENT_SCHEMA_H_

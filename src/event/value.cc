@@ -1,0 +1,351 @@
+#include "src/event/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "src/common/strings.h"
+
+namespace scrub {
+
+const char* FieldTypeName(FieldType type) {
+  switch (type) {
+    case FieldType::kBool:
+      return "bool";
+    case FieldType::kInt:
+      return "int";
+    case FieldType::kLong:
+      return "long";
+    case FieldType::kFloat:
+      return "float";
+    case FieldType::kDouble:
+      return "double";
+    case FieldType::kDateTime:
+      return "datetime";
+    case FieldType::kString:
+      return "string";
+    case FieldType::kBoolList:
+      return "bool_list";
+    case FieldType::kIntList:
+      return "int_list";
+    case FieldType::kLongList:
+      return "long_list";
+    case FieldType::kFloatList:
+      return "float_list";
+    case FieldType::kDoubleList:
+      return "double_list";
+    case FieldType::kStringList:
+      return "string_list";
+    case FieldType::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+Result<FieldType> FieldTypeFromName(std::string_view name) {
+  static const std::pair<const char*, FieldType> kNames[] = {
+      {"bool", FieldType::kBool},
+      {"int", FieldType::kInt},
+      {"long", FieldType::kLong},
+      {"float", FieldType::kFloat},
+      {"double", FieldType::kDouble},
+      {"datetime", FieldType::kDateTime},
+      {"string", FieldType::kString},
+      {"bool_list", FieldType::kBoolList},
+      {"int_list", FieldType::kIntList},
+      {"long_list", FieldType::kLongList},
+      {"float_list", FieldType::kFloatList},
+      {"double_list", FieldType::kDoubleList},
+      {"string_list", FieldType::kStringList},
+      {"object", FieldType::kObject},
+  };
+  for (const auto& [n, t] : kNames) {
+    if (EqualsIgnoreCase(name, n)) {
+      return t;
+    }
+  }
+  return NotFound(StrFormat("unknown field type '%.*s'",
+                            static_cast<int>(name.size()), name.data()));
+}
+
+bool IsListType(FieldType type) {
+  switch (type) {
+    case FieldType::kBoolList:
+    case FieldType::kIntList:
+    case FieldType::kLongList:
+    case FieldType::kFloatList:
+    case FieldType::kDoubleList:
+    case FieldType::kStringList:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FieldType ListElementType(FieldType type) {
+  switch (type) {
+    case FieldType::kBoolList:
+      return FieldType::kBool;
+    case FieldType::kIntList:
+      return FieldType::kInt;
+    case FieldType::kLongList:
+      return FieldType::kLong;
+    case FieldType::kFloatList:
+      return FieldType::kFloat;
+    case FieldType::kDoubleList:
+      return FieldType::kDouble;
+    case FieldType::kStringList:
+      return FieldType::kString;
+    default:
+      return type;
+  }
+}
+
+bool IsOrderedType(FieldType type) {
+  switch (type) {
+    case FieldType::kInt:
+    case FieldType::kLong:
+    case FieldType::kFloat:
+    case FieldType::kDouble:
+    case FieldType::kDateTime:
+    case FieldType::kString:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsNumericType(FieldType type) {
+  switch (type) {
+    case FieldType::kInt:
+    case FieldType::kLong:
+    case FieldType::kFloat:
+    case FieldType::kDouble:
+    case FieldType::kDateTime:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const Value* NestedObject::Find(std::string_view name) const {
+  for (const auto& [field_name, value] : fields) {
+    if (field_name == name) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+bool NestedObject::operator==(const NestedObject& other) const {
+  return fields == other.fields;
+}
+
+bool Value::ConformsTo(FieldType type) const {
+  if (is_null()) {
+    return true;
+  }
+  switch (type) {
+    case FieldType::kBool:
+      return is_bool();
+    case FieldType::kInt:
+    case FieldType::kLong:
+    case FieldType::kDateTime:
+      return is_int();
+    case FieldType::kFloat:
+    case FieldType::kDouble:
+      return is_double() || is_int();
+    case FieldType::kString:
+      return is_string();
+    case FieldType::kObject:
+      return is_object();
+    default:
+      break;
+  }
+  if (IsListType(type)) {
+    if (!is_list()) {
+      return false;
+    }
+    const FieldType elem = ListElementType(type);
+    for (const Value& v : AsList()) {
+      if (!v.ConformsTo(elem)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+bool Value::operator==(const Value& other) const {
+  // Numeric cross-class equality (int 2 == double 2.0) keeps join keys sane
+  // when one side logs a long and the other a double.
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) {
+      return AsInt() == other.AsInt();
+    }
+    return AsNumber() == other.AsNumber();
+  }
+  if (data_.index() != other.data_.index()) {
+    return false;
+  }
+  if (is_object()) {
+    return AsObject() == other.AsObject();
+  }
+  return data_ == other.data_;
+}
+
+int Value::Compare(const Value& other) const {
+  const bool numeric = is_numeric() && other.is_numeric();
+  if (!numeric && ClassRank() != other.ClassRank()) {
+    return ClassRank() < other.ClassRank() ? -1 : 1;
+  }
+  if (is_null()) {
+    return 0;
+  }
+  if (numeric) {
+    if (is_int() && other.is_int()) {
+      const int64_t a = AsInt();
+      const int64_t b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = AsNumber();
+    const double b = other.AsNumber();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (is_bool()) {
+    return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+  }
+  if (is_string()) {
+    return AsString().compare(other.AsString());
+  }
+  if (is_list()) {
+    const auto& a = AsList();
+    const auto& b = other.AsList();
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      const int c = a[i].Compare(b[i]);
+      if (c != 0) {
+        return c;
+      }
+    }
+    return a.size() < b.size() ? -1 : (a.size() > b.size() ? 1 : 0);
+  }
+  // Objects: compare rendered form (rare path; objects are not group keys in
+  // practice, but determinism matters for tests).
+  return ToString().compare(other.ToString());
+}
+
+namespace {
+
+size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+size_t Value::Hash() const {
+  if (is_null()) {
+    return 0x5c3u;
+  }
+  if (is_bool()) {
+    return AsBool() ? 0x9e37u : 0x7f4au;
+  }
+  if (is_numeric()) {
+    // ints and whole doubles must hash identically (they compare equal).
+    const double d = AsNumber();
+    const int64_t as_int = static_cast<int64_t>(d);
+    if (is_int() ||
+        (static_cast<double>(as_int) == d && std::abs(d) < 9.0e18)) {
+      return std::hash<int64_t>{}(is_int() ? AsInt() : as_int);
+    }
+    return std::hash<double>{}(d);
+  }
+  if (is_string()) {
+    return std::hash<std::string>{}(AsString());
+  }
+  if (is_list()) {
+    size_t seed = 0xa5a5;
+    for (const Value& v : AsList()) {
+      seed = HashCombine(seed, v.Hash());
+    }
+    return seed;
+  }
+  size_t seed = 0xc3c3;
+  for (const auto& [name, value] : AsObject().fields) {
+    seed = HashCombine(seed, std::hash<std::string>{}(name));
+    seed = HashCombine(seed, value.Hash());
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) {
+    return "null";
+  }
+  if (is_bool()) {
+    return AsBool() ? "true" : "false";
+  }
+  if (is_int()) {
+    return std::to_string(AsInt());
+  }
+  if (is_double()) {
+    return StrFormat("%g", AsDoubleExact());
+  }
+  if (is_string()) {
+    return "\"" + AsString() + "\"";
+  }
+  if (is_list()) {
+    std::string out = "[";
+    const auto& list = AsList();
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += list[i].ToString();
+    }
+    out += "]";
+    return out;
+  }
+  std::string out = "{";
+  const auto& obj = AsObject();
+  for (size_t i = 0; i < obj.fields.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += obj.fields[i].first + ": " + obj.fields[i].second.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+size_t Value::WireSize() const {
+  if (is_null()) {
+    return 1;
+  }
+  if (is_bool()) {
+    return 1;
+  }
+  if (is_int()) {
+    return 1 + 8;
+  }
+  if (is_double()) {
+    return 1 + 8;
+  }
+  if (is_string()) {
+    return 1 + 4 + AsString().size();
+  }
+  if (is_list()) {
+    size_t n = 1 + 4;
+    for (const Value& v : AsList()) {
+      n += v.WireSize();
+    }
+    return n;
+  }
+  size_t n = 1 + 4;
+  for (const auto& [name, value] : AsObject().fields) {
+    n += 4 + name.size() + value.WireSize();
+  }
+  return n;
+}
+
+}  // namespace scrub

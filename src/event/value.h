@@ -1,0 +1,147 @@
+// Typed field values.
+//
+// Scrub events are n-tuples of typed user fields (Section 3.1 of the paper):
+// boolean, int, long, float, double, date/time, string, homogeneous lists of
+// those primitives, and nested objects. Value is the runtime representation;
+// the declared (schema) type constrains which Values a field may hold.
+
+#ifndef SRC_EVENT_VALUE_H_
+#define SRC_EVENT_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace scrub {
+
+enum class FieldType {
+  kBool,
+  kInt,       // 32-bit in the schema; stored as int64.
+  kLong,
+  kFloat,     // 32-bit in the schema; stored as double.
+  kDouble,
+  kDateTime,  // micros since epoch; stored as int64.
+  kString,
+  kBoolList,
+  kIntList,
+  kLongList,
+  kFloatList,
+  kDoubleList,
+  kStringList,
+  kObject,    // nested object: named sub-fields (the paper's XML-ish nesting)
+};
+
+const char* FieldTypeName(FieldType type);
+
+// Parses "long", "string_list", etc. Returns kNotFound for unknown names.
+Result<FieldType> FieldTypeFromName(std::string_view name);
+
+bool IsListType(FieldType type);
+// kLongList -> kLong etc.; invalid for non-list types.
+FieldType ListElementType(FieldType type);
+// True if the type is ordered-comparable (< > <= >=).
+bool IsOrderedType(FieldType type);
+// True if values of this type are numeric (int/long/float/double/datetime).
+bool IsNumericType(FieldType type);
+
+class Value;
+
+// A nested object is an ordered list of (name, value) pairs. Order preserved
+// for deterministic serialization; lookup is linear (objects are small).
+struct NestedObject {
+  std::vector<std::pair<std::string, Value>> fields;
+
+  const Value* Find(std::string_view name) const;
+  bool operator==(const NestedObject& other) const;
+};
+
+// Runtime value. Null is the state of an unset field.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(int v) : data_(static_cast<int64_t>(v)) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+  explicit Value(std::vector<Value> v) : data_(std::move(v)) {}
+  explicit Value(NestedObject v)
+      : data_(std::make_shared<NestedObject>(std::move(v))) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_list() const {
+    return std::holds_alternative<std::vector<Value>>(data_);
+  }
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<NestedObject>>(data_);
+  }
+  // Any numeric representation (int or double).
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDoubleExact() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  const std::vector<Value>& AsList() const {
+    return std::get<std::vector<Value>>(data_);
+  }
+  const NestedObject& AsObject() const {
+    return *std::get<std::shared_ptr<NestedObject>>(data_);
+  }
+
+  // Numeric widening: int or double -> double. Callers must check
+  // is_numeric() first.
+  double AsNumber() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDoubleExact();
+  }
+
+  // True if this runtime value is a legal instance of the declared type
+  // (null is legal for every type).
+  bool ConformsTo(FieldType type) const;
+
+  // Deep equality (used by equi-joins, group-by keys and tests).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  // Total order within a type class: null < everything; numerics compare as
+  // doubles, strings lexicographically, bools false<true. Mixed
+  // (non-comparable) classes compare by class index for determinism.
+  // Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  // Hash compatible with operator== (for join/group hash tables).
+  size_t Hash() const;
+
+  // Human-readable rendering ("42", "\"sj\"", "[1, 2]", "null").
+  std::string ToString() const;
+
+  // Approximate wire size in bytes; used for network accounting.
+  size_t WireSize() const;
+
+ private:
+  int ClassRank() const { return static_cast<int>(data_.index()); }
+
+  std::variant<std::monostate, bool, int64_t, double, std::string,
+               std::vector<Value>, std::shared_ptr<NestedObject>>
+      data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace scrub
+
+#endif  // SRC_EVENT_VALUE_H_

@@ -1,0 +1,284 @@
+#include "src/event/wire.h"
+
+#include <cstring>
+
+#include "src/common/strings.h"
+
+namespace scrub {
+namespace {
+
+// Value tags. Must stay dense and stable: the codec is the contract between
+// host agents and ScrubCentral.
+enum ValueTag : uint8_t {
+  kTagNull = 0,
+  kTagFalse = 1,
+  kTagTrue = 2,
+  kTagInt = 3,
+  kTagDouble = 4,
+  kTagString = 5,
+  kTagList = 6,
+  kTagObject = 7,
+};
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutDouble(std::string* out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool GetU8(const std::string& buf, size_t* off, uint8_t* v) {
+  if (*off + 1 > buf.size()) {
+    return false;
+  }
+  *v = static_cast<uint8_t>(buf[*off]);
+  *off += 1;
+  return true;
+}
+
+bool GetU32(const std::string& buf, size_t* off, uint32_t* v) {
+  if (*off + 4 > buf.size()) {
+    return false;
+  }
+  std::memcpy(v, buf.data() + *off, 4);
+  *off += 4;
+  return true;
+}
+
+bool GetU64(const std::string& buf, size_t* off, uint64_t* v) {
+  if (*off + 8 > buf.size()) {
+    return false;
+  }
+  std::memcpy(v, buf.data() + *off, 8);
+  *off += 8;
+  return true;
+}
+
+bool GetDouble(const std::string& buf, size_t* off, double* v) {
+  if (*off + 8 > buf.size()) {
+    return false;
+  }
+  std::memcpy(v, buf.data() + *off, 8);
+  *off += 8;
+  return true;
+}
+
+bool GetBytes(const std::string& buf, size_t* off, size_t n, std::string* v) {
+  if (n > buf.size() || *off + n > buf.size()) {
+    return false;
+  }
+  v->assign(buf.data() + *off, n);
+  *off += n;
+  return true;
+}
+
+void EncodeValue(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    out->push_back(static_cast<char>(kTagNull));
+  } else if (v.is_bool()) {
+    out->push_back(static_cast<char>(v.AsBool() ? kTagTrue : kTagFalse));
+  } else if (v.is_int()) {
+    out->push_back(static_cast<char>(kTagInt));
+    PutU64(out, static_cast<uint64_t>(v.AsInt()));
+  } else if (v.is_double()) {
+    out->push_back(static_cast<char>(kTagDouble));
+    PutDouble(out, v.AsDoubleExact());
+  } else if (v.is_string()) {
+    out->push_back(static_cast<char>(kTagString));
+    PutU32(out, static_cast<uint32_t>(v.AsString().size()));
+    out->append(v.AsString());
+  } else if (v.is_list()) {
+    out->push_back(static_cast<char>(kTagList));
+    PutU32(out, static_cast<uint32_t>(v.AsList().size()));
+    for (const Value& e : v.AsList()) {
+      EncodeValue(e, out);
+    }
+  } else {
+    out->push_back(static_cast<char>(kTagObject));
+    const NestedObject& obj = v.AsObject();
+    PutU32(out, static_cast<uint32_t>(obj.fields.size()));
+    for (const auto& [name, value] : obj.fields) {
+      PutU32(out, static_cast<uint32_t>(name.size()));
+      out->append(name);
+      EncodeValue(value, out);
+    }
+  }
+}
+
+Result<Value> DecodeValue(const std::string& buf, size_t* off) {
+  uint8_t tag;
+  if (!GetU8(buf, off, &tag)) {
+    return InvalidArgument("truncated value tag");
+  }
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagFalse:
+      return Value(false);
+    case kTagTrue:
+      return Value(true);
+    case kTagInt: {
+      uint64_t v;
+      if (!GetU64(buf, off, &v)) {
+        return InvalidArgument("truncated int value");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case kTagDouble: {
+      double v;
+      if (!GetDouble(buf, off, &v)) {
+        return InvalidArgument("truncated double value");
+      }
+      return Value(v);
+    }
+    case kTagString: {
+      uint32_t n;
+      std::string s;
+      if (!GetU32(buf, off, &n) || !GetBytes(buf, off, n, &s)) {
+        return InvalidArgument("truncated string value");
+      }
+      return Value(std::move(s));
+    }
+    case kTagList: {
+      uint32_t n;
+      if (!GetU32(buf, off, &n)) {
+        return InvalidArgument("truncated list header");
+      }
+      // Never trust a length prefix with memory: each element costs at
+      // least one tag byte, so a count beyond the remaining bytes is bogus.
+      if (n > buf.size() - *off) {
+        return InvalidArgument("list length exceeds buffer");
+      }
+      std::vector<Value> items;
+      items.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        Result<Value> item = DecodeValue(buf, off);
+        if (!item.ok()) {
+          return item.status();
+        }
+        items.push_back(std::move(item).value());
+      }
+      return Value(std::move(items));
+    }
+    case kTagObject: {
+      uint32_t n;
+      if (!GetU32(buf, off, &n)) {
+        return InvalidArgument("truncated object header");
+      }
+      if (n > buf.size() - *off) {
+        return InvalidArgument("object field count exceeds buffer");
+      }
+      NestedObject obj;
+      obj.fields.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        uint32_t name_len;
+        std::string name;
+        if (!GetU32(buf, off, &name_len) ||
+            !GetBytes(buf, off, name_len, &name)) {
+          return InvalidArgument("truncated object field name");
+        }
+        Result<Value> item = DecodeValue(buf, off);
+        if (!item.ok()) {
+          return item.status();
+        }
+        obj.fields.emplace_back(std::move(name), std::move(item).value());
+      }
+      return Value(std::move(obj));
+    }
+    default:
+      return InvalidArgument(StrFormat("unknown value tag %u", tag));
+  }
+}
+
+}  // namespace
+
+size_t EncodeEvent(const Event& event, std::string* out) {
+  const size_t before = out->size();
+  const std::string& type_name = event.schema()->type_name();
+  PutU32(out, static_cast<uint32_t>(type_name.size()));
+  out->append(type_name);
+  PutU64(out, event.request_id());
+  PutU64(out, static_cast<uint64_t>(event.timestamp()));
+  for (size_t i = 0; i < event.field_count(); ++i) {
+    EncodeValue(event.field(i), out);
+  }
+  return out->size() - before;
+}
+
+Result<Event> DecodeEvent(const SchemaRegistry& registry,
+                          const std::string& buffer, size_t* offset) {
+  uint32_t name_len;
+  std::string type_name;
+  if (!GetU32(buffer, offset, &name_len) ||
+      !GetBytes(buffer, offset, name_len, &type_name)) {
+    return InvalidArgument("truncated event header");
+  }
+  Result<SchemaPtr> schema = registry.Get(type_name);
+  if (!schema.ok()) {
+    return schema.status();
+  }
+  uint64_t request_id;
+  uint64_t timestamp;
+  if (!GetU64(buffer, offset, &request_id) ||
+      !GetU64(buffer, offset, &timestamp)) {
+    return InvalidArgument("truncated event metadata");
+  }
+  Event event(*schema, request_id, static_cast<TimeMicros>(timestamp));
+  for (size_t i = 0; i < (*schema)->field_count(); ++i) {
+    Result<Value> v = DecodeValue(buffer, offset);
+    if (!v.ok()) {
+      return v.status();
+    }
+    event.SetField(i, std::move(v).value());
+  }
+  return event;
+}
+
+std::string EncodeBatch(const std::vector<Event>& events) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(events.size()));
+  for (const Event& e : events) {
+    EncodeEvent(e, &out);
+  }
+  return out;
+}
+
+Result<std::vector<Event>> DecodeBatch(const SchemaRegistry& registry,
+                                       const std::string& buffer) {
+  size_t offset = 0;
+  uint32_t count;
+  if (!GetU32(buffer, &offset, &count)) {
+    return InvalidArgument("truncated batch header");
+  }
+  // An encoded event is at least 20 bytes (name length + metadata); cap the
+  // reservation so a hostile count cannot force a huge allocation.
+  if (static_cast<size_t>(count) > (buffer.size() - offset) / 20 + 1) {
+    return InvalidArgument("batch count exceeds buffer");
+  }
+  std::vector<Event> events;
+  events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Result<Event> e = DecodeEvent(registry, buffer, &offset);
+    if (!e.ok()) {
+      return e.status();
+    }
+    events.push_back(std::move(e).value());
+  }
+  if (offset != buffer.size()) {
+    return InvalidArgument("trailing bytes after batch");
+  }
+  return events;
+}
+
+}  // namespace scrub

@@ -1,0 +1,38 @@
+// Binary wire codec for events.
+//
+// Hosts serialize (selected, projected) events into batches and ship them to
+// ScrubCentral, which decodes them against the shared SchemaRegistry. The
+// encoding is deliberately simple and self-describing at the value level
+// (1 tag byte + fixed/length-prefixed payload); Event::WireSize() and
+// Value::WireSize() match the encoded size byte-for-byte, which the tests
+// assert, so all byte accounting in the experiments is exact.
+
+#ifndef SRC_EVENT_WIRE_H_
+#define SRC_EVENT_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/event/event.h"
+#include "src/event/schema.h"
+
+namespace scrub {
+
+// Appends the encoding of `event` to `out`. Returns bytes written.
+size_t EncodeEvent(const Event& event, std::string* out);
+
+// Decodes one event starting at out[*offset]; advances *offset past it.
+// The event's schema is resolved from `registry` by type name.
+Result<Event> DecodeEvent(const SchemaRegistry& registry,
+                          const std::string& buffer, size_t* offset);
+
+// Batch helpers: a batch is a count-prefixed sequence of events.
+std::string EncodeBatch(const std::vector<Event>& events);
+Result<std::vector<Event>> DecodeBatch(const SchemaRegistry& registry,
+                                       const std::string& buffer);
+
+}  // namespace scrub
+
+#endif  // SRC_EVENT_WIRE_H_

@@ -1,0 +1,123 @@
+#include "src/plan/explain.h"
+
+#include "src/common/strings.h"
+
+namespace scrub {
+namespace {
+
+std::string DurationText(TimeMicros micros) {
+  if (micros % kMicrosPerMinute == 0) {
+    return StrFormat("%lld m",
+                     static_cast<long long>(micros / kMicrosPerMinute));
+  }
+  if (micros % kMicrosPerSecond == 0) {
+    return StrFormat("%lld s",
+                     static_cast<long long>(micros / kMicrosPerSecond));
+  }
+  return StrFormat("%lld us", static_cast<long long>(micros));
+}
+
+}  // namespace
+
+std::string ExplainPlan(const AnalyzedQuery& analyzed,
+                        const QueryPlan& plan) {
+  const Query& q = analyzed.query;
+  std::string out;
+  out += "query: " + q.ToString() + "\n";
+  out += StrFormat("span: start=+%s duration=%s window=%s",
+                   DurationText(q.start_offset_micros).c_str(),
+                   DurationText(q.duration_micros).c_str(),
+                   DurationText(q.window_micros).c_str());
+  if (q.slide_micros != q.window_micros) {
+    out += StrFormat(" slide=%s (sliding)",
+                     DurationText(q.slide_micros).c_str());
+  }
+  out += "\n";
+
+  out += "host plan (selection + projection + sampling ONLY):\n";
+  if (plan.host.event_sample_rate < 1.0) {
+    out += StrFormat("  event sampling: %.4g%% (coin flip before any "
+                     "predicate work)\n",
+                     plan.host.event_sample_rate * 100);
+  }
+  for (size_t i = 0; i < plan.host.sources.size(); ++i) {
+    const HostSourcePlan& sp = plan.host.sources[i];
+    out += StrFormat("  source '%s':\n", sp.event_type.c_str());
+    if (sp.conjuncts.empty()) {
+      out += "    selection: none (every event ships)\n";
+    } else {
+      out += StrFormat("    selection: %zu conjunct(s), %d predicate "
+                       "node(s) per event\n",
+                       sp.conjuncts.size(), sp.predicate_nodes);
+      for (size_t c = 0; c < analyzed.conjuncts.size(); ++c) {
+        const int src = analyzed.conjunct_source[c];
+        if (src == static_cast<int>(i) || src == -1) {
+          out += "      " + analyzed.conjuncts[c]->ToString() + "\n";
+        }
+      }
+    }
+    std::vector<std::string> kept;
+    const SchemaPtr& schema = analyzed.schemas[i];
+    for (size_t f = 0; f < sp.keep_field.size(); ++f) {
+      if (sp.keep_field[f]) {
+        kept.push_back(schema->field(f).name);
+      }
+    }
+    out += StrFormat("    projection: %d of %zu fields ship (%s)\n",
+                     sp.kept_fields, sp.keep_field.size(),
+                     kept.empty() ? "metadata only"
+                                  : StrJoin(kept, ", ").c_str());
+  }
+
+  const CentralPlan& central = plan.central;
+  out += "central plan (ScrubCentral):\n";
+  if (central.is_join()) {
+    out += StrFormat("  join: %s on %.*s, scoped per window\n",
+                     StrJoin(central.sources, " \xE2\x8B\x88 ").c_str(),
+                     static_cast<int>(kRequestIdField.size()),
+                     kRequestIdField.data());
+  }
+  if (!central.aggregate_mode) {
+    out += StrFormat("  mode: raw projection, %zu column(s) per tuple\n",
+                     central.raw_select.size());
+  } else {
+    out += StrFormat("  group by: %zu key(s)\n", central.group_by.size());
+    out += StrFormat("  aggregates: %zu\n", central.aggregates.size());
+    for (const AggregateSpec& spec : central.aggregates) {
+      out += StrFormat("    %s%s\n", AggregateFuncName(spec.func),
+                       spec.func == AggregateFunc::kTopK
+                           ? StrFormat("(k=%lld, SpaceSaving)",
+                                       static_cast<long long>(spec.topk_k))
+                                 .c_str()
+                           : (spec.func == AggregateFunc::kCountDistinct
+                                  ? " (HyperLogLog)"
+                                  : ""));
+    }
+  }
+  if (central.SamplingActive()) {
+    out += StrFormat("  sampling: hosts %.4g%%, events %.4g%% — COUNT/SUM "
+                     "scale per Eq. 1; ungrouped single-source COUNT/SUM "
+                     "carry Eq. 2-3 error bounds\n",
+                     central.host_sample_rate * 100,
+                     central.event_sample_rate * 100);
+  }
+  return out;
+}
+
+std::string ExplainQuery(std::string_view query_text,
+                         const SchemaRegistry& registry,
+                         const AnalyzerOptions& options) {
+  Result<AnalyzedQuery> analyzed =
+      ParseAndAnalyze(query_text, registry, options);
+  if (!analyzed.ok()) {
+    return "error: " + analyzed.status().ToString();
+  }
+  Result<QueryPlan> plan = PlanQuery(*analyzed, /*query_id=*/0,
+                                     /*submit_time=*/0);
+  if (!plan.ok()) {
+    return "error: " + plan.status().ToString();
+  }
+  return ExplainPlan(*analyzed, *plan);
+}
+
+}  // namespace scrub

@@ -1,0 +1,30 @@
+// EXPLAIN: renders the host/central split of a planned query.
+//
+// Troubleshooters sanity-check what a query will cost *before* pointing it
+// at production: which event types each host filters, how selective the
+// host-side predicate is, which fields survive projection (everything else
+// never leaves the host), what runs at ScrubCentral, and how sampling will
+// scale the results.
+
+#ifndef SRC_PLAN_EXPLAIN_H_
+#define SRC_PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "src/plan/plan.h"
+#include "src/query/analyzer.h"
+
+namespace scrub {
+
+// Multi-line, human-readable plan description.
+std::string ExplainPlan(const AnalyzedQuery& analyzed, const QueryPlan& plan);
+
+// Convenience: parse + analyze + plan + explain (no execution, no side
+// effects). Errors render as the failure status text.
+std::string ExplainQuery(std::string_view query_text,
+                         const SchemaRegistry& registry,
+                         const AnalyzerOptions& options = {});
+
+}  // namespace scrub
+
+#endif  // SRC_PLAN_EXPLAIN_H_

@@ -1,0 +1,80 @@
+// Compiled expression evaluation.
+//
+// The analyzer's AST is convenient for validation but references fields by
+// name. Before a query object ships to hosts (where evaluation is the hot
+// path the paper works hardest to keep cheap), expressions are compiled into
+// a tree whose field references carry pre-resolved (source index, field
+// index) pairs — evaluation does no string work. The compiler also counts
+// nodes so the simulation can charge a deterministic CPU cost per evaluation.
+
+#ifndef SRC_PLAN_EXPR_EVAL_H_
+#define SRC_PLAN_EXPR_EVAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/event/event.h"
+#include "src/query/ast.h"
+
+namespace scrub {
+
+// A joined tuple: one event per query source, indexed by source position.
+// Single-source queries use a single-element span.
+using EventTuple = std::vector<const Event*>;
+
+enum class CompiledKind {
+  kLiteral,
+  kField,      // user field, by index
+  kRequestId,  // system field
+  kTimestamp,  // system field
+  kUnary,
+  kBinary,
+  kInList,
+};
+
+struct CompiledExpr {
+  CompiledKind kind = CompiledKind::kLiteral;
+  Value literal;
+  int source = 0;       // kField/kRequestId/kTimestamp
+  int field_index = 0;  // kField
+  std::vector<std::string> path;  // kField: descent into a nested object
+  UnaryOp unary_op = UnaryOp::kNegate;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  std::vector<CompiledExpr> children;  // operands; for kInList: [probe]
+  std::vector<Value> in_list;          // kInList members
+
+  // Number of nodes in this subtree (cost accounting).
+  int node_count = 1;
+};
+
+// Compiles a type-checked expression (no aggregates) against the query's
+// source list. FieldRef qualifiers must already be canonicalized by the
+// analyzer. Fails on aggregate nodes.
+Result<CompiledExpr> CompileExpr(const Expr& expr,
+                                 const std::vector<std::string>& sources,
+                                 const std::vector<SchemaPtr>& schemas);
+
+// Evaluates against a tuple. Events may be null only for sources the
+// expression does not touch. Comparisons involving null values yield false
+// (SQL-ish semantics without tri-state logic); arithmetic on null yields
+// null, which propagates.
+Value EvalExpr(const CompiledExpr& expr, const EventTuple& tuple);
+
+// Convenience for single-source host-side evaluation.
+Value EvalExprSingle(const CompiledExpr& expr, const Event& event);
+
+// True iff the expression evaluates to boolean true.
+bool EvalPredicate(const CompiledExpr& expr, const EventTuple& tuple);
+bool EvalPredicateSingle(const CompiledExpr& expr, const Event& event);
+
+// Operator semantics shared with output-expression evaluation at
+// ScrubCentral (e.g. 1000 * AVG(cost) over finalized aggregates).
+// No short-circuiting; null propagates through arithmetic and fails
+// comparisons (except =/!= against another null).
+Value ApplyBinaryOp(BinaryOp op, const Value& lhs, const Value& rhs);
+Value ApplyUnaryOp(UnaryOp op, const Value& operand);
+
+}  // namespace scrub
+
+#endif  // SRC_PLAN_EXPR_EVAL_H_

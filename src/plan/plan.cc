@@ -1,0 +1,259 @@
+#include "src/plan/plan.h"
+
+#include <unordered_set>
+
+#include "src/common/strings.h"
+
+namespace scrub {
+
+size_t HostPlan::WireSize() const {
+  // Rough but deterministic: fixed header + per-source predicate nodes and
+  // projection masks. Query objects are tiny compared to event traffic; this
+  // only needs to be the right order of magnitude for dissemination cost.
+  size_t n = 64;
+  for (const HostSourcePlan& s : sources) {
+    n += s.event_type.size() + 16;
+    n += static_cast<size_t>(s.predicate_nodes) * 24;
+    n += s.keep_field.size();
+  }
+  return n;
+}
+
+const HostSourcePlan* HostPlan::FindSource(std::string_view event_type) const {
+  for (const HostSourcePlan& s : sources) {
+    if (s.event_type == event_type) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Planner {
+ public:
+  Planner(const AnalyzedQuery& aq, QueryId query_id, TimeMicros submit_time)
+      : aq_(aq), query_id_(query_id), submit_time_(submit_time) {}
+
+  Result<QueryPlan> Run() {
+    QueryPlan plan;
+    Status s = BuildHostPlan(&plan.host);
+    if (!s.ok()) {
+      return s;
+    }
+    s = BuildCentralPlan(&plan.central);
+    if (!s.ok()) {
+      return s;
+    }
+    return plan;
+  }
+
+ private:
+  Status BuildHostPlan(HostPlan* host) {
+    const Query& q = aq_.query;
+    host->query_id = query_id_;
+    host->start_time = submit_time_ + q.start_offset_micros;
+    host->end_time = host->start_time + q.duration_micros;
+    host->window_micros = q.window_micros;
+    host->slide_micros = q.slide_micros;
+    host->event_sample_rate = q.event_sample_rate;
+
+    for (size_t i = 0; i < q.sources.size(); ++i) {
+      HostSourcePlan sp;
+      sp.event_type = q.sources[i];
+      sp.source_index = static_cast<int>(i);
+
+      // This source's conjuncts (plus source-free constant conjuncts, which
+      // apply to every event).
+      const std::vector<std::string> single_source = {q.sources[i]};
+      const std::vector<SchemaPtr> single_schema = {aq_.schemas[i]};
+      for (size_t c = 0; c < aq_.conjuncts.size(); ++c) {
+        const int src = aq_.conjunct_source[c];
+        if (src != static_cast<int>(i) && src != -1) {
+          continue;
+        }
+        Result<CompiledExpr> compiled =
+            CompileExpr(*aq_.conjuncts[c], single_source, single_schema);
+        if (!compiled.ok()) {
+          return compiled.status();
+        }
+        sp.predicate_nodes += compiled->node_count;
+        sp.conjuncts.push_back(std::move(compiled).value());
+      }
+
+      // Projection mask.
+      const SchemaPtr& schema = aq_.schemas[i];
+      sp.keep_field.assign(schema->field_count(), false);
+      for (const std::string& field : aq_.fields_per_source[i]) {
+        const int idx = schema->FieldIndex(field);
+        if (idx >= 0) {
+          sp.keep_field[static_cast<size_t>(idx)] = true;
+          ++sp.kept_fields;
+        }
+        // System fields ride in the event header; nothing to keep.
+      }
+      host->sources.push_back(std::move(sp));
+    }
+    return OkStatus();
+  }
+
+  Status BuildCentralPlan(CentralPlan* central) {
+    const Query& q = aq_.query;
+    central->query_id = query_id_;
+    central->sources = q.sources;
+    central->schemas = aq_.schemas;
+    central->window_micros = q.window_micros;
+    central->slide_micros = q.slide_micros;
+    central->start_time = submit_time_ + q.start_offset_micros;
+    central->end_time = central->start_time + q.duration_micros;
+    central->host_sample_rate = q.host_sample_rate;
+    central->event_sample_rate = q.event_sample_rate;
+    central->aggregate_mode = aq_.has_aggregates || !q.group_by.empty();
+
+    for (const SelectItem& item : q.select) {
+      central->column_names.push_back(
+          item.alias.empty() ? item.expr->ToString() : item.alias);
+    }
+
+    if (!central->aggregate_mode) {
+      for (const SelectItem& item : q.select) {
+        Result<CompiledExpr> compiled =
+            CompileExpr(*item.expr, q.sources, aq_.schemas);
+        if (!compiled.ok()) {
+          return compiled.status();
+        }
+        central->raw_select.push_back(std::move(compiled).value());
+      }
+      return OkStatus();
+    }
+
+    for (const ExprPtr& g : q.group_by) {
+      Result<CompiledExpr> compiled =
+          CompileExpr(*g, q.sources, aq_.schemas);
+      if (!compiled.ok()) {
+        return compiled.status();
+      }
+      central->group_by.push_back(std::move(compiled).value());
+    }
+
+    for (const SelectItem& item : q.select) {
+      OutputColumn column;
+      column.name =
+          item.alias.empty() ? item.expr->ToString() : item.alias;
+      Result<OutputExpr> out = BuildOutputExpr(*item.expr, central);
+      if (!out.ok()) {
+        return out.status();
+      }
+      column.expr = std::move(out).value();
+      central->outputs.push_back(std::move(column));
+    }
+    return OkStatus();
+  }
+
+  // Rewrites a select-item expression into an OutputExpr, registering
+  // aggregate slots and resolving field refs to group-by positions.
+  Result<OutputExpr> BuildOutputExpr(const Expr& e, CentralPlan* central) {
+    OutputExpr out;
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        out.kind = OutputKind::kLiteral;
+        out.literal = e.literal;
+        return out;
+      case ExprKind::kAggregate: {
+        AggregateSpec spec;
+        spec.func = e.agg_func;
+        spec.topk_k = e.topk_k;
+        if (!e.children.empty()) {
+          Result<CompiledExpr> arg =
+              CompileExpr(*e.children[0], aq_.query.sources, aq_.schemas);
+          if (!arg.ok()) {
+            return arg.status();
+          }
+          spec.has_arg = true;
+          spec.arg = std::move(arg).value();
+        }
+        out.kind = OutputKind::kAggregate;
+        out.index = static_cast<int>(central->aggregates.size());
+        central->aggregates.push_back(std::move(spec));
+        return out;
+      }
+      case ExprKind::kFieldRef: {
+        for (size_t g = 0; g < aq_.query.group_by.size(); ++g) {
+          const Expr& gb = *aq_.query.group_by[g];
+          if (gb.qualifier == e.qualifier && gb.field == e.field &&
+              gb.path == e.path) {
+            out.kind = OutputKind::kGroupKey;
+            out.index = static_cast<int>(g);
+            return out;
+          }
+        }
+        return InvalidArgument(StrFormat(
+            "select field '%s' is not a GROUP BY key",
+            e.ToString().c_str()));
+      }
+      case ExprKind::kUnary: {
+        out.kind = OutputKind::kUnary;
+        out.unary_op = e.unary_op;
+        Result<OutputExpr> child = BuildOutputExpr(*e.children[0], central);
+        if (!child.ok()) {
+          return child;
+        }
+        out.children.push_back(std::move(child).value());
+        return out;
+      }
+      case ExprKind::kBinary: {
+        out.kind = OutputKind::kBinary;
+        out.binary_op = e.binary_op;
+        for (const ExprPtr& c : e.children) {
+          Result<OutputExpr> child = BuildOutputExpr(*c, central);
+          if (!child.ok()) {
+            return child;
+          }
+          out.children.push_back(std::move(child).value());
+        }
+        return out;
+      }
+      default:
+        return Unimplemented(StrFormat(
+            "expression '%s' is not supported in an aggregated SELECT list",
+            e.ToString().c_str()));
+    }
+  }
+
+  const AnalyzedQuery& aq_;
+  const QueryId query_id_;
+  const TimeMicros submit_time_;
+};
+
+}  // namespace
+
+Result<QueryPlan> PlanQuery(const AnalyzedQuery& analyzed, QueryId query_id,
+                            TimeMicros submit_time) {
+  Planner planner(analyzed, query_id, submit_time);
+  return planner.Run();
+}
+
+Value EvalOutputExpr(const OutputExpr& expr,
+                     const std::vector<Value>& group_key,
+                     const std::vector<Value>& aggregate_values) {
+  switch (expr.kind) {
+    case OutputKind::kLiteral:
+      return expr.literal;
+    case OutputKind::kGroupKey:
+      return group_key[static_cast<size_t>(expr.index)];
+    case OutputKind::kAggregate:
+      return aggregate_values[static_cast<size_t>(expr.index)];
+    case OutputKind::kUnary:
+      return ApplyUnaryOp(
+          expr.unary_op,
+          EvalOutputExpr(expr.children[0], group_key, aggregate_values));
+    case OutputKind::kBinary:
+      return ApplyBinaryOp(
+          expr.binary_op,
+          EvalOutputExpr(expr.children[0], group_key, aggregate_values),
+          EvalOutputExpr(expr.children[1], group_key, aggregate_values));
+  }
+  return Value::Null();
+}
+
+}  // namespace scrub

@@ -1,0 +1,379 @@
+#include "src/query/ast.h"
+
+#include <cctype>
+
+#include "src/common/strings.h"
+
+namespace scrub {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kContains:
+      return "CONTAINS";
+  }
+  return "?";
+}
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kContains:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsArithmeticOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* AggregateFuncName(AggregateFunc func) {
+  switch (func) {
+    case AggregateFunc::kCount:
+      return "COUNT";
+    case AggregateFunc::kSum:
+      return "SUM";
+    case AggregateFunc::kAvg:
+      return "AVG";
+    case AggregateFunc::kMin:
+      return "MIN";
+    case AggregateFunc::kMax:
+      return "MAX";
+    case AggregateFunc::kCountDistinct:
+      return "COUNT_DISTINCT";
+    case AggregateFunc::kTopK:
+      return "TOPK";
+  }
+  return "?";
+}
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeFieldRef(std::string qualifier, std::string field) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFieldRef;
+  e->qualifier = std::move(qualifier);
+  e->field = std::move(field);
+  return e;
+}
+
+ExprPtr Expr::MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::MakeInList(ExprPtr probe, std::vector<ExprPtr> members) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kInList;
+  e->children.push_back(std::move(probe));
+  for (auto& m : members) {
+    e->children.push_back(std::move(m));
+  }
+  return e;
+}
+
+ExprPtr Expr::MakeAggregate(AggregateFunc func, ExprPtr arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->agg_func = func;
+  if (arg != nullptr) {
+    e->children.push_back(std::move(arg));
+  }
+  return e;
+}
+
+ExprPtr Expr::MakeTopK(int64_t k, ExprPtr arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->agg_func = AggregateFunc::kTopK;
+  e->topk_k = k;
+  e->children.push_back(std::move(arg));
+  return e;
+}
+
+ExprPtr Expr::MakeStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->qualifier = qualifier;
+  e->field = field;
+  e->path = path;
+  e->unary_op = unary_op;
+  e->binary_op = binary_op;
+  e->agg_func = agg_func;
+  e->topk_k = topk_k;
+  e->resolved_type = resolved_type;
+  e->children.reserve(children.size());
+  for (const ExprPtr& child : children) {
+    e->children.push_back(child->Clone());
+  }
+  return e;
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kAggregate) {
+    return true;
+  }
+  for (const ExprPtr& child : children) {
+    if (child->ContainsAggregate()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kFieldRef: {
+      std::string out = qualifier.empty() ? field : qualifier + "." + field;
+      for (const std::string& p : path) {
+        out += "." + p;
+      }
+      return out;
+    }
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kUnary:
+      if (unary_op == UnaryOp::kNegate) {
+        return "-(" + children[0]->ToString() + ")";
+      }
+      return "NOT (" + children[0]->ToString() + ")";
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(binary_op) +
+             " " + children[1]->ToString() + ")";
+    case ExprKind::kInList: {
+      std::string out = children[0]->ToString() + " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i != 1) {
+          out += ", ";
+        }
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kAggregate: {
+      std::string out = AggregateFuncName(agg_func);
+      out += "(";
+      if (agg_func == AggregateFunc::kTopK) {
+        out += std::to_string(topk_k) + ", ";
+      }
+      out += children.empty() ? "*" : children[0]->ToString();
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+// Target names that are not plain identifiers (e.g. host names with dashes)
+// render as quoted strings so the output re-parses.
+std::string QuoteTargetName(const std::string& name) {
+  bool ident = !name.empty() &&
+               (std::isalpha(static_cast<unsigned char>(name[0])) ||
+                name[0] == '_');
+  for (const char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      ident = false;
+      break;
+    }
+  }
+  return ident ? name : "'" + name + "'";
+}
+
+}  // namespace
+
+std::string TargetSpec::ToString() const {
+  std::vector<std::string> terms;
+  for (const std::string& s : services) {
+    terms.push_back("SERVICE IN " + QuoteTargetName(s));
+  }
+  if (hosts.size() == 1) {
+    terms.push_back("SERVER = " + QuoteTargetName(hosts[0]));
+  } else if (hosts.size() > 1) {
+    std::vector<std::string> quoted;
+    quoted.reserve(hosts.size());
+    for (const std::string& h : hosts) {
+      quoted.push_back(QuoteTargetName(h));
+    }
+    terms.push_back("SERVERS IN (" + StrJoin(quoted, ", ") + ")");
+  }
+  for (const std::string& dc : datacenters) {
+    terms.push_back("DATACENTER = " + QuoteTargetName(dc));
+  }
+  return "@[" + StrJoin(terms, " AND ") + "]";
+}
+
+SelectItem SelectItem::Clone() const {
+  SelectItem item;
+  item.expr = expr->Clone();
+  item.alias = alias;
+  return item;
+}
+
+std::string SelectItem::ToString() const {
+  std::string out = expr->ToString();
+  if (!alias.empty()) {
+    out += " AS " + alias;
+  }
+  return out;
+}
+
+Query Query::Clone() const {
+  Query q;
+  q.select.reserve(select.size());
+  for (const SelectItem& item : select) {
+    q.select.push_back(item.Clone());
+  }
+  q.sources = sources;
+  q.where = where ? where->Clone() : nullptr;
+  q.targets = targets;
+  q.group_by.reserve(group_by.size());
+  for (const ExprPtr& g : group_by) {
+    q.group_by.push_back(g->Clone());
+  }
+  q.window_micros = window_micros;
+  q.slide_micros = slide_micros;
+  q.start_offset_micros = start_offset_micros;
+  q.duration_micros = duration_micros;
+  q.host_sample_rate = host_sample_rate;
+  q.event_sample_rate = event_sample_rate;
+  return q;
+}
+
+namespace {
+
+// Renders micros as the most compact unit that divides it evenly.
+std::string DurationToString(TimeMicros micros) {
+  if (micros % kMicrosPerHour == 0) {
+    return std::to_string(micros / kMicrosPerHour) + " HOURS";
+  }
+  if (micros % kMicrosPerMinute == 0) {
+    return std::to_string(micros / kMicrosPerMinute) + " MINUTES";
+  }
+  if (micros % kMicrosPerSecond == 0) {
+    return std::to_string(micros / kMicrosPerSecond) + " SECONDS";
+  }
+  if (micros % kMicrosPerMilli == 0) {
+    return std::to_string(micros / kMicrosPerMilli) + " MILLIS";
+  }
+  return std::to_string(micros) + " MICROS";
+}
+
+std::string RateToPercent(double rate) {
+  return StrFormat("%g%%", rate * 100.0);
+}
+
+}  // namespace
+
+std::string Query::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += select[i].ToString();
+  }
+  out += " FROM " + StrJoin(sources, ", ");
+  if (where != nullptr) {
+    out += " WHERE " + where->ToString();
+  }
+  if (!targets.IsUnrestricted()) {
+    out += " " + targets.ToString();
+  }
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += group_by[i]->ToString();
+    }
+  }
+  if (window_micros > 0) {
+    out += " WINDOW " + DurationToString(window_micros);
+    if (slide_micros > 0 && slide_micros != window_micros) {
+      out += " SLIDE " + DurationToString(slide_micros);
+    }
+  }
+  if (start_offset_micros > 0) {
+    out += " START " + DurationToString(start_offset_micros);
+  }
+  if (duration_micros > 0) {
+    out += " DURATION " + DurationToString(duration_micros);
+  }
+  if (host_sample_rate < 1.0) {
+    out += " SAMPLE HOSTS " + RateToPercent(host_sample_rate);
+  }
+  if (event_sample_rate < 1.0) {
+    out += " SAMPLE EVENTS " + RateToPercent(event_sample_rate);
+  }
+  out += ";";
+  return out;
+}
+
+}  // namespace scrub

@@ -1,0 +1,282 @@
+#include "src/query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/common/strings.h"
+
+namespace scrub {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kFloat:
+      return "float";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kAt:
+      return "'@'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto push = [&](TokenKind kind, size_t offset, std::string spelling = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(spelling);
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(text[j])) {
+        ++j;
+      }
+      push(TokenKind::kIdentifier, start,
+           std::string(text.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) {
+        ++j;
+      }
+      if (j < n && text[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) {
+          ++j;
+        }
+      }
+      // Exponent.
+      if (j < n && (text[j] == 'e' || text[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (text[k] == '+' || text[k] == '-')) {
+          ++k;
+        }
+        if (k < n && std::isdigit(static_cast<unsigned char>(text[k]))) {
+          is_float = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) {
+            ++j;
+          }
+        }
+      }
+      const std::string number(text.substr(i, j - i));
+      Token t;
+      t.offset = start;
+      t.text = number;
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        t.float_value = std::strtod(number.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInteger;
+        t.int_value = std::strtoll(number.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      size_t j = i + 1;
+      std::string contents;
+      bool closed = false;
+      while (j < n) {
+        if (text[j] == quote) {
+          closed = true;
+          break;
+        }
+        if (text[j] == '\\' && j + 1 < n) {
+          contents.push_back(text[j + 1]);
+          j += 2;
+          continue;
+        }
+        contents.push_back(text[j]);
+        ++j;
+      }
+      if (!closed) {
+        return InvalidArgument(
+            StrFormat("unterminated string at offset %zu", start));
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(contents);
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        push(TokenKind::kComma, start);
+        ++i;
+        continue;
+      case ';':
+        push(TokenKind::kSemicolon, start);
+        ++i;
+        continue;
+      case '.':
+        push(TokenKind::kDot, start);
+        ++i;
+        continue;
+      case '*':
+        push(TokenKind::kStar, start);
+        ++i;
+        continue;
+      case '+':
+        push(TokenKind::kPlus, start);
+        ++i;
+        continue;
+      case '-':
+        push(TokenKind::kMinus, start);
+        ++i;
+        continue;
+      case '/':
+        push(TokenKind::kSlash, start);
+        ++i;
+        continue;
+      case '%':
+        push(TokenKind::kPercent, start);
+        ++i;
+        continue;
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++i;
+        continue;
+      case '@':
+        push(TokenKind::kAt, start);
+        ++i;
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, start);
+        ++i;
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenKind::kEq, start);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kNe, start);
+          i += 2;
+          continue;
+        }
+        return InvalidArgument(
+            StrFormat("unexpected '!' at offset %zu (did you mean '!=')",
+                      start));
+      case '<':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && text[i + 1] == '>') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        continue;
+      default:
+        return InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace scrub

@@ -1,0 +1,21 @@
+// Lexer for the Scrub query language.
+
+#ifndef SRC_QUERY_LEXER_H_
+#define SRC_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/token.h"
+
+namespace scrub {
+
+// Tokenizes the whole input. Keywords are not distinguished here — they are
+// ordinary identifiers; the parser matches them case-insensitively, so field
+// names that happen to spell a keyword still work as qualified references.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace scrub
+
+#endif  // SRC_QUERY_LEXER_H_

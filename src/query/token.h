@@ -1,0 +1,51 @@
+// Tokens of the Scrub query language.
+
+#ifndef SRC_QUERY_TOKEN_H_
+#define SRC_QUERY_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace scrub {
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,   // bid, user_id, BidServers, s (unit suffixes are idents)
+  kInteger,      // 42
+  kFloat,        // 1.25
+  kString,       // 'sj' or "sj"
+  // Punctuation / operators.
+  kComma,
+  kSemicolon,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kLParen,
+  kRParen,
+  kAt,           // @
+  kLBracket,
+  kRBracket,
+  kEq,           // =
+  kNe,           // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier/string payload, or operator spelling
+  int64_t int_value = 0;  // for kInteger
+  double float_value = 0; // for kFloat
+  size_t offset = 0;      // byte offset in the query text, for diagnostics
+};
+
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace scrub
+
+#endif  // SRC_QUERY_TOKEN_H_

@@ -1,0 +1,194 @@
+#include "src/scrub/scrub_system.h"
+
+#include "src/common/strings.h"
+#include "src/plan/explain.h"
+
+namespace scrub {
+
+ScrubSystem::ScrubSystem(SystemConfig config)
+    : config_(config),
+      scheduler_(0),
+      registry_(),
+      transport_(&scheduler_, &registry_, config.transport) {
+  platform_ = std::make_unique<BiddingPlatform>(
+      &scheduler_, &transport_, &registry_, &schemas_, config_.platform);
+  workload_ =
+      std::make_unique<WorkloadDriver>(&scheduler_, platform_.get(),
+                                       config_.seed ^ 0x70ad);
+
+  // Scrub's own infrastructure lives in DC1 and is not monitorable (queries
+  // never target it).
+  central_host_ =
+      registry_.AddHost("scrub-central-00", "ScrubCentral", "DC1",
+                        /*monitorable=*/false);
+  server_host_ = registry_.AddHost("scrub-server-00", "ScrubServer", "DC1",
+                                   /*monitorable=*/false);
+
+  central_ = std::make_unique<ScrubCentral>(&schemas_, config_.central);
+
+  // One agent per monitorable host.
+  for (size_t i = 0; i < registry_.size(); ++i) {
+    const HostInfo& info = registry_.Get(static_cast<HostId>(i));
+    if (!info.monitorable) {
+      continue;
+    }
+    agents_.emplace(info.id, std::make_unique<ScrubAgent>(
+                                 info.id, &registry_.meter(info.id),
+                                 config_.agent,
+                                 config_.seed ^ (0xa9e47u + i)));
+  }
+
+  server_ = std::make_unique<QueryServer>(
+      &scheduler_, &transport_, &registry_, &schemas_, central_.get(),
+      server_host_, central_host_,
+      [this](HostId host) { return agent(host); }, config_.server);
+
+  if (config_.scrub_enabled) {
+    platform_->SetEventLogger([this](HostId host, const Event& event) {
+      ScrubAgent* a = agent(host);
+      return a == nullptr ? int64_t{0} : a->LogEvent(event);
+    });
+  }
+}
+
+ScrubAgent* ScrubSystem::agent(HostId host) {
+  const auto it = agents_.find(host);
+  return it == agents_.end() ? nullptr : it->second.get();
+}
+
+Result<SubmittedQuery> ScrubSystem::Submit(std::string_view query_text,
+                                           ResultSink sink) {
+  return server_->Submit(query_text, std::move(sink));
+}
+
+void ScrubSystem::PumpFlushes() {
+  const TimeMicros now = scheduler_.Now();
+  for (auto& [host, agent_ptr] : agents_) {
+    std::vector<EventBatch> batches = agent_ptr->Flush(now);
+    for (EventBatch& batch : batches) {
+      const size_t bytes = batch.WireSize();
+      transport_.Send(host, central_host_, bytes,
+                      TrafficCategory::kScrubEvents,
+                      [this, b = std::move(batch)] {
+                        const Status s =
+                            central_->IngestBatch(b, scheduler_.Now());
+                        (void)s;  // decode failures are programming errors
+                      });
+    }
+  }
+  central_->OnTick(now);
+}
+
+void ScrubSystem::RunUntil(TimeMicros until) {
+  while (scheduler_.Now() < until) {
+    const TimeMicros next =
+        std::min(until, scheduler_.Now() + config_.flush_interval);
+    scheduler_.RunUntil(next);
+    PumpFlushes();
+  }
+}
+
+void ScrubSystem::Drain() {
+  // Let in-flight batches land and the last windows close: the allowed
+  // lateness plus two flush rounds covers the longest path.
+  const TimeMicros drain_until = scheduler_.Now() +
+                                 config_.central.allowed_lateness +
+                                 3 * config_.flush_interval;
+  RunUntil(drain_until);
+}
+
+std::string ScrubSystem::Explain(std::string_view query_text) const {
+  return ExplainQuery(query_text, schemas_, config_.server.analyzer);
+}
+
+std::string ScrubSystem::DescribeQuery(QueryId id) const {
+  std::string out = StrFormat("query %llu\n",
+                              static_cast<unsigned long long>(id));
+  uint64_t considered = 0;
+  uint64_t sampled_out = 0;
+  uint64_t filtered = 0;
+  uint64_t shipped = 0;
+  uint64_t dropped = 0;
+  int hosts_reporting = 0;
+  for (const auto& [host, agent_ptr] : agents_) {
+    const AgentQueryStats* s = agent_ptr->StatsFor(id);
+    if (s == nullptr) {
+      continue;
+    }
+    ++hosts_reporting;
+    considered += s->events_considered;
+    sampled_out += s->events_sampled_out;
+    filtered += s->events_filtered;
+    shipped += s->events_shipped;
+    dropped += s->events_dropped;
+  }
+  out += StrFormat(
+      "  hosts: %d reporting\n"
+      "  agent totals: considered=%llu sampled_out=%llu filtered=%llu "
+      "shipped=%llu dropped=%llu\n",
+      hosts_reporting, static_cast<unsigned long long>(considered),
+      static_cast<unsigned long long>(sampled_out),
+      static_cast<unsigned long long>(filtered),
+      static_cast<unsigned long long>(shipped),
+      static_cast<unsigned long long>(dropped));
+  const CentralQueryStats* cs = central_->StatsFor(id);
+  if (cs == nullptr) {
+    out += "  central: no record of this query\n";
+    return out;
+  }
+  out += StrFormat(
+      "  central: batches=%llu ingested=%llu late=%llu joined=%llu "
+      "orphans=%llu rows=%llu\n",
+      static_cast<unsigned long long>(cs->batches),
+      static_cast<unsigned long long>(cs->events_ingested),
+      static_cast<unsigned long long>(cs->events_late),
+      static_cast<unsigned long long>(cs->tuples_joined),
+      static_cast<unsigned long long>(cs->join_orphans),
+      static_cast<unsigned long long>(cs->rows_emitted));
+  return out;
+}
+
+OverheadReport ScrubSystem::HostOverhead(HostId host) const {
+  const CostMeter& meter = registry_.meter(host);
+  OverheadReport report;
+  report.app_ns = meter.app_ns();
+  report.scrub_ns = meter.scrub_ns();
+  report.scrub_fraction = meter.ScrubCpuFraction();
+  return report;
+}
+
+OverheadReport ScrubSystem::ServiceOverhead(std::string_view service) const {
+  OverheadReport report;
+  for (size_t i = 0; i < registry_.size(); ++i) {
+    const HostInfo& info = registry_.Get(static_cast<HostId>(i));
+    if (info.service != service) {
+      continue;
+    }
+    const CostMeter& meter = registry_.meter(info.id);
+    report.app_ns += meter.app_ns();
+    report.scrub_ns += meter.scrub_ns();
+  }
+  const int64_t total = report.app_ns + report.scrub_ns;
+  report.scrub_fraction =
+      total == 0 ? 0.0 : static_cast<double>(report.scrub_ns) / total;
+  return report;
+}
+
+OverheadReport ScrubSystem::TotalOverhead() const {
+  OverheadReport report;
+  for (size_t i = 0; i < registry_.size(); ++i) {
+    const HostInfo& info = registry_.Get(static_cast<HostId>(i));
+    if (!info.monitorable) {
+      continue;
+    }
+    const CostMeter& meter = registry_.meter(info.id);
+    report.app_ns += meter.app_ns();
+    report.scrub_ns += meter.scrub_ns();
+  }
+  const int64_t total = report.app_ns + report.scrub_ns;
+  report.scrub_fraction =
+      total == 0 ? 0.0 : static_cast<double>(report.scrub_ns) / total;
+  return report;
+}
+
+}  // namespace scrub

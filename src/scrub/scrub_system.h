@@ -1,0 +1,121 @@
+// ScrubSystem: the top-level harness wiring the whole reproduction together.
+//
+// One object owns the simulated cluster (scheduler, host registry,
+// transport), the synthetic bidding platform, a ScrubAgent per application
+// host, ScrubCentral, and the query server. This is the public API the
+// examples and benchmarks use:
+//
+//   ScrubSystem system;
+//   system.workload().SchedulePoissonLoad(...);
+//   auto submitted = system.Submit(
+//       "SELECT bid.user_id, COUNT(*) FROM bid "
+//       "@[SERVICE IN BidServers] GROUP BY bid.user_id DURATION 2 m;",
+//       [](const ResultRow& row) { ... });
+//   system.RunUntil(3 * kMicrosPerMinute);
+//
+// Time is simulated; RunUntil drives traffic, agent flushes, transport
+// deliveries and window closes deterministically.
+
+#ifndef SRC_SCRUB_SCRUB_SYSTEM_H_
+#define SRC_SCRUB_SCRUB_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/agent/agent.h"
+#include "src/bidsim/platform.h"
+#include "src/bidsim/workload.h"
+#include "src/central/central.h"
+#include "src/cluster/host_registry.h"
+#include "src/cluster/scheduler.h"
+#include "src/cluster/transport.h"
+#include "src/server/query_server.h"
+
+namespace scrub {
+
+struct SystemConfig {
+  PlatformConfig platform;
+  AgentConfig agent;
+  CentralConfig central;
+  ServerConfig server;
+  TransportConfig transport;
+  // Agents batch-and-ship on this cadence; central closes windows on it.
+  TimeMicros flush_interval = 500 * kMicrosPerMilli;
+  uint64_t seed = 1;
+  // When false the platform runs un-instrumented (the A side of the
+  // overhead experiments E7/E8).
+  bool scrub_enabled = true;
+};
+
+struct OverheadReport {
+  int64_t app_ns = 0;
+  int64_t scrub_ns = 0;
+  double scrub_fraction = 0.0;  // scrub / (app + scrub)
+};
+
+class ScrubSystem {
+ public:
+  explicit ScrubSystem(SystemConfig config = {});
+
+  // Submit a Scrub query; rows arrive on `sink` as windows close.
+  Result<SubmittedQuery> Submit(std::string_view query_text, ResultSink sink);
+
+  // Advances simulated time, pumping traffic, agent flushes and central
+  // window closes.
+  void RunUntil(TimeMicros until);
+  // Runs a little further so in-flight batches land and the final windows
+  // close; call once after the workload's horizon.
+  void Drain();
+  TimeMicros Now() const { return scheduler_.Now(); }
+
+  // ---- Component access ----
+  Scheduler& scheduler() { return scheduler_; }
+  HostRegistry& registry() { return registry_; }
+  Transport& transport() { return transport_; }
+  SchemaRegistry& schemas() { return schemas_; }
+  BiddingPlatform& platform() { return *platform_; }
+  WorkloadDriver& workload() { return *workload_; }
+  ScrubCentral& central() { return *central_; }
+  QueryServer& server() { return *server_; }
+  ScrubAgent* agent(HostId host);
+
+  // Renders the host/central plan split for a query WITHOUT running it
+  // (EXPLAIN): what each host would filter/project, what central would
+  // compute, how sampling scales results.
+  std::string Explain(std::string_view query_text) const;
+
+  // Runtime diagnostics for a submitted query: per-host agent counters
+  // (considered / sampled out / filtered / shipped / dropped) and central
+  // counters (ingested / late / joined / rows). Works during the query's
+  // span and after retirement.
+  std::string DescribeQuery(QueryId id) const;
+
+  // ---- Measurement ----
+  OverheadReport HostOverhead(HostId host) const;
+  OverheadReport ServiceOverhead(std::string_view service) const;
+  OverheadReport TotalOverhead() const;
+  HostId central_host() const { return central_host_; }
+
+ private:
+  void PumpFlushes();
+
+  SystemConfig config_;
+  Scheduler scheduler_;
+  HostRegistry registry_;
+  Transport transport_;
+  SchemaRegistry schemas_;
+  std::unique_ptr<BiddingPlatform> platform_;
+  std::unique_ptr<WorkloadDriver> workload_;
+  std::unique_ptr<ScrubCentral> central_;
+  std::unique_ptr<QueryServer> server_;
+  std::unordered_map<HostId, std::unique_ptr<ScrubAgent>> agents_;
+  HostId central_host_ = kInvalidHost;
+  HostId server_host_ = kInvalidHost;
+  TimeMicros last_flush_ = 0;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_SCRUB_SCRUB_SYSTEM_H_

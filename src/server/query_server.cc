@@ -1,0 +1,185 @@
+#include "src/server/query_server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/strings.h"
+#include "src/query/parser.h"
+
+namespace scrub {
+
+QueryServer::QueryServer(Scheduler* scheduler, Transport* transport,
+                         HostRegistry* registry, const SchemaRegistry* schemas,
+                         ScrubCentral* central, HostId server_host,
+                         HostId central_host, AgentAccessor agents,
+                         ServerConfig config)
+    : scheduler_(scheduler),
+      transport_(transport),
+      registry_(registry),
+      schemas_(schemas),
+      central_(central),
+      server_host_(server_host),
+      central_host_(central_host),
+      agents_(std::move(agents)),
+      config_(config),
+      rng_(config.host_sampling_seed) {}
+
+Result<SubmittedQuery> QueryServer::Submit(std::string_view query_text,
+                                           ResultSink user_sink) {
+  Result<Query> parsed = ParseQuery(query_text);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  return SubmitParsed(*parsed, std::move(user_sink));
+}
+
+Result<SubmittedQuery> QueryServer::SubmitParsed(const Query& query,
+                                                 ResultSink user_sink) {
+  if (active_.size() >= config_.max_active_queries) {
+    return ResourceExhausted(StrFormat(
+        "query limit reached (%zu active); retry after some expire",
+        active_.size()));
+  }
+  Result<AnalyzedQuery> analyzed =
+      Analyze(query, *schemas_, config_.analyzer);
+  if (!analyzed.ok()) {
+    return analyzed.status();
+  }
+
+  // Resolve the target clause BEFORE minting the id: a bad clause fails the
+  // submission outright.
+  Result<std::vector<HostId>> targeted =
+      registry_->Resolve(analyzed->query.targets);
+  if (!targeted.ok()) {
+    return targeted.status();
+  }
+  if (targeted->empty()) {
+    return NotFound("target clause matches no hosts");
+  }
+
+  const QueryId id = next_query_id_++;
+  Result<QueryPlan> plan = PlanQuery(*analyzed, id, scheduler_->Now());
+  if (!plan.ok()) {
+    return plan.status();
+  }
+
+  // Host-level sampling: a uniform subset of the targeted hosts.
+  std::vector<HostId> chosen = *targeted;
+  const double rate = analyzed->query.host_sample_rate;
+  if (rate < 1.0) {
+    // Fisher-Yates prefix shuffle with the server's deterministic RNG.
+    for (size_t i = 0; i + 1 < chosen.size(); ++i) {
+      const size_t j =
+          i + static_cast<size_t>(rng_.NextBelow(chosen.size() - i));
+      std::swap(chosen[i], chosen[j]);
+    }
+    const size_t n = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::llround(rate * static_cast<double>(chosen.size()))));
+    chosen.resize(n);
+    std::sort(chosen.begin(), chosen.end());
+  }
+
+  plan->central.hosts_targeted = targeted->size();
+  plan->central.hosts_sampled = chosen.size();
+
+  Disseminate(id, *plan, chosen, std::move(user_sink));
+
+  ActiveInfo info;
+  info.installed_hosts = chosen;
+  info.end_time = plan->host.end_time;
+  active_.emplace(id, std::move(info));
+
+  // Schedule teardown just past the span (agents and central self-expire
+  // too; the explicit teardown frees state promptly when messages arrive).
+  scheduler_->ScheduleAt(plan->host.end_time + 1, [this, id] { Teardown(id); });
+
+  SubmittedQuery out;
+  out.id = id;
+  out.hosts_targeted = targeted->size();
+  out.hosts_installed = chosen.size();
+  out.start_time = plan->host.start_time;
+  out.end_time = plan->host.end_time;
+  return out;
+}
+
+void QueryServer::Disseminate(QueryId /*id*/, const QueryPlan& plan,
+                              const std::vector<HostId>& hosts,
+                              ResultSink user_sink) {
+  // Central first: its query object carries the join/group-by/aggregation
+  // operators. Result rows route central -> server -> user.
+  const CentralPlan central_plan = plan.central;
+  ResultSink routed = [this, sink = std::move(user_sink)](
+                          const ResultRow& row) {
+    size_t bytes = 24;
+    for (const Value& v : row.values) {
+      bytes += v.WireSize();
+    }
+    transport_->Send(central_host_, server_host_, bytes,
+                     TrafficCategory::kScrubResults,
+                     [sink, row] { sink(row); });
+  };
+  transport_->Send(server_host_, central_host_, 256,
+                   TrafficCategory::kScrubControl,
+                   [this, central_plan, routed] {
+                     // Install failures here are programming errors (the
+                     // plan was validated at submission).
+                     (void)central_->InstallQuery(central_plan, routed);
+                   });
+
+  // Then the host-side query objects: selection + projection + sampling.
+  for (const HostId host : hosts) {
+    const HostPlan host_plan = plan.host;
+    transport_->Send(server_host_, host, host_plan.WireSize(),
+                     TrafficCategory::kScrubControl,
+                     [this, host, host_plan] {
+                       ScrubAgent* agent = agents_(host);
+                       if (agent != nullptr) {
+                         agent->InstallQuery(host_plan);
+                       }
+                     });
+  }
+}
+
+void QueryServer::Teardown(QueryId id) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) {
+    return;
+  }
+  for (const HostId host : it->second.installed_hosts) {
+    transport_->Send(server_host_, host, 32, TrafficCategory::kScrubControl,
+                     [this, host, id] {
+                       ScrubAgent* agent = agents_(host);
+                       if (agent != nullptr) {
+                         agent->RemoveQuery(id);
+                       }
+                     });
+  }
+  // Central keeps the query alive until end_time + allowed lateness so the
+  // final windows drain; its own OnTick retires it.
+  active_.erase(it);
+}
+
+Status QueryServer::Cancel(QueryId id) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) {
+    return NotFound(StrFormat("query %llu is not active",
+                              static_cast<unsigned long long>(id)));
+  }
+  for (const HostId host : it->second.installed_hosts) {
+    transport_->Send(server_host_, host, 32, TrafficCategory::kScrubControl,
+                     [this, host, id] {
+                       ScrubAgent* agent = agents_(host);
+                       if (agent != nullptr) {
+                         agent->RemoveQuery(id);
+                       }
+                     });
+  }
+  transport_->Send(server_host_, central_host_, 32,
+                   TrafficCategory::kScrubControl,
+                   [this, id] { central_->RemoveQuery(id); });
+  active_.erase(it);
+  return OkStatus();
+}
+
+}  // namespace scrub

@@ -1,0 +1,100 @@
+// The Scrub query server (Section 4, Figure 3).
+//
+// Users submit query text here. The server parses and validates the query,
+// mints a unique query identifier, splits it into host-side and central-side
+// query objects, resolves the @[...] target clause against the host
+// registry, applies host-level sampling, and disseminates the query objects:
+// selection/projection plans to the chosen application hosts,
+// join/group-by/aggregation plans to ScrubCentral. Result rows flow back
+// from ScrubCentral through the server to the submitting user's sink.
+//
+// Every query has a finite span; at expiry the server sends teardown
+// messages (and agents/central also self-expire, so a lost teardown cannot
+// leave load behind).
+
+#ifndef SRC_SERVER_QUERY_SERVER_H_
+#define SRC_SERVER_QUERY_SERVER_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/agent/agent.h"
+#include "src/central/central.h"
+#include "src/cluster/host_registry.h"
+#include "src/cluster/scheduler.h"
+#include "src/cluster/transport.h"
+#include "src/common/rng.h"
+#include "src/query/analyzer.h"
+
+namespace scrub {
+
+// How the server reaches the agent running on a given host. The simulation
+// harness owns the agents; the server only addresses them.
+using AgentAccessor = std::function<ScrubAgent*(HostId)>;
+
+struct ServerConfig {
+  AnalyzerOptions analyzer;
+  uint64_t host_sampling_seed = 0x5eed;
+  // Admission control: Scrub serves many users at once, but a runaway
+  // script submitting queries in a loop must not be able to blanket the
+  // fleet. Submissions beyond this are rejected with kResourceExhausted.
+  size_t max_active_queries = 64;
+};
+
+struct SubmittedQuery {
+  QueryId id = 0;
+  size_t hosts_targeted = 0;   // N: hosts matched by the target clause
+  size_t hosts_installed = 0;  // n: after host-level sampling
+  TimeMicros start_time = 0;
+  TimeMicros end_time = 0;
+};
+
+class QueryServer {
+ public:
+  QueryServer(Scheduler* scheduler, Transport* transport,
+              HostRegistry* registry, const SchemaRegistry* schemas,
+              ScrubCentral* central, HostId server_host, HostId central_host,
+              AgentAccessor agents, ServerConfig config = {});
+
+  // Parse + validate + plan + disseminate. Rows arrive on `user_sink` as
+  // windows close at ScrubCentral.
+  Result<SubmittedQuery> Submit(std::string_view query_text,
+                                ResultSink user_sink);
+  Result<SubmittedQuery> SubmitParsed(const Query& query,
+                                      ResultSink user_sink);
+
+  // Early cancellation (before the span expires).
+  Status Cancel(QueryId id);
+
+  size_t active_queries() const { return active_.size(); }
+  uint64_t queries_submitted() const { return next_query_id_ - 1; }
+
+ private:
+  struct ActiveInfo {
+    std::vector<HostId> installed_hosts;
+    TimeMicros end_time = 0;
+  };
+
+  void Disseminate(QueryId id, const QueryPlan& plan,
+                   const std::vector<HostId>& hosts, ResultSink user_sink);
+  void Teardown(QueryId id);
+
+  Scheduler* scheduler_;
+  Transport* transport_;
+  HostRegistry* registry_;
+  const SchemaRegistry* schemas_;
+  ScrubCentral* central_;
+  HostId server_host_;
+  HostId central_host_;
+  AgentAccessor agents_;
+  ServerConfig config_;
+  Rng rng_;
+  QueryId next_query_id_ = 1;
+  std::unordered_map<QueryId, ActiveInfo> active_;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_SERVER_QUERY_SERVER_H_

@@ -1,0 +1,95 @@
+#include "src/sketch/hyperloglog.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace scrub {
+
+uint64_t HashMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashBytes64(const void* data, size_t len) {
+  // FNV-1a followed by a mix finalizer; quality is plenty for sketching.
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return HashMix64(h);
+}
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  assert(precision >= 4 && precision <= 18);
+  const size_t m = size_t{1} << precision;
+  mask_ = m - 1;
+  registers_.assign(m, 0);
+}
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  const size_t idx = hash & mask_;
+  const uint64_t rest = hash >> precision_;
+  // Rank: position of first 1-bit in the remaining (64 - p) bits, 1-based.
+  const int rank =
+      rest == 0 ? (64 - precision_ + 1) : (__builtin_ctzll(rest) + 1);
+  if (registers_[idx] < rank) {
+    registers_[idx] = static_cast<uint8_t>(rank);
+  }
+}
+
+void HyperLogLog::Add(std::string_view key) {
+  AddHash(HashBytes64(key.data(), key.size()));
+}
+
+void HyperLogLog::Add(int64_t key) {
+  AddHash(HashMix64(static_cast<uint64_t>(key)));
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double sum = 0.0;
+  size_t zeros = 0;
+  for (const uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -r);
+    if (r == 0) {
+      ++zeros;
+    }
+  }
+  double alpha;
+  if (registers_.size() <= 16) {
+    alpha = 0.673;
+  } else if (registers_.size() <= 32) {
+    alpha = 0.697;
+  } else if (registers_.size() <= 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  const double raw = alpha * m * m / sum;
+  // Small-range correction: linear counting while any register is empty and
+  // the raw estimate is below the 2.5m threshold.
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  assert(precision_ == other.precision_);
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) {
+      registers_[i] = other.registers_[i];
+    }
+  }
+}
+
+void HyperLogLog::Reset() {
+  std::fill(registers_.begin(), registers_.end(), 0);
+}
+
+}  // namespace scrub

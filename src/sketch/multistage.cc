@@ -1,0 +1,85 @@
+#include "src/sketch/multistage.h"
+
+#include <cmath>
+#include <limits>
+
+namespace scrub {
+namespace {
+
+Result<ApproxSum> EstimateImpl(const std::vector<HostSampleStats>& hosts,
+                               uint64_t total_hosts, double confidence,
+                               bool count_mode) {
+  if (hosts.empty()) {
+    return FailedPrecondition("no sampled hosts");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return InvalidArgument("confidence must be in (0, 1)");
+  }
+  const double big_n = static_cast<double>(total_hosts);
+  const double n = static_cast<double>(hosts.size());
+  if (n > big_n) {
+    return InvalidArgument("sampled hosts exceed host population");
+  }
+
+  ApproxSum out;
+  out.confidence = confidence;
+  out.hosts_sampled = hosts.size();
+  out.hosts_population = total_hosts;
+
+  // Per-host estimated totals tau_i = (M_i / m_i) * sum_j v_ij, and the
+  // within-host variance term of Eq. 3.
+  RunningStats host_totals;
+  double within = 0.0;
+  for (const HostSampleStats& h : hosts) {
+    const double mi = static_cast<double>(h.sampled());
+    const double big_mi = static_cast<double>(h.population);
+    out.events_sampled += h.sampled();
+    out.events_population += h.population;
+    if (h.sampled() == 0) {
+      // A sampled host that produced no samples estimates a zero total and
+      // contributes no within-host variance information.
+      host_totals.Add(0.0);
+      continue;
+    }
+    const double sum_vij =
+        count_mode ? mi : h.readings.sum();
+    const double tau_i = (big_mi / mi) * sum_vij;
+    host_totals.Add(tau_i);
+    const double s2_i = count_mode ? 0.0 : h.readings.variance();
+    within += big_mi * (big_mi - mi) * s2_i / mi;
+  }
+
+  // host_totals.sum() is sum_i tau_i; Eq. 1 is (N/n) * sum_i tau_i.
+  out.estimate = (big_n / n) * host_totals.sum();
+
+  const double s2_u = host_totals.variance();
+  out.variance = big_n * (big_n - n) * s2_u / n + (big_n / n) * within;
+  if (out.variance < 0.0) {
+    out.variance = 0.0;  // guard FP cancellation
+  }
+
+  if (out.variance == 0.0) {
+    out.error_bound = 0.0;
+  } else if (hosts.size() < 2) {
+    out.error_bound = std::numeric_limits<double>::infinity();
+  } else {
+    const double t =
+        StudentTQuantile(1.0 - (1.0 - confidence) / 2.0, n - 1.0);
+    out.error_bound = t * std::sqrt(out.variance);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ApproxSum> EstimateSum(const std::vector<HostSampleStats>& hosts,
+                              uint64_t total_hosts, double confidence) {
+  return EstimateImpl(hosts, total_hosts, confidence, /*count_mode=*/false);
+}
+
+Result<ApproxSum> EstimateCount(const std::vector<HostSampleStats>& hosts,
+                                uint64_t total_hosts, double confidence) {
+  return EstimateImpl(hosts, total_hosts, confidence, /*count_mode=*/true);
+}
+
+}  // namespace scrub

@@ -1,0 +1,66 @@
+// Multi-stage (two-stage cluster) sampling estimator with error bounds.
+//
+// Implements the paper's Equations 1-3 (Section 3.2, following
+// ApproxHadoop): to approximate a SUM over all events on all hosts, Scrub
+// samples n of N hosts (host-level sampling) and m_i of M_i events on each
+// sampled host i (event-level sampling). The estimator is
+//
+//   tau_hat = (N/n) * sum_i (M_i/m_i) * sum_j v_ij            (Eq. 1)
+//   eps     = t_{n-1, 1-alpha/2} * sqrt(Var_hat(tau_hat))     (Eq. 2)
+//   Var_hat = N(N-n) s_u^2 / n
+//           + (N/n) * sum_i M_i (M_i - m_i) s_i^2 / m_i       (Eq. 3)
+//
+// where s_i^2 is the sample variance of readings on host i and s_u^2 is the
+// sample variance of the estimated per-host totals. COUNT is the special
+// case v_ij = 1 with s_i^2 = 0.
+
+#ifndef SRC_SKETCH_MULTISTAGE_H_
+#define SRC_SKETCH_MULTISTAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sketch/stats.h"
+
+namespace scrub {
+
+// Per-sampled-host accumulator, maintained incrementally by ScrubCentral as
+// sampled events arrive: the running stats over observed readings plus the
+// host's (estimated or reported) total event population M_i.
+struct HostSampleStats {
+  RunningStats readings;      // the m_i sampled values v_ij
+  uint64_t population = 0;    // M_i: events of the queried type on host i
+
+  uint64_t sampled() const { return readings.count(); }
+};
+
+struct ApproxSum {
+  double estimate = 0.0;      // tau_hat
+  double error_bound = 0.0;   // eps at the requested confidence
+  double variance = 0.0;      // Var_hat(tau_hat)
+  double confidence = 0.95;
+  uint64_t hosts_sampled = 0;      // n
+  uint64_t hosts_population = 0;   // N
+  uint64_t events_sampled = 0;     // sum m_i
+  uint64_t events_population = 0;  // sum over sampled hosts of M_i
+};
+
+// Computes Equations 1-3 over the per-host partials.
+//   total_hosts: N (hosts matched by the @[...] clause before host sampling).
+//   confidence: e.g. 0.95 for a 95% interval.
+// Requires at least one sampled host; with n == 1 the t quantile is
+// undefined, so the bound degrades to +infinity unless variance is zero.
+Result<ApproxSum> EstimateSum(const std::vector<HostSampleStats>& hosts,
+                              uint64_t total_hosts, double confidence);
+
+// COUNT specialisation: readings are implicitly 1, so only m_i and M_i
+// matter. Implemented via EstimateSum on indicator readings' sufficient
+// statistics (per-host variance of the constant 1 is zero; host-to-host
+// variance still contributes).
+Result<ApproxSum> EstimateCount(const std::vector<HostSampleStats>& hosts,
+                                uint64_t total_hosts, double confidence);
+
+}  // namespace scrub
+
+#endif  // SRC_SKETCH_MULTISTAGE_H_

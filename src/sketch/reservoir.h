@@ -1,0 +1,48 @@
+// Reservoir sampling: a uniform sample of fixed size k from a stream of
+// unknown length (Vitter's Algorithm R). Used by the logging baseline's
+// batch engine and by diagnostics that need a representative event sample.
+
+#ifndef SRC_SKETCH_RESERVOIR_H_
+#define SRC_SKETCH_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace scrub {
+
+template <typename T>
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    sample_.reserve(capacity);
+  }
+
+  void Add(T item) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(std::move(item));
+      return;
+    }
+    const uint64_t j = rng_.NextBelow(seen_);
+    if (j < capacity_) {
+      sample_[j] = std::move(item);
+    }
+  }
+
+  const std::vector<T>& sample() const { return sample_; }
+  uint64_t seen() const { return seen_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  uint64_t seen_ = 0;
+  std::vector<T> sample_;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_SKETCH_RESERVOIR_H_

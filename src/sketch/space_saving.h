@@ -1,0 +1,162 @@
+// SpaceSaving stream summary for TOP-K.
+//
+// Scrub's TOP-K aggregate uses the space-saving algorithm (paper Section 3.2,
+// citing Metwally, Agrawal, El Abbadi, ICDT'05). With capacity m counters it
+// guarantees, for every reported item, count_hat - count_true <= N/m where N
+// is the stream length, and every item with true count > N/m is in the
+// summary. The `error` field carries the per-item overestimate bound.
+//
+// Merging two summaries (needed when ScrubCentral combines per-window
+// partials) follows the standard approach: sum counts of shared keys, offset
+// missing keys by the other summary's minimum, then trim back to capacity.
+
+#ifndef SRC_SKETCH_SPACE_SAVING_H_
+#define SRC_SKETCH_SPACE_SAVING_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace scrub {
+
+template <typename Key, typename Hash = std::hash<Key>>
+class SpaceSaving {
+ public:
+  struct Entry {
+    Key key;
+    uint64_t count = 0;  // upper bound on the true count
+    uint64_t error = 0;  // count - error is a lower bound
+  };
+
+  explicit SpaceSaving(size_t capacity) : capacity_(capacity) {
+    assert(capacity > 0);
+  }
+
+  void Add(const Key& key, uint64_t increment = 1) {
+    total_ += increment;
+    auto it = counters_.find(key);
+    if (it != counters_.end()) {
+      it->second.count += increment;
+      return;
+    }
+    if (counters_.size() < capacity_) {
+      counters_.emplace(key, Entry{key, increment, 0});
+      return;
+    }
+    // Evict the minimum counter; the newcomer inherits its count as error.
+    auto min_it = MinEntry();
+    Entry evicted = min_it->second;
+    counters_.erase(min_it);
+    counters_.emplace(
+        key, Entry{key, evicted.count + increment, evicted.count});
+  }
+
+  // Entries sorted by descending count; at most k (0 = all).
+  std::vector<Entry> TopK(size_t k = 0) const {
+    std::vector<Entry> out;
+    out.reserve(counters_.size());
+    for (const auto& [key, entry] : counters_) {
+      out.push_back(entry);
+    }
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      return a.count > b.count;
+    });
+    if (k > 0 && out.size() > k) {
+      out.resize(k);
+    }
+    return out;
+  }
+
+  // Guaranteed maximum overestimation for any reported count: N/m once the
+  // summary is full, else 0.
+  uint64_t ErrorBound() const {
+    return counters_.size() < capacity_ ? 0 : total_ / capacity_;
+  }
+
+  void Merge(const SpaceSaving& other) {
+    // Items absent from one summary could have occurred up to that summary's
+    // min count times; add that as error-carrying offset.
+    const uint64_t self_min = MinCountOrZero();
+    const uint64_t other_min = other.MinCountOrZero();
+    std::unordered_map<Key, Entry, Hash> merged;
+    for (const auto& [key, entry] : counters_) {
+      Entry e = entry;
+      const auto oit = other.counters_.find(key);
+      if (oit != other.counters_.end()) {
+        e.count += oit->second.count;
+        e.error += oit->second.error;
+      } else {
+        e.count += other_min;
+        e.error += other_min;
+      }
+      merged.emplace(key, e);
+    }
+    for (const auto& [key, entry] : other.counters_) {
+      if (merged.count(key)) {
+        continue;
+      }
+      Entry e = entry;
+      e.count += self_min;
+      e.error += self_min;
+      merged.emplace(key, e);
+    }
+    // Trim back to capacity, keeping the heaviest.
+    if (merged.size() > capacity_) {
+      std::vector<Entry> all;
+      all.reserve(merged.size());
+      for (auto& [key, entry] : merged) {
+        all.push_back(std::move(entry));
+      }
+      std::nth_element(all.begin(), all.begin() + capacity_ - 1, all.end(),
+                       [](const Entry& a, const Entry& b) {
+                         return a.count > b.count;
+                       });
+      all.resize(capacity_);
+      merged.clear();
+      for (auto& entry : all) {
+        Key k = entry.key;
+        merged.emplace(std::move(k), std::move(entry));
+      }
+    }
+    counters_ = std::move(merged);
+    total_ += other.total_;
+  }
+
+  size_t size() const { return counters_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t total() const { return total_; }
+
+ private:
+  typename std::unordered_map<Key, Entry, Hash>::iterator MinEntry() {
+    auto min_it = counters_.begin();
+    for (auto it = counters_.begin(); it != counters_.end(); ++it) {
+      if (it->second.count < min_it->second.count) {
+        min_it = it;
+      }
+    }
+    return min_it;
+  }
+
+  uint64_t MinCountOrZero() const {
+    if (counters_.size() < capacity_) {
+      return 0;  // summary not full: absent keys truly have count 0
+    }
+    uint64_t min_count = UINT64_MAX;
+    for (const auto& [key, entry] : counters_) {
+      min_count = std::min(min_count, entry.count);
+    }
+    return min_count == UINT64_MAX ? 0 : min_count;
+  }
+
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::unordered_map<Key, Entry, Hash> counters_;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_SKETCH_SPACE_SAVING_H_

@@ -1,0 +1,120 @@
+#include "src/sketch/stats.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace scrub {
+
+void RunningStats::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+RunningStats RunningStats::Constant(uint64_t n, double value) {
+  RunningStats s;
+  s.n_ = n;
+  s.mean_ = n == 0 ? 0.0 : value;
+  s.m2_ = 0.0;
+  return s;
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double NormalQuantile(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1.0 - p_low;
+  double q;
+  double r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double StudentTQuantile(double p, double df) {
+  assert(p > 0.0 && p < 1.0);
+  assert(df >= 1.0);
+  if (p == 0.5) {
+    return 0.0;
+  }
+  // Symmetric: solve for the upper half.
+  if (p < 0.5) {
+    return -StudentTQuantile(1.0 - p, df);
+  }
+  // Exact closed forms for 1 and 2 degrees of freedom.
+  if (df == 1.0) {
+    return std::tan(M_PI * (p - 0.5));
+  }
+  if (df == 2.0) {
+    const double alpha = 2.0 * (1.0 - p);
+    return std::sqrt(2.0 / (alpha * (2.0 - alpha)) - 2.0);
+  }
+  // Hill (1970) approximation, refined with one Cornish-Fisher step.
+  const double z = NormalQuantile(p);
+  const double g1 = (z * z * z + z) / 4.0;
+  const double g2 = (5.0 * std::pow(z, 5) + 16.0 * z * z * z + 3.0 * z) / 96.0;
+  const double g3 =
+      (3.0 * std::pow(z, 7) + 19.0 * std::pow(z, 5) + 17.0 * z * z * z -
+       15.0 * z) /
+      384.0;
+  const double g4 = (79.0 * std::pow(z, 9) + 776.0 * std::pow(z, 7) +
+                     1482.0 * std::pow(z, 5) - 1920.0 * z * z * z - 945.0 * z) /
+                    92160.0;
+  return z + g1 / df + g2 / (df * df) + g3 / (df * df * df) +
+         g4 / (df * df * df * df);
+}
+
+}  // namespace scrub

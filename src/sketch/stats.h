@@ -1,0 +1,45 @@
+// Streaming statistics and distribution quantiles used by the sampling
+// error-bound machinery (paper Section 3.2, Equations 1-3).
+
+#ifndef SRC_SKETCH_STATS_H_
+#define SRC_SKETCH_STATS_H_
+
+#include <cstdint>
+
+namespace scrub {
+
+// Welford's online mean/variance. Numerically stable; merge supported via
+// the parallel-variance (Chan) formula so hosts can reduce partials.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  // n observations all equal to `value` (zero variance). Used to fold the
+  // "sampled but filtered out by selection" zero readings into Eq. 3 without
+  // looping.
+  static RunningStats Constant(uint64_t n, double value);
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  // Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return n_ == 0 ? 0.0 : mean_ * static_cast<double>(n_); }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Inverse standard normal CDF (Acklam's rational approximation, |e|<1.15e-9).
+double NormalQuantile(double p);
+
+// Inverse Student-t CDF with df degrees of freedom (Hill's algorithm; exact
+// forms for df=1,2). Used for t_{n-1, 1-alpha/2} in Equation 2.
+double StudentTQuantile(double p, double df);
+
+}  // namespace scrub
+
+#endif  // SRC_SKETCH_STATS_H_

@@ -1,0 +1,226 @@
+// Unit tests for the per-host ScrubAgent: selection, projection, sampling,
+// shedding, window counters, flush batching, and self-expiry.
+
+#include <gtest/gtest.h>
+
+#include "src/agent/agent.h"
+#include "src/event/wire.h"
+#include "src/plan/plan.h"
+#include "src/query/analyzer.h"
+
+namespace scrub {
+namespace {
+
+class AgentTest : public ::testing::Test {
+ protected:
+  AgentTest() : meter_(), agent_(MakeAgent()) {
+    schema_ = *EventSchema::Builder("bid")
+                   .AddField("user_id", FieldType::kLong)
+                   .AddField("price", FieldType::kDouble)
+                   .AddField("country", FieldType::kString)
+                   .Build();
+    EXPECT_TRUE(registry_.Register(schema_).ok());
+  }
+
+  ScrubAgent MakeAgent(size_t staging = 64) {
+    AgentConfig config;
+    config.staging_capacity = staging;
+    return ScrubAgent(/*host=*/3, &meter_, config, /*sampling_seed=*/99);
+  }
+
+  HostPlan PlanFor(std::string_view text, TimeMicros submit = 0) {
+    Result<AnalyzedQuery> aq = ParseAndAnalyze(text, registry_);
+    EXPECT_TRUE(aq.ok()) << aq.status().ToString();
+    Result<QueryPlan> plan = PlanQuery(*aq, next_id_++, submit);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan->host;
+  }
+
+  Event MakeBid(RequestId rid, TimeMicros ts, int64_t user, double price) {
+    Event e(schema_, rid, ts);
+    e.SetField(0, Value(user));
+    e.SetField(1, Value(price));
+    e.SetField(2, Value("US"));
+    return e;
+  }
+
+  SchemaRegistry registry_;
+  SchemaPtr schema_;
+  CostMeter meter_;
+  ScrubAgent agent_;
+  QueryId next_id_ = 1;
+};
+
+TEST_F(AgentTest, NoQueriesStillChargesLogFloor) {
+  const int64_t ns = agent_.LogEvent(MakeBid(1, 10, 5, 1.0));
+  EXPECT_GT(ns, 0);
+  EXPECT_EQ(meter_.scrub_ns(), ns);
+  EXPECT_EQ(agent_.total_events_logged(), 1u);
+  // Nothing staged.
+  EXPECT_TRUE(agent_.Flush(100).empty());
+}
+
+TEST_F(AgentTest, SelectionFiltersAndProjectionNulls) {
+  agent_.InstallQuery(PlanFor(
+      "SELECT bid.user_id, COUNT(*) FROM bid WHERE bid.price > 2.0 "
+      "GROUP BY bid.user_id WINDOW 1 s DURATION 60 s;"));
+  agent_.LogEvent(MakeBid(1, 10, 7, 3.0));   // passes
+  agent_.LogEvent(MakeBid(2, 11, 8, 1.0));   // filtered
+  std::vector<EventBatch> batches = agent_.Flush(20);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].event_count, 1u);
+  Result<std::vector<Event>> events =
+      DecodeBatch(registry_, batches[0].payload);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 1u);
+  const Event& shipped = (*events)[0];
+  EXPECT_EQ(shipped.GetField("user_id"), Value(int64_t{7}));
+  EXPECT_EQ(shipped.GetField("price"), Value(3.0));  // read by WHERE
+  EXPECT_TRUE(shipped.GetField("country").is_null());  // projected away
+
+  const AgentQueryStats* stats = agent_.StatsFor(1);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->events_considered, 2u);
+  EXPECT_EQ(stats->events_filtered, 1u);
+  EXPECT_EQ(stats->events_staged, 1u);
+  EXPECT_EQ(stats->events_shipped, 1u);
+}
+
+TEST_F(AgentTest, WindowCountersTrackSeenAndSampled) {
+  agent_.InstallQuery(PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 10 s;"));
+  // 3 events in window [0,1s), 2 in [1s,2s).
+  agent_.LogEvent(MakeBid(1, 100, 1, 1.0));
+  agent_.LogEvent(MakeBid(2, 200, 1, 1.0));
+  agent_.LogEvent(MakeBid(3, 900'000, 1, 1.0));
+  agent_.LogEvent(MakeBid(4, 1'100'000, 1, 1.0));
+  agent_.LogEvent(MakeBid(5, 1'900'000, 1, 1.0));
+  std::vector<EventBatch> batches = agent_.Flush(2'000'000);
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_EQ(batches[0].counters.size(), 2u);
+  EXPECT_EQ(batches[0].counters[0].window_start, 0);
+  EXPECT_EQ(batches[0].counters[0].seen, 3u);
+  EXPECT_EQ(batches[0].counters[0].sampled, 3u);  // no sampling -> all
+  EXPECT_EQ(batches[0].counters[1].window_start, 1'000'000);
+  EXPECT_EQ(batches[0].counters[1].seen, 2u);
+}
+
+TEST_F(AgentTest, EventSamplingReducesShippedShare) {
+  agent_.InstallQuery(PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 60 s DURATION 60 s "
+      "SAMPLE EVENTS 10%;"));
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    agent_.LogEvent(MakeBid(static_cast<RequestId>(i), 100 + i, 1, 1.0));
+  }
+  const AgentQueryStats* stats = agent_.StatsFor(1);
+  ASSERT_NE(stats, nullptr);
+  const double rate =
+      static_cast<double>(stats->events_staged + stats->events_dropped) / n;
+  EXPECT_NEAR(rate, 0.10, 0.02);
+  EXPECT_EQ(stats->events_sampled_out + stats->events_staged +
+                stats->events_dropped,
+            static_cast<uint64_t>(n));
+}
+
+TEST_F(AgentTest, ShedsInsteadOfBlockingWhenStagingFull) {
+  ScrubAgent small = MakeAgent(/*staging=*/8);
+  small.InstallQuery(PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 60 s DURATION 60 s;"));
+  for (int i = 0; i < 20; ++i) {
+    small.LogEvent(MakeBid(static_cast<RequestId>(i), 100, 1, 1.0));
+  }
+  const AgentQueryStats* stats = small.StatsFor(next_id_ - 1);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->events_staged, 8u);
+  EXPECT_EQ(stats->events_dropped, 12u);
+}
+
+TEST_F(AgentTest, FlushSplitsLargeBatches) {
+  AgentConfig config;
+  config.staging_capacity = 4096;
+  config.max_batch_events = 100;
+  ScrubAgent agent(1, &meter_, config, 1);
+  agent.InstallQuery(PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 60 s DURATION 60 s;"));
+  for (int i = 0; i < 250; ++i) {
+    agent.LogEvent(MakeBid(static_cast<RequestId>(i), 100, 1, 1.0));
+  }
+  std::vector<EventBatch> batches = agent.Flush(200);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].event_count, 100u);
+  EXPECT_EQ(batches[1].event_count, 100u);
+  EXPECT_EQ(batches[2].event_count, 50u);
+}
+
+TEST_F(AgentTest, EventsOutsideSpanIgnored) {
+  agent_.InstallQuery(PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s START 10 s DURATION 5 s;"));
+  agent_.LogEvent(MakeBid(1, 5 * kMicrosPerSecond, 1, 1.0));    // too early
+  agent_.LogEvent(MakeBid(2, 12 * kMicrosPerSecond, 1, 1.0));   // in span
+  agent_.LogEvent(MakeBid(3, 16 * kMicrosPerSecond, 1, 1.0));   // too late
+  const AgentQueryStats* stats = agent_.StatsFor(1);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->events_considered, 1u);
+}
+
+TEST_F(AgentTest, ExpiredQueriesRetireOnFlush) {
+  agent_.InstallQuery(PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 2 s;"));
+  agent_.LogEvent(MakeBid(1, 100, 1, 1.0));
+  std::vector<QueryId> expired;
+  std::vector<EventBatch> batches =
+      agent_.Flush(3 * kMicrosPerSecond, &expired);
+  EXPECT_EQ(batches.size(), 1u);  // final drain still ships
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 1u);
+  EXPECT_EQ(agent_.active_queries(), 0u);
+  // Stats survive retirement.
+  EXPECT_NE(agent_.StatsFor(1), nullptr);
+}
+
+TEST_F(AgentTest, RemoveQueryStopsCollection) {
+  agent_.InstallQuery(PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 60 s;"));
+  agent_.RemoveQuery(1);
+  agent_.LogEvent(MakeBid(1, 100, 1, 1.0));
+  EXPECT_TRUE(agent_.Flush(200).empty());
+}
+
+TEST_F(AgentTest, MultipleQueriesProcessIndependently) {
+  agent_.InstallQuery(PlanFor(
+      "SELECT COUNT(*) FROM bid WHERE bid.price > 5.0 "
+      "WINDOW 1 s DURATION 60 s;"));
+  agent_.InstallQuery(PlanFor(
+      "SELECT COUNT(*) FROM bid WHERE bid.user_id = 1 "
+      "WINDOW 1 s DURATION 60 s;"));
+  agent_.LogEvent(MakeBid(1, 100, 1, 1.0));   // matches only query 2
+  agent_.LogEvent(MakeBid(2, 100, 2, 9.0));   // matches only query 1
+  std::vector<EventBatch> batches = agent_.Flush(200);
+  ASSERT_EQ(batches.size(), 2u);
+  for (const EventBatch& b : batches) {
+    EXPECT_EQ(b.event_count, 1u);
+  }
+  EXPECT_NE(batches[0].query_id, batches[1].query_id);
+}
+
+TEST_F(AgentTest, PerQueryCostScalesWithActiveQueries) {
+  // The marginal cost of logging grows with matching queries — the E7
+  // relationship. Verify monotonicity at the agent level.
+  const int64_t baseline = agent_.LogEvent(MakeBid(1, 100, 1, 1.0));
+  agent_.InstallQuery(PlanFor(
+      "SELECT COUNT(*) FROM bid WHERE bid.price > 0.5 "
+      "WINDOW 1 s DURATION 60 s;"));
+  const int64_t one_query = agent_.LogEvent(MakeBid(2, 101, 1, 1.0));
+  for (int i = 0; i < 4; ++i) {
+    agent_.InstallQuery(PlanFor(
+        "SELECT COUNT(*) FROM bid WHERE bid.price > 0.5 "
+        "WINDOW 1 s DURATION 60 s;"));
+  }
+  const int64_t five_queries = agent_.LogEvent(MakeBid(3, 102, 1, 1.0));
+  EXPECT_GT(one_query, baseline);
+  EXPECT_GT(five_queries, one_query);
+}
+
+}  // namespace
+}  // namespace scrub

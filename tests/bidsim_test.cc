@@ -1,0 +1,286 @@
+// Unit tests for the synthetic bidding platform: topology, the request
+// pipeline, event emission, frequency caps, budgets, exchange activation,
+// and the workload generators.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/bidsim/platform.h"
+#include "src/bidsim/workload.h"
+
+namespace scrub {
+namespace {
+
+class BidsimTest : public ::testing::Test {
+ protected:
+  BidsimTest() : transport_(&scheduler_, &registry_) {
+    PlatformConfig config;
+    config.seed = 5;
+    config.datacenters = 2;
+    config.bidservers_per_dc = 2;
+    config.adservers_per_dc = 1;
+    config.presentation_per_dc = 1;
+    config.num_campaigns = 3;
+    config.line_items_per_campaign = 4;
+    platform_ = std::make_unique<BiddingPlatform>(
+        &scheduler_, &transport_, &registry_, &schemas_, config);
+    platform_->SetEventLogger([this](HostId host, const Event& event) {
+      logged_.emplace_back(host, event);
+      return int64_t{500};
+    });
+  }
+
+  BidRequest MakeRequest(UserId user, ExchangeId exchange, TimeMicros at) {
+    BidRequest req;
+    req.user_id = user;
+    req.exchange_id = exchange;
+    req.publisher_id = 3;
+    req.country = "US";
+    req.city = "san_jose";
+    req.arrival = at;
+    return req;
+  }
+
+  size_t CountEvents(const std::string& type) const {
+    size_t n = 0;
+    for (const auto& [host, event] : logged_) {
+      if (event.type_name() == type) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  Scheduler scheduler_;
+  HostRegistry registry_;
+  Transport transport_;
+  SchemaRegistry schemas_;
+  std::unique_ptr<BiddingPlatform> platform_;
+  std::vector<std::pair<HostId, Event>> logged_;
+};
+
+TEST_F(BidsimTest, TopologyMatchesConfig) {
+  EXPECT_EQ(platform_->bid_servers().size(), 4u);
+  EXPECT_EQ(platform_->ad_servers().size(), 2u);
+  EXPECT_EQ(platform_->presentation_servers().size(), 2u);
+  EXPECT_EQ(registry_.Get(platform_->bid_servers()[0]).service,
+            "BidServers");
+  EXPECT_EQ(registry_.Get(platform_->bid_servers()[0]).datacenter, "DC1");
+  EXPECT_EQ(registry_.Get(platform_->profile_store_host()).service,
+            "ProfileStore");
+  EXPECT_EQ(platform_->line_items().size(), 12u);
+  EXPECT_EQ(platform_->exchanges().size(), 4u);
+}
+
+TEST_F(BidsimTest, PipelineEmitsEventsAtTheRightHosts) {
+  platform_->SubmitBidRequest(MakeRequest(1, 1, 1000));
+  scheduler_.RunUntil(10 * kMicrosPerSecond);
+
+  EXPECT_EQ(platform_->stats().requests, 1u);
+  EXPECT_GE(CountEvents(kExclusionEvent) + CountEvents(kAuctionEvent), 1u);
+
+  std::set<std::string> services_by_type[3];
+  for (const auto& [host, event] : logged_) {
+    const std::string& service = registry_.Get(host).service;
+    if (event.type_name() == kBidEvent) {
+      EXPECT_EQ(service, "BidServers");
+    } else if (event.type_name() == kAuctionEvent ||
+               event.type_name() == kExclusionEvent) {
+      EXPECT_EQ(service, "AdServers");
+    } else if (event.type_name() == kImpressionEvent ||
+               event.type_name() == kClickEvent) {
+      EXPECT_EQ(service, "PresentationServers");
+    } else if (event.type_name() == kProfileUpdateEvent) {
+      EXPECT_EQ(service, "ProfileStore");
+    }
+  }
+}
+
+TEST_F(BidsimTest, EventsOfOneRequestShareTheRequestId) {
+  platform_->SubmitBidRequest(MakeRequest(9, 2, 1000));
+  scheduler_.RunUntil(10 * kMicrosPerSecond);
+  std::set<RequestId> rids;
+  for (const auto& [host, event] : logged_) {
+    rids.insert(event.request_id());
+  }
+  EXPECT_EQ(rids.size(), 1u);
+}
+
+TEST_F(BidsimTest, RequestLatencyWithinSlo) {
+  for (int i = 0; i < 200; ++i) {
+    platform_->SubmitBidRequest(
+        MakeRequest(static_cast<UserId>(i), (i % 4) + 1,
+                    1000 + i * 1000));
+  }
+  scheduler_.RunUntil(10 * kMicrosPerSecond);
+  ASSERT_EQ(platform_->request_latency_us().count(), 200u);
+  // Two intra-DC hops (~500us) + ~1ms processing; well under the 20ms SLO.
+  EXPECT_LT(platform_->request_latency_us().p99(), 20'000);
+  EXPECT_GT(platform_->request_latency_us().mean(), 500.0);
+}
+
+TEST_F(BidsimTest, InactiveExchangeProducesNoTraffic) {
+  platform_->exchanges()[0].active_from = 100 * kMicrosPerSecond;
+  platform_->SubmitBidRequest(MakeRequest(1, 1, 1000));  // before activation
+  scheduler_.RunUntil(2 * kMicrosPerSecond);
+  EXPECT_EQ(platform_->stats().requests, 0u);
+  platform_->SubmitBidRequest(
+      MakeRequest(1, 1, 101 * kMicrosPerSecond));  // after
+  scheduler_.RunUntil(102 * kMicrosPerSecond);
+  EXPECT_EQ(platform_->stats().requests, 1u);
+}
+
+TEST_F(BidsimTest, ExclusionReasonsAreMeaningful) {
+  // A line item targeting only exchange 1 must be excluded with
+  // exchange_mismatch on exchange-2 traffic.
+  LineItem narrow;
+  narrow.id = 9999;
+  narrow.campaign_id = 99;
+  narrow.advisory_bid_price = 2.0;
+  narrow.exchanges = {1};
+  platform_->AddLineItem(narrow);
+  platform_->SubmitBidRequest(MakeRequest(1, 2, 1000));
+  scheduler_.RunUntil(5 * kMicrosPerSecond);
+  bool found = false;
+  for (const auto& [host, event] : logged_) {
+    if (event.type_name() == kExclusionEvent &&
+        event.GetField("line_item_id") == Value(int64_t{9999})) {
+      EXPECT_EQ(event.GetField("reason"), Value(kExclExchange));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(BidsimTest, CannibalizationDynamics) {
+  // Two line items with identical (open) targeting; A's advisory price is
+  // far above B's, so A wins every auction both enter (Section 8.5).
+  for (LineItem& item : platform_->line_items()) {
+    item.active = false;  // isolate the pair
+  }
+  LineItem a;
+  a.id = 501;
+  a.campaign_id = 50;
+  a.advisory_bid_price = 5.0;
+  LineItem b;
+  b.id = 502;
+  b.campaign_id = 50;
+  b.advisory_bid_price = 1.0;
+  platform_->AddLineItem(a);
+  platform_->AddLineItem(b);
+
+  for (int i = 0; i < 100; ++i) {
+    platform_->SubmitBidRequest(MakeRequest(static_cast<UserId>(i),
+                                            (i % 4) + 1, 1000 + i * 2000));
+  }
+  scheduler_.RunUntil(10 * kMicrosPerSecond);
+  size_t a_wins = 0;
+  size_t b_wins = 0;
+  for (const auto& [host, event] : logged_) {
+    if (event.type_name() != kAuctionEvent) {
+      continue;
+    }
+    const Value winner = event.GetField("winner_line_item_id");
+    if (winner == Value(int64_t{501})) {
+      ++a_wins;
+    }
+    if (winner == Value(int64_t{502})) {
+      ++b_wins;
+    }
+  }
+  EXPECT_GT(a_wins, 50u);
+  EXPECT_EQ(b_wins, 0u);  // fully cannibalized
+}
+
+TEST_F(BidsimTest, FrequencyCapExcludesAfterServes) {
+  // Force a single capped line item and drive repeated wins for one user.
+  for (LineItem& item : platform_->line_items()) {
+    item.active = false;
+  }
+  LineItem capped;
+  capped.id = 700;
+  capped.campaign_id = 70;
+  capped.advisory_bid_price = 4.0;
+  capped.frequency_cap_per_day = 1;
+  platform_->AddLineItem(capped);
+
+  // Serve once via the profile store directly, then check filtering.
+  platform_->profile_store().RecordServe(42, 700, 1000);
+  platform_->SubmitBidRequest(MakeRequest(42, 1, 2000));
+  scheduler_.RunUntil(5 * kMicrosPerSecond);
+  bool excluded_for_cap = false;
+  for (const auto& [host, event] : logged_) {
+    if (event.type_name() == kExclusionEvent &&
+        event.GetField("line_item_id") == Value(int64_t{700})) {
+      excluded_for_cap =
+          event.GetField("reason") == Value(kExclFrequencyCap);
+    }
+  }
+  EXPECT_TRUE(excluded_for_cap);
+  EXPECT_EQ(platform_->stats().no_bids, 1u);
+}
+
+TEST_F(BidsimTest, ProfileUpdateLossInjection) {
+  ProfileStore lossy(/*update_loss_rate=*/0.5, /*seed=*/3);
+  int losses = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!lossy.RecordServe(1, 1, 1000)) {
+      ++losses;
+    }
+  }
+  EXPECT_NEAR(losses, 500, 60);
+  // True count advances regardless; recorded lags by the losses.
+  EXPECT_EQ(lossy.TrueServeCount(1, 1, 1000), 1000);
+  EXPECT_EQ(lossy.RecordedServeCount(1, 1, 1000), 1000 - losses);
+  // Day rollover resets counts.
+  EXPECT_EQ(lossy.TrueServeCount(1, 1, 1000 + kMicrosPerDay), 0);
+}
+
+TEST_F(BidsimTest, HumanTrafficIsMostlySingleBatchPerUser) {
+  WorkloadDriver driver(&scheduler_, platform_.get(), 11);
+  HumanTrafficConfig humans;
+  humans.users = 500;
+  humans.horizon = 60 * kMicrosPerSecond;
+  driver.ScheduleHumanTraffic(humans);
+  scheduler_.RunUntil(70 * kMicrosPerSecond);
+  EXPECT_GT(driver.requests_issued(), 500u);    // >= 1 slot per page view
+  EXPECT_LT(driver.requests_issued(), 500 * 9); // bounded fan-out
+}
+
+TEST_F(BidsimTest, BotIssuesLargeBatches) {
+  WorkloadDriver driver(&scheduler_, platform_.get(), 12);
+  BotConfig bot;
+  bot.user_id = 666;
+  bot.requests_per_batch = 50;
+  bot.batch_interval = 10 * kMicrosPerSecond;
+  bot.stop = 30 * kMicrosPerSecond;
+  driver.ScheduleBot(bot);
+  scheduler_.RunUntil(40 * kMicrosPerSecond);
+  EXPECT_EQ(driver.requests_issued(), 150u);  // 3 batches of 50
+  EXPECT_EQ(platform_->stats().requests, 150u);
+}
+
+TEST_F(BidsimTest, PoissonLoadHitsTargetRate) {
+  WorkloadDriver driver(&scheduler_, platform_.get(), 13);
+  PoissonLoadConfig load;
+  load.requests_per_second = 500;
+  load.duration = 10 * kMicrosPerSecond;
+  driver.SchedulePoissonLoad(load);
+  scheduler_.RunUntil(12 * kMicrosPerSecond);
+  EXPECT_NEAR(static_cast<double>(driver.requests_issued()), 5000.0, 300.0);
+}
+
+TEST_F(BidsimTest, AppCpuChargedToMeters) {
+  platform_->SubmitBidRequest(MakeRequest(1, 1, 1000));
+  scheduler_.RunUntil(5 * kMicrosPerSecond);
+  int64_t total_app = 0;
+  for (size_t i = 0; i < registry_.size(); ++i) {
+    total_app += registry_.meter(static_cast<HostId>(i)).app_ns();
+  }
+  EXPECT_GT(total_app, 0);
+}
+
+}  // namespace
+}  // namespace scrub

@@ -1,0 +1,171 @@
+// Unit tests for the simulated cluster: scheduler determinism, host
+// registry + target resolution, and the transport's latency/byte accounting.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/host_registry.h"
+#include "src/cluster/scheduler.h"
+#include "src/cluster/transport.h"
+
+namespace scrub {
+namespace {
+
+TEST(SchedulerTest, FiresInTimeThenInsertionOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(100, [&] { order.push_back(2); });
+  sched.ScheduleAt(50, [&] { order.push_back(1); });
+  sched.ScheduleAt(100, [&] { order.push_back(3); });  // same time: after 2
+  sched.RunUntil(200);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.Now(), 200);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundary) {
+  Scheduler sched;
+  int fired = 0;
+  sched.ScheduleAt(100, [&] { ++fired; });
+  sched.ScheduleAt(300, [&] { ++fired; });
+  sched.RunUntil(200);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.RunUntil(400);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, CallbacksMayScheduleMoreWork) {
+  Scheduler sched;
+  std::vector<TimeMicros> fire_times;
+  std::function<void()> chain = [&] {
+    fire_times.push_back(sched.Now());
+    if (fire_times.size() < 5) {
+      sched.ScheduleAfter(10, chain);
+    }
+  };
+  sched.ScheduleAt(0, chain);
+  sched.RunAll();
+  EXPECT_EQ(fire_times,
+            (std::vector<TimeMicros>{0, 10, 20, 30, 40}));
+}
+
+TEST(SchedulerTest, PastEventsClampToNow) {
+  Scheduler sched;
+  sched.RunUntil(100);
+  TimeMicros fired_at = -1;
+  sched.ScheduleAt(50, [&] { fired_at = sched.Now(); });
+  sched.RunAll();
+  EXPECT_EQ(fired_at, 100);
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() {
+    registry_.AddHost("bid-dc1-00", "BidServers", "DC1");
+    registry_.AddHost("bid-dc1-01", "BidServers", "DC1");
+    registry_.AddHost("bid-dc2-00", "BidServers", "DC2");
+    registry_.AddHost("ad-dc1-00", "AdServers", "DC1");
+    registry_.AddHost("central", "ScrubCentral", "DC1",
+                      /*monitorable=*/false);
+  }
+  HostRegistry registry_;
+};
+
+TEST_F(RegistryTest, UnrestrictedMatchesAllMonitorable) {
+  Result<std::vector<HostId>> hosts = registry_.Resolve(TargetSpec{});
+  ASSERT_TRUE(hosts.ok());
+  EXPECT_EQ(hosts->size(), 4u);  // central excluded
+}
+
+TEST_F(RegistryTest, ServiceAndDatacenterFiltersCompose) {
+  TargetSpec spec;
+  spec.services = {"BidServers"};
+  spec.datacenters = {"DC1"};
+  Result<std::vector<HostId>> hosts = registry_.Resolve(spec);
+  ASSERT_TRUE(hosts.ok());
+  EXPECT_EQ(hosts->size(), 2u);
+}
+
+TEST_F(RegistryTest, HostListRestricts) {
+  TargetSpec spec;
+  spec.services = {"BidServers"};
+  spec.hosts = {"bid-dc2-00"};
+  Result<std::vector<HostId>> hosts = registry_.Resolve(spec);
+  ASSERT_TRUE(hosts.ok());
+  ASSERT_EQ(hosts->size(), 1u);
+  EXPECT_EQ(registry_.Get((*hosts)[0]).name, "bid-dc2-00");
+}
+
+TEST_F(RegistryTest, TyposAreErrorsNotEmptyResults) {
+  TargetSpec bad_service;
+  bad_service.services = {"BidServerz"};
+  EXPECT_EQ(registry_.Resolve(bad_service).status().code(),
+            StatusCode::kNotFound);
+  TargetSpec bad_host;
+  bad_host.hosts = {"nope"};
+  EXPECT_FALSE(registry_.Resolve(bad_host).ok());
+  TargetSpec bad_dc;
+  bad_dc.datacenters = {"DC9"};
+  EXPECT_FALSE(registry_.Resolve(bad_dc).ok());
+}
+
+TEST_F(RegistryTest, ScrubInfraNotTargetable) {
+  TargetSpec spec;
+  spec.services = {"ScrubCentral"};
+  Result<std::vector<HostId>> hosts = registry_.Resolve(spec);
+  ASSERT_TRUE(hosts.ok());
+  EXPECT_TRUE(hosts->empty());  // service exists but is non-monitorable
+}
+
+TEST_F(RegistryTest, FindByName) {
+  Result<HostId> id = registry_.FindByName("ad-dc1-00");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(registry_.Get(*id).service, "AdServers");
+  EXPECT_FALSE(registry_.FindByName("ghost").ok());
+}
+
+TEST(TransportTest, LatencyByTopology) {
+  Scheduler sched;
+  HostRegistry registry;
+  const HostId a = registry.AddHost("a", "S", "DC1");
+  const HostId b = registry.AddHost("b", "S", "DC1");
+  const HostId c = registry.AddHost("c", "S", "DC2");
+  TransportConfig config;
+  Transport transport(&sched, &registry, config);
+  EXPECT_EQ(transport.LatencyBetween(a, a), config.same_host_latency);
+  EXPECT_EQ(transport.LatencyBetween(a, b), config.same_dc_latency);
+  EXPECT_EQ(transport.LatencyBetween(a, c), config.cross_dc_latency);
+}
+
+TEST(TransportTest, DeliveryTimeIncludesBandwidthTerm) {
+  Scheduler sched;
+  HostRegistry registry;
+  const HostId a = registry.AddHost("a", "S", "DC1");
+  const HostId b = registry.AddHost("b", "S", "DC1");
+  Transport transport(&sched, &registry);
+  TimeMicros delivered_at = -1;
+  // 1 MB at 0.001 us/byte = 1000 us, plus 250 us same-DC latency.
+  transport.Send(a, b, 1'000'000, TrafficCategory::kScrubEvents,
+                 [&] { delivered_at = sched.Now(); });
+  sched.RunAll();
+  EXPECT_EQ(delivered_at, 250 + 1000);
+}
+
+TEST(TransportTest, ByteAccountingPerCategory) {
+  Scheduler sched;
+  HostRegistry registry;
+  const HostId a = registry.AddHost("a", "S", "DC1");
+  const HostId b = registry.AddHost("b", "S", "DC1");
+  Transport transport(&sched, &registry);
+  transport.Send(a, b, 100, TrafficCategory::kScrubEvents, [] {});
+  transport.Send(a, b, 200, TrafficCategory::kScrubEvents, [] {});
+  transport.Send(a, b, 50, TrafficCategory::kBaselineLog, [] {});
+  EXPECT_EQ(transport.bytes_sent(TrafficCategory::kScrubEvents), 300u);
+  EXPECT_EQ(transport.messages_sent(TrafficCategory::kScrubEvents), 2u);
+  EXPECT_EQ(transport.bytes_sent(TrafficCategory::kBaselineLog), 50u);
+  EXPECT_EQ(transport.total_bytes(), 350u);
+  transport.ResetCounters();
+  EXPECT_EQ(transport.total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace scrub

@@ -1,0 +1,297 @@
+// Unit tests for src/common: Status/Result, strings, BoundedBuffer,
+// Histogram, Rng/Zipf, SimClock, CostMeter.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/bounded_buffer.h"
+#include "src/common/clock.h"
+#include "src/common/cost_model.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/strings.h"
+
+namespace scrub {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = InvalidArgument("bad query");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad query");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad query");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kResourceExhausted, StatusCode::kUnimplemented,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, CaseMapping) {
+  EXPECT_EQ(AsciiToLower("SeLeCt"), "select");
+  EXPECT_EQ(AsciiToUpper("group by"), "GROUP BY");
+  EXPECT_TRUE(EqualsIgnoreCase("WINDOW", "window"));
+  EXPECT_FALSE(EqualsIgnoreCase("WINDOW", "windows"));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x \t\n"), "x");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+TEST(BoundedBufferTest, FifoOrder) {
+  BoundedBuffer<int> buf(4);
+  EXPECT_TRUE(buf.TryPush(1));
+  EXPECT_TRUE(buf.TryPush(2));
+  int out = 0;
+  EXPECT_TRUE(buf.TryPop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(buf.TryPop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(buf.TryPop(&out));
+}
+
+TEST(BoundedBufferTest, ShedsWhenFullAndCounts) {
+  BoundedBuffer<int> buf(2);
+  EXPECT_TRUE(buf.TryPush(1));
+  EXPECT_TRUE(buf.TryPush(2));
+  EXPECT_FALSE(buf.TryPush(3));
+  EXPECT_FALSE(buf.TryPush(4));
+  EXPECT_EQ(buf.dropped(), 2u);
+  // The buffered items are unaffected.
+  int out = 0;
+  EXPECT_TRUE(buf.TryPop(&out));
+  EXPECT_EQ(out, 1);
+}
+
+TEST(BoundedBufferTest, WrapsAround) {
+  BoundedBuffer<int> buf(3);
+  int out;
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(buf.TryPush(round));
+    EXPECT_TRUE(buf.TryPop(&out));
+    EXPECT_EQ(out, round);
+  }
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.dropped(), 0u);
+}
+
+TEST(BoundedBufferTest, DrainInto) {
+  BoundedBuffer<int> buf(8);
+  for (int i = 0; i < 5; ++i) {
+    buf.TryPush(i);
+  }
+  std::vector<int> out;
+  EXPECT_EQ(buf.DrainInto(&out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(buf.DrainInto(&out, 10), 2u);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(i);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_NEAR(h.mean(), 50.5, 0.001);
+  // Log-bucketed percentiles: within one bucket width (~12.5% relative).
+  EXPECT_NEAR(static_cast<double>(h.p50()), 50, 8);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 99, 14);
+}
+
+TEST(HistogramTest, QuantileAccuracyIsBounded) {
+  Histogram h;
+  Rng rng(1);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBelow(1'000'000)) + 1;
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const int64_t exact = values[static_cast<size_t>(q * values.size())];
+    const int64_t approx = h.ValueAtQuantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                0.15 * static_cast<double>(exact))
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeMatchesCombinedRecording) {
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  for (int i = 0; i < 1000; ++i) {
+    a.Record(i);
+    combined.Record(i);
+  }
+  for (int i = 1000; i < 3000; ++i) {
+    b.Record(i);
+    combined.Record(i);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  EXPECT_EQ(a.p95(), combined.p95());
+}
+
+TEST(HistogramTest, EmptyAndReset) {
+  Histogram h;
+  EXPECT_EQ(h.p99(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-17);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBelowCoversRangeWithoutBias) {
+  Rng rng(4);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBelow(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(250.0);
+  }
+  EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(6);
+  double sum = 0;
+  double sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(ZipfTest, HeavyHeadLightTail) {
+  ZipfGenerator zipf(1000, 1.1);
+  Rng rng(7);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[zipf.Next(rng)];
+  }
+  // Rank 0 dominates rank 100 which dominates rank 900.
+  EXPECT_GT(counts[0], counts[100] * 5);
+  EXPECT_GT(counts[0], 1000);
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.AdvanceTo(50);  // backwards: ignored
+  EXPECT_EQ(clock.Now(), 100);
+  clock.AdvanceTo(200);
+  EXPECT_EQ(clock.Now(), 200);
+  clock.AdvanceBy(5);
+  EXPECT_EQ(clock.Now(), 205);
+}
+
+TEST(CostMeterTest, FractionSplitsAppAndScrub) {
+  CostMeter meter;
+  EXPECT_EQ(meter.ScrubCpuFraction(), 0.0);
+  meter.ChargeApp(900);
+  meter.ChargeScrub(100);
+  EXPECT_DOUBLE_EQ(meter.ScrubCpuFraction(), 0.1);
+  meter.Reset();
+  EXPECT_EQ(meter.total_ns(), 0);
+}
+
+}  // namespace
+}  // namespace scrub

@@ -1,0 +1,194 @@
+// Randomized property tests for value and operator semantics — the
+// algebraic contracts the join, group-by and predicate machinery lean on.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/plan/expr_eval.h"
+
+namespace scrub {
+namespace {
+
+Value RandomPrimitive(Rng& rng) {
+  switch (rng.NextBelow(5)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value(rng.NextBool(0.5));
+    case 2:
+      return Value(static_cast<int64_t>(rng.NextInRange(-1000, 1000)));
+    case 3:
+      return Value(rng.NextDouble() * 200 - 100);
+    default:
+      return Value("s" + std::to_string(rng.NextBelow(50)));
+  }
+}
+
+Value RandomValue(Rng& rng, int depth = 0) {
+  if (depth < 2 && rng.NextBool(0.2)) {
+    std::vector<Value> list;
+    for (uint64_t i = 0; i < rng.NextBelow(4); ++i) {
+      list.push_back(RandomValue(rng, depth + 1));
+    }
+    return Value(std::move(list));
+  }
+  return RandomPrimitive(rng);
+}
+
+TEST(ValueSemanticsTest, HashAgreesWithEquality) {
+  Rng rng(1);
+  std::vector<Value> values;
+  for (int i = 0; i < 400; ++i) {
+    values.push_back(RandomValue(rng));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = 0; j < values.size(); ++j) {
+      if (values[i] == values[j]) {
+        EXPECT_EQ(values[i].Hash(), values[j].Hash())
+            << values[i].ToString() << " vs " << values[j].ToString();
+      }
+    }
+  }
+}
+
+TEST(ValueSemanticsTest, CompareIsAntisymmetricAndConsistent) {
+  Rng rng(2);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Value a = RandomValue(rng);
+    const Value b = RandomValue(rng);
+    const int ab = a.Compare(b);
+    const int ba = b.Compare(a);
+    EXPECT_EQ(ab > 0, ba < 0) << a.ToString() << " vs " << b.ToString();
+    EXPECT_EQ(ab == 0, ba == 0);
+    if (a == b && !a.is_null()) {
+      EXPECT_EQ(ab, 0);
+    }
+  }
+}
+
+TEST(ValueSemanticsTest, CompareIsTransitiveWithinNumericClass) {
+  Rng rng(3);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const Value a(rng.NextDouble() * 100);
+    const Value b(static_cast<int64_t>(rng.NextInRange(-100, 100)));
+    const Value c(rng.NextDouble() * 100 - 50);
+    if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+      EXPECT_LE(a.Compare(c), 0);
+    }
+  }
+}
+
+TEST(OperatorSemanticsTest, AddAndMulCommuteOnNumerics) {
+  Rng rng(4);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Value a = rng.NextBool(0.5)
+                        ? Value(static_cast<int64_t>(
+                              rng.NextInRange(-1000, 1000)))
+                        : Value(rng.NextDouble() * 100);
+    const Value b = rng.NextBool(0.5)
+                        ? Value(static_cast<int64_t>(
+                              rng.NextInRange(-1000, 1000)))
+                        : Value(rng.NextDouble() * 100);
+    EXPECT_EQ(ApplyBinaryOp(BinaryOp::kAdd, a, b),
+              ApplyBinaryOp(BinaryOp::kAdd, b, a));
+    EXPECT_EQ(ApplyBinaryOp(BinaryOp::kMul, a, b),
+              ApplyBinaryOp(BinaryOp::kMul, b, a));
+  }
+}
+
+TEST(OperatorSemanticsTest, ComparisonTrichotomyOnComparables) {
+  Rng rng(5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Value a;
+    Value b;
+    if (rng.NextBool(0.5)) {
+      a = Value(static_cast<int64_t>(rng.NextInRange(-50, 50)));
+      b = Value(rng.NextDouble() * 100 - 50);
+    } else {
+      a = Value("s" + std::to_string(rng.NextBelow(20)));
+      b = Value("s" + std::to_string(rng.NextBelow(20)));
+    }
+    const bool lt = ApplyBinaryOp(BinaryOp::kLt, a, b).AsBool();
+    const bool eq = ApplyBinaryOp(BinaryOp::kEq, a, b).AsBool();
+    const bool gt = ApplyBinaryOp(BinaryOp::kGt, a, b).AsBool();
+    EXPECT_EQ(static_cast<int>(lt) + static_cast<int>(eq) +
+                  static_cast<int>(gt),
+              1)
+        << a.ToString() << " vs " << b.ToString();
+    // <= and >= are the complements.
+    EXPECT_EQ(ApplyBinaryOp(BinaryOp::kLe, a, b).AsBool(), lt || eq);
+    EXPECT_EQ(ApplyBinaryOp(BinaryOp::kGe, a, b).AsBool(), gt || eq);
+    EXPECT_EQ(ApplyBinaryOp(BinaryOp::kNe, a, b).AsBool(), !eq);
+  }
+}
+
+TEST(OperatorSemanticsTest, NullPropagatesThroughArithmetic) {
+  const Value null = Value::Null();
+  const Value two(int64_t{2});
+  for (const BinaryOp op :
+       {BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul, BinaryOp::kDiv}) {
+    EXPECT_TRUE(ApplyBinaryOp(op, null, two).is_null());
+    EXPECT_TRUE(ApplyBinaryOp(op, two, null).is_null());
+  }
+  // Ordered comparisons against null are false; equality treats null=null.
+  EXPECT_FALSE(ApplyBinaryOp(BinaryOp::kLt, null, two).AsBool());
+  EXPECT_FALSE(ApplyBinaryOp(BinaryOp::kGt, null, two).AsBool());
+  EXPECT_TRUE(ApplyBinaryOp(BinaryOp::kEq, null, null).AsBool());
+  EXPECT_TRUE(ApplyBinaryOp(BinaryOp::kNe, null, two).AsBool());
+}
+
+TEST(OperatorSemanticsTest, IntegerArithmeticStaysIntegral) {
+  const Value a(int64_t{7});
+  const Value b(int64_t{3});
+  EXPECT_TRUE(ApplyBinaryOp(BinaryOp::kAdd, a, b).is_int());
+  EXPECT_TRUE(ApplyBinaryOp(BinaryOp::kMul, a, b).is_int());
+  // Division always widens (7/3 must not truncate).
+  const Value q = ApplyBinaryOp(BinaryOp::kDiv, a, b);
+  ASSERT_TRUE(q.is_double());
+  EXPECT_NEAR(q.AsDoubleExact(), 7.0 / 3.0, 1e-12);
+  // Division by zero is null, not a trap.
+  EXPECT_TRUE(ApplyBinaryOp(BinaryOp::kDiv, a, Value(int64_t{0})).is_null());
+}
+
+TEST(OperatorSemanticsTest, BooleanAlgebra) {
+  const Value t(true);
+  const Value f(false);
+  EXPECT_TRUE(ApplyBinaryOp(BinaryOp::kAnd, t, t).AsBool());
+  EXPECT_FALSE(ApplyBinaryOp(BinaryOp::kAnd, t, f).AsBool());
+  EXPECT_TRUE(ApplyBinaryOp(BinaryOp::kOr, f, t).AsBool());
+  EXPECT_FALSE(ApplyBinaryOp(BinaryOp::kOr, f, f).AsBool());
+  EXPECT_EQ(ApplyUnaryOp(UnaryOp::kNot, ApplyUnaryOp(UnaryOp::kNot, t)), t);
+  // Non-boolean operands degrade to false rather than misfiring.
+  EXPECT_FALSE(ApplyBinaryOp(BinaryOp::kAnd, Value(int64_t{1}), t).AsBool());
+}
+
+TEST(OperatorSemanticsTest, NegationRoundTrips) {
+  Rng rng(6);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Value v(static_cast<int64_t>(rng.NextInRange(-10000, 10000)));
+    EXPECT_EQ(ApplyUnaryOp(UnaryOp::kNegate,
+                           ApplyUnaryOp(UnaryOp::kNegate, v)),
+              v);
+  }
+  EXPECT_TRUE(ApplyUnaryOp(UnaryOp::kNegate, Value("x")).is_null());
+}
+
+TEST(OperatorSemanticsTest, ContainsSemantics) {
+  Value list(std::vector<Value>{Value(int64_t{1}), Value("a"),
+                                Value(2.0)});
+  EXPECT_TRUE(ApplyBinaryOp(BinaryOp::kContains, list,
+                            Value(int64_t{1})).AsBool());
+  EXPECT_TRUE(ApplyBinaryOp(BinaryOp::kContains, list, Value("a")).AsBool());
+  // Numeric cross-type membership (2.0 in list matches int 2? list holds
+  // double 2.0; probe int 2 compares equal).
+  EXPECT_TRUE(ApplyBinaryOp(BinaryOp::kContains, list,
+                            Value(int64_t{2})).AsBool());
+  EXPECT_FALSE(ApplyBinaryOp(BinaryOp::kContains, list,
+                             Value("b")).AsBool());
+  // Non-list left operand is false, not an error.
+  EXPECT_FALSE(ApplyBinaryOp(BinaryOp::kContains, Value(int64_t{1}),
+                             Value(int64_t{1})).AsBool());
+}
+
+}  // namespace
+}  // namespace scrub

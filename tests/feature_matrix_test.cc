@@ -1,0 +1,189 @@
+// Cross-feature integration: language features that interact — sliding
+// windows with sampling, joins with sliding windows, nested paths under
+// sampling, multiple simultaneous feature-heavy queries — must compose
+// without stepping on each other.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/scrub/scrub_system.h"
+
+namespace scrub {
+namespace {
+
+SystemConfig MatrixSystem(uint64_t seed) {
+  SystemConfig config;
+  config.seed = seed;
+  config.platform.seed = seed;
+  config.platform.datacenters = 2;
+  config.platform.bidservers_per_dc = 3;
+  config.platform.adservers_per_dc = 1;
+  return config;
+}
+
+TEST(FeatureMatrixTest, SlidingWindowWithEventSampling) {
+  ScrubSystem system(MatrixSystem(101));
+  PoissonLoadConfig load;
+  load.requests_per_second = 1500;
+  load.duration = 12 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+
+  // Exact tumbling reference at the slide granularity lets us reconstruct
+  // the expected sliding sums.
+  std::map<TimeMicros, double> sampled_sliding;
+  std::map<TimeMicros, int64_t> exact_tumbling;
+  Result<SubmittedQuery> sampled = system.Submit(
+      "SELECT COUNT(*) FROM bid WINDOW 4 s SLIDE 2 s DURATION 12 s "
+      "SAMPLE EVENTS 50%;",
+      [&](const ResultRow& row) {
+        sampled_sliding[row.window_start] =
+            row.values[0].is_double()
+                ? row.values[0].AsDoubleExact()
+                : static_cast<double>(row.values[0].AsInt());
+      });
+  Result<SubmittedQuery> exact = system.Submit(
+      "SELECT COUNT(*) FROM bid WINDOW 2 s DURATION 12 s;",
+      [&](const ResultRow& row) {
+        exact_tumbling[row.window_start] = row.values[0].AsInt();
+      });
+  ASSERT_TRUE(sampled.ok()) << sampled.status().ToString();
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+
+  system.RunUntil(13 * kMicrosPerSecond);
+  system.Drain();
+
+  ASSERT_GE(sampled_sliding.size(), 4u);
+  // Interior sliding windows: estimate ~ sum of the two covered tumbling
+  // slices, within sampling noise.
+  int checked = 0;
+  for (const auto& [start, estimate] : sampled_sliding) {
+    const auto a = exact_tumbling.find(start);
+    const auto b = exact_tumbling.find(start + 2 * kMicrosPerSecond);
+    if (a == exact_tumbling.end() || b == exact_tumbling.end()) {
+      continue;
+    }
+    const double truth = static_cast<double>(a->second + b->second);
+    if (truth < 500) {
+      continue;
+    }
+    EXPECT_NEAR(estimate, truth, 0.20 * truth)
+        << "window start " << start;
+    ++checked;
+  }
+  EXPECT_GE(checked, 3);
+}
+
+TEST(FeatureMatrixTest, JoinWithSlidingWindows) {
+  ScrubSystem system(MatrixSystem(103));
+  PoissonLoadConfig load;
+  load.requests_per_second = 400;
+  load.duration = 8 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+
+  std::map<TimeMicros, int64_t> per_window;
+  Result<SubmittedQuery> submitted = system.Submit(
+      "SELECT COUNT(*) FROM bid, auction WINDOW 4 s SLIDE 2 s "
+      "DURATION 8 s;",
+      [&](const ResultRow& row) {
+        per_window[row.window_start] = row.values[0].AsInt();
+      });
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  system.RunUntil(9 * kMicrosPerSecond);
+  system.Drain();
+
+  // A (bid, auction) pair lands inside every window covering it: interior
+  // sliding windows hold roughly double a 2 s slice's pairs, and adjacent
+  // interior windows are comparable under steady traffic.
+  ASSERT_GE(per_window.size(), 3u);
+  const int64_t w2 = per_window[2 * kMicrosPerSecond];
+  const int64_t w4 = per_window[4 * kMicrosPerSecond];
+  ASSERT_GT(w2, 0);
+  ASSERT_GT(w4, 0);
+  EXPECT_NEAR(static_cast<double>(w2) / static_cast<double>(w4), 1.0, 0.4);
+}
+
+TEST(FeatureMatrixTest, NestedPathGroupingUnderSampling) {
+  ScrubSystem system(MatrixSystem(107));
+  PoissonLoadConfig load;
+  load.requests_per_second = 2000;
+  load.duration = 10 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+
+  std::map<std::string, double> sampled_by_os;
+  std::map<std::string, int64_t> exact_by_os;
+  Result<SubmittedQuery> sampled = system.Submit(
+      "SELECT bid.device.os, COUNT(*) FROM bid GROUP BY bid.device.os "
+      "WINDOW 10 s DURATION 10 s SAMPLE EVENTS 25%;",
+      [&](const ResultRow& row) {
+        sampled_by_os[row.values[0].AsString()] =
+            row.values[1].is_double()
+                ? row.values[1].AsDoubleExact()
+                : static_cast<double>(row.values[1].AsInt());
+      });
+  Result<SubmittedQuery> exact = system.Submit(
+      "SELECT bid.device.os, COUNT(*) FROM bid GROUP BY bid.device.os "
+      "WINDOW 10 s DURATION 10 s;",
+      [&](const ResultRow& row) {
+        exact_by_os[row.values[0].AsString()] = row.values[1].AsInt();
+      });
+  ASSERT_TRUE(sampled.ok()) << sampled.status().ToString();
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  system.RunUntil(11 * kMicrosPerSecond);
+  system.Drain();
+
+  ASSERT_EQ(exact_by_os.size(), 4u);
+  ASSERT_EQ(sampled_by_os.size(), 4u);
+  for (const auto& [os, truth] : exact_by_os) {
+    ASSERT_TRUE(sampled_by_os.count(os)) << os;
+    EXPECT_NEAR(sampled_by_os[os], static_cast<double>(truth),
+                0.2 * static_cast<double>(truth))
+        << os;
+  }
+}
+
+TEST(FeatureMatrixTest, ManySimultaneousHeterogeneousQueries) {
+  ScrubSystem system(MatrixSystem(109));
+  PoissonLoadConfig load;
+  load.requests_per_second = 1000;
+  load.duration = 8 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+
+  const char* queries[] = {
+      "SELECT COUNT(*) FROM bid WINDOW 2 s DURATION 8 s;",
+      "SELECT bid.user_id, COUNT(*) FROM bid GROUP BY bid.user_id "
+      "WINDOW 4 s DURATION 8 s;",
+      "SELECT COUNT(*) FROM bid, auction WINDOW 4 s DURATION 8 s;",
+      "SELECT AVG(impression.cost) FROM impression WINDOW 4 s "
+      "DURATION 8 s;",
+      "SELECT TOPK(5, bid.publisher_id) FROM bid WINDOW 8 s DURATION 8 s;",
+      "SELECT COUNT_DISTINCT(bid.user_id) FROM bid WINDOW 8 s "
+      "DURATION 8 s SAMPLE EVENTS 50%;",
+      "SELECT bid.device.os, COUNT(*) FROM bid GROUP BY bid.device.os "
+      "WINDOW 4 s SLIDE 2 s DURATION 8 s;",
+      "SELECT COUNT(*) FROM exclusion WHERE exclusion.reason = "
+      "'exchange_mismatch' WINDOW 4 s DURATION 8 s;",
+  };
+  std::vector<size_t> rows(std::size(queries), 0);
+  std::vector<QueryId> ids;
+  for (size_t i = 0; i < std::size(queries); ++i) {
+    Result<SubmittedQuery> s = system.Submit(
+        queries[i], [&rows, i](const ResultRow&) { ++rows[i]; });
+    ASSERT_TRUE(s.ok()) << queries[i] << "\n  -> "
+                        << s.status().ToString();
+    ids.push_back(s->id);
+  }
+  system.RunUntil(9 * kMicrosPerSecond);
+  system.Drain();
+  for (size_t i = 0; i < std::size(queries); ++i) {
+    EXPECT_GT(rows[i], 0u) << queries[i];
+  }
+  // All queries expired cleanly.
+  for (const QueryId id : ids) {
+    EXPECT_FALSE(system.central().HasQuery(id));
+  }
+  EXPECT_EQ(system.server().active_queries(), 0u);
+}
+
+}  // namespace
+}  // namespace scrub

@@ -1,0 +1,218 @@
+// End-to-end tests: queries submitted through the full stack — query server
+// -> agents on simulated hosts -> transport -> ScrubCentral -> result rows —
+// against live traffic from the synthetic bidding platform.
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/scrub/scrub_system.h"
+
+namespace scrub {
+namespace {
+
+SystemConfig SmallSystem(uint64_t seed = 7) {
+  SystemConfig config;
+  config.seed = seed;
+  config.platform.seed = seed;
+  config.platform.datacenters = 2;
+  config.platform.bidservers_per_dc = 2;
+  config.platform.adservers_per_dc = 1;
+  config.platform.presentation_per_dc = 1;
+  config.platform.num_campaigns = 4;
+  config.platform.line_items_per_campaign = 4;
+  return config;
+}
+
+TEST(IntegrationTest, CountBidsPerUserFindsTraffic) {
+  ScrubSystem system(SmallSystem());
+  PoissonLoadConfig load;
+  load.requests_per_second = 400;
+  load.duration = 10 * kMicrosPerSecond;
+  load.user_population = 50;
+  system.workload().SchedulePoissonLoad(load);
+
+  std::vector<ResultRow> rows;
+  Result<SubmittedQuery> submitted = system.Submit(
+      "SELECT bid.user_id, COUNT(*) FROM bid @[SERVICE IN BidServers] "
+      "GROUP BY bid.user_id WINDOW 2 s DURATION 10 s;",
+      [&rows](const ResultRow& row) { rows.push_back(row); });
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  EXPECT_EQ(submitted->hosts_targeted, 4u);
+  EXPECT_EQ(submitted->hosts_installed, 4u);
+
+  system.RunUntil(12 * kMicrosPerSecond);
+  system.Drain();
+
+  ASSERT_FALSE(rows.empty());
+  // Row totals should match the number of bid events the platform produced
+  // within the query span.
+  uint64_t total = 0;
+  for (const ResultRow& row : rows) {
+    ASSERT_EQ(row.values.size(), 2u);
+    ASSERT_TRUE(row.values[1].is_int());
+    total += static_cast<uint64_t>(row.values[1].AsInt());
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_LE(total, system.platform().stats().bids);
+  // Traffic ran 10s and the query span is 10s; the vast majority of bids
+  // should be captured (allowing for the final flush boundary).
+  EXPECT_GT(total, system.platform().stats().bids * 8 / 10);
+}
+
+TEST(IntegrationTest, UngroupedAverageEmitsEveryWindow) {
+  ScrubSystem system(SmallSystem(11));
+  PoissonLoadConfig load;
+  load.requests_per_second = 300;
+  load.duration = 8 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+
+  std::vector<ResultRow> rows;
+  Result<SubmittedQuery> submitted = system.Submit(
+      "SELECT 1000 * AVG(impression.cost) FROM impression "
+      "WINDOW 2 s DURATION 8 s;",
+      [&rows](const ResultRow& row) { rows.push_back(row); });
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+
+  system.RunUntil(10 * kMicrosPerSecond);
+  system.Drain();
+
+  // 8s span / 2s windows = 4 windows, each emits exactly one row.
+  EXPECT_EQ(rows.size(), 4u);
+  bool any_value = false;
+  for (const ResultRow& row : rows) {
+    ASSERT_EQ(row.values.size(), 1u);
+    if (row.values[0].is_double()) {
+      any_value = true;
+      // CPM = 1000 * avg(cost) = 0.7 * avg(bid); bids are $0.4..$4.5 CPM.
+      EXPECT_GT(row.values[0].AsDoubleExact(), 0.2);
+      EXPECT_LT(row.values[0].AsDoubleExact(), 5.0);
+    }
+  }
+  EXPECT_TRUE(any_value);
+}
+
+TEST(IntegrationTest, JoinOnRequestIdMatchesBidWithAuction) {
+  ScrubSystem system(SmallSystem(13));
+  PoissonLoadConfig load;
+  load.requests_per_second = 200;
+  load.duration = 6 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+
+  std::vector<ResultRow> rows;
+  Result<SubmittedQuery> submitted = system.Submit(
+      "SELECT bid.line_item_id, COUNT(*) FROM bid, auction "
+      "GROUP BY bid.line_item_id WINDOW 3 s DURATION 6 s;",
+      [&rows](const ResultRow& row) { rows.push_back(row); });
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+
+  system.RunUntil(8 * kMicrosPerSecond);
+  system.Drain();
+
+  ASSERT_FALSE(rows.empty());
+  const CentralQueryStats* stats = system.central().StatsFor(submitted->id);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->tuples_joined, 0u);
+}
+
+TEST(IntegrationTest, TargetClauseRestrictsToSingleHost) {
+  ScrubSystem system(SmallSystem(17));
+  PoissonLoadConfig load;
+  load.requests_per_second = 300;
+  load.duration = 5 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+
+  std::vector<ResultRow> rows;
+  Result<SubmittedQuery> submitted = system.Submit(
+      "SELECT COUNT(*) FROM bid "
+      "@[SERVICE IN BidServers AND SERVER = bid_dc1_00] "
+      "WINDOW 5 s DURATION 5 s;",
+      [&rows](const ResultRow& row) { rows.push_back(row); });
+  // Host names use dashes; the clause above uses a wrong name on purpose.
+  EXPECT_FALSE(submitted.ok());
+}
+
+TEST(IntegrationTest, UnknownEventTypeFailsAtSubmission) {
+  ScrubSystem system(SmallSystem(19));
+  Result<SubmittedQuery> submitted = system.Submit(
+      "SELECT COUNT(*) FROM bids;", [](const ResultRow&) {});
+  EXPECT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IntegrationTest, QueriesExpireAndFreeHostState) {
+  ScrubSystem system(SmallSystem(23));
+  PoissonLoadConfig load;
+  load.requests_per_second = 100;
+  load.duration = 20 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+
+  Result<SubmittedQuery> submitted = system.Submit(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 3 s;",
+      [](const ResultRow&) {});
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+
+  system.RunUntil(2 * kMicrosPerSecond);
+  // Mid-span: agents hold the query.
+  int with_query = 0;
+  for (const HostId host : system.platform().bid_servers()) {
+    if (system.agent(host)->HasQuery(submitted->id)) {
+      ++with_query;
+    }
+  }
+  EXPECT_EQ(with_query, 4);
+
+  system.RunUntil(10 * kMicrosPerSecond);
+  for (const HostId host : system.platform().bid_servers()) {
+    EXPECT_FALSE(system.agent(host)->HasQuery(submitted->id));
+  }
+  EXPECT_FALSE(system.central().HasQuery(submitted->id));
+}
+
+TEST(IntegrationTest, EventSamplingScalesCountEstimate) {
+  // Same traffic, exact vs 20%-sampled COUNT over a selective predicate:
+  // the scaled estimate should land near the exact count, with a non-zero
+  // Eq. 2 error bound (the predicate makes readings 0/1-valued, so there is
+  // genuine within-host variance; a predicate-free COUNT would be exact
+  // because agents report window populations exactly).
+  uint64_t exact_total = 0;
+  double sampled_total = 0;
+  for (const bool sampled : {false, true}) {
+    ScrubSystem system(SmallSystem(29));
+    PoissonLoadConfig load;
+    load.requests_per_second = 800;
+    load.duration = 10 * kMicrosPerSecond;
+    system.workload().SchedulePoissonLoad(load);
+
+    const std::string query = sampled
+        ? "SELECT COUNT(*) FROM bid WHERE bid.exchange_id = 1 "
+          "WINDOW 10 s DURATION 10 s SAMPLE EVENTS 20%;"
+        : "SELECT COUNT(*) FROM bid WHERE bid.exchange_id = 1 "
+          "WINDOW 10 s DURATION 10 s;";
+    std::vector<ResultRow> rows;
+    Result<SubmittedQuery> submitted = system.Submit(
+        query, [&rows](const ResultRow& row) { rows.push_back(row); });
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    system.RunUntil(11 * kMicrosPerSecond);
+    system.Drain();
+    ASSERT_EQ(rows.size(), 1u);
+    if (sampled) {
+      ASSERT_TRUE(rows[0].values[0].is_double());
+      sampled_total = rows[0].values[0].AsDoubleExact();
+      EXPECT_GT(rows[0].error_bounds[0], 0.0);
+    } else {
+      ASSERT_TRUE(rows[0].values[0].is_int());
+      exact_total = static_cast<uint64_t>(rows[0].values[0].AsInt());
+    }
+  }
+  ASSERT_GT(exact_total, 100u);
+  const double rel_err =
+      std::abs(sampled_total - static_cast<double>(exact_total)) /
+      static_cast<double>(exact_total);
+  EXPECT_LT(rel_err, 0.25) << "sampled=" << sampled_total
+                           << " exact=" << exact_total;
+}
+
+}  // namespace
+}  // namespace scrub

@@ -1,0 +1,181 @@
+// Parameterized sweep over the query-language surface: each case is a query
+// text plus whether it must be accepted by parse+analyze against the bidsim
+// schemas. Keeps the full grammar honest as the language evolves.
+
+#include <gtest/gtest.h>
+
+#include "src/bidsim/schemas.h"
+#include "src/query/analyzer.h"
+
+namespace scrub {
+namespace {
+
+struct SurfaceCase {
+  const char* text;
+  bool ok;
+};
+
+class QuerySurfaceTest : public ::testing::TestWithParam<SurfaceCase> {
+ protected:
+  QuerySurfaceTest() { (void)RegisterBidsimSchemas(&registry_); }
+  SchemaRegistry registry_;
+};
+
+TEST_P(QuerySurfaceTest, AcceptsOrRejects) {
+  const SurfaceCase& c = GetParam();
+  AnalyzerOptions options;
+  options.max_duration_micros = 24 * kMicrosPerHour;
+  Result<AnalyzedQuery> aq = ParseAndAnalyze(c.text, registry_, options);
+  if (c.ok) {
+    EXPECT_TRUE(aq.ok()) << c.text << "\n  -> " << aq.status().ToString();
+  } else {
+    EXPECT_FALSE(aq.ok()) << c.text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Valid, QuerySurfaceTest,
+    ::testing::Values(
+        // Plain shapes.
+        SurfaceCase{"SELECT COUNT(*) FROM bid;", true},
+        SurfaceCase{"SELECT bid.user_id, bid.bid_price FROM bid;", true},
+        SurfaceCase{"select count(*) from bid;", true},  // case-insensitive
+        SurfaceCase{"SELECT COUNT(*) FROM bid", true},   // semicolon optional
+        // Every aggregate.
+        SurfaceCase{"SELECT COUNT(bid.user_id) FROM bid;", true},
+        SurfaceCase{"SELECT SUM(bid.bid_price) FROM bid;", true},
+        SurfaceCase{"SELECT AVG(bid.bid_price) FROM bid;", true},
+        SurfaceCase{"SELECT MIN(bid.city), MAX(bid.city) FROM bid;", true},
+        SurfaceCase{"SELECT COUNT_DISTINCT(bid.city) FROM bid;", true},
+        SurfaceCase{"SELECT TOPK(3, bid.publisher_id) FROM bid;", true},
+        SurfaceCase{"SELECT TOP_K(3, bid.publisher_id) FROM bid;", true},
+        // Expressions.
+        SurfaceCase{"SELECT 1000 * AVG(impression.cost) FROM impression;",
+                    true},
+        SurfaceCase{"SELECT COUNT(*) + 1, 2 * COUNT(*) FROM bid;", true},
+        SurfaceCase{"SELECT -(AVG(bid.bid_price)) FROM bid;", true},
+        SurfaceCase{
+            "SELECT COUNT(*) FROM bid WHERE NOT (bid.country = 'US' OR "
+            "bid.country = 'CA');",
+            true},
+        SurfaceCase{
+            "SELECT COUNT(*) FROM bid WHERE bid.bid_price * 1.2 >= 2 AND "
+            "bid.exchange_id IN (1, 2, 3);",
+            true},
+        SurfaceCase{
+            "SELECT COUNT(*) FROM bid WHERE bid.city != 'tokyo' AND "
+            "bid.bid_price <= 10 AND bid.user_id <> 0;",
+            true},
+        // Lists and nested objects.
+        SurfaceCase{
+            "SELECT COUNT(*) FROM auction WHERE auction.line_item_ids "
+            "CONTAINS 1001;",
+            true},
+        SurfaceCase{"SELECT COUNT(*) FROM bid WHERE bid.device.os = 'ios';",
+                    true},
+        SurfaceCase{"SELECT device.os, COUNT(*) FROM bid GROUP BY "
+                    "device.os;",
+                    true},
+        // System fields.
+        SurfaceCase{
+            "SELECT COUNT(*) FROM bid WHERE __timestamp > 0 AND "
+            "__request_id != 0;",
+            true},
+        SurfaceCase{"SELECT MAX(bid.__timestamp) FROM bid;", true},
+        // Join shapes.
+        SurfaceCase{"SELECT COUNT(*) FROM bid, auction;", true},
+        SurfaceCase{
+            "SELECT impression.line_item_id, COUNT(*), "
+            "AVG(auction.winning_price) FROM auction, impression "
+            "GROUP BY impression.line_item_id;",
+            true},
+        SurfaceCase{
+            "SELECT COUNT(*) FROM bid, exclusion WHERE "
+            "bid.bid_price > 1.0 AND exclusion.reason = 'budget_exhausted';",
+            true},
+        // Targets / windows / span / sampling.
+        SurfaceCase{
+            "SELECT COUNT(*) FROM bid @[SERVICE IN BidServers AND "
+            "DATACENTER = DC1];",
+            true},
+        SurfaceCase{"SELECT COUNT(*) FROM bid @[SERVERS IN (a, b, c)];",
+                    true},
+        SurfaceCase{"SELECT COUNT(*) FROM bid @[SERVER = 'bid-dc1-00'];",
+                    true},
+        SurfaceCase{
+            "SELECT COUNT(*) FROM bid WINDOW 500 ms DURATION 90 s;", true},
+        SurfaceCase{"SELECT COUNT(*) FROM bid WINDOW 1 h DURATION 2 h;",
+                    true},
+        SurfaceCase{
+            "SELECT COUNT(*) FROM bid WINDOW 10 s SLIDE 2 s DURATION 1 m;",
+            true},
+        SurfaceCase{
+            "SELECT COUNT(*) FROM bid START 30 s DURATION 2 m "
+            "SAMPLE HOSTS 12.5% SAMPLE EVENTS 3%;",
+            true},
+        SurfaceCase{"SELECT COUNT(*) AS n, AVG(bid.bid_price) AS p FROM bid;",
+                    true},
+        SurfaceCase{"SELECT COUNT(*) FROM bid -- trailing comment\n;",
+                    true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Invalid, QuerySurfaceTest,
+    ::testing::Values(
+        // Structure.
+        SurfaceCase{"", false},
+        SurfaceCase{"SELECT FROM bid;", false},
+        SurfaceCase{"SELECT COUNT(*) bid;", false},
+        SurfaceCase{"SELECT COUNT(*) FROM;", false},
+        SurfaceCase{"FROM bid SELECT COUNT(*);", false},
+        SurfaceCase{"SELECT * FROM bid;", false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid extra;", false},
+        // Unknown names.
+        SurfaceCase{"SELECT COUNT(*) FROM ghost;", false},
+        SurfaceCase{"SELECT bid.ghost FROM bid;", false},
+        SurfaceCase{"SELECT ghost.user_id FROM bid;", false},
+        SurfaceCase{"SELECT NOSUCH(bid.user_id) FROM bid;", false},
+        // Type errors.
+        SurfaceCase{"SELECT SUM(bid.city) FROM bid;", false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid WHERE bid.city > 3;", false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid WHERE bid.user_id;", false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid WHERE bid.city AND TRUE;",
+                    false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid WHERE bid.user_id IN (1, 'x');",
+                    false},
+        SurfaceCase{
+            "SELECT COUNT(*) FROM bid WHERE bid.city CONTAINS 'x';", false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid WHERE bid.user_id.os = 1;",
+                    false},  // path into a non-object
+        // Aggregation placement.
+        SurfaceCase{"SELECT bid.user_id, COUNT(*) FROM bid;", false},
+        SurfaceCase{"SELECT COUNT(COUNT(*)) FROM bid;", false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid WHERE COUNT(*) > 0;", false},
+        SurfaceCase{
+            "SELECT COUNT(*) FROM bid GROUP BY bid.user_id + 1;", false},
+        SurfaceCase{"SELECT TOPK(0, bid.user_id) FROM bid;", false},
+        SurfaceCase{"SELECT TOPK(bid.user_id, 3) FROM bid;", false},
+        // Join restriction.
+        SurfaceCase{
+            "SELECT COUNT(*) FROM bid, exclusion WHERE bid.exchange_id = "
+            "exclusion.exchange_id;",
+            false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid, bid;", false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid, auction, impression;", false},
+        // Windows / span / sampling.
+        SurfaceCase{"SELECT COUNT(*) FROM bid WINDOW 0 s;", false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid WINDOW 10 fortnights;", false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid WINDOW 10 m DURATION 1 m;",
+                    false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid WINDOW 10 s SLIDE 20 s;",
+                    false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid WINDOW 10 s SLIDE 4 s;",
+                    false},  // not a multiple
+        SurfaceCase{"SELECT COUNT(*) FROM bid DURATION 48 h;", false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid SAMPLE HOSTS 0%;", false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid SAMPLE EVENTS 101%;", false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid SAMPLE HOSTS 10;", false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid @[];", false},
+        SurfaceCase{"SELECT COUNT(*) FROM bid @[HOSTNAME = x];", false}));
+
+}  // namespace
+}  // namespace scrub

@@ -1,0 +1,187 @@
+// Tests for the ScrubSystem facade: wiring, overhead reporting, traffic
+// accounting, multiple concurrent queries, cancellation, and the
+// scrub-disabled mode used by the overhead experiments.
+
+#include <gtest/gtest.h>
+
+#include "src/scrub/scrub_system.h"
+
+namespace scrub {
+namespace {
+
+SystemConfig TinySystem(uint64_t seed) {
+  SystemConfig config;
+  config.seed = seed;
+  config.platform.seed = seed;
+  config.platform.datacenters = 1;
+  config.platform.bidservers_per_dc = 2;
+  config.platform.adservers_per_dc = 1;
+  config.platform.presentation_per_dc = 1;
+  config.platform.num_campaigns = 3;
+  config.platform.line_items_per_campaign = 3;
+  return config;
+}
+
+TEST(ScrubSystemTest, WiresAgentsOntoEveryMonitorableHost) {
+  ScrubSystem system(TinySystem(1));
+  size_t monitorable = 0;
+  for (size_t i = 0; i < system.registry().size(); ++i) {
+    const HostInfo& info = system.registry().Get(static_cast<HostId>(i));
+    if (info.monitorable) {
+      ++monitorable;
+      EXPECT_NE(system.agent(info.id), nullptr) << info.name;
+    } else {
+      EXPECT_EQ(system.agent(info.id), nullptr) << info.name;
+    }
+  }
+  // 2 bid + 1 ad + 1 pres + 1 profile store.
+  EXPECT_EQ(monitorable, 5u);
+}
+
+TEST(ScrubSystemTest, OverheadReportsSplitAppAndScrub) {
+  ScrubSystem system(TinySystem(2));
+  PoissonLoadConfig load;
+  load.requests_per_second = 200;
+  load.duration = 5 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+  ASSERT_TRUE(system
+                  .Submit("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                          "DURATION 5 s;",
+                          [](const ResultRow&) {})
+                  .ok());
+  system.RunUntil(6 * kMicrosPerSecond);
+  system.Drain();
+
+  const OverheadReport bid = system.ServiceOverhead("BidServers");
+  EXPECT_GT(bid.app_ns, 0);
+  EXPECT_GT(bid.scrub_ns, 0);
+  EXPECT_GT(bid.scrub_fraction, 0.0);
+  EXPECT_LT(bid.scrub_fraction, 0.05);  // the paper's regime
+
+  const OverheadReport total = system.TotalOverhead();
+  EXPECT_GE(total.app_ns, bid.app_ns);
+
+  // Per-host reports sum to the service report.
+  int64_t scrub_sum = 0;
+  for (const HostId h : system.platform().bid_servers()) {
+    scrub_sum += system.HostOverhead(h).scrub_ns;
+  }
+  EXPECT_EQ(scrub_sum, bid.scrub_ns);
+}
+
+TEST(ScrubSystemTest, ScrubDisabledMeansZeroScrubCost) {
+  SystemConfig config = TinySystem(3);
+  config.scrub_enabled = false;
+  ScrubSystem system(config);
+  PoissonLoadConfig load;
+  load.requests_per_second = 200;
+  load.duration = 3 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+  system.RunUntil(5 * kMicrosPerSecond);
+  const OverheadReport total = system.TotalOverhead();
+  EXPECT_GT(total.app_ns, 0);
+  EXPECT_EQ(total.scrub_ns, 0);
+  EXPECT_EQ(total.scrub_fraction, 0.0);
+}
+
+TEST(ScrubSystemTest, TrafficCategoriesAccounted) {
+  ScrubSystem system(TinySystem(4));
+  PoissonLoadConfig load;
+  load.requests_per_second = 300;
+  load.duration = 4 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+  std::vector<ResultRow> rows;
+  ASSERT_TRUE(system
+                  .Submit("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                          "DURATION 4 s;",
+                          [&rows](const ResultRow& r) { rows.push_back(r); })
+                  .ok());
+  system.RunUntil(5 * kMicrosPerSecond);
+  system.Drain();
+  ASSERT_FALSE(rows.empty());
+  const Transport& t = system.transport();
+  EXPECT_GT(t.bytes_sent(TrafficCategory::kAppTraffic), 0u);
+  EXPECT_GT(t.bytes_sent(TrafficCategory::kScrubControl), 0u);
+  EXPECT_GT(t.bytes_sent(TrafficCategory::kScrubEvents), 0u);
+  EXPECT_GT(t.bytes_sent(TrafficCategory::kScrubResults), 0u);
+  EXPECT_EQ(t.bytes_sent(TrafficCategory::kBaselineLog), 0u);
+}
+
+TEST(ScrubSystemTest, ConcurrentQueriesDeliverIndependently) {
+  ScrubSystem system(TinySystem(5));
+  PoissonLoadConfig load;
+  load.requests_per_second = 300;
+  load.duration = 4 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+  uint64_t bids = 0;
+  uint64_t imps = 0;
+  ASSERT_TRUE(system
+                  .Submit("SELECT COUNT(*) FROM bid WINDOW 4 s "
+                          "DURATION 4 s;",
+                          [&bids](const ResultRow& r) {
+                            bids += static_cast<uint64_t>(
+                                r.values[0].AsInt());
+                          })
+                  .ok());
+  ASSERT_TRUE(system
+                  .Submit("SELECT COUNT(*) FROM impression WINDOW 4 s "
+                          "DURATION 4 s;",
+                          [&imps](const ResultRow& r) {
+                            imps += static_cast<uint64_t>(
+                                r.values[0].AsInt());
+                          })
+                  .ok());
+  system.RunUntil(5 * kMicrosPerSecond);
+  system.Drain();
+  EXPECT_GT(bids, 0u);
+  EXPECT_GT(imps, 0u);
+  EXPECT_GT(bids, imps);  // not every bid wins the external auction
+}
+
+TEST(ScrubSystemTest, CancelStopsResults) {
+  ScrubSystem system(TinySystem(6));
+  PoissonLoadConfig load;
+  load.requests_per_second = 300;
+  load.duration = 10 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+  size_t rows = 0;
+  Result<SubmittedQuery> submitted = system.Submit(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 10 s;",
+      [&rows](const ResultRow&) { ++rows; });
+  ASSERT_TRUE(submitted.ok());
+  system.RunUntil(3 * kMicrosPerSecond);
+  ASSERT_TRUE(system.server().Cancel(submitted->id).ok());
+  system.RunUntil(4 * kMicrosPerSecond);
+  const size_t rows_at_cancel = rows;
+  system.RunUntil(10 * kMicrosPerSecond);
+  system.Drain();
+  EXPECT_EQ(rows, rows_at_cancel);
+}
+
+TEST(ScrubSystemTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    ScrubSystem system(TinySystem(7));
+    PoissonLoadConfig load;
+    load.requests_per_second = 250;
+    load.duration = 4 * kMicrosPerSecond;
+    system.workload().SchedulePoissonLoad(load);
+    uint64_t total = 0;
+    EXPECT_TRUE(system
+                    .Submit("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                            "DURATION 4 s;",
+                            [&total](const ResultRow& r) {
+                              total += static_cast<uint64_t>(
+                                  r.values[0].AsInt());
+                            })
+                    .ok());
+    system.RunUntil(5 * kMicrosPerSecond);
+    system.Drain();
+    return std::make_pair(total, system.platform().stats().bids);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace scrub

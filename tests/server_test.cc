@@ -1,0 +1,186 @@
+// Unit tests for the query server: submission validation, dissemination,
+// host sampling, teardown and cancellation. Uses a hand-built mini cluster
+// (no bidding platform) so behaviour is fully controlled.
+
+#include <gtest/gtest.h>
+
+#include "src/common/strings.h"
+#include "src/server/query_server.h"
+
+namespace scrub {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest()
+      : transport_(&scheduler_, &registry_) {
+    schema_ = *EventSchema::Builder("bid")
+                   .AddField("user_id", FieldType::kLong)
+                   .AddField("price", FieldType::kDouble)
+                   .Build();
+    EXPECT_TRUE(schemas_.Register(schema_).ok());
+
+    for (int i = 0; i < 10; ++i) {
+      const HostId h = registry_.AddHost(
+          StrFormat("bid-%02d", i), "BidServers", i < 5 ? "DC1" : "DC2");
+      agents_.emplace(h, std::make_unique<ScrubAgent>(
+                             h, &registry_.meter(h), AgentConfig{},
+                             static_cast<uint64_t>(h)));
+      app_hosts_.push_back(h);
+    }
+    central_host_ = registry_.AddHost("central", "ScrubCentral", "DC1",
+                                      /*monitorable=*/false);
+    server_host_ = registry_.AddHost("server", "ScrubServer", "DC1",
+                                     /*monitorable=*/false);
+    central_ = std::make_unique<ScrubCentral>(&schemas_);
+    server_ = std::make_unique<QueryServer>(
+        &scheduler_, &transport_, &registry_, &schemas_, central_.get(),
+        server_host_, central_host_,
+        [this](HostId h) {
+          const auto it = agents_.find(h);
+          return it == agents_.end() ? nullptr : it->second.get();
+        });
+  }
+
+  size_t AgentsWithQuery(QueryId id) {
+    size_t n = 0;
+    for (const auto& [h, agent] : agents_) {
+      if (agent->HasQuery(id)) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  Scheduler scheduler_;
+  HostRegistry registry_;
+  Transport transport_;
+  SchemaRegistry schemas_;
+  SchemaPtr schema_;
+  std::unordered_map<HostId, std::unique_ptr<ScrubAgent>> agents_;
+  std::vector<HostId> app_hosts_;
+  HostId central_host_ = kInvalidHost;
+  HostId server_host_ = kInvalidHost;
+  std::unique_ptr<ScrubCentral> central_;
+  std::unique_ptr<QueryServer> server_;
+};
+
+TEST_F(ServerTest, DisseminatesToAllTargetedHosts) {
+  Result<SubmittedQuery> s = server_->Submit(
+      "SELECT COUNT(*) FROM bid DURATION 60 s;", [](const ResultRow&) {});
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->hosts_targeted, 10u);
+  EXPECT_EQ(s->hosts_installed, 10u);
+  // Query objects are in flight, not yet installed.
+  EXPECT_EQ(AgentsWithQuery(s->id), 0u);
+  scheduler_.RunUntil(kMicrosPerSecond);
+  EXPECT_EQ(AgentsWithQuery(s->id), 10u);
+  EXPECT_TRUE(central_->HasQuery(s->id));
+  EXPECT_GT(transport_.bytes_sent(TrafficCategory::kScrubControl), 0u);
+}
+
+TEST_F(ServerTest, DatacenterTargeting) {
+  Result<SubmittedQuery> s = server_->Submit(
+      "SELECT COUNT(*) FROM bid @[DATACENTER = DC2] DURATION 60 s;",
+      [](const ResultRow&) {});
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->hosts_targeted, 5u);
+}
+
+TEST_F(ServerTest, HostSamplingPicksSubset) {
+  Result<SubmittedQuery> s = server_->Submit(
+      "SELECT COUNT(*) FROM bid DURATION 60 s SAMPLE HOSTS 30%;",
+      [](const ResultRow&) {});
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->hosts_targeted, 10u);
+  EXPECT_EQ(s->hosts_installed, 3u);
+  scheduler_.RunUntil(kMicrosPerSecond);
+  EXPECT_EQ(AgentsWithQuery(s->id), 3u);
+}
+
+TEST_F(ServerTest, HostSamplingNeverPicksZeroHosts) {
+  Result<SubmittedQuery> s = server_->Submit(
+      "SELECT COUNT(*) FROM bid DURATION 60 s SAMPLE HOSTS 1%;",
+      [](const ResultRow&) {});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->hosts_installed, 1u);
+}
+
+TEST_F(ServerTest, BadQueriesRejectedUpFront) {
+  EXPECT_FALSE(server_->Submit("SELECT", [](const ResultRow&) {}).ok());
+  EXPECT_FALSE(
+      server_->Submit("SELECT COUNT(*) FROM ghost;", [](const ResultRow&) {})
+          .ok());
+  EXPECT_FALSE(server_
+                   ->Submit("SELECT COUNT(*) FROM bid @[SERVICE IN Ghosts];",
+                            [](const ResultRow&) {})
+                   .ok());
+  EXPECT_EQ(server_->active_queries(), 0u);
+}
+
+TEST_F(ServerTest, TeardownAtSpanExpiry) {
+  Result<SubmittedQuery> s = server_->Submit(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 2 s;",
+      [](const ResultRow&) {});
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  scheduler_.RunUntil(kMicrosPerSecond);
+  EXPECT_EQ(AgentsWithQuery(s->id), 10u);
+  scheduler_.RunUntil(4 * kMicrosPerSecond);
+  EXPECT_EQ(AgentsWithQuery(s->id), 0u);
+  EXPECT_EQ(server_->active_queries(), 0u);
+}
+
+TEST_F(ServerTest, CancelRemovesEverywhere) {
+  Result<SubmittedQuery> s = server_->Submit(
+      "SELECT COUNT(*) FROM bid DURATION 60 s;", [](const ResultRow&) {});
+  ASSERT_TRUE(s.ok());
+  scheduler_.RunUntil(kMicrosPerSecond);
+  ASSERT_TRUE(server_->Cancel(s->id).ok());
+  scheduler_.RunUntil(2 * kMicrosPerSecond);
+  EXPECT_EQ(AgentsWithQuery(s->id), 0u);
+  EXPECT_FALSE(central_->HasQuery(s->id));
+  EXPECT_FALSE(server_->Cancel(s->id).ok());  // already gone
+}
+
+TEST_F(ServerTest, ResultsRouteBackThroughServer) {
+  std::vector<ResultRow> rows;
+  Result<SubmittedQuery> s = server_->Submit(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 2 s;",
+      [&rows](const ResultRow& row) { rows.push_back(row); });
+  ASSERT_TRUE(s.ok());
+  scheduler_.RunUntil(kMicrosPerSecond / 2);
+
+  // Hand one event to an agent and ship its flush to central manually.
+  ScrubAgent* agent = agents_[app_hosts_[0]].get();
+  ASSERT_TRUE(agent->HasQuery(s->id));
+  Event e(schema_, 1, scheduler_.Now());
+  e.SetField(0, Value(int64_t{5}));
+  e.SetField(1, Value(1.0));
+  agent->LogEvent(e);
+  for (EventBatch& batch : agent->Flush(scheduler_.Now())) {
+    const Status st = central_->IngestBatch(batch, scheduler_.Now());
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  // Close windows well past expiry; results travel central -> server ->
+  // user sink via transport.
+  scheduler_.RunUntil(5 * kMicrosPerSecond);
+  central_->OnTick(scheduler_.Now());
+  scheduler_.RunUntil(6 * kMicrosPerSecond);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].values[0], Value(int64_t{1}));
+  EXPECT_GT(transport_.bytes_sent(TrafficCategory::kScrubResults), 0u);
+}
+
+TEST_F(ServerTest, QueryIdsAreUnique) {
+  Result<SubmittedQuery> a = server_->Submit(
+      "SELECT COUNT(*) FROM bid DURATION 10 s;", [](const ResultRow&) {});
+  Result<SubmittedQuery> b = server_->Submit(
+      "SELECT COUNT(*) FROM bid DURATION 10 s;", [](const ResultRow&) {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->id, b->id);
+  EXPECT_EQ(server_->active_queries(), 2u);
+}
+
+}  // namespace
+}  // namespace scrub

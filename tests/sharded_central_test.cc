@@ -1,0 +1,247 @@
+// Tests for the sharded ScrubCentral deployment: result parity with a
+// single instance (the defining property), join colocation by request id,
+// shard balance, and the sampling restriction.
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/central/sharded_central.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/event/wire.h"
+#include "src/query/analyzer.h"
+
+namespace scrub {
+namespace {
+
+class ShardedCentralTest : public ::testing::Test {
+ protected:
+  ShardedCentralTest() {
+    bid_schema_ = *EventSchema::Builder("bid")
+                       .AddField("user_id", FieldType::kLong)
+                       .AddField("price", FieldType::kDouble)
+                       .Build();
+    imp_schema_ = *EventSchema::Builder("impression")
+                       .AddField("line_item_id", FieldType::kLong)
+                       .AddField("cost", FieldType::kDouble)
+                       .Build();
+    EXPECT_TRUE(registry_.Register(bid_schema_).ok());
+    EXPECT_TRUE(registry_.Register(imp_schema_).ok());
+  }
+
+  CentralPlan PlanFor(std::string_view text, QueryId id) {
+    AnalyzerOptions options;
+    Result<AnalyzedQuery> aq = ParseAndAnalyze(text, registry_, options);
+    EXPECT_TRUE(aq.ok()) << aq.status().ToString();
+    Result<QueryPlan> plan = PlanQuery(*aq, id, 0);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    CentralPlan central = plan->central;
+    central.hosts_targeted = 1;
+    central.hosts_sampled = 1;
+    return central;
+  }
+
+  std::vector<Event> RandomBids(int n, uint64_t seed, int64_t users) {
+    Rng rng(seed);
+    std::vector<Event> events;
+    events.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Event e(bid_schema_, rng.NextUint64(),
+              100 + static_cast<TimeMicros>(rng.NextBelow(8'000'000)));
+      e.SetField(0, Value(static_cast<int64_t>(
+                        rng.NextBelow(static_cast<uint64_t>(users)))));
+      e.SetField(1, Value(rng.NextDouble() * 5));
+      events.push_back(std::move(e));
+    }
+    return events;
+  }
+
+  static EventBatch Pack(QueryId qid, const std::vector<Event>& events) {
+    EventBatch batch;
+    batch.query_id = qid;
+    batch.host = 0;
+    batch.event_count = events.size();
+    batch.payload = EncodeBatch(events);
+    return batch;
+  }
+
+  // Canonical rendering of a row set for parity comparison.
+  static std::map<std::string, std::string> Render(
+      const std::vector<ResultRow>& rows) {
+    std::map<std::string, std::string> out;
+    for (const ResultRow& row : rows) {
+      std::string key = StrFormat("%lld|", static_cast<long long>(
+                                               row.window_start));
+      key += row.values[0].ToString();
+      std::string value;
+      for (size_t i = 1; i < row.values.size(); ++i) {
+        value += row.values[i].ToString() + "|";
+      }
+      out[key] = value;
+    }
+    return out;
+  }
+
+  SchemaRegistry registry_;
+  SchemaPtr bid_schema_;
+  SchemaPtr imp_schema_;
+};
+
+TEST_F(ShardedCentralTest, ExactParityWithSingleInstance) {
+  const char* query =
+      "SELECT bid.user_id, COUNT(*), SUM(bid.price), AVG(bid.price), "
+      "MIN(bid.price), MAX(bid.price) FROM bid GROUP BY bid.user_id "
+      "WINDOW 2 s DURATION 10 s;";
+  const std::vector<Event> events = RandomBids(5000, 31, 40);
+
+  // Single instance.
+  ScrubCentral single(&registry_);
+  const CentralPlan plan1 = PlanFor(query, 1);
+  std::vector<ResultRow> single_rows;
+  ASSERT_TRUE(single
+                  .InstallQuery(plan1, [&](const ResultRow& row) {
+                    single_rows.push_back(row);
+                  })
+                  .ok());
+  ASSERT_TRUE(single.IngestBatch(Pack(plan1.query_id, events), 0).ok());
+  single.OnTick(60 * kMicrosPerSecond);
+
+  // Four shards.
+  ShardedCentral sharded(&registry_, 4);
+  const CentralPlan plan2 = PlanFor(query, 2);
+  std::vector<ResultRow> sharded_rows;
+  ASSERT_TRUE(sharded
+                  .InstallQuery(plan2, [&](const ResultRow& row) {
+                    sharded_rows.push_back(row);
+                  })
+                  .ok());
+  ASSERT_TRUE(sharded.IngestBatch(Pack(plan2.query_id, events), 0).ok());
+  sharded.OnTick(60 * kMicrosPerSecond);
+
+  EXPECT_EQ(Render(single_rows), Render(sharded_rows));
+  EXPECT_FALSE(single_rows.empty());
+}
+
+TEST_F(ShardedCentralTest, JoinPartnersColocate) {
+  const char* query =
+      "SELECT impression.line_item_id, COUNT(*) FROM bid, impression "
+      "GROUP BY impression.line_item_id WINDOW 10 s DURATION 10 s;";
+  // Build matched bid/impression pairs on shared request ids.
+  Rng rng(7);
+  std::vector<Event> events;
+  for (int i = 0; i < 600; ++i) {
+    const RequestId rid = rng.NextUint64();
+    Event bid(bid_schema_, rid, 100 + i);
+    bid.SetField(0, Value(int64_t{1}));
+    bid.SetField(1, Value(1.0));
+    events.push_back(std::move(bid));
+    Event imp(imp_schema_, rid, 200 + i);
+    imp.SetField(0, Value(static_cast<int64_t>(i % 7)));
+    imp.SetField(1, Value(0.001));
+    events.push_back(std::move(imp));
+  }
+  ShardedCentral sharded(&registry_, 3);
+  const CentralPlan plan = PlanFor(query, 9);
+  uint64_t total = 0;
+  ASSERT_TRUE(sharded
+                  .InstallQuery(plan, [&](const ResultRow& row) {
+                    total += static_cast<uint64_t>(row.values[1].AsInt());
+                  })
+                  .ok());
+  ASSERT_TRUE(sharded.IngestBatch(Pack(plan.query_id, events), 0).ok());
+  sharded.OnTick(60 * kMicrosPerSecond);
+  // Every pair joined despite the sharding.
+  EXPECT_EQ(total, 600u);
+}
+
+TEST_F(ShardedCentralTest, SketchesMergeAcrossShards) {
+  const char* query =
+      "SELECT COUNT_DISTINCT(bid.user_id), TOPK(3, bid.user_id) FROM bid "
+      "WINDOW 10 s DURATION 10 s;";
+  // 2000 distinct users plus one mega-user.
+  std::vector<Event> events;
+  Rng rng(5);
+  for (int64_t u = 0; u < 2000; ++u) {
+    Event e(bid_schema_, rng.NextUint64(), 100);
+    e.SetField(0, Value(u));
+    e.SetField(1, Value(1.0));
+    events.push_back(std::move(e));
+  }
+  for (int i = 0; i < 500; ++i) {
+    Event e(bid_schema_, rng.NextUint64(), 100);
+    e.SetField(0, Value(int64_t{424242}));
+    e.SetField(1, Value(1.0));
+    events.push_back(std::move(e));
+  }
+  ShardedCentral sharded(&registry_, 4);
+  const CentralPlan plan = PlanFor(query, 3);
+  std::vector<ResultRow> rows;
+  ASSERT_TRUE(sharded
+                  .InstallQuery(plan, [&](const ResultRow& row) {
+                    rows.push_back(row);
+                  })
+                  .ok());
+  ASSERT_TRUE(sharded.IngestBatch(Pack(plan.query_id, events), 0).ok());
+  sharded.OnTick(60 * kMicrosPerSecond);
+  ASSERT_EQ(rows.size(), 1u);
+  // 2001 distinct users, ~1% sketch error.
+  EXPECT_NEAR(static_cast<double>(rows[0].values[0].AsInt()), 2001.0, 80.0);
+  ASSERT_TRUE(rows[0].values[1].is_list());
+  ASSERT_FALSE(rows[0].values[1].AsList().empty());
+  // The mega-user tops the merged summary.
+  EXPECT_NE(rows[0].values[1].AsList()[0].AsString().find("424242:"),
+            std::string::npos);
+}
+
+TEST_F(ShardedCentralTest, LoadSpreadsAcrossShards) {
+  ShardedCentral sharded(&registry_, 4);
+  const CentralPlan plan = PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 10 s DURATION 10 s;", 4);
+  ASSERT_TRUE(sharded.InstallQuery(plan, [](const ResultRow&) {}).ok());
+  const std::vector<Event> events = RandomBids(4000, 11, 100);
+  ASSERT_TRUE(sharded.IngestBatch(Pack(plan.query_id, events), 0).ok());
+  const std::vector<uint64_t> loads = sharded.ShardLoads(plan.query_id);
+  ASSERT_EQ(loads.size(), 4u);
+  uint64_t total = 0;
+  for (const uint64_t l : loads) {
+    total += l;
+    EXPECT_GT(l, 700u);   // roughly balanced (1000 expected per shard)
+    EXPECT_LT(l, 1300u);
+  }
+  EXPECT_EQ(total, 4000u);
+}
+
+TEST_F(ShardedCentralTest, RefusesSampledPlans) {
+  ShardedCentral sharded(&registry_, 2);
+  CentralPlan plan = PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 10 s DURATION 10 s "
+      "SAMPLE EVENTS 10%;",
+      7);
+  EXPECT_EQ(sharded.InstallQuery(plan, [](const ResultRow&) {}).code(),
+            StatusCode::kUnimplemented);
+  // A refused install leaves no residue on any shard.
+  EXPECT_FALSE(sharded.shard(0).HasQuery(plan.query_id));
+  EXPECT_FALSE(sharded.shard(1).HasQuery(plan.query_id));
+}
+
+TEST_F(ShardedCentralTest, RemoveQueryFlushesPendingWindows) {
+  ShardedCentral sharded(&registry_, 2);
+  const CentralPlan plan = PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 60 s DURATION 60 s;", 5);
+  uint64_t total = 0;
+  ASSERT_TRUE(sharded
+                  .InstallQuery(plan, [&](const ResultRow& row) {
+                    total += static_cast<uint64_t>(row.values[0].AsInt());
+                  })
+                  .ok());
+  const std::vector<Event> events = RandomBids(100, 3, 10);
+  ASSERT_TRUE(sharded.IngestBatch(Pack(plan.query_id, events), 0).ok());
+  sharded.RemoveQuery(plan.query_id);
+  EXPECT_EQ(total, 100u);
+  EXPECT_FALSE(sharded.HasQuery(plan.query_id));
+}
+
+}  // namespace
+}  // namespace scrub

@@ -1,0 +1,401 @@
+// Unit + property tests for src/sketch: HyperLogLog, SpaceSaving, reservoir
+// sampling, running stats, t quantiles, and the multi-stage sampling
+// estimator (paper Equations 1-3).
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sketch/hyperloglog.h"
+#include "src/sketch/multistage.h"
+#include "src/sketch/reservoir.h"
+#include "src/sketch/space_saving.h"
+#include "src/sketch/stats.h"
+
+namespace scrub {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HyperLogLog.
+
+class HllCardinalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HllCardinalityTest, RelativeErrorWithinEnvelope) {
+  const uint64_t n = GetParam();
+  HyperLogLog hll(14);
+  for (uint64_t i = 0; i < n; ++i) {
+    hll.Add(static_cast<int64_t>(i * 2654435761u + 17));
+  }
+  const double est = hll.Estimate();
+  // Standard error for p=14 is ~0.81%; allow 5 sigma.
+  const double tolerance = 5 * 0.0081 * static_cast<double>(n) + 3.0;
+  EXPECT_NEAR(est, static_cast<double>(n), tolerance) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllCardinalityTest,
+                         ::testing::Values(10, 100, 1000, 5000, 20000, 100000,
+                                           500000));
+
+TEST(HllTest, EmptyEstimatesZero) {
+  HyperLogLog hll(12);
+  EXPECT_NEAR(hll.Estimate(), 0.0, 0.01);
+}
+
+TEST(HllTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(14);
+  for (int round = 0; round < 100; ++round) {
+    for (int64_t i = 0; i < 500; ++i) {
+      hll.Add(i);
+    }
+  }
+  EXPECT_NEAR(hll.Estimate(), 500.0, 25.0);
+}
+
+TEST(HllTest, MergeEqualsUnion) {
+  HyperLogLog a(14);
+  HyperLogLog b(14);
+  HyperLogLog u(14);
+  for (int64_t i = 0; i < 30000; ++i) {
+    a.Add(i);
+    u.Add(i);
+  }
+  for (int64_t i = 15000; i < 45000; ++i) {
+    b.Add(i);
+    u.Add(i);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
+}
+
+TEST(HllTest, StringAndIntKeysBothWork) {
+  HyperLogLog hll(12);
+  for (int i = 0; i < 1000; ++i) {
+    hll.Add("user_" + std::to_string(i));
+  }
+  EXPECT_NEAR(hll.Estimate(), 1000.0, 120.0);
+}
+
+TEST(HllTest, ResetClears) {
+  HyperLogLog hll(10);
+  for (int64_t i = 0; i < 1000; ++i) {
+    hll.Add(i);
+  }
+  hll.Reset();
+  EXPECT_NEAR(hll.Estimate(), 0.0, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// SpaceSaving.
+
+TEST(SpaceSavingTest, ExactWhenUnderCapacity) {
+  SpaceSaving<std::string> ss(16);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      ss.Add("k" + std::to_string(i));
+    }
+  }
+  const auto top = ss.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, "k9");
+  EXPECT_EQ(top[0].count, 10u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, "k8");
+  EXPECT_EQ(ss.ErrorBound(), 0u);
+}
+
+TEST(SpaceSavingTest, GuaranteesUnderEviction) {
+  // Zipf stream; capacity far below the key universe. Space-saving
+  // guarantees: reported count overestimates by at most N/m, and every key
+  // with true count > N/m is present.
+  const size_t capacity = 50;
+  SpaceSaving<uint64_t> ss(capacity);
+  std::map<uint64_t, uint64_t> exact;
+  ZipfGenerator zipf(5000, 1.2);
+  Rng rng(21);
+  const uint64_t n = 200000;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t key = zipf.Next(rng);
+    ss.Add(key);
+    ++exact[key];
+  }
+  const uint64_t bound = ss.ErrorBound();
+  EXPECT_LE(bound, n / capacity);
+
+  std::map<uint64_t, uint64_t> reported;
+  for (const auto& entry : ss.TopK()) {
+    reported[entry.key] = entry.count;
+    // Overestimate-only, and by at most the bound.
+    EXPECT_GE(entry.count, exact[entry.key]);
+    EXPECT_LE(entry.count - exact[entry.key], bound);
+    EXPECT_LE(entry.error, bound);
+  }
+  // Every genuinely heavy key is present.
+  for (const auto& [key, count] : exact) {
+    if (count > bound) {
+      EXPECT_TRUE(reported.count(key)) << "missing heavy key " << key;
+    }
+  }
+}
+
+TEST(SpaceSavingTest, TopOrderCorrectForSkewedStream) {
+  SpaceSaving<uint64_t> ss(100);
+  ZipfGenerator zipf(1000, 1.5);
+  Rng rng(22);
+  for (int i = 0; i < 100000; ++i) {
+    ss.Add(zipf.Next(rng));
+  }
+  const auto top = ss.TopK(5);
+  ASSERT_EQ(top.size(), 5u);
+  // With s=1.5 the top item is key 0 and counts strictly dominate.
+  EXPECT_EQ(top[0].key, 0u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].count, top[i].count);
+  }
+}
+
+TEST(SpaceSavingTest, MergePreservesHeavyHitters) {
+  SpaceSaving<uint64_t> a(64);
+  SpaceSaving<uint64_t> b(64);
+  // Key 7 is heavy in both; key 9 heavy only in b.
+  for (int i = 0; i < 5000; ++i) {
+    a.Add(7);
+    b.Add(7);
+    b.Add(9);
+    a.Add(static_cast<uint64_t>(i % 200) + 100);
+    b.Add(static_cast<uint64_t>(i % 200) + 400);
+  }
+  a.Merge(b);
+  const auto top = a.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 7u);
+  EXPECT_GE(top[0].count, 10000u);
+  EXPECT_EQ(top[1].key, 9u);
+  EXPECT_EQ(a.total(), 25000u);  // 10000 adds into a + 15000 into b
+}
+
+// ---------------------------------------------------------------------------
+// Reservoir sampling.
+
+TEST(ReservoirTest, KeepsAllWhenUnderCapacity) {
+  ReservoirSampler<int> sampler(100, 1);
+  for (int i = 0; i < 50; ++i) {
+    sampler.Add(i);
+  }
+  EXPECT_EQ(sampler.sample().size(), 50u);
+  EXPECT_EQ(sampler.seen(), 50u);
+}
+
+TEST(ReservoirTest, UniformInclusionProbability) {
+  // Each of 1000 items should appear with probability k/n = 0.1; check the
+  // first and last items across many trials.
+  int first_in = 0;
+  int last_in = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler<int> sampler(100, static_cast<uint64_t>(t));
+    for (int i = 0; i < 1000; ++i) {
+      sampler.Add(i);
+    }
+    for (const int v : sampler.sample()) {
+      if (v == 0) {
+        ++first_in;
+      }
+      if (v == 999) {
+        ++last_in;
+      }
+    }
+  }
+  EXPECT_NEAR(first_in / static_cast<double>(trials), 0.1, 0.025);
+  EXPECT_NEAR(last_in / static_cast<double>(trials), 0.1, 0.025);
+}
+
+// ---------------------------------------------------------------------------
+// RunningStats & quantiles.
+
+TEST(RunningStatsTest, MatchesClosedForm) {
+  RunningStats s;
+  for (int i = 1; i <= 9; ++i) {
+    s.Add(i);
+  }
+  EXPECT_EQ(s.count(), 9u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 7.5);  // sample variance of 1..9
+  EXPECT_DOUBLE_EQ(s.sum(), 45.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(31);
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextGaussian() * 3 + 10;
+    if (i % 2) {
+      a.Add(x);
+    } else {
+      b.Add(x);
+    }
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStatsTest, ConstantFactory) {
+  RunningStats zeros = RunningStats::Constant(100, 0.0);
+  EXPECT_EQ(zeros.count(), 100u);
+  EXPECT_EQ(zeros.mean(), 0.0);
+  EXPECT_EQ(zeros.variance(), 0.0);
+  RunningStats mixed;
+  mixed.Add(1.0);
+  mixed.Merge(RunningStats::Constant(1, 0.0));
+  EXPECT_DOUBLE_EQ(mixed.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(mixed.variance(), 0.5);
+}
+
+TEST(QuantileTest, NormalReferencePoints) {
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959964, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.9), 1.281552, 1e-4);
+}
+
+TEST(QuantileTest, StudentTReferencePoints) {
+  // Reference values from standard t tables (97.5th percentile).
+  EXPECT_NEAR(StudentTQuantile(0.975, 1), 12.7062, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(0.975, 2), 4.3027, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(0.975, 5), 2.5706, 5e-3);
+  EXPECT_NEAR(StudentTQuantile(0.975, 10), 2.2281, 5e-3);
+  EXPECT_NEAR(StudentTQuantile(0.975, 30), 2.0423, 5e-3);
+  EXPECT_NEAR(StudentTQuantile(0.975, 100), 1.9840, 5e-3);
+  // Symmetry.
+  EXPECT_NEAR(StudentTQuantile(0.025, 10), -StudentTQuantile(0.975, 10),
+              1e-9);
+  EXPECT_NEAR(StudentTQuantile(0.5, 7), 0.0, 1e-12);
+}
+
+TEST(QuantileTest, TApproachesNormalForLargeDf) {
+  EXPECT_NEAR(StudentTQuantile(0.975, 10000), NormalQuantile(0.975), 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-stage sampling estimator (Eqs. 1-3).
+
+TEST(MultistageTest, ExactWhenFullySampled) {
+  // n = N and m_i = M_i: the estimate is the exact sum, zero error.
+  std::vector<HostSampleStats> hosts(3);
+  double exact = 0;
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    for (int j = 0; j < 100; ++j) {
+      const double v = static_cast<double>(i * 100 + j);
+      hosts[i].readings.Add(v);
+      exact += v;
+    }
+    hosts[i].population = 100;
+  }
+  Result<ApproxSum> est = EstimateSum(hosts, 3, 0.95);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->estimate, exact, 1e-6);
+  EXPECT_NEAR(est->error_bound, 0.0, 1e-6);
+}
+
+TEST(MultistageTest, RejectsBadInputs) {
+  std::vector<HostSampleStats> hosts(2);
+  hosts[0].population = 10;
+  hosts[1].population = 10;
+  EXPECT_FALSE(EstimateSum({}, 5, 0.95).ok());
+  EXPECT_FALSE(EstimateSum(hosts, 1, 0.95).ok());  // n > N
+  EXPECT_FALSE(EstimateSum(hosts, 5, 0.0).ok());
+  EXPECT_FALSE(EstimateSum(hosts, 5, 1.0).ok());
+}
+
+TEST(MultistageTest, SingleHostHasInfiniteBoundWithVariance) {
+  std::vector<HostSampleStats> hosts(1);
+  hosts[0].population = 1000;
+  hosts[0].readings.Add(1.0);
+  hosts[0].readings.Add(3.0);
+  Result<ApproxSum> est = EstimateSum(hosts, 10, 0.95);
+  ASSERT_TRUE(est.ok());
+  EXPECT_TRUE(std::isinf(est->error_bound));
+}
+
+TEST(MultistageTest, CountModeMatchesPopulationScaling) {
+  // Pure counting with event sampling: estimate = sum (M_i/m_i)*m_i = sum M_i.
+  std::vector<HostSampleStats> hosts(4);
+  uint64_t total_pop = 0;
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    hosts[i].population = 1000 * (i + 1);
+    total_pop += hosts[i].population;
+    for (int j = 0; j < 50; ++j) {
+      hosts[i].readings.Add(1.0);
+    }
+  }
+  Result<ApproxSum> est = EstimateCount(hosts, 4, 0.95);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->estimate, static_cast<double>(total_pop), 1e-6);
+}
+
+// Property: across many random draws, the 95% interval covers the true sum
+// ~95% of the time (within tolerance — this is the statistical contract the
+// paper's Section 3.2 relies on).
+TEST(MultistageTest, CoverageOfConfidenceInterval) {
+  Rng rng(41);
+  const uint64_t total_hosts = 40;
+  const uint64_t sampled_hosts = 12;
+  const int events_per_host = 400;
+  const double event_rate = 0.25;
+
+  // Fixed per-host value distributions (host effects + noise).
+  std::vector<std::vector<double>> values(total_hosts);
+  double true_sum = 0;
+  for (auto& host_values : values) {
+    const double host_mean = 5.0 + rng.NextDouble() * 10.0;
+    for (int j = 0; j < events_per_host; ++j) {
+      const double v = host_mean + rng.NextGaussian() * 2.0;
+      host_values.push_back(v);
+      true_sum += v;
+    }
+  }
+
+  int covered = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    // Stage 1: sample hosts without replacement.
+    std::vector<uint64_t> ids(total_hosts);
+    for (uint64_t i = 0; i < total_hosts; ++i) {
+      ids[i] = i;
+    }
+    for (uint64_t i = 0; i < sampled_hosts; ++i) {
+      const uint64_t j = i + rng.NextBelow(total_hosts - i);
+      std::swap(ids[i], ids[j]);
+    }
+    // Stage 2: Bernoulli event sampling within each chosen host.
+    std::vector<HostSampleStats> hosts;
+    for (uint64_t i = 0; i < sampled_hosts; ++i) {
+      HostSampleStats h;
+      h.population = events_per_host;
+      for (const double v : values[ids[i]]) {
+        if (rng.NextBool(event_rate)) {
+          h.readings.Add(v);
+        }
+      }
+      hosts.push_back(std::move(h));
+    }
+    Result<ApproxSum> est = EstimateSum(hosts, total_hosts, 0.95);
+    ASSERT_TRUE(est.ok());
+    if (std::abs(est->estimate - true_sum) <= est->error_bound) {
+      ++covered;
+    }
+  }
+  const double coverage = covered / static_cast<double>(trials);
+  EXPECT_GT(coverage, 0.88) << "interval under-covers";
+  EXPECT_LE(coverage, 1.0);
+}
+
+}  // namespace
+}  // namespace scrub

@@ -3,8 +3,10 @@
 //   ./scrubql "SELECT bid.user_id, COUNT(*) FROM bid
 //              GROUP BY bid.user_id WINDOW 5 s DURATION 20 s;"
 //   ./scrubql --explain "SELECT COUNT(*) FROM bid SAMPLE EVENTS 10%;"
+//   ./scrubql --lint "SELECT COUNT(*) FROM bid SAMPLE HOSTS 1%;"
 //   ./scrubql --seconds 60 --qps 2000 "SELECT ... ;"
 //   ./scrubql            # no args: interactive prompt, one query per line
+//                        # (:lint <query> lints without running)
 //
 // Each invocation brings up the simulated cluster, generates traffic, runs
 // the query live, prints the rows as windows close, and finishes with the
@@ -17,6 +19,7 @@
 #include <string>
 
 #include "src/common/strings.h"
+#include "src/lint/lint.h"
 #include "src/scrub/scrub_system.h"
 
 using namespace scrub;
@@ -28,15 +31,32 @@ struct Options {
   long seconds = 20;
   uint64_t seed = 42;
   bool explain_only = false;
+  bool lint_only = false;
   std::string query;
 };
+
+// Distinct-value profile of the bidsim fields, standing in for the field
+// statistics a production deployment would pull from its metadata service.
+// Bare field names match any event type carrying that field.
+LintOptions BidsimLintOptions(const ScrubSystem& system) {
+  LintOptions options = system.LintConfig();
+  options.field_cardinality = {
+      {"user_id", 50'000},   // matches RunQuery's user_population
+      {"exchange_id", 4},    {"campaign_id", 10}, {"line_item_id", 60},
+      {"publisher_id", 50},  {"country", 8},      {"city", 8},
+  };
+  return options;
+}
 
 void PrintUsage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--qps N] [--seconds N] [--seed N] [--explain] [query]\n"
+      "usage: %s [--qps N] [--seconds N] [--seed N] [--explain] [--lint] "
+      "[query]\n"
       "  runs the Scrub query against a simulated ad-bidding platform.\n"
-      "  with no query argument, reads one query per line from stdin.\n",
+      "  --lint checks the query statically and prints diagnostics only.\n"
+      "  with no query argument, reads one query per line from stdin;\n"
+      "  ':lint <query>' lints a query without running it.\n",
       argv0);
 }
 
@@ -52,6 +72,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
     };
     if (arg == "--explain") {
       options->explain_only = true;
+    } else if (arg == "--lint") {
+      options->lint_only = true;
     } else if (arg == "--qps") {
       double v;
       if (!next(&v) || v <= 0) {
@@ -88,6 +110,22 @@ int RunQuery(const Options& options, const std::string& query) {
   config.platform.seed = options.seed;
   ScrubSystem system(config);
 
+  if (options.lint_only) {
+    Result<std::vector<Diagnostic>> diags = LintQueryText(
+        query, system.schemas(), config.server.analyzer,
+        BidsimLintOptions(system));
+    if (!diags.ok()) {
+      std::fprintf(stderr, "error: %s\n", diags.status().ToString().c_str());
+      return 1;
+    }
+    if (diags->empty()) {
+      std::printf("lint: clean\n");
+      return 0;
+    }
+    std::printf("%s", RenderDiagnostics(*diags, query).c_str());
+    return HasLintErrors(*diags) ? 1 : 0;
+  }
+
   if (options.explain_only) {
     std::printf("%s", system.Explain(query).c_str());
     return 0;
@@ -109,6 +147,9 @@ int RunQuery(const Options& options, const std::string& query) {
     std::fprintf(stderr, "error: %s\n",
                  submitted.status().ToString().c_str());
     return 1;
+  }
+  for (const Diagnostic& d : submitted->lint_warnings) {
+    std::printf("%s\n", RenderDiagnostic(d, query).c_str());
   }
   std::printf("-- query %llu on %zu/%zu hosts; trace %lds @ %.0f req/s --\n",
               static_cast<unsigned long long>(submitted->id),
@@ -148,7 +189,12 @@ int main(int argc, char** argv) {
     if (query == "quit" || query == "exit") {
       break;
     }
-    if (!query.empty()) {
+    if (query.rfind(":lint", 0) == 0) {
+      Options lint_options = options;
+      lint_options.lint_only = true;
+      status = RunQuery(lint_options,
+                        std::string(StripWhitespace(query.substr(5))));
+    } else if (!query.empty()) {
       status = RunQuery(options, query);
     }
     std::printf("scrubql> ");

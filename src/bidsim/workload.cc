@@ -93,9 +93,12 @@ void WorkloadDriver::SchedulePoissonLoad(const PoissonLoadConfig& config) {
                                               config.user_zipf_exponent);
   const double mean_gap_us =
       kMicrosPerSecond / config.requests_per_second;
-  // Self-rescheduling arrival chain.
+  // Self-rescheduling arrival chain. The stored function must capture only
+  // a weak reference to itself: ownership lives in the pending scheduler
+  // callback, so the chain frees itself (and the Zipf table) when it ends.
   auto fire = std::make_shared<std::function<void(TimeMicros)>>();
-  *fire = [this, zipf, mean_gap_us, config, fire](TimeMicros when) {
+  std::weak_ptr<std::function<void(TimeMicros)>> weak_fire = fire;
+  *fire = [this, zipf, mean_gap_us, config, weak_fire](TimeMicros when) {
     if (when >= config.start + config.duration) {
       return;
     }
@@ -107,7 +110,10 @@ void WorkloadDriver::SchedulePoissonLoad(const PoissonLoadConfig& config) {
         when + std::max<TimeMicros>(
                    1, static_cast<TimeMicros>(
                           rng_.NextExponential(mean_gap_us)));
-    scheduler_->ScheduleAt(next, [fire, next] { (*fire)(next); });
+    std::shared_ptr<std::function<void(TimeMicros)>> self = weak_fire.lock();
+    if (self != nullptr) {
+      scheduler_->ScheduleAt(next, [self, next] { (*self)(next); });
+    }
   };
   scheduler_->ScheduleAt(config.start,
                          [fire, start = config.start] { (*fire)(start); });

@@ -8,6 +8,7 @@
 #ifndef SRC_CLUSTER_HOST_REGISTRY_H_
 #define SRC_CLUSTER_HOST_REGISTRY_H_
 
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,16 @@ class HostRegistry {
   const HostInfo& Get(HostId id) const { return hosts_[static_cast<size_t>(id)]; }
   size_t size() const { return hosts_.size(); }
 
+  // Hosts an unrestricted target clause would reach (excludes Scrub's own
+  // infrastructure). The admission linter's fleet size.
+  size_t MonitorableCount() const {
+    size_t n = 0;
+    for (const HostInfo& h : hosts_) {
+      n += h.monitorable ? 1 : 0;
+    }
+    return n;
+  }
+
   Result<HostId> FindByName(std::string_view name) const;
 
   // All monitorable hosts matching every term of the target clause. An
@@ -47,7 +58,9 @@ class HostRegistry {
   std::vector<HostId> HostsInService(std::string_view service) const;
 
   // Per-host CPU meters: the application and the Scrub agent on a host
-  // charge their work here.
+  // charge their work here. Callers (agents, sim nodes) retain these
+  // references for their lifetime, so the storage must be stable across
+  // later AddHost calls — hence a deque, never a vector.
   CostMeter& meter(HostId id) { return meters_[static_cast<size_t>(id)]; }
   const CostMeter& meter(HostId id) const {
     return meters_[static_cast<size_t>(id)];
@@ -55,7 +68,7 @@ class HostRegistry {
 
  private:
   std::vector<HostInfo> hosts_;
-  std::vector<CostMeter> meters_;
+  std::deque<CostMeter> meters_;
 };
 
 }  // namespace scrub

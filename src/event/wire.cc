@@ -38,8 +38,15 @@ void PutDouble(std::string* out, double v) {
   out->append(buf, 8);
 }
 
+// Hostile-input guards: decode runs on bytes that crossed the network, so
+// every length, count and nesting level is attacker-controlled until proven
+// otherwise. A crafted list-of-list-of-... costs ~5 bytes per level; without
+// a depth cap the recursive decoder walks off the stack long before any
+// size check trips.
+constexpr int kMaxValueDepth = 32;
+
 bool GetU8(const std::string& buf, size_t* off, uint8_t* v) {
-  if (*off + 1 > buf.size()) {
+  if (*off >= buf.size()) {
     return false;
   }
   *v = static_cast<uint8_t>(buf[*off]);
@@ -48,7 +55,7 @@ bool GetU8(const std::string& buf, size_t* off, uint8_t* v) {
 }
 
 bool GetU32(const std::string& buf, size_t* off, uint32_t* v) {
-  if (*off + 4 > buf.size()) {
+  if (*off > buf.size() || buf.size() - *off < 4) {
     return false;
   }
   std::memcpy(v, buf.data() + *off, 4);
@@ -57,7 +64,7 @@ bool GetU32(const std::string& buf, size_t* off, uint32_t* v) {
 }
 
 bool GetU64(const std::string& buf, size_t* off, uint64_t* v) {
-  if (*off + 8 > buf.size()) {
+  if (*off > buf.size() || buf.size() - *off < 8) {
     return false;
   }
   std::memcpy(v, buf.data() + *off, 8);
@@ -66,7 +73,7 @@ bool GetU64(const std::string& buf, size_t* off, uint64_t* v) {
 }
 
 bool GetDouble(const std::string& buf, size_t* off, double* v) {
-  if (*off + 8 > buf.size()) {
+  if (*off > buf.size() || buf.size() - *off < 8) {
     return false;
   }
   std::memcpy(v, buf.data() + *off, 8);
@@ -75,7 +82,7 @@ bool GetDouble(const std::string& buf, size_t* off, double* v) {
 }
 
 bool GetBytes(const std::string& buf, size_t* off, size_t n, std::string* v) {
-  if (n > buf.size() || *off + n > buf.size()) {
+  if (*off > buf.size() || buf.size() - *off < n) {
     return false;
   }
   v->assign(buf.data() + *off, n);
@@ -116,7 +123,10 @@ void EncodeValue(const Value& v, std::string* out) {
   }
 }
 
-Result<Value> DecodeValue(const std::string& buf, size_t* off) {
+Result<Value> DecodeValue(const std::string& buf, size_t* off, int depth) {
+  if (depth > kMaxValueDepth) {
+    return InvalidArgument("value nesting too deep");
+  }
   uint8_t tag;
   if (!GetU8(buf, off, &tag)) {
     return InvalidArgument("truncated value tag");
@@ -163,7 +173,7 @@ Result<Value> DecodeValue(const std::string& buf, size_t* off) {
       std::vector<Value> items;
       items.reserve(n);
       for (uint32_t i = 0; i < n; ++i) {
-        Result<Value> item = DecodeValue(buf, off);
+        Result<Value> item = DecodeValue(buf, off, depth + 1);
         if (!item.ok()) {
           return item.status();
         }
@@ -188,7 +198,7 @@ Result<Value> DecodeValue(const std::string& buf, size_t* off) {
             !GetBytes(buf, off, name_len, &name)) {
           return InvalidArgument("truncated object field name");
         }
-        Result<Value> item = DecodeValue(buf, off);
+        Result<Value> item = DecodeValue(buf, off, depth + 1);
         if (!item.ok()) {
           return item.status();
         }
@@ -236,7 +246,7 @@ Result<Event> DecodeEvent(const SchemaRegistry& registry,
   }
   Event event(*schema, request_id, static_cast<TimeMicros>(timestamp));
   for (size_t i = 0; i < (*schema)->field_count(); ++i) {
-    Result<Value> v = DecodeValue(buffer, offset);
+    Result<Value> v = DecodeValue(buffer, offset, /*depth=*/0);
     if (!v.ok()) {
       return v.status();
     }

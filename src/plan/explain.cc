@@ -19,8 +19,9 @@ std::string DurationText(TimeMicros micros) {
 
 }  // namespace
 
-std::string ExplainPlan(const AnalyzedQuery& analyzed,
-                        const QueryPlan& plan) {
+std::string ExplainPlan(const AnalyzedQuery& analyzed, const QueryPlan& plan,
+                        const LintOptions& lint_options,
+                        std::string_view query_text) {
   const Query& q = analyzed.query;
   std::string out;
   out += "query: " + q.ToString() + "\n";
@@ -101,12 +102,31 @@ std::string ExplainPlan(const AnalyzedQuery& analyzed,
                      central.host_sample_rate * 100,
                      central.event_sample_rate * 100);
   }
+
+  const std::vector<Diagnostic> diags = LintQuery(analyzed, lint_options);
+  if (diags.empty()) {
+    out += "lint: clean\n";
+  } else {
+    out += "lint:\n";
+    for (const Diagnostic& d : diags) {
+      std::string rendered = RenderDiagnostic(d, query_text);
+      out += "  ";
+      for (const char c : rendered) {
+        out += c;
+        if (c == '\n') {
+          out += "  ";
+        }
+      }
+      out += "\n";
+    }
+  }
   return out;
 }
 
 std::string ExplainQuery(std::string_view query_text,
                          const SchemaRegistry& registry,
-                         const AnalyzerOptions& options) {
+                         const AnalyzerOptions& options,
+                         const LintOptions& lint_options) {
   Result<AnalyzedQuery> analyzed =
       ParseAndAnalyze(query_text, registry, options);
   if (!analyzed.ok()) {
@@ -117,7 +137,7 @@ std::string ExplainQuery(std::string_view query_text,
   if (!plan.ok()) {
     return "error: " + plan.status().ToString();
   }
-  return ExplainPlan(*analyzed, *plan);
+  return ExplainPlan(*analyzed, *plan, lint_options, query_text);
 }
 
 }  // namespace scrub

@@ -10,20 +10,27 @@
 #define SRC_PLAN_EXPLAIN_H_
 
 #include <string>
+#include <string_view>
 
+#include "src/lint/lint.h"
 #include "src/plan/plan.h"
 #include "src/query/analyzer.h"
 
 namespace scrub {
 
-// Multi-line, human-readable plan description.
-std::string ExplainPlan(const AnalyzedQuery& analyzed, const QueryPlan& plan);
+// Multi-line, human-readable plan description, ending in a LINT section
+// listing the static-analysis findings ("lint: clean" when there are none).
+// `query_text`, when supplied, lets diagnostics render source snippets.
+std::string ExplainPlan(const AnalyzedQuery& analyzed, const QueryPlan& plan,
+                        const LintOptions& lint_options = {},
+                        std::string_view query_text = {});
 
 // Convenience: parse + analyze + plan + explain (no execution, no side
 // effects). Errors render as the failure status text.
 std::string ExplainQuery(std::string_view query_text,
                          const SchemaRegistry& registry,
-                         const AnalyzerOptions& options = {});
+                         const AnalyzerOptions& options = {},
+                         const LintOptions& lint_options = {});
 
 }  // namespace scrub
 

@@ -164,6 +164,7 @@ ExprPtr Expr::Clone() const {
   e->agg_func = agg_func;
   e->topk_k = topk_k;
   e->resolved_type = resolved_type;
+  e->span = span;
   e->children.reserve(children.size());
   for (const ExprPtr& child : children) {
     e->children.push_back(child->Clone());
@@ -302,6 +303,7 @@ Query Query::Clone() const {
   q.duration_micros = duration_micros;
   q.host_sample_rate = host_sample_rate;
   q.event_sample_rate = event_sample_rate;
+  q.spans = spans;
   return q;
 }
 

@@ -22,6 +22,19 @@
 namespace scrub {
 
 // ---------------------------------------------------------------------------
+// Source spans.
+
+// Half-open byte range [begin, end) into the query text an AST node was
+// parsed from. Programmatically built queries carry invalid (empty) spans;
+// diagnostics fall back to whole-query scope for those.
+struct SourceSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool IsValid() const { return end > begin; }
+};
+
+// ---------------------------------------------------------------------------
 // Expressions.
 
 enum class ExprKind {
@@ -102,6 +115,9 @@ struct Expr {
   // Filled by the analyzer: result type of this expression.
   std::optional<FieldType> resolved_type;
 
+  // Filled by the parser: where this expression sits in the query text.
+  SourceSpan span;
+
   static ExprPtr MakeLiteral(Value v);
   static ExprPtr MakeFieldRef(std::string qualifier, std::string field);
   static ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
@@ -141,6 +157,21 @@ struct TargetSpec {
 // ---------------------------------------------------------------------------
 // The query.
 
+// Spans of the clause keywords-plus-operands, for diagnostics that point at
+// a clause rather than an expression (WINDOW, DURATION, SAMPLE, @[...]).
+// Absent clauses keep invalid (empty) spans.
+struct QueryClauseSpans {
+  SourceSpan from;
+  SourceSpan where;
+  SourceSpan targets;
+  SourceSpan group_by;
+  SourceSpan window;
+  SourceSpan start;
+  SourceSpan duration;
+  SourceSpan sample_hosts;
+  SourceSpan sample_events;
+};
+
 struct SelectItem {
   ExprPtr expr;
   std::string alias;  // empty if none
@@ -168,6 +199,9 @@ struct Query {
   // Sampling rates in (0, 1]; 1.0 = no sampling.
   double host_sample_rate = 1.0;
   double event_sample_rate = 1.0;
+
+  // Clause positions in the original text (empty for built-up queries).
+  QueryClauseSpans spans;
 
   Query Clone() const;
   std::string ToString() const;

@@ -78,11 +78,13 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
   size_t i = 0;
   const size_t n = text.size();
 
-  auto push = [&](TokenKind kind, size_t offset, std::string spelling = "") {
+  auto push = [&](TokenKind kind, size_t offset, size_t end,
+                  std::string spelling = "") {
     Token t;
     t.kind = kind;
     t.text = std::move(spelling);
     t.offset = offset;
+    t.end_offset = end;
     tokens.push_back(std::move(t));
   };
 
@@ -105,7 +107,7 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
       while (j < n && IsIdentChar(text[j])) {
         ++j;
       }
-      push(TokenKind::kIdentifier, start,
+      push(TokenKind::kIdentifier, start, j,
            std::string(text.substr(i, j - i)));
       i = j;
       continue;
@@ -141,6 +143,7 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
       const std::string number(text.substr(i, j - i));
       Token t;
       t.offset = start;
+      t.end_offset = j;
       t.text = number;
       if (is_float) {
         t.kind = TokenKind::kFloat;
@@ -179,70 +182,71 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
       t.kind = TokenKind::kString;
       t.text = std::move(contents);
       t.offset = start;
+      t.end_offset = j + 1;
       tokens.push_back(std::move(t));
       i = j + 1;
       continue;
     }
     switch (c) {
       case ',':
-        push(TokenKind::kComma, start);
+        push(TokenKind::kComma, start, start + 1);
         ++i;
         continue;
       case ';':
-        push(TokenKind::kSemicolon, start);
+        push(TokenKind::kSemicolon, start, start + 1);
         ++i;
         continue;
       case '.':
-        push(TokenKind::kDot, start);
+        push(TokenKind::kDot, start, start + 1);
         ++i;
         continue;
       case '*':
-        push(TokenKind::kStar, start);
+        push(TokenKind::kStar, start, start + 1);
         ++i;
         continue;
       case '+':
-        push(TokenKind::kPlus, start);
+        push(TokenKind::kPlus, start, start + 1);
         ++i;
         continue;
       case '-':
-        push(TokenKind::kMinus, start);
+        push(TokenKind::kMinus, start, start + 1);
         ++i;
         continue;
       case '/':
-        push(TokenKind::kSlash, start);
+        push(TokenKind::kSlash, start, start + 1);
         ++i;
         continue;
       case '%':
-        push(TokenKind::kPercent, start);
+        push(TokenKind::kPercent, start, start + 1);
         ++i;
         continue;
       case '(':
-        push(TokenKind::kLParen, start);
+        push(TokenKind::kLParen, start, start + 1);
         ++i;
         continue;
       case ')':
-        push(TokenKind::kRParen, start);
+        push(TokenKind::kRParen, start, start + 1);
         ++i;
         continue;
       case '@':
-        push(TokenKind::kAt, start);
+        push(TokenKind::kAt, start, start + 1);
         ++i;
         continue;
       case '[':
-        push(TokenKind::kLBracket, start);
+        push(TokenKind::kLBracket, start, start + 1);
         ++i;
         continue;
       case ']':
-        push(TokenKind::kRBracket, start);
+        push(TokenKind::kRBracket, start, start + 1);
         ++i;
         continue;
       case '=':
-        push(TokenKind::kEq, start);
+        push(TokenKind::kEq, start, start + 1);
         ++i;
         continue;
       case '!':
         if (i + 1 < n && text[i + 1] == '=') {
-          push(TokenKind::kNe, start);
+          push(TokenKind::kNe, start, start + 2);
           i += 2;
           continue;
         }
@@ -251,22 +255,22 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
                       start));
       case '<':
         if (i + 1 < n && text[i + 1] == '=') {
-          push(TokenKind::kLe, start);
+          push(TokenKind::kLe, start, start + 2);
           i += 2;
         } else if (i + 1 < n && text[i + 1] == '>') {
-          push(TokenKind::kNe, start);
+          push(TokenKind::kNe, start, start + 2);
           i += 2;
         } else {
-          push(TokenKind::kLt, start);
+          push(TokenKind::kLt, start, start + 1);
           ++i;
         }
         continue;
       case '>':
         if (i + 1 < n && text[i + 1] == '=') {
-          push(TokenKind::kGe, start);
+          push(TokenKind::kGe, start, start + 2);
           i += 2;
         } else {
-          push(TokenKind::kGt, start);
+          push(TokenKind::kGt, start, start + 1);
           ++i;
         }
         continue;
@@ -275,7 +279,7 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
             StrFormat("unexpected character '%c' at offset %zu", c, start));
     }
   }
-  push(TokenKind::kEnd, n);
+  push(TokenKind::kEnd, n, n);
   return tokens;
 }
 

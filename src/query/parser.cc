@@ -27,6 +27,7 @@ class Parser {
         break;
       }
     }
+    size_t clause_begin = Peek().offset;
     if (!ConsumeKeyword("FROM")) {
       return Error("expected FROM");
     }
@@ -39,19 +40,25 @@ class Parser {
         break;
       }
     }
+    query.spans.from = {clause_begin, PrevEnd()};
+    clause_begin = Peek().offset;
     if (ConsumeKeyword("WHERE")) {
       Result<ExprPtr> where = ParseOrExpr();
       if (!where.ok()) {
         return where.status();
       }
       query.where = std::move(where).value();
+      query.spans.where = {clause_begin, PrevEnd()};
     }
+    clause_begin = Peek().offset;
     if (Consume(TokenKind::kAt)) {
       Status s = ParseTargets(&query.targets);
       if (!s.ok()) {
         return s;
       }
+      query.spans.targets = {clause_begin, PrevEnd()};
     }
+    clause_begin = Peek().offset;
     if (ConsumeKeyword("GROUP")) {
       if (!ConsumeKeyword("BY")) {
         return Error("expected BY after GROUP");
@@ -66,7 +73,9 @@ class Parser {
           break;
         }
       }
+      query.spans.group_by = {clause_begin, PrevEnd()};
     }
+    clause_begin = Peek().offset;
     if (ConsumeKeyword("WINDOW")) {
       Result<TimeMicros> d = ParseDuration();
       if (!d.ok()) {
@@ -80,21 +89,27 @@ class Parser {
         }
         query.slide_micros = *s;
       }
+      query.spans.window = {clause_begin, PrevEnd()};
     }
+    clause_begin = Peek().offset;
     if (ConsumeKeyword("START")) {
       Result<TimeMicros> d = ParseDuration();
       if (!d.ok()) {
         return d.status();
       }
       query.start_offset_micros = *d;
+      query.spans.start = {clause_begin, PrevEnd()};
     }
+    clause_begin = Peek().offset;
     if (ConsumeKeyword("DURATION")) {
       Result<TimeMicros> d = ParseDuration();
       if (!d.ok()) {
         return d.status();
       }
       query.duration_micros = *d;
+      query.spans.duration = {clause_begin, PrevEnd()};
     }
+    clause_begin = Peek().offset;
     while (ConsumeKeyword("SAMPLE")) {
       const bool hosts = ConsumeKeyword("HOSTS");
       const bool events = !hosts && ConsumeKeyword("EVENTS");
@@ -107,9 +122,12 @@ class Parser {
       }
       if (hosts) {
         query.host_sample_rate = *rate;
+        query.spans.sample_hosts = {clause_begin, PrevEnd()};
       } else {
         query.event_sample_rate = *rate;
+        query.spans.sample_events = {clause_begin, PrevEnd()};
       }
+      clause_begin = Peek().offset;
     }
     Consume(TokenKind::kSemicolon);
     if (Peek().kind != TokenKind::kEnd) {
@@ -153,6 +171,17 @@ class Parser {
                                      Peek().offset));
   }
 
+  // One past the last byte of the most recently consumed token.
+  size_t PrevEnd() const {
+    return pos_ == 0 ? 0 : tokens_[pos_ - 1].end_offset;
+  }
+
+  // Stamps [begin, end-of-previous-token) onto a freshly built node.
+  ExprPtr Spanned(ExprPtr e, size_t begin) const {
+    e->span = {begin, PrevEnd()};
+    return e;
+  }
+
   Result<SelectItem> ParseSelectItem() {
     SelectItem item;
     Result<ExprPtr> expr = ParseOrExpr();
@@ -170,6 +199,7 @@ class Parser {
   }
 
   Result<ExprPtr> ParseOrExpr() {
+    const size_t begin = Peek().offset;
     Result<ExprPtr> lhs = ParseAndExpr();
     if (!lhs.ok()) {
       return lhs;
@@ -180,13 +210,15 @@ class Parser {
       if (!rhs.ok()) {
         return rhs;
       }
-      expr = Expr::MakeBinary(BinaryOp::kOr, std::move(expr),
-                              std::move(rhs).value());
+      expr = Spanned(Expr::MakeBinary(BinaryOp::kOr, std::move(expr),
+                                      std::move(rhs).value()),
+                     begin);
     }
     return expr;
   }
 
   Result<ExprPtr> ParseAndExpr() {
+    const size_t begin = Peek().offset;
     Result<ExprPtr> lhs = ParseNotExpr();
     if (!lhs.ok()) {
       return lhs;
@@ -197,24 +229,28 @@ class Parser {
       if (!rhs.ok()) {
         return rhs;
       }
-      expr = Expr::MakeBinary(BinaryOp::kAnd, std::move(expr),
-                              std::move(rhs).value());
+      expr = Spanned(Expr::MakeBinary(BinaryOp::kAnd, std::move(expr),
+                                      std::move(rhs).value()),
+                     begin);
     }
     return expr;
   }
 
   Result<ExprPtr> ParseNotExpr() {
+    const size_t begin = Peek().offset;
     if (ConsumeKeyword("NOT")) {
       Result<ExprPtr> operand = ParseNotExpr();
       if (!operand.ok()) {
         return operand;
       }
-      return Expr::MakeUnary(UnaryOp::kNot, std::move(operand).value());
+      return Spanned(Expr::MakeUnary(UnaryOp::kNot, std::move(operand).value()),
+                     begin);
     }
     return ParseCmpExpr();
   }
 
   Result<ExprPtr> ParseCmpExpr() {
+    const size_t begin = Peek().offset;
     Result<ExprPtr> lhs = ParseAddExpr();
     if (!lhs.ok()) {
       return lhs;
@@ -243,7 +279,7 @@ class Parser {
       default:
         if (PeekKeyword("IN")) {
           ++pos_;
-          return ParseInList(std::move(expr));
+          return ParseInList(std::move(expr), begin);
         }
         if (PeekKeyword("CONTAINS")) {
           ++pos_;
@@ -251,8 +287,9 @@ class Parser {
           if (!rhs.ok()) {
             return rhs;
           }
-          return Expr::MakeBinary(BinaryOp::kContains, std::move(expr),
-                                  std::move(rhs).value());
+          return Spanned(Expr::MakeBinary(BinaryOp::kContains, std::move(expr),
+                                          std::move(rhs).value()),
+                         begin);
         }
         return expr;
     }
@@ -261,10 +298,11 @@ class Parser {
     if (!rhs.ok()) {
       return rhs;
     }
-    return Expr::MakeBinary(op, std::move(expr), std::move(rhs).value());
+    return Spanned(
+        Expr::MakeBinary(op, std::move(expr), std::move(rhs).value()), begin);
   }
 
-  Result<ExprPtr> ParseInList(ExprPtr probe) {
+  Result<ExprPtr> ParseInList(ExprPtr probe, size_t begin) {
     if (!Consume(TokenKind::kLParen)) {
       return Error("expected '(' after IN");
     }
@@ -282,10 +320,12 @@ class Parser {
     if (!Consume(TokenKind::kRParen)) {
       return Error("expected ')' to close IN list");
     }
-    return Expr::MakeInList(std::move(probe), std::move(members));
+    return Spanned(Expr::MakeInList(std::move(probe), std::move(members)),
+                   begin);
   }
 
   Result<ExprPtr> ParseAddExpr() {
+    const size_t begin = Peek().offset;
     Result<ExprPtr> lhs = ParseMulExpr();
     if (!lhs.ok()) {
       return lhs;
@@ -305,11 +345,14 @@ class Parser {
       if (!rhs.ok()) {
         return rhs;
       }
-      expr = Expr::MakeBinary(op, std::move(expr), std::move(rhs).value());
+      expr = Spanned(
+          Expr::MakeBinary(op, std::move(expr), std::move(rhs).value()),
+          begin);
     }
   }
 
   Result<ExprPtr> ParseMulExpr() {
+    const size_t begin = Peek().offset;
     Result<ExprPtr> lhs = ParseUnary();
     if (!lhs.ok()) {
       return lhs;
@@ -329,17 +372,22 @@ class Parser {
       if (!rhs.ok()) {
         return rhs;
       }
-      expr = Expr::MakeBinary(op, std::move(expr), std::move(rhs).value());
+      expr = Spanned(
+          Expr::MakeBinary(op, std::move(expr), std::move(rhs).value()),
+          begin);
     }
   }
 
   Result<ExprPtr> ParseUnary() {
+    const size_t begin = Peek().offset;
     if (Consume(TokenKind::kMinus)) {
       Result<ExprPtr> operand = ParseUnary();
       if (!operand.ok()) {
         return operand;
       }
-      return Expr::MakeUnary(UnaryOp::kNegate, std::move(operand).value());
+      return Spanned(
+          Expr::MakeUnary(UnaryOp::kNegate, std::move(operand).value()),
+          begin);
     }
     return ParsePrimary();
   }
@@ -371,21 +419,22 @@ class Parser {
 
   Result<ExprPtr> ParsePrimary() {
     const Token& t = Peek();
+    const size_t begin = t.offset;
     switch (t.kind) {
       case TokenKind::kInteger: {
         const int64_t v = t.int_value;
         ++pos_;
-        return Expr::MakeLiteral(Value(v));
+        return Spanned(Expr::MakeLiteral(Value(v)), begin);
       }
       case TokenKind::kFloat: {
         const double v = t.float_value;
         ++pos_;
-        return Expr::MakeLiteral(Value(v));
+        return Spanned(Expr::MakeLiteral(Value(v)), begin);
       }
       case TokenKind::kString: {
         std::string s = t.text;
         ++pos_;
-        return Expr::MakeLiteral(Value(std::move(s)));
+        return Spanned(Expr::MakeLiteral(Value(std::move(s))), begin);
       }
       case TokenKind::kLParen: {
         ++pos_;
@@ -396,20 +445,21 @@ class Parser {
         if (!Consume(TokenKind::kRParen)) {
           return Error("expected ')'");
         }
-        return inner;
+        // Widen the span over the parentheses.
+        return Spanned(std::move(inner).value(), begin);
       }
       case TokenKind::kIdentifier: {
         if (EqualsIgnoreCase(t.text, "TRUE")) {
           ++pos_;
-          return Expr::MakeLiteral(Value(true));
+          return Spanned(Expr::MakeLiteral(Value(true)), begin);
         }
         if (EqualsIgnoreCase(t.text, "FALSE")) {
           ++pos_;
-          return Expr::MakeLiteral(Value(false));
+          return Spanned(Expr::MakeLiteral(Value(false)), begin);
         }
         if (EqualsIgnoreCase(t.text, "NULL")) {
           ++pos_;
-          return Expr::MakeLiteral(Value::Null());
+          return Spanned(Expr::MakeLiteral(Value::Null()), begin);
         }
         // Aggregate call?
         if (Peek(1).kind == TokenKind::kLParen) {
@@ -427,6 +477,7 @@ class Parser {
   }
 
   Result<ExprPtr> ParseAggregate(AggregateFunc func) {
+    const size_t begin = Peek().offset;
     ++pos_;  // function name
     if (!Consume(TokenKind::kLParen)) {
       return Error("expected '(' after aggregate name");
@@ -446,7 +497,7 @@ class Parser {
       if (!Consume(TokenKind::kRParen)) {
         return Error("expected ')' to close TOPK");
       }
-      return Expr::MakeTopK(k, std::move(arg).value());
+      return Spanned(Expr::MakeTopK(k, std::move(arg).value()), begin);
     }
     // COUNT(*) special case.
     if (func == AggregateFunc::kCount && Peek().kind == TokenKind::kStar) {
@@ -454,7 +505,8 @@ class Parser {
       if (!Consume(TokenKind::kRParen)) {
         return Error("expected ')' after COUNT(*)");
       }
-      return Expr::MakeAggregate(AggregateFunc::kCount, nullptr);
+      return Spanned(Expr::MakeAggregate(AggregateFunc::kCount, nullptr),
+                     begin);
     }
     Result<ExprPtr> arg = ParseOrExpr();
     if (!arg.ok()) {
@@ -463,10 +515,11 @@ class Parser {
     if (!Consume(TokenKind::kRParen)) {
       return Error("expected ')' to close aggregate");
     }
-    return Expr::MakeAggregate(func, std::move(arg).value());
+    return Spanned(Expr::MakeAggregate(func, std::move(arg).value()), begin);
   }
 
   Result<ExprPtr> ParseFieldRef() {
+    const size_t begin = Peek().offset;
     if (Peek().kind != TokenKind::kIdentifier) {
       return Error("expected field reference");
     }
@@ -491,7 +544,7 @@ class Parser {
         ref->path.push_back(std::move(segments[i]));
       }
     }
-    return ref;
+    return Spanned(std::move(ref), begin);
   }
 
   // Target names (services, hosts, data centers) may be bare identifiers

@@ -42,6 +42,7 @@ struct Token {
   int64_t int_value = 0;  // for kInteger
   double float_value = 0; // for kFloat
   size_t offset = 0;      // byte offset in the query text, for diagnostics
+  size_t end_offset = 0;  // one past the token's last byte
 };
 
 const char* TokenKindName(TokenKind kind);

@@ -26,6 +26,12 @@ ScrubSystem::ScrubSystem(SystemConfig config)
 
   central_ = std::make_unique<ScrubCentral>(&schemas_, config_.central);
 
+  // The admission linter should judge windows against the real agent flush
+  // cadence and spans against the real admission ceiling.
+  config_.server.lint.flush_interval_micros = config_.flush_interval;
+  config_.server.lint.max_duration_micros =
+      config_.server.analyzer.max_duration_micros;
+
   // One agent per monitorable host.
   for (size_t i = 0; i < registry_.size(); ++i) {
     const HostInfo& info = registry_.Get(static_cast<HostId>(i));
@@ -98,7 +104,20 @@ void ScrubSystem::Drain() {
 }
 
 std::string ScrubSystem::Explain(std::string_view query_text) const {
-  return ExplainQuery(query_text, schemas_, config_.server.analyzer);
+  return ExplainQuery(query_text, schemas_, config_.server.analyzer,
+                      LintConfig());
+}
+
+LintOptions ScrubSystem::LintConfig() const {
+  LintOptions options = config_.server.lint;
+  options.fleet_hosts = agents_.size();  // monitorable hosts only
+  return options;
+}
+
+Result<std::vector<Diagnostic>> ScrubSystem::Lint(
+    std::string_view query_text) const {
+  return LintQueryText(query_text, schemas_, config_.server.analyzer,
+                       LintConfig());
 }
 
 std::string ScrubSystem::DescribeQuery(QueryId id) const {

@@ -86,6 +86,15 @@ class ScrubSystem {
   // compute, how sampling scales results.
   std::string Explain(std::string_view query_text) const;
 
+  // Static analysis only (the same rules the server runs at admission, with
+  // the live fleet size and flush cadence): parse + analyze + lint, no plan,
+  // no execution. Parse/analysis failures surface as the error status.
+  Result<std::vector<Diagnostic>> Lint(std::string_view query_text) const;
+
+  // Lint options as admission sees them (fleet size and flush cadence
+  // resolved from the running system).
+  LintOptions LintConfig() const;
+
   // Runtime diagnostics for a submitted query: per-host agent counters
   // (considered / sampled out / filtered / shipped / dropped) and central
   // counters (ingested / late / joined / rows). Works during the query's

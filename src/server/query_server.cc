@@ -46,6 +46,29 @@ Result<SubmittedQuery> QueryServer::SubmitParsed(const Query& query,
     return analyzed.status();
   }
 
+  // Static analysis gate: errors reject before any query object ships;
+  // warnings and notes travel back with the accepted query.
+  std::vector<Diagnostic> lint_warnings;
+  if (config_.lint_enabled) {
+    LintOptions lint_options = config_.lint;
+    lint_options.fleet_hosts = registry_->MonitorableCount();
+    lint_options.max_duration_micros = config_.analyzer.max_duration_micros;
+    std::vector<Diagnostic> diags = LintQuery(*analyzed, lint_options);
+    if (HasLintErrors(diags)) {
+      std::string rendered;
+      for (const Diagnostic& d : diags) {
+        if (d.severity == LintSeverity::kError) {
+          if (!rendered.empty()) {
+            rendered += "; ";
+          }
+          rendered += RenderDiagnostic(d);
+        }
+      }
+      return InvalidArgument("rejected by lint: " + rendered);
+    }
+    lint_warnings = std::move(diags);
+  }
+
   // Resolve the target clause BEFORE minting the id: a bad clause fails the
   // submission outright.
   Result<std::vector<HostId>> targeted =
@@ -100,6 +123,7 @@ Result<SubmittedQuery> QueryServer::SubmitParsed(const Query& query,
   out.hosts_installed = chosen.size();
   out.start_time = plan->host.start_time;
   out.end_time = plan->host.end_time;
+  out.lint_warnings = std::move(lint_warnings);
   return out;
 }
 

@@ -26,6 +26,7 @@
 #include "src/cluster/scheduler.h"
 #include "src/cluster/transport.h"
 #include "src/common/rng.h"
+#include "src/lint/lint.h"
 #include "src/query/analyzer.h"
 
 namespace scrub {
@@ -36,6 +37,13 @@ using AgentAccessor = std::function<ScrubAgent*(HostId)>;
 
 struct ServerConfig {
   AnalyzerOptions analyzer;
+  // Static analysis at admission (Section 3.2's operational discipline made
+  // mechanical): error-severity findings reject the submission before any
+  // query object reaches a host; warnings/notes ride back on the accepted
+  // SubmittedQuery. `lint.fleet_hosts` is overridden with the live registry
+  // count at each submission.
+  bool lint_enabled = true;
+  LintOptions lint;
   uint64_t host_sampling_seed = 0x5eed;
   // Admission control: Scrub serves many users at once, but a runaway
   // script submitting queries in a loop must not be able to blanket the
@@ -49,6 +57,8 @@ struct SubmittedQuery {
   size_t hosts_installed = 0;  // n: after host-level sampling
   TimeMicros start_time = 0;
   TimeMicros end_time = 0;
+  // Non-fatal lint findings (warnings/notes) for the accepted query.
+  std::vector<Diagnostic> lint_warnings;
 };
 
 class QueryServer {

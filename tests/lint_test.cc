@@ -1,0 +1,347 @@
+// Tests for the ScrubQL static query linter: one positive (diagnostic fires
+// with the right rule id, severity and span) and one negative (a well-formed
+// query stays clean) case per rule, plus the selectivity estimator and the
+// diagnostic renderer.
+
+#include <gtest/gtest.h>
+
+#include "src/lint/lint.h"
+#include "src/query/analyzer.h"
+
+namespace scrub {
+namespace {
+
+class LintTest : public ::testing::Test {
+ protected:
+  LintTest() {
+    EXPECT_TRUE(registry_
+                    .Register(*EventSchema::Builder("bid")
+                                   .AddField("user_id", FieldType::kLong)
+                                   .AddField("price", FieldType::kDouble)
+                                   .AddField("country", FieldType::kString)
+                                   .AddField("won", FieldType::kBool)
+                                   .Build())
+                    .ok());
+    options_.fleet_hosts = 100;
+    options_.events_per_host_per_second = 1000.0;
+    options_.field_cardinality = {{"user_id", 1'000'000}, {"country", 8}};
+  }
+
+  // Parse + analyze + lint; analysis must succeed.
+  std::vector<Diagnostic> Lint(std::string_view text) {
+    Result<AnalyzedQuery> analyzed = ParseAndAnalyze(text, registry_);
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    if (!analyzed.ok()) {
+      return {};
+    }
+    return LintQuery(*analyzed, options_);
+  }
+
+  // All diagnostics carrying `rule`.
+  static std::vector<Diagnostic> WithRule(
+      const std::vector<Diagnostic>& diags, std::string_view rule) {
+    std::vector<Diagnostic> out;
+    for (const Diagnostic& d : diags) {
+      if (d.rule == rule) {
+        out.push_back(d);
+      }
+    }
+    return out;
+  }
+
+  static std::string SpanText(std::string_view query, const SourceSpan& span) {
+    if (!span.IsValid() || span.end > query.size()) {
+      return "";
+    }
+    return std::string(query.substr(span.begin, span.end - span.begin));
+  }
+
+  SchemaRegistry registry_;
+  LintOptions options_;
+};
+
+// --- (a) scrubql-unbounded-group-by ----------------------------------------
+
+TEST_F(LintTest, UnboundedGroupByFiresOnHighCardinalityKey) {
+  const std::string q =
+      "SELECT bid.user_id, COUNT(*) FROM bid GROUP BY bid.user_id "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kUnboundedGroupBy);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kError);
+  EXPECT_EQ(SpanText(q, hits[0].span), "bid.user_id");
+  EXPECT_NE(hits[0].message.find("TOPK"), std::string::npos);
+}
+
+TEST_F(LintTest, UnboundedGroupByFiresOnRequestIdKey) {
+  const std::string q =
+      "SELECT bid.__request_id, COUNT(*) FROM bid GROUP BY bid.__request_id "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kUnboundedGroupBy);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kError);
+  EXPECT_NE(hits[0].message.find("one group per request"), std::string::npos);
+}
+
+TEST_F(LintTest, GroupByLowCardinalityKeyIsClean) {
+  const std::string q =
+      "SELECT bid.country, COUNT(*) FROM bid GROUP BY bid.country "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kUnboundedGroupBy).empty());
+}
+
+TEST_F(LintTest, GroupByUnknownCardinalityIsClean) {
+  // price has no cardinality profile: the rule never guesses.
+  const std::string q =
+      "SELECT bid.price, COUNT(*) FROM bid GROUP BY bid.price "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kUnboundedGroupBy).empty());
+}
+
+TEST_F(LintTest, TopKSilencesUnboundedGroupBy) {
+  const std::string q =
+      "SELECT bid.user_id, TOPK(10, bid.user_id) FROM bid "
+      "GROUP BY bid.user_id WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kUnboundedGroupBy).empty());
+}
+
+// --- (b) scrubql-exact-distinct --------------------------------------------
+
+TEST_F(LintTest, ExactDistinctFiresOnAggregateFreeGroupBy) {
+  const std::string q =
+      "SELECT bid.country FROM bid GROUP BY bid.country "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kExactDistinct);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(hits[0].message.find("COUNT_DISTINCT"), std::string::npos);
+  EXPECT_NE(SpanText(q, hits[0].span).find("GROUP BY"), std::string::npos);
+}
+
+TEST_F(LintTest, GroupByWithAggregateIsNotExactDistinct) {
+  const std::string q =
+      "SELECT bid.country, COUNT(*) FROM bid GROUP BY bid.country "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kExactDistinct).empty());
+}
+
+// --- (c) scrubql-sampling-error --------------------------------------------
+
+TEST_F(LintTest, SamplingErrorFiresWhenPredictedErrorIsUseless) {
+  // n = 10 hosts, m = 1 event/host/window: Eqs. 1-3 predict ~+/-100%.
+  const std::string q =
+      "SELECT COUNT(*) FROM bid WHERE bid.price > 100 "
+      "WINDOW 1 s DURATION 60 s SAMPLE HOSTS 10% SAMPLE EVENTS 0.1%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kSamplingError);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(hits[0].message.find("relative error"), std::string::npos);
+  EXPECT_NE(SpanText(q, hits[0].span).find("SAMPLE EVENTS"),
+            std::string::npos);
+}
+
+TEST_F(LintTest, SamplingErrorWarnsOnSingleSampledHost) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 60 s SAMPLE HOSTS 1%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kSamplingError);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("single host"), std::string::npos);
+  EXPECT_NE(SpanText(q, hits[0].span).find("SAMPLE HOSTS"),
+            std::string::npos);
+}
+
+TEST_F(LintTest, GenerousSamplingIsClean) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid WHERE bid.price > 100 "
+      "WINDOW 1 s DURATION 60 s SAMPLE HOSTS 10% SAMPLE EVENTS 50%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kSamplingError).empty());
+}
+
+TEST_F(LintTest, UnsampledQueryNeverPredictsSamplingError) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid @[SERVICE IN BidServers] "
+      "WINDOW 1 s DURATION 60 s;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kSamplingError).empty());
+}
+
+// --- (d) scrubql-full-fleet ------------------------------------------------
+
+TEST_F(LintTest, FullFleetFiresWithoutTargetOrSampling) {
+  const std::string q = "SELECT COUNT(*) FROM bid WINDOW 5 s DURATION 60 s;";
+  const auto hits = WithRule(Lint(q), lint_rules::kFullFleet);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(hits[0].message.find("every monitorable host"),
+            std::string::npos);
+}
+
+TEST_F(LintTest, TargetClauseSilencesFullFleet) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid @[SERVICE IN BidServers] "
+      "WINDOW 5 s DURATION 60 s;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kFullFleet).empty());
+}
+
+TEST_F(LintTest, SamplingSilencesFullFleet) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kFullFleet).empty());
+}
+
+// --- (e) scrubql-dead-projection -------------------------------------------
+
+TEST_F(LintTest, DeadProjectionFiresOnWhereOnlyField) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid WHERE bid.price > 2.0 "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kDeadProjection);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kNote);
+  EXPECT_NE(hits[0].message.find("bid.price"), std::string::npos);
+  EXPECT_EQ(SpanText(q, hits[0].span), "bid.price");
+}
+
+TEST_F(LintTest, CentrallyReadFieldIsNotDeadProjection) {
+  const std::string q =
+      "SELECT bid.price, COUNT(*) FROM bid WHERE bid.price > 2.0 "
+      "GROUP BY bid.price WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kDeadProjection).empty());
+}
+
+// --- (f) scrubql-ineffective-filter ----------------------------------------
+
+TEST_F(LintTest, IneffectiveFilterFiresOnSelectivityNearOne) {
+  // user_id != 42 keeps ~all of a million-user population.
+  const std::string q =
+      "SELECT COUNT(*) FROM bid WHERE bid.user_id != 42 "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kIneffectiveFilter);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(hits[0].message.find("full logging"), std::string::npos);
+  EXPECT_NE(SpanText(q, hits[0].span).find("WHERE"), std::string::npos);
+}
+
+TEST_F(LintTest, SelectiveFilterIsClean) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid WHERE bid.country = 'US' "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kIneffectiveFilter).empty());
+}
+
+// --- (g) scrubql-window-under-flush ----------------------------------------
+
+TEST_F(LintTest, WindowUnderFlushFires) {
+  options_.flush_interval_micros = 500 * kMicrosPerMilli;
+  const std::string q =
+      "SELECT COUNT(*) FROM bid WINDOW 100 ms DURATION 60 s "
+      "SAMPLE EVENTS 10%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kWindowUnderFlush);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(hits[0].message.find("flush interval"), std::string::npos);
+  EXPECT_NE(SpanText(q, hits[0].span).find("WINDOW"), std::string::npos);
+}
+
+TEST_F(LintTest, WindowAtOrAboveFlushIsClean) {
+  options_.flush_interval_micros = 500 * kMicrosPerMilli;
+  const std::string q =
+      "SELECT COUNT(*) FROM bid WINDOW 500 ms DURATION 60 s "
+      "SAMPLE EVENTS 10%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kWindowUnderFlush).empty());
+}
+
+// --- (h) scrubql-span-budget -----------------------------------------------
+
+TEST_F(LintTest, SpanBudgetFiresPastBudgetFraction) {
+  // Default budget: 50% of 24 h.
+  const std::string q =
+      "SELECT COUNT(*) FROM bid WINDOW 5 s DURATION 13 h SAMPLE EVENTS 10%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kSpanBudget);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(SpanText(q, hits[0].span).find("DURATION"), std::string::npos);
+}
+
+TEST_F(LintTest, ShortSpanIsClean) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kSpanBudget).empty());
+}
+
+// --- Clean query / ordering / API ------------------------------------------
+
+TEST_F(LintTest, WellFormedQueryIsCompletelyClean) {
+  const std::string q =
+      "SELECT bid.country, COUNT(*), COUNT_DISTINCT(bid.user_id) FROM bid "
+      "WHERE bid.country = 'US' @[SERVICE IN BidServers] "
+      "GROUP BY bid.country WINDOW 5 s DURATION 60 s;";
+  const auto diags = Lint(q);
+  EXPECT_TRUE(diags.empty()) << RenderDiagnostics(diags, q);
+}
+
+TEST_F(LintTest, HasLintErrorsDistinguishesSeverity) {
+  const std::string errors =
+      "SELECT bid.user_id, COUNT(*) FROM bid GROUP BY bid.user_id "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  EXPECT_TRUE(HasLintErrors(Lint(errors)));
+  const std::string warnings =
+      "SELECT COUNT(*) FROM bid WINDOW 5 s DURATION 60 s;";
+  const auto diags = Lint(warnings);
+  EXPECT_FALSE(diags.empty());
+  EXPECT_FALSE(HasLintErrors(diags));
+}
+
+TEST_F(LintTest, LintQueryTextSurfacesParseFailuresAsStatus) {
+  Result<std::vector<Diagnostic>> r =
+      LintQueryText("SELECT FROM;", registry_, {}, options_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(LintTest, RenderDiagnosticIncludesRuleAndSnippet) {
+  const std::string q =
+      "SELECT bid.user_id, COUNT(*) FROM bid GROUP BY bid.user_id "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kUnboundedGroupBy);
+  ASSERT_EQ(hits.size(), 1u);
+  const std::string rendered = RenderDiagnostic(hits[0], q);
+  EXPECT_NE(rendered.find("error[scrubql-unbounded-group-by]"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("bid.user_id"), std::string::npos);
+  EXPECT_NE(rendered.find("--> offset"), std::string::npos);
+}
+
+// --- Selectivity estimator ---------------------------------------------------
+
+TEST_F(LintTest, SelectivityOfKnownEquality) {
+  Result<AnalyzedQuery> aq = ParseAndAnalyze(
+      "SELECT COUNT(*) FROM bid WHERE bid.country = 'US' DURATION 60 s;",
+      registry_);
+  ASSERT_TRUE(aq.ok());
+  EXPECT_NEAR(EstimateSelectivity(*aq->query.where, options_), 1.0 / 8,
+              1e-9);
+}
+
+TEST_F(LintTest, SelectivityCombinesConjunctionAndNegation) {
+  Result<AnalyzedQuery> aq = ParseAndAnalyze(
+      "SELECT COUNT(*) FROM bid "
+      "WHERE bid.country = 'US' AND NOT bid.price > 10 DURATION 60 s;",
+      registry_);
+  ASSERT_TRUE(aq.ok());
+  // 1/8 * (1 - 1/3)
+  EXPECT_NEAR(EstimateSelectivity(*aq->query.where, options_),
+              (1.0 / 8) * (2.0 / 3), 1e-9);
+}
+
+TEST_F(LintTest, SelectivityOfDisjunctionAndInList) {
+  Result<AnalyzedQuery> aq = ParseAndAnalyze(
+      "SELECT COUNT(*) FROM bid "
+      "WHERE bid.country IN ('US', 'DE') DURATION 60 s;",
+      registry_);
+  ASSERT_TRUE(aq.ok());
+  EXPECT_NEAR(EstimateSelectivity(*aq->query.where, options_), 2.0 / 8,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace scrub

@@ -171,6 +171,67 @@ TEST_F(ServerTest, ResultsRouteBackThroughServer) {
   EXPECT_GT(transport_.bytes_sent(TrafficCategory::kScrubResults), 0u);
 }
 
+// --- Static analysis at admission -------------------------------------------
+
+TEST_F(ServerTest, LintErrorRejectsAdmission) {
+  ServerConfig config;
+  config.lint.field_cardinality["user_id"] = 1'000'000;
+  QueryServer server(
+      &scheduler_, &transport_, &registry_, &schemas_, central_.get(),
+      server_host_, central_host_, [](HostId) { return nullptr; }, config);
+  Result<SubmittedQuery> s = server.Submit(
+      "SELECT bid.user_id, COUNT(*) FROM bid GROUP BY bid.user_id "
+      "DURATION 60 s SAMPLE EVENTS 10%;",
+      [](const ResultRow&) {});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.status().ToString().find("rejected by lint"),
+            std::string::npos)
+      << s.status().ToString();
+  EXPECT_NE(s.status().ToString().find("scrubql-unbounded-group-by"),
+            std::string::npos)
+      << s.status().ToString();
+  // Nothing was admitted: no query object reached any host.
+  EXPECT_EQ(server.active_queries(), 0u);
+}
+
+TEST_F(ServerTest, LintWarningsRideOnAcceptedQuery) {
+  // Untargeted, unsampled: warning severity only, so admission proceeds and
+  // the findings travel back on the SubmittedQuery.
+  Result<SubmittedQuery> s = server_->Submit(
+      "SELECT COUNT(*) FROM bid DURATION 60 s;", [](const ResultRow&) {});
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_FALSE(s->lint_warnings.empty());
+  EXPECT_EQ(s->lint_warnings[0].rule, lint_rules::kFullFleet);
+  EXPECT_EQ(s->hosts_installed, 10u);
+}
+
+TEST_F(ServerTest, LintDisabledAdmitsEverything) {
+  ServerConfig config;
+  config.lint_enabled = false;
+  config.lint.field_cardinality["user_id"] = 1'000'000;
+  QueryServer server(
+      &scheduler_, &transport_, &registry_, &schemas_, central_.get(),
+      server_host_, central_host_, [](HostId) { return nullptr; }, config);
+  Result<SubmittedQuery> s = server.Submit(
+      "SELECT bid.user_id, COUNT(*) FROM bid GROUP BY bid.user_id "
+      "DURATION 60 s SAMPLE EVENTS 10%;",
+      [](const ResultRow&) {});
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_TRUE(s->lint_warnings.empty());
+}
+
+TEST_F(ServerTest, LintFleetSizeTracksLiveRegistry) {
+  // The full-fleet warning quotes the monitorable host count, which the
+  // server reads from the live registry (10 app hosts; central and server
+  // are not monitorable).
+  Result<SubmittedQuery> s = server_->Submit(
+      "SELECT COUNT(*) FROM bid DURATION 60 s;", [](const ResultRow&) {});
+  ASSERT_TRUE(s.ok());
+  ASSERT_FALSE(s->lint_warnings.empty());
+  EXPECT_NE(s->lint_warnings[0].message.find("~10"), std::string::npos)
+      << s->lint_warnings[0].message;
+}
+
 TEST_F(ServerTest, QueryIdsAreUnique) {
   Result<SubmittedQuery> a = server_->Submit(
       "SELECT COUNT(*) FROM bid DURATION 10 s;", [](const ResultRow&) {});

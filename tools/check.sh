@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Single pre-merge gate: format check, clang-tidy over src/, and the tier-1
+# test suite under ASan+UBSan. Exits nonzero on ANY failure so CI (or a
+# human) can rely on one command.
+#
+#   tools/check.sh             # everything
+#   tools/check.sh --no-tidy   # skip clang-tidy (it is slow)
+#
+# Tools that are not installed are *skipped with a notice*, not failed: the
+# container image this repo builds in carries only the GCC toolchain, and the
+# gate must still be able to certify a checkout there via the sanitizer run.
+# When clang-format/clang-tidy are present, any finding is fatal.
+
+set -u
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${REPO}/build-sanitize"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+RUN_TIDY=1
+FAILURES=0
+
+for arg in "$@"; do
+  case "$arg" in
+    --no-tidy) RUN_TIDY=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+note() { printf '\n== %s ==\n' "$*"; }
+fail() { printf 'FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES + 1)); }
+
+# ---------------------------------------------------------------- format ----
+note "format check"
+if command -v clang-format >/dev/null 2>&1; then
+  # shellcheck disable=SC2046
+  if ! clang-format --dry-run --Werror \
+      $(find "${REPO}/src" "${REPO}/tests" "${REPO}/examples" \
+             -name '*.cc' -o -name '*.h' -o -name '*.cpp'); then
+    fail "clang-format found unformatted files"
+  fi
+else
+  echo "clang-format not installed; skipping format check"
+fi
+
+# ------------------------------------------------- sanitizer build + test ----
+note "ASan+UBSan build"
+if ! cmake -B "${BUILD_DIR}" -S "${REPO}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DSCRUB_SANITIZE=ON -DSCRUB_WERROR=ON > "${BUILD_DIR}.cmake.log" 2>&1 \
+   || ! cmake --build "${BUILD_DIR}" -j "${JOBS}" > "${BUILD_DIR}.build.log" 2>&1
+then
+  tail -40 "${BUILD_DIR}.build.log" 2>/dev/null
+  fail "sanitizer build failed (logs: ${BUILD_DIR}.build.log)"
+else
+  note "tier-1 tests under ASan+UBSan"
+  if ! (cd "${BUILD_DIR}" && \
+        ASAN_OPTIONS=detect_leaks=1 \
+        UBSAN_OPTIONS=print_stacktrace=1 \
+        ctest --output-on-failure -j "${JOBS}"); then
+    fail "tests failed under sanitizers"
+  fi
+fi
+
+# ------------------------------------------------------------- clang-tidy ----
+if [ "${RUN_TIDY}" -eq 1 ]; then
+  note "clang-tidy over src/"
+  if command -v clang-tidy >/dev/null 2>&1; then
+    # The sanitizer build exports compile_commands.json; strip the sanitizer
+    # flags clang-tidy's driver may not know.
+    if ! find "${REPO}/src" -name '*.cc' -print0 | \
+         xargs -0 -P "${JOBS}" -n 8 clang-tidy -p "${BUILD_DIR}" \
+               --quiet --warnings-as-errors='bugprone-*,performance-*'; then
+      fail "clang-tidy reported findings"
+    fi
+  else
+    echo "clang-tidy not installed; skipping tidy pass"
+  fi
+fi
+
+# ---------------------------------------------------------------- verdict ----
+note "summary"
+if [ "${FAILURES}" -ne 0 ]; then
+  echo "${FAILURES} gate(s) failed"
+  exit 1
+fi
+echo "all gates passed"

@@ -1,11 +1,18 @@
 #include "src/agent/agent.h"
 
+#include <algorithm>
+
 #include "src/event/wire.h"
 
 namespace scrub {
 
 void ScrubAgent::InstallQuery(const HostPlan& plan) {
-  queries_.erase(plan.query_id);
+  // Idempotent: a retried install whose predecessor was delivered but whose
+  // ack was lost must not wipe staged events or stats. Plans are immutable
+  // per query id, so "already installed" means "nothing to do".
+  if (queries_.count(plan.query_id) > 0) {
+    return;
+  }
   queries_.emplace(plan.query_id,
                    ActiveQuery(plan, config_.staging_capacity));
 }
@@ -110,11 +117,21 @@ std::vector<EventBatch> ScrubAgent::Flush(TimeMicros now,
 
   for (auto it = queries_.begin(); it != queries_.end();) {
     ActiveQuery& q = it->second;
+    // Heartbeat: make sure the current window has a counter entry even if
+    // no event touched it, so ScrubCentral counts this host as reachable
+    // for the window. operator[] creates a zeroed counter if absent.
+    if (config_.flush_heartbeats && now >= q.plan.start_time) {
+      const TimeMicros hb_ts = std::min(now, q.plan.end_time - 1);
+      const TimeMicros w = WindowStartFor(q, hb_ts);
+      q.pending_counters[w].window_start = w;
+    }
     // Drain staged events into one or more batches.
     while (!q.staged.empty() || !q.pending_counters.empty()) {
       EventBatch batch;
       batch.query_id = it->first;
       batch.host = host_;
+      batch.seq = ++next_seq_[it->first];
+      batch.epoch = epoch_;
       std::vector<Event> events;
       q.staged.DrainInto(&events, config_.max_batch_events);
       batch.event_count = events.size();
@@ -130,6 +147,21 @@ std::vector<EventBatch> ScrubAgent::Flush(TimeMicros now,
       // Serialization is Scrub work on the host.
       meter_->ChargeScrub(static_cast<int64_t>(batch.payload.size()) *
                           c.serialize_per_byte_ns);
+      ++q.stats.batches_sent;
+      // Keep a retransmit copy until acked, budget permitting.
+      if (config_.retransmit_budget > 0) {
+        std::deque<PendingBatch>& held = retransmit_[it->first];
+        PendingBatch pending;
+        pending.batch = batch;
+        pending.next_retry = now + BackoffFor(0);
+        pending.deadline = now + config_.retransmit_budget;
+        held.push_back(std::move(pending));
+        while (held.size() > config_.retransmit_capacity) {
+          ++q.stats.batches_evicted;
+          q.stats.events_abandoned += held.front().batch.event_count;
+          held.pop_front();
+        }
+      }
       batches.push_back(std::move(batch));
       if (events.empty()) {
         break;  // counters-only flush
@@ -147,6 +179,88 @@ std::vector<EventBatch> ScrubAgent::Flush(TimeMicros now,
     }
   }
   return batches;
+}
+
+TimeMicros ScrubAgent::BackoffFor(int attempts) {
+  TimeMicros base = config_.retransmit_backoff;
+  for (int i = 0; i < attempts && base < 8 * config_.retransmit_backoff;
+       ++i) {
+    base *= 2;
+  }
+  // +/-25% jitter so a fleet's retries do not synchronize.
+  const TimeMicros quarter = std::max<TimeMicros>(base / 4, 1);
+  return base - quarter +
+         static_cast<TimeMicros>(
+             retry_rng_.NextBelow(static_cast<uint64_t>(2 * quarter)));
+}
+
+std::vector<EventBatch> ScrubAgent::Retransmits(TimeMicros now) {
+  std::vector<EventBatch> out;
+  for (auto it = retransmit_.begin(); it != retransmit_.end();) {
+    std::deque<PendingBatch>& held = it->second;
+    AgentQueryStats* stats = MutableStatsFor(it->first);
+    for (auto pit = held.begin(); pit != held.end();) {
+      if (now >= pit->deadline) {
+        // Budget spent: the window this data belonged to has closed at
+        // central anyway. Shed and count.
+        if (stats != nullptr) {
+          ++stats->batches_expired;
+          stats->events_abandoned += pit->batch.event_count;
+        }
+        pit = held.erase(pit);
+        continue;
+      }
+      if (now >= pit->next_retry) {
+        out.push_back(pit->batch);
+        ++pit->attempts;
+        if (stats != nullptr) {
+          ++stats->batches_retransmitted;
+        }
+        pit->next_retry = now + BackoffFor(pit->attempts);
+      }
+      ++pit;
+    }
+    it = held.empty() ? retransmit_.erase(it) : std::next(it);
+  }
+  return out;
+}
+
+void ScrubAgent::OnAck(QueryId query_id, uint64_t seq) {
+  const auto it = retransmit_.find(query_id);
+  if (it == retransmit_.end()) {
+    return;
+  }
+  std::deque<PendingBatch>& held = it->second;
+  for (auto pit = held.begin(); pit != held.end(); ++pit) {
+    if (pit->batch.seq == seq) {
+      AgentQueryStats* stats = MutableStatsFor(query_id);
+      if (stats != nullptr) {
+        ++stats->batches_acked;
+      }
+      held.erase(pit);
+      break;
+    }
+  }
+  if (held.empty()) {
+    retransmit_.erase(it);
+  }
+}
+
+size_t ScrubAgent::pending_retransmits() const {
+  size_t n = 0;
+  for (const auto& [qid, held] : retransmit_) {
+    n += held.size();
+  }
+  return n;
+}
+
+AgentQueryStats* ScrubAgent::MutableStatsFor(QueryId query_id) {
+  const auto it = queries_.find(query_id);
+  if (it != queries_.end()) {
+    return &it->second.stats;
+  }
+  const auto rit = retired_stats_.find(query_id);
+  return rit == retired_stats_.end() ? nullptr : &rit->second;
 }
 
 const AgentQueryStats* ScrubAgent::StatsFor(QueryId query_id) const {

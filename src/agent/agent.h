@@ -23,6 +23,7 @@
 #define SRC_AGENT_AGENT_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -50,19 +51,43 @@ struct WindowCounter {
 };
 
 // One flush's worth of traffic from a host to ScrubCentral for one query.
+//
+// `seq` numbers batches per (host, query) starting at 1; ScrubCentral acks
+// and dedups on it. seq == 0 means "unsequenced": hand-built batches and
+// re-bucketed shard sub-batches bypass dedup entirely. `epoch` is the
+// agent's incarnation, bumped when a host restarts, so a fresh agent's
+// restarting sequence numbers are not mistaken for duplicates.
 struct EventBatch {
   QueryId query_id = 0;
   HostId host = kInvalidHost;
+  uint64_t seq = 0;
+  uint64_t epoch = 0;
   std::string payload;       // wire-encoded events (EncodeBatch)
   size_t event_count = 0;
   std::vector<WindowCounter> counters;  // deltas since the previous flush
 
-  size_t WireSize() const { return payload.size() + 32 * counters.size() + 24; }
+  // Honest wire accounting: the encoded events, each counter's three u64
+  // readings, and the header (query_id 8 + host 4 + seq 8 + epoch 8 +
+  // event_count 4 + counter_count 4).
+  size_t WireSize() const { return payload.size() + 24 * counters.size() + 36; }
 };
 
 struct AgentConfig {
   size_t staging_capacity = 8192;  // events buffered per query
   size_t max_batch_events = 1024;  // flush splits batches beyond this
+  // Reliable delivery. A flushed batch is held for retransmission until
+  // acked; unacked batches are re-sent with exponential backoff + jitter
+  // until `retransmit_budget` has elapsed since the flush, then shed and
+  // counted. retransmit_budget == 0 disables the retransmit path (unit-test
+  // agents that are never acked would otherwise hold batches forever);
+  // ScrubSystem derives a budget from the central's allowed lateness.
+  size_t retransmit_capacity = 64;          // held batches per query
+  TimeMicros retransmit_backoff = 250 * kMicrosPerMilli;  // first retry
+  TimeMicros retransmit_budget = 0;
+  // When set, every flush emits at least one (possibly zero) window counter
+  // per in-span query, so ScrubCentral can tell "host reachable, nothing to
+  // report" from "host silent" — the basis of completeness accounting.
+  bool flush_heartbeats = false;
   CostModel costs;
 };
 
@@ -73,19 +98,34 @@ struct AgentQueryStats {
   uint64_t events_staged = 0;
   uint64_t events_dropped = 0;     // staging buffer full
   uint64_t events_shipped = 0;
+  // Reliable-delivery accounting.
+  uint64_t batches_sent = 0;          // first transmissions
+  uint64_t batches_retransmitted = 0; // re-sends of unacked batches
+  uint64_t batches_acked = 0;
+  uint64_t batches_expired = 0;       // retransmit budget spent, shed
+  uint64_t batches_evicted = 0;       // retransmit buffer overflow, shed
+  uint64_t events_abandoned = 0;      // events in shed batches
 };
 
 class ScrubAgent {
  public:
+  // `epoch` is the host's incarnation number; ScrubSystem bumps it when a
+  // crashed host restarts with a fresh agent.
   ScrubAgent(HostId host, CostMeter* meter, AgentConfig config,
-             uint64_t sampling_seed)
+             uint64_t sampling_seed, uint64_t epoch = 0)
       : host_(host),
         meter_(meter),
         config_(config),
-        rng_(sampling_seed) {}
+        rng_(sampling_seed),
+        // A separate stream for retry jitter, so retransmission timing never
+        // perturbs the event-sampling coin flips (faulted and clean runs
+        // must sample identically).
+        retry_rng_(sampling_seed ^ 0x9E3779B97F4A7C15ULL),
+        epoch_(epoch) {}
 
-  // Installs a query object received from the query server. Replaces any
-  // existing plan with the same id.
+  // Installs a query object received from the query server. Idempotent: a
+  // duplicate install (retry that raced its ack) is a no-op, preserving
+  // staged events and stats.
   void InstallQuery(const HostPlan& plan);
   void RemoveQuery(QueryId query_id);
   size_t active_queries() const { return queries_.size(); }
@@ -104,6 +144,17 @@ class ScrubAgent {
   std::vector<EventBatch> Flush(TimeMicros now,
                                 std::vector<QueryId>* expired = nullptr);
 
+  // Batches whose retry timer has come due (their retransmit copies stay
+  // buffered until acked or expired). Also sheds batches whose retransmit
+  // budget is spent.
+  std::vector<EventBatch> Retransmits(TimeMicros now);
+
+  // ScrubCentral acked (host, query, seq): drop the retransmit copy.
+  void OnAck(QueryId query_id, uint64_t seq);
+
+  size_t pending_retransmits() const;
+  uint64_t epoch() const { return epoch_; }
+
   const AgentQueryStats* StatsFor(QueryId query_id) const;
   uint64_t total_events_logged() const { return total_events_logged_; }
 
@@ -119,17 +170,38 @@ class ScrubAgent {
         : plan(p), staged(capacity) {}
   };
 
+  // A flushed batch awaiting its ack.
+  struct PendingBatch {
+    EventBatch batch;
+    TimeMicros next_retry = 0;
+    TimeMicros deadline = 0;  // flush time + retransmit budget
+    int attempts = 0;
+  };
+
   // Applies projection: fields outside the keep mask become null.
   static Event ProjectEvent(const Event& event, const HostSourcePlan& sp);
 
   TimeMicros WindowStartFor(const ActiveQuery& q, TimeMicros ts) const;
 
+  // Stats survive retirement; explicit RemoveQuery discards them (existing
+  // behavior), in which case this returns nullptr.
+  AgentQueryStats* MutableStatsFor(QueryId query_id);
+
+  // Exponential backoff with +/-25% jitter from the retry stream.
+  TimeMicros BackoffFor(int attempts);
+
   HostId host_;
   CostMeter* meter_;
   AgentConfig config_;
   Rng rng_;
+  Rng retry_rng_;
+  uint64_t epoch_;
   std::unordered_map<QueryId, ActiveQuery> queries_;
   std::unordered_map<QueryId, AgentQueryStats> retired_stats_;
+  // Retransmit buffers outlive query retirement: the final flush's batches
+  // are still owed to ScrubCentral. They drain via ack or deadline.
+  std::map<QueryId, std::deque<PendingBatch>> retransmit_;
+  std::unordered_map<QueryId, uint64_t> next_seq_;
   uint64_t total_events_logged_ = 0;
 };
 

@@ -93,6 +93,9 @@ std::string ResultRow::ToString() const {
       out += StrFormat(" ±%.3g", error_bounds[i]);
     }
   }
+  if (completeness < 1.0) {
+    out += StrFormat(" [completeness %.2f]", completeness);
+  }
   return out;
 }
 
@@ -209,6 +212,16 @@ Status ScrubCentral::IngestBatch(const EventBatch& batch, TimeMicros now) {
   }
   ActiveQuery& q = it->second;
   ++q.stats.batches;
+
+  // Duplicate suppression before any counter or event is folded in: a
+  // retransmission that raced its ack must not double-count M_i/m_i or
+  // re-ingest events. seq == 0 batches (hand-built, shard sub-batches)
+  // bypass dedup.
+  if (batch.seq != 0 &&
+      !q.dedup[batch.host][batch.epoch].Insert(batch.seq)) {
+    ++q.stats.batches_duplicate;
+    return OkStatus();
+  }
 
   // Fold the agent's sampling counters into per-window host stats. A
   // counter covers one slide period; every window containing that period
@@ -479,12 +492,32 @@ Value ScrubCentral::FinalizeAggregate(const ActiveQuery& q,
   return FinalizeAccumulator(spec, acc, scale);
 }
 
+double ScrubCentral::WindowCompleteness(const ActiveQuery& q,
+                                        const WindowState& w) const {
+  // Expected set = the hosts the plan was disseminated to. With heartbeat
+  // counters on, every reachable one leaves a host_stats entry per window.
+  if (q.plan.hosts_sampled == 0) {
+    return 1.0;  // expected set unknown (hand-installed plan)
+  }
+  const double frac = static_cast<double>(w.host_stats.size()) /
+                      static_cast<double>(q.plan.hosts_sampled);
+  return std::min(1.0, frac);
+}
+
 void ScrubCentral::CloseWindow(ActiveQuery& q, WindowState* w) {
   if (w->closed) {
     return;
   }
   w->closed = true;
   const CentralPlan& plan = q.plan;
+
+  const double completeness = WindowCompleteness(q, *w);
+  ++q.stats.windows_closed;
+  q.stats.completeness_sum += completeness;
+  q.stats.completeness_min = std::min(q.stats.completeness_min, completeness);
+  if (completeness < 1.0) {
+    ++q.stats.windows_incomplete;
+  }
 
   // Join orphans: request ids where one side never arrived.
   for (const auto& [rid, per_source] : w->join_state) {
@@ -510,6 +543,7 @@ void ScrubCentral::CloseWindow(ActiveQuery& q, WindowState* w) {
     WindowPartial partial;
     partial.query_id = plan.query_id;
     partial.window_start = w->start;
+    partial.completeness = completeness;
     partial.keys.reserve(w->groups.size());
     partial.accumulators.reserve(w->groups.size());
     for (auto& [key, group] : w->groups) {
@@ -534,6 +568,7 @@ void ScrubCentral::CloseWindow(ActiveQuery& q, WindowState* w) {
     row.query_id = plan.query_id;
     row.window_start = w->start;
     row.window_end = w->start + plan.window_micros;
+    row.completeness = completeness;
 
     std::vector<Value> agg_values(plan.aggregates.size());
     std::vector<double> agg_bounds(plan.aggregates.size(), 0.0);

@@ -23,6 +23,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -75,6 +76,9 @@ Value FinalizeAccumulator(const AggregateSpec& spec,
 struct WindowPartial {
   QueryId query_id = 0;
   TimeMicros window_start = 0;
+  // Fraction of the plan's sampled host set heard from this window (1.0
+  // when unknown). The coordinator takes the min across shards.
+  double completeness = 1.0;
   std::vector<GroupKey> keys;
   std::vector<std::vector<AggAccumulator>> accumulators;  // parallel to keys
 };
@@ -89,11 +93,38 @@ struct ResultRow {
   // error_bounds[i] is the ± half-width of the 95% interval when column i is
   // a sampled COUNT/SUM (Eq. 2); 0 means exact / not applicable.
   std::vector<double> error_bounds;
+  // Fraction of the hosts the plan expected to hear from whose contribution
+  // (events or heartbeat counters) reached central before this window
+  // closed. 1.0 = every expected host reported; below that, the window's
+  // answer is partition/crash-degraded and the user can tell.
+  double completeness = 1.0;
 
   std::string ToString() const;
 };
 
 using ResultSink = std::function<void(const ResultRow&)>;
+
+// Duplicate suppression for sequenced batches from one (host, epoch): a
+// contiguous watermark plus the out-of-order seqs beyond it, so state stays
+// O(reorder depth), not O(batches). Shared with ShardedCentral, which dedups
+// at the router before re-bucketing.
+struct SeqTracker {
+  uint64_t contiguous = 0;  // every seq <= this has been seen
+  std::set<uint64_t> ahead;
+
+  // Returns false (duplicate) if seq was already recorded.
+  bool Insert(uint64_t seq) {
+    if (seq <= contiguous || ahead.count(seq) > 0) {
+      return false;
+    }
+    ahead.insert(seq);
+    while (!ahead.empty() && *ahead.begin() == contiguous + 1) {
+      ++contiguous;
+      ahead.erase(ahead.begin());
+    }
+    return true;
+  }
+};
 
 struct CentralConfig {
   // How long past a window's end central waits for stragglers.
@@ -110,6 +141,7 @@ struct CentralConfig {
 
 struct CentralQueryStats {
   uint64_t batches = 0;
+  uint64_t batches_duplicate = 0;  // dedup hits: retransmit raced its ack
   uint64_t events_ingested = 0;
   uint64_t events_late = 0;        // dropped: window already closed
   uint64_t tuples_joined = 0;      // joined tuples processed (join queries)
@@ -117,6 +149,11 @@ struct CentralQueryStats {
   uint64_t join_shed = 0;          // events dropped: join buffer at capacity
   uint64_t groups_emitted = 0;
   uint64_t rows_emitted = 0;
+  // Completeness accounting across closed windows.
+  uint64_t windows_closed = 0;
+  uint64_t windows_incomplete = 0;  // closed with completeness < 1
+  double completeness_min = 1.0;
+  double completeness_sum = 0.0;    // mean = sum / windows_closed
 };
 
 class ScrubCentral {
@@ -178,6 +215,8 @@ class ScrubCentral {
     PartialSink partial_sink;  // shard mode (exactly one of the two is set)
     CentralQueryStats stats;
     std::map<TimeMicros, WindowState> windows;  // keyed by window start
+    // Dedup state per sending host, keyed by agent incarnation (epoch).
+    std::unordered_map<HostId, std::map<uint64_t, SeqTracker>> dedup;
     // Windows at or before this start have been emitted and erased; events
     // mapping into them are late.
     TimeMicros closed_through = std::numeric_limits<TimeMicros>::min();
@@ -200,6 +239,8 @@ class ScrubCentral {
   void UpdateAccumulator(const AggregateSpec& spec, Accumulator* acc,
                          const EventTuple& tuple);
   void CloseWindow(ActiveQuery& q, WindowState* w);
+  // Observed fraction of the plan's expected host set for this window.
+  double WindowCompleteness(const ActiveQuery& q, const WindowState& w) const;
   Value FinalizeAggregate(const ActiveQuery& q, const WindowState& w,
                           int slot, const Accumulator& acc,
                           double group_scale, double* error_bound) const;

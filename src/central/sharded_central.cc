@@ -30,10 +30,15 @@ Status ShardedCentral::InstallQuery(const CentralPlan& plan,
         static_cast<unsigned long long>(plan.query_id)));
   }
   // Install in partial mode on every shard first; roll back on failure so a
-  // rejected plan leaves no residue.
+  // rejected plan leaves no residue. Shards see only an event slice, so
+  // their per-window completeness would be meaningless noise — zeroing
+  // hosts_sampled in the shard copy marks the expected set unknown there;
+  // the coordinator computes completeness from the full batches it routes.
+  CentralPlan shard_plan = plan;
+  shard_plan.hosts_sampled = 0;
   for (size_t i = 0; i < shards_.size(); ++i) {
     Status s = shards_[i]->InstallQueryPartial(
-        plan, [this](WindowPartial&& partial) {
+        shard_plan, [this](WindowPartial&& partial) {
           AbsorbPartial(std::move(partial));
         });
     if (!s.ok()) {
@@ -67,8 +72,24 @@ void ShardedCentral::RemoveQuery(QueryId query_id) {
 }
 
 Status ShardedCentral::IngestBatch(const EventBatch& batch, TimeMicros now) {
-  if (coordinators_.count(batch.query_id) == 0) {
+  const auto cit = coordinators_.find(batch.query_id);
+  if (cit == coordinators_.end()) {
     return OkStatus();  // raced teardown, mirror ScrubCentral's behaviour
+  }
+  Coordinator& c = cit->second;
+  // Dedup here, before re-bucketing: sub-batches are unsequenced.
+  if (batch.seq != 0 &&
+      !c.dedup[batch.host][batch.epoch].Insert(batch.seq)) {
+    ++c.batches_duplicate;
+    return OkStatus();
+  }
+  // Record host presence per slide-grid slot for completeness accounting
+  // (the counters themselves are dropped: no sampling in sharded mode).
+  for (const WindowCounter& counter : batch.counters) {
+    if (counter.window_start >= c.plan.start_time &&
+        counter.window_start < c.plan.end_time) {
+      c.window_hosts[counter.window_start].insert(batch.host);
+    }
   }
   if (batch.event_count == 0) {
     return OkStatus();
@@ -124,6 +145,24 @@ void ShardedCentral::FinalizeWindow(
     std::unordered_map<GroupKey, std::vector<AggAccumulator>, GroupKeyHash>&
         groups) {
   const CentralPlan& plan = c.plan;
+  // Completeness: union of hosts heard from across the slide-grid slots the
+  // window covers. An empty union means no counters ever flowed (hand-built
+  // batches) — expected set unknown, report 1.0.
+  double completeness = 1.0;
+  if (plan.hosts_sampled > 0) {
+    std::set<HostId> hosts;
+    for (auto sit = c.window_hosts.lower_bound(start);
+         sit != c.window_hosts.end() &&
+         sit->first < start + plan.window_micros;
+         ++sit) {
+      hosts.insert(sit->second.begin(), sit->second.end());
+    }
+    if (!hosts.empty()) {
+      completeness =
+          std::min(1.0, static_cast<double>(hosts.size()) /
+                            static_cast<double>(plan.hosts_sampled));
+    }
+  }
   // Ungrouped queries emit a row even for empty windows (series stay
   // continuous), matching single-instance behaviour.
   if (plan.group_by.empty() && groups.empty()) {
@@ -142,6 +181,7 @@ void ShardedCentral::FinalizeWindow(
     row.query_id = plan.query_id;
     row.window_start = start;
     row.window_end = start + plan.window_micros;
+    row.completeness = completeness;
     for (const OutputColumn& column : plan.outputs) {
       row.values.push_back(EvalOutputExpr(column.expr, key, agg_values));
       row.error_bounds.push_back(0.0);
@@ -168,12 +208,24 @@ void ShardedCentral::OnTick(TimeMicros now) {
         ++wit;
       }
     }
+    // GC completeness slots no still-open window can cover.
+    while (!c.window_hosts.empty() &&
+           c.window_hosts.begin()->first + c.plan.window_micros +
+                   config_.allowed_lateness <=
+               now) {
+      c.window_hosts.erase(c.window_hosts.begin());
+    }
     if (now >= c.plan.end_time + config_.allowed_lateness) {
       cit = coordinators_.erase(cit);
     } else {
       ++cit;
     }
   }
+}
+
+uint64_t ShardedCentral::DuplicateBatches(QueryId query_id) const {
+  const auto it = coordinators_.find(query_id);
+  return it == coordinators_.end() ? 0 : it->second.batches_duplicate;
 }
 
 std::vector<uint64_t> ShardedCentral::ShardLoads(QueryId query_id) const {

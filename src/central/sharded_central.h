@@ -25,6 +25,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +58,8 @@ class ShardedCentral {
   const ScrubCentral& shard(size_t i) const { return *shards_[i]; }
   // Events each shard ingested (balance diagnostics).
   std::vector<uint64_t> ShardLoads(QueryId query_id) const;
+  // Router-level dedup hits for one query (retransmits raced their acks).
+  uint64_t DuplicateBatches(QueryId query_id) const;
 
  private:
   struct Coordinator {
@@ -67,6 +70,13 @@ class ShardedCentral {
              std::unordered_map<GroupKey, std::vector<AggAccumulator>,
                                 GroupKeyHash>>
         windows;
+    // Router-level dedup: shard sub-batches are unsequenced, so duplicate
+    // suppression must happen before re-bucketing.
+    std::unordered_map<HostId, std::map<uint64_t, SeqTracker>> dedup;
+    uint64_t batches_duplicate = 0;
+    // Hosts heard from per slide-grid slot (from batch counters), the
+    // coordinator's completeness source — shards only see event slices.
+    std::map<TimeMicros, std::set<HostId>> window_hosts;
   };
 
   void AbsorbPartial(WindowPartial&& partial);

@@ -27,6 +27,7 @@ struct HostInfo {
   std::string service;     // "BidServers", "AdServers", ...
   std::string datacenter;  // "DC1", ...
   bool monitorable = true; // false for Scrub's own infrastructure
+  bool alive = true;       // false while crashed (fault injection)
 };
 
 class HostRegistry {
@@ -45,6 +46,16 @@ class HostRegistry {
       n += h.monitorable ? 1 : 0;
     }
     return n;
+  }
+
+  // Crash/restart support for fault injection. A dead host neither sends
+  // nor receives transport messages; its registration (name, service, DC,
+  // meters) survives so a restart is the same identity coming back.
+  void SetAlive(HostId id, bool alive) {
+    hosts_[static_cast<size_t>(id)].alive = alive;
+  }
+  bool IsAlive(HostId id) const {
+    return hosts_[static_cast<size_t>(id)].alive;
   }
 
   Result<HostId> FindByName(std::string_view name) const;

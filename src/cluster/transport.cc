@@ -1,5 +1,7 @@
 #include "src/cluster/transport.h"
 
+#include <utility>
+
 namespace scrub {
 
 const char* TrafficCategoryName(TrafficCategory category) {
@@ -10,6 +12,8 @@ const char* TrafficCategoryName(TrafficCategory category) {
       return "scrub_control";
     case TrafficCategory::kScrubEvents:
       return "scrub_events";
+    case TrafficCategory::kScrubAcks:
+      return "scrub_acks";
     case TrafficCategory::kScrubResults:
       return "scrub_results";
     case TrafficCategory::kBaselineLog:
@@ -30,16 +34,101 @@ TimeMicros Transport::LatencyBetween(HostId from, HostId to) const {
                                       : config_.cross_dc_latency;
 }
 
+bool Transport::Partitioned(HostId from, HostId to) const {
+  if (faults_.partitions.empty() || from == to) {
+    return false;
+  }
+  const TimeMicros now = scheduler_->Now();
+  const std::string& dc_a = registry_->Get(from).datacenter;
+  const std::string& dc_b = registry_->Get(to).datacenter;
+  if (dc_a == dc_b) {
+    return false;
+  }
+  for (const PartitionSpec& p : faults_.partitions) {
+    if (now < p.start || now >= p.end) {
+      continue;
+    }
+    // The partition isolates p.datacenter: a link is cut iff exactly one
+    // endpoint is inside.
+    if ((dc_a == p.datacenter) != (dc_b == p.datacenter)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Transport::SetFaultPlan(FaultPlan plan) {
+  faults_ = std::move(plan);
+  fault_rng_ = Rng(faults_.seed);
+}
+
 void Transport::Send(HostId from, HostId to, size_t bytes,
                      TrafficCategory category,
                      std::function<void()> deliver) {
+  // The sender pays to serialize and emit the message even if the network
+  // then eats it, so bytes are accounted unconditionally.
   bytes_by_category_[static_cast<size_t>(category)] += bytes;
   messages_by_category_[static_cast<size_t>(category)] += 1;
-  const TimeMicros latency =
+  FaultStats& stats = fault_stats_[static_cast<size_t>(category)];
+
+  // A dead endpoint means the message goes nowhere — never execute a
+  // delivery closure on a crashed host's behalf.
+  if (!registry_->IsAlive(from) || !registry_->IsAlive(to)) {
+    ++stats.dead_host;
+    ++stats.dropped;
+    return;
+  }
+  if (Partitioned(from, to)) {
+    ++stats.partitioned;
+    ++stats.dropped;
+    return;
+  }
+
+  TimeMicros latency =
       LatencyBetween(from, to) +
       static_cast<TimeMicros>(config_.micros_per_byte *
                               static_cast<double>(bytes));
-  scheduler_->ScheduleAfter(latency, std::move(deliver));
+
+  bool duplicate = false;
+  const FaultSpec& spec = faults_.Category(category);
+  if (spec.Active()) {
+    // Draw all four coins whenever the category is faulted at all, so the
+    // random stream's shape depends only on the message sequence, not on
+    // which sub-probabilities happen to be zero. Categories with an inert
+    // spec consume no randomness, keeping them bit-identical to a clean run.
+    const bool drop = fault_rng_.NextBool(spec.drop);
+    const bool spiked = fault_rng_.NextBool(spec.spike);
+    const bool reordered = fault_rng_.NextBool(spec.reorder);
+    duplicate = fault_rng_.NextBool(spec.duplicate);
+    if (drop) {
+      ++stats.dropped;
+      return;
+    }
+    if (spiked) {
+      ++stats.spiked;
+      latency += spec.spike_delay;
+    }
+    if (reordered) {
+      ++stats.reordered;
+      latency += spec.reorder_delay;
+    }
+  }
+
+  // Re-check recipient liveness at delivery time: the host may crash while
+  // the message is in flight.
+  auto guarded = [this, to, &stats, deliver = std::move(deliver)]() {
+    if (!registry_->IsAlive(to)) {
+      ++stats.dead_host;
+      ++stats.dropped;
+      return;
+    }
+    deliver();
+  };
+  if (duplicate) {
+    ++stats.duplicated;
+    scheduler_->ScheduleAfter(latency + config_.same_dc_latency, guarded);
+  }
+  scheduler_->ScheduleAfter(latency, std::move(guarded));
 }
 
 uint64_t Transport::total_bytes() const {
@@ -50,9 +139,23 @@ uint64_t Transport::total_bytes() const {
   return total;
 }
 
+FaultStats Transport::TotalFaultStats() const {
+  FaultStats total;
+  for (const FaultStats& s : fault_stats_) {
+    total.dropped += s.dropped;
+    total.duplicated += s.duplicated;
+    total.reordered += s.reordered;
+    total.spiked += s.spiked;
+    total.partitioned += s.partitioned;
+    total.dead_host += s.dead_host;
+  }
+  return total;
+}
+
 void Transport::ResetCounters() {
   bytes_by_category_.fill(0);
   messages_by_category_.fill(0);
+  fault_stats_ = {};
 }
 
 }  // namespace scrub

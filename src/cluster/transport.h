@@ -1,12 +1,22 @@
-// Simulated network transport with latency and byte accounting.
+// Simulated network transport with latency, byte accounting, and
+// deterministic fault injection.
 //
 // Every message between simulated hosts goes through here: Scrub query
-// dissemination, event batches to ScrubCentral, results back to the user,
-// the baseline's log shipping, and the bidding platform's own inter-service
-// calls. Delivery latency is topology-aware (same host / same data center /
-// cross data center) plus a bandwidth term, and bytes are accounted per
-// traffic category — the E11 experiment (Scrub vs full logging) reads its
-// numbers straight from these counters.
+// dissemination, event batches to ScrubCentral, acks back to agents, results
+// back to the user, the baseline's log shipping, and the bidding platform's
+// own inter-service calls. Delivery latency is topology-aware (same host /
+// same data center / cross data center) plus a bandwidth term, and bytes are
+// accounted per traffic category — the E11 experiment (Scrub vs full
+// logging) reads its numbers straight from these counters.
+//
+// Fault injection: a seeded FaultPlan makes the network hostile on purpose —
+// per-category drop/duplicate/reorder probabilities, latency spikes, and
+// timed DC-level partitions — while staying fully deterministic: the same
+// seed yields the same faults, and categories with no active fault spec
+// consume no randomness at all, so a faulted run's application traffic is
+// bit-identical to the clean run's. Crashed hosts (HostInfo::alive == false)
+// neither send nor receive; such messages count as dropped rather than
+// executing on a dead host's behalf.
 
 #ifndef SRC_CLUSTER_TRANSPORT_H_
 #define SRC_CLUSTER_TRANSPORT_H_
@@ -15,16 +25,19 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "src/cluster/host_registry.h"
 #include "src/cluster/scheduler.h"
+#include "src/common/rng.h"
 
 namespace scrub {
 
 enum class TrafficCategory {
   kAppTraffic = 0,    // the bidding platform's own RPCs
-  kScrubControl,      // query objects out, teardown messages
+  kScrubControl,      // query objects out, teardown messages, control acks
   kScrubEvents,       // event batches host -> ScrubCentral
+  kScrubAcks,         // batch acks ScrubCentral -> host
   kScrubResults,      // result rows ScrubCentral -> user
   kBaselineLog,       // the full-logging baseline's shipped events
   kCategoryCount,
@@ -40,22 +53,93 @@ struct TransportConfig {
   double micros_per_byte = 0.001;
 };
 
+// Per-category message corruption. All probabilities in [0, 1]. A default
+// constructed spec is inert and consumes no randomness.
+struct FaultSpec {
+  double drop = 0.0;       // message vanishes
+  double duplicate = 0.0;  // message delivered twice
+  double reorder = 0.0;    // message delayed by `reorder_delay` (overtaken)
+  double spike = 0.0;      // latency spike of `spike_delay`
+  TimeMicros reorder_delay = 2'000;
+  TimeMicros spike_delay = 50'000;
+
+  bool Active() const {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 || spike > 0.0;
+  }
+};
+
+// A timed network partition: while active ([start, end)), messages between
+// `datacenter` and any *other* DC are dropped in both directions. Intra-DC
+// traffic is unaffected.
+struct PartitionSpec {
+  std::string datacenter;
+  TimeMicros start = 0;
+  TimeMicros end = 0;
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  std::array<FaultSpec, static_cast<size_t>(TrafficCategory::kCategoryCount)>
+      by_category = {};
+  std::vector<PartitionSpec> partitions;
+
+  FaultSpec& Category(TrafficCategory c) {
+    return by_category[static_cast<size_t>(c)];
+  }
+  const FaultSpec& Category(TrafficCategory c) const {
+    return by_category[static_cast<size_t>(c)];
+  }
+  bool Active() const {
+    if (!partitions.empty()) {
+      return true;
+    }
+    for (const FaultSpec& spec : by_category) {
+      if (spec.Active()) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// What the fault layer did, per category. `partitioned` and `dead_host` drops
+// are also counted in `dropped`.
+struct FaultStats {
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+  uint64_t spiked = 0;
+  uint64_t partitioned = 0;
+  uint64_t dead_host = 0;
+};
+
 class Transport {
  public:
   Transport(Scheduler* scheduler, const HostRegistry* registry,
             TransportConfig config = {})
-      : scheduler_(scheduler), registry_(registry), config_(config) {
+      : scheduler_(scheduler), registry_(registry), config_(config),
+        fault_rng_(1) {
     bytes_by_category_.fill(0);
     messages_by_category_.fill(0);
   }
 
   // Schedules `deliver` to run on the recipient after the link latency.
   // `bytes` is the message's wire size (drives both the bandwidth term and
-  // the accounting).
+  // the accounting). Subject to the fault plan: the message may be dropped,
+  // duplicated, delayed, or cut by a partition; messages from or to a dead
+  // host are dropped. Bytes are accounted at send time either way — the
+  // sender paid to serialize them.
   void Send(HostId from, HostId to, size_t bytes, TrafficCategory category,
             std::function<void()> deliver);
 
+  // Installs (or replaces) the fault plan and reseeds the fault RNG.
+  void SetFaultPlan(FaultPlan plan);
+  const FaultPlan& fault_plan() const { return faults_; }
+
   TimeMicros LatencyBetween(HostId from, HostId to) const;
+
+  // True while a partition currently severs the from->to link.
+  bool Partitioned(HostId from, HostId to) const;
 
   uint64_t bytes_sent(TrafficCategory category) const {
     return bytes_by_category_[static_cast<size_t>(category)];
@@ -65,16 +149,25 @@ class Transport {
   }
   uint64_t total_bytes() const;
 
+  const FaultStats& fault_stats(TrafficCategory category) const {
+    return fault_stats_[static_cast<size_t>(category)];
+  }
+  FaultStats TotalFaultStats() const;
+
   void ResetCounters();
 
  private:
   Scheduler* scheduler_;
   const HostRegistry* registry_;
   TransportConfig config_;
+  FaultPlan faults_;
+  Rng fault_rng_;
   std::array<uint64_t, static_cast<size_t>(TrafficCategory::kCategoryCount)>
       bytes_by_category_;
   std::array<uint64_t, static_cast<size_t>(TrafficCategory::kCategoryCount)>
       messages_by_category_;
+  std::array<FaultStats, static_cast<size_t>(TrafficCategory::kCategoryCount)>
+      fault_stats_ = {};
 };
 
 }  // namespace scrub

@@ -98,6 +98,7 @@ class Linter {
     CheckIneffectiveFilter();
     CheckWindowUnderFlush();
     CheckSpanBudget();
+    CheckRetryHeadroom();
     return std::move(diags_);
   }
 
@@ -474,6 +475,35 @@ class Linter {
                        static_cast<double>(options_.max_duration_micros),
                    DurationText(options_.max_duration_micros).c_str()),
          q_.spans.duration);
+  }
+
+  // --- (i) scrubql-no-retry-headroom -----------------------------------------
+  //
+  // Reliable delivery retries a lost batch on the next flush round, and the
+  // retried copy still has to cross the network. If central's allowed
+  // lateness is smaller than one flush interval plus that round trip, a
+  // batch lost at a window's final flush can never make it back before the
+  // window closes: every network fault silently becomes missing data
+  // instead of recovered data.
+  void CheckRetryHeadroom() {
+    if (options_.retry_rtt_micros <= 0 || q_.window_micros <= 0) {
+      return;  // rule disabled, or no windows to close
+    }
+    const TimeMicros needed =
+        options_.flush_interval_micros + options_.retry_rtt_micros;
+    if (options_.allowed_lateness_micros >= needed) {
+      return;
+    }
+    Emit(LintSeverity::kWarning, lint_rules::kNoRetryHeadroom,
+         StrFormat("allowed lateness %s leaves no room for one retransmit "
+                   "round trip (flush %s + retry %s = %s): a batch lost at a "
+                   "window's last flush arrives after the window closed and "
+                   "is dropped, not recovered",
+                   DurationText(options_.allowed_lateness_micros).c_str(),
+                   DurationText(options_.flush_interval_micros).c_str(),
+                   DurationText(options_.retry_rtt_micros).c_str(),
+                   DurationText(needed).c_str()),
+         q_.spans.window);
   }
 
   const AnalyzedQuery& aq_;

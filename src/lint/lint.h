@@ -55,6 +55,11 @@ inline constexpr std::string_view kWindowUnderFlush =
     "scrubql-window-under-flush";
 // (h) Query span consuming most of the admission duration budget.
 inline constexpr std::string_view kSpanBudget = "scrubql-span-budget";
+// (i) Allowed-lateness budget too small for even one retransmit round trip:
+// a single lost batch at a window's last flush arrives after the window
+// closed, so faults silently become missing data.
+inline constexpr std::string_view kNoRetryHeadroom =
+    "scrubql-no-retry-headroom";
 }  // namespace lint_rules
 
 struct Diagnostic {
@@ -84,6 +89,12 @@ struct LintOptions {
   TimeMicros flush_interval_micros = 500 * kMicrosPerMilli;  // window rule
   double span_budget_fraction = 0.5;              // scrubql-span-budget
   TimeMicros max_duration_micros = 24 * kMicrosPerHour;
+  // scrubql-no-retry-headroom: how long central waits for stragglers, and
+  // one retransmit round trip (retry backoff + two one-way transits) as the
+  // deployment sees it. retry_rtt_micros == 0 disables the rule; the
+  // ScrubSystem wires both from its live configuration.
+  TimeMicros allowed_lateness_micros = 2 * kMicrosPerSecond;
+  TimeMicros retry_rtt_micros = 0;
 
   // Known distinct-value counts, keyed "event_type.field" (a bare "field"
   // key matches any source). Fields with unknown cardinality never trip the

@@ -27,10 +27,26 @@ ScrubSystem::ScrubSystem(SystemConfig config)
   central_ = std::make_unique<ScrubCentral>(&schemas_, config_.central);
 
   // The admission linter should judge windows against the real agent flush
-  // cadence and spans against the real admission ceiling.
+  // cadence and spans against the real admission ceiling, and lateness
+  // budgets against the real retransmit round trip.
   config_.server.lint.flush_interval_micros = config_.flush_interval;
   config_.server.lint.max_duration_micros =
       config_.server.analyzer.max_duration_micros;
+  config_.server.lint.allowed_lateness_micros =
+      config_.central.allowed_lateness;
+  config_.server.lint.retry_rtt_micros =
+      2 * config_.transport.cross_dc_latency + config_.agent.retransmit_backoff;
+
+  // Reliable delivery: retransmit until the central's straggler grace is
+  // spent (plus one flush round for the initial send), then shed. Heartbeat
+  // counters every flush are what make completeness well-defined.
+  if (config_.agent.retransmit_budget <= 0) {
+    config_.agent.retransmit_budget =
+        config_.central.allowed_lateness + config_.flush_interval;
+  }
+  config_.agent.flush_heartbeats = true;
+
+  transport_.SetFaultPlan(config_.faults);
 
   // One agent per monitorable host.
   for (size_t i = 0; i < registry_.size(); ++i) {
@@ -40,8 +56,7 @@ ScrubSystem::ScrubSystem(SystemConfig config)
     }
     agents_.emplace(info.id, std::make_unique<ScrubAgent>(
                                  info.id, &registry_.meter(info.id),
-                                 config_.agent,
-                                 config_.seed ^ (0xa9e47u + i)));
+                                 config_.agent, AgentSeed(info.id, 0)));
   }
 
   server_ = std::make_unique<QueryServer>(
@@ -51,10 +66,48 @@ ScrubSystem::ScrubSystem(SystemConfig config)
 
   if (config_.scrub_enabled) {
     platform_->SetEventLogger([this](HostId host, const Event& event) {
+      // A crashed host's application is down with it: nothing logs there.
+      if (!registry_.IsAlive(host)) {
+        return int64_t{0};
+      }
       ScrubAgent* a = agent(host);
       return a == nullptr ? int64_t{0} : a->LogEvent(event);
     });
   }
+}
+
+uint64_t ScrubSystem::AgentSeed(HostId host, uint64_t epoch) const {
+  return config_.seed ^ (0xa9e47u + static_cast<uint64_t>(host)) ^
+         (epoch * 0x9E3779B97F4A7C15ULL);
+}
+
+void ScrubSystem::SetFaultPlan(FaultPlan plan) {
+  transport_.SetFaultPlan(std::move(plan));
+}
+
+void ScrubSystem::ScheduleCrash(HostId host, TimeMicros down_at,
+                                TimeMicros up_at) {
+  scheduler_.ScheduleAt(down_at,
+                        [this, host] { registry_.SetAlive(host, false); });
+  if (up_at > down_at) {
+    scheduler_.ScheduleAt(up_at, [this, host] { RestartHost(host); });
+  }
+}
+
+void ScrubSystem::RestartHost(HostId host) {
+  registry_.SetAlive(host, true);
+  const auto it = agents_.find(host);
+  if (it != agents_.end()) {
+    // A fresh incarnation: staged events, counters and retransmit buffers
+    // died with the host. The bumped epoch keeps central's dedup from
+    // mistaking the new agent's seq 1, 2, ... for duplicates.
+    const uint64_t epoch = ++epochs_[host];
+    it->second = std::make_unique<ScrubAgent>(host, &registry_.meter(host),
+                                              config_.agent,
+                                              AgentSeed(host, epoch), epoch);
+  }
+  // Still-live query objects are re-disseminated to the blank agent.
+  server_->OnHostRestart(host);
 }
 
 ScrubAgent* ScrubSystem::agent(HostId host) {
@@ -70,16 +123,35 @@ Result<SubmittedQuery> ScrubSystem::Submit(std::string_view query_text,
 void ScrubSystem::PumpFlushes() {
   const TimeMicros now = scheduler_.Now();
   for (auto& [host, agent_ptr] : agents_) {
+    if (!registry_.IsAlive(host)) {
+      continue;  // a crashed host neither flushes nor retries
+    }
     std::vector<EventBatch> batches = agent_ptr->Flush(now);
+    std::vector<EventBatch> retries = agent_ptr->Retransmits(now);
+    batches.insert(batches.end(),
+                   std::make_move_iterator(retries.begin()),
+                   std::make_move_iterator(retries.end()));
     for (EventBatch& batch : batches) {
       const size_t bytes = batch.WireSize();
-      transport_.Send(host, central_host_, bytes,
-                      TrafficCategory::kScrubEvents,
-                      [this, b = std::move(batch)] {
-                        const Status s =
-                            central_->IngestBatch(b, scheduler_.Now());
-                        (void)s;  // decode failures are programming errors
-                      });
+      const HostId from = host;
+      transport_.Send(
+          from, central_host_, bytes, TrafficCategory::kScrubEvents,
+          [this, from, b = std::move(batch)] {
+            const Status s = central_->IngestBatch(b, scheduler_.Now());
+            (void)s;  // decode failures are programming errors
+            // Ack sequenced batches (duplicates too: the retransmit that
+            // raced a lost ack still needs its buffered copy released).
+            if (b.seq != 0) {
+              transport_.Send(central_host_, from, 24,
+                              TrafficCategory::kScrubAcks,
+                              [this, from, qid = b.query_id, seq = b.seq] {
+                                ScrubAgent* a = agent(from);
+                                if (a != nullptr) {
+                                  a->OnAck(qid, seq);
+                                }
+                              });
+            }
+          });
     }
   }
   central_->OnTick(now);
@@ -128,6 +200,11 @@ std::string ScrubSystem::DescribeQuery(QueryId id) const {
   uint64_t filtered = 0;
   uint64_t shipped = 0;
   uint64_t dropped = 0;
+  uint64_t sent = 0;
+  uint64_t retransmitted = 0;
+  uint64_t acked = 0;
+  uint64_t shed = 0;
+  uint64_t abandoned = 0;
   int hosts_reporting = 0;
   for (const auto& [host, agent_ptr] : agents_) {
     const AgentQueryStats* s = agent_ptr->StatsFor(id);
@@ -140,30 +217,65 @@ std::string ScrubSystem::DescribeQuery(QueryId id) const {
     filtered += s->events_filtered;
     shipped += s->events_shipped;
     dropped += s->events_dropped;
+    sent += s->batches_sent;
+    retransmitted += s->batches_retransmitted;
+    acked += s->batches_acked;
+    shed += s->batches_expired + s->batches_evicted;
+    abandoned += s->events_abandoned;
   }
   out += StrFormat(
       "  hosts: %d reporting\n"
       "  agent totals: considered=%llu sampled_out=%llu filtered=%llu "
-      "shipped=%llu dropped=%llu\n",
+      "shipped=%llu dropped=%llu\n"
+      "  delivery: batches_sent=%llu retransmitted=%llu acked=%llu "
+      "shed=%llu events_abandoned=%llu\n",
       hosts_reporting, static_cast<unsigned long long>(considered),
       static_cast<unsigned long long>(sampled_out),
       static_cast<unsigned long long>(filtered),
       static_cast<unsigned long long>(shipped),
-      static_cast<unsigned long long>(dropped));
+      static_cast<unsigned long long>(dropped),
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(retransmitted),
+      static_cast<unsigned long long>(acked),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(abandoned));
+  const ControlStats* ctl = server_->ControlStatsFor(id);
+  if (ctl != nullptr) {
+    out += StrFormat(
+        "  control: install_sends=%llu install_retries=%llu "
+        "install_acks=%llu reinstalls=%llu teardown_sends=%llu "
+        "teardown_retries=%llu teardown_acks=%llu\n",
+        static_cast<unsigned long long>(ctl->install_sends),
+        static_cast<unsigned long long>(ctl->install_retries),
+        static_cast<unsigned long long>(ctl->install_acks),
+        static_cast<unsigned long long>(ctl->reinstalls),
+        static_cast<unsigned long long>(ctl->teardown_sends),
+        static_cast<unsigned long long>(ctl->teardown_retries),
+        static_cast<unsigned long long>(ctl->teardown_acks));
+  }
   const CentralQueryStats* cs = central_->StatsFor(id);
   if (cs == nullptr) {
     out += "  central: no record of this query\n";
     return out;
   }
   out += StrFormat(
-      "  central: batches=%llu ingested=%llu late=%llu joined=%llu "
-      "orphans=%llu rows=%llu\n",
+      "  central: batches=%llu duplicates=%llu ingested=%llu late=%llu "
+      "joined=%llu orphans=%llu rows=%llu\n",
       static_cast<unsigned long long>(cs->batches),
+      static_cast<unsigned long long>(cs->batches_duplicate),
       static_cast<unsigned long long>(cs->events_ingested),
       static_cast<unsigned long long>(cs->events_late),
       static_cast<unsigned long long>(cs->tuples_joined),
       static_cast<unsigned long long>(cs->join_orphans),
       static_cast<unsigned long long>(cs->rows_emitted));
+  if (cs->windows_closed > 0) {
+    out += StrFormat(
+        "  completeness: windows=%llu incomplete=%llu min=%.3f mean=%.3f\n",
+        static_cast<unsigned long long>(cs->windows_closed),
+        static_cast<unsigned long long>(cs->windows_incomplete),
+        cs->completeness_min,
+        cs->completeness_sum / static_cast<double>(cs->windows_closed));
+  }
   return out;
 }
 

@@ -47,6 +47,9 @@ struct SystemConfig {
   // When false the platform runs un-instrumented (the A side of the
   // overhead experiments E7/E8).
   bool scrub_enabled = true;
+  // Chaos: installed on the transport at construction. Deterministic per
+  // FaultPlan::seed; an inert plan (the default) injects nothing.
+  FaultPlan faults;
 };
 
 struct OverheadReport {
@@ -69,6 +72,15 @@ class ScrubSystem {
   // close; call once after the workload's horizon.
   void Drain();
   TimeMicros Now() const { return scheduler_.Now(); }
+
+  // ---- Chaos controls ----
+  // Replaces the transport's fault plan (reseeding its fault RNG).
+  void SetFaultPlan(FaultPlan plan);
+  // Schedules a host crash at `down_at` and, if `up_at > down_at`, a
+  // restart. A crashed host sends/receives nothing and its agent's staged
+  // state is lost; the restarted host gets a fresh agent with a bumped
+  // epoch, and the query server re-disseminates its still-live queries.
+  void ScheduleCrash(HostId host, TimeMicros down_at, TimeMicros up_at = 0);
 
   // ---- Component access ----
   Scheduler& scheduler() { return scheduler_; }
@@ -109,6 +121,8 @@ class ScrubSystem {
 
  private:
   void PumpFlushes();
+  void RestartHost(HostId host);
+  uint64_t AgentSeed(HostId host, uint64_t epoch) const;
 
   SystemConfig config_;
   Scheduler scheduler_;
@@ -120,6 +134,7 @@ class ScrubSystem {
   std::unique_ptr<ScrubCentral> central_;
   std::unique_ptr<QueryServer> server_;
   std::unordered_map<HostId, std::unique_ptr<ScrubAgent>> agents_;
+  std::unordered_map<HostId, uint64_t> epochs_;  // incarnation per host
   HostId central_host_ = kInvalidHost;
   HostId server_host_ = kInvalidHost;
   TimeMicros last_flush_ = 0;

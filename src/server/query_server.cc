@@ -22,7 +22,8 @@ QueryServer::QueryServer(Scheduler* scheduler, Transport* transport,
       central_host_(central_host),
       agents_(std::move(agents)),
       config_(config),
-      rng_(config.host_sampling_seed) {}
+      rng_(config.host_sampling_seed),
+      ctrl_rng_(config.host_sampling_seed ^ 0xA5A5A5A5A5A5A5A5ULL) {}
 
 Result<SubmittedQuery> QueryServer::Submit(std::string_view query_text,
                                            ResultSink user_sink) {
@@ -106,12 +107,25 @@ Result<SubmittedQuery> QueryServer::SubmitParsed(const Query& query,
   plan->central.hosts_targeted = targeted->size();
   plan->central.hosts_sampled = chosen.size();
 
-  Disseminate(id, *plan, chosen, std::move(user_sink));
-
   ActiveInfo info;
   info.installed_hosts = chosen;
   info.end_time = plan->host.end_time;
+  info.host_plan = plan->host;
+  info.central_plan = plan->central;
+  // Result rows route central -> server -> user.
+  info.routed_sink = [this, sink = std::move(user_sink)](
+                         const ResultRow& row) {
+    size_t bytes = 24;
+    for (const Value& v : row.values) {
+      bytes += v.WireSize();
+    }
+    transport_->Send(central_host_, server_host_, bytes,
+                     TrafficCategory::kScrubResults,
+                     [sink, row] { sink(row); });
+  };
+  info.unacked_installs.insert(chosen.begin(), chosen.end());
   active_.emplace(id, std::move(info));
+  Disseminate(id);
 
   // Schedule teardown just past the span (agents and central self-expire
   // too; the explicit teardown frees state promptly when messages arrive).
@@ -127,42 +141,143 @@ Result<SubmittedQuery> QueryServer::SubmitParsed(const Query& query,
   return out;
 }
 
-void QueryServer::Disseminate(QueryId /*id*/, const QueryPlan& plan,
-                              const std::vector<HostId>& hosts,
-                              ResultSink user_sink) {
-  // Central first: its query object carries the join/group-by/aggregation
-  // operators. Result rows route central -> server -> user.
-  const CentralPlan central_plan = plan.central;
-  ResultSink routed = [this, sink = std::move(user_sink)](
-                          const ResultRow& row) {
-    size_t bytes = 24;
-    for (const Value& v : row.values) {
-      bytes += v.WireSize();
-    }
-    transport_->Send(central_host_, server_host_, bytes,
-                     TrafficCategory::kScrubResults,
-                     [sink, row] { sink(row); });
-  };
-  transport_->Send(server_host_, central_host_, 256,
-                   TrafficCategory::kScrubControl,
-                   [this, central_plan, routed] {
-                     // Install failures here are programming errors (the
-                     // plan was validated at submission).
-                     (void)central_->InstallQuery(central_plan, routed);
-                   });
+TimeMicros QueryServer::Jittered(TimeMicros base) {
+  const TimeMicros quarter = std::max<TimeMicros>(base / 4, 1);
+  return base - quarter +
+         static_cast<TimeMicros>(
+             ctrl_rng_.NextBelow(static_cast<uint64_t>(2 * quarter)));
+}
 
+void QueryServer::Disseminate(QueryId id) {
+  ActiveInfo& info = active_.at(id);
+  ControlStats& cs = control_stats_[id];
+  // Central first: its query object carries the join/group-by/aggregation
+  // operators.
+  ++cs.install_sends;
+  SendCentralInstall(id);
   // Then the host-side query objects: selection + projection + sampling.
-  for (const HostId host : hosts) {
-    const HostPlan host_plan = plan.host;
-    transport_->Send(server_host_, host, host_plan.WireSize(),
-                     TrafficCategory::kScrubControl,
-                     [this, host, host_plan] {
-                       ScrubAgent* agent = agents_(host);
-                       if (agent != nullptr) {
-                         agent->InstallQuery(host_plan);
-                       }
-                     });
+  for (const HostId host : info.installed_hosts) {
+    ++cs.install_sends;
+    SendHostInstall(id, host);
   }
+  info.retry_backoff = config_.control_retry_timeout;
+  ScheduleInstallRetry(id);
+}
+
+void QueryServer::SendCentralInstall(QueryId id) {
+  const ActiveInfo& info = active_.at(id);
+  const CentralPlan central_plan = info.central_plan;
+  const ResultSink routed = info.routed_sink;
+  transport_->Send(
+      server_host_, central_host_, 256, TrafficCategory::kScrubControl,
+      [this, central_plan, routed] {
+        // Install failures here are programming errors (the plan was
+        // validated at submission); a re-send hits AlreadyExists, which is
+        // exactly the idempotence we want — ack either way.
+        (void)central_->InstallQuery(central_plan, routed);
+        const QueryId qid = central_plan.query_id;
+        transport_->Send(central_host_, server_host_, 24,
+                         TrafficCategory::kScrubControl,
+                         [this, qid] { HandleCentralAck(qid); });
+      });
+}
+
+void QueryServer::SendHostInstall(QueryId id, HostId host) {
+  const HostPlan host_plan = active_.at(id).host_plan;
+  transport_->Send(
+      server_host_, host, host_plan.WireSize(),
+      TrafficCategory::kScrubControl, [this, host, host_plan] {
+        ScrubAgent* agent = agents_(host);
+        if (agent == nullptr) {
+          return;
+        }
+        agent->InstallQuery(host_plan);
+        const QueryId qid = host_plan.query_id;
+        transport_->Send(host, server_host_, 24,
+                         TrafficCategory::kScrubControl,
+                         [this, qid, host] { HandleInstallAck(qid, host); });
+      });
+}
+
+void QueryServer::ScheduleInstallRetry(QueryId id) {
+  const TimeMicros delay = Jittered(active_.at(id).retry_backoff);
+  scheduler_->ScheduleAfter(delay, [this, id] { InstallRetryTick(id); });
+}
+
+void QueryServer::InstallRetryTick(QueryId id) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) {
+    return;  // torn down or cancelled
+  }
+  ActiveInfo& info = it->second;
+  if (scheduler_->Now() >= info.end_time) {
+    return;  // span over; self-expiry owns cleanup now
+  }
+  if (info.central_acked && info.unacked_installs.empty()) {
+    return;  // fully disseminated
+  }
+  ControlStats& cs = control_stats_[id];
+  if (!info.central_acked) {
+    ++cs.install_retries;
+    SendCentralInstall(id);
+  }
+  for (const HostId host : info.unacked_installs) {
+    ++cs.install_retries;
+    SendHostInstall(id, host);
+  }
+  info.retry_backoff =
+      std::min(info.retry_backoff * 2, config_.control_retry_max_backoff);
+  ScheduleInstallRetry(id);
+}
+
+void QueryServer::HandleInstallAck(QueryId id, HostId host) {
+  ++control_stats_[id].install_acks;
+  const auto it = active_.find(id);
+  if (it != active_.end()) {
+    it->second.unacked_installs.erase(host);
+  }
+}
+
+void QueryServer::HandleCentralAck(QueryId id) {
+  ++control_stats_[id].install_acks;
+  const auto it = active_.find(id);
+  if (it != active_.end()) {
+    it->second.central_acked = true;
+  }
+}
+
+void QueryServer::OnHostRestart(HostId host) {
+  const TimeMicros now = scheduler_->Now();
+  for (auto& [id, info] : active_) {
+    if (now >= info.end_time) {
+      continue;
+    }
+    if (std::find(info.installed_hosts.begin(), info.installed_hosts.end(),
+                  host) == info.installed_hosts.end()) {
+      continue;
+    }
+    ControlStats& cs = control_stats_[id];
+    ++cs.reinstalls;
+    info.unacked_installs.insert(host);
+    SendHostInstall(id, host);
+    info.retry_backoff = config_.control_retry_timeout;
+    ScheduleInstallRetry(id);
+  }
+}
+
+void QueryServer::SendTeardown(QueryId id, HostId host) {
+  transport_->Send(
+      server_host_, host, 32, TrafficCategory::kScrubControl,
+      [this, host, id] {
+        ScrubAgent* agent = agents_(host);
+        if (agent == nullptr) {
+          return;
+        }
+        agent->RemoveQuery(id);
+        transport_->Send(host, server_host_, 24,
+                         TrafficCategory::kScrubControl,
+                         [this, id, host] { HandleTeardownAck(id, host); });
+      });
 }
 
 void QueryServer::Teardown(QueryId id) {
@@ -170,18 +285,60 @@ void QueryServer::Teardown(QueryId id) {
   if (it == active_.end()) {
     return;
   }
+  ControlStats& cs = control_stats_[id];
+  PendingTeardown pending;
+  pending.unacked.insert(it->second.installed_hosts.begin(),
+                         it->second.installed_hosts.end());
+  pending.backoff = config_.control_retry_timeout;
   for (const HostId host : it->second.installed_hosts) {
-    transport_->Send(server_host_, host, 32, TrafficCategory::kScrubControl,
-                     [this, host, id] {
-                       ScrubAgent* agent = agents_(host);
-                       if (agent != nullptr) {
-                         agent->RemoveQuery(id);
-                       }
-                     });
+    ++cs.teardown_sends;
+    SendTeardown(id, host);
   }
   // Central keeps the query alive until end_time + allowed lateness so the
   // final windows drain; its own OnTick retires it.
   active_.erase(it);
+  if (!pending.unacked.empty()) {
+    const TimeMicros delay = Jittered(pending.backoff);
+    teardowns_.emplace(id, std::move(pending));
+    scheduler_->ScheduleAfter(delay, [this, id] { TeardownRetryTick(id); });
+  }
+}
+
+void QueryServer::TeardownRetryTick(QueryId id) {
+  const auto it = teardowns_.find(id);
+  if (it == teardowns_.end()) {
+    return;
+  }
+  PendingTeardown& pending = it->second;
+  if (pending.unacked.empty() ||
+      pending.attempts >= config_.teardown_max_attempts) {
+    // Fully acked, or budget spent: self-expiry is the backstop for any
+    // host that stayed unreachable.
+    teardowns_.erase(it);
+    return;
+  }
+  ++pending.attempts;
+  ControlStats& cs = control_stats_[id];
+  for (const HostId host : pending.unacked) {
+    ++cs.teardown_retries;
+    SendTeardown(id, host);
+  }
+  pending.backoff =
+      std::min(pending.backoff * 2, config_.control_retry_max_backoff);
+  const TimeMicros delay = Jittered(pending.backoff);
+  scheduler_->ScheduleAfter(delay, [this, id] { TeardownRetryTick(id); });
+}
+
+void QueryServer::HandleTeardownAck(QueryId id, HostId host) {
+  ++control_stats_[id].teardown_acks;
+  const auto it = teardowns_.find(id);
+  if (it == teardowns_.end()) {
+    return;
+  }
+  it->second.unacked.erase(host);
+  if (it->second.unacked.empty()) {
+    teardowns_.erase(it);
+  }
 }
 
 Status QueryServer::Cancel(QueryId id) {
@@ -190,20 +347,19 @@ Status QueryServer::Cancel(QueryId id) {
     return NotFound(StrFormat("query %llu is not active",
                               static_cast<unsigned long long>(id)));
   }
-  for (const HostId host : it->second.installed_hosts) {
-    transport_->Send(server_host_, host, 32, TrafficCategory::kScrubControl,
-                     [this, host, id] {
-                       ScrubAgent* agent = agents_(host);
-                       if (agent != nullptr) {
-                         agent->RemoveQuery(id);
-                       }
-                     });
-  }
+  // Central removal is single-shot: a lost cancel leaves central running
+  // until its own span-end self-expiry, which is acceptable.
   transport_->Send(server_host_, central_host_, 32,
                    TrafficCategory::kScrubControl,
                    [this, id] { central_->RemoveQuery(id); });
-  active_.erase(it);
+  // Agent removal goes through the reliable teardown machinery.
+  Teardown(id);
   return OkStatus();
+}
+
+const ControlStats* QueryServer::ControlStatsFor(QueryId id) const {
+  const auto it = control_stats_.find(id);
+  return it == control_stats_.end() ? nullptr : &it->second;
 }
 
 }  // namespace scrub

@@ -11,6 +11,14 @@
 // Every query has a finite span; at expiry the server sends teardown
 // messages (and agents/central also self-expire, so a lost teardown cannot
 // leave load behind).
+//
+// Control-plane reliability: every install and teardown is acked by its
+// recipient, and the server retries unacked messages with exponential
+// backoff + jitter — installs until every chosen host and central have
+// acked (or the span ends), teardowns a bounded number of times (agents
+// self-expire, so teardown retries are an optimization, not a correctness
+// requirement). A host that restarts mid-span gets its still-live query
+// objects re-disseminated via OnHostRestart.
 
 #ifndef SRC_SERVER_QUERY_SERVER_H_
 #define SRC_SERVER_QUERY_SERVER_H_
@@ -18,6 +26,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/agent/agent.h"
@@ -49,6 +58,24 @@ struct ServerConfig {
   // script submitting queries in a loop must not be able to blanket the
   // fleet. Submissions beyond this are rejected with kResourceExhausted.
   size_t max_active_queries = 64;
+  // Control-plane retry policy: first retry after this timeout, doubling
+  // per round (capped), with +/-25% jitter.
+  TimeMicros control_retry_timeout = 250 * kMicrosPerMilli;
+  TimeMicros control_retry_max_backoff = 2 * kMicrosPerSecond;
+  // Teardown retries are bounded: self-expiry is the backstop, so a host
+  // that stays unreachable must not be paged forever.
+  int teardown_max_attempts = 4;
+};
+
+// Per-query control-plane delivery accounting; retained after teardown.
+struct ControlStats {
+  uint64_t install_sends = 0;      // initial host + central install messages
+  uint64_t install_retries = 0;    // re-sent unacked installs
+  uint64_t install_acks = 0;
+  uint64_t reinstalls = 0;         // restart-triggered re-dissemination
+  uint64_t teardown_sends = 0;
+  uint64_t teardown_retries = 0;
+  uint64_t teardown_acks = 0;
 };
 
 struct SubmittedQuery {
@@ -78,18 +105,50 @@ class QueryServer {
   // Early cancellation (before the span expires).
   Status Cancel(QueryId id);
 
+  // The simulation harness reports a crashed host coming back: any of the
+  // host's still-live query objects are re-disseminated (the fresh agent
+  // lost them with the crash).
+  void OnHostRestart(HostId host);
+
   size_t active_queries() const { return active_.size(); }
   uint64_t queries_submitted() const { return next_query_id_ - 1; }
+  // Unacked teardowns still being retried (introspection for tests).
+  size_t pending_teardowns() const { return teardowns_.size(); }
+  const ControlStats* ControlStatsFor(QueryId id) const;
 
  private:
   struct ActiveInfo {
     std::vector<HostId> installed_hosts;
     TimeMicros end_time = 0;
+    // Retained for re-sends (retry, restart re-dissemination).
+    HostPlan host_plan;
+    CentralPlan central_plan;
+    ResultSink routed_sink;
+    std::unordered_set<HostId> unacked_installs;
+    bool central_acked = false;
+    TimeMicros retry_backoff = 0;
   };
 
-  void Disseminate(QueryId id, const QueryPlan& plan,
-                   const std::vector<HostId>& hosts, ResultSink user_sink);
+  struct PendingTeardown {
+    std::unordered_set<HostId> unacked;
+    int attempts = 1;  // the initial send
+    TimeMicros backoff = 0;
+  };
+
+  void Disseminate(QueryId id);
+  void SendCentralInstall(QueryId id);
+  void SendHostInstall(QueryId id, HostId host);
+  void ScheduleInstallRetry(QueryId id);
+  void InstallRetryTick(QueryId id);
+  void HandleInstallAck(QueryId id, HostId host);
+  void HandleCentralAck(QueryId id);
   void Teardown(QueryId id);
+  void SendTeardown(QueryId id, HostId host);
+  void TeardownRetryTick(QueryId id);
+  void HandleTeardownAck(QueryId id, HostId host);
+  // Backoff +/-25% jitter from the control stream (separate from host
+  // sampling, so retries never perturb which hosts a query lands on).
+  TimeMicros Jittered(TimeMicros base);
 
   Scheduler* scheduler_;
   Transport* transport_;
@@ -101,8 +160,11 @@ class QueryServer {
   AgentAccessor agents_;
   ServerConfig config_;
   Rng rng_;
+  Rng ctrl_rng_;
   QueryId next_query_id_ = 1;
   std::unordered_map<QueryId, ActiveInfo> active_;
+  std::unordered_map<QueryId, PendingTeardown> teardowns_;
+  std::unordered_map<QueryId, ControlStats> control_stats_;
 };
 
 }  // namespace scrub

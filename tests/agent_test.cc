@@ -204,6 +204,132 @@ TEST_F(AgentTest, MultipleQueriesProcessIndependently) {
   EXPECT_NE(batches[0].query_id, batches[1].query_id);
 }
 
+// --- Reliable delivery ------------------------------------------------------
+
+TEST_F(AgentTest, SequenceNumbersAreMonotonePerQuery) {
+  const HostPlan p1 = PlanFor("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                              "DURATION 60 s;");
+  const HostPlan p2 = PlanFor("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                              "DURATION 60 s;");
+  agent_.InstallQuery(p1);
+  agent_.InstallQuery(p2);
+  agent_.LogEvent(MakeBid(1, 10, 5, 1.0));
+  std::vector<EventBatch> first = agent_.Flush(1000);
+  agent_.LogEvent(MakeBid(2, 2000, 5, 1.0));
+  std::vector<EventBatch> second = agent_.Flush(3000);
+  ASSERT_EQ(first.size(), 2u);
+  ASSERT_EQ(second.size(), 2u);
+  for (const EventBatch& b : first) {
+    EXPECT_EQ(b.seq, 1u);  // each query numbers its own stream
+    EXPECT_EQ(b.epoch, 0u);
+  }
+  for (const EventBatch& b : second) {
+    EXPECT_EQ(b.seq, 2u);
+  }
+}
+
+TEST_F(AgentTest, WireSizeCountsHeaderAndCounters) {
+  agent_.InstallQuery(PlanFor("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                              "DURATION 60 s;"));
+  agent_.LogEvent(MakeBid(1, 10, 5, 1.0));
+  std::vector<EventBatch> batches = agent_.Flush(1000);
+  ASSERT_EQ(batches.size(), 1u);
+  const EventBatch& b = batches[0];
+  EXPECT_FALSE(b.payload.empty());
+  EXPECT_FALSE(b.counters.empty());
+  EXPECT_EQ(b.WireSize(), b.payload.size() + 24 * b.counters.size() + 36);
+}
+
+TEST_F(AgentTest, RetransmitsUntilAcked) {
+  AgentConfig config;
+  config.retransmit_budget = 60 * kMicrosPerSecond;
+  config.retransmit_backoff = 100 * kMicrosPerMilli;
+  ScrubAgent agent(/*host=*/3, &meter_, config, /*sampling_seed=*/99);
+  const HostPlan plan = PlanFor("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                                "DURATION 60 s;");
+  agent.InstallQuery(plan);
+  agent.LogEvent(MakeBid(1, 10, 5, 1.0));
+  std::vector<EventBatch> batches = agent.Flush(1000);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(agent.pending_retransmits(), 1u);
+
+  // Jitter keeps the first retry within +/-25% of the backoff: nothing is
+  // due at half the backoff, everything is due at 130%.
+  EXPECT_TRUE(agent.Retransmits(1000 + 50 * kMicrosPerMilli).empty());
+  std::vector<EventBatch> retries =
+      agent.Retransmits(1000 + 130 * kMicrosPerMilli);
+  ASSERT_EQ(retries.size(), 1u);
+  EXPECT_EQ(retries[0].seq, batches[0].seq);  // identical batch, same seq
+  EXPECT_EQ(retries[0].payload, batches[0].payload);
+  EXPECT_EQ(agent.StatsFor(plan.query_id)->batches_retransmitted, 1u);
+  EXPECT_EQ(agent.pending_retransmits(), 1u);  // still buffered until acked
+
+  agent.OnAck(plan.query_id, batches[0].seq);
+  EXPECT_EQ(agent.pending_retransmits(), 0u);
+  EXPECT_EQ(agent.StatsFor(plan.query_id)->batches_acked, 1u);
+  EXPECT_TRUE(agent.Retransmits(1000 + kMicrosPerSecond).empty());
+}
+
+TEST_F(AgentTest, RetransmitBudgetSpentShedsAndCounts) {
+  AgentConfig config;
+  config.retransmit_budget = 200 * kMicrosPerMilli;
+  ScrubAgent agent(/*host=*/3, &meter_, config, /*sampling_seed=*/99);
+  const HostPlan plan = PlanFor("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                                "DURATION 60 s;");
+  agent.InstallQuery(plan);
+  agent.LogEvent(MakeBid(1, 10, 5, 1.0));
+  ASSERT_EQ(agent.Flush(1000).size(), 1u);
+  EXPECT_EQ(agent.pending_retransmits(), 1u);
+  // Never acked; once the budget elapses the copy is shed, not re-sent.
+  EXPECT_TRUE(agent.Retransmits(1000 + 300 * kMicrosPerMilli).empty());
+  EXPECT_EQ(agent.pending_retransmits(), 0u);
+  const AgentQueryStats* stats = agent.StatsFor(plan.query_id);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->batches_expired, 1u);
+  EXPECT_EQ(stats->events_abandoned, 1u);
+}
+
+TEST_F(AgentTest, RetransmitBufferEvictsOldestAtCapacity) {
+  AgentConfig config;
+  config.retransmit_budget = 60 * kMicrosPerSecond;
+  config.retransmit_capacity = 2;
+  ScrubAgent agent(/*host=*/3, &meter_, config, /*sampling_seed=*/99);
+  const HostPlan plan = PlanFor("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                                "DURATION 60 s;");
+  agent.InstallQuery(plan);
+  for (int i = 0; i < 3; ++i) {
+    agent.LogEvent(MakeBid(i + 1, 10 + i, 5, 1.0));
+    ASSERT_EQ(agent.Flush(1000 * (i + 1)).size(), 1u);
+  }
+  EXPECT_EQ(agent.pending_retransmits(), 2u);  // oldest copy gave way
+  const AgentQueryStats* stats = agent.StatsFor(plan.query_id);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->batches_evicted, 1u);
+  EXPECT_EQ(stats->events_abandoned, 1u);
+}
+
+TEST_F(AgentTest, HeartbeatsOnlyWhenOptedIn) {
+  // Default config: a flush with nothing staged ships nothing.
+  agent_.InstallQuery(PlanFor("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                              "DURATION 60 s;"));
+  EXPECT_TRUE(agent_.Flush(5000).empty());
+
+  // With heartbeats on, the same silent flush ships a zeroed counter for
+  // the current window — "reachable, nothing to report".
+  AgentConfig config;
+  config.flush_heartbeats = true;
+  ScrubAgent beating(/*host=*/3, &meter_, config, /*sampling_seed=*/99);
+  beating.InstallQuery(PlanFor("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                               "DURATION 60 s;"));
+  std::vector<EventBatch> batches = beating.Flush(5000);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].event_count, 0u);
+  ASSERT_EQ(batches[0].counters.size(), 1u);
+  EXPECT_EQ(batches[0].counters[0].window_start, 0);
+  EXPECT_EQ(batches[0].counters[0].seen, 0u);
+  EXPECT_EQ(batches[0].counters[0].sampled, 0u);
+}
+
 TEST_F(AgentTest, PerQueryCostScalesWithActiveQueries) {
   // The marginal cost of logging grows with matching queries — the E7
   // relationship. Verify monotonicity at the agent level.

@@ -350,5 +350,117 @@ TEST_F(CentralTest, GroupedScaledCountsUseRatioEstimator) {
   EXPECT_NEAR(rows_[0].values[1].AsDoubleExact(), 40.0, 1e-6);
 }
 
+// --- Sequenced-batch dedup and completeness ---------------------------------
+
+TEST_F(CentralTest, SequencedDuplicateBatchesFoldOnlyOnce) {
+  CentralPlan plan = PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 60 s;");
+  ASSERT_TRUE(central_->InstallQuery(plan, Sink()).ok());
+  EventBatch batch = MakeBatch(plan.query_id, 0, {MakeBid(1, 100, 1, 1.0)},
+                               {{0, 1, 1}});
+  batch.seq = 1;
+  // A retransmit that raced its ack: same batch arrives twice. Events AND
+  // counters must fold exactly once.
+  ASSERT_TRUE(central_->IngestBatch(batch, 0).ok());
+  ASSERT_TRUE(central_->IngestBatch(batch, 0).ok());
+  central_->OnTick(10 * kMicrosPerSecond);
+  ASSERT_EQ(rows_.size(), 1u);
+  EXPECT_EQ(rows_[0].values[0].AsInt(), 1);
+  const CentralQueryStats* stats = central_->StatsFor(plan.query_id);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->batches, 2u);
+  EXPECT_EQ(stats->batches_duplicate, 1u);
+  EXPECT_EQ(stats->events_ingested, 1u);
+}
+
+TEST_F(CentralTest, OutOfOrderSequencesAreNotDuplicates) {
+  CentralPlan plan = PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 60 s;");
+  ASSERT_TRUE(central_->InstallQuery(plan, Sink()).ok());
+  EventBatch second = MakeBatch(plan.query_id, 0, {MakeBid(2, 200, 1, 1.0)});
+  second.seq = 2;
+  EventBatch first = MakeBatch(plan.query_id, 0, {MakeBid(1, 100, 1, 1.0)});
+  first.seq = 1;
+  // Reordered network: seq 2 overtakes seq 1. Both are fresh data.
+  ASSERT_TRUE(central_->IngestBatch(second, 0).ok());
+  ASSERT_TRUE(central_->IngestBatch(first, 0).ok());
+  central_->OnTick(10 * kMicrosPerSecond);
+  ASSERT_EQ(rows_.size(), 1u);
+  EXPECT_EQ(rows_[0].values[0].AsInt(), 2);
+  EXPECT_EQ(central_->StatsFor(plan.query_id)->batches_duplicate, 0u);
+}
+
+TEST_F(CentralTest, EpochsSeparateAgentIncarnations) {
+  CentralPlan plan = PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 60 s;");
+  ASSERT_TRUE(central_->InstallQuery(plan, Sink()).ok());
+  EventBatch before = MakeBatch(plan.query_id, 0, {MakeBid(1, 100, 1, 1.0)});
+  before.seq = 1;
+  before.epoch = 0;
+  // The host restarted: the fresh agent starts its stream at seq 1 again,
+  // but under a bumped epoch, so it is not mistaken for a duplicate.
+  EventBatch after = MakeBatch(plan.query_id, 0, {MakeBid(2, 200, 1, 1.0)});
+  after.seq = 1;
+  after.epoch = 1;
+  ASSERT_TRUE(central_->IngestBatch(before, 0).ok());
+  ASSERT_TRUE(central_->IngestBatch(after, 0).ok());
+  central_->OnTick(10 * kMicrosPerSecond);
+  ASSERT_EQ(rows_.size(), 1u);
+  EXPECT_EQ(rows_[0].values[0].AsInt(), 2);
+  EXPECT_EQ(central_->StatsFor(plan.query_id)->batches_duplicate, 0u);
+}
+
+TEST_F(CentralTest, CompletenessReflectsHostsHeardFrom) {
+  CentralPlan plan = PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 60 s;",
+      /*hosts_targeted=*/4, /*hosts_sampled=*/4);
+  ASSERT_TRUE(central_->InstallQuery(plan, Sink()).ok());
+  // Only 2 of the 4 expected hosts reach central before the window closes.
+  for (HostId host : {HostId{0}, HostId{1}}) {
+    ASSERT_TRUE(central_
+                    ->IngestBatch(MakeBatch(plan.query_id, host,
+                                            {MakeBid(host + 1, 100, 1, 1.0)},
+                                            {{0, 1, 1}}),
+                                  0)
+                    .ok());
+  }
+  central_->OnTick(10 * kMicrosPerSecond);
+  ASSERT_EQ(rows_.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows_[0].completeness, 0.5);
+  EXPECT_NE(rows_[0].ToString().find("[completeness 0.50]"),
+            std::string::npos);
+  const CentralQueryStats* stats = central_->StatsFor(plan.query_id);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->windows_incomplete, 1u);
+  EXPECT_DOUBLE_EQ(stats->completeness_min, 0.5);
+}
+
+TEST_F(CentralTest, FullAttendanceRowsStayCleanlyRendered) {
+  CentralPlan plan = PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 60 s;",
+      /*hosts_targeted=*/2, /*hosts_sampled=*/2);
+  ASSERT_TRUE(central_->InstallQuery(plan, Sink()).ok());
+  for (HostId host : {HostId{0}, HostId{1}}) {
+    // A heartbeat counter is enough to count as heard-from.
+    ASSERT_TRUE(central_
+                    ->IngestBatch(MakeBatch(plan.query_id, host,
+                                            host == 0
+                                                ? std::vector<Event>{MakeBid(
+                                                      1, 100, 1, 1.0)}
+                                                : std::vector<Event>{},
+                                            {{0, 0, 0}}),
+                                  0)
+                    .ok());
+  }
+  central_->OnTick(10 * kMicrosPerSecond);
+  ASSERT_EQ(rows_.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows_[0].completeness, 1.0);
+  // Complete windows render exactly as before completeness existed.
+  EXPECT_EQ(rows_[0].ToString().find("completeness"), std::string::npos);
+  const CentralQueryStats* stats = central_->StatsFor(plan.query_id);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->windows_incomplete, 0u);
+}
+
 }  // namespace
 }  // namespace scrub

@@ -1,0 +1,419 @@
+// End-to-end chaos tests: the Scrub pipeline under deterministic fault
+// injection. Each test wires a FaultPlan (or scheduled crash) into a full
+// ScrubSystem and checks the robustness story the design promises:
+//
+//  * dropped event batches are retransmitted until acked, so COUNT(*)
+//    converges to the fault-free answer with completeness ~ 1;
+//  * a cross-DC partition shows up as per-window completeness equal to the
+//    reachable-host fraction, not as silently wrong numbers;
+//  * lost teardowns cost nothing: agents and central self-expire;
+//  * a crashed host dents completeness for exactly the windows it missed,
+//    and a restart re-disseminates its queries;
+//  * duplicates and reordering are absorbed by (host, epoch, seq) dedup;
+//  * the whole faulted run is bit-deterministic per seed.
+//
+// The fault seed comes from SCRUB_CHAOS_SEED when set (tools/chaos_sweep.sh
+// re-runs this binary across a seed range); the default keeps plain ctest
+// runs reproducible.
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/scrub/scrub_system.h"
+
+namespace scrub {
+namespace {
+
+uint64_t ChaosSeed() {
+  const char* env = std::getenv("SCRUB_CHAOS_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 42;
+}
+
+SystemConfig ChaosSystem(uint64_t seed, int datacenters = 1) {
+  SystemConfig config;
+  config.seed = seed;
+  config.platform.seed = seed;
+  config.platform.datacenters = datacenters;
+  config.platform.bidservers_per_dc = 2;
+  config.platform.adservers_per_dc = 1;
+  config.platform.presentation_per_dc = 1;
+  config.platform.num_campaigns = 3;
+  config.platform.line_items_per_campaign = 3;
+  return config;
+}
+
+// (window_start, count) pairs — the part of a COUNT(*) result that must
+// match the fault-free run exactly. Completeness is compared separately.
+std::vector<std::pair<TimeMicros, int64_t>> Counts(
+    const std::vector<ResultRow>& rows) {
+  std::vector<std::pair<TimeMicros, int64_t>> out;
+  out.reserve(rows.size());
+  for (const ResultRow& r : rows) {
+    out.emplace_back(r.window_start, r.values[0].AsInt());
+  }
+  return out;
+}
+
+// Sums one agent-side delivery counter for query `id` across all agents.
+uint64_t SumAgentStat(ScrubSystem& system, QueryId id,
+                      uint64_t AgentQueryStats::*field) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < system.registry().size(); ++i) {
+    ScrubAgent* a = system.agent(static_cast<HostId>(i));
+    if (a == nullptr) {
+      continue;
+    }
+    const AgentQueryStats* s = a->StatsFor(id);
+    if (s != nullptr) {
+      total += s->*field;
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole acceptance: 20% event-batch drop, COUNT(*) converges to the
+// fault-free answer via retransmission, completeness stays ~ 1.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, EventDropsConvergeToFaultFreeAnswer) {
+  auto run = [](const FaultPlan& faults) {
+    SystemConfig config = ChaosSystem(11);
+    // Generous straggler grace: at 20% drop a batch needs several retry
+    // rounds to get through, and each round is quantized to the 500 ms
+    // flush pump. ~7 transmissions fit this budget.
+    config.central.allowed_lateness = 5 * kMicrosPerSecond;
+    config.agent.retransmit_backoff = 125 * kMicrosPerMilli;
+    config.faults = faults;
+    auto system = std::make_unique<ScrubSystem>(config);
+    PoissonLoadConfig load;
+    load.requests_per_second = 300;
+    load.duration = 4 * kMicrosPerSecond;
+    system->workload().SchedulePoissonLoad(load);
+    std::vector<ResultRow> rows;
+    EXPECT_TRUE(system
+                    ->Submit("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                             "DURATION 4 s;",
+                             [&rows](const ResultRow& r) { rows.push_back(r); })
+                    .ok());
+    system->RunUntil(5 * kMicrosPerSecond);
+    system->Drain();
+    return std::make_pair(std::move(rows), std::move(system));
+  };
+
+  auto [clean_rows, clean] = run(FaultPlan{});
+
+  FaultPlan hostile;
+  hostile.seed = ChaosSeed();
+  hostile.Category(TrafficCategory::kScrubEvents).drop = 0.2;
+  auto [faulted_rows, faulted] = run(hostile);
+
+  // The fault layer really fired, and the agents really recovered from it.
+  const FaultStats& fs =
+      faulted->transport().fault_stats(TrafficCategory::kScrubEvents);
+  EXPECT_GT(fs.dropped, 0u);
+  EXPECT_GT(SumAgentStat(*faulted, 1, &AgentQueryStats::batches_retransmitted),
+            0u);
+
+  // Same windows, same counts as the fault-free run.
+  ASSERT_FALSE(clean_rows.empty());
+  EXPECT_EQ(Counts(faulted_rows), Counts(clean_rows));
+
+  // Every window heard from (essentially) every host despite the drops.
+  for (const ResultRow& r : faulted_rows) {
+    EXPECT_GE(r.completeness, 0.99) << "window " << r.window_start;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-DC partition: windows that close while DC2 is unreachable report
+// completeness == reachable-host fraction, and earlier windows stay whole.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, PartitionShowsUpAsReachableHostFraction) {
+  SystemConfig config = ChaosSystem(12, /*datacenters=*/2);
+  FaultPlan faults;
+  faults.seed = ChaosSeed();
+  PartitionSpec partition;
+  partition.datacenter = "DC2";
+  partition.start = 2 * kMicrosPerSecond;
+  partition.end = 12 * kMicrosPerSecond;
+  faults.partitions.push_back(partition);
+  config.faults = faults;
+
+  ScrubSystem system(config);
+  PoissonLoadConfig load;
+  load.requests_per_second = 300;
+  load.duration = 6 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+  std::vector<ResultRow> rows;
+  ASSERT_TRUE(system
+                  .Submit("SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 6 s;",
+                          [&rows](const ResultRow& r) { rows.push_back(r); })
+                  .ok());
+  system.RunUntil(7 * kMicrosPerSecond);
+  system.Drain();
+
+  // 2 DCs x (2 bid + 1 ad + 1 presentation) + the DC1 profile store.
+  // DC2's four hosts are unreachable from [2s, 12s).
+  const double reachable = 5.0 / 9.0;
+  ASSERT_EQ(rows.size(), 6u);
+  for (const ResultRow& r : rows) {
+    if (r.window_start < 2 * kMicrosPerSecond) {
+      EXPECT_DOUBLE_EQ(r.completeness, 1.0) << "window " << r.window_start;
+    } else {
+      EXPECT_NEAR(r.completeness, reachable, 1e-9)
+          << "window " << r.window_start;
+      // Degraded rows say so in their rendered form.
+      EXPECT_NE(r.ToString().find("completeness"), std::string::npos);
+    }
+  }
+
+  const FaultStats& fs =
+      system.transport().fault_stats(TrafficCategory::kScrubEvents);
+  EXPECT_GT(fs.partitioned, 0u);
+  // DC2 agents kept retrying into the partition until their budgets spent.
+  EXPECT_GT(SumAgentStat(system, 1, &AgentQueryStats::batches_expired), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: every teardown message lost. Agents and central self-expire;
+// the run costs exactly what a clean run costs.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, LostTeardownsLeaveNoResidualCost) {
+  auto run = [](bool drop_control) {
+    SystemConfig config = ChaosSystem(21);
+    auto system = std::make_unique<ScrubSystem>(config);
+    PoissonLoadConfig load;
+    load.requests_per_second = 300;
+    load.duration = 6 * kMicrosPerSecond;
+    system->workload().SchedulePoissonLoad(load);
+    std::vector<ResultRow> rows;
+    Result<SubmittedQuery> submitted = system->Submit(
+        "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 2 s;",
+        [&rows](const ResultRow& r) { rows.push_back(r); });
+    EXPECT_TRUE(submitted.ok());
+    if (drop_control) {
+      // Let the installs land and ack first, then cut the control plane:
+      // from 1 s on, every teardown (and its ack) vanishes.
+      system->scheduler().ScheduleAt(1 * kMicrosPerSecond, [&system] {
+        FaultPlan p;
+        p.seed = ChaosSeed();
+        p.Category(TrafficCategory::kScrubControl).drop = 1.0;
+        system->SetFaultPlan(p);
+      });
+    }
+    system->RunUntil(14 * kMicrosPerSecond);
+    return std::make_pair(std::move(rows), std::move(system));
+  };
+
+  auto [clean_rows, clean] = run(false);
+  auto [faulted_rows, faulted] = run(true);
+  const QueryId id = 1;
+
+  // Results are unaffected: windows close at central by lateness either way.
+  ASSERT_EQ(clean_rows.size(), 2u);
+  EXPECT_EQ(Counts(faulted_rows), Counts(clean_rows));
+
+  // Teardowns were really lost and really retried — bounded times.
+  const ControlStats* ctl = faulted->server().ControlStatsFor(id);
+  ASSERT_NE(ctl, nullptr);
+  EXPECT_GT(ctl->teardown_sends, 0u);
+  EXPECT_GT(ctl->teardown_retries, 0u);
+  EXPECT_EQ(ctl->teardown_acks, 0u);
+  EXPECT_GT(faulted->transport()
+                .fault_stats(TrafficCategory::kScrubControl)
+                .dropped,
+            0u);
+
+  // Self-expiry cleaned everything up anyway: no query state anywhere, no
+  // retry loops still running.
+  EXPECT_EQ(faulted->server().active_queries(), 0u);
+  EXPECT_EQ(faulted->server().pending_teardowns(), 0u);
+  EXPECT_FALSE(faulted->central().HasQuery(id));
+  for (size_t i = 0; i < faulted->registry().size(); ++i) {
+    ScrubAgent* a = faulted->agent(static_cast<HostId>(i));
+    if (a != nullptr) {
+      EXPECT_FALSE(a->HasQuery(id));
+      EXPECT_EQ(a->active_queries(), 0u);
+      EXPECT_EQ(a->pending_retransmits(), 0u);
+    }
+  }
+
+  // "No residual cost", literally: the workload ran 4 s past the query's
+  // span in both runs, and the host-side Scrub cost is identical — the
+  // orphaned query stopped charging the moment it self-expired.
+  EXPECT_EQ(faulted->TotalOverhead().scrub_ns, clean->TotalOverhead().scrub_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Crash + restart: the dead host dents completeness for exactly the windows
+// it missed; the restart re-disseminates its queries and recovery is full.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, CrashDentsCompletenessAndRestartRecovers) {
+  SystemConfig config = ChaosSystem(31);
+  ScrubSystem system(config);
+  PoissonLoadConfig load;
+  load.requests_per_second = 300;
+  load.duration = 6 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+
+  const HostId victim = system.platform().bid_servers()[0];
+  system.ScheduleCrash(victim, /*down_at=*/900 * kMicrosPerMilli,
+                       /*up_at=*/2100 * kMicrosPerMilli);
+
+  std::vector<ResultRow> rows;
+  Result<SubmittedQuery> submitted = system.Submit(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 5 s;",
+      [&rows](const ResultRow& r) { rows.push_back(r); });
+  ASSERT_TRUE(submitted.ok());
+  system.RunUntil(6 * kMicrosPerSecond);
+  system.Drain();
+
+  ASSERT_EQ(rows.size(), 5u);
+  for (const ResultRow& r : rows) {
+    if (r.window_start == 1 * kMicrosPerSecond) {
+      // The victim was down for all of [1 s, 2 s): 4 of 5 hosts heard.
+      EXPECT_NEAR(r.completeness, 0.8, 1e-9);
+    } else {
+      // Before the crash its heartbeats had already covered [0 s, 1 s);
+      // after the restart the re-installed query object resumes them.
+      EXPECT_DOUBLE_EQ(r.completeness, 1.0) << "window " << r.window_start;
+    }
+  }
+
+  // The restart really went through the control plane.
+  const ControlStats* ctl = system.server().ControlStatsFor(submitted->id);
+  ASSERT_NE(ctl, nullptr);
+  EXPECT_GE(ctl->reinstalls, 1u);
+  ASSERT_NE(system.agent(victim), nullptr);
+  EXPECT_EQ(system.agent(victim)->epoch(), 1u);
+  // Messages to/from the dead host were dropped, not executed on its behalf.
+  EXPECT_GT(system.transport().TotalFaultStats().dead_host, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Duplication + reordering + lost acks: (host, epoch, seq) dedup keeps the
+// answer exact while every batch is delivered at-least-once.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, DuplicatesAndLostAcksNeverDoubleCount) {
+  auto run = [](const FaultPlan& faults) {
+    SystemConfig config = ChaosSystem(41);
+    config.faults = faults;
+    auto system = std::make_unique<ScrubSystem>(config);
+    PoissonLoadConfig load;
+    load.requests_per_second = 300;
+    load.duration = 4 * kMicrosPerSecond;
+    system->workload().SchedulePoissonLoad(load);
+    std::vector<ResultRow> rows;
+    EXPECT_TRUE(system
+                    ->Submit("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                             "DURATION 4 s;",
+                             [&rows](const ResultRow& r) { rows.push_back(r); })
+                    .ok());
+    system->RunUntil(5 * kMicrosPerSecond);
+    system->Drain();
+    return std::make_pair(std::move(rows), std::move(system));
+  };
+
+  auto [clean_rows, clean] = run(FaultPlan{});
+
+  FaultPlan hostile;
+  hostile.seed = ChaosSeed();
+  hostile.Category(TrafficCategory::kScrubEvents).duplicate = 0.3;
+  hostile.Category(TrafficCategory::kScrubEvents).reorder = 0.3;
+  hostile.Category(TrafficCategory::kScrubAcks).drop = 0.3;
+  auto [faulted_rows, faulted] = run(hostile);
+
+  const FaultStats& events =
+      faulted->transport().fault_stats(TrafficCategory::kScrubEvents);
+  EXPECT_GT(events.duplicated, 0u);
+  EXPECT_GT(events.reordered, 0u);
+  EXPECT_GT(
+      faulted->transport().fault_stats(TrafficCategory::kScrubAcks).dropped,
+      0u);
+
+  // Duplicates reached central and were recognized as such...
+  const CentralQueryStats* cs = faulted->central().StatsFor(1);
+  ASSERT_NE(cs, nullptr);
+  EXPECT_GT(cs->batches_duplicate, 0u);
+
+  // ...so the counts are exactly the fault-free counts.
+  ASSERT_FALSE(clean_rows.empty());
+  EXPECT_EQ(Counts(faulted_rows), Counts(clean_rows));
+  for (const ResultRow& r : faulted_rows) {
+    EXPECT_GE(r.completeness, 0.99);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The whole point of seeded chaos: an identically-seeded hostile run is
+// bit-identical, faults and all.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, HostileRunsAreDeterministicPerSeed) {
+  auto run = [] {
+    SystemConfig config = ChaosSystem(51, /*datacenters=*/2);
+    FaultPlan faults;
+    faults.seed = ChaosSeed();
+    FaultSpec& events = faults.Category(TrafficCategory::kScrubEvents);
+    events.drop = 0.1;
+    events.duplicate = 0.2;
+    events.reorder = 0.2;
+    events.spike = 0.1;
+    faults.Category(TrafficCategory::kScrubAcks).drop = 0.2;
+    faults.Category(TrafficCategory::kScrubControl).drop = 0.05;
+    PartitionSpec partition;
+    partition.datacenter = "DC2";
+    partition.start = 1500 * kMicrosPerMilli;
+    partition.end = 2500 * kMicrosPerMilli;
+    faults.partitions.push_back(partition);
+    config.faults = faults;
+
+    ScrubSystem system(config);
+    PoissonLoadConfig load;
+    load.requests_per_second = 250;
+    load.duration = 4 * kMicrosPerSecond;
+    system.workload().SchedulePoissonLoad(load);
+    system.ScheduleCrash(system.platform().bid_servers()[0],
+                         /*down_at=*/1 * kMicrosPerSecond,
+                         /*up_at=*/2 * kMicrosPerSecond);
+    std::string transcript;
+    EXPECT_TRUE(system
+                    .Submit("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                            "DURATION 4 s;",
+                            [&transcript](const ResultRow& r) {
+                              transcript += r.ToString();
+                              transcript += '\n';
+                            })
+                    .ok());
+    system.RunUntil(5 * kMicrosPerSecond);
+    system.Drain();
+
+    const FaultStats total = system.transport().TotalFaultStats();
+    transcript += std::to_string(total.dropped) + '/' +
+                  std::to_string(total.duplicated) + '/' +
+                  std::to_string(total.reordered) + '/' +
+                  std::to_string(total.spiked) + '/' +
+                  std::to_string(total.partitioned) + '/' +
+                  std::to_string(total.dead_host) + '/' +
+                  std::to_string(system.platform().stats().bids);
+    return transcript;
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace scrub

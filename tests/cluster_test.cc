@@ -1,6 +1,8 @@
 // Unit tests for the simulated cluster: scheduler determinism, host
 // registry + target resolution, and the transport's latency/byte accounting.
 
+#include <tuple>
+
 #include <gtest/gtest.h>
 
 #include "src/cluster/host_registry.h"
@@ -148,6 +150,166 @@ TEST(TransportTest, DeliveryTimeIncludesBandwidthTerm) {
                  [&] { delivered_at = sched.Now(); });
   sched.RunAll();
   EXPECT_EQ(delivered_at, 250 + 1000);
+}
+
+// --- Fault injection --------------------------------------------------------
+
+class TransportFaultTest : public ::testing::Test {
+ protected:
+  TransportFaultTest()
+      : a_(registry_.AddHost("a", "S", "DC1")),
+        b_(registry_.AddHost("b", "S", "DC1")),
+        c_(registry_.AddHost("c", "S", "DC2")),
+        d_(registry_.AddHost("d", "S", "DC2")),
+        transport_(&sched_, &registry_) {}
+
+  Scheduler sched_;
+  HostRegistry registry_;
+  HostId a_, b_, c_, d_;
+  Transport transport_;
+};
+
+TEST_F(TransportFaultTest, DropAllNeverDeliversButStillAccountsBytes) {
+  FaultPlan plan;
+  plan.Category(TrafficCategory::kScrubEvents).drop = 1.0;
+  transport_.SetFaultPlan(plan);
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    transport_.Send(a_, b_, 100, TrafficCategory::kScrubEvents,
+                    [&] { ++delivered; });
+  }
+  sched_.RunAll();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(transport_.fault_stats(TrafficCategory::kScrubEvents).dropped,
+            10u);
+  // The sender paid to serialize the message whether or not it arrived.
+  EXPECT_EQ(transport_.bytes_sent(TrafficCategory::kScrubEvents), 1000u);
+  EXPECT_EQ(transport_.messages_sent(TrafficCategory::kScrubEvents), 10u);
+}
+
+TEST_F(TransportFaultTest, DuplicateDeliversTwice) {
+  FaultPlan plan;
+  plan.Category(TrafficCategory::kScrubEvents).duplicate = 1.0;
+  transport_.SetFaultPlan(plan);
+  int delivered = 0;
+  transport_.Send(a_, b_, 100, TrafficCategory::kScrubEvents,
+                  [&] { ++delivered; });
+  sched_.RunAll();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(transport_.fault_stats(TrafficCategory::kScrubEvents).duplicated,
+            1u);
+}
+
+TEST_F(TransportFaultTest, DeadRecipientDropsInsteadOfExecuting) {
+  registry_.SetAlive(b_, false);
+  int delivered = 0;
+  transport_.Send(a_, b_, 100, TrafficCategory::kScrubEvents,
+                  [&] { ++delivered; });
+  sched_.RunAll();
+  EXPECT_EQ(delivered, 0);
+  const FaultStats& stats =
+      transport_.fault_stats(TrafficCategory::kScrubEvents);
+  EXPECT_EQ(stats.dead_host, 1u);
+  EXPECT_EQ(stats.dropped, 1u);  // dead-host drops count as dropped too
+  EXPECT_EQ(transport_.bytes_sent(TrafficCategory::kScrubEvents), 100u);
+}
+
+TEST_F(TransportFaultTest, DeadSenderSendsNothing) {
+  registry_.SetAlive(a_, false);
+  int delivered = 0;
+  transport_.Send(a_, b_, 100, TrafficCategory::kScrubEvents,
+                  [&] { ++delivered; });
+  sched_.RunAll();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(transport_.fault_stats(TrafficCategory::kScrubEvents).dead_host,
+            1u);
+}
+
+TEST_F(TransportFaultTest, CrashAfterSendDropsAtDeliveryTime) {
+  int delivered = 0;
+  transport_.Send(a_, b_, 100, TrafficCategory::kScrubEvents,
+                  [&] { ++delivered; });
+  // The host dies while the message is in flight: it must not execute on
+  // the dead host's behalf.
+  registry_.SetAlive(b_, false);
+  sched_.RunAll();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(transport_.fault_stats(TrafficCategory::kScrubEvents).dead_host,
+            1u);
+}
+
+TEST_F(TransportFaultTest, PartitionCutsOnlyCrossDcLinks) {
+  FaultPlan plan;
+  PartitionSpec partition;
+  partition.datacenter = "DC2";
+  partition.start = 0;
+  partition.end = 1000;
+  plan.partitions.push_back(partition);
+  transport_.SetFaultPlan(plan);
+
+  int intra_dc1 = 0, cross = 0, intra_dc2 = 0;
+  EXPECT_TRUE(transport_.Partitioned(a_, c_));
+  EXPECT_FALSE(transport_.Partitioned(a_, b_));
+  EXPECT_FALSE(transport_.Partitioned(c_, d_));
+  transport_.Send(a_, b_, 10, TrafficCategory::kAppTraffic,
+                  [&] { ++intra_dc1; });
+  transport_.Send(a_, c_, 10, TrafficCategory::kAppTraffic, [&] { ++cross; });
+  transport_.Send(c_, d_, 10, TrafficCategory::kAppTraffic,
+                  [&] { ++intra_dc2; });
+  sched_.RunUntil(1000);
+  EXPECT_EQ(intra_dc1, 1);
+  EXPECT_EQ(intra_dc2, 1);
+  EXPECT_EQ(cross, 0);
+  EXPECT_EQ(transport_.fault_stats(TrafficCategory::kAppTraffic).partitioned,
+            1u);
+
+  // The partition heals at `end`; the same link works again.
+  sched_.RunUntil(2000);
+  EXPECT_FALSE(transport_.Partitioned(a_, c_));
+  transport_.Send(a_, c_, 10, TrafficCategory::kAppTraffic, [&] { ++cross; });
+  sched_.RunAll();
+  EXPECT_EQ(cross, 1);
+}
+
+TEST_F(TransportFaultTest, FaultStreamIsDeterministicPerSeed) {
+  auto run = [this](uint64_t seed) {
+    Scheduler sched;
+    Transport transport(&sched, &registry_);
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.Category(TrafficCategory::kScrubEvents).drop = 0.3;
+    plan.Category(TrafficCategory::kScrubEvents).duplicate = 0.3;
+    transport.SetFaultPlan(plan);
+    int delivered = 0;
+    for (int i = 0; i < 200; ++i) {
+      transport.Send(a_, b_, 10, TrafficCategory::kScrubEvents,
+                     [&] { ++delivered; });
+    }
+    sched.RunAll();
+    const FaultStats& stats =
+        transport.fault_stats(TrafficCategory::kScrubEvents);
+    return std::make_tuple(delivered, stats.dropped, stats.duplicated);
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // the seed actually matters
+}
+
+TEST_F(TransportFaultTest, CleanCategoriesStayUndisturbed) {
+  // A hostile plan against Scrub's traffic must not perturb app traffic:
+  // same delivery time as a fault-free transport, no randomness consumed.
+  FaultPlan plan;
+  plan.Category(TrafficCategory::kScrubEvents).drop = 0.5;
+  plan.Category(TrafficCategory::kScrubEvents).spike = 0.5;
+  transport_.SetFaultPlan(plan);
+  TimeMicros delivered_at = -1;
+  transport_.Send(a_, b_, 1000, TrafficCategory::kAppTraffic,
+                  [&] { delivered_at = sched_.Now(); });
+  sched_.RunAll();
+  EXPECT_EQ(delivered_at, 250 + 1);  // same-DC latency + bandwidth, exactly
+  const FaultStats& stats =
+      transport_.fault_stats(TrafficCategory::kAppTraffic);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.spiked, 0u);
 }
 
 TEST(TransportTest, ByteAccountingPerCategory) {

@@ -271,6 +271,57 @@ TEST_F(LintTest, ShortSpanIsClean) {
 
 // --- Clean query / ordering / API ------------------------------------------
 
+// --- (i) scrubql-no-retry-headroom -----------------------------------------
+
+TEST_F(LintTest, RetryHeadroomFiresWhenLatenessTooTight) {
+  options_.flush_interval_micros = 500 * kMicrosPerMilli;
+  options_.retry_rtt_micros = 700 * kMicrosPerMilli;
+  options_.allowed_lateness_micros = 1 * kMicrosPerSecond;
+  // Needed headroom = flush 500 ms + retry RTT 700 ms = 1.2 s > 1 s grace:
+  // one lost batch at a window's last flush becomes missing data.
+  const std::string q =
+      "SELECT COUNT(*) FROM bid @[SERVICE IN BidServers] "
+      "WINDOW 5 s DURATION 60 s;";
+  const auto hits = WithRule(Lint(q), lint_rules::kNoRetryHeadroom);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(hits[0].message.find("retransmit"), std::string::npos);
+  EXPECT_NE(SpanText(q, hits[0].span).find("WINDOW"), std::string::npos);
+}
+
+TEST_F(LintTest, RetryHeadroomCleanWithAmpleLateness) {
+  options_.flush_interval_micros = 500 * kMicrosPerMilli;
+  options_.retry_rtt_micros = 700 * kMicrosPerMilli;
+  options_.allowed_lateness_micros = 2 * kMicrosPerSecond;
+  const std::string q =
+      "SELECT COUNT(*) FROM bid @[SERVICE IN BidServers] "
+      "WINDOW 5 s DURATION 60 s;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kNoRetryHeadroom).empty());
+}
+
+TEST_F(LintTest, RetryHeadroomDisabledWithoutRttEstimate) {
+  // retry_rtt_micros == 0 (the default) disables the rule even under an
+  // impossibly tight grace: only a deployment that knows its round trip
+  // (the ScrubSystem wires it) can judge headroom.
+  options_.allowed_lateness_micros = 1 * kMicrosPerMilli;
+  const std::string q =
+      "SELECT COUNT(*) FROM bid @[SERVICE IN BidServers] "
+      "WINDOW 5 s DURATION 60 s;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kNoRetryHeadroom).empty());
+}
+
+TEST_F(LintTest, RetryHeadroomAppliesToRawQueriesToo) {
+  // Even a raw-mode query gets the analyzer's default window, and late
+  // events against a closed window are dropped the same way — the headroom
+  // rule judges the lateness budget regardless of aggregation.
+  options_.retry_rtt_micros = 10 * kMicrosPerSecond;
+  options_.allowed_lateness_micros = 1 * kMicrosPerMilli;
+  const std::string q =
+      "SELECT bid.user_id FROM bid WHERE bid.price > 100.0 "
+      "@[SERVICE IN BidServers] DURATION 60 s;";
+  EXPECT_EQ(WithRule(Lint(q), lint_rules::kNoRetryHeadroom).size(), 1u);
+}
+
 TEST_F(LintTest, WellFormedQueryIsCompletelyClean) {
   const std::string q =
       "SELECT bid.country, COUNT(*), COUNT_DISTINCT(bid.user_id) FROM bid "

@@ -59,6 +59,11 @@ else
         ctest --output-on-failure -j "${JOBS}"); then
     fail "tests failed under sanitizers"
   fi
+  note "chaos seed sweep under ASan+UBSan"
+  if ! ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+       "${REPO}/tools/chaos_sweep.sh" "${BUILD_DIR}/tests/chaos_test"; then
+    fail "chaos sweep failed (re-run one seed: SCRUB_CHAOS_SEED=<n> ${BUILD_DIR}/tests/chaos_test)"
+  fi
 fi
 
 # ------------------------------------------------------------- clang-tidy ----

@@ -242,7 +242,25 @@ Status ScrubCentral::IngestBatch(const EventBatch& batch, TimeMicros now) {
   if (!events.ok()) {
     return events.status();
   }
-  for (const Event& event : *events) {
+  FoldEvents(q, batch.host, *events);
+  return OkStatus();
+}
+
+Status ScrubCentral::IngestEvents(QueryId query_id, HostId host,
+                                  const std::vector<Event>& events) {
+  const auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return OkStatus();  // raced teardown, mirror IngestBatch
+  }
+  ActiveQuery& q = it->second;
+  ++q.stats.batches;
+  FoldEvents(q, host, events);
+  return OkStatus();
+}
+
+void ScrubCentral::FoldEvents(ActiveQuery& q, HostId host,
+                              const std::vector<Event>& events) {
+  for (const Event& event : events) {
     meter_.ChargeScrub(config_.costs.central_ingest_ns);
     ++q.stats.events_ingested;
     const std::vector<WindowState*> windows =
@@ -252,10 +270,9 @@ Status ScrubCentral::IngestBatch(const EventBatch& batch, TimeMicros now) {
       continue;
     }
     for (WindowState* w : windows) {
-      ProcessEvent(q, *w, event, batch.host);
+      ProcessEvent(q, *w, event, host);
     }
   }
-  return OkStatus();
 }
 
 void ScrubCentral::ProcessEvent(ActiveQuery& q, WindowState& w,

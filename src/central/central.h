@@ -174,6 +174,15 @@ class ScrubCentral {
   // Ingests one host batch (decodes payload against the schema registry).
   Status IngestBatch(const EventBatch& batch, TimeMicros now);
 
+  // Sharded-router fast path: already-decoded, already-deduplicated events
+  // from `host`. The router dedups before re-bucketing and owns counter
+  // accounting, so this skips both; window assignment, the request-id join,
+  // grouping and accumulation are exactly IngestBatch's. Distinct
+  // ScrubCentral instances may run this concurrently (each touches only its
+  // own state); one instance must not.
+  Status IngestEvents(QueryId query_id, HostId host,
+                      const std::vector<Event>& events);
+
   // Closes windows whose grace period has passed; retires queries whose span
   // plus grace has passed. Call periodically from the scheduler.
   void OnTick(TimeMicros now);
@@ -226,6 +235,11 @@ class ScrubCentral {
     // Fallback global scale for grouped scaled aggregates under sampling.
     bool needs_scaling = false;
   };
+
+  // Folds decoded events into q's windows (shared tail of IngestBatch and
+  // IngestEvents).
+  void FoldEvents(ActiveQuery& q, HostId host,
+                  const std::vector<Event>& events);
 
   TimeMicros WindowStartFor(const ActiveQuery& q, TimeMicros ts) const;
   // All still-open windows covering ts: one for tumbling queries, up to

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "src/common/strings.h"
 #include "src/event/wire.h"
@@ -10,8 +11,12 @@
 namespace scrub {
 
 ShardedCentral::ShardedCentral(const SchemaRegistry* registry, size_t shards,
-                               CentralConfig config)
-    : registry_(registry), config_(config) {
+                               CentralConfig config, size_t workers)
+    : registry_(registry),
+      config_(config),
+      pending_partials_(shards),
+      pending_rows_(shards),
+      pool_(workers) {
   assert(shards > 0);
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
@@ -24,23 +29,45 @@ Status ShardedCentral::InstallQuery(const CentralPlan& plan,
   if (sink == nullptr) {
     return InvalidArgument("result sink must be set");
   }
+  if (plan.SamplingActive()) {
+    // Uniform clean refusal for host- and event-level sampling alike: the
+    // Eq. 1-3 estimator needs the global per-host view that request-id
+    // slicing destroys.
+    return Unimplemented(
+        "sharded mode does not combine with sampling (host- or "
+        "event-level); sampled queries are low-volume and run on a single "
+        "instance");
+  }
   if (coordinators_.count(plan.query_id) > 0) {
     return AlreadyExists(StrFormat(
         "query %llu already installed",
         static_cast<unsigned long long>(plan.query_id)));
   }
-  // Install in partial mode on every shard first; roll back on failure so a
-  // rejected plan leaves no residue. Shards see only an event slice, so
-  // their per-window completeness would be meaningless noise — zeroing
-  // hosts_sampled in the shard copy marks the expected set unknown there;
-  // the coordinator computes completeness from the full batches it routes.
+  // Install on every shard first; roll back on failure so a rejected plan
+  // leaves no residue. Shards see only an event slice, so their per-window
+  // completeness would be meaningless noise — zeroing hosts_sampled in the
+  // shard copy marks the expected set unknown there; the coordinator
+  // computes completeness from the full batches it routes.
   CentralPlan shard_plan = plan;
   shard_plan.hosts_sampled = 0;
   for (size_t i = 0; i < shards_.size(); ++i) {
-    Status s = shards_[i]->InstallQueryPartial(
-        shard_plan, [this](WindowPartial&& partial) {
-          AbsorbPartial(std::move(partial));
-        });
+    Status s;
+    if (plan.aggregate_mode) {
+      // Sinks buffer into the shard's own slot; the coordinator drains the
+      // slots in shard-index order (DrainPartials), which is what keeps the
+      // merge deterministic for any worker count.
+      s = shards_[i]->InstallQueryPartial(
+          shard_plan, [this, i](WindowPartial&& partial) {
+            pending_partials_[i].push_back(std::move(partial));
+          });
+    } else {
+      // Raw mode shards trivially: each joined tuple lives wholly on one
+      // shard, so shards emit finished rows and no merge is needed.
+      s = shards_[i]->InstallQuery(
+          shard_plan, [this, i](const ResultRow& row) {
+            pending_rows_[i].push_back(row);
+          });
+    }
     if (!s.ok()) {
       for (size_t j = 0; j < i; ++j) {
         shards_[j]->RemoveQuery(plan.query_id);
@@ -51,16 +78,20 @@ Status ShardedCentral::InstallQuery(const CentralPlan& plan,
   Coordinator c;
   c.plan = plan;
   c.sink = std::move(sink);
+  c.raw = !plan.aggregate_mode;
   coordinators_.emplace(plan.query_id, std::move(c));
   return OkStatus();
 }
 
 void ShardedCentral::RemoveQuery(QueryId query_id) {
-  // Shards flush their open windows (partials land in the coordinator),
-  // then the coordinator finalizes whatever it holds.
+  // Shards flush their open windows (partials and raw rows land in the
+  // per-shard buffers), then the coordinator drains in shard order and
+  // finalizes whatever it holds.
   for (auto& shard : shards_) {
     shard->RemoveQuery(query_id);
   }
+  DrainShardRows();
+  DrainPartials();
   const auto it = coordinators_.find(query_id);
   if (it == coordinators_.end()) {
     return;
@@ -72,54 +103,135 @@ void ShardedCentral::RemoveQuery(QueryId query_id) {
 }
 
 Status ShardedCentral::IngestBatch(const EventBatch& batch, TimeMicros now) {
-  const auto cit = coordinators_.find(batch.query_id);
-  if (cit == coordinators_.end()) {
-    return OkStatus();  // raced teardown, mirror ScrubCentral's behaviour
-  }
-  Coordinator& c = cit->second;
-  // Dedup here, before re-bucketing: sub-batches are unsequenced.
-  if (batch.seq != 0 &&
-      !c.dedup[batch.host][batch.epoch].Insert(batch.seq)) {
-    ++c.batches_duplicate;
-    return OkStatus();
-  }
-  // Record host presence per slide-grid slot for completeness accounting
-  // (the counters themselves are dropped: no sampling in sharded mode).
-  for (const WindowCounter& counter : batch.counters) {
-    if (counter.window_start >= c.plan.start_time &&
-        counter.window_start < c.plan.end_time) {
-      c.window_hosts[counter.window_start].insert(batch.host);
+  return IngestBatches({batch}, now);
+}
+
+Status ShardedCentral::IngestBatches(const std::vector<EventBatch>& batches,
+                                     TimeMicros now) {
+  (void)now;
+  // Serial admission pass, in batch order: routing, dedup, completeness
+  // accounting. All coordinator state; cheap relative to decode + fold.
+  struct Admitted {
+    const EventBatch* batch;
+  };
+  std::vector<Admitted> admitted;
+  admitted.reserve(batches.size());
+  for (const EventBatch& batch : batches) {
+    const auto cit = coordinators_.find(batch.query_id);
+    if (cit == coordinators_.end()) {
+      continue;  // raced teardown, mirror ScrubCentral's behaviour
     }
-  }
-  if (batch.event_count == 0) {
-    return OkStatus();
-  }
-  Result<std::vector<Event>> events = DecodeBatch(*registry_, batch.payload);
-  if (!events.ok()) {
-    return events.status();
-  }
-  // Re-bucket by request id so join partners colocate.
-  std::vector<std::vector<Event>> buckets(shards_.size());
-  for (Event& event : *events) {
-    const size_t shard = static_cast<size_t>(
-        HashMix64(event.request_id()) % shards_.size());
-    buckets[shard].push_back(std::move(event));
-  }
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    if (buckets[i].empty()) {
+    Coordinator& c = cit->second;
+    // Dedup here, before re-bucketing: sub-batches are unsequenced.
+    if (batch.seq != 0 &&
+        !c.dedup[batch.host][batch.epoch].Insert(batch.seq)) {
+      ++c.batches_duplicate;
       continue;
     }
-    EventBatch sub;
-    sub.query_id = batch.query_id;
-    sub.host = batch.host;
-    sub.event_count = buckets[i].size();
-    sub.payload = EncodeBatch(buckets[i]);
-    Status s = shards_[i]->IngestBatch(sub, now);
-    if (!s.ok()) {
-      return s;
+    // Record host presence per slide-grid slot for completeness accounting
+    // (the counters themselves are dropped: no sampling in sharded mode).
+    for (const WindowCounter& counter : batch.counters) {
+      if (counter.window_start >= c.plan.start_time &&
+          counter.window_start < c.plan.end_time) {
+        c.window_hosts[counter.window_start].insert(batch.host);
+      }
+    }
+    if (batch.event_count == 0) {
+      continue;
+    }
+    admitted.push_back(Admitted{&batch});
+  }
+
+  // Parallel decode: each batch is independent and DecodeBatch reads only
+  // the (immutable) schema registry.
+  std::vector<std::vector<Event>> decoded(admitted.size());
+  std::vector<Status> decode_status(admitted.size());
+  pool_.ParallelFor(admitted.size(), [&](size_t k) {
+    Result<std::vector<Event>> events =
+        DecodeBatch(*registry_, admitted[k].batch->payload);
+    if (events.ok()) {
+      decoded[k] = std::move(*events);
+    } else {
+      decode_status[k] = events.status();
+    }
+  });
+  // Sequential contract: batches before the first decode failure are fully
+  // applied; the failure is returned.
+  size_t limit = admitted.size();
+  Status failure = OkStatus();
+  for (size_t k = 0; k < admitted.size(); ++k) {
+    if (!decode_status[k].ok()) {
+      limit = k;
+      failure = decode_status[k];
+      break;
     }
   }
-  return OkStatus();
+
+  // Re-bucket by request id so join partners colocate. Work lists keep
+  // batch order within each shard — the per-shard event order is therefore
+  // identical to the one-batch-at-a-time path.
+  struct ShardWork {
+    QueryId query_id;
+    HostId host;
+    std::vector<Event> events;
+  };
+  std::vector<std::vector<ShardWork>> work(shards_.size());
+  for (size_t k = 0; k < limit; ++k) {
+    std::vector<std::vector<Event>> buckets(shards_.size());
+    for (Event& event : decoded[k]) {
+      const size_t shard = static_cast<size_t>(
+          HashMix64(event.request_id()) % shards_.size());
+      buckets[shard].push_back(std::move(event));
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (buckets[s].empty()) {
+        continue;
+      }
+      work[s].push_back(ShardWork{admitted[k].batch->query_id,
+                                  admitted[k].batch->host,
+                                  std::move(buckets[s])});
+    }
+  }
+
+  // Parallel fold: shard s's task touches only shard s (plus its own
+  // pending_rows_ slot for raw-mode queries).
+  std::vector<Status> shard_status(shards_.size());
+  pool_.ParallelFor(shards_.size(), [&](size_t s) {
+    for (const ShardWork& sw : work[s]) {
+      Status st = shards_[s]->IngestEvents(sw.query_id, sw.host, sw.events);
+      if (!st.ok() && shard_status[s].ok()) {
+        shard_status[s] = st;
+      }
+    }
+  });
+  DrainShardRows();  // raw-mode rows are emitted eagerly during the fold
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!shard_status[s].ok()) {
+      return shard_status[s];
+    }
+  }
+  return failure;
+}
+
+void ShardedCentral::DrainPartials() {
+  for (size_t i = 0; i < pending_partials_.size(); ++i) {
+    for (WindowPartial& partial : pending_partials_[i]) {
+      AbsorbPartial(std::move(partial));
+    }
+    pending_partials_[i].clear();
+  }
+}
+
+void ShardedCentral::DrainShardRows() {
+  for (size_t i = 0; i < pending_rows_.size(); ++i) {
+    for (const ResultRow& row : pending_rows_[i]) {
+      const auto it = coordinators_.find(row.query_id);
+      if (it != coordinators_.end()) {
+        it->second.sink(row);
+      }
+    }
+    pending_rows_[i].clear();
+  }
 }
 
 void ShardedCentral::AbsorbPartial(WindowPartial&& partial) {
@@ -191,9 +303,13 @@ void ShardedCentral::FinalizeWindow(
 }
 
 void ShardedCentral::OnTick(TimeMicros now) {
-  for (auto& shard : shards_) {
-    shard->OnTick(now);
-  }
+  // Window closes (partial computation: finalize per-group state, package
+  // mergeable accumulators) run shard-concurrently; each shard's partials
+  // buffer into its own slot.
+  pool_.ParallelFor(shards_.size(),
+                    [&](size_t i) { shards_[i]->OnTick(now); });
+  DrainShardRows();
+  DrainPartials();
   // Shards have emitted every window whose end + lateness has passed (and
   // retired expired queries, flushing the rest); finalize those windows.
   for (auto cit = coordinators_.begin(); cit != coordinators_.end();) {

@@ -8,17 +8,37 @@
 //  * Incoming batches are re-bucketed per event by request-id hash, so both
 //    sides of the request-id equi-join land on the same shard and every
 //    shard runs the ordinary single-instance pipeline on its slice.
-//  * Shards run in partial mode: closing a window emits mergeable per-group
-//    state (counts, sums, min/max, HyperLogLog registers, SpaceSaving
-//    summaries) instead of rows.
+//  * Aggregate-mode shards run in partial mode: closing a window emits
+//    mergeable per-group state (counts, sums, min/max, HyperLogLog
+//    registers, SpaceSaving summaries) instead of rows.
 //  * The coordinator merges the shards' partials per (window, group) and
 //    finalizes exactly one row stream — identical, for exact aggregates, to
 //    what a single instance would produce (tested).
+//  * Raw-mode (no aggregates) queries shard trivially: every shard emits
+//    finished rows for its slice and the coordinator just forwards them —
+//    no merge step, since each joined tuple is wholly resident on one
+//    shard.
 //
-// Restriction: sampled queries are refused here. Sampling exists to make a
-// query *small*; sharding exists to make a *large* query fit. The two knobs
-// address opposite regimes, and the Eq. 1-3 estimator needs a global view
-// of per-host populations that slicing by request id would destroy.
+// Execution is parallel: a fixed-size WorkerPool runs per-shard batch
+// ingestion (decode + join + group + accumulate) and per-shard window-close
+// partial computation concurrently — shards touch disjoint state, so no
+// locks are needed inside the shard pipeline. Determinism for any worker
+// count (including the inline workers == 0 path) comes from the merge
+// discipline, not from execution order:
+//
+//  * shard sinks buffer partials/rows into a per-shard slot that only that
+//    shard's task writes;
+//  * the coordinator drains the slots in shard-index order after joining,
+//    so partials merge in exactly the order the sequential loop produced;
+//  * per-(window, group) accumulator state is mergeable, and within one
+//    shard the event order is the batch arrival order, bit-identical to the
+//    sequential path.
+//
+// Restriction: sampled queries (host- or event-level) are refused with a
+// clean Unimplemented status. Sampling exists to make a query *small*;
+// sharding exists to make a *large* query fit. The two knobs address
+// opposite regimes, and the Eq. 1-3 estimator needs a global view of
+// per-host populations that slicing by request id would destroy.
 
 #ifndef SRC_CENTRAL_SHARDED_CENTRAL_H_
 #define SRC_CENTRAL_SHARDED_CENTRAL_H_
@@ -30,16 +50,20 @@
 #include <vector>
 
 #include "src/central/central.h"
+#include "src/common/worker_pool.h"
 
 namespace scrub {
 
 class ShardedCentral {
  public:
+  // `workers` sizes the execution pool: 0 runs everything inline on the
+  // caller (the sequential reference path), k > 0 spawns k threads. Results
+  // are bit-identical for every worker count.
   ShardedCentral(const SchemaRegistry* registry, size_t shards,
-                 CentralConfig config = {});
+                 CentralConfig config = {}, size_t workers = 0);
 
-  // Aggregate-mode plans only (raw-mode queries don't need merging — they
-  // shard trivially); sampling-active plans are refused (see above).
+  // Aggregate-mode plans merge per-shard partials; raw-mode plans forward
+  // per-shard rows directly. Sampling-active plans are refused (see above).
   Status InstallQuery(const CentralPlan& plan, ResultSink sink);
   void RemoveQuery(QueryId query_id);
   bool HasQuery(QueryId query_id) const {
@@ -50,12 +74,23 @@ class ShardedCentral {
   // sampling counters are dropped (no sampling in sharded mode).
   Status IngestBatch(const EventBatch& batch, TimeMicros now);
 
-  // Ticks every shard, then finalizes coordinator windows whose lateness
+  // Batched ingestion: decodes the batches on the pool, re-buckets, then
+  // applies each shard's share concurrently. Per-shard event order is the
+  // batch order, so results are bit-identical to feeding the batches
+  // through IngestBatch one at a time. On a decode failure, batches before
+  // the failing one are fully applied and its status is returned (the
+  // sequential contract).
+  Status IngestBatches(const std::vector<EventBatch>& batches,
+                       TimeMicros now);
+
+  // Ticks every shard (concurrently), then merges emitted partials in
+  // shard-index order and finalizes coordinator windows whose lateness
   // bound has passed on all shards.
   void OnTick(TimeMicros now);
 
   size_t shard_count() const { return shards_.size(); }
   const ScrubCentral& shard(size_t i) const { return *shards_[i]; }
+  const WorkerPool& pool() const { return pool_; }
   // Events each shard ingested (balance diagnostics).
   std::vector<uint64_t> ShardLoads(QueryId query_id) const;
   // Router-level dedup hits for one query (retransmits raced their acks).
@@ -65,6 +100,7 @@ class ShardedCentral {
   struct Coordinator {
     CentralPlan plan;
     ResultSink sink;
+    bool raw = false;  // raw-mode: forward shard rows, no merge state
     // window -> group key -> merged accumulators.
     std::map<TimeMicros,
              std::unordered_map<GroupKey, std::vector<AggAccumulator>,
@@ -79,6 +115,12 @@ class ShardedCentral {
     std::map<TimeMicros, std::set<HostId>> window_hosts;
   };
 
+  // Drains per-shard partial buffers in shard-index order (the determinism
+  // keystone: merge order is a pure function of shard index, never of
+  // thread completion order).
+  void DrainPartials();
+  // Forwards buffered raw-mode rows, again in shard-index order.
+  void DrainShardRows();
   void AbsorbPartial(WindowPartial&& partial);
   void FinalizeWindow(Coordinator& c, TimeMicros start,
                       std::unordered_map<GroupKey, std::vector<AggAccumulator>,
@@ -88,6 +130,11 @@ class ShardedCentral {
   CentralConfig config_;
   std::vector<std::unique_ptr<ScrubCentral>> shards_;
   std::unordered_map<QueryId, Coordinator> coordinators_;
+  // Slot i is written only by shard i's task; drained between regions by
+  // the coordinator thread.
+  std::vector<std::vector<WindowPartial>> pending_partials_;
+  std::vector<std::vector<ResultRow>> pending_rows_;
+  WorkerPool pool_;
 };
 
 }  // namespace scrub

@@ -1,0 +1,221 @@
+// WorkerPool: a small fixed-size thread pool for central-side parallelism.
+//
+// Scrub's central facility parallelizes cleanly — per-shard batch ingestion
+// and window-close partial computation touch disjoint state — so all the
+// pool has to provide is deterministic *placement* and a barrier. Design
+// constraints, in order:
+//
+//  * No detached threads. Workers are joined in the destructor; a pool
+//    cannot outlive the state its tasks touch.
+//  * Bounded MPSC queues. Each worker owns one bounded task queue; any
+//    thread may submit (multi-producer), only the owning worker pops
+//    (single-consumer). A full queue blocks the submitter — back-pressure,
+//    never unbounded growth. This mirrors the agent's bounded-staging
+//    discipline, except the coordinator may wait where log() may not.
+//  * Deterministic placement: ParallelFor(n, fn) assigns index i to worker
+//    i % threads, so the *partition* of work is a pure function of (n,
+//    threads). Execution order across workers is arbitrary; callers get
+//    determinism by merging results by index, never by completion order.
+//  * threads == 0 runs everything inline on the caller (the sequential
+//    reference path — bit-identical results are tested against it).
+//
+// The pool also meters itself: per ParallelFor region it records each
+// worker's thread-CPU time and accumulates the region's critical path
+// (max over workers) and total busy time. On a machine with fewer cores
+// than workers, wall clock cannot show scale-out; critical-path time is
+// the throughput parallel hardware would realize (the same modelling the
+// sharded-CPU-share benchmark uses), and it is what bench_parallel_central
+// reports.
+
+#ifndef SRC_COMMON_WORKER_POOL_H_
+#define SRC_COMMON_WORKER_POOL_H_
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <time.h>
+
+namespace scrub {
+
+class WorkerPool {
+ public:
+  // threads == 0: inline mode, no threads spawned. queue_capacity bounds
+  // each worker's pending tasks; submitters block while their target queue
+  // is full.
+  explicit WorkerPool(size_t threads, size_t queue_capacity = 256)
+      : queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      workers_.push_back(std::make_unique<Worker>());
+    }
+    for (size_t i = 0; i < threads; ++i) {
+      workers_[i]->thread = std::thread([this, i] { RunWorker(i); });
+    }
+  }
+
+  ~WorkerPool() {
+    for (auto& w : workers_) {
+      {
+        std::lock_guard<std::mutex> lock(w->mu);
+        w->stop = true;
+      }
+      w->cv.notify_all();
+    }
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) {
+        w->thread.join();
+      }
+    }
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  // Runs fn(0) .. fn(n-1) and returns once all calls completed. Index i is
+  // processed by worker i % threads, in increasing i within each worker.
+  // Tasks must not throw and must touch only state disjoint from other
+  // indices (or synchronized by the caller). Inline when the pool has no
+  // threads. Not reentrant: tasks must not call back into the pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    if (n == 0) {
+      return;
+    }
+    if (workers_.empty()) {
+      const uint64_t begin = ThreadCpuNs();
+      for (size_t i = 0; i < n; ++i) {
+        fn(i);
+      }
+      const uint64_t busy = ThreadCpuNs() - begin;
+      critical_ns_ += busy;
+      busy_ns_ += busy;
+      ++regions_;
+      return;
+    }
+    const size_t width = std::min(n, workers_.size());
+    Latch latch(width);
+    std::vector<uint64_t> worker_busy(width, 0);
+    for (size_t w = 0; w < width; ++w) {
+      // One strided chunk per worker keeps queue traffic at O(threads) per
+      // region while preserving the i % threads placement.
+      Submit(w, [this, w, n, width, &fn, &latch, &worker_busy] {
+        const uint64_t begin = ThreadCpuNs();
+        for (size_t i = w; i < n; i += width) {
+          fn(i);
+        }
+        worker_busy[w] = ThreadCpuNs() - begin;
+        latch.CountDown();
+      });
+    }
+    latch.Wait();
+    uint64_t max_busy = 0;
+    uint64_t total_busy = 0;
+    for (const uint64_t b : worker_busy) {
+      max_busy = std::max(max_busy, b);
+      total_busy += b;
+    }
+    critical_ns_ += max_busy;
+    busy_ns_ += total_busy;
+    ++regions_;
+  }
+
+  // Enqueues one task on worker `worker % threads` (blocking while that
+  // queue is full). Inline mode runs it immediately.
+  void Submit(size_t worker, std::function<void()> task) {
+    if (workers_.empty()) {
+      task();
+      return;
+    }
+    Worker& w = *workers_[worker % workers_.size()];
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.space.wait(lock, [&] { return w.queue.size() < queue_capacity_; });
+      w.queue.push_back(std::move(task));
+    }
+    w.cv.notify_one();
+  }
+
+  // ---- Self-metering (see header comment) ----
+  // Sum over regions of the slowest worker's thread-CPU time: the modelled
+  // wall clock of the parallel sections on sufficiently parallel hardware.
+  uint64_t critical_ns() const { return critical_ns_; }
+  // Total thread-CPU time spent inside parallel regions across all workers.
+  uint64_t busy_ns() const { return busy_ns_; }
+  uint64_t regions() const { return regions_; }
+
+  static uint64_t ThreadCpuNs() {
+    struct timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+  }
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;     // queue became non-empty / stop
+    std::condition_variable space;  // queue has room again
+    std::deque<std::function<void()>> queue;
+    bool stop = false;
+    std::thread thread;
+  };
+
+  class Latch {
+   public:
+    explicit Latch(size_t count) : remaining_(count) {}
+    void CountDown() {
+      std::lock_guard<std::mutex> lock(mu_);
+      assert(remaining_ > 0);
+      if (--remaining_ == 0) {
+        cv_.notify_all();
+      }
+    }
+    void Wait() {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return remaining_ == 0; });
+    }
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    size_t remaining_;
+  };
+
+  void RunWorker(size_t index) {
+    Worker& w = *workers_[index];
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(w.mu);
+        w.cv.wait(lock, [&] { return w.stop || !w.queue.empty(); });
+        if (w.queue.empty()) {
+          return;  // stop requested and queue drained
+        }
+        task = std::move(w.queue.front());
+        w.queue.pop_front();
+      }
+      w.space.notify_one();
+      task();
+    }
+  }
+
+  const size_t queue_capacity_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  // Metering is written only between regions (coordinator thread).
+  uint64_t critical_ns_ = 0;
+  uint64_t busy_ns_ = 0;
+  uint64_t regions_ = 0;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_COMMON_WORKER_POOL_H_

@@ -1,5 +1,7 @@
 #include "src/scrub/scrub_system.h"
 
+#include <algorithm>
+
 #include "src/common/strings.h"
 #include "src/plan/explain.h"
 
@@ -9,7 +11,8 @@ ScrubSystem::ScrubSystem(SystemConfig config)
     : config_(config),
       scheduler_(0),
       registry_(),
-      transport_(&scheduler_, &registry_, config.transport) {
+      transport_(&scheduler_, &registry_, config.transport),
+      pool_(config.workers) {
   platform_ = std::make_unique<BiddingPlatform>(
       &scheduler_, &transport_, &registry_, &schemas_, config_.platform);
   workload_ =
@@ -57,7 +60,9 @@ ScrubSystem::ScrubSystem(SystemConfig config)
     agents_.emplace(info.id, std::make_unique<ScrubAgent>(
                                  info.id, &registry_.meter(info.id),
                                  config_.agent, AgentSeed(info.id, 0)));
+    agent_hosts_.push_back(info.id);
   }
+  std::sort(agent_hosts_.begin(), agent_hosts_.end());
 
   server_ = std::make_unique<QueryServer>(
       &scheduler_, &transport_, &registry_, &schemas_, central_.get(),
@@ -69,6 +74,9 @@ ScrubSystem::ScrubSystem(SystemConfig config)
       // A crashed host's application is down with it: nothing logs there.
       if (!registry_.IsAlive(host)) {
         return int64_t{0};
+      }
+      if (event_tap_ != nullptr) {
+        event_tap_(host, event);
       }
       ScrubAgent* a = agent(host);
       return a == nullptr ? int64_t{0} : a->LogEvent(event);
@@ -122,16 +130,29 @@ Result<SubmittedQuery> ScrubSystem::Submit(std::string_view query_text,
 
 void ScrubSystem::PumpFlushes() {
   const TimeMicros now = scheduler_.Now();
-  for (auto& [host, agent_ptr] : agents_) {
+  // Fan the per-host flush/retransmit evaluation (selection residue,
+  // encoding, backoff bookkeeping) across the pool. Each task touches only
+  // its own agent, its own host CostMeter and its own RNG streams, so hosts
+  // are independent; determinism for any worker count comes from handing
+  // the results to the (single-threaded) transport in ascending host order
+  // after the join, before the clock advances.
+  std::vector<std::vector<EventBatch>> per_host(agent_hosts_.size());
+  pool_.ParallelFor(agent_hosts_.size(), [&](size_t i) {
+    const HostId host = agent_hosts_[i];
     if (!registry_.IsAlive(host)) {
-      continue;  // a crashed host neither flushes nor retries
+      return;  // a crashed host neither flushes nor retries
     }
-    std::vector<EventBatch> batches = agent_ptr->Flush(now);
-    std::vector<EventBatch> retries = agent_ptr->Retransmits(now);
+    ScrubAgent& a = *agents_.at(host);
+    std::vector<EventBatch> batches = a.Flush(now);
+    std::vector<EventBatch> retries = a.Retransmits(now);
     batches.insert(batches.end(),
                    std::make_move_iterator(retries.begin()),
                    std::make_move_iterator(retries.end()));
-    for (EventBatch& batch : batches) {
+    per_host[i] = std::move(batches);
+  });
+  for (size_t i = 0; i < agent_hosts_.size(); ++i) {
+    const HostId host = agent_hosts_[i];
+    for (EventBatch& batch : per_host[i]) {
       const size_t bytes = batch.WireSize();
       const HostId from = host;
       transport_.Send(

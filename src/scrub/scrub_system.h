@@ -26,6 +26,7 @@
 
 #include "src/agent/agent.h"
 #include "src/bidsim/platform.h"
+#include "src/common/worker_pool.h"
 #include "src/bidsim/workload.h"
 #include "src/central/central.h"
 #include "src/cluster/host_registry.h"
@@ -43,6 +44,12 @@ struct SystemConfig {
   TransportConfig transport;
   // Agents batch-and-ship on this cadence; central closes windows on it.
   TimeMicros flush_interval = 500 * kMicrosPerMilli;
+  // Worker threads fanning agent flush/retransmit evaluation across
+  // simulated hosts each tick (0 = inline on the caller). Results are
+  // bit-identical for every value: each host keeps its own RNG streams, and
+  // batches are handed to the transport in host order after the pool joins,
+  // before the simulated clock advances.
+  size_t workers = 0;
   uint64_t seed = 1;
   // When false the platform runs un-instrumented (the A side of the
   // overhead experiments E7/E8).
@@ -98,6 +105,15 @@ class ScrubSystem {
   // compute, how sampling scales results.
   std::string Explain(std::string_view query_text) const;
 
+  // Observation tap: called for every event logged on a live host, before
+  // agent-side processing (sampling, selection, projection). The
+  // differential-oracle tests record the ground-truth stream here. Only
+  // active while scrub_enabled is true (the tap rides the instrumentation
+  // hook).
+  void SetEventTap(std::function<void(HostId, const Event&)> tap) {
+    event_tap_ = std::move(tap);
+  }
+
   // Static analysis only (the same rules the server runs at admission, with
   // the live fleet size and flush cadence): parse + analyze + lint, no plan,
   // no execution. Parse/analysis failures surface as the error status.
@@ -134,6 +150,12 @@ class ScrubSystem {
   std::unique_ptr<ScrubCentral> central_;
   std::unique_ptr<QueryServer> server_;
   std::unordered_map<HostId, std::unique_ptr<ScrubAgent>> agents_;
+  // Monitorable hosts in ascending id order: the deterministic iteration
+  // (and transport submission) order PumpFlushes uses regardless of how
+  // many pool workers ran the per-host flush work.
+  std::vector<HostId> agent_hosts_;
+  WorkerPool pool_;
+  std::function<void(HostId, const Event&)> event_tap_;
   std::unordered_map<HostId, uint64_t> epochs_;  // incarnation per host
   HostId central_host_ = kInvalidHost;
   HostId server_host_ = kInvalidHost;

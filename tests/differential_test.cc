@@ -1,0 +1,305 @@
+// Differential testing: the full Scrub pipeline (host instrumentation →
+// agent selection/projection/batching → transport → central join/group/
+// aggregate/window) against the naive single-threaded oracle in
+// reference_executor.h, over randomized bidding workloads.
+//
+// Each combo runs a real ScrubSystem with an event tap recording the ground
+// truth exactly as hosts log it, then replays that stream through the
+// oracle and compares row sets:
+//
+//  * exact columns (group keys, COUNT, MIN/MAX) must match byte-for-byte;
+//  * SUM/AVG must match to float tolerance (accumulation order differs);
+//  * COUNT_DISTINCT must land within the HLL error envelope
+//    (precision 14: sigma = 1.04/sqrt(2^14) ~ 0.8% relative; we allow 5
+//    sigma, floored at +/-2 for tiny cardinalities where the sketch is in
+//    its exact linear-counting regime);
+//  * TOPK entries must carry exact counts (SpaceSaving is exact while
+//    capacity >= distinct keys, which these workloads guarantee) and form
+//    a valid top-k of the true ranking, tolerating tie reordering.
+//
+// The load starts 300 ms into the simulation so query dissemination is
+// complete before the first ground-truth event is logged: the tap and the
+// agents then observe exactly the same stream.
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/scrub/scrub_system.h"
+#include "tests/reference_executor.h"
+
+namespace scrub {
+namespace {
+
+struct Combo {
+  const char* query;
+  uint64_t seed;
+  double rps = 250.0;
+  TimeMicros horizon = 4 * kMicrosPerSecond;
+};
+
+std::vector<std::pair<std::string, double>> ParseTopK(const Value& v) {
+  std::vector<std::pair<std::string, double>> out;
+  EXPECT_TRUE(v.is_list()) << v.ToString();
+  if (!v.is_list()) {
+    return out;
+  }
+  for (const Value& entry : v.AsList()) {
+    const std::string s = entry.AsString();
+    const size_t colon = s.rfind(':');
+    EXPECT_NE(colon, std::string::npos) << s;
+    out.emplace_back(s.substr(0, colon), std::stod(s.substr(colon + 1)));
+  }
+  return out;
+}
+
+// Scrub's TOPK list vs the oracle's full exact ranking.
+void CheckTopK(const Value& scrub_v, const Value& oracle_v, int64_t k,
+               const std::string& where) {
+  const auto got = ParseTopK(scrub_v);
+  const auto truth = ParseTopK(oracle_v);
+  const size_t expect_size =
+      std::min(static_cast<size_t>(k), truth.size());
+  ASSERT_EQ(got.size(), expect_size) << where;
+  std::map<std::string, double> truth_counts;
+  for (const auto& [key, count] : truth) {
+    truth_counts[key] = count;
+  }
+  double min_returned = 0.0;
+  std::map<std::string, bool> returned;
+  for (const auto& [key, count] : got) {
+    ASSERT_TRUE(truth_counts.count(key) > 0) << where << " key " << key;
+    // Counts are exact: capacity >= distinct keys in these workloads.
+    EXPECT_DOUBLE_EQ(count, truth_counts[key]) << where << " key " << key;
+    returned[key] = true;
+    min_returned = returned.size() == 1 ? count
+                                        : std::min(min_returned, count);
+  }
+  // Valid top-k under ties: nothing excluded may outrank anything returned.
+  for (const auto& [key, count] : truth) {
+    if (returned.count(key) == 0) {
+      EXPECT_LE(count, min_returned) << where << " excluded key " << key;
+    }
+  }
+}
+
+void RunCombo(const Combo& combo) {
+  SCOPED_TRACE(combo.query);
+  SystemConfig config;
+  config.seed = combo.seed;
+  config.platform.seed = combo.seed;
+  config.platform.bidservers_per_dc = 3;
+  config.platform.adservers_per_dc = 2;
+  config.platform.presentation_per_dc = 1;
+  config.platform.num_campaigns = 3;
+  config.platform.line_items_per_campaign = 3;
+  ScrubSystem system(config);
+
+  // Ground truth: every event every live host logs, before any Scrub-side
+  // selection, projection or batching.
+  std::vector<Event> tapped;
+  system.SetEventTap(
+      [&tapped](HostId, const Event& event) { tapped.push_back(event); });
+
+  std::vector<ResultRow> scrub_rows;
+  auto submitted = system.Submit(combo.query, [&](const ResultRow& row) {
+    scrub_rows.push_back(row);
+  });
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+
+  // Load begins only after the install (submitted at t=0) has reached every
+  // agent, so tap and agents see the identical stream.
+  PoissonLoadConfig load;
+  load.requests_per_second = combo.rps;
+  load.start = 300 * kMicrosPerMilli;
+  load.duration = combo.horizon - kMicrosPerSecond - load.start;
+  system.workload().SchedulePoissonLoad(load);
+
+  system.RunUntil(combo.horizon);
+  system.Drain();
+
+  // The comparison below assumes nothing was dropped for lateness.
+  const CentralQueryStats* stats = system.central().StatsFor(submitted->id);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->events_late, 0u);
+
+  // Oracle: re-derive the plan the server built (submit time was 0) and
+  // replay the tap through the naive executor.
+  AnalyzerOptions options;
+  Result<AnalyzedQuery> analyzed =
+      ParseAndAnalyze(combo.query, system.schemas(), options);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  Result<QueryPlan> plan = PlanQuery(*analyzed, submitted->id, 0);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ReferenceExecutor oracle(*analyzed, plan->central);
+  for (const Event& event : tapped) {
+    oracle.Observe(event);
+  }
+  const std::vector<ResultRow> oracle_rows = oracle.Execute();
+  ASSERT_FALSE(scrub_rows.empty());
+
+  // Raw mode: row multisets must match exactly.
+  if (!plan->central.aggregate_mode) {
+    auto rendered = [](const std::vector<ResultRow>& rows) {
+      std::vector<std::string> out;
+      out.reserve(rows.size());
+      for (const ResultRow& r : rows) {
+        out.push_back(r.ToString());
+      }
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(rendered(scrub_rows), rendered(oracle_rows));
+    return;
+  }
+
+  // Aggregate mode: match rows by (window, group-key columns), then compare
+  // column by column under the oracle's per-column check.
+  const std::vector<ColumnCheck> checks = oracle.ColumnChecks();
+  const std::vector<OutputColumn>& outputs = plan->central.outputs;
+  auto row_key = [&](const ResultRow& row) {
+    std::string key = std::to_string(row.window_start);
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      if (outputs[i].expr.kind == OutputKind::kGroupKey) {
+        key += "\x1f" + row.values[i].ToString();
+      }
+    }
+    return key;
+  };
+  std::map<std::string, const ResultRow*> oracle_by_key;
+  for (const ResultRow& row : oracle_rows) {
+    oracle_by_key[row_key(row)] = &row;
+  }
+  ASSERT_EQ(scrub_rows.size(), oracle_rows.size());
+  for (const ResultRow& row : scrub_rows) {
+    const std::string key = row_key(row);
+    ASSERT_TRUE(oracle_by_key.count(key) > 0) << "unexpected row " << key;
+    const ResultRow& truth = *oracle_by_key[key];
+    EXPECT_DOUBLE_EQ(row.completeness, 1.0) << key;
+    ASSERT_EQ(row.values.size(), truth.values.size());
+    for (size_t i = 0; i < row.values.size(); ++i) {
+      const std::string where =
+          key + " column " + std::to_string(i) + " (" + outputs[i].name + ")";
+      switch (checks[i]) {
+        case ColumnCheck::kExact:
+          EXPECT_EQ(row.values[i].ToString(), truth.values[i].ToString())
+              << where;
+          break;
+        case ColumnCheck::kApproxDouble: {
+          if (truth.values[i].is_null()) {
+            EXPECT_TRUE(row.values[i].is_null()) << where;
+            break;
+          }
+          const double got = row.values[i].AsNumber();
+          const double want = truth.values[i].AsNumber();
+          EXPECT_NEAR(got, want, 1e-6 * (1.0 + std::fabs(want))) << where;
+          break;
+        }
+        case ColumnCheck::kDistinctEstimate: {
+          const double exact =
+              static_cast<double>(truth.values[i].AsInt());
+          const double est = static_cast<double>(row.values[i].AsInt());
+          // 5 sigma of the precision-14 HLL, floored for tiny sets.
+          const double tol =
+              std::max(2.0, 5.0 * 1.04 / std::sqrt(16384.0) * exact);
+          EXPECT_NEAR(est, exact, tol) << where;
+          break;
+        }
+        case ColumnCheck::kTopK: {
+          int64_t k = 0;
+          for (const AggregateSpec& spec : plan->central.aggregates) {
+            if (spec.func == AggregateFunc::kTopK) {
+              k = spec.topk_k;
+            }
+          }
+          CheckTopK(row.values[i], truth.values[i], k, where);
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ~10 query x workload x seed combos across the feature surface.
+
+TEST(DifferentialTest, UngroupedCount) {
+  RunCombo({"SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 3 s;", 101});
+}
+
+TEST(DifferentialTest, GroupedMultiAggregate) {
+  RunCombo(
+      {"SELECT bid.campaign_id, COUNT(*), SUM(bid.bid_price), "
+       "AVG(bid.bid_price), MIN(bid.bid_price), MAX(bid.bid_price) "
+       "FROM bid GROUP BY bid.campaign_id WINDOW 1 s DURATION 3 s;",
+       202});
+}
+
+TEST(DifferentialTest, WhereFilterOnDouble) {
+  RunCombo(
+      {"SELECT COUNT(*), SUM(bid.bid_price) FROM bid "
+       "WHERE bid.bid_price > 1.0 WINDOW 1 s DURATION 3 s;",
+       303});
+}
+
+TEST(DifferentialTest, RawProjection) {
+  RunCombo(
+      {"SELECT bid.campaign_id, bid.bid_price FROM bid "
+       "WHERE bid.bid_price > 2.0 WINDOW 1 s DURATION 3 s;",
+       404, /*rps=*/120.0});
+}
+
+TEST(DifferentialTest, JoinGroupedCount) {
+  RunCombo(
+      {"SELECT impression.line_item_id, COUNT(*) FROM bid, impression "
+       "GROUP BY impression.line_item_id WINDOW 1 s DURATION 3 s;",
+       505});
+}
+
+TEST(DifferentialTest, JoinWithCrossSourceAggregate) {
+  RunCombo(
+      {"SELECT impression.campaign_id, SUM(bid.bid_price), "
+       "AVG(impression.cost) FROM bid, impression "
+       "GROUP BY impression.campaign_id WINDOW 1 s DURATION 3 s;",
+       606});
+}
+
+TEST(DifferentialTest, CountDistinctUsers) {
+  RunCombo(
+      {"SELECT COUNT_DISTINCT(bid.user_id) FROM bid "
+       "WINDOW 1 s DURATION 3 s;",
+       707, /*rps=*/400.0});
+}
+
+TEST(DifferentialTest, TopKLineItems) {
+  RunCombo(
+      {"SELECT TOPK(3, bid.line_item_id) FROM bid WINDOW 1 s DURATION 3 s;",
+       808});
+}
+
+TEST(DifferentialTest, SlidingWindowCount) {
+  RunCombo({"SELECT COUNT(*) FROM bid WINDOW 2 s SLIDE 1 s DURATION 4 s;",
+            909, /*rps=*/250.0, /*horizon=*/5 * kMicrosPerSecond});
+}
+
+TEST(DifferentialTest, OutputExpressionOverAggregates) {
+  RunCombo(
+      {"SELECT 1000 * AVG(bid.bid_price) + COUNT(*) FROM bid "
+       "WINDOW 1 s DURATION 3 s;",
+       1010});
+}
+
+TEST(DifferentialTest, GroupedSeedVariant) {
+  RunCombo(
+      {"SELECT bid.campaign_id, COUNT(*), SUM(bid.bid_price), "
+       "AVG(bid.bid_price), MIN(bid.bid_price), MAX(bid.bid_price) "
+       "FROM bid GROUP BY bid.campaign_id WINDOW 1 s DURATION 3 s;",
+       1111, /*rps=*/500.0});
+}
+
+}  // namespace
+}  // namespace scrub

@@ -226,6 +226,81 @@ TEST_F(ShardedCentralTest, RefusesSampledPlans) {
   EXPECT_FALSE(sharded.shard(1).HasQuery(plan.query_id));
 }
 
+TEST_F(ShardedCentralTest, RefusalIsACleanStatusForBothSamplingKinds) {
+  // Both sampling flavors must come back as a well-formed Status with an
+  // actionable message — never a crash or a half-installed query — and the
+  // instance must stay fully usable afterwards.
+  ShardedCentral sharded(&registry_, 2);
+  const CentralPlan host_sampled = PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 10 s DURATION 10 s "
+      "SAMPLE HOSTS 50%;",
+      11);
+  const CentralPlan event_sampled = PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 10 s DURATION 10 s "
+      "SAMPLE EVENTS 25%;",
+      12);
+  for (const CentralPlan* plan : {&host_sampled, &event_sampled}) {
+    const Status status =
+        sharded.InstallQuery(*plan, [](const ResultRow&) {});
+    EXPECT_EQ(status.code(), StatusCode::kUnimplemented);
+    EXPECT_NE(status.message().find("sampling"), std::string_view::npos)
+        << status.ToString();
+    EXPECT_FALSE(sharded.HasQuery(plan->query_id));
+    EXPECT_FALSE(sharded.shard(0).HasQuery(plan->query_id));
+    EXPECT_FALSE(sharded.shard(1).HasQuery(plan->query_id));
+    // Feeding a batch for the refused query is a no-op, not a crash.
+    EXPECT_TRUE(sharded
+                    .IngestBatch(Pack(plan->query_id, RandomBids(10, 1, 5)), 0)
+                    .ok());
+  }
+  // The refusals left the instance healthy: an unsampled plan installs and
+  // runs end to end.
+  const CentralPlan clean = PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 10 s DURATION 10 s;", 13);
+  uint64_t total = 0;
+  ASSERT_TRUE(sharded
+                  .InstallQuery(clean, [&](const ResultRow& row) {
+                    total += static_cast<uint64_t>(row.values[0].AsInt());
+                  })
+                  .ok());
+  ASSERT_TRUE(sharded
+                  .IngestBatch(Pack(clean.query_id, RandomBids(50, 2, 5)), 0)
+                  .ok());
+  sharded.OnTick(60 * kMicrosPerSecond);
+  EXPECT_EQ(total, 50u);
+}
+
+TEST_F(ShardedCentralTest, RawModeShardsAndMatchesSingleInstance) {
+  // Raw (non-aggregate) queries shard trivially: each shard emits its own
+  // matching rows, the coordinator forwards them in shard-index order. The
+  // row *set* must match a single instance exactly.
+  const char* query =
+      "SELECT bid.user_id, bid.price FROM bid WHERE bid.price > 4.0 "
+      "WINDOW 10 s DURATION 10 s;";
+  const std::vector<Event> events = RandomBids(2000, 17, 50);
+
+  auto collect = [&](auto& central, QueryId qid) {
+    const CentralPlan plan = PlanFor(query, qid);
+    std::vector<std::string> rows;
+    EXPECT_TRUE(central
+                    .InstallQuery(plan, [&](const ResultRow& row) {
+                      rows.push_back(row.ToString());
+                    })
+                    .ok());
+    EXPECT_TRUE(central.IngestBatch(Pack(plan.query_id, events), 0).ok());
+    central.OnTick(60 * kMicrosPerSecond);
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+
+  ScrubCentral single(&registry_);
+  ShardedCentral sharded(&registry_, 4, CentralConfig{}, /*workers=*/2);
+  const std::vector<std::string> single_rows = collect(single, 21);
+  const std::vector<std::string> sharded_rows = collect(sharded, 22);
+  EXPECT_FALSE(single_rows.empty());
+  EXPECT_EQ(sharded_rows, single_rows);
+}
+
 TEST_F(ShardedCentralTest, RemoveQueryFlushesPendingWindows) {
   ShardedCentral sharded(&registry_, 2);
   const CentralPlan plan = PlanFor(

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for BENCH_scrub.json.
+
+Compares a freshly produced benchmark file (tools/bench_run.sh output)
+against the committed baseline, keyed by (shards, workers). Fails (exit 1)
+if any configuration's events/sec dropped by more than the threshold
+(default 15%). Improvements never fail; configurations present on only one
+side are reported but not fatal (the sweep grid may grow between PRs).
+
+Usage:
+    tools/bench_compare.py BASELINE FRESH [--threshold 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(r["shards"], r["workers"]): r for r in doc.get("runs", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max tolerated fractional events/sec regression")
+    args = parser.parse_args()
+
+    baseline = load_runs(args.baseline)
+    fresh = load_runs(args.fresh)
+
+    failures = []
+    for key in sorted(baseline):
+        shards, workers = key
+        base = baseline[key]
+        cur = fresh.get(key)
+        if cur is None:
+            print(f"NOTE shards={shards} workers={workers}: "
+                  "missing from fresh run")
+            continue
+        base_eps = base["events_per_sec"]
+        cur_eps = cur["events_per_sec"]
+        delta = (cur_eps - base_eps) / base_eps if base_eps else 0.0
+        line = (f"shards={shards} workers={workers}: "
+                f"{base_eps:,.0f} -> {cur_eps:,.0f} ev/s ({delta:+.1%})")
+        if delta < -args.threshold:
+            failures.append(line)
+            print("FAIL " + line)
+        else:
+            print("ok   " + line)
+    for key in sorted(set(fresh) - set(baseline)):
+        print(f"NOTE shards={key[0]} workers={key[1]}: new configuration, "
+              "no baseline")
+
+    if failures:
+        print(f"\n{len(failures)} configuration(s) regressed more than "
+              f"{args.threshold:.0%}; if intentional, refresh the baseline "
+              "with tools/bench_run.sh and commit BENCH_scrub.json")
+        return 1
+    print("\nno events/sec regression beyond "
+          f"{args.threshold:.0%} threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

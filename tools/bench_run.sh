@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Refreshes BENCH_scrub.json: builds the parallel-central sweep in a plain
+# (non-sanitized, optimized) tree and runs it. The committed BENCH_scrub.json
+# is the regression baseline tools/bench_compare.py gates against in
+# tools/check.sh.
+#
+#   tools/bench_run.sh              # rewrite BENCH_scrub.json in place
+#   tools/bench_run.sh /tmp/out.json  # write elsewhere (what check.sh does)
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${REPO}/build-bench"
+OUT="${1:-${REPO}/BENCH_scrub.json}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD_DIR}" -S "${REPO}" -DCMAKE_BUILD_TYPE=Release \
+  > "${BUILD_DIR}.cmake.log" 2>&1
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_parallel_central \
+  > "${BUILD_DIR}.build.log" 2>&1
+
+"${BUILD_DIR}/bench/bench_parallel_central" > "${OUT}"
+echo "wrote ${OUT}"

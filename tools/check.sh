@@ -66,6 +66,46 @@ else
   fi
 fi
 
+# ------------------------------------------------- TSan build + test ---------
+# The worker-pool paths (parallel shard fold, window-close fan-out, agent
+# flush fan-out) get a dedicated ThreadSanitizer pass: ASan and TSan cannot
+# share a binary, so this is a second build tree running only the tests that
+# exercise threads.
+note "TSan build"
+TSAN_DIR="${REPO}/build-tsan"
+TSAN_TESTS="common_test parallel_determinism_test differential_test sharded_central_test chaos_test"
+if ! cmake -B "${TSAN_DIR}" -S "${REPO}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DSCRUB_TSAN=ON -DSCRUB_WERROR=ON > "${TSAN_DIR}.cmake.log" 2>&1 \
+   || ! cmake --build "${TSAN_DIR}" -j "${JOBS}" \
+        --target ${TSAN_TESTS} > "${TSAN_DIR}.build.log" 2>&1
+then
+  tail -40 "${TSAN_DIR}.build.log" 2>/dev/null
+  fail "TSan build failed (logs: ${TSAN_DIR}.build.log)"
+else
+  note "parallel tests under TSan"
+  for t in ${TSAN_TESTS}; do
+    if ! TSAN_OPTIONS=halt_on_error=1 "${TSAN_DIR}/tests/${t}"; then
+      fail "${t} failed under TSan"
+    fi
+  done
+fi
+
+# ------------------------------------------------- benchmark regression ------
+note "parallel-central benchmark vs committed baseline"
+if [ -f "${REPO}/BENCH_scrub.json" ]; then
+  FRESH_BENCH="$(mktemp /tmp/BENCH_scrub.XXXXXX.json)"
+  if ! "${REPO}/tools/bench_run.sh" "${FRESH_BENCH}"; then
+    fail "benchmark run failed (logs: ${REPO}/build-bench.build.log)"
+  elif ! python3 "${REPO}/tools/bench_compare.py" \
+        "${REPO}/BENCH_scrub.json" "${FRESH_BENCH}"; then
+    fail "events/sec regressed >15% vs committed BENCH_scrub.json"
+  fi
+  rm -f "${FRESH_BENCH}"
+else
+  echo "no committed BENCH_scrub.json; skipping benchmark gate"
+fi
+
 # ------------------------------------------------------------- clang-tidy ----
 if [ "${RUN_TIDY}" -eq 1 ]; then
   note "clang-tidy over src/"

@@ -1,0 +1,266 @@
+// Ingest microbench: the full data plane — agent-side filter + project +
+// encode, then central-side decode + fold — over the identical event stream
+// through both pipelines:
+//
+//  * row: per-event predicate (EvalPredicateSingle), per-event projection
+//    copy, EncodeBatch / DecodeBatch, per-Event fold;
+//  * columnar: ColumnBatch staging, vectorized EvalPredicateBatch over a
+//    selection vector, EncodeColumnBatch / DecodeColumnBatch, per-row fold
+//    straight off the columns (no intermediate Event).
+//
+// Both runs must produce the identical result transcript (asserted) — the
+// benchmark measures representation, not semantics. Timing uses
+// CLOCK_THREAD_CPUTIME_ID (single-core safe, like bench_parallel_central);
+// best-of-three is the estimator. Output is the "ingest" JSON section merged
+// into BENCH_scrub.json by tools/bench_run.sh and gated by
+// tools/bench_compare.py: the columnar pipeline must hold >= 1.5x the row
+// pipeline's events/sec.
+//
+// Usage: bench_ingest [events_per_batch] > ingest.json
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/central/central.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/common/worker_pool.h"
+#include "src/event/column_batch.h"
+#include "src/event/wire.h"
+#include "src/plan/expr_eval.h"
+#include "src/plan/vectorized.h"
+#include "src/query/analyzer.h"
+
+namespace scrub {
+namespace {
+
+constexpr int kHosts = 4;
+constexpr int kTicks = 50;
+constexpr TimeMicros kTickMicros = 500 * kMicrosPerMilli;
+
+// Pre-generated raw stream: what the hosts logged, before any Scrub-side
+// work. Both pipelines start from these identical Events.
+struct Workload {
+  SchemaRegistry registry;
+  SchemaPtr schema;
+  HostSourcePlan source;
+  CentralPlan central_plan;
+  // per tick, per host: the logged events.
+  std::vector<std::vector<std::vector<Event>>> stream;
+  uint64_t total_events = 0;
+
+  explicit Workload(size_t events_per_batch) {
+    schema = *EventSchema::Builder("bid")
+                  .AddField("user_id", FieldType::kLong)
+                  .AddField("price", FieldType::kDouble)
+                  .AddField("tag", FieldType::kString)
+                  .Build();
+    if (!registry.Register(schema).ok()) {
+      std::abort();
+    }
+    AnalyzerOptions options;
+    Result<AnalyzedQuery> aq = ParseAndAnalyze(
+        "SELECT bid.user_id, COUNT(*), SUM(bid.price) FROM bid "
+        "WHERE bid.price > 1.0 GROUP BY bid.user_id "
+        "WINDOW 1 s DURATION 60 s;",
+        registry, options);
+    if (!aq.ok()) {
+      std::abort();
+    }
+    Result<QueryPlan> qp = PlanQuery(*aq, 1, 0);
+    if (!qp.ok() || qp->host.sources.size() != 1) {
+      std::abort();
+    }
+    source = qp->host.sources[0];
+    central_plan = qp->central;
+    central_plan.hosts_targeted = kHosts;
+    central_plan.hosts_sampled = 0;  // hand-installed: no completeness math
+
+    static const char* kTags[] = {"organic", "paid", "house", "remnant"};
+    Rng rng(4321);
+    stream.resize(kTicks);
+    for (int tick = 0; tick < kTicks; ++tick) {
+      stream[static_cast<size_t>(tick)].resize(kHosts);
+      for (int host = 0; host < kHosts; ++host) {
+        auto& events = stream[static_cast<size_t>(tick)][
+            static_cast<size_t>(host)];
+        events.reserve(events_per_batch);
+        for (size_t i = 0; i < events_per_batch; ++i) {
+          Event e(schema, rng.NextUint64(),
+                  tick * kTickMicros +
+                      static_cast<TimeMicros>(rng.NextBelow(
+                          static_cast<uint64_t>(kTickMicros))));
+          e.SetField(0, Value(static_cast<int64_t>(rng.NextBelow(64))));
+          e.SetField(1, Value(rng.NextDouble() * 5));  // ~80% pass > 1.0
+          e.SetField(2, Value(kTags[rng.NextBelow(4)]));
+          events.push_back(std::move(e));
+        }
+        total_events += events.size();
+      }
+    }
+  }
+};
+
+struct RunResult {
+  std::string pipeline;
+  uint64_t events = 0;
+  uint64_t shipped = 0;
+  uint64_t payload_bytes = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  std::vector<std::string> transcript;
+};
+
+// One full pass of the stream through the chosen pipeline. The returned
+// transcript is the self-check: both representations must emit the same
+// rows in the same order.
+RunResult RunOne(const Workload& w, bool columnar) {
+  CentralConfig config;
+  config.allowed_lateness = 0;
+  ScrubCentral central(&w.registry, config);
+  RunResult r;
+  r.pipeline = columnar ? "columnar" : "row";
+  auto sink = [&r](const ResultRow& row) {
+    r.transcript.push_back(
+        StrFormat("w%lld %s", static_cast<long long>(row.window_start),
+                  row.ToString().c_str()));
+  };
+  if (!central.InstallQuery(w.central_plan, sink).ok()) {
+    std::abort();
+  }
+
+  const HostSourcePlan& sp = w.source;
+  const size_t field_count = w.schema->field_count();
+  uint64_t seq = 1;
+  const uint64_t cpu0 = WorkerPool::ThreadCpuNs();
+  for (int tick = 0; tick < kTicks; ++tick) {
+    const TimeMicros now = (tick + 1) * kTickMicros;
+    for (int host = 0; host < kHosts; ++host) {
+      const auto& events =
+          w.stream[static_cast<size_t>(tick)][static_cast<size_t>(host)];
+      EventBatch batch;
+      batch.query_id = w.central_plan.query_id;
+      batch.host = static_cast<HostId>(host);
+      batch.seq = seq++;
+      if (!columnar) {
+        // Row data plane: per-event predicate, per-event projection copy.
+        std::vector<Event> shipped;
+        for (const Event& e : events) {
+          bool keep = true;
+          for (const CompiledExpr& conjunct : sp.conjuncts) {
+            if (!EvalPredicateSingle(conjunct, e)) {
+              keep = false;
+              break;
+            }
+          }
+          if (!keep) {
+            continue;
+          }
+          Event out(e.schema(), e.request_id(), e.timestamp());
+          for (size_t f = 0; f < field_count; ++f) {
+            if (sp.keep_field[f]) {
+              out.SetField(f, e.field(f));
+            }
+          }
+          shipped.push_back(std::move(out));
+        }
+        batch.event_count = shipped.size();
+        batch.payload = EncodeBatch(shipped);
+      } else {
+        // Columnar data plane: stage, filter vectorized, encode selection.
+        ColumnBatch cols(w.schema);
+        cols.Reserve(events.size());
+        for (const Event& e : events) {
+          cols.AppendEvent(e);
+        }
+        std::vector<uint32_t> selection(cols.rows());
+        std::iota(selection.begin(), selection.end(), 0u);
+        for (const CompiledExpr& conjunct : sp.conjuncts) {
+          EvalPredicateBatch(conjunct, cols, &selection);
+          if (selection.empty()) {
+            break;
+          }
+        }
+        batch.format = BatchFormat::kColumnar;
+        batch.event_count = selection.size();
+        EncodeColumnBatch(cols, selection.data(), selection.size(),
+                          &sp.keep_field, &batch.payload);
+      }
+      r.shipped += batch.event_count;
+      r.payload_bytes += batch.WireSize();
+      if (!central.IngestBatch(batch, now).ok()) {
+        std::abort();
+      }
+    }
+    central.OnTick(now);
+  }
+  central.OnTick(kTicks * kTickMicros + kMicrosPerMinute);
+  r.seconds =
+      static_cast<double>(WorkerPool::ThreadCpuNs() - cpu0) / 1e9;
+  r.events = w.total_events;
+  r.events_per_sec = static_cast<double>(w.total_events) / r.seconds;
+  if (r.transcript.empty()) {
+    std::abort();  // the bench must actually compute something
+  }
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  const size_t events_per_batch =
+      argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 1024;
+  Workload workload(events_per_batch);
+
+  // Best of three per pipeline; the transcript must agree across every run.
+  RunResult row = RunOne(workload, /*columnar=*/false);
+  RunResult col = RunOne(workload, /*columnar=*/true);
+  if (row.transcript != col.transcript) {
+    std::fprintf(stderr, "pipelines diverged: %zu vs %zu rows\n",
+                 row.transcript.size(), col.transcript.size());
+    return 1;
+  }
+  for (int rep = 1; rep < 3; ++rep) {
+    RunResult again = RunOne(workload, /*columnar=*/false);
+    if (again.seconds < row.seconds) {
+      row = std::move(again);
+    }
+    again = RunOne(workload, /*columnar=*/true);
+    if (again.seconds < col.seconds) {
+      col = std::move(again);
+    }
+  }
+
+  const double speedup = col.events_per_sec / row.events_per_sec;
+  std::string out = "{\n";
+  out += "  \"bench\": \"ingest\",\n";
+  out += StrFormat("  \"events_per_batch\": %zu,\n", events_per_batch);
+  out += StrFormat("  \"hosts\": %d,\n", kHosts);
+  out += StrFormat("  \"ticks\": %d,\n", kTicks);
+  out +=
+      "  \"timing\": \"thread CPU clock, best of 3, decode+filter+fold "
+      "end to end\",\n";
+  out += "  \"runs\": [\n";
+  for (const RunResult* r : {&row, &col}) {
+    out += StrFormat(
+        "    {\"pipeline\": \"%s\", \"events\": %llu, \"shipped\": %llu, "
+        "\"payload_bytes\": %llu, \"seconds\": %.6f, "
+        "\"events_per_sec\": %.0f}%s\n",
+        r->pipeline.c_str(), static_cast<unsigned long long>(r->events),
+        static_cast<unsigned long long>(r->shipped),
+        static_cast<unsigned long long>(r->payload_bytes), r->seconds,
+        r->events_per_sec, r == &row ? "," : "");
+  }
+  out += "  ],\n";
+  out += StrFormat("  \"speedup_vs_row\": %.3f\n", speedup);
+  out += "}\n";
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace scrub
+
+int main(int argc, char** argv) { return scrub::Main(argc, argv); }

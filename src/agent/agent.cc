@@ -1,8 +1,10 @@
 #include "src/agent/agent.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "src/event/wire.h"
+#include "src/plan/vectorized.h"
 
 namespace scrub {
 
@@ -13,8 +15,12 @@ void ScrubAgent::InstallQuery(const HostPlan& plan) {
   if (queries_.count(plan.query_id) > 0) {
     return;
   }
-  queries_.emplace(plan.query_id,
-                   ActiveQuery(plan, config_.staging_capacity));
+  auto [it, inserted] = queries_.emplace(
+      plan.query_id, ActiveQuery(plan, config_.staging_capacity));
+  // Joins stay on the row path even in columnar mode: a single interleaved
+  // staging stream is what keeps the central join's arrival order identical
+  // across pipelines.
+  it->second.use_columns = config_.columnar && plan.sources.size() == 1;
 }
 
 void ScrubAgent::RemoveQuery(QueryId query_id) { queries_.erase(query_id); }
@@ -34,18 +40,31 @@ TimeMicros ScrubAgent::WindowStartFor(const ActiveQuery& q,
   return q.plan.start_time + (rel / grid) * grid;
 }
 
-Event ScrubAgent::ProjectEvent(const Event& event,
-                               const HostSourcePlan& sp) {
-  Event out(event.schema(), event.request_id(), event.timestamp());
+void ScrubAgent::StageRow(ActiveQuery& q, const HostSourcePlan& sp,
+                          const Event& event, Event* owned) {
+  Event projected(event.schema(), event.request_id(), event.timestamp());
   for (size_t i = 0; i < sp.keep_field.size(); ++i) {
     if (sp.keep_field[i]) {
-      out.SetField(i, event.field(i));
+      projected.SetField(i, owned != nullptr ? owned->TakeField(i)
+                                             : Value(event.field(i)));
     }
   }
-  return out;
+  if (q.staged.TryPush(std::move(projected))) {
+    ++q.stats.events_staged;
+  } else {
+    ++q.stats.events_dropped;
+  }
 }
 
 int64_t ScrubAgent::LogEvent(const Event& event) {
+  return LogEventImpl(event, nullptr);
+}
+
+int64_t ScrubAgent::LogEvent(Event&& event) {
+  return LogEventImpl(event, &event);
+}
+
+int64_t ScrubAgent::LogEventImpl(const Event& event, Event* owned) {
   ++total_events_logged_;
   const CostModel& c = config_.costs;
   // Fixed cost of the instrumentation point itself: metadata stamping plus
@@ -56,6 +75,14 @@ int64_t ScrubAgent::LogEvent(const Event& event) {
                c.log_per_field_ns * static_cast<int64_t>(event.field_count());
 
   const TimeMicros ts = event.timestamp();
+  // Row staging is deferred so the last staging query can move the caller's
+  // field values instead of copying them; only the final StageRow may
+  // consume `owned`.
+  struct StageTarget {
+    ActiveQuery* q = nullptr;
+    const HostSourcePlan* sp = nullptr;
+  };
+  StageTarget deferred;
   for (auto& [qid, q] : queries_) {
     // Span check: cheap, and implements local self-expiry.
     if (ts < q.plan.start_time || ts >= q.plan.end_time) {
@@ -82,6 +109,23 @@ int64_t ScrubAgent::LogEvent(const Event& event) {
     }
     ++counter.sampled;
 
+    // Columnar path: append the sampled event to the per-query column
+    // builder and defer selection + projection to the vectorized flush
+    // pre-pass. Only the enqueue cost is paid at log() time; the predicate
+    // and projection charges move to flush, where the work actually runs.
+    if (q.use_columns) {
+      ns += c.enqueue_ns;
+      if (q.columns == nullptr) {
+        q.columns = std::make_unique<ColumnBatch>(event.schema());
+      }
+      if (q.columns->rows() < config_.staging_capacity) {
+        q.columns->AppendEvent(event);
+      } else {
+        ++q.stats.events_dropped;
+      }
+      continue;
+    }
+
     // 2. Selection.
     bool pass = true;
     for (const CompiledExpr& conjunct : sp->conjuncts) {
@@ -98,16 +142,99 @@ int64_t ScrubAgent::LogEvent(const Event& event) {
 
     // 3. Projection + staging. Shedding, never blocking.
     ns += c.projection_per_field_ns * sp->kept_fields + c.enqueue_ns;
-    Event projected = ProjectEvent(event, *sp);
-    if (q.staged.TryPush(std::move(projected))) {
-      ++q.stats.events_staged;
-    } else {
-      ++q.stats.events_dropped;
+    if (deferred.q != nullptr) {
+      StageRow(*deferred.q, *deferred.sp, event, nullptr);
     }
+    deferred = {&q, sp};
+  }
+  if (deferred.q != nullptr) {
+    StageRow(*deferred.q, *deferred.sp, event, owned);
   }
 
   meter_->ChargeScrub(ns);
   return ns;
+}
+
+void ScrubAgent::HoldForRetransmit(ActiveQuery& q, QueryId query_id,
+                                   const EventBatch& batch, TimeMicros now) {
+  if (config_.retransmit_budget == 0) {
+    return;
+  }
+  std::deque<PendingBatch>& held = retransmit_[query_id];
+  PendingBatch pending;
+  pending.batch = batch;
+  pending.next_retry = now + BackoffFor(0);
+  pending.deadline = now + config_.retransmit_budget;
+  held.push_back(std::move(pending));
+  while (held.size() > config_.retransmit_capacity) {
+    ++q.stats.batches_evicted;
+    q.stats.events_abandoned += held.front().batch.event_count;
+    held.pop_front();
+  }
+}
+
+void ScrubAgent::FlushColumns(QueryId query_id, ActiveQuery& q,
+                              TimeMicros now,
+                              std::vector<EventBatch>* batches) {
+  if (q.columns == nullptr || q.columns->rows() == 0) {
+    return;
+  }
+  const CostModel& c = config_.costs;
+  const HostSourcePlan& sp = q.plan.sources[0];
+  ColumnBatch cols = std::move(*q.columns);
+  *q.columns = ColumnBatch(cols.schema());
+
+  // Vectorized selection: each conjunct compacts the selection vector, the
+  // batch twin of the row path's per-event short-circuit loop — and the
+  // cost accounting matches it: a conjunct is only charged for the rows
+  // that reached it.
+  std::vector<uint32_t> selection(cols.rows());
+  std::iota(selection.begin(), selection.end(), 0U);
+  int64_t ns = 0;
+  for (const CompiledExpr& conjunct : sp.conjuncts) {
+    ns += c.predicate_term_ns * conjunct.node_count *
+          static_cast<int64_t>(selection.size());
+    EvalPredicateBatch(conjunct, cols, &selection);
+    if (selection.empty()) {
+      break;
+    }
+  }
+  q.stats.events_filtered += cols.rows() - selection.size();
+  q.stats.events_staged += selection.size();
+  // Projection is column selection on the wire: charged per surviving row,
+  // never materialized.
+  ns += c.projection_per_field_ns * sp.kept_fields *
+        static_cast<int64_t>(selection.size());
+  meter_->ChargeScrub(ns);
+
+  for (size_t start = 0; start < selection.size();
+       start += config_.max_batch_events) {
+    const size_t n =
+        std::min(config_.max_batch_events, selection.size() - start);
+    EventBatch batch;
+    batch.query_id = query_id;
+    batch.host = host_;
+    batch.seq = ++next_seq_[query_id];
+    batch.epoch = epoch_;
+    batch.format = BatchFormat::kColumnar;
+    batch.event_count = n;
+    EncodeColumnBatch(cols, selection.data() + start, n, &sp.keep_field,
+                      &batch.payload);
+    q.stats.events_shipped += n;
+    // Counters ride with the first batch of the flush (same contract as the
+    // row path; a counters-only flush falls through to the row drain loop).
+    if (start == 0 && !q.pending_counters.empty()) {
+      for (auto& [window_start, counter] : q.pending_counters) {
+        batch.counters.push_back(counter);
+      }
+      q.pending_counters.clear();
+    }
+    meter_->ChargeScrub(static_cast<int64_t>(batch.payload.size()) *
+                        c.serialize_per_byte_ns);
+    ++q.stats.batches_sent;
+    HoldForRetransmit(q, query_id, batch, now);
+    batches->push_back(std::move(batch));
+  }
 }
 
 std::vector<EventBatch> ScrubAgent::Flush(TimeMicros now,
@@ -124,6 +251,12 @@ std::vector<EventBatch> ScrubAgent::Flush(TimeMicros now,
       const TimeMicros hb_ts = std::min(now, q.plan.end_time - 1);
       const TimeMicros w = WindowStartFor(q, hb_ts);
       q.pending_counters[w].window_start = w;
+    }
+    // Columnar queries filter + project + encode vectorized; leftover
+    // counters (heartbeats, zero-survivor flushes) drain through the row
+    // loop below as a counters-only batch.
+    if (q.use_columns) {
+      FlushColumns(it->first, q, now, &batches);
     }
     // Drain staged events into one or more batches.
     while (!q.staged.empty() || !q.pending_counters.empty()) {
@@ -149,19 +282,7 @@ std::vector<EventBatch> ScrubAgent::Flush(TimeMicros now,
                           c.serialize_per_byte_ns);
       ++q.stats.batches_sent;
       // Keep a retransmit copy until acked, budget permitting.
-      if (config_.retransmit_budget > 0) {
-        std::deque<PendingBatch>& held = retransmit_[it->first];
-        PendingBatch pending;
-        pending.batch = batch;
-        pending.next_retry = now + BackoffFor(0);
-        pending.deadline = now + config_.retransmit_budget;
-        held.push_back(std::move(pending));
-        while (held.size() > config_.retransmit_capacity) {
-          ++q.stats.batches_evicted;
-          q.stats.events_abandoned += held.front().batch.event_count;
-          held.pop_front();
-        }
-      }
+      HoldForRetransmit(q, it->first, batch, now);
       batches.push_back(std::move(batch));
       if (events.empty()) {
         break;  // counters-only flush

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,7 +34,9 @@
 #include "src/common/cost_model.h"
 #include "src/common/rng.h"
 #include "src/cluster/host_registry.h"
+#include "src/event/column_batch.h"
 #include "src/event/event.h"
+#include "src/event/wire.h"
 #include "src/plan/expr_eval.h"
 #include "src/plan/plan.h"
 
@@ -62,14 +65,20 @@ struct EventBatch {
   HostId host = kInvalidHost;
   uint64_t seq = 0;
   uint64_t epoch = 0;
-  std::string payload;       // wire-encoded events (EncodeBatch)
+  BatchFormat format = BatchFormat::kRow;  // how `payload` is laid out
+  std::string payload;  // EncodeBatch (kRow) or EncodeColumnBatch (kColumnar)
   size_t event_count = 0;
   std::vector<WindowCounter> counters;  // deltas since the previous flush
 
   // Honest wire accounting: the encoded events, each counter's three u64
   // readings, and the header (query_id 8 + host 4 + seq 8 + epoch 8 +
-  // event_count 4 + counter_count 4).
-  size_t WireSize() const { return payload.size() + 24 * counters.size() + 36; }
+  // event_count 4 + counter_count 4). Columnar batches spend one extra byte
+  // on the format discriminator; row batches stay byte-identical to the
+  // pre-columnar wire.
+  size_t WireSize() const {
+    return payload.size() + 24 * counters.size() + 36 +
+           (format == BatchFormat::kColumnar ? 1 : 0);
+  }
 };
 
 struct AgentConfig {
@@ -88,6 +97,12 @@ struct AgentConfig {
   // per in-span query, so ScrubCentral can tell "host reachable, nothing to
   // report" from "host silent" — the basis of completeness accounting.
   bool flush_heartbeats = false;
+  // Columnar data plane: single-source queries stage events in a per-query
+  // ColumnBatch and run selection/projection vectorized at flush time,
+  // shipping the columnar wire format. Joins (and row-mode agents) keep the
+  // per-event row path. Off by default so hand-built unit-test agents see
+  // the historical row behavior; ScrubSystem propagates its pipeline switch.
+  bool columnar = false;
   CostModel costs;
 };
 
@@ -135,8 +150,10 @@ class ScrubAgent {
   // against every active query, charges the host CostMeter, and returns the
   // simulated nanoseconds spent (so callers can fold it into request
   // latency). The event is shared across queries by const reference; staged
-  // copies are projected.
+  // copies are projected. The rvalue overload lets the last staging query
+  // steal the caller's field values instead of deep-copying them.
   int64_t LogEvent(const Event& event);
+  int64_t LogEvent(Event&& event);
 
   // Drains staged events into batches (at most max_batch_events each) and
   // emits counter deltas. Also retires queries whose span has passed
@@ -161,7 +178,12 @@ class ScrubAgent {
  private:
   struct ActiveQuery {
     HostPlan plan;
-    BoundedBuffer<Event> staged;
+    BoundedBuffer<Event> staged;  // row path
+    // Columnar path: sampled events append here un-filtered; selection and
+    // projection run vectorized at flush. Lazily created from the first
+    // matching event's schema (the agent holds no SchemaRegistry).
+    bool use_columns = false;
+    std::unique_ptr<ColumnBatch> columns;
     // Counter deltas keyed by window start, flushed incrementally.
     std::map<TimeMicros, WindowCounter> pending_counters;
     AgentQueryStats stats;
@@ -178,8 +200,24 @@ class ScrubAgent {
     int attempts = 0;
   };
 
-  // Applies projection: fields outside the keep mask become null.
-  static Event ProjectEvent(const Event& event, const HostSourcePlan& sp);
+  // Shared body of the two LogEvent overloads. `owned` is the same event
+  // when the caller handed over ownership (rvalue overload), else nullptr.
+  int64_t LogEventImpl(const Event& event, Event* owned);
+
+  // Projects `event` through the keep mask and pushes the result into the
+  // query's staging buffer. When `owned` is non-null the kept values are
+  // moved out of it instead of deep-copied (the per-field allocation fix).
+  void StageRow(ActiveQuery& q, const HostSourcePlan& sp, const Event& event,
+                Event* owned);
+
+  // Vectorized flush pre-pass for a columnar query: filter + project the
+  // staged ColumnBatch and append the resulting wire batches to `batches`.
+  void FlushColumns(QueryId query_id, ActiveQuery& q, TimeMicros now,
+                    std::vector<EventBatch>* batches);
+
+  // Keeps a retransmit copy of a just-flushed batch, budget permitting.
+  void HoldForRetransmit(ActiveQuery& q, QueryId query_id,
+                         const EventBatch& batch, TimeMicros now);
 
   TimeMicros WindowStartFor(const ActiveQuery& q, TimeMicros ts) const;
 

@@ -163,11 +163,11 @@ HostId BiddingPlatform::PresentationServerFor(HostId bid_server) const {
   return presentation_servers_[dc * per_dc + (pos % per_dc)];
 }
 
-int64_t BiddingPlatform::LogAt(HostId host, const Event& event) {
+int64_t BiddingPlatform::LogAt(HostId host, Event event) {
   if (!logger_) {
     return 0;
   }
-  return logger_(host, event);
+  return logger_(host, std::move(event));
 }
 
 double BiddingPlatform::CtrFor(const LineItem& item,
@@ -281,7 +281,7 @@ void BiddingPlatform::HandleAtAdServer(RequestContext ctx) {
       e.SetField(3, Value(req.exchange_id));
       e.SetField(4, Value(req.publisher_id));
       e.SetField(5, Value(reason));
-      scrub_ns += LogAt(ctx.ad_server, e);
+      scrub_ns += LogAt(ctx.ad_server, std::move(e));
     }
   }
 
@@ -321,7 +321,7 @@ void BiddingPlatform::HandleAtAdServer(RequestContext ctx) {
     e.SetField(4, Value(std::move(prices)));
     e.SetField(5, Value(ctx.winner));
     e.SetField(6, Value(ctx.winning_price));
-    scrub_ns += LogAt(ctx.ad_server, e);
+    scrub_ns += LogAt(ctx.ad_server, std::move(e));
   }
 
   meter.ChargeApp(app_ns);
@@ -360,7 +360,7 @@ void BiddingPlatform::CompleteAtBidServer(RequestContext ctx) {
     device.fields.emplace_back("browser",
                                Value(kBrowsers[req.user_id % 3]));
     e.SetField(8, Value(std::move(device)));
-    scrub_ns += LogAt(ctx.bid_server, e);
+    scrub_ns += LogAt(ctx.bid_server, std::move(e));
   } else {
     ++stats_.no_bids;
   }
@@ -407,7 +407,7 @@ void BiddingPlatform::ServeImpression(RequestContext ctx) {
   e.SetField(4, Value(static_cast<int64_t>(req.user_id)));
   e.SetField(5, Value(cost));
   e.SetField(6, Value(ctx.model));
-  LogAt(pres, e);
+  LogAt(pres, std::move(e));
   registry_->meter(pres).ChargeApp(20'000);  // render + record
 
   SpendBudget(ctx.winner, cost, now);
@@ -421,7 +421,7 @@ void BiddingPlatform::ServeImpression(RequestContext ctx) {
                     profile_store_.RecordedServeCount(req.user_id, ctx.winner,
                                                       now))));
   pe.SetField(3, Value(applied));
-  LogAt(profile_host_, pe);
+  LogAt(profile_host_, std::move(pe));
 
   // Click?
   const auto it = line_item_index_.find(ctx.winner);
@@ -441,7 +441,7 @@ void BiddingPlatform::ServeImpression(RequestContext ctx) {
         ce.SetField(2, Value(ctx.request.exchange_id));
         ce.SetField(3, Value(static_cast<int64_t>(ctx.request.user_id)));
         ce.SetField(4, Value(ctx.model));
-        LogAt(pres, ce);
+        LogAt(pres, std::move(ce));
       });
 }
 

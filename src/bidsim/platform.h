@@ -49,7 +49,12 @@ namespace scrub {
 // log() call cost on that host (folded into request latency when the call is
 // on the latency-critical path). The harness points this at the ScrubAgents;
 // the baseline harness tees it into the log shipper; tests can capture.
-using EventLoggerFn = std::function<int64_t(HostId, const Event&)>;
+//
+// The event is handed over by value: the platform is done with it after the
+// call, so the consumer may strip field values in place (the agent's
+// move-projection path) instead of deep-copying. Lambdas taking
+// `const Event&` still bind unchanged.
+using EventLoggerFn = std::function<int64_t(HostId, Event)>;
 
 struct PlatformConfig {
   int datacenters = 2;
@@ -155,7 +160,7 @@ class BiddingPlatform {
   void CompleteAtBidServer(RequestContext ctx);
   void ServeImpression(RequestContext ctx);
 
-  int64_t LogAt(HostId host, const Event& event);
+  int64_t LogAt(HostId host, Event event);
   double CtrFor(const LineItem& item, const std::string& model) const;
   bool BudgetExhausted(const LineItem& item, TimeMicros now) const;
   void SpendBudget(LineItemId item, double cost, TimeMicros now);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/strings.h"
+#include "src/plan/vectorized.h"
 
 namespace scrub {
 
@@ -238,6 +239,14 @@ Status ScrubCentral::IngestBatch(const EventBatch& batch, TimeMicros now) {
   if (batch.event_count == 0) {
     return OkStatus();
   }
+  if (batch.format == BatchFormat::kColumnar) {
+    Result<ColumnBatch> cols = DecodeColumnBatch(*registry_, batch.payload);
+    if (!cols.ok()) {
+      return cols.status();
+    }
+    FoldColumns(q, batch.host, *cols, /*selection=*/nullptr, cols->rows());
+    return OkStatus();
+  }
   Result<std::vector<Event>> events = DecodeBatch(*registry_, batch.payload);
   if (!events.ok()) {
     return events.status();
@@ -256,6 +265,55 @@ Status ScrubCentral::IngestEvents(QueryId query_id, HostId host,
   ++q.stats.batches;
   FoldEvents(q, host, events);
   return OkStatus();
+}
+
+Status ScrubCentral::IngestColumns(QueryId query_id, HostId host,
+                                   const ColumnBatch& batch,
+                                   const uint32_t* selection,
+                                   size_t selected) {
+  const auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return OkStatus();  // raced teardown, mirror IngestBatch
+  }
+  ActiveQuery& q = it->second;
+  ++q.stats.batches;
+  FoldColumns(q, host, batch, selection, selected);
+  return OkStatus();
+}
+
+void ScrubCentral::FoldColumns(ActiveQuery& q, HostId host,
+                               const ColumnBatch& batch,
+                               const uint32_t* selection, size_t selected) {
+  if (selection == nullptr) {
+    selected = batch.rows();
+  }
+  if (q.plan.is_join()) {
+    // Joins keep row semantics end to end: the symmetric hash join's output
+    // depends on arrival order, which materializing in batch order
+    // preserves exactly.
+    std::vector<Event> events;
+    events.reserve(selected);
+    for (size_t i = 0; i < selected; ++i) {
+      events.push_back(
+          batch.MaterializeEvent(selection != nullptr ? selection[i] : i));
+    }
+    FoldEvents(q, host, events);
+    return;
+  }
+  for (size_t i = 0; i < selected; ++i) {
+    const size_t row = selection != nullptr ? selection[i] : i;
+    meter_.ChargeScrub(config_.costs.central_ingest_ns);
+    ++q.stats.events_ingested;
+    const std::vector<WindowState*> windows =
+        WindowsFor(q, batch.timestamp(row));
+    if (windows.empty()) {
+      ++q.stats.events_late;
+      continue;
+    }
+    for (WindowState* w : windows) {
+      ProcessColumnRow(q, *w, batch, row, host);
+    }
+  }
 }
 
 void ScrubCentral::FoldEvents(ActiveQuery& q, HostId host,
@@ -340,6 +398,67 @@ void ScrubCentral::ProcessEvent(ActiveQuery& q, WindowState& w,
   per_request[static_cast<size_t>(source)].push_back(event);
 }
 
+void ScrubCentral::ProcessColumnRow(ActiveQuery& q, WindowState& w,
+                                    const ColumnBatch& batch, size_t row,
+                                    HostId host) {
+  HostWindowStats& hs = w.host_stats[host];
+  hs.readings.resize(q.bounded_aggregates.size());
+  ++hs.received;
+
+  // Per-host readings for the Eq. 1-3 slots (mirrors ProcessEvent).
+  for (size_t b = 0; b < q.bounded_aggregates.size(); ++b) {
+    const AggregateSpec& spec =
+        q.plan.aggregates[static_cast<size_t>(q.bounded_aggregates[b])];
+    double v = 1.0;  // COUNT: indicator reading
+    if (spec.func == AggregateFunc::kSum) {
+      const Value arg = EvalExprColumns(spec.arg, batch, row);
+      v = arg.is_numeric() ? arg.AsNumber() : 0.0;
+    }
+    hs.readings[b].Add(v);
+  }
+
+  const CentralPlan& plan = q.plan;
+  if (!plan.aggregate_mode) {
+    ResultRow result;
+    result.query_id = plan.query_id;
+    result.window_start = w.start;
+    result.window_end = w.start + plan.window_micros;
+    result.values.reserve(plan.raw_select.size());
+    for (const CompiledExpr& e : plan.raw_select) {
+      result.values.push_back(EvalExprColumns(e, batch, row));
+    }
+    result.error_bounds.assign(result.values.size(), 0.0);
+    ++q.stats.rows_emitted;
+    q.sink(result);
+    return;
+  }
+
+  GroupKey key;
+  key.reserve(plan.group_by.size());
+  for (const CompiledExpr& g : plan.group_by) {
+    key.push_back(EvalExprColumns(g, batch, row));
+  }
+  // One hash per row, reused for the map probe (and, pre-bucketed, by the
+  // sharded router).
+  HashedGroupKey hk(std::move(key));
+  GroupState& group = w.groups[std::move(hk)];
+  if (group.accumulators.empty()) {
+    group.accumulators.resize(plan.aggregates.size());
+  }
+  for (size_t i = 0; i < plan.aggregates.size(); ++i) {
+    meter_.ChargeScrub(config_.costs.central_group_update_ns);
+    const AggregateSpec& spec = plan.aggregates[i];
+    Value arg;
+    if (spec.has_arg) {
+      arg = EvalExprColumns(spec.arg, batch, row);
+      if (arg.is_null()) {
+        continue;  // SQL-style: aggregates skip null arguments
+      }
+    }
+    UpdateAccumulatorValue(spec, &group.accumulators[i], arg);
+  }
+}
+
 void ScrubCentral::ProcessTuple(ActiveQuery& q, WindowState& w,
                                 const EventTuple& tuple, HostId host) {
   (void)host;
@@ -364,9 +483,9 @@ void ScrubCentral::ProcessTuple(ActiveQuery& q, WindowState& w,
   for (const CompiledExpr& g : plan.group_by) {
     key.push_back(EvalExpr(g, tuple));
   }
-  GroupState& group = w.groups[key];
+  HashedGroupKey hk(std::move(key));
+  GroupState& group = w.groups[std::move(hk)];
   if (group.accumulators.empty()) {
-    group.key = key;
     group.accumulators.resize(plan.aggregates.size());
   }
   for (size_t i = 0; i < plan.aggregates.size(); ++i) {
@@ -385,6 +504,12 @@ void ScrubCentral::UpdateAccumulator(const AggregateSpec& spec,
       return;  // SQL-style: aggregates skip null arguments
     }
   }
+  UpdateAccumulatorValue(spec, acc, arg);
+}
+
+void ScrubCentral::UpdateAccumulatorValue(const AggregateSpec& spec,
+                                          Accumulator* acc,
+                                          const Value& arg) {
   switch (spec.func) {
     case AggregateFunc::kCount:
       ++acc->count;
@@ -562,9 +687,11 @@ void ScrubCentral::CloseWindow(ActiveQuery& q, WindowState* w) {
     partial.window_start = w->start;
     partial.completeness = completeness;
     partial.keys.reserve(w->groups.size());
+    partial.key_hashes.reserve(w->groups.size());
     partial.accumulators.reserve(w->groups.size());
-    for (auto& [key, group] : w->groups) {
-      partial.keys.push_back(group.key);
+    for (auto& [hashed_key, group] : w->groups) {
+      partial.keys.push_back(hashed_key.key);
+      partial.key_hashes.push_back(hashed_key.hash);
       partial.accumulators.push_back(std::move(group.accumulators));
     }
     ++q.stats.rows_emitted;  // one partial per window
@@ -575,12 +702,12 @@ void ScrubCentral::CloseWindow(ActiveQuery& q, WindowState* w) {
   // Ungrouped aggregate queries emit a row even for an empty window, so
   // time series stay continuous.
   if (plan.group_by.empty() && w->groups.empty()) {
-    GroupState& g = w->groups[GroupKey{}];
+    GroupState& g = w->groups[HashedGroupKey(GroupKey{})];
     g.accumulators.resize(plan.aggregates.size());
   }
 
   const double group_scale = GroupScaleFor(q, *w);
-  for (auto& [key, group] : w->groups) {
+  for (auto& [hashed_key, group] : w->groups) {
     ResultRow row;
     row.query_id = plan.query_id;
     row.window_start = w->start;
@@ -595,7 +722,8 @@ void ScrubCentral::CloseWindow(ActiveQuery& q, WindowState* w) {
                             group_scale, &agg_bounds[i]);
     }
     for (const OutputColumn& column : plan.outputs) {
-      row.values.push_back(EvalOutputExpr(column.expr, group.key, agg_values));
+      row.values.push_back(
+          EvalOutputExpr(column.expr, hashed_key.key, agg_values));
       row.error_bounds.push_back(
           column.expr.kind == OutputKind::kAggregate
               ? agg_bounds[static_cast<size_t>(column.expr.index)]

@@ -53,6 +53,29 @@ struct GroupKeyHash {
   }
 };
 
+// A group key bundled with its hash, computed once per row: the fold's map
+// probe, the coordinator's merge and the shard re-bucket all reuse it
+// instead of rehashing a vector<Value>. The hash is exactly GroupKeyHash's,
+// so every pipeline (row, columnar, sharded) buckets groups identically —
+// part of the byte-identical-transcript argument.
+struct HashedGroupKey {
+  GroupKey key;
+  size_t hash = 0;
+
+  HashedGroupKey() = default;
+  explicit HashedGroupKey(GroupKey k)
+      : key(std::move(k)), hash(GroupKeyHash{}(key)) {}
+  HashedGroupKey(GroupKey k, size_t h) : key(std::move(k)), hash(h) {}
+
+  bool operator==(const HashedGroupKey& other) const {
+    return key == other.key;
+  }
+};
+
+struct HashedGroupKeyHash {
+  size_t operator()(const HashedGroupKey& k) const { return k.hash; }
+};
+
 // One aggregate's running state within one group. Mergeable: partials from
 // independent shards combine into the same state one stream would build.
 struct AggAccumulator {
@@ -80,6 +103,9 @@ struct WindowPartial {
   // when unknown). The coordinator takes the min across shards.
   double completeness = 1.0;
   std::vector<GroupKey> keys;
+  // GroupKeyHash of each key, parallel to `keys`: the coordinator's merge
+  // reuses the shard's hashes instead of rehashing.
+  std::vector<size_t> key_hashes;
   std::vector<std::vector<AggAccumulator>> accumulators;  // parallel to keys
 };
 
@@ -183,6 +209,15 @@ class ScrubCentral {
   Status IngestEvents(QueryId query_id, HostId host,
                       const std::vector<Event>& events);
 
+  // Columnar twin of IngestEvents: folds the selected rows of a decoded
+  // ColumnBatch straight into accumulators — no per-event Event allocation.
+  // `selection` lists row indices in fold order (nullptr = all rows). Join
+  // plans fall back to materialized rows to preserve arrival-order
+  // semantics. Same concurrency contract as IngestEvents.
+  Status IngestColumns(QueryId query_id, HostId host,
+                       const ColumnBatch& batch, const uint32_t* selection,
+                       size_t selected);
+
   // Closes windows whose grace period has passed; retires queries whose span
   // plus grace has passed. Call periodically from the scheduler.
   void OnTick(TimeMicros now);
@@ -196,8 +231,7 @@ class ScrubCentral {
   using Accumulator = AggAccumulator;
 
   struct GroupState {
-    GroupKey key;
-    std::vector<Accumulator> accumulators;
+    std::vector<Accumulator> accumulators;  // key lives in the map key
   };
 
   // Per-host sampling bookkeeping within one window (Eqs. 1-3).
@@ -211,7 +245,7 @@ class ScrubCentral {
 
   struct WindowState {
     TimeMicros start = 0;
-    std::unordered_map<GroupKey, GroupState, GroupKeyHash> groups;
+    std::unordered_map<HashedGroupKey, GroupState, HashedGroupKeyHash> groups;
     // Join buffer: request id -> events per source (sources.size() <= 2).
     std::unordered_map<RequestId, std::vector<std::vector<Event>>> join_state;
     std::unordered_map<HostId, HostWindowStats> host_stats;
@@ -240,6 +274,10 @@ class ScrubCentral {
   // IngestEvents).
   void FoldEvents(ActiveQuery& q, HostId host,
                   const std::vector<Event>& events);
+  // Columnar fold: the selected rows, in order, through window assignment,
+  // grouping and accumulation without materializing Events.
+  void FoldColumns(ActiveQuery& q, HostId host, const ColumnBatch& batch,
+                   const uint32_t* selection, size_t selected);
 
   TimeMicros WindowStartFor(const ActiveQuery& q, TimeMicros ts) const;
   // All still-open windows covering ts: one for tumbling queries, up to
@@ -250,8 +288,15 @@ class ScrubCentral {
                     HostId host);
   void ProcessTuple(ActiveQuery& q, WindowState& w, const EventTuple& tuple,
                     HostId host);
+  // Columnar twin of ProcessEvent for non-join plans.
+  void ProcessColumnRow(ActiveQuery& q, WindowState& w,
+                        const ColumnBatch& batch, size_t row, HostId host);
   void UpdateAccumulator(const AggregateSpec& spec, Accumulator* acc,
                          const EventTuple& tuple);
+  // Accumulator update with the argument already evaluated (shared by the
+  // row and columnar folds; `arg` is null for argument-less aggregates).
+  void UpdateAccumulatorValue(const AggregateSpec& spec, Accumulator* acc,
+                              const Value& arg);
   void CloseWindow(ActiveQuery& q, WindowState* w);
   // Observed fraction of the plan's expected host set for this window.
   double WindowCompleteness(const ActiveQuery& q, const WindowState& w) const;

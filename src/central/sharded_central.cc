@@ -142,15 +142,33 @@ Status ShardedCentral::IngestBatches(const std::vector<EventBatch>& batches,
     admitted.push_back(Admitted{&batch});
   }
 
-  // Parallel decode: each batch is independent and DecodeBatch reads only
-  // the (immutable) schema registry.
-  std::vector<std::vector<Event>> decoded(admitted.size());
+  // Parallel decode: each batch is independent and the decoders read only
+  // the (immutable) schema registry. Columnar payloads decode into a shared
+  // ColumnBatch the shard tasks later index read-only through per-shard
+  // selection vectors; the ParallelFor join orders the decode before every
+  // shard read.
+  struct Decoded {
+    std::vector<Event> events;                 // row format
+    std::shared_ptr<const ColumnBatch> columns;  // columnar format
+  };
+  std::vector<Decoded> decoded(admitted.size());
   std::vector<Status> decode_status(admitted.size());
   pool_.ParallelFor(admitted.size(), [&](size_t k) {
+    if (admitted[k].batch->format == BatchFormat::kColumnar) {
+      Result<ColumnBatch> cols =
+          DecodeColumnBatch(*registry_, admitted[k].batch->payload);
+      if (cols.ok()) {
+        decoded[k].columns =
+            std::make_shared<const ColumnBatch>(std::move(*cols));
+      } else {
+        decode_status[k] = cols.status();
+      }
+      return;
+    }
     Result<std::vector<Event>> events =
         DecodeBatch(*registry_, admitted[k].batch->payload);
     if (events.ok()) {
-      decoded[k] = std::move(*events);
+      decoded[k].events = std::move(*events);
     } else {
       decode_status[k] = events.status();
     }
@@ -169,16 +187,41 @@ Status ShardedCentral::IngestBatches(const std::vector<EventBatch>& batches,
 
   // Re-bucket by request id so join partners colocate. Work lists keep
   // batch order within each shard — the per-shard event order is therefore
-  // identical to the one-batch-at-a-time path.
+  // identical to the one-batch-at-a-time path. Columnar batches re-bucket
+  // by slicing selection vectors (order-preserving row-index lists into the
+  // shared batch); the events never leave their columns.
   struct ShardWork {
     QueryId query_id;
     HostId host;
-    std::vector<Event> events;
+    std::vector<Event> events;                   // row format
+    std::shared_ptr<const ColumnBatch> columns;  // columnar format
+    std::vector<uint32_t> selection;             // rows of `columns`
   };
   std::vector<std::vector<ShardWork>> work(shards_.size());
   for (size_t k = 0; k < limit; ++k) {
+    if (decoded[k].columns != nullptr) {
+      const ColumnBatch& cols = *decoded[k].columns;
+      std::vector<std::vector<uint32_t>> buckets(shards_.size());
+      for (size_t r = 0; r < cols.rows(); ++r) {
+        const size_t shard = static_cast<size_t>(
+            HashMix64(cols.request_id(r)) % shards_.size());
+        buckets[shard].push_back(static_cast<uint32_t>(r));
+      }
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        if (buckets[s].empty()) {
+          continue;
+        }
+        ShardWork sw;
+        sw.query_id = admitted[k].batch->query_id;
+        sw.host = admitted[k].batch->host;
+        sw.columns = decoded[k].columns;
+        sw.selection = std::move(buckets[s]);
+        work[s].push_back(std::move(sw));
+      }
+      continue;
+    }
     std::vector<std::vector<Event>> buckets(shards_.size());
-    for (Event& event : decoded[k]) {
+    for (Event& event : decoded[k].events) {
       const size_t shard = static_cast<size_t>(
           HashMix64(event.request_id()) % shards_.size());
       buckets[shard].push_back(std::move(event));
@@ -187,18 +230,27 @@ Status ShardedCentral::IngestBatches(const std::vector<EventBatch>& batches,
       if (buckets[s].empty()) {
         continue;
       }
-      work[s].push_back(ShardWork{admitted[k].batch->query_id,
-                                  admitted[k].batch->host,
-                                  std::move(buckets[s])});
+      ShardWork sw;
+      sw.query_id = admitted[k].batch->query_id;
+      sw.host = admitted[k].batch->host;
+      sw.events = std::move(buckets[s]);
+      work[s].push_back(std::move(sw));
     }
   }
 
   // Parallel fold: shard s's task touches only shard s (plus its own
-  // pending_rows_ slot for raw-mode queries).
+  // pending_rows_ slot for raw-mode queries). Columnar work reads the
+  // shared decoded batch through its selection — read-only, so shards can
+  // share it without locks.
   std::vector<Status> shard_status(shards_.size());
   pool_.ParallelFor(shards_.size(), [&](size_t s) {
     for (const ShardWork& sw : work[s]) {
-      Status st = shards_[s]->IngestEvents(sw.query_id, sw.host, sw.events);
+      Status st =
+          sw.columns != nullptr
+              ? shards_[s]->IngestColumns(sw.query_id, sw.host, *sw.columns,
+                                          sw.selection.data(),
+                                          sw.selection.size())
+              : shards_[s]->IngestEvents(sw.query_id, sw.host, sw.events);
       if (!st.ok() && shard_status[s].ok()) {
         shard_status[s] = st;
       }
@@ -241,7 +293,14 @@ void ShardedCentral::AbsorbPartial(WindowPartial&& partial) {
   }
   auto& window = it->second.windows[partial.window_start];
   for (size_t g = 0; g < partial.keys.size(); ++g) {
-    auto& merged = window[partial.keys[g]];
+    // Reuse the hash the shard computed at fold time; recompute only for
+    // partials from senders that predate hash caching.
+    HashedGroupKey hk =
+        g < partial.key_hashes.size()
+            ? HashedGroupKey(std::move(partial.keys[g]),
+                             partial.key_hashes[g])
+            : HashedGroupKey(std::move(partial.keys[g]));
+    auto& merged = window[std::move(hk)];
     if (merged.empty()) {
       merged = std::move(partial.accumulators[g]);
       continue;
@@ -252,10 +311,8 @@ void ShardedCentral::AbsorbPartial(WindowPartial&& partial) {
   }
 }
 
-void ShardedCentral::FinalizeWindow(
-    Coordinator& c, TimeMicros start,
-    std::unordered_map<GroupKey, std::vector<AggAccumulator>, GroupKeyHash>&
-        groups) {
+void ShardedCentral::FinalizeWindow(Coordinator& c, TimeMicros start,
+                                    CoordinatorGroups& groups) {
   const CentralPlan& plan = c.plan;
   // Completeness: union of hosts heard from across the slide-grid slots the
   // window covers. An empty union means no counters ever flowed (hand-built
@@ -278,9 +335,9 @@ void ShardedCentral::FinalizeWindow(
   // Ungrouped queries emit a row even for empty windows (series stay
   // continuous), matching single-instance behaviour.
   if (plan.group_by.empty() && groups.empty()) {
-    groups[GroupKey{}].resize(plan.aggregates.size());
+    groups[HashedGroupKey(GroupKey{})].resize(plan.aggregates.size());
   }
-  for (auto& [key, accumulators] : groups) {
+  for (auto& [hashed_key, accumulators] : groups) {
     if (accumulators.empty()) {
       accumulators.resize(plan.aggregates.size());
     }
@@ -295,7 +352,8 @@ void ShardedCentral::FinalizeWindow(
     row.window_end = start + plan.window_micros;
     row.completeness = completeness;
     for (const OutputColumn& column : plan.outputs) {
-      row.values.push_back(EvalOutputExpr(column.expr, key, agg_values));
+      row.values.push_back(
+          EvalOutputExpr(column.expr, hashed_key.key, agg_values));
       row.error_bounds.push_back(0.0);
     }
     c.sink(row);

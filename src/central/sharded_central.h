@@ -97,15 +97,19 @@ class ShardedCentral {
   uint64_t DuplicateBatches(QueryId query_id) const;
 
  private:
+  // Coordinator group maps are keyed on pre-hashed keys: AbsorbPartial
+  // reuses the hashes the shard computed at fold time (cached once per row)
+  // instead of rehashing vector<Value> per merge probe.
+  using CoordinatorGroups =
+      std::unordered_map<HashedGroupKey, std::vector<AggAccumulator>,
+                         HashedGroupKeyHash>;
+
   struct Coordinator {
     CentralPlan plan;
     ResultSink sink;
     bool raw = false;  // raw-mode: forward shard rows, no merge state
     // window -> group key -> merged accumulators.
-    std::map<TimeMicros,
-             std::unordered_map<GroupKey, std::vector<AggAccumulator>,
-                                GroupKeyHash>>
-        windows;
+    std::map<TimeMicros, CoordinatorGroups> windows;
     // Router-level dedup: shard sub-batches are unsequenced, so duplicate
     // suppression must happen before re-bucketing.
     std::unordered_map<HostId, std::map<uint64_t, SeqTracker>> dedup;
@@ -123,8 +127,7 @@ class ShardedCentral {
   void DrainShardRows();
   void AbsorbPartial(WindowPartial&& partial);
   void FinalizeWindow(Coordinator& c, TimeMicros start,
-                      std::unordered_map<GroupKey, std::vector<AggAccumulator>,
-                                         GroupKeyHash>& groups);
+                      CoordinatorGroups& groups);
 
   const SchemaRegistry* registry_;
   CentralConfig config_;

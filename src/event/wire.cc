@@ -123,6 +123,39 @@ void EncodeValue(const Value& v, std::string* out) {
   }
 }
 
+// Column tags for the columnar batch format. Dense and stable, same contract
+// discipline as ValueTag.
+enum ColumnTag : uint8_t {
+  kColNull = 0,  // all rows null (or the column was projected away)
+  kColBool = 1,
+  kColInt = 2,
+  kColDouble = 3,
+  kColString = 4,
+  kColGeneric = 5,
+};
+
+// Reads ceil(count/8) bitmap bytes. The caller still has to check padding.
+bool ReadBitmap(const std::string& buf, size_t* off, size_t count,
+                std::vector<uint8_t>* bits) {
+  const size_t nbytes = (count + 7) / 8;
+  if (*off > buf.size() || buf.size() - *off < nbytes) {
+    return false;
+  }
+  bits->assign(buf.begin() + static_cast<ptrdiff_t>(*off),
+               buf.begin() + static_cast<ptrdiff_t>(*off + nbytes));
+  *off += nbytes;
+  return true;
+}
+
+// Bits beyond `count` in the last bitmap byte must be zero; a mismatch means
+// the sender's bitmap disagrees with its row count.
+bool PaddingClear(const std::vector<uint8_t>& bits, size_t count) {
+  if (count % 8 == 0 || bits.empty()) {
+    return true;
+  }
+  return (bits.back() >> (count % 8)) == 0;
+}
+
 Result<Value> DecodeValue(const std::string& buf, size_t* off, int depth) {
   if (depth > kMaxValueDepth) {
     return InvalidArgument("value nesting too deep");
@@ -289,6 +322,276 @@ Result<std::vector<Event>> DecodeBatch(const SchemaRegistry& registry,
     return InvalidArgument("trailing bytes after batch");
   }
   return events;
+}
+
+size_t EncodeColumnBatch(const ColumnBatch& batch, const uint32_t* selection,
+                         size_t selected, const std::vector<bool>* keep_field,
+                         std::string* out) {
+  const size_t before = out->size();
+  const size_t rows = selection != nullptr ? selected : batch.rows();
+  auto row_at = [&](size_t i) -> size_t {
+    return selection != nullptr ? selection[i] : i;
+  };
+  const std::string& type_name = batch.schema()->type_name();
+  PutU32(out, static_cast<uint32_t>(type_name.size()));
+  out->append(type_name);
+  PutU32(out, static_cast<uint32_t>(rows));
+  for (size_t i = 0; i < rows; ++i) {
+    PutU64(out, batch.request_id(row_at(i)));
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    PutU64(out, static_cast<uint64_t>(batch.timestamp(row_at(i))));
+  }
+  for (size_t f = 0; f < batch.column_count(); ++f) {
+    const bool dropped = keep_field != nullptr && f < keep_field->size() &&
+                         !(*keep_field)[f];
+    const ColumnBatch::Column& col = batch.column(f);
+    bool all_null = true;
+    if (!dropped) {
+      for (size_t i = 0; i < rows && all_null; ++i) {
+        all_null = BitmapGet(col.nulls, row_at(i));
+      }
+    }
+    if (dropped || all_null) {
+      out->push_back(static_cast<char>(kColNull));
+      continue;
+    }
+    std::vector<uint8_t> bits((rows + 7) / 8, 0);
+    size_t non_null = 0;
+    for (size_t i = 0; i < rows; ++i) {
+      if (BitmapGet(col.nulls, row_at(i))) {
+        bits[i / 8] = static_cast<uint8_t>(bits[i / 8] | (1U << (i % 8)));
+      } else {
+        ++non_null;
+      }
+    }
+    switch (col.rep) {
+      case ColumnBatch::Rep::kBool: {
+        out->push_back(static_cast<char>(kColBool));
+        out->append(reinterpret_cast<const char*>(bits.data()), bits.size());
+        std::vector<uint8_t> packed((non_null + 7) / 8, 0);
+        size_t k = 0;
+        for (size_t i = 0; i < rows; ++i) {
+          const size_t r = row_at(i);
+          if (BitmapGet(col.nulls, r)) {
+            continue;
+          }
+          if (col.bools[r] != 0) {
+            packed[k / 8] = static_cast<uint8_t>(packed[k / 8] |
+                                                 (1U << (k % 8)));
+          }
+          ++k;
+        }
+        out->append(reinterpret_cast<const char*>(packed.data()),
+                    packed.size());
+        break;
+      }
+      case ColumnBatch::Rep::kInt: {
+        out->push_back(static_cast<char>(kColInt));
+        out->append(reinterpret_cast<const char*>(bits.data()), bits.size());
+        for (size_t i = 0; i < rows; ++i) {
+          const size_t r = row_at(i);
+          if (!BitmapGet(col.nulls, r)) {
+            PutU64(out, static_cast<uint64_t>(col.ints[r]));
+          }
+        }
+        break;
+      }
+      case ColumnBatch::Rep::kDouble: {
+        out->push_back(static_cast<char>(kColDouble));
+        out->append(reinterpret_cast<const char*>(bits.data()), bits.size());
+        for (size_t i = 0; i < rows; ++i) {
+          const size_t r = row_at(i);
+          if (!BitmapGet(col.nulls, r)) {
+            PutDouble(out, col.doubles[r]);
+          }
+        }
+        break;
+      }
+      case ColumnBatch::Rep::kString: {
+        out->push_back(static_cast<char>(kColString));
+        out->append(reinterpret_cast<const char*>(bits.data()), bits.size());
+        for (size_t i = 0; i < rows; ++i) {
+          const size_t r = row_at(i);
+          if (!BitmapGet(col.nulls, r)) {
+            const uint32_t begin = col.offsets[r];
+            const uint32_t end = col.offsets[r + 1];
+            PutU32(out, end - begin);
+            out->append(col.arena, begin, end - begin);
+          }
+        }
+        break;
+      }
+      case ColumnBatch::Rep::kGeneric: {
+        out->push_back(static_cast<char>(kColGeneric));
+        out->append(reinterpret_cast<const char*>(bits.data()), bits.size());
+        for (size_t i = 0; i < rows; ++i) {
+          const size_t r = row_at(i);
+          if (!BitmapGet(col.nulls, r)) {
+            EncodeValue(col.generic[r], out);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return out->size() - before;
+}
+
+Result<ColumnBatch> DecodeColumnBatch(const SchemaRegistry& registry,
+                                      const std::string& buffer) {
+  size_t off = 0;
+  uint32_t name_len;
+  std::string type_name;
+  if (!GetU32(buffer, &off, &name_len) ||
+      !GetBytes(buffer, &off, name_len, &type_name)) {
+    return InvalidArgument("truncated column batch header");
+  }
+  Result<SchemaPtr> schema = registry.Get(type_name);
+  if (!schema.ok()) {
+    return schema.status();
+  }
+  uint32_t rows;
+  if (!GetU32(buffer, &off, &rows)) {
+    return InvalidArgument("truncated column batch row count");
+  }
+  // Request id + timestamp alone cost 16 bytes per row; a row count the
+  // remaining bytes cannot possibly hold is bogus.
+  if (static_cast<size_t>(rows) > (buffer.size() - off) / 16 + 1) {
+    return InvalidArgument("column batch row count exceeds buffer");
+  }
+  std::vector<uint64_t> request_ids(rows);
+  std::vector<int64_t> timestamps(rows);
+  for (uint32_t r = 0; r < rows; ++r) {
+    if (!GetU64(buffer, &off, &request_ids[r])) {
+      return InvalidArgument("truncated request id column");
+    }
+  }
+  for (uint32_t r = 0; r < rows; ++r) {
+    uint64_t ts;
+    if (!GetU64(buffer, &off, &ts)) {
+      return InvalidArgument("truncated timestamp column");
+    }
+    timestamps[r] = static_cast<int64_t>(ts);
+  }
+  ColumnBatch batch(*schema);
+  for (size_t f = 0; f < (*schema)->field_count(); ++f) {
+    uint8_t tag;
+    if (!GetU8(buffer, &off, &tag)) {
+      return InvalidArgument("truncated column tag");
+    }
+    if (tag == kColNull) {
+      batch.FillAllNull(f, rows);
+      continue;
+    }
+    std::vector<uint8_t> bits;
+    if (!ReadBitmap(buffer, &off, rows, &bits)) {
+      return InvalidArgument("truncated null bitmap");
+    }
+    if (!PaddingClear(bits, rows)) {
+      return InvalidArgument("null bitmap does not match row count");
+    }
+    size_t non_null = 0;
+    for (uint32_t r = 0; r < rows; ++r) {
+      if (!BitmapGet(bits, r)) {
+        ++non_null;
+      }
+    }
+    ColumnBatch::Column* col = batch.MutableColumn(f);
+    col->nulls = bits;
+    switch (tag) {
+      case kColBool: {
+        col->rep = ColumnBatch::Rep::kBool;
+        std::vector<uint8_t> packed;
+        if (!ReadBitmap(buffer, &off, non_null, &packed)) {
+          return InvalidArgument("truncated bool column");
+        }
+        if (!PaddingClear(packed, non_null)) {
+          return InvalidArgument("bool column padding not zero");
+        }
+        col->bools.assign(rows, 0);
+        size_t k = 0;
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (!BitmapGet(bits, r)) {
+            col->bools[r] = BitmapGet(packed, k) ? 1 : 0;
+            ++k;
+          }
+        }
+        break;
+      }
+      case kColInt: {
+        col->rep = ColumnBatch::Rep::kInt;
+        col->ints.assign(rows, 0);
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (BitmapGet(bits, r)) {
+            continue;
+          }
+          uint64_t v;
+          if (!GetU64(buffer, &off, &v)) {
+            return InvalidArgument("truncated int column");
+          }
+          col->ints[r] = static_cast<int64_t>(v);
+        }
+        break;
+      }
+      case kColDouble: {
+        col->rep = ColumnBatch::Rep::kDouble;
+        col->doubles.assign(rows, 0.0);
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (BitmapGet(bits, r)) {
+            continue;
+          }
+          double v;
+          if (!GetDouble(buffer, &off, &v)) {
+            return InvalidArgument("truncated double column");
+          }
+          col->doubles[r] = v;
+        }
+        break;
+      }
+      case kColString: {
+        col->rep = ColumnBatch::Rep::kString;
+        col->offsets.assign(1, 0);
+        col->arena.clear();
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (!BitmapGet(bits, r)) {
+            uint32_t n;
+            if (!GetU32(buffer, &off, &n) || buffer.size() - off < n) {
+              return InvalidArgument("truncated string column");
+            }
+            col->arena.append(buffer, off, n);
+            off += n;
+          }
+          col->offsets.push_back(static_cast<uint32_t>(col->arena.size()));
+        }
+        break;
+      }
+      case kColGeneric: {
+        col->rep = ColumnBatch::Rep::kGeneric;
+        col->generic.clear();
+        col->generic.reserve(rows);
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (BitmapGet(bits, r)) {
+            col->generic.emplace_back();
+            continue;
+          }
+          Result<Value> v = DecodeValue(buffer, &off, /*depth=*/0);
+          if (!v.ok()) {
+            return v.status();
+          }
+          col->generic.push_back(std::move(v).value());
+        }
+        break;
+      }
+      default:
+        return InvalidArgument(StrFormat("unknown column tag %u", tag));
+    }
+  }
+  if (off != buffer.size()) {
+    return InvalidArgument("trailing bytes after column batch");
+  }
+  batch.SetRowMeta(std::move(request_ids), std::move(timestamps));
+  return batch;
 }
 
 }  // namespace scrub

@@ -15,10 +15,19 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/event/column_batch.h"
 #include "src/event/event.h"
 #include "src/event/schema.h"
 
 namespace scrub {
+
+// How an EventBatch payload is laid out. The row format remains the
+// control-plane / back-compat default; the columnar format is the data-plane
+// fast path (one contiguous run per column instead of one record per event).
+enum class BatchFormat : uint8_t {
+  kRow = 0,
+  kColumnar = 1,
+};
 
 // Appends the encoding of `event` to `out`. Returns bytes written.
 size_t EncodeEvent(const Event& event, std::string* out);
@@ -32,6 +41,44 @@ Result<Event> DecodeEvent(const SchemaRegistry& registry,
 std::string EncodeBatch(const std::vector<Event>& events);
 Result<std::vector<Event>> DecodeBatch(const SchemaRegistry& registry,
                                        const std::string& buffer);
+
+// ---- Columnar batch format -------------------------------------------------
+//
+// Layout (all integers little-endian, reusing the row codec's primitives):
+//   u32 type_name_len, type_name bytes
+//   u32 row_count
+//   row_count x u64 request ids          (contiguous)
+//   row_count x u64 timestamps           (contiguous)
+//   per schema field, in schema order:
+//     u8 column tag (0 = all-null/dropped, otherwise the physical rep)
+//     [non-null tags only]
+//       ceil(row_count/8) null-bitmap bytes (bit r set = row r null;
+//         padding bits beyond row_count MUST be zero)
+//       the non-null values only, contiguous:
+//         bool    -> bit-packed, ceil(count/8) bytes, zero padding bits
+//         int     -> 8-byte two's complement
+//         double  -> 8-byte IEEE 754
+//         string  -> u32 length + bytes
+//         generic -> the row codec's tagged value encoding (same depth guard)
+//
+// Decode applies the same hostile-input discipline as the row format:
+// truncation checks on every read, row counts capped by what the remaining
+// bytes could possibly hold, nonzero bitmap padding rejected, unknown column
+// tags rejected, trailing bytes rejected.
+
+// Appends the columnar encoding of the selected rows to `out`; returns bytes
+// written. `selection` lists row indices in emission order (nullptr = all
+// rows, `selected` ignored then must equal batch.rows()). Fields with
+// keep_field[f] == false are encoded as dropped (all-null) columns, which is
+// how projection reaches the wire without copying values. Pass
+// keep_field == nullptr to keep every column.
+size_t EncodeColumnBatch(const ColumnBatch& batch, const uint32_t* selection,
+                         size_t selected, const std::vector<bool>* keep_field,
+                         std::string* out);
+
+// Decodes a columnar payload against `registry`.
+Result<ColumnBatch> DecodeColumnBatch(const SchemaRegistry& registry,
+                                      const std::string& buffer);
 
 }  // namespace scrub
 

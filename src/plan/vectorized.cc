@@ -1,0 +1,132 @@
+#include "src/plan/vectorized.h"
+
+#include <utility>
+
+namespace scrub {
+namespace {
+
+Value EvalBinaryColumns(const CompiledExpr& e, const ColumnBatch& batch,
+                        size_t row) {
+  const BinaryOp op = e.binary_op;
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    const Value lhs = EvalExprColumns(e.children[0], batch, row);
+    const bool l = lhs.is_bool() && lhs.AsBool();
+    if (op == BinaryOp::kAnd && !l) {
+      return Value(false);
+    }
+    if (op == BinaryOp::kOr && l) {
+      return Value(true);
+    }
+    const Value rhs = EvalExprColumns(e.children[1], batch, row);
+    return Value(rhs.is_bool() && rhs.AsBool());
+  }
+  return ApplyBinaryOp(op, EvalExprColumns(e.children[0], batch, row),
+                       EvalExprColumns(e.children[1], batch, row));
+}
+
+// `<field> <cmp> <literal>` over a numeric column: the shape that dominates
+// pushed-down predicates. Reads the typed storage directly; each comparison
+// still routes through ApplyBinaryOp on a stack-constructed Value, so the
+// semantics cannot drift from the row path.
+bool TryCompareKernel(const CompiledExpr& e, const ColumnBatch& batch,
+                      std::vector<uint32_t>* selection) {
+  if (e.kind != CompiledKind::kBinary || !IsComparisonOp(e.binary_op)) {
+    return false;
+  }
+  const CompiledExpr& lhs = e.children[0];
+  const CompiledExpr& rhs = e.children[1];
+  if (lhs.kind != CompiledKind::kField || !lhs.path.empty() ||
+      lhs.source != 0 || rhs.kind != CompiledKind::kLiteral) {
+    return false;
+  }
+  const ColumnBatch::Column& col =
+      batch.column(static_cast<size_t>(lhs.field_index));
+  if (col.rep != ColumnBatch::Rep::kInt &&
+      col.rep != ColumnBatch::Rep::kDouble) {
+    return false;
+  }
+  size_t kept = 0;
+  for (const uint32_t r : *selection) {
+    Value probe;  // null when the row's cell is null
+    if (!BitmapGet(col.nulls, r)) {
+      probe = col.rep == ColumnBatch::Rep::kInt ? Value(col.ints[r])
+                                                : Value(col.doubles[r]);
+    }
+    const Value verdict = ApplyBinaryOp(e.binary_op, probe, rhs.literal);
+    if (verdict.is_bool() && verdict.AsBool()) {
+      (*selection)[kept++] = r;
+    }
+  }
+  selection->resize(kept);
+  return true;
+}
+
+}  // namespace
+
+Value EvalExprColumns(const CompiledExpr& expr, const ColumnBatch& batch,
+                      size_t row) {
+  switch (expr.kind) {
+    case CompiledKind::kLiteral:
+      return expr.literal;
+    case CompiledKind::kField: {
+      Value v = batch.ValueAt(static_cast<size_t>(expr.field_index), row);
+      for (const std::string& step : expr.path) {
+        if (!v.is_object()) {
+          return Value::Null();
+        }
+        const Value* next = v.AsObject().Find(step);
+        if (next == nullptr) {
+          return Value::Null();
+        }
+        Value descended = *next;
+        v = std::move(descended);
+      }
+      return v;
+    }
+    case CompiledKind::kRequestId:
+      return Value(static_cast<int64_t>(batch.request_id(row)));
+    case CompiledKind::kTimestamp:
+      return Value(static_cast<int64_t>(batch.timestamp(row)));
+    case CompiledKind::kUnary: {
+      const Value operand = EvalExprColumns(expr.children[0], batch, row);
+      return ApplyUnaryOp(expr.unary_op, operand);
+    }
+    case CompiledKind::kBinary:
+      return EvalBinaryColumns(expr, batch, row);
+    case CompiledKind::kInList: {
+      const Value probe = EvalExprColumns(expr.children[0], batch, row);
+      if (probe.is_null()) {
+        return Value(false);
+      }
+      for (const Value& member : expr.in_list) {
+        if (probe == member) {
+          return Value(true);
+        }
+      }
+      return Value(false);
+    }
+  }
+  return Value::Null();
+}
+
+bool EvalPredicateColumns(const CompiledExpr& expr, const ColumnBatch& batch,
+                          size_t row) {
+  const Value v = EvalExprColumns(expr, batch, row);
+  return v.is_bool() && v.AsBool();
+}
+
+void EvalPredicateBatch(const CompiledExpr& expr, const ColumnBatch& batch,
+                        std::vector<uint32_t>* selection) {
+  if (TryCompareKernel(expr, batch, selection)) {
+    return;
+  }
+  size_t kept = 0;
+  for (const uint32_t r : *selection) {
+    if (EvalPredicateColumns(expr, batch, r)) {
+      (*selection)[kept++] = r;
+    }
+  }
+  selection->resize(kept);
+}
+
+}  // namespace scrub

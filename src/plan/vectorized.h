@@ -1,0 +1,40 @@
+// Vectorized expression evaluation over columnar batches.
+//
+// These are the batch-oriented twins of EvalExpr/EvalPredicate: identical
+// operator semantics (they delegate to ApplyBinaryOp and mirror EvalExpr's
+// null/short-circuit rules node for node), but driven by a selection vector
+// over a ColumnBatch instead of one Event at a time. EvalPredicateBatch is
+// the agent-flush and central-ingest hot loop: a conjunct compacts the
+// selection in place, and simple `field <cmp> literal` conjuncts read the
+// typed column storage directly without materializing a boxed Value per row.
+
+#ifndef SRC_PLAN_VECTORIZED_H_
+#define SRC_PLAN_VECTORIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/event/column_batch.h"
+#include "src/plan/expr_eval.h"
+
+namespace scrub {
+
+// Evaluates a single-source compiled expression at `row` of the batch.
+// Exactly EvalExprSingle's semantics; expr.source must be 0.
+Value EvalExprColumns(const CompiledExpr& expr, const ColumnBatch& batch,
+                      size_t row);
+
+// True iff the expression evaluates to boolean true at `row`.
+bool EvalPredicateColumns(const CompiledExpr& expr, const ColumnBatch& batch,
+                          size_t row);
+
+// Filters `selection` (row indices into `batch`, in order) down to the rows
+// where the predicate holds, compacting in place and preserving order.
+// Calling this once per conjunct over a shrinking selection is the columnar
+// mirror of the row path's per-event short-circuit conjunct loop.
+void EvalPredicateBatch(const CompiledExpr& expr, const ColumnBatch& batch,
+                        std::vector<uint32_t>* selection);
+
+}  // namespace scrub
+
+#endif  // SRC_PLAN_VECTORIZED_H_

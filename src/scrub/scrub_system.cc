@@ -48,6 +48,10 @@ ScrubSystem::ScrubSystem(SystemConfig config)
         config_.central.allowed_lateness + config_.flush_interval;
   }
   config_.agent.flush_heartbeats = true;
+  // The pipeline switch must be folded into the agent config before any
+  // agent is constructed (including RestartHost's fresh incarnations, which
+  // reuse config_.agent).
+  config_.agent.columnar = config_.columnar;
 
   transport_.SetFaultPlan(config_.faults);
 
@@ -70,7 +74,7 @@ ScrubSystem::ScrubSystem(SystemConfig config)
       [this](HostId host) { return agent(host); }, config_.server);
 
   if (config_.scrub_enabled) {
-    platform_->SetEventLogger([this](HostId host, const Event& event) {
+    platform_->SetEventLogger([this](HostId host, Event event) {
       // A crashed host's application is down with it: nothing logs there.
       if (!registry_.IsAlive(host)) {
         return int64_t{0};
@@ -79,7 +83,9 @@ ScrubSystem::ScrubSystem(SystemConfig config)
         event_tap_(host, event);
       }
       ScrubAgent* a = agent(host);
-      return a == nullptr ? int64_t{0} : a->LogEvent(event);
+      // The platform hands the event over by value: the agent may strip
+      // projected field values in place instead of deep-copying them.
+      return a == nullptr ? int64_t{0} : a->LogEvent(std::move(event));
     });
   }
 }

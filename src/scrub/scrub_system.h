@@ -54,6 +54,13 @@ struct SystemConfig {
   // When false the platform runs un-instrumented (the A side of the
   // overhead experiments E7/E8).
   bool scrub_enabled = true;
+  // Data-plane pipeline switch. True (default) stages events per query in
+  // columnar batches: filter and project run vectorized at flush time and
+  // batches ship in the columnar wire format, decoded straight into columns
+  // at central. False keeps the per-event row pipeline end to end. Both
+  // pipelines produce byte-identical result transcripts; joins always take
+  // the row path (their evaluation is arrival-order dependent).
+  bool columnar = true;
   // Chaos: installed on the transport at construction. Deterministic per
   // FaultPlan::seed; an inert plan (the default) injects nothing.
   FaultPlan faults;

@@ -24,12 +24,14 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/common/strings.h"
 #include "src/scrub/scrub_system.h"
 #include "tests/reference_executor.h"
 
@@ -88,8 +90,27 @@ void CheckTopK(const Value& scrub_v, const Value& oracle_v, int64_t k,
   }
 }
 
-void RunCombo(const Combo& combo) {
-  SCOPED_TRACE(combo.query);
+// One full ScrubSystem run through the requested pipeline.
+struct PipelineRun {
+  std::vector<Event> tapped;      // ground truth at the log() call
+  std::vector<ResultRow> rows;    // emission order
+  std::vector<std::string> transcript;  // full-precision rendering of rows
+  QueryId query_id = 0;
+  SchemaRegistry* schemas = nullptr;
+};
+
+// Full-precision rendering: any cross-pipeline divergence (a float summed in
+// a different order, a reordered emission) must fail loudly.
+std::string RenderRow(const ResultRow& row) {
+  return StrFormat("w%lld %s c=%.17g",
+                   static_cast<long long>(row.window_start),
+                   row.ToString().c_str(), row.completeness);
+}
+
+// Builds and drives one system; returned so the caller can keep its schema
+// registry alive for the oracle replay.
+std::unique_ptr<ScrubSystem> RunPipeline(const Combo& combo, bool columnar,
+                                         PipelineRun* out) {
   SystemConfig config;
   config.seed = combo.seed;
   config.platform.seed = combo.seed;
@@ -98,19 +119,28 @@ void RunCombo(const Combo& combo) {
   config.platform.presentation_per_dc = 1;
   config.platform.num_campaigns = 3;
   config.platform.line_items_per_campaign = 3;
-  ScrubSystem system(config);
+  config.columnar = columnar;
+  // Row and columnar payloads have different sizes; zero out the per-byte
+  // transport latency so delivery timing — and therefore the transcripts —
+  // can be compared byte-for-byte across pipelines.
+  config.transport.micros_per_byte = 0;
+  auto system = std::make_unique<ScrubSystem>(config);
 
   // Ground truth: every event every live host logs, before any Scrub-side
   // selection, projection or batching.
-  std::vector<Event> tapped;
-  system.SetEventTap(
-      [&tapped](HostId, const Event& event) { tapped.push_back(event); });
-
-  std::vector<ResultRow> scrub_rows;
-  auto submitted = system.Submit(combo.query, [&](const ResultRow& row) {
-    scrub_rows.push_back(row);
+  system->SetEventTap([out](HostId, const Event& event) {
+    out->tapped.push_back(event);
   });
-  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+
+  auto submitted = system->Submit(combo.query, [out](const ResultRow& row) {
+    out->rows.push_back(row);
+    out->transcript.push_back(RenderRow(row));
+  });
+  EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
+  if (!submitted.ok()) {
+    return system;
+  }
+  out->query_id = submitted->id;
 
   // Load begins only after the install (submitted at t=0) has reached every
   // agent, so tap and agents see the identical stream.
@@ -118,26 +148,52 @@ void RunCombo(const Combo& combo) {
   load.requests_per_second = combo.rps;
   load.start = 300 * kMicrosPerMilli;
   load.duration = combo.horizon - kMicrosPerSecond - load.start;
-  system.workload().SchedulePoissonLoad(load);
+  system->workload().SchedulePoissonLoad(load);
 
-  system.RunUntil(combo.horizon);
-  system.Drain();
+  system->RunUntil(combo.horizon);
+  system->Drain();
 
-  // The comparison below assumes nothing was dropped for lateness.
-  const CentralQueryStats* stats = system.central().StatsFor(submitted->id);
-  ASSERT_NE(stats, nullptr);
-  EXPECT_EQ(stats->events_late, 0u);
+  // The oracle comparison below assumes nothing was dropped for lateness.
+  const CentralQueryStats* stats = system->central().StatsFor(submitted->id);
+  EXPECT_NE(stats, nullptr);
+  if (stats != nullptr) {
+    EXPECT_EQ(stats->events_late, 0u);
+  }
+  return system;
+}
+
+void RunCombo(const Combo& combo) {
+  SCOPED_TRACE(combo.query);
+
+  // Run the identical workload through both data planes. The columnar
+  // pipeline is not "close to" the row pipeline — it must emit the very
+  // same bytes in the very same order.
+  PipelineRun row_run;
+  PipelineRun col_run;
+  std::unique_ptr<ScrubSystem> row_system;
+  {
+    SCOPED_TRACE("row pipeline");
+    row_system = RunPipeline(combo, /*columnar=*/false, &row_run);
+  }
+  {
+    SCOPED_TRACE("columnar pipeline");
+    RunPipeline(combo, /*columnar=*/true, &col_run);
+  }
+  ASSERT_EQ(row_run.tapped.size(), col_run.tapped.size());
+  EXPECT_EQ(col_run.transcript, row_run.transcript);
+
+  const std::vector<ResultRow>& scrub_rows = row_run.rows;
 
   // Oracle: re-derive the plan the server built (submit time was 0) and
   // replay the tap through the naive executor.
   AnalyzerOptions options;
   Result<AnalyzedQuery> analyzed =
-      ParseAndAnalyze(combo.query, system.schemas(), options);
+      ParseAndAnalyze(combo.query, row_system->schemas(), options);
   ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
-  Result<QueryPlan> plan = PlanQuery(*analyzed, submitted->id, 0);
+  Result<QueryPlan> plan = PlanQuery(*analyzed, row_run.query_id, 0);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   ReferenceExecutor oracle(*analyzed, plan->central);
-  for (const Event& event : tapped) {
+  for (const Event& event : row_run.tapped) {
     oracle.Observe(event);
   }
   const std::vector<ResultRow> oracle_rows = oracle.Execute();

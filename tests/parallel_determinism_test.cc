@@ -132,7 +132,8 @@ TEST_F(ShardedDeterminismTest, MoreWorkersThanShardsIsStillDeterministic) {
 // Full ScrubSystem: agent flush fan-out across simulated hosts.
 // ---------------------------------------------------------------------------
 
-std::vector<std::string> RunSystem(size_t workers, double drop_rate) {
+std::vector<std::string> RunSystem(size_t workers, double drop_rate,
+                                   bool columnar = true) {
   SystemConfig config;
   config.seed = 7;
   config.platform.seed = 7;
@@ -142,6 +143,11 @@ std::vector<std::string> RunSystem(size_t workers, double drop_rate) {
   config.platform.num_campaigns = 3;
   config.platform.line_items_per_campaign = 3;
   config.workers = workers;
+  config.columnar = columnar;
+  // Row and columnar payloads differ in size; a zero per-byte transport
+  // latency keeps delivery timing — and the transcript — comparable across
+  // the two pipelines, not just across worker counts.
+  config.transport.micros_per_byte = 0;
   if (drop_rate > 0) {
     config.faults.Category(TrafficCategory::kScrubEvents).drop = drop_rate;
     config.central.allowed_lateness = 5 * kMicrosPerSecond;
@@ -181,6 +187,37 @@ TEST(SystemDeterminismTest, TwentyPercentDropTranscriptIdenticalAcrossWorkers) {
   EXPECT_EQ(RunSystem(1, 0.2), reference);
   EXPECT_EQ(RunSystem(2, 0.2), reference);
   EXPECT_EQ(RunSystem(8, 0.2), reference);
+}
+
+TEST(SystemDeterminismTest, RowPipelineTranscriptIdenticalAcrossWorkers) {
+  const std::vector<std::string> reference =
+      RunSystem(0, 0.0, /*columnar=*/false);
+  EXPECT_EQ(RunSystem(2, 0.0, /*columnar=*/false), reference);
+  EXPECT_EQ(RunSystem(8, 0.0, /*columnar=*/false), reference);
+}
+
+TEST(SystemDeterminismTest, PipelinesAgreeByteForByteAcrossWorkers) {
+  // The data-plane switch is a pure representation change: for every worker
+  // count the columnar transcript must equal the row transcript, byte for
+  // byte, clean...
+  const std::vector<std::string> reference =
+      RunSystem(0, 0.0, /*columnar=*/false);
+  for (const size_t workers : {size_t{0}, size_t{1}, size_t{2}, size_t{8}}) {
+    EXPECT_EQ(RunSystem(workers, 0.0, /*columnar=*/true), reference)
+        << "workers=" << workers;
+  }
+}
+
+TEST(SystemDeterminismTest, PipelinesAgreeByteForByteUnderDrops) {
+  // ...and under a 20% drop plan, where retransmission holds encoded
+  // payloads (columnar bytes on the columnar path) and central dedup sees
+  // the same seq/epoch stream either way.
+  const std::vector<std::string> reference =
+      RunSystem(0, 0.2, /*columnar=*/false);
+  for (const size_t workers : {size_t{0}, size_t{1}, size_t{2}, size_t{8}}) {
+    EXPECT_EQ(RunSystem(workers, 0.2, /*columnar=*/true), reference)
+        << "workers=" << workers;
+  }
 }
 
 }  // namespace

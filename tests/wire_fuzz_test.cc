@@ -8,9 +8,12 @@
 
 #include <cstring>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/event/column_batch.h"
 #include "src/event/event.h"
 #include "src/event/schema.h"
 #include "src/event/wire.h"
@@ -192,6 +195,250 @@ TEST_F(WireFuzzTest, RandomGarbageNeverCrashesTheDecoder) {
     (void)DecodeBatch(registry_, buf);
     size_t offset = 0;
     (void)DecodeEvent(registry_, buf, &offset);
+  }
+}
+
+// ---- Columnar wire format ------------------------------------------------
+// The columnar codec carries the same hostile-bytes contract as the row
+// codec: every length, row count, null bitmap and column tag is attacker-
+// controlled until validated.
+
+// A random value for the property test. Scalar fields occasionally get a
+// type-mismatched value (schema drift) to exercise the generic migration.
+Value RandomValue(FieldType type, Rng* rng) {
+  const auto random_scalar = [&](FieldType t) -> Value {
+    switch (t) {
+      case FieldType::kBool:
+        return Value(rng->NextBool(0.5));
+      case FieldType::kInt:
+      case FieldType::kLong:
+      case FieldType::kDateTime:
+        return Value(static_cast<int64_t>(rng->NextUint64() % 100'000));
+      case FieldType::kFloat:
+      case FieldType::kDouble:
+        return Value(static_cast<double>(rng->NextUint64() % 1000) / 8.0);
+      case FieldType::kString:
+      default:
+        return Value(StrFormat("s%llu", static_cast<unsigned long long>(
+                                            rng->NextUint64() % 1000)));
+    }
+  };
+  switch (type) {
+    case FieldType::kBool:
+    case FieldType::kInt:
+    case FieldType::kLong:
+    case FieldType::kFloat:
+    case FieldType::kDouble:
+    case FieldType::kDateTime:
+    case FieldType::kString: {
+      if (rng->NextBool(0.1)) {
+        // Drifted payload: a string where a number belongs (or vice versa).
+        return random_scalar(type == FieldType::kString ? FieldType::kLong
+                                                        : FieldType::kString);
+      }
+      return random_scalar(type);
+    }
+    case FieldType::kBoolList:
+    case FieldType::kIntList:
+    case FieldType::kLongList:
+    case FieldType::kFloatList:
+    case FieldType::kDoubleList:
+    case FieldType::kStringList: {
+      static const std::unordered_map<FieldType, FieldType> kElem = {
+          {FieldType::kBoolList, FieldType::kBool},
+          {FieldType::kIntList, FieldType::kInt},
+          {FieldType::kLongList, FieldType::kLong},
+          {FieldType::kFloatList, FieldType::kFloat},
+          {FieldType::kDoubleList, FieldType::kDouble},
+          {FieldType::kStringList, FieldType::kString}};
+      std::vector<Value> items;
+      const size_t n = rng->NextUint64() % 4;
+      for (size_t i = 0; i < n; ++i) {
+        items.push_back(random_scalar(kElem.at(type)));
+      }
+      return Value(std::move(items));
+    }
+    case FieldType::kObject: {
+      NestedObject obj;
+      const size_t n = rng->NextUint64() % 3;
+      for (size_t i = 0; i < n; ++i) {
+        obj.fields.emplace_back(StrFormat("k%zu", i),
+                                random_scalar(FieldType::kLong));
+      }
+      return Value(std::move(obj));
+    }
+  }
+  return Value();
+}
+
+class ColumnWireFuzzTest : public WireFuzzTest {
+ protected:
+  // Encodes `rows` sample events (with a sprinkling of nulls) columnar.
+  std::string EncodedColumns(size_t rows) const {
+    ColumnBatch batch(schema_);
+    for (size_t i = 0; i < rows; ++i) {
+      Event e = SampleEvent(i + 1);
+      if (i % 3 == 1) {
+        e.SetField(3, Value());  // null string column entries
+      }
+      batch.AppendEvent(e);
+    }
+    std::string buf;
+    EncodeColumnBatch(batch, /*selection=*/nullptr, batch.rows(),
+                      /*keep_field=*/nullptr, &buf);
+    return buf;
+  }
+
+  // Offset of the first per-field column (its tag byte): u32 name length +
+  // name + u32 row count + rows x (u64 rid + u64 timestamp).
+  size_t FirstColumnOffset(size_t rows) const {
+    return 4 + schema_->type_name().size() + 4 + rows * 16;
+  }
+};
+
+TEST_F(ColumnWireFuzzTest, EveryTruncationOfAColumnBatchFailsCleanly) {
+  const std::string full = EncodedColumns(3);
+  for (size_t len = 0; len < full.size(); ++len) {
+    Result<ColumnBatch> r =
+        DecodeColumnBatch(registry_, full.substr(0, len));
+    EXPECT_FALSE(r.ok()) << "decode succeeded on prefix of " << len << " of "
+                         << full.size() << " bytes";
+  }
+  Result<ColumnBatch> r = DecodeColumnBatch(registry_, full);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows(), 3u);
+}
+
+TEST_F(ColumnWireFuzzTest, OversizedRowCountIsRejected) {
+  std::string buf = EncodedColumns(2);
+  // Row count sits right after the type name; claim 4 billion rows. The
+  // decoder must reject it against the remaining byte budget, not reserve.
+  PatchU32(&buf, 4 + schema_->type_name().size(), 0xffffffffu);
+  EXPECT_FALSE(DecodeColumnBatch(registry_, buf).ok());
+}
+
+TEST_F(ColumnWireFuzzTest, NullBitmapPaddingBitsMustBeZero) {
+  // 3 rows -> one bitmap byte with 5 padding bits. A set padding bit means
+  // the bitmap disagrees with the row count; the decoder must refuse rather
+  // than trust whichever is larger.
+  const size_t rows = 3;
+  std::string buf = EncodedColumns(rows);
+  const size_t tag_at = FirstColumnOffset(rows);
+  ASSERT_LT(tag_at + 1, buf.size());
+  ASSERT_NE(buf[tag_at], '\0') << "expected a non-null first column";
+  std::string corrupt = buf;
+  corrupt[tag_at + 1] = static_cast<char>(corrupt[tag_at + 1] | 0x08);
+  Result<ColumnBatch> r = DecodeColumnBatch(registry_, corrupt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("bitmap"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(ColumnWireFuzzTest, UnknownColumnTagIsRejected) {
+  const size_t rows = 3;
+  std::string buf = EncodedColumns(rows);
+  buf[FirstColumnOffset(rows)] = static_cast<char>(0x7f);
+  Result<ColumnBatch> r = DecodeColumnBatch(registry_, buf);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("column tag"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(ColumnWireFuzzTest, TrailingBytesAreRejected) {
+  std::string buf = EncodedColumns(3);
+  buf.push_back('\0');
+  EXPECT_FALSE(DecodeColumnBatch(registry_, buf).ok());
+}
+
+TEST_F(ColumnWireFuzzTest, RandomByteFlipsNeverCrashTheColumnarDecoder) {
+  const std::string batch = EncodedColumns(5);
+  Rng rng(0xc01d);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string buf = batch;
+    const int flips = 1 + static_cast<int>(rng.NextUint64() % 8);
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = static_cast<size_t>(rng.NextUint64() % buf.size());
+      buf[pos] = static_cast<char>(rng.NextUint64() & 0xff);
+    }
+    (void)DecodeColumnBatch(registry_, buf);
+  }
+}
+
+TEST_F(ColumnWireFuzzTest, RandomGarbageNeverCrashesTheColumnarDecoder) {
+  Rng rng(0xfade);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t len = static_cast<size_t>(rng.NextUint64() % 256);
+    std::string buf;
+    buf.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      buf.push_back(static_cast<char>(rng.NextUint64() & 0xff));
+    }
+    (void)DecodeColumnBatch(registry_, buf);
+  }
+}
+
+// Property: for ANY schema and any event population, shipping rows through
+// the columnar codec is lossless and agrees field-for-field with the row
+// codec. Randomized over schemas (all field types), null density, and row
+// counts, including the bitmap-padding edge rows % 8 == 0.
+TEST_F(ColumnWireFuzzTest, RowAndColumnarCodecsAgreeOnRandomSchemas) {
+  Rng rng(0x5eed);
+  static const FieldType kTypes[] = {
+      FieldType::kBool,     FieldType::kInt,       FieldType::kLong,
+      FieldType::kFloat,    FieldType::kDouble,    FieldType::kDateTime,
+      FieldType::kString,   FieldType::kBoolList,  FieldType::kIntList,
+      FieldType::kLongList, FieldType::kFloatList, FieldType::kDoubleList,
+      FieldType::kStringList, FieldType::kObject};
+  for (int trial = 0; trial < 60; ++trial) {
+    SchemaRegistry registry;
+    const size_t field_count = 1 + rng.NextUint64() % 6;
+    auto builder = EventSchema::Builder(StrFormat("rt%d", trial));
+    std::vector<FieldType> types;
+    for (size_t f = 0; f < field_count; ++f) {
+      types.push_back(kTypes[rng.NextUint64() % std::size(kTypes)]);
+      builder.AddField(StrFormat("f%zu", f), types.back());
+    }
+    SchemaPtr schema = *builder.Build();
+    ASSERT_TRUE(registry.Register(schema).ok());
+
+    const size_t rows = rng.NextUint64() % 18;  // covers 0, 8, 16 edges
+    std::vector<Event> events;
+    ColumnBatch batch(schema);
+    for (size_t r = 0; r < rows; ++r) {
+      Event e(schema, rng.NextUint64(), static_cast<TimeMicros>(
+                                            rng.NextUint64() % 1'000'000));
+      for (size_t f = 0; f < field_count; ++f) {
+        if (rng.NextBool(0.2)) {
+          continue;  // leave null
+        }
+        e.SetField(f, RandomValue(types[f], &rng));
+      }
+      batch.AppendEvent(e);
+      events.push_back(std::move(e));
+    }
+
+    std::string columnar;
+    EncodeColumnBatch(batch, nullptr, batch.rows(), nullptr, &columnar);
+    Result<ColumnBatch> decoded = DecodeColumnBatch(registry, columnar);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+    Result<std::vector<Event>> via_rows =
+        DecodeBatch(registry, EncodeBatch(events));
+    ASSERT_TRUE(via_rows.ok()) << via_rows.status().ToString();
+
+    ASSERT_EQ(decoded->rows(), events.size());
+    ASSERT_EQ(via_rows->size(), events.size());
+    for (size_t r = 0; r < events.size(); ++r) {
+      const Event from_columns = decoded->MaterializeEvent(r);
+      const Event& from_rows = (*via_rows)[r];
+      EXPECT_EQ(from_columns.request_id(), from_rows.request_id());
+      EXPECT_EQ(from_columns.timestamp(), from_rows.timestamp());
+      ASSERT_EQ(from_columns.field_count(), from_rows.field_count());
+      for (size_t f = 0; f < from_rows.field_count(); ++f) {
+        EXPECT_EQ(from_columns.field(f), from_rows.field(f))
+            << "trial " << trial << " row " << r << " field " << f;
+      }
+    }
   }
 }
 

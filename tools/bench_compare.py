@@ -2,13 +2,24 @@
 """Benchmark regression gate for BENCH_scrub.json.
 
 Compares a freshly produced benchmark file (tools/bench_run.sh output)
-against the committed baseline, keyed by (shards, workers). Fails (exit 1)
-if any configuration's events/sec dropped by more than the threshold
-(default 15%). Improvements never fail; configurations present on only one
-side are reported but not fatal (the sweep grid may grow between PRs).
+against the committed baseline:
+
+  * parallel_central runs, keyed by (shards, workers): events/sec must not
+    drop by more than the threshold (default 15%);
+  * ingest runs, keyed by pipeline (row / columnar): same events/sec gate;
+  * the fresh ingest section's columnar speedup over row must hold the
+    architectural floor (default 1.5x) — this one is absolute, not relative
+    to the baseline, so the columnar data plane can never quietly decay into
+    a wash.
+
+Improvements never fail; configurations present on only one side are
+reported but not fatal (the sweep grid may grow between PRs). Legacy
+baselines (a bare parallel_central document with top-level "runs") are still
+understood.
 
 Usage:
     tools/bench_compare.py BASELINE FRESH [--threshold 0.15]
+                           [--min-ingest-speedup 1.5]
 """
 
 import argparse
@@ -16,10 +27,46 @@ import json
 import sys
 
 
-def load_runs(path):
+def load(path):
     with open(path) as f:
-        doc = json.load(f)
-    return {(r["shards"], r["workers"]): r for r in doc.get("runs", [])}
+        return json.load(f)
+
+
+def parallel_runs(doc):
+    # New layout nests the sweep under "parallel_central"; the legacy layout
+    # was that section alone at top level.
+    section = doc.get("parallel_central", doc)
+    return {(r["shards"], r["workers"]): r for r in section.get("runs", [])}
+
+
+def ingest_runs(doc):
+    section = doc.get("ingest") or {}
+    return ({r["pipeline"]: r for r in section.get("runs", [])},
+            section.get("speedup_vs_row"))
+
+
+def gate_events_per_sec(label, baseline, fresh, threshold, failures):
+    for key in sorted(baseline):
+        base = baseline[key]
+        cur = fresh.get(key)
+        name = " ".join(f"{k}={v}" for k, v in zip(
+            ("shards", "workers") if isinstance(key, tuple) else ("pipeline",),
+            key if isinstance(key, tuple) else (key,)))
+        if cur is None:
+            print(f"NOTE {label} {name}: missing from fresh run")
+            continue
+        base_eps = base["events_per_sec"]
+        cur_eps = cur["events_per_sec"]
+        delta = (cur_eps - base_eps) / base_eps if base_eps else 0.0
+        line = (f"{label} {name}: "
+                f"{base_eps:,.0f} -> {cur_eps:,.0f} ev/s ({delta:+.1%})")
+        if delta < -threshold:
+            failures.append(line)
+            print("FAIL " + line)
+        else:
+            print("ok   " + line)
+    for key in sorted(set(fresh) - set(baseline)):
+        print(f"NOTE {label} {key}: new configuration, no baseline")
 
 
 def main():
@@ -28,41 +75,45 @@ def main():
     parser.add_argument("fresh")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="max tolerated fractional events/sec regression")
+    parser.add_argument("--min-ingest-speedup", type=float, default=1.5,
+                        help="columnar-over-row floor for the fresh ingest "
+                             "bench")
     args = parser.parse_args()
 
-    baseline = load_runs(args.baseline)
-    fresh = load_runs(args.fresh)
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
 
     failures = []
-    for key in sorted(baseline):
-        shards, workers = key
-        base = baseline[key]
-        cur = fresh.get(key)
-        if cur is None:
-            print(f"NOTE shards={shards} workers={workers}: "
-                  "missing from fresh run")
-            continue
-        base_eps = base["events_per_sec"]
-        cur_eps = cur["events_per_sec"]
-        delta = (cur_eps - base_eps) / base_eps if base_eps else 0.0
-        line = (f"shards={shards} workers={workers}: "
-                f"{base_eps:,.0f} -> {cur_eps:,.0f} ev/s ({delta:+.1%})")
-        if delta < -args.threshold:
-            failures.append(line)
-            print("FAIL " + line)
-        else:
-            print("ok   " + line)
-    for key in sorted(set(fresh) - set(baseline)):
-        print(f"NOTE shards={key[0]} workers={key[1]}: new configuration, "
-              "no baseline")
+    gate_events_per_sec("parallel_central", parallel_runs(baseline),
+                        parallel_runs(fresh), args.threshold, failures)
+
+    base_ingest, _ = ingest_runs(baseline)
+    fresh_ingest, fresh_speedup = ingest_runs(fresh)
+    gate_events_per_sec("ingest", base_ingest, fresh_ingest, args.threshold,
+                        failures)
+
+    if fresh_ingest:
+        if fresh_speedup is None and \
+                "row" in fresh_ingest and "columnar" in fresh_ingest:
+            fresh_speedup = (fresh_ingest["columnar"]["events_per_sec"] /
+                             fresh_ingest["row"]["events_per_sec"])
+        if fresh_speedup is not None:
+            line = (f"ingest columnar speedup vs row: {fresh_speedup:.2f}x "
+                    f"(floor {args.min_ingest_speedup:.2f}x)")
+            if fresh_speedup < args.min_ingest_speedup:
+                failures.append(line)
+                print("FAIL " + line)
+            else:
+                print("ok   " + line)
 
     if failures:
-        print(f"\n{len(failures)} configuration(s) regressed more than "
-              f"{args.threshold:.0%}; if intentional, refresh the baseline "
-              "with tools/bench_run.sh and commit BENCH_scrub.json")
+        print(f"\n{len(failures)} gate(s) failed; if an events/sec shift is "
+              "intentional, refresh the baseline with tools/bench_run.sh and "
+              "commit BENCH_scrub.json (the ingest speedup floor is not "
+              "waivable that way)")
         return 1
-    print("\nno events/sec regression beyond "
-          f"{args.threshold:.0%} threshold")
+    print(f"\nno events/sec regression beyond {args.threshold:.0%} threshold; "
+          "ingest speedup floor holds")
     return 0
 
 

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Refreshes BENCH_scrub.json: builds the parallel-central sweep in a plain
-# (non-sanitized, optimized) tree and runs it. The committed BENCH_scrub.json
-# is the regression baseline tools/bench_compare.py gates against in
-# tools/check.sh.
+# Refreshes BENCH_scrub.json: builds the benchmark suite in a plain
+# (non-sanitized, optimized) tree, runs the parallel-central sweep and the
+# row-vs-columnar ingest microbench, and merges their JSON into one document:
+#
+#   {"bench": "scrub", "parallel_central": {...}, "ingest": {...}}
+#
+# The committed BENCH_scrub.json is the regression baseline
+# tools/bench_compare.py gates against in tools/check.sh.
 #
 #   tools/bench_run.sh              # rewrite BENCH_scrub.json in place
 #   tools/bench_run.sh /tmp/out.json  # write elsewhere (what check.sh does)
@@ -16,8 +20,29 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cmake -B "${BUILD_DIR}" -S "${REPO}" -DCMAKE_BUILD_TYPE=Release \
   > "${BUILD_DIR}.cmake.log" 2>&1
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_parallel_central \
+cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+  --target bench_parallel_central bench_ingest \
   > "${BUILD_DIR}.build.log" 2>&1
 
-"${BUILD_DIR}/bench/bench_parallel_central" > "${OUT}"
+PC_JSON="$(mktemp /tmp/bench_pc.XXXXXX.json)"
+INGEST_JSON="$(mktemp /tmp/bench_ingest.XXXXXX.json)"
+trap 'rm -f "${PC_JSON}" "${INGEST_JSON}"' EXIT
+
+"${BUILD_DIR}/bench/bench_parallel_central" > "${PC_JSON}"
+"${BUILD_DIR}/bench/bench_ingest" > "${INGEST_JSON}"
+
+python3 - "${OUT}" "${PC_JSON}" "${INGEST_JSON}" <<'EOF'
+import json
+import sys
+
+out_path, pc_path, ingest_path = sys.argv[1:4]
+with open(pc_path) as f:
+    pc = json.load(f)
+with open(ingest_path) as f:
+    ingest = json.load(f)
+doc = {"bench": "scrub", "parallel_central": pc, "ingest": ingest}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
 echo "wrote ${OUT}"

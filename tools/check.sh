@@ -92,14 +92,14 @@ else
 fi
 
 # ------------------------------------------------- benchmark regression ------
-note "parallel-central benchmark vs committed baseline"
+note "benchmark suite vs committed baseline (parallel-central + ingest)"
 if [ -f "${REPO}/BENCH_scrub.json" ]; then
   FRESH_BENCH="$(mktemp /tmp/BENCH_scrub.XXXXXX.json)"
   if ! "${REPO}/tools/bench_run.sh" "${FRESH_BENCH}"; then
     fail "benchmark run failed (logs: ${REPO}/build-bench.build.log)"
   elif ! python3 "${REPO}/tools/bench_compare.py" \
         "${REPO}/BENCH_scrub.json" "${FRESH_BENCH}"; then
-    fail "events/sec regressed >15% vs committed BENCH_scrub.json"
+    fail "events/sec regressed >15% vs committed BENCH_scrub.json, or the columnar ingest speedup fell below its 1.5x floor"
   fi
   rm -f "${FRESH_BENCH}"
 else

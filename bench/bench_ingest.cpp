@@ -8,13 +8,20 @@
 //    selection vector, EncodeColumnBatch / DecodeColumnBatch, per-row fold
 //    straight off the columns (no intermediate Event).
 //
-// Both runs must produce the identical result transcript (asserted) — the
-// benchmark measures representation, not semantics. Timing uses
-// CLOCK_THREAD_CPUTIME_ID (single-core safe, like bench_parallel_central);
-// best-of-three is the estimator. Output is the "ingest" JSON section merged
-// into BENCH_scrub.json by tools/bench_run.sh and gated by
-// tools/bench_compare.py: the columnar pipeline must hold >= 1.5x the row
-// pipeline's events/sec.
+// Two cases run: "scan" (single-source grouped aggregate, the historical
+// bench) and "join" (two sources equi-joined on request id). The join case
+// exercises the executor's columnar join path: the probe reads the
+// request-id column directly and an Event materializes only when a row
+// first survives the join — orphans never materialize.
+//
+// Both runs of a case must produce the identical result transcript
+// (asserted) — the benchmark measures representation, not semantics. Timing
+// uses CLOCK_THREAD_CPUTIME_ID (single-core safe, like
+// bench_parallel_central); best-of-three is the estimator. Output is the
+// "ingest" JSON section merged into BENCH_scrub.json by tools/bench_run.sh
+// and gated by tools/bench_compare.py: the columnar pipeline must hold
+// >= 1.5x the row pipeline's events/sec on the scan case. The join case
+// rides under the "join" key (legacy baselines without it stay readable).
 //
 // Usage: bench_ingest [events_per_batch] > ingest.json
 
@@ -43,67 +50,131 @@ constexpr int kTicks = 50;
 constexpr TimeMicros kTickMicros = 500 * kMicrosPerMilli;
 
 // Pre-generated raw stream: what the hosts logged, before any Scrub-side
-// work. Both pipelines start from these identical Events.
+// work. Both pipelines start from these identical Events. Sources are
+// parallel to the plan's (one for the scan case, two for the join case).
 struct Workload {
   SchemaRegistry registry;
-  SchemaPtr schema;
-  HostSourcePlan source;
+  std::vector<SchemaPtr> schemas;       // parallel to plan sources
+  std::vector<HostSourcePlan> sources;  // parallel to schemas
   CentralPlan central_plan;
-  // per tick, per host: the logged events.
-  std::vector<std::vector<std::vector<Event>>> stream;
+  // stream[tick][host][source]: the logged events.
+  std::vector<std::vector<std::vector<std::vector<Event>>>> stream;
   uint64_t total_events = 0;
 
-  explicit Workload(size_t events_per_batch) {
-    schema = *EventSchema::Builder("bid")
-                  .AddField("user_id", FieldType::kLong)
-                  .AddField("price", FieldType::kDouble)
-                  .AddField("tag", FieldType::kString)
-                  .Build();
-    if (!registry.Register(schema).ok()) {
-      std::abort();
-    }
+  void Plan(std::string_view query) {
     AnalyzerOptions options;
-    Result<AnalyzedQuery> aq = ParseAndAnalyze(
-        "SELECT bid.user_id, COUNT(*), SUM(bid.price) FROM bid "
-        "WHERE bid.price > 1.0 GROUP BY bid.user_id "
-        "WINDOW 1 s DURATION 60 s;",
-        registry, options);
+    Result<AnalyzedQuery> aq = ParseAndAnalyze(query, registry, options);
     if (!aq.ok()) {
       std::abort();
     }
     Result<QueryPlan> qp = PlanQuery(*aq, 1, 0);
-    if (!qp.ok() || qp->host.sources.size() != 1) {
+    if (!qp.ok() || qp->host.sources.size() != schemas.size()) {
       std::abort();
     }
-    source = qp->host.sources[0];
+    sources = qp->host.sources;
     central_plan = qp->central;
     central_plan.hosts_targeted = kHosts;
     central_plan.hosts_sampled = 0;  // hand-installed: no completeness math
-
-    static const char* kTags[] = {"organic", "paid", "house", "remnant"};
-    Rng rng(4321);
     stream.resize(kTicks);
-    for (int tick = 0; tick < kTicks; ++tick) {
-      stream[static_cast<size_t>(tick)].resize(kHosts);
-      for (int host = 0; host < kHosts; ++host) {
-        auto& events = stream[static_cast<size_t>(tick)][
-            static_cast<size_t>(host)];
-        events.reserve(events_per_batch);
-        for (size_t i = 0; i < events_per_batch; ++i) {
-          Event e(schema, rng.NextUint64(),
-                  tick * kTickMicros +
-                      static_cast<TimeMicros>(rng.NextBelow(
-                          static_cast<uint64_t>(kTickMicros))));
-          e.SetField(0, Value(static_cast<int64_t>(rng.NextBelow(64))));
-          e.SetField(1, Value(rng.NextDouble() * 5));  // ~80% pass > 1.0
-          e.SetField(2, Value(kTags[rng.NextBelow(4)]));
-          events.push_back(std::move(e));
-        }
-        total_events += events.size();
+    for (auto& per_host : stream) {
+      per_host.resize(kHosts);
+      for (auto& per_source : per_host) {
+        per_source.resize(schemas.size());
       }
     }
   }
 };
+
+// Single-source grouped aggregate over a ~80%-selective predicate: the
+// historical ingest bench, dominated by filter + project + fold.
+Workload ScanWorkload(size_t events_per_batch) {
+  Workload w;
+  w.schemas.push_back(*EventSchema::Builder("bid")
+                           .AddField("user_id", FieldType::kLong)
+                           .AddField("price", FieldType::kDouble)
+                           .AddField("tag", FieldType::kString)
+                           .Build());
+  if (!w.registry.Register(w.schemas[0]).ok()) {
+    std::abort();
+  }
+  w.Plan(
+      "SELECT bid.user_id, COUNT(*), SUM(bid.price) FROM bid "
+      "WHERE bid.price > 1.0 GROUP BY bid.user_id "
+      "WINDOW 1 s DURATION 60 s;");
+
+  static const char* kTags[] = {"organic", "paid", "house", "remnant"};
+  Rng rng(4321);
+  for (int tick = 0; tick < kTicks; ++tick) {
+    for (int host = 0; host < kHosts; ++host) {
+      auto& events = w.stream[static_cast<size_t>(tick)]
+                             [static_cast<size_t>(host)][0];
+      events.reserve(events_per_batch);
+      for (size_t i = 0; i < events_per_batch; ++i) {
+        Event e(w.schemas[0], rng.NextUint64(),
+                tick * kTickMicros +
+                    static_cast<TimeMicros>(rng.NextBelow(
+                        static_cast<uint64_t>(kTickMicros))));
+        e.SetField(0, Value(static_cast<int64_t>(rng.NextBelow(64))));
+        e.SetField(1, Value(rng.NextDouble() * 5));  // ~80% pass > 1.0
+        e.SetField(2, Value(kTags[rng.NextBelow(4)]));
+        events.push_back(std::move(e));
+      }
+      w.total_events += events.size();
+    }
+  }
+  return w;
+}
+
+// Two-source equi-join on request id: two thirds of the bids get a matching
+// impression on the same host in the same tick; the rest are join orphans —
+// the rows a lazy columnar join must never materialize.
+Workload JoinWorkload(size_t events_per_batch) {
+  Workload w;
+  w.schemas.push_back(*EventSchema::Builder("bid")
+                           .AddField("campaign_id", FieldType::kLong)
+                           .AddField("price", FieldType::kDouble)
+                           .Build());
+  w.schemas.push_back(*EventSchema::Builder("impression")
+                           .AddField("line_item_id", FieldType::kLong)
+                           .AddField("cost", FieldType::kDouble)
+                           .Build());
+  for (const SchemaPtr& schema : w.schemas) {
+    if (!w.registry.Register(schema).ok()) {
+      std::abort();
+    }
+  }
+  w.Plan(
+      "SELECT impression.line_item_id, COUNT(*), SUM(bid.price) "
+      "FROM bid, impression GROUP BY impression.line_item_id "
+      "WINDOW 1 s DURATION 60 s;");
+
+  Rng rng(8765);
+  for (int tick = 0; tick < kTicks; ++tick) {
+    for (int host = 0; host < kHosts; ++host) {
+      auto& per_source =
+          w.stream[static_cast<size_t>(tick)][static_cast<size_t>(host)];
+      per_source[0].reserve(events_per_batch);
+      for (size_t i = 0; i < events_per_batch; ++i) {
+        const RequestId rid = rng.NextUint64();
+        const TimeMicros ts =
+            tick * kTickMicros + static_cast<TimeMicros>(rng.NextBelow(
+                                     static_cast<uint64_t>(kTickMicros)));
+        Event bid(w.schemas[0], rid, ts);
+        bid.SetField(0, Value(static_cast<int64_t>(rng.NextBelow(16))));
+        bid.SetField(1, Value(rng.NextDouble() * 5));
+        per_source[0].push_back(std::move(bid));
+        if (i % 3 != 0) {
+          Event imp(w.schemas[1], rid, ts);
+          imp.SetField(0, Value(static_cast<int64_t>(rng.NextBelow(8))));
+          imp.SetField(1, Value(rng.NextDouble()));
+          per_source[1].push_back(std::move(imp));
+        }
+      }
+      w.total_events += per_source[0].size() + per_source[1].size();
+    }
+  }
+  return w;
+}
 
 struct RunResult {
   std::string pipeline;
@@ -133,67 +204,69 @@ RunResult RunOne(const Workload& w, bool columnar) {
     std::abort();
   }
 
-  const HostSourcePlan& sp = w.source;
-  const size_t field_count = w.schema->field_count();
   uint64_t seq = 1;
   const uint64_t cpu0 = WorkerPool::ThreadCpuNs();
   for (int tick = 0; tick < kTicks; ++tick) {
     const TimeMicros now = (tick + 1) * kTickMicros;
     for (int host = 0; host < kHosts; ++host) {
-      const auto& events =
-          w.stream[static_cast<size_t>(tick)][static_cast<size_t>(host)];
-      EventBatch batch;
-      batch.query_id = w.central_plan.query_id;
-      batch.host = static_cast<HostId>(host);
-      batch.seq = seq++;
-      if (!columnar) {
-        // Row data plane: per-event predicate, per-event projection copy.
-        std::vector<Event> shipped;
-        for (const Event& e : events) {
-          bool keep = true;
+      for (size_t s = 0; s < w.sources.size(); ++s) {
+        const HostSourcePlan& sp = w.sources[s];
+        const size_t field_count = w.schemas[s]->field_count();
+        const auto& events = w.stream[static_cast<size_t>(tick)]
+                                     [static_cast<size_t>(host)][s];
+        EventBatch batch;
+        batch.query_id = w.central_plan.query_id;
+        batch.host = static_cast<HostId>(host);
+        batch.seq = seq++;
+        if (!columnar) {
+          // Row data plane: per-event predicate, per-event projection copy.
+          std::vector<Event> shipped;
+          for (const Event& e : events) {
+            bool keep = true;
+            for (const CompiledExpr& conjunct : sp.conjuncts) {
+              if (!EvalPredicateSingle(conjunct, e)) {
+                keep = false;
+                break;
+              }
+            }
+            if (!keep) {
+              continue;
+            }
+            Event out(e.schema(), e.request_id(), e.timestamp());
+            for (size_t f = 0; f < field_count; ++f) {
+              if (sp.keep_field[f]) {
+                out.SetField(f, e.field(f));
+              }
+            }
+            shipped.push_back(std::move(out));
+          }
+          batch.event_count = shipped.size();
+          batch.payload = EncodeBatch(shipped);
+        } else {
+          // Columnar data plane: stage, filter vectorized, encode selection.
+          ColumnBatch cols(w.schemas[s]);
+          cols.Reserve(events.size());
+          for (const Event& e : events) {
+            cols.AppendEvent(e);
+          }
+          std::vector<uint32_t> selection(cols.rows());
+          std::iota(selection.begin(), selection.end(), 0u);
           for (const CompiledExpr& conjunct : sp.conjuncts) {
-            if (!EvalPredicateSingle(conjunct, e)) {
-              keep = false;
+            EvalPredicateBatch(conjunct, cols, &selection);
+            if (selection.empty()) {
               break;
             }
           }
-          if (!keep) {
-            continue;
-          }
-          Event out(e.schema(), e.request_id(), e.timestamp());
-          for (size_t f = 0; f < field_count; ++f) {
-            if (sp.keep_field[f]) {
-              out.SetField(f, e.field(f));
-            }
-          }
-          shipped.push_back(std::move(out));
+          batch.format = BatchFormat::kColumnar;
+          batch.event_count = selection.size();
+          EncodeColumnBatch(cols, selection.data(), selection.size(),
+                            &sp.keep_field, &batch.payload);
         }
-        batch.event_count = shipped.size();
-        batch.payload = EncodeBatch(shipped);
-      } else {
-        // Columnar data plane: stage, filter vectorized, encode selection.
-        ColumnBatch cols(w.schema);
-        cols.Reserve(events.size());
-        for (const Event& e : events) {
-          cols.AppendEvent(e);
+        r.shipped += batch.event_count;
+        r.payload_bytes += batch.WireSize();
+        if (!central.IngestBatch(batch, now).ok()) {
+          std::abort();
         }
-        std::vector<uint32_t> selection(cols.rows());
-        std::iota(selection.begin(), selection.end(), 0u);
-        for (const CompiledExpr& conjunct : sp.conjuncts) {
-          EvalPredicateBatch(conjunct, cols, &selection);
-          if (selection.empty()) {
-            break;
-          }
-        }
-        batch.format = BatchFormat::kColumnar;
-        batch.event_count = selection.size();
-        EncodeColumnBatch(cols, selection.data(), selection.size(),
-                          &sp.keep_field, &batch.payload);
-      }
-      r.shipped += batch.event_count;
-      r.payload_bytes += batch.WireSize();
-      if (!central.IngestBatch(batch, now).ok()) {
-        std::abort();
       }
     }
     central.OnTick(now);
@@ -209,31 +282,62 @@ RunResult RunOne(const Workload& w, bool columnar) {
   return r;
 }
 
+// Best-of-three row + columnar passes; transcripts must agree.
+struct CasePair {
+  RunResult row;
+  RunResult col;
+};
+
+CasePair RunCase(const Workload& w, const char* name) {
+  CasePair pair;
+  pair.row = RunOne(w, /*columnar=*/false);
+  pair.col = RunOne(w, /*columnar=*/true);
+  if (pair.row.transcript != pair.col.transcript) {
+    std::fprintf(stderr, "%s pipelines diverged: %zu vs %zu rows\n", name,
+                 pair.row.transcript.size(), pair.col.transcript.size());
+    std::exit(1);
+  }
+  for (int rep = 1; rep < 3; ++rep) {
+    RunResult again = RunOne(w, /*columnar=*/false);
+    if (again.seconds < pair.row.seconds) {
+      pair.row = std::move(again);
+    }
+    again = RunOne(w, /*columnar=*/true);
+    if (again.seconds < pair.col.seconds) {
+      pair.col = std::move(again);
+    }
+  }
+  return pair;
+}
+
+std::string RunsJson(const CasePair& pair, const char* indent) {
+  std::string out;
+  for (const RunResult* r : {&pair.row, &pair.col}) {
+    out += StrFormat(
+        "%s{\"pipeline\": \"%s\", \"events\": %llu, \"shipped\": %llu, "
+        "\"payload_bytes\": %llu, \"seconds\": %.6f, "
+        "\"events_per_sec\": %.0f}%s\n",
+        indent, r->pipeline.c_str(),
+        static_cast<unsigned long long>(r->events),
+        static_cast<unsigned long long>(r->shipped),
+        static_cast<unsigned long long>(r->payload_bytes), r->seconds,
+        r->events_per_sec, r == &pair.row ? "," : "");
+  }
+  return out;
+}
+
 int Main(int argc, char** argv) {
   const size_t events_per_batch =
       argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 1024;
-  Workload workload(events_per_batch);
+  const Workload scan = ScanWorkload(events_per_batch);
+  const Workload join = JoinWorkload(events_per_batch);
 
-  // Best of three per pipeline; the transcript must agree across every run.
-  RunResult row = RunOne(workload, /*columnar=*/false);
-  RunResult col = RunOne(workload, /*columnar=*/true);
-  if (row.transcript != col.transcript) {
-    std::fprintf(stderr, "pipelines diverged: %zu vs %zu rows\n",
-                 row.transcript.size(), col.transcript.size());
-    return 1;
-  }
-  for (int rep = 1; rep < 3; ++rep) {
-    RunResult again = RunOne(workload, /*columnar=*/false);
-    if (again.seconds < row.seconds) {
-      row = std::move(again);
-    }
-    again = RunOne(workload, /*columnar=*/true);
-    if (again.seconds < col.seconds) {
-      col = std::move(again);
-    }
-  }
+  const CasePair scan_pair = RunCase(scan, "scan");
+  const CasePair join_pair = RunCase(join, "join");
 
-  const double speedup = col.events_per_sec / row.events_per_sec;
+  // The scan case keeps the legacy top-level layout ("runs" /
+  // "speedup_vs_row") so committed baselines compare without migration; the
+  // join case nests under "join".
   std::string out = "{\n";
   out += "  \"bench\": \"ingest\",\n";
   out += StrFormat("  \"events_per_batch\": %zu,\n", events_per_batch);
@@ -243,18 +347,21 @@ int Main(int argc, char** argv) {
       "  \"timing\": \"thread CPU clock, best of 3, decode+filter+fold "
       "end to end\",\n";
   out += "  \"runs\": [\n";
-  for (const RunResult* r : {&row, &col}) {
-    out += StrFormat(
-        "    {\"pipeline\": \"%s\", \"events\": %llu, \"shipped\": %llu, "
-        "\"payload_bytes\": %llu, \"seconds\": %.6f, "
-        "\"events_per_sec\": %.0f}%s\n",
-        r->pipeline.c_str(), static_cast<unsigned long long>(r->events),
-        static_cast<unsigned long long>(r->shipped),
-        static_cast<unsigned long long>(r->payload_bytes), r->seconds,
-        r->events_per_sec, r == &row ? "," : "");
-  }
+  out += RunsJson(scan_pair, "    ");
   out += "  ],\n";
-  out += StrFormat("  \"speedup_vs_row\": %.3f\n", speedup);
+  out += StrFormat("  \"speedup_vs_row\": %.3f,\n",
+                   scan_pair.col.events_per_sec /
+                       scan_pair.row.events_per_sec);
+  out += "  \"join\": {\n";
+  out += "    \"query\": \"bid x impression equi-join on request id, "
+         "grouped COUNT/SUM\",\n";
+  out += "    \"runs\": [\n";
+  out += RunsJson(join_pair, "      ");
+  out += "    ],\n";
+  out += StrFormat("    \"speedup_vs_row\": %.3f\n",
+                   join_pair.col.events_per_sec /
+                       join_pair.row.events_per_sec);
+  out += "  }\n";
   out += "}\n";
   std::fputs(out.c_str(), stdout);
   return 0;

@@ -1,103 +1,20 @@
 #include "src/central/central.h"
 
 #include <algorithm>
-#include <cmath>
+#include <utility>
 
 #include "src/common/strings.h"
-#include "src/plan/vectorized.h"
 
 namespace scrub {
 
-void AggAccumulator::Merge(AggAccumulator&& other) {
-  count += other.count;
-  sum += other.sum;
-  if (other.has_minmax) {
-    if (!has_minmax) {
-      min_value = std::move(other.min_value);
-      max_value = std::move(other.max_value);
-      has_minmax = true;
-    } else {
-      if (other.min_value.Compare(min_value) < 0) {
-        min_value = std::move(other.min_value);
-      }
-      if (other.max_value.Compare(max_value) > 0) {
-        max_value = std::move(other.max_value);
-      }
-    }
+Status ScrubCentral::Install(const CentralPlan& plan, QueryState q) {
+  if (queries_.count(plan.query_id) > 0) {
+    return AlreadyExists(StrFormat("query %llu already installed at central",
+                                   static_cast<unsigned long long>(
+                                       plan.query_id)));
   }
-  if (other.hll != nullptr) {
-    if (hll == nullptr) {
-      hll = std::move(other.hll);
-    } else {
-      hll->Merge(*other.hll);
-    }
-  }
-  if (other.topk != nullptr) {
-    if (topk == nullptr) {
-      topk = std::move(other.topk);
-    } else {
-      topk->Merge(*other.topk);
-    }
-  }
-}
-
-Value FinalizeAccumulator(const AggregateSpec& spec,
-                          const AggAccumulator& acc, double scale) {
-  switch (spec.func) {
-    case AggregateFunc::kCount:
-      if (scale == 1.0) {
-        return Value(static_cast<int64_t>(acc.count));
-      }
-      return Value(static_cast<double>(acc.count) * scale);
-    case AggregateFunc::kSum:
-      return Value(acc.sum * scale);
-    case AggregateFunc::kAvg:
-      if (acc.count == 0) {
-        return Value::Null();
-      }
-      return Value(acc.sum / static_cast<double>(acc.count));
-    case AggregateFunc::kMin:
-      return acc.has_minmax ? acc.min_value : Value::Null();
-    case AggregateFunc::kMax:
-      return acc.has_minmax ? acc.max_value : Value::Null();
-    case AggregateFunc::kCountDistinct:
-      if (acc.hll == nullptr) {
-        return Value(int64_t{0});
-      }
-      return Value(static_cast<int64_t>(std::llround(acc.hll->Estimate())));
-    case AggregateFunc::kTopK: {
-      std::vector<Value> rows;
-      if (acc.topk != nullptr) {
-        for (const auto& entry :
-             acc.topk->TopK(static_cast<size_t>(spec.topk_k))) {
-          const double shown = static_cast<double>(entry.count) * scale;
-          rows.push_back(Value(StrFormat(
-              "%s:%.0f", entry.key.ToString().c_str(), shown)));
-        }
-      }
-      return Value(std::move(rows));
-    }
-  }
-  return Value::Null();
-}
-
-std::string ResultRow::ToString() const {
-  std::string out = StrFormat("[%lld, %lld) ",
-                              static_cast<long long>(window_start),
-                              static_cast<long long>(window_end));
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (i != 0) {
-      out += " | ";
-    }
-    out += values[i].ToString();
-    if (i < error_bounds.size() && error_bounds[i] > 0) {
-      out += StrFormat(" ±%.3g", error_bounds[i]);
-    }
-  }
-  if (completeness < 1.0) {
-    out += StrFormat(" [completeness %.2f]", completeness);
-  }
-  return out;
+  queries_.emplace(plan.query_id, std::move(q));
+  return OkStatus();
 }
 
 Status ScrubCentral::InstallQuery(const CentralPlan& plan, ResultSink sink) {
@@ -109,19 +26,11 @@ Status ScrubCentral::InstallQuery(const CentralPlan& plan, ResultSink sink) {
   if (sink == nullptr) {
     return InvalidArgument("result sink must be set");
   }
-  ActiveQuery q;
+  QueryState q;
   q.plan = plan;
+  q.pipeline = CompilePhysical(plan, PipelineRole::kSingleInstance);
   q.sink = std::move(sink);
-  q.needs_scaling = plan.SamplingActive();
-  if (plan.SamplingActive() && plan.group_by.empty() && !plan.is_join()) {
-    for (size_t i = 0; i < plan.aggregates.size(); ++i) {
-      if (plan.aggregates[i].ScalesUnderSampling()) {
-        q.bounded_aggregates.push_back(static_cast<int>(i));
-      }
-    }
-  }
-  queries_.emplace(plan.query_id, std::move(q));
-  return OkStatus();
+  return Install(plan, std::move(q));
 }
 
 Status ScrubCentral::InstallQueryPartial(const CentralPlan& plan,
@@ -132,21 +41,11 @@ Status ScrubCentral::InstallQueryPartial(const CentralPlan& plan,
   if (!plan.aggregate_mode) {
     return Unimplemented("partial mode requires an aggregate-mode plan");
   }
-  if (plan.SamplingActive()) {
-    return Unimplemented(
-        "partial (sharded) mode does not combine with sampling; sampled "
-        "queries are low-volume and run on a single instance");
-  }
-  if (queries_.count(plan.query_id) > 0) {
-    return AlreadyExists(StrFormat("query %llu already installed at central",
-                                   static_cast<unsigned long long>(
-                                       plan.query_id)));
-  }
-  ActiveQuery q;
+  QueryState q;
   q.plan = plan;
+  q.pipeline = CompilePhysical(plan, PipelineRole::kShard);
   q.partial_sink = std::move(sink);
-  queries_.emplace(plan.query_id, std::move(q));
-  return OkStatus();
+  return Install(plan, std::move(q));
 }
 
 void ScrubCentral::RemoveQuery(QueryId query_id) {
@@ -154,54 +53,12 @@ void ScrubCentral::RemoveQuery(QueryId query_id) {
   if (it == queries_.end()) {
     return;
   }
-  ActiveQuery& q = it->second;
+  QueryState& q = it->second;
   for (auto& [start, window] : q.windows) {
-    CloseWindow(q, &window);
+    executor_.CloseWindow(q, &window);
   }
   retired_stats_[query_id] = q.stats;
   queries_.erase(it);
-}
-
-TimeMicros ScrubCentral::WindowStartFor(const ActiveQuery& q,
-                                        TimeMicros ts) const {
-  // Window starts sit on the slide grid (slide == window for tumbling).
-  TimeMicros grid = q.plan.slide_micros;
-  if (grid <= 0) {
-    grid = q.plan.window_micros;
-  }
-  if (grid <= 0) {
-    return q.plan.start_time;
-  }
-  const TimeMicros rel = ts - q.plan.start_time;
-  return q.plan.start_time + (rel / grid) * grid;
-}
-
-std::vector<ScrubCentral::WindowState*> ScrubCentral::WindowsFor(
-    ActiveQuery& q, TimeMicros ts) {
-  std::vector<WindowState*> out;
-  if (ts < q.plan.start_time || ts >= q.plan.end_time) {
-    return out;
-  }
-  const TimeMicros window = q.plan.window_micros;
-  TimeMicros slide = q.plan.slide_micros;
-  if (slide <= 0) {
-    slide = window;
-  }
-  // Newest covering window first, then earlier ones on the slide grid until
-  // the window no longer covers ts.
-  for (TimeMicros start = WindowStartFor(q, ts);
-       start > ts - window && start >= q.plan.start_time; start -= slide) {
-    if (start <= q.closed_through) {
-      break;  // this and all earlier covering windows have emitted
-    }
-    WindowState& w = q.windows[start];
-    w.start = start;
-    out.push_back(&w);
-    if (slide <= 0) {
-      break;  // untimed single-window query
-    }
-  }
-  return out;
 }
 
 Status ScrubCentral::IngestBatch(const EventBatch& batch, TimeMicros now) {
@@ -211,7 +68,7 @@ Status ScrubCentral::IngestBatch(const EventBatch& batch, TimeMicros now) {
     // Query already retired; traffic raced the teardown. Not an error.
     return OkStatus();
   }
-  ActiveQuery& q = it->second;
+  QueryState& q = it->second;
   ++q.stats.batches;
 
   // Duplicate suppression before any counter or event is folded in: a
@@ -228,31 +85,18 @@ Status ScrubCentral::IngestBatch(const EventBatch& batch, TimeMicros now) {
   // counter covers one slide period; every window containing that period
   // absorbs it.
   for (const WindowCounter& counter : batch.counters) {
-    for (WindowState* w : WindowsFor(q, counter.window_start)) {
+    for (WindowState* w : executor_.WindowsFor(q, counter.window_start)) {
       HostWindowStats& hs = w->host_stats[batch.host];
       hs.population += counter.seen;
       hs.sampled += counter.sampled;
-      hs.readings.resize(q.bounded_aggregates.size());
+      hs.readings.resize(q.pipeline.bounded_aggregates.size());
     }
   }
 
   if (batch.event_count == 0) {
     return OkStatus();
   }
-  if (batch.format == BatchFormat::kColumnar) {
-    Result<ColumnBatch> cols = DecodeColumnBatch(*registry_, batch.payload);
-    if (!cols.ok()) {
-      return cols.status();
-    }
-    FoldColumns(q, batch.host, *cols, /*selection=*/nullptr, cols->rows());
-    return OkStatus();
-  }
-  Result<std::vector<Event>> events = DecodeBatch(*registry_, batch.payload);
-  if (!events.ok()) {
-    return events.status();
-  }
-  FoldEvents(q, batch.host, *events);
-  return OkStatus();
+  return executor_.DecodeAndFold(q, batch.host, batch);
 }
 
 Status ScrubCentral::IngestEvents(QueryId query_id, HostId host,
@@ -261,478 +105,25 @@ Status ScrubCentral::IngestEvents(QueryId query_id, HostId host,
   if (it == queries_.end()) {
     return OkStatus();  // raced teardown, mirror IngestBatch
   }
-  ActiveQuery& q = it->second;
+  QueryState& q = it->second;
   ++q.stats.batches;
-  FoldEvents(q, host, events);
+  executor_.Fold(q, host, InputChunk::Rows(events));
   return OkStatus();
 }
 
 Status ScrubCentral::IngestColumns(QueryId query_id, HostId host,
-                                   const ColumnBatch& batch,
+                                   std::shared_ptr<const ColumnBatch> batch,
                                    const uint32_t* selection,
                                    size_t selected) {
   const auto it = queries_.find(query_id);
   if (it == queries_.end()) {
     return OkStatus();  // raced teardown, mirror IngestBatch
   }
-  ActiveQuery& q = it->second;
+  QueryState& q = it->second;
   ++q.stats.batches;
-  FoldColumns(q, host, batch, selection, selected);
+  executor_.Fold(q, host,
+                 InputChunk::Columns(std::move(batch), selection, selected));
   return OkStatus();
-}
-
-void ScrubCentral::FoldColumns(ActiveQuery& q, HostId host,
-                               const ColumnBatch& batch,
-                               const uint32_t* selection, size_t selected) {
-  if (selection == nullptr) {
-    selected = batch.rows();
-  }
-  if (q.plan.is_join()) {
-    // Joins keep row semantics end to end: the symmetric hash join's output
-    // depends on arrival order, which materializing in batch order
-    // preserves exactly.
-    std::vector<Event> events;
-    events.reserve(selected);
-    for (size_t i = 0; i < selected; ++i) {
-      events.push_back(
-          batch.MaterializeEvent(selection != nullptr ? selection[i] : i));
-    }
-    FoldEvents(q, host, events);
-    return;
-  }
-  for (size_t i = 0; i < selected; ++i) {
-    const size_t row = selection != nullptr ? selection[i] : i;
-    meter_.ChargeScrub(config_.costs.central_ingest_ns);
-    ++q.stats.events_ingested;
-    const std::vector<WindowState*> windows =
-        WindowsFor(q, batch.timestamp(row));
-    if (windows.empty()) {
-      ++q.stats.events_late;
-      continue;
-    }
-    for (WindowState* w : windows) {
-      ProcessColumnRow(q, *w, batch, row, host);
-    }
-  }
-}
-
-void ScrubCentral::FoldEvents(ActiveQuery& q, HostId host,
-                              const std::vector<Event>& events) {
-  for (const Event& event : events) {
-    meter_.ChargeScrub(config_.costs.central_ingest_ns);
-    ++q.stats.events_ingested;
-    const std::vector<WindowState*> windows =
-        WindowsFor(q, event.timestamp());
-    if (windows.empty()) {
-      ++q.stats.events_late;
-      continue;
-    }
-    for (WindowState* w : windows) {
-      ProcessEvent(q, *w, event, host);
-    }
-  }
-}
-
-void ScrubCentral::ProcessEvent(ActiveQuery& q, WindowState& w,
-                                const Event& event, HostId host) {
-  HostWindowStats& hs = w.host_stats[host];
-  hs.readings.resize(q.bounded_aggregates.size());
-  ++hs.received;
-
-  if (!q.plan.is_join()) {
-    EventTuple tuple{&event};
-    // Per-host readings for the Eq. 1-3 slots.
-    for (size_t b = 0; b < q.bounded_aggregates.size(); ++b) {
-      const AggregateSpec& spec =
-          q.plan.aggregates[static_cast<size_t>(q.bounded_aggregates[b])];
-      double v = 1.0;  // COUNT: indicator reading
-      if (spec.func == AggregateFunc::kSum) {
-        const Value arg = EvalExpr(spec.arg, tuple);
-        v = arg.is_numeric() ? arg.AsNumber() : 0.0;
-      }
-      hs.readings[b].Add(v);
-    }
-    ProcessTuple(q, w, tuple, host);
-    return;
-  }
-
-  // Symmetric hash join on request id, scoped to the window.
-  int source = -1;
-  for (size_t i = 0; i < q.plan.sources.size(); ++i) {
-    if (q.plan.sources[i] == event.type_name()) {
-      source = static_cast<int>(i);
-      break;
-    }
-  }
-  if (source < 0) {
-    return;  // not part of this query (shouldn't happen: host filtered)
-  }
-  auto state_it = w.join_state.find(event.request_id());
-  if (state_it == w.join_state.end()) {
-    if (w.join_state.size() >= config_.max_join_requests_per_window) {
-      ++q.stats.join_shed;  // shed, never grow without bound
-      return;
-    }
-    state_it = w.join_state.emplace(event.request_id(),
-                                    std::vector<std::vector<Event>>())
-                   .first;
-  }
-  auto& per_request = state_it->second;
-  per_request.resize(q.plan.sources.size());
-  // Probe the other side(s) before inserting: new tuples are exactly the
-  // cross product of this event with previously arrived partners.
-  std::vector<const Event*> partners;
-  for (size_t other = 0; other < per_request.size(); ++other) {
-    if (static_cast<int>(other) == source) {
-      continue;
-    }
-    for (const Event& e2 : per_request[other]) {
-      meter_.ChargeScrub(config_.costs.central_join_probe_ns);
-      EventTuple tuple(q.plan.sources.size(), nullptr);
-      tuple[static_cast<size_t>(source)] = &event;
-      tuple[other] = &e2;
-      ++q.stats.tuples_joined;
-      ProcessTuple(q, w, tuple, host);
-    }
-  }
-  per_request[static_cast<size_t>(source)].push_back(event);
-}
-
-void ScrubCentral::ProcessColumnRow(ActiveQuery& q, WindowState& w,
-                                    const ColumnBatch& batch, size_t row,
-                                    HostId host) {
-  HostWindowStats& hs = w.host_stats[host];
-  hs.readings.resize(q.bounded_aggregates.size());
-  ++hs.received;
-
-  // Per-host readings for the Eq. 1-3 slots (mirrors ProcessEvent).
-  for (size_t b = 0; b < q.bounded_aggregates.size(); ++b) {
-    const AggregateSpec& spec =
-        q.plan.aggregates[static_cast<size_t>(q.bounded_aggregates[b])];
-    double v = 1.0;  // COUNT: indicator reading
-    if (spec.func == AggregateFunc::kSum) {
-      const Value arg = EvalExprColumns(spec.arg, batch, row);
-      v = arg.is_numeric() ? arg.AsNumber() : 0.0;
-    }
-    hs.readings[b].Add(v);
-  }
-
-  const CentralPlan& plan = q.plan;
-  if (!plan.aggregate_mode) {
-    ResultRow result;
-    result.query_id = plan.query_id;
-    result.window_start = w.start;
-    result.window_end = w.start + plan.window_micros;
-    result.values.reserve(plan.raw_select.size());
-    for (const CompiledExpr& e : plan.raw_select) {
-      result.values.push_back(EvalExprColumns(e, batch, row));
-    }
-    result.error_bounds.assign(result.values.size(), 0.0);
-    ++q.stats.rows_emitted;
-    q.sink(result);
-    return;
-  }
-
-  GroupKey key;
-  key.reserve(plan.group_by.size());
-  for (const CompiledExpr& g : plan.group_by) {
-    key.push_back(EvalExprColumns(g, batch, row));
-  }
-  // One hash per row, reused for the map probe (and, pre-bucketed, by the
-  // sharded router).
-  HashedGroupKey hk(std::move(key));
-  GroupState& group = w.groups[std::move(hk)];
-  if (group.accumulators.empty()) {
-    group.accumulators.resize(plan.aggregates.size());
-  }
-  for (size_t i = 0; i < plan.aggregates.size(); ++i) {
-    meter_.ChargeScrub(config_.costs.central_group_update_ns);
-    const AggregateSpec& spec = plan.aggregates[i];
-    Value arg;
-    if (spec.has_arg) {
-      arg = EvalExprColumns(spec.arg, batch, row);
-      if (arg.is_null()) {
-        continue;  // SQL-style: aggregates skip null arguments
-      }
-    }
-    UpdateAccumulatorValue(spec, &group.accumulators[i], arg);
-  }
-}
-
-void ScrubCentral::ProcessTuple(ActiveQuery& q, WindowState& w,
-                                const EventTuple& tuple, HostId host) {
-  (void)host;
-  const CentralPlan& plan = q.plan;
-  if (!plan.aggregate_mode) {
-    ResultRow row;
-    row.query_id = plan.query_id;
-    row.window_start = w.start;
-    row.window_end = w.start + plan.window_micros;
-    row.values.reserve(plan.raw_select.size());
-    for (const CompiledExpr& e : plan.raw_select) {
-      row.values.push_back(EvalExpr(e, tuple));
-    }
-    row.error_bounds.assign(row.values.size(), 0.0);
-    ++q.stats.rows_emitted;
-    q.sink(row);
-    return;
-  }
-
-  GroupKey key;
-  key.reserve(plan.group_by.size());
-  for (const CompiledExpr& g : plan.group_by) {
-    key.push_back(EvalExpr(g, tuple));
-  }
-  HashedGroupKey hk(std::move(key));
-  GroupState& group = w.groups[std::move(hk)];
-  if (group.accumulators.empty()) {
-    group.accumulators.resize(plan.aggregates.size());
-  }
-  for (size_t i = 0; i < plan.aggregates.size(); ++i) {
-    meter_.ChargeScrub(config_.costs.central_group_update_ns);
-    UpdateAccumulator(plan.aggregates[i], &group.accumulators[i], tuple);
-  }
-}
-
-void ScrubCentral::UpdateAccumulator(const AggregateSpec& spec,
-                                     Accumulator* acc,
-                                     const EventTuple& tuple) {
-  Value arg;
-  if (spec.has_arg) {
-    arg = EvalExpr(spec.arg, tuple);
-    if (arg.is_null()) {
-      return;  // SQL-style: aggregates skip null arguments
-    }
-  }
-  UpdateAccumulatorValue(spec, acc, arg);
-}
-
-void ScrubCentral::UpdateAccumulatorValue(const AggregateSpec& spec,
-                                          Accumulator* acc,
-                                          const Value& arg) {
-  switch (spec.func) {
-    case AggregateFunc::kCount:
-      ++acc->count;
-      return;
-    case AggregateFunc::kSum:
-      ++acc->count;
-      acc->sum += arg.is_numeric() ? arg.AsNumber() : 0.0;
-      return;
-    case AggregateFunc::kAvg:
-      ++acc->count;
-      acc->sum += arg.is_numeric() ? arg.AsNumber() : 0.0;
-      return;
-    case AggregateFunc::kMin:
-    case AggregateFunc::kMax:
-      if (!acc->has_minmax) {
-        acc->min_value = arg;
-        acc->max_value = arg;
-        acc->has_minmax = true;
-      } else {
-        if (arg.Compare(acc->min_value) < 0) {
-          acc->min_value = arg;
-        }
-        if (arg.Compare(acc->max_value) > 0) {
-          acc->max_value = arg;
-        }
-      }
-      return;
-    case AggregateFunc::kCountDistinct:
-      if (acc->hll == nullptr) {
-        acc->hll = std::make_unique<HyperLogLog>(config_.hll_precision);
-      }
-      acc->hll->AddHash(HashMix64(arg.Hash()));
-      return;
-    case AggregateFunc::kTopK: {
-      if (acc->topk == nullptr) {
-        const size_t capacity = std::max(
-            config_.min_topk_capacity,
-            static_cast<size_t>(spec.topk_k) * config_.topk_capacity_factor);
-        acc->topk =
-            std::make_unique<SpaceSaving<Value, ValueHash>>(capacity);
-      }
-      acc->topk->Add(arg);
-      return;
-    }
-  }
-}
-
-double ScrubCentral::GroupScaleFor(const ActiveQuery& q,
-                                   const WindowState& w) const {
-  if (!q.needs_scaling) {
-    return 1.0;
-  }
-  // Ratio estimator: (N / n) * (sum M_i / sum m_i) over reporting hosts.
-  uint64_t population = 0;
-  uint64_t sampled = 0;
-  for (const auto& [host, hs] : w.host_stats) {
-    population += hs.population;
-    sampled += hs.sampled;
-  }
-  double scale = 1.0;
-  if (sampled > 0 && population > 0) {
-    scale = static_cast<double>(population) / static_cast<double>(sampled);
-  }
-  if (q.plan.hosts_sampled > 0 && q.plan.hosts_targeted > 0) {
-    scale *= static_cast<double>(q.plan.hosts_targeted) /
-             static_cast<double>(q.plan.hosts_sampled);
-  }
-  return scale;
-}
-
-Value ScrubCentral::FinalizeAggregate(const ActiveQuery& q,
-                                      const WindowState& w, int slot,
-                                      const Accumulator& acc,
-                                      double group_scale,
-                                      double* error_bound) const {
-  *error_bound = 0.0;
-  const AggregateSpec& spec = q.plan.aggregates[static_cast<size_t>(slot)];
-  const bool bounded =
-      std::find(q.bounded_aggregates.begin(), q.bounded_aggregates.end(),
-                slot) != q.bounded_aggregates.end();
-
-  if (bounded) {
-    // Full Eq. 1-3 treatment over the window's per-host stats.
-    const size_t b = static_cast<size_t>(
-        std::find(q.bounded_aggregates.begin(), q.bounded_aggregates.end(),
-                  slot) -
-        q.bounded_aggregates.begin());
-    std::vector<HostSampleStats> hosts;
-    for (const auto& [host, hs] : w.host_stats) {
-      HostSampleStats h;
-      h.population = hs.population;
-      if (b < hs.readings.size()) {
-        h.readings = hs.readings[b];
-      }
-      // Sampled-but-filtered events are zero readings.
-      const uint64_t zeros =
-          hs.sampled > hs.received ? hs.sampled - hs.received : 0;
-      if (zeros > 0) {
-        h.readings.Merge(RunningStats::Constant(zeros, 0.0));
-      }
-      hosts.push_back(std::move(h));
-    }
-    // Sampled hosts that reported nothing this window estimate zero totals.
-    const uint64_t reporting = hosts.size();
-    for (uint64_t i = reporting; i < q.plan.hosts_sampled; ++i) {
-      hosts.emplace_back();
-    }
-    const uint64_t total_hosts =
-        std::max<uint64_t>(q.plan.hosts_targeted, hosts.size());
-    if (!hosts.empty()) {
-      Result<ApproxSum> est = EstimateSum(hosts, total_hosts, 0.95);
-      if (est.ok()) {
-        *error_bound = std::isfinite(est->error_bound) ? est->error_bound : 0.0;
-        return Value(est->estimate);
-      }
-    }
-    // Fall through to exact-path finalization on estimator failure.
-  }
-
-  const double scale =
-      (q.needs_scaling && spec.ScalesUnderSampling()) ? group_scale : 1.0;
-  return FinalizeAccumulator(spec, acc, scale);
-}
-
-double ScrubCentral::WindowCompleteness(const ActiveQuery& q,
-                                        const WindowState& w) const {
-  // Expected set = the hosts the plan was disseminated to. With heartbeat
-  // counters on, every reachable one leaves a host_stats entry per window.
-  if (q.plan.hosts_sampled == 0) {
-    return 1.0;  // expected set unknown (hand-installed plan)
-  }
-  const double frac = static_cast<double>(w.host_stats.size()) /
-                      static_cast<double>(q.plan.hosts_sampled);
-  return std::min(1.0, frac);
-}
-
-void ScrubCentral::CloseWindow(ActiveQuery& q, WindowState* w) {
-  if (w->closed) {
-    return;
-  }
-  w->closed = true;
-  const CentralPlan& plan = q.plan;
-
-  const double completeness = WindowCompleteness(q, *w);
-  ++q.stats.windows_closed;
-  q.stats.completeness_sum += completeness;
-  q.stats.completeness_min = std::min(q.stats.completeness_min, completeness);
-  if (completeness < 1.0) {
-    ++q.stats.windows_incomplete;
-  }
-
-  // Join orphans: request ids where one side never arrived.
-  for (const auto& [rid, per_source] : w->join_state) {
-    bool complete = true;
-    uint64_t total = 0;
-    for (const auto& side : per_source) {
-      if (side.empty()) {
-        complete = false;
-      }
-      total += side.size();
-    }
-    if (!complete) {
-      q.stats.join_orphans += total;
-    }
-  }
-
-  if (!plan.aggregate_mode) {
-    return;  // raw rows were emitted eagerly
-  }
-
-  if (q.partial_sink != nullptr) {
-    // Shard mode: hand the mergeable state to the coordinator.
-    WindowPartial partial;
-    partial.query_id = plan.query_id;
-    partial.window_start = w->start;
-    partial.completeness = completeness;
-    partial.keys.reserve(w->groups.size());
-    partial.key_hashes.reserve(w->groups.size());
-    partial.accumulators.reserve(w->groups.size());
-    for (auto& [hashed_key, group] : w->groups) {
-      partial.keys.push_back(hashed_key.key);
-      partial.key_hashes.push_back(hashed_key.hash);
-      partial.accumulators.push_back(std::move(group.accumulators));
-    }
-    ++q.stats.rows_emitted;  // one partial per window
-    q.partial_sink(std::move(partial));
-    return;
-  }
-
-  // Ungrouped aggregate queries emit a row even for an empty window, so
-  // time series stay continuous.
-  if (plan.group_by.empty() && w->groups.empty()) {
-    GroupState& g = w->groups[HashedGroupKey(GroupKey{})];
-    g.accumulators.resize(plan.aggregates.size());
-  }
-
-  const double group_scale = GroupScaleFor(q, *w);
-  for (auto& [hashed_key, group] : w->groups) {
-    ResultRow row;
-    row.query_id = plan.query_id;
-    row.window_start = w->start;
-    row.window_end = w->start + plan.window_micros;
-    row.completeness = completeness;
-
-    std::vector<Value> agg_values(plan.aggregates.size());
-    std::vector<double> agg_bounds(plan.aggregates.size(), 0.0);
-    for (size_t i = 0; i < plan.aggregates.size(); ++i) {
-      agg_values[i] =
-          FinalizeAggregate(q, *w, static_cast<int>(i), group.accumulators[i],
-                            group_scale, &agg_bounds[i]);
-    }
-    for (const OutputColumn& column : plan.outputs) {
-      row.values.push_back(
-          EvalOutputExpr(column.expr, hashed_key.key, agg_values));
-      row.error_bounds.push_back(
-          column.expr.kind == OutputKind::kAggregate
-              ? agg_bounds[static_cast<size_t>(column.expr.index)]
-              : 0.0);
-    }
-    ++q.stats.groups_emitted;
-    ++q.stats.rows_emitted;
-    q.sink(row);
-  }
 }
 
 void ScrubCentral::OnTick(TimeMicros now) {
@@ -743,7 +134,7 @@ void ScrubCentral::OnTick(TimeMicros now) {
       WindowState& w = it->second;
       const TimeMicros window_end = w.start + q.plan.window_micros;
       if (window_end + lateness <= now) {
-        CloseWindow(q, &w);
+        executor_.CloseWindow(q, &w);
         q.closed_through = std::max(q.closed_through, w.start);
         it = q.windows.erase(it);
       } else {
@@ -771,6 +162,11 @@ const CentralQueryStats* ScrubCentral::StatsFor(QueryId query_id) const {
 size_t ScrubCentral::OpenWindows(QueryId query_id) const {
   const auto it = queries_.find(query_id);
   return it == queries_.end() ? 0 : it->second.windows.size();
+}
+
+const PhysicalPipeline* ScrubCentral::PipelineFor(QueryId query_id) const {
+  const auto it = queries_.find(query_id);
+  return it == queries_.end() ? nullptr : &it->second.pipeline;
 }
 
 }  // namespace scrub

@@ -14,184 +14,38 @@
 // result rows to the registered sink. Late events landing in a closed
 // window are counted and dropped — accuracy traded for bounded state,
 // exactly the paper's stance.
+//
+// ScrubCentral itself is a thin facility adapter: it owns query lifecycle
+// (install / dedup / retire) and maps every ingest entry point onto the
+// physical-operator Executor (src/central/executor.h), which interprets the
+// pipeline CompilePhysical() built from the plan. Row spans, ColumnBatch
+// selections and shard roles all flow through that one executor.
 
 #ifndef SRC_CENTRAL_CENTRAL_H_
 #define SRC_CENTRAL_CENTRAL_H_
 
 #include <cstdint>
-#include <functional>
-#include <limits>
-#include <map>
 #include <memory>
-#include <set>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
-#include "src/agent/agent.h"
-#include "src/common/cost_model.h"
-#include "src/event/schema.h"
-#include "src/event/wire.h"
-#include "src/plan/plan.h"
-#include "src/sketch/hyperloglog.h"
-#include "src/sketch/multistage.h"
-#include "src/sketch/space_saving.h"
+#include "src/central/executor.h"
 
 namespace scrub {
-
-// Group keys and mergeable aggregate state are shared with the sharded
-// deployment (ShardedCentral), whose coordinator merges per-shard partials.
-using GroupKey = std::vector<Value>;
-
-struct GroupKeyHash {
-  size_t operator()(const GroupKey& key) const {
-    size_t seed = 0x517cc1b7;
-    for (const Value& v : key) {
-      seed ^= v.Hash() + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2);
-    }
-    return seed;
-  }
-};
-
-// A group key bundled with its hash, computed once per row: the fold's map
-// probe, the coordinator's merge and the shard re-bucket all reuse it
-// instead of rehashing a vector<Value>. The hash is exactly GroupKeyHash's,
-// so every pipeline (row, columnar, sharded) buckets groups identically —
-// part of the byte-identical-transcript argument.
-struct HashedGroupKey {
-  GroupKey key;
-  size_t hash = 0;
-
-  HashedGroupKey() = default;
-  explicit HashedGroupKey(GroupKey k)
-      : key(std::move(k)), hash(GroupKeyHash{}(key)) {}
-  HashedGroupKey(GroupKey k, size_t h) : key(std::move(k)), hash(h) {}
-
-  bool operator==(const HashedGroupKey& other) const {
-    return key == other.key;
-  }
-};
-
-struct HashedGroupKeyHash {
-  size_t operator()(const HashedGroupKey& k) const { return k.hash; }
-};
-
-// One aggregate's running state within one group. Mergeable: partials from
-// independent shards combine into the same state one stream would build.
-struct AggAccumulator {
-  uint64_t count = 0;
-  double sum = 0.0;
-  bool has_minmax = false;
-  Value min_value;
-  Value max_value;
-  std::unique_ptr<HyperLogLog> hll;
-  std::unique_ptr<SpaceSaving<Value, ValueHash>> topk;
-
-  void Merge(AggAccumulator&& other);
-};
-
-// Finalizes one accumulator to its result value on the exact path (scale
-// multiplies COUNT/SUM/TOPK counts; pass 1.0 when sampling is off).
-Value FinalizeAccumulator(const AggregateSpec& spec,
-                          const AggAccumulator& acc, double scale);
-
-// One shard's finished window, shipped to the sharded coordinator.
-struct WindowPartial {
-  QueryId query_id = 0;
-  TimeMicros window_start = 0;
-  // Fraction of the plan's sampled host set heard from this window (1.0
-  // when unknown). The coordinator takes the min across shards.
-  double completeness = 1.0;
-  std::vector<GroupKey> keys;
-  // GroupKeyHash of each key, parallel to `keys`: the coordinator's merge
-  // reuses the shard's hashes instead of rehashing.
-  std::vector<size_t> key_hashes;
-  std::vector<std::vector<AggAccumulator>> accumulators;  // parallel to keys
-};
-
-using PartialSink = std::function<void(WindowPartial&&)>;
-
-struct ResultRow {
-  QueryId query_id = 0;
-  TimeMicros window_start = 0;
-  TimeMicros window_end = 0;
-  std::vector<Value> values;          // one per select column
-  // error_bounds[i] is the ± half-width of the 95% interval when column i is
-  // a sampled COUNT/SUM (Eq. 2); 0 means exact / not applicable.
-  std::vector<double> error_bounds;
-  // Fraction of the hosts the plan expected to hear from whose contribution
-  // (events or heartbeat counters) reached central before this window
-  // closed. 1.0 = every expected host reported; below that, the window's
-  // answer is partition/crash-degraded and the user can tell.
-  double completeness = 1.0;
-
-  std::string ToString() const;
-};
-
-using ResultSink = std::function<void(const ResultRow&)>;
-
-// Duplicate suppression for sequenced batches from one (host, epoch): a
-// contiguous watermark plus the out-of-order seqs beyond it, so state stays
-// O(reorder depth), not O(batches). Shared with ShardedCentral, which dedups
-// at the router before re-bucketing.
-struct SeqTracker {
-  uint64_t contiguous = 0;  // every seq <= this has been seen
-  std::set<uint64_t> ahead;
-
-  // Returns false (duplicate) if seq was already recorded.
-  bool Insert(uint64_t seq) {
-    if (seq <= contiguous || ahead.count(seq) > 0) {
-      return false;
-    }
-    ahead.insert(seq);
-    while (!ahead.empty() && *ahead.begin() == contiguous + 1) {
-      ++contiguous;
-      ahead.erase(ahead.begin());
-    }
-    return true;
-  }
-};
-
-struct CentralConfig {
-  // How long past a window's end central waits for stragglers.
-  TimeMicros allowed_lateness = 2 * kMicrosPerSecond;
-  // Join-state bound: at most this many distinct request ids buffered per
-  // (query, window). Beyond it, new request ids are shed and counted —
-  // accuracy traded for bounded memory, the paper's standing policy.
-  size_t max_join_requests_per_window = 1 << 20;
-  size_t topk_capacity_factor = 10;  // SpaceSaving counters per requested k
-  size_t min_topk_capacity = 100;
-  int hll_precision = 14;
-  CostModel costs;
-};
-
-struct CentralQueryStats {
-  uint64_t batches = 0;
-  uint64_t batches_duplicate = 0;  // dedup hits: retransmit raced its ack
-  uint64_t events_ingested = 0;
-  uint64_t events_late = 0;        // dropped: window already closed
-  uint64_t tuples_joined = 0;      // joined tuples processed (join queries)
-  uint64_t join_orphans = 0;       // events never matched by window close
-  uint64_t join_shed = 0;          // events dropped: join buffer at capacity
-  uint64_t groups_emitted = 0;
-  uint64_t rows_emitted = 0;
-  // Completeness accounting across closed windows.
-  uint64_t windows_closed = 0;
-  uint64_t windows_incomplete = 0;  // closed with completeness < 1
-  double completeness_min = 1.0;
-  double completeness_sum = 0.0;    // mean = sum / windows_closed
-};
 
 class ScrubCentral {
  public:
   ScrubCentral(const SchemaRegistry* registry, CentralConfig config = {})
       : registry_(registry), config_(config) {}
 
-  // Registers a query; rows will flow to `sink` as windows close.
+  // Registers a query; rows will flow to `sink` as windows close. Compiles
+  // the single-instance pipeline (every stage, Finalize included).
   Status InstallQuery(const CentralPlan& plan, ResultSink sink);
   // Shard mode: windows close by emitting mergeable per-group partials
-  // instead of finalized rows (aggregate-mode plans without sampling only;
-  // the coordinator merges and finalizes).
+  // instead of finalized rows (aggregate-mode plans only; the coordinator
+  // merges and finalizes). Sampled plans shard too: the compiled shard
+  // pipeline collects per-(group, host) readings and the coordinator runs
+  // the Eq. 1-3 estimator over globally merged counters.
   Status InstallQueryPartial(const CentralPlan& plan, PartialSink sink);
   // Finalizes every open window (emitting rows) and forgets the query.
   void RemoveQuery(QueryId query_id);
@@ -212,11 +66,12 @@ class ScrubCentral {
   // Columnar twin of IngestEvents: folds the selected rows of a decoded
   // ColumnBatch straight into accumulators — no per-event Event allocation.
   // `selection` lists row indices in fold order (nullptr = all rows). Join
-  // plans fall back to materialized rows to preserve arrival-order
-  // semantics. Same concurrency contract as IngestEvents.
+  // plans probe the request-id column directly and materialize only rows
+  // that survive the join, which is why the batch arrives shared: deferred
+  // entries may outlive the call. Same concurrency contract as IngestEvents.
   Status IngestColumns(QueryId query_id, HostId host,
-                       const ColumnBatch& batch, const uint32_t* selection,
-                       size_t selected);
+                       std::shared_ptr<const ColumnBatch> batch,
+                       const uint32_t* selection, size_t selected);
 
   // Closes windows whose grace period has passed; retires queries whose span
   // plus grace has passed. Call periodically from the scheduler.
@@ -226,89 +81,17 @@ class ScrubCentral {
   const CostMeter& meter() const { return meter_; }
   // State-size introspection (memory pressure experiments).
   size_t OpenWindows(QueryId query_id) const;
+  // Compiled pipeline for an installed query (EXPLAIN, tests).
+  const PhysicalPipeline* PipelineFor(QueryId query_id) const;
 
  private:
-  using Accumulator = AggAccumulator;
-
-  struct GroupState {
-    std::vector<Accumulator> accumulators;  // key lives in the map key
-  };
-
-  // Per-host sampling bookkeeping within one window (Eqs. 1-3).
-  struct HostWindowStats {
-    uint64_t population = 0;  // M_i: from agent counters
-    uint64_t sampled = 0;     // m_i: from agent counters
-    uint64_t received = 0;    // events that actually arrived (post-selection)
-    // Readings per *bounded* aggregate (ungrouped scaled COUNT/SUM slots).
-    std::vector<RunningStats> readings;
-  };
-
-  struct WindowState {
-    TimeMicros start = 0;
-    std::unordered_map<HashedGroupKey, GroupState, HashedGroupKeyHash> groups;
-    // Join buffer: request id -> events per source (sources.size() <= 2).
-    std::unordered_map<RequestId, std::vector<std::vector<Event>>> join_state;
-    std::unordered_map<HostId, HostWindowStats> host_stats;
-    bool closed = false;
-  };
-
-  struct ActiveQuery {
-    CentralPlan plan;
-    ResultSink sink;           // row mode
-    PartialSink partial_sink;  // shard mode (exactly one of the two is set)
-    CentralQueryStats stats;
-    std::map<TimeMicros, WindowState> windows;  // keyed by window start
-    // Dedup state per sending host, keyed by agent incarnation (epoch).
-    std::unordered_map<HostId, std::map<uint64_t, SeqTracker>> dedup;
-    // Windows at or before this start have been emitted and erased; events
-    // mapping into them are late.
-    TimeMicros closed_through = std::numeric_limits<TimeMicros>::min();
-    // Aggregate slots that get an Eq. 1-3 treatment: scaled (COUNT/SUM),
-    // sampling active, and no GROUP BY.
-    std::vector<int> bounded_aggregates;
-    // Fallback global scale for grouped scaled aggregates under sampling.
-    bool needs_scaling = false;
-  };
-
-  // Folds decoded events into q's windows (shared tail of IngestBatch and
-  // IngestEvents).
-  void FoldEvents(ActiveQuery& q, HostId host,
-                  const std::vector<Event>& events);
-  // Columnar fold: the selected rows, in order, through window assignment,
-  // grouping and accumulation without materializing Events.
-  void FoldColumns(ActiveQuery& q, HostId host, const ColumnBatch& batch,
-                   const uint32_t* selection, size_t selected);
-
-  TimeMicros WindowStartFor(const ActiveQuery& q, TimeMicros ts) const;
-  // All still-open windows covering ts: one for tumbling queries, up to
-  // window/slide for sliding queries. Empty when ts is out of span or every
-  // covering window has already closed (late data).
-  std::vector<WindowState*> WindowsFor(ActiveQuery& q, TimeMicros ts);
-  void ProcessEvent(ActiveQuery& q, WindowState& w, const Event& event,
-                    HostId host);
-  void ProcessTuple(ActiveQuery& q, WindowState& w, const EventTuple& tuple,
-                    HostId host);
-  // Columnar twin of ProcessEvent for non-join plans.
-  void ProcessColumnRow(ActiveQuery& q, WindowState& w,
-                        const ColumnBatch& batch, size_t row, HostId host);
-  void UpdateAccumulator(const AggregateSpec& spec, Accumulator* acc,
-                         const EventTuple& tuple);
-  // Accumulator update with the argument already evaluated (shared by the
-  // row and columnar folds; `arg` is null for argument-less aggregates).
-  void UpdateAccumulatorValue(const AggregateSpec& spec, Accumulator* acc,
-                              const Value& arg);
-  void CloseWindow(ActiveQuery& q, WindowState* w);
-  // Observed fraction of the plan's expected host set for this window.
-  double WindowCompleteness(const ActiveQuery& q, const WindowState& w) const;
-  Value FinalizeAggregate(const ActiveQuery& q, const WindowState& w,
-                          int slot, const Accumulator& acc,
-                          double group_scale, double* error_bound) const;
-  double GroupScaleFor(const ActiveQuery& q, const WindowState& w) const;
+  Status Install(const CentralPlan& plan, QueryState q);
 
   const SchemaRegistry* registry_;
   CentralConfig config_;
   CostMeter meter_;
-  std::unordered_map<QueryId, ActiveQuery> queries_;
+  Executor executor_{registry_, &config_, &meter_};
+  std::unordered_map<QueryId, QueryState> queries_;
   std::unordered_map<QueryId, CentralQueryStats> retired_stats_;
 };
 

@@ -1,0 +1,384 @@
+// The physical-operator executor: one engine for every central deployment.
+//
+// ScrubCentral's fold logic used to live as three divergent code paths
+// (row fold, columnar fold, sharded re-bucket layer). The executor carves it
+// into the per-operator units a compiled PhysicalPipeline names:
+//
+//   Decode      — wire payload -> InputChunk (row span or ColumnBatch).
+//   Join        — symmetric hash join on request id, window-scoped. Columnar
+//                 inputs probe on the request-id column and stay deferred as
+//                 (batch, row) references; a row materializes an Event at
+//                 most once, when it first participates in a joined tuple —
+//                 join orphans never materialize at all.
+//   GroupFold   — group-key evaluation + accumulator update (or, raw mode,
+//                 Project: eager per-tuple row emission).
+//   WindowClose — lateness-gated close: completeness, orphan accounting,
+//                 then row emission (single instance) or a mergeable
+//                 WindowPartial (shard role).
+//   Finalize    — accumulators -> values. Under sampling this is where the
+//                 Eq. 1-3 estimator runs: over per-window host readings on a
+//                 single instance, or — via FinalizeBoundedSlot, shared with
+//                 the ShardedCentral coordinator — over globally merged
+//                 per-(group, host) readings, which is what lets sampled
+//                 plans shard.
+//
+// The executor holds no per-query state: it interprets a QueryState, which
+// the owning facility (ScrubCentral) maps by query id. Distinct QueryStates
+// may be executed concurrently (shards touch disjoint state); one may not.
+//
+// Everything here preserves the exact observable sequence of the code it
+// was carved from — meter charges, stats increments, map insertion orders —
+// so transcripts are byte-identical to the pre-executor central for every
+// worker-count x pipeline combination (the determinism suites enforce it).
+
+#ifndef SRC_CENTRAL_EXECUTOR_H_
+#define SRC_CENTRAL_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/agent/agent.h"
+#include "src/common/cost_model.h"
+#include "src/event/schema.h"
+#include "src/event/wire.h"
+#include "src/plan/physical.h"
+#include "src/plan/plan.h"
+#include "src/sketch/hyperloglog.h"
+#include "src/sketch/multistage.h"
+#include "src/sketch/space_saving.h"
+
+namespace scrub {
+
+// Group keys and mergeable aggregate state are shared with the sharded
+// deployment (ShardedCentral), whose coordinator merges per-shard partials.
+using GroupKey = std::vector<Value>;
+
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& key) const {
+    size_t seed = 0x517cc1b7;
+    for (const Value& v : key) {
+      seed ^= v.Hash() + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2);
+    }
+    return seed;
+  }
+};
+
+// A group key bundled with its hash, computed once per row: the fold's map
+// probe, the coordinator's merge and the shard re-bucket all reuse it
+// instead of rehashing a vector<Value>. The hash is exactly GroupKeyHash's,
+// so every pipeline (row, columnar, sharded) buckets groups identically —
+// part of the byte-identical-transcript argument.
+struct HashedGroupKey {
+  GroupKey key;
+  size_t hash = 0;
+
+  HashedGroupKey() = default;
+  explicit HashedGroupKey(GroupKey k)
+      : key(std::move(k)), hash(GroupKeyHash{}(key)) {}
+  HashedGroupKey(GroupKey k, size_t h) : key(std::move(k)), hash(h) {}
+
+  bool operator==(const HashedGroupKey& other) const {
+    return key == other.key;
+  }
+};
+
+struct HashedGroupKeyHash {
+  size_t operator()(const HashedGroupKey& k) const { return k.hash; }
+};
+
+// One aggregate's running state within one group. Mergeable: partials from
+// independent shards combine into the same state one stream would build.
+struct AggAccumulator {
+  uint64_t count = 0;
+  double sum = 0.0;
+  bool has_minmax = false;
+  Value min_value;
+  Value max_value;
+  std::unique_ptr<HyperLogLog> hll;
+  std::unique_ptr<SpaceSaving<Value, ValueHash>> topk;
+
+  void Merge(AggAccumulator&& other);
+};
+
+// Finalizes one accumulator to its result value on the exact path (scale
+// multiplies COUNT/SUM/TOPK counts; pass 1.0 when sampling is off).
+Value FinalizeAccumulator(const AggregateSpec& spec,
+                          const AggAccumulator& acc, double scale);
+
+// The Finalize operator's Eq. 1-3 path for one scaled aggregate slot, shared
+// by the single-instance close and the ShardedCentral coordinator. `hosts`
+// carries one HostSampleStats per reporting host (readings already include
+// the sampled-but-filtered zero observations); silent sampled hosts are
+// padded to `hosts_sampled`, N is max(hosts_targeted, hosts.size()). On
+// estimator failure (no hosts at all), falls back to the exact-path
+// finalization scaled by `fallback_scale` with a zero bound.
+Value FinalizeBoundedSlot(const AggregateSpec& spec, const AggAccumulator& acc,
+                          std::vector<HostSampleStats> hosts,
+                          uint64_t hosts_sampled, uint64_t hosts_targeted,
+                          double fallback_scale, double* error_bound);
+
+// Per-host readings for the pipeline's scaled slots within one group, as
+// shipped shard -> coordinator (Eq. 3 needs per-host variance, so sums are
+// not enough).
+struct GroupHostReadings {
+  HostId host = kInvalidHost;
+  std::vector<RunningStats> readings;  // parallel to pipeline.scaled_slots
+};
+
+// One shard's finished window, shipped to the sharded coordinator.
+struct WindowPartial {
+  QueryId query_id = 0;
+  TimeMicros window_start = 0;
+  // Fraction of the plan's sampled host set heard from this window (1.0
+  // when unknown). The coordinator takes the min across shards.
+  double completeness = 1.0;
+  std::vector<GroupKey> keys;
+  // GroupKeyHash of each key, parallel to `keys`: the coordinator's merge
+  // reuses the shard's hashes instead of rehashing.
+  std::vector<size_t> key_hashes;
+  std::vector<std::vector<AggAccumulator>> accumulators;  // parallel to keys
+  // Sampled plans only: per-(group, host) readings for the scaled slots,
+  // parallel to `keys` (empty otherwise). The coordinator merges these
+  // across shards and runs the Eq. 1-3 estimator per group.
+  std::vector<std::vector<GroupHostReadings>> group_readings;
+};
+
+using PartialSink = std::function<void(WindowPartial&&)>;
+
+struct ResultRow {
+  QueryId query_id = 0;
+  TimeMicros window_start = 0;
+  TimeMicros window_end = 0;
+  std::vector<Value> values;          // one per select column
+  // error_bounds[i] is the ± half-width of the 95% interval when column i is
+  // a sampled COUNT/SUM (Eq. 2); 0 means exact / not applicable.
+  std::vector<double> error_bounds;
+  // Fraction of the hosts the plan expected to hear from whose contribution
+  // (events or heartbeat counters) reached central before this window
+  // closed. 1.0 = every expected host reported; below that, the window's
+  // answer is partition/crash-degraded and the user can tell.
+  double completeness = 1.0;
+
+  std::string ToString() const;
+};
+
+using ResultSink = std::function<void(const ResultRow&)>;
+
+// Duplicate suppression for sequenced batches from one (host, epoch): a
+// contiguous watermark plus the out-of-order seqs beyond it, so state stays
+// O(reorder depth), not O(batches). Shared with ShardedCentral, which dedups
+// at the router before re-bucketing.
+struct SeqTracker {
+  uint64_t contiguous = 0;  // every seq <= this has been seen
+  std::set<uint64_t> ahead;
+
+  // Returns false (duplicate) if seq was already recorded.
+  bool Insert(uint64_t seq) {
+    if (seq <= contiguous || ahead.count(seq) > 0) {
+      return false;
+    }
+    ahead.insert(seq);
+    while (!ahead.empty() && *ahead.begin() == contiguous + 1) {
+      ++contiguous;
+      ahead.erase(ahead.begin());
+    }
+    return true;
+  }
+};
+
+struct CentralConfig {
+  // How long past a window's end central waits for stragglers.
+  TimeMicros allowed_lateness = 2 * kMicrosPerSecond;
+  // Join-state bound: at most this many distinct request ids buffered per
+  // (query, window). Beyond it, new request ids are shed and counted —
+  // accuracy traded for bounded memory, the paper's standing policy.
+  size_t max_join_requests_per_window = 1 << 20;
+  size_t topk_capacity_factor = 10;  // SpaceSaving counters per requested k
+  size_t min_topk_capacity = 100;
+  int hll_precision = 14;
+  CostModel costs;
+};
+
+struct CentralQueryStats {
+  uint64_t batches = 0;
+  uint64_t batches_duplicate = 0;  // dedup hits: retransmit raced its ack
+  uint64_t events_ingested = 0;
+  uint64_t events_late = 0;        // dropped: window already closed
+  uint64_t tuples_joined = 0;      // joined tuples processed (join queries)
+  uint64_t join_orphans = 0;       // events never matched by window close
+  uint64_t join_shed = 0;          // events dropped: join buffer at capacity
+  uint64_t groups_emitted = 0;
+  uint64_t rows_emitted = 0;
+  // Completeness accounting across closed windows.
+  uint64_t windows_closed = 0;
+  uint64_t windows_incomplete = 0;  // closed with completeness < 1
+  double completeness_min = 1.0;
+  double completeness_sum = 0.0;    // mean = sum / windows_closed
+};
+
+// ---------------------------------------------------------------------------
+// Execution state the operators fold into.
+
+struct GroupState {
+  std::vector<AggAccumulator> accumulators;  // key lives in the map key
+  // Shard pipelines under sampling (pipeline.collect_group_readings): the
+  // per-host readings for the scaled slots, exported into
+  // WindowPartial::group_readings at WindowClose. Keyed sorted so the
+  // export order — and hence the coordinator's merge — is deterministic.
+  std::map<HostId, std::vector<RunningStats>> host_readings;
+};
+
+// Per-host sampling bookkeeping within one window (Eqs. 1-3).
+struct HostWindowStats {
+  uint64_t population = 0;  // M_i: from agent counters
+  uint64_t sampled = 0;     // m_i: from agent counters
+  uint64_t received = 0;    // events that actually arrived (post-selection)
+  // Readings per *bounded* aggregate (ungrouped scaled COUNT/SUM slots).
+  std::vector<RunningStats> readings;
+};
+
+// One buffered join input. Row-path entries carry a materialized Event;
+// columnar entries hold a (batch, row) reference and materialize at most
+// once, when they first participate in a joined tuple. An entry that never
+// matches — a join orphan — never pays the materialization.
+struct JoinEntry {
+  Event event;
+  std::shared_ptr<const ColumnBatch> columns;  // non-null while deferred
+  uint32_t row = 0;
+
+  JoinEntry() = default;
+  explicit JoinEntry(Event e) : event(std::move(e)) {}
+  JoinEntry(std::shared_ptr<const ColumnBatch> batch, uint32_t r)
+      : columns(std::move(batch)), row(r) {}
+
+  const Event& Materialize() {
+    if (columns != nullptr) {
+      event = columns->MaterializeEvent(row);
+      columns.reset();
+    }
+    return event;
+  }
+};
+
+struct WindowState {
+  TimeMicros start = 0;
+  std::unordered_map<HashedGroupKey, GroupState, HashedGroupKeyHash> groups;
+  // Join buffer: request id -> entries per source (sources.size() <= 2).
+  std::unordered_map<RequestId, std::vector<std::vector<JoinEntry>>>
+      join_state;
+  std::unordered_map<HostId, HostWindowStats> host_stats;
+  bool closed = false;
+};
+
+// Everything one installed query needs to execute: the plan, its compiled
+// pipeline, the open windows, and the facility-level bookkeeping (sinks,
+// dedup, stats). Owned by ScrubCentral; interpreted by the Executor.
+struct QueryState {
+  CentralPlan plan;
+  PhysicalPipeline pipeline;
+  ResultSink sink;           // row mode
+  PartialSink partial_sink;  // shard mode (exactly one of the two is set)
+  CentralQueryStats stats;
+  std::map<TimeMicros, WindowState> windows;  // keyed by window start
+  // Dedup state per sending host, keyed by agent incarnation (epoch).
+  std::unordered_map<HostId, std::map<uint64_t, SeqTracker>> dedup;
+  // Windows at or before this start have been emitted and erased; events
+  // mapping into them are late.
+  TimeMicros closed_through = std::numeric_limits<TimeMicros>::min();
+};
+
+// ---------------------------------------------------------------------------
+
+class Executor {
+ public:
+  Executor(const SchemaRegistry* registry, const CentralConfig* config,
+           CostMeter* meter)
+      : registry_(registry), config_(config), meter_(meter) {}
+
+  // Decode operator: wire payload -> InputChunk, then Fold. (The dedup and
+  // counter admission stays with the owning facility.)
+  Status DecodeAndFold(QueryState& q, HostId host, const EventBatch& batch);
+
+  // Window-assigns each chunk position, then runs Join / GroupFold /
+  // Project per covering window. One loop for both representations.
+  void Fold(QueryState& q, HostId host, const InputChunk& chunk);
+
+  // WindowClose operator: completeness + orphan accounting, then Finalize
+  // (row emission) or WindowPartial export (shard role).
+  void CloseWindow(QueryState& q, WindowState* w);
+
+  TimeMicros WindowStartFor(const QueryState& q, TimeMicros ts) const;
+  // All still-open windows covering ts: one for tumbling queries, up to
+  // window/slide for sliding queries. Empty when ts is out of span or every
+  // covering window has already closed (late data).
+  std::vector<WindowState*> WindowsFor(QueryState& q, TimeMicros ts);
+  // Observed fraction of the plan's expected host set for this window.
+  double WindowCompleteness(const QueryState& q, const WindowState& w) const;
+
+ private:
+  // One chunk position folded into one covering window: host stats, bounded
+  // readings, then the Join or GroupFold/Project operator.
+  void FoldInto(QueryState& q, WindowState& w, const InputChunk& chunk,
+                size_t i, int column_source, HostId host);
+  // Join operator. `column_source` is the chunk's source index (columnar
+  // chunks carry one schema); row positions resolve per event.
+  void JoinFold(QueryState& q, WindowState& w, const InputChunk& chunk,
+                size_t i, int column_source, HostId host);
+  // GroupFold/Project over a joined (or singleton) row tuple.
+  void GroupFoldTuple(QueryState& q, WindowState& w, const EventTuple& tuple,
+                      HostId host);
+  // GroupFold/Project straight off columns (non-join plans).
+  void GroupFoldColumn(QueryState& q, WindowState& w,
+                       const ColumnBatch& batch, size_t row, HostId host);
+  void UpdateAccumulator(const AggregateSpec& spec, AggAccumulator* acc,
+                         const EventTuple& tuple);
+  // Accumulator update with the argument already evaluated (shared by the
+  // row and columnar folds; `arg` is null for argument-less aggregates).
+  void UpdateAccumulatorValue(const AggregateSpec& spec, AggAccumulator* acc,
+                              const Value& arg);
+  // Finalize operator for one slot (single-instance close): Eq. 1-3 over
+  // the window's per-host readings for bounded slots, else exact/ratio.
+  Value FinalizeAggregate(const QueryState& q, const WindowState& w, int slot,
+                          const AggAccumulator& acc, double group_scale,
+                          double* error_bound) const;
+  double GroupScaleFor(const QueryState& q, const WindowState& w) const;
+
+  // Shard role under sampling: fold this row's readings for the scaled
+  // slots into the group's per-host stats. `eval` evaluates an aggregate
+  // argument against the row's representation.
+  template <typename EvalArg>
+  void CollectGroupReadings(QueryState& q, GroupState* group, HostId host,
+                            EvalArg&& eval) {
+    if (!q.pipeline.collect_group_readings) {
+      return;
+    }
+    std::vector<RunningStats>& readings = group->host_readings[host];
+    readings.resize(q.pipeline.scaled_slots.size());
+    for (size_t s = 0; s < q.pipeline.scaled_slots.size(); ++s) {
+      const AggregateSpec& spec =
+          q.plan.aggregates[static_cast<size_t>(q.pipeline.scaled_slots[s])];
+      double v = 1.0;  // COUNT: indicator reading
+      if (spec.func == AggregateFunc::kSum) {
+        const Value arg = eval(spec.arg);
+        v = arg.is_numeric() ? arg.AsNumber() : 0.0;
+      }
+      readings[s].Add(v);
+    }
+  }
+
+  const SchemaRegistry* registry_;
+  const CentralConfig* config_;
+  CostMeter* meter_;
+};
+
+}  // namespace scrub
+
+#endif  // SRC_CENTRAL_EXECUTOR_H_

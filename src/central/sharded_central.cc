@@ -29,15 +29,6 @@ Status ShardedCentral::InstallQuery(const CentralPlan& plan,
   if (sink == nullptr) {
     return InvalidArgument("result sink must be set");
   }
-  if (plan.SamplingActive()) {
-    // Uniform clean refusal for host- and event-level sampling alike: the
-    // Eq. 1-3 estimator needs the global per-host view that request-id
-    // slicing destroys.
-    return Unimplemented(
-        "sharded mode does not combine with sampling (host- or "
-        "event-level); sampled queries are low-volume and run on a single "
-        "instance");
-  }
   if (coordinators_.count(plan.query_id) > 0) {
     return AlreadyExists(StrFormat(
         "query %llu already installed",
@@ -47,7 +38,9 @@ Status ShardedCentral::InstallQuery(const CentralPlan& plan,
   // leaves no residue. Shards see only an event slice, so their per-window
   // completeness would be meaningless noise — zeroing hosts_sampled in the
   // shard copy marks the expected set unknown there; the coordinator
-  // computes completeness from the full batches it routes.
+  // computes completeness from the full batches it routes. For the same
+  // reason shards never run the estimator: their pipeline (shard role)
+  // stops at WindowClose, and the coordinator holds the global counters.
   CentralPlan shard_plan = plan;
   shard_plan.hosts_sampled = 0;
   for (size_t i = 0; i < shards_.size(); ++i) {
@@ -77,6 +70,7 @@ Status ShardedCentral::InstallQuery(const CentralPlan& plan,
   }
   Coordinator c;
   c.plan = plan;
+  c.pipeline = CompilePhysical(plan, PipelineRole::kCoordinator);
   c.sink = std::move(sink);
   c.raw = !plan.aggregate_mode;
   coordinators_.emplace(plan.query_id, std::move(c));
@@ -128,12 +122,21 @@ Status ShardedCentral::IngestBatches(const std::vector<EventBatch>& batches,
       ++c.batches_duplicate;
       continue;
     }
-    // Record host presence per slide-grid slot for completeness accounting
-    // (the counters themselves are dropped: no sampling in sharded mode).
+    // Record host presence per slide-grid slot for completeness accounting,
+    // and — for sampled plans — keep the global per-host M_i / m_i the
+    // coordinator's Finalize estimator needs. This happens pre-re-bucket,
+    // so slicing by request id never fragments the population view.
+    const bool keep_counters = c.plan.SamplingActive();
     for (const WindowCounter& counter : batch.counters) {
       if (counter.window_start >= c.plan.start_time &&
           counter.window_start < c.plan.end_time) {
         c.window_hosts[counter.window_start].insert(batch.host);
+        if (keep_counters) {
+          HostCounter& hc = c.window_counters[counter.window_start]
+                                             [batch.host];
+          hc.population += counter.seen;
+          hc.sampled += counter.sampled;
+        }
       }
     }
     if (batch.event_count == 0) {
@@ -247,7 +250,7 @@ Status ShardedCentral::IngestBatches(const std::vector<EventBatch>& batches,
     for (const ShardWork& sw : work[s]) {
       Status st =
           sw.columns != nullptr
-              ? shards_[s]->IngestColumns(sw.query_id, sw.host, *sw.columns,
+              ? shards_[s]->IngestColumns(sw.query_id, sw.host, sw.columns,
                                           sw.selection.data(),
                                           sw.selection.size())
               : shards_[s]->IngestEvents(sw.query_id, sw.host, sw.events);
@@ -300,13 +303,26 @@ void ShardedCentral::AbsorbPartial(WindowPartial&& partial) {
             ? HashedGroupKey(std::move(partial.keys[g]),
                              partial.key_hashes[g])
             : HashedGroupKey(std::move(partial.keys[g]));
-    auto& merged = window[std::move(hk)];
-    if (merged.empty()) {
-      merged = std::move(partial.accumulators[g]);
-      continue;
+    CoordGroup& merged = window[std::move(hk)];
+    if (merged.accumulators.empty()) {
+      merged.accumulators = std::move(partial.accumulators[g]);
+    } else {
+      for (size_t a = 0; a < merged.accumulators.size(); ++a) {
+        merged.accumulators[a].Merge(std::move(partial.accumulators[g][a]));
+      }
     }
-    for (size_t a = 0; a < merged.size(); ++a) {
-      merged[a].Merge(std::move(partial.accumulators[g][a]));
+    if (g < partial.group_readings.size()) {
+      // Merge the shard's per-(group, host) readings; RunningStats merge
+      // is exact, so shard boundaries don't affect the estimator.
+      for (GroupHostReadings& ghr : partial.group_readings[g]) {
+        std::vector<RunningStats>& dst = merged.host_readings[ghr.host];
+        if (dst.size() < ghr.readings.size()) {
+          dst.resize(ghr.readings.size());
+        }
+        for (size_t s = 0; s < ghr.readings.size(); ++s) {
+          dst[s].Merge(ghr.readings[s]);
+        }
+      }
     }
   }
 }
@@ -332,19 +348,103 @@ void ShardedCentral::FinalizeWindow(Coordinator& c, TimeMicros start,
                             static_cast<double>(plan.hosts_sampled));
     }
   }
+  // Finalize-stage sampling inputs: global per-host M_i / m_i summed over
+  // the slots this window covers, and the ratio fallback scale (Eq. 1) for
+  // scaled slots outside the bounded set (join plans).
+  const bool sampling = plan.SamplingActive();
+  std::map<HostId, HostCounter> host_counters;
+  double ratio_scale = 1.0;
+  if (sampling) {
+    for (auto sit = c.window_counters.lower_bound(start);
+         sit != c.window_counters.end() &&
+         sit->first < start + plan.window_micros;
+         ++sit) {
+      for (const auto& [host, counter] : sit->second) {
+        HostCounter& hc = host_counters[host];
+        hc.population += counter.population;
+        hc.sampled += counter.sampled;
+      }
+    }
+    uint64_t population = 0;
+    uint64_t sampled = 0;
+    for (const auto& [host, hc] : host_counters) {
+      population += hc.population;
+      sampled += hc.sampled;
+    }
+    if (sampled > 0 && population > 0) {
+      ratio_scale =
+          static_cast<double>(population) / static_cast<double>(sampled);
+    }
+    if (plan.hosts_sampled > 0 && plan.hosts_targeted > 0) {
+      ratio_scale *= static_cast<double>(plan.hosts_targeted) /
+                     static_cast<double>(plan.hosts_sampled);
+    }
+  }
   // Ungrouped queries emit a row even for empty windows (series stay
   // continuous), matching single-instance behaviour.
   if (plan.group_by.empty() && groups.empty()) {
-    groups[HashedGroupKey(GroupKey{})].resize(plan.aggregates.size());
+    groups[HashedGroupKey(GroupKey{})].accumulators.resize(
+        plan.aggregates.size());
   }
-  for (auto& [hashed_key, accumulators] : groups) {
-    if (accumulators.empty()) {
-      accumulators.resize(plan.aggregates.size());
+  const std::vector<int>& bounded = c.pipeline.bounded_aggregates;
+  for (auto& [hashed_key, group] : groups) {
+    if (group.accumulators.empty()) {
+      group.accumulators.resize(plan.aggregates.size());
     }
     std::vector<Value> agg_values(plan.aggregates.size());
+    std::vector<double> agg_bounds(plan.aggregates.size(), 0.0);
     for (size_t i = 0; i < plan.aggregates.size(); ++i) {
-      agg_values[i] =
-          FinalizeAccumulator(plan.aggregates[i], accumulators[i], 1.0);
+      const AggregateSpec& spec = plan.aggregates[i];
+      const auto bounded_it =
+          std::find(bounded.begin(), bounded.end(), static_cast<int>(i));
+      if (sampling && bounded_it != bounded.end()) {
+        // Per-group Eq. 1-3: this group's readings for the slot, per host,
+        // against the *global* per-host population counters. Sampled events
+        // from a host that landed in other groups are zero readings for
+        // this one (m_h - count_{h,g}).
+        const size_t s =
+            static_cast<size_t>(bounded_it - bounded.begin());
+        std::vector<HostSampleStats> host_stats;
+        for (const auto& [host, hc] : host_counters) {
+          HostSampleStats h;
+          h.population = hc.population;
+          uint64_t observed = 0;
+          const auto rit = group.host_readings.find(host);
+          if (rit != group.host_readings.end() && s < rit->second.size()) {
+            h.readings = rit->second[s];
+            observed = h.readings.count();
+          }
+          const uint64_t zeros =
+              hc.sampled > observed ? hc.sampled - observed : 0;
+          if (zeros > 0) {
+            h.readings.Merge(RunningStats::Constant(zeros, 0.0));
+          }
+          host_stats.push_back(std::move(h));
+        }
+        // Hosts that shipped events but no counters (hand-built batches):
+        // no population info, so the observed readings stand in for it.
+        for (const auto& [host, readings] : group.host_readings) {
+          if (host_counters.count(host) > 0) {
+            continue;
+          }
+          HostSampleStats h;
+          if (s < readings.size()) {
+            h.readings = readings[s];
+          }
+          h.population = h.readings.count();
+          host_stats.push_back(std::move(h));
+        }
+        agg_values[i] = FinalizeBoundedSlot(
+            spec, group.accumulators[i], std::move(host_stats),
+            plan.hosts_sampled, plan.hosts_targeted, ratio_scale,
+            &agg_bounds[i]);
+        continue;
+      }
+      const double scale =
+          (c.pipeline.needs_scaling && spec.ScalesUnderSampling())
+              ? ratio_scale
+              : 1.0;
+      agg_values[i] = FinalizeAccumulator(spec, group.accumulators[i], scale);
     }
     ResultRow row;
     row.query_id = plan.query_id;
@@ -354,7 +454,10 @@ void ShardedCentral::FinalizeWindow(Coordinator& c, TimeMicros start,
     for (const OutputColumn& column : plan.outputs) {
       row.values.push_back(
           EvalOutputExpr(column.expr, hashed_key.key, agg_values));
-      row.error_bounds.push_back(0.0);
+      row.error_bounds.push_back(
+          column.expr.kind == OutputKind::kAggregate
+              ? agg_bounds[static_cast<size_t>(column.expr.index)]
+              : 0.0);
     }
     c.sink(row);
   }
@@ -382,12 +485,18 @@ void ShardedCentral::OnTick(TimeMicros now) {
         ++wit;
       }
     }
-    // GC completeness slots no still-open window can cover.
+    // GC completeness / counter slots no still-open window can cover.
     while (!c.window_hosts.empty() &&
            c.window_hosts.begin()->first + c.plan.window_micros +
                    config_.allowed_lateness <=
                now) {
       c.window_hosts.erase(c.window_hosts.begin());
+    }
+    while (!c.window_counters.empty() &&
+           c.window_counters.begin()->first + c.plan.window_micros +
+                   config_.allowed_lateness <=
+               now) {
+      c.window_counters.erase(c.window_counters.begin());
     }
     if (now >= c.plan.end_time + config_.allowed_lateness) {
       cit = coordinators_.erase(cit);

@@ -8,12 +8,14 @@
 //  * Incoming batches are re-bucketed per event by request-id hash, so both
 //    sides of the request-id equi-join land on the same shard and every
 //    shard runs the ordinary single-instance pipeline on its slice.
-//  * Aggregate-mode shards run in partial mode: closing a window emits
-//    mergeable per-group state (counts, sums, min/max, HyperLogLog
-//    registers, SpaceSaving summaries) instead of rows.
-//  * The coordinator merges the shards' partials per (window, group) and
-//    finalizes exactly one row stream — identical, for exact aggregates, to
-//    what a single instance would produce (tested).
+//  * Aggregate-mode shards run the compiled physical pipeline in the shard
+//    role (Decode..WindowClose): closing a window emits mergeable per-group
+//    state (counts, sums, min/max, HyperLogLog registers, SpaceSaving
+//    summaries) instead of rows.
+//  * The coordinator runs the pipeline's Finalize stage: it merges the
+//    shards' partials per (window, group) and finalizes exactly one row
+//    stream — identical, for exact aggregates, to what a single instance
+//    would produce (tested).
 //  * Raw-mode (no aggregates) queries shard trivially: every shard emits
 //    finished rows for its slice and the coordinator just forwards them —
 //    no merge step, since each joined tuple is wholly resident on one
@@ -34,11 +36,15 @@
 //    shard the event order is the batch arrival order, bit-identical to the
 //    sequential path.
 //
-// Restriction: sampled queries (host- or event-level) are refused with a
-// clean Unimplemented status. Sampling exists to make a query *small*;
-// sharding exists to make a *large* query fit. The two knobs address
-// opposite regimes, and the Eq. 1-3 estimator needs a global view of
-// per-host populations that slicing by request id would destroy.
+// Sampled queries (host- or event-level) shard too. Splitting the pipeline
+// at WindowClose is what makes it work: the Eq. 1-3 estimator needs a
+// global view of per-host populations that request-id slicing destroys on
+// any single shard, so the router keeps the agents' sampling counters
+// (M_i / m_i per host per slot) at the coordinator, shards collect
+// per-(group, host) readings into their partials, and the coordinator's
+// Finalize merges both globally and runs the estimator once per
+// (window, group) — reporting an Eq. 2-3 error bound per group, which a
+// single instance only provides for ungrouped plans.
 
 #ifndef SRC_CENTRAL_SHARDED_CENTRAL_H_
 #define SRC_CENTRAL_SHARDED_CENTRAL_H_
@@ -63,7 +69,8 @@ class ShardedCentral {
                  CentralConfig config = {}, size_t workers = 0);
 
   // Aggregate-mode plans merge per-shard partials; raw-mode plans forward
-  // per-shard rows directly. Sampling-active plans are refused (see above).
+  // per-shard rows directly. Sampled plans get the coordinator-level
+  // Eq. 1-3 Finalize (see above).
   Status InstallQuery(const CentralPlan& plan, ResultSink sink);
   void RemoveQuery(QueryId query_id);
   bool HasQuery(QueryId query_id) const {
@@ -71,7 +78,8 @@ class ShardedCentral {
   }
 
   // Routes the batch's events to shards by request-id hash. The batch's
-  // sampling counters are dropped (no sampling in sharded mode).
+  // sampling counters stay at the coordinator (per-host population view for
+  // the Finalize estimator and completeness accounting).
   Status IngestBatch(const EventBatch& batch, TimeMicros now);
 
   // Batched ingestion: decodes the batches on the pool, re-buckets, then
@@ -97,18 +105,36 @@ class ShardedCentral {
   uint64_t DuplicateBatches(QueryId query_id) const;
 
  private:
+  // Merged per-group state at the coordinator: accumulators plus, for
+  // sampled plans, the per-host readings (parallel to the pipeline's scaled
+  // slots) the Eq. 1-3 Finalize consumes. Keyed sorted so the estimator's
+  // host iteration — float summation order included — is deterministic.
+  struct CoordGroup {
+    std::vector<AggAccumulator> accumulators;
+    std::map<HostId, std::vector<RunningStats>> host_readings;
+  };
+
   // Coordinator group maps are keyed on pre-hashed keys: AbsorbPartial
   // reuses the hashes the shard computed at fold time (cached once per row)
   // instead of rehashing vector<Value> per merge probe.
   using CoordinatorGroups =
-      std::unordered_map<HashedGroupKey, std::vector<AggAccumulator>,
-                         HashedGroupKeyHash>;
+      std::unordered_map<HashedGroupKey, CoordGroup, HashedGroupKeyHash>;
+
+  // Global per-host sampling counters for one slide-grid slot (M_i / m_i
+  // summed over the batches the router admitted).
+  struct HostCounter {
+    uint64_t population = 0;
+    uint64_t sampled = 0;
+  };
 
   struct Coordinator {
     CentralPlan plan;
+    // Finalize-stage parameterization (coordinator role): which slots get
+    // the per-group Eq. 1-3 bound, which fall back to the ratio scale.
+    PhysicalPipeline pipeline;
     ResultSink sink;
     bool raw = false;  // raw-mode: forward shard rows, no merge state
-    // window -> group key -> merged accumulators.
+    // window -> group key -> merged accumulators (+ per-host readings).
     std::map<TimeMicros, CoordinatorGroups> windows;
     // Router-level dedup: shard sub-batches are unsequenced, so duplicate
     // suppression must happen before re-bucketing.
@@ -117,6 +143,10 @@ class ShardedCentral {
     // Hosts heard from per slide-grid slot (from batch counters), the
     // coordinator's completeness source — shards only see event slices.
     std::map<TimeMicros, std::set<HostId>> window_hosts;
+    // Sampled plans: per-slot per-host M_i / m_i, absorbed at admission
+    // (pre-re-bucket, so the view is global). The Finalize estimator sums
+    // the slots each window covers.
+    std::map<TimeMicros, std::map<HostId, HostCounter>> window_counters;
   };
 
   // Drains per-shard partial buffers in shard-index order (the determinism

@@ -93,6 +93,7 @@ class Linter {
     CheckUnboundedGroupBy();
     CheckExactDistinct();
     CheckSamplingError();
+    CheckSamplingShardedEstimate();
     CheckFullFleet();
     CheckDeadProjection();
     CheckIneffectiveFilter();
@@ -297,6 +298,43 @@ class Linter {
                    has_count && !has_sum ? "COUNT" : "SUM",
                    rel_err * 100, options_.confidence * 100, big_n, n, big_m,
                    m, options_.max_relative_error * 100),
+         span);
+  }
+
+  // --- (j) scrubql-sampling-sharded-estimate ---------------------------------
+  //
+  // Purely informational. A sampled + grouped COUNT/SUM on a single central
+  // instance only gets the Eq. 1 ratio scale (per-host readings are kept per
+  // window, not per group). Under the sharded deployment the coordinator's
+  // Finalize merges per-(group, host) readings globally, so the same query
+  // reports a full Eq. 2-3 error bound per group. Troubleshooters reading a
+  // grouped estimate should know which deployment produced it.
+  void CheckSamplingShardedEstimate() {
+    if (q_.group_by.empty() || aq_.is_join()) {
+      return;
+    }
+    const bool sampling =
+        q_.host_sample_rate < 1.0 || q_.event_sample_rate < 1.0;
+    if (!sampling) {
+      return;
+    }
+    bool has_scaled = false;
+    for (const SelectItem& item : q_.select) {
+      has_scaled |= HasAggregateFunc(*item.expr, AggregateFunc::kCount);
+      has_scaled |= HasAggregateFunc(*item.expr, AggregateFunc::kSum);
+    }
+    if (!has_scaled) {
+      return;  // nothing scales under Eq. 1, so no estimate to bound
+    }
+    const SourceSpan span = q_.spans.sample_events.IsValid()
+                                ? q_.spans.sample_events
+                                : q_.spans.sample_hosts;
+    Emit(LintSeverity::kNote, lint_rules::kSamplingShardedEstimate,
+         "sampled grouped COUNT/SUM: on the sharded central each group's "
+         "estimate carries a per-group Eq. 2-3 error bound (the coordinator "
+         "merges per-(group, host) readings globally at Finalize); a single "
+         "instance reports the Eq. 1 ratio scale without bounds for grouped "
+         "plans",
          span);
   }
 

@@ -60,6 +60,12 @@ inline constexpr std::string_view kSpanBudget = "scrubql-span-budget";
 // closed, so faults silently become missing data.
 inline constexpr std::string_view kNoRetryHeadroom =
     "scrubql-no-retry-headroom";
+// (j) Informational: a sampled, grouped COUNT/SUM gets a per-group Eq. 2-3
+// error bound when executed on the sharded central (the coordinator's
+// Finalize merges per-(group, host) readings globally); a single instance
+// reports the Eq. 1 ratio estimate without bounds for grouped plans.
+inline constexpr std::string_view kSamplingShardedEstimate =
+    "scrubql-sampling-sharded-estimate";
 }  // namespace lint_rules
 
 struct Diagnostic {

@@ -1,6 +1,7 @@
 #include "src/plan/explain.h"
 
 #include "src/common/strings.h"
+#include "src/plan/physical.h"
 
 namespace scrub {
 namespace {
@@ -101,6 +102,13 @@ std::string ExplainPlan(const AnalyzedQuery& analyzed, const QueryPlan& plan,
                      "carry Eq. 2-3 error bounds\n",
                      central.host_sample_rate * 100,
                      central.event_sample_rate * 100);
+  }
+  out += "  physical pipeline:\n";
+  const PhysicalPipeline pipeline =
+      CompilePhysical(central, PipelineRole::kSingleInstance);
+  for (const PhysicalOp& op : pipeline.ops) {
+    out += StrFormat("    %s(%s)\n", PhysicalOpKindName(op.kind),
+                     op.detail.c_str());
   }
 
   const std::vector<Diagnostic> diags = LintQuery(analyzed, lint_options);

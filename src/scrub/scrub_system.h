@@ -57,9 +57,12 @@ struct SystemConfig {
   // Data-plane pipeline switch. True (default) stages events per query in
   // columnar batches: filter and project run vectorized at flush time and
   // batches ship in the columnar wire format, decoded straight into columns
-  // at central. False keeps the per-event row pipeline end to end. Both
-  // pipelines produce byte-identical result transcripts; joins always take
-  // the row path (their evaluation is arrival-order dependent).
+  // at central, where the physical-operator executor folds them without
+  // materializing Events (join plans materialize join survivors only).
+  // False keeps the per-event row pipeline end to end. Both pipelines
+  // produce byte-identical result transcripts. Agents still stage join
+  // queries row-wise (the columnar-joins-end-to-end item in ROADMAP.md),
+  // so ScrubSystem joins ship rows either way.
   bool columnar = true;
   // Chaos: installed on the transport at construction. Deterministic per
   // FaultPlan::seed; an inert plan (the default) injects nothing.

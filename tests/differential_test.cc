@@ -31,7 +31,10 @@
 
 #include <gtest/gtest.h>
 
+#include "src/central/sharded_central.h"
+#include "src/common/rng.h"
 #include "src/common/strings.h"
+#include "src/event/wire.h"
 #include "src/scrub/scrub_system.h"
 #include "tests/reference_executor.h"
 
@@ -355,6 +358,273 @@ TEST(DifferentialTest, GroupedSeedVariant) {
        "AVG(bid.bid_price), MIN(bid.bid_price), MAX(bid.bid_price) "
        "FROM bid GROUP BY bid.campaign_id WINDOW 1 s DURATION 3 s;",
        1111, /*rps=*/500.0});
+}
+
+// ---------------------------------------------------------------------------
+// Sampled queries on shards: ShardedCentral's coordinator-level Eq. 1-3
+// estimates against the unsampled oracle over the full pre-sampling stream.
+//
+// The fleet here is simulated directly (no ScrubSystem): H hosts each log a
+// full event stream; a per-host coin decides which events ship, and each
+// batch carries the per-window {seen, sampled} counters an agent would
+// attach. The oracle replays the COMPLETE stream through the unsampled twin
+// of the query, so the comparison is estimate-vs-ground-truth, not
+// estimate-vs-itself. COUNT/SUM must land inside their reported 95%
+// envelope (a small miss quota covers the 5% the interval concedes by
+// construction); AVG ships unscaled and must sit near the true mean.
+// ---------------------------------------------------------------------------
+
+class ShardedSampledDifferentialTest : public ::testing::Test {
+ protected:
+  ShardedSampledDifferentialTest() {
+    bid_schema_ = *EventSchema::Builder("bid")
+                       .AddField("user_id", FieldType::kLong)
+                       .AddField("price", FieldType::kDouble)
+                       .Build();
+    EXPECT_TRUE(registry_.Register(bid_schema_).ok());
+  }
+
+  CentralPlan PlanFor(std::string_view text, QueryId id, uint64_t targeted,
+                      uint64_t sampled) {
+    AnalyzerOptions options;
+    Result<AnalyzedQuery> aq = ParseAndAnalyze(text, registry_, options);
+    EXPECT_TRUE(aq.ok()) << aq.status().ToString();
+    Result<QueryPlan> plan = PlanQuery(*aq, id, 0);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    CentralPlan central = plan->central;
+    central.hosts_targeted = targeted;
+    central.hosts_sampled = sampled;
+    return central;
+  }
+
+  // One full-stream per host: `per_host` bids spread over [100, 8 s).
+  std::vector<std::vector<Event>> FleetStreams(size_t hosts, int per_host,
+                                               uint64_t seed, int64_t users) {
+    std::vector<std::vector<Event>> streams(hosts);
+    for (size_t h = 0; h < hosts; ++h) {
+      Rng rng(seed + h * 1001);
+      for (int i = 0; i < per_host; ++i) {
+        Event e(bid_schema_, rng.NextUint64(),
+                100 + static_cast<TimeMicros>(rng.NextBelow(8'000'000)));
+        e.SetField(0, Value(static_cast<int64_t>(
+                          rng.NextBelow(static_cast<uint64_t>(users)))));
+        e.SetField(1, Value(rng.NextDouble() * 5));
+        streams[h].push_back(std::move(e));
+      }
+    }
+    return streams;
+  }
+
+  // Ships the per-host sampled slice (shipped[h] selects events) plus the
+  // agent-style per-window counters, then closes every window.
+  std::vector<ResultRow> RunSampledSharded(
+      const CentralPlan& plan, const std::vector<std::vector<Event>>& streams,
+      const std::vector<std::vector<bool>>& shipped, size_t shards,
+      size_t workers, std::vector<std::string>* transcript = nullptr) {
+    ShardedCentral central(&registry_, shards, CentralConfig{}, workers);
+    std::vector<ResultRow> rows;
+    EXPECT_TRUE(central
+                    .InstallQuery(plan,
+                                  [&](const ResultRow& row) {
+                                    rows.push_back(row);
+                                    if (transcript != nullptr) {
+                                      transcript->push_back(RenderRow(row));
+                                    }
+                                  })
+                    .ok());
+    std::vector<EventBatch> batches;
+    for (size_t h = 0; h < streams.size(); ++h) {
+      if (shipped[h].empty()) {
+        continue;  // host not selected by the host-sampling stage
+      }
+      std::vector<Event> kept;
+      std::map<TimeMicros, WindowCounter> counters;
+      for (size_t i = 0; i < streams[h].size(); ++i) {
+        const Event& e = streams[h][i];
+        const TimeMicros w =
+            plan.start_time +
+            ((e.timestamp() - plan.start_time) / plan.window_micros) *
+                plan.window_micros;
+        WindowCounter& c = counters[w];
+        c.window_start = w;
+        ++c.seen;
+        if (shipped[h][i]) {
+          ++c.sampled;
+          kept.push_back(e);
+        }
+      }
+      EventBatch batch;
+      batch.query_id = plan.query_id;
+      batch.host = static_cast<HostId>(h);
+      batch.event_count = kept.size();
+      batch.payload = EncodeBatch(kept);
+      for (const auto& [w, c] : counters) {
+        batch.counters.push_back(c);
+      }
+      batches.push_back(std::move(batch));
+    }
+    EXPECT_TRUE(central.IngestBatches(batches, 0).ok());
+    central.OnTick(60 * kMicrosPerSecond);
+    return rows;
+  }
+
+  // Oracle truth rows for the UNSAMPLED twin of the query over every event
+  // every host logged, keyed like RunCombo: window |group-key columns.
+  std::map<std::string, ResultRow> OracleRows(
+      std::string_view unsampled_text,
+      const std::vector<std::vector<Event>>& streams) {
+    AnalyzerOptions options;
+    Result<AnalyzedQuery> aq =
+        ParseAndAnalyze(unsampled_text, registry_, options);
+    EXPECT_TRUE(aq.ok()) << aq.status().ToString();
+    Result<QueryPlan> plan = PlanQuery(*aq, /*query_id=*/999, 0);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    oracle_outputs_ = plan->central.outputs;
+    ReferenceExecutor oracle(*aq, plan->central);
+    for (const std::vector<Event>& stream : streams) {
+      for (const Event& e : stream) {
+        oracle.Observe(e);
+      }
+    }
+    std::map<std::string, ResultRow> by_key;
+    for (const ResultRow& row : oracle.Execute()) {
+      by_key[RowKey(row)] = row;
+    }
+    return by_key;
+  }
+
+  std::string RowKey(const ResultRow& row) const {
+    std::string key = std::to_string(row.window_start);
+    for (size_t i = 0; i < oracle_outputs_.size(); ++i) {
+      if (oracle_outputs_[i].expr.kind == OutputKind::kGroupKey) {
+        key += "\x1f" + row.values[i].ToString();
+      }
+    }
+    return key;
+  }
+
+  SchemaRegistry registry_;
+  SchemaPtr bid_schema_;
+  std::vector<OutputColumn> oracle_outputs_;
+};
+
+TEST_F(ShardedSampledDifferentialTest, EventSampledGroupedCountSumAvg) {
+  const char* sampled_text =
+      "SELECT bid.user_id, COUNT(*), SUM(bid.price), AVG(bid.price) "
+      "FROM bid GROUP BY bid.user_id WINDOW 2 s DURATION 10 s "
+      "SAMPLE EVENTS 50%;";
+  const char* unsampled_text =
+      "SELECT bid.user_id, COUNT(*), SUM(bid.price), AVG(bid.price) "
+      "FROM bid GROUP BY bid.user_id WINDOW 2 s DURATION 10 s;";
+  const size_t kHosts = 8;
+  const auto streams = FleetStreams(kHosts, 400, 424242, 5);
+
+  // The event-sampling coin, flipped per event exactly like an agent would.
+  std::vector<std::vector<bool>> shipped(kHosts);
+  for (size_t h = 0; h < kHosts; ++h) {
+    Rng coin(7000 + h);
+    shipped[h].resize(streams[h].size());
+    for (size_t i = 0; i < streams[h].size(); ++i) {
+      shipped[h][i] = coin.NextDouble() < 0.5;
+    }
+  }
+
+  const CentralPlan plan =
+      PlanFor(sampled_text, 42, /*targeted=*/kHosts, /*sampled=*/kHosts);
+  std::vector<std::string> transcript0;
+  const std::vector<ResultRow> rows =
+      RunSampledSharded(plan, streams, shipped, /*shards=*/3,
+                        /*workers=*/0, &transcript0);
+  const std::map<std::string, ResultRow> truth =
+      OracleRows(unsampled_text, streams);
+  ASSERT_FALSE(rows.empty());
+
+  // Worker count must stay a pure performance knob for sampled plans too.
+  std::vector<std::string> transcript2;
+  RunSampledSharded(plan, streams, shipped, /*shards=*/3, /*workers=*/2,
+                    &transcript2);
+  EXPECT_EQ(transcript2, transcript0);
+
+  // Columns: 0 = user_id, 1 = COUNT (bounded), 2 = SUM (bounded),
+  // 3 = AVG (unscaled, no bound).
+  size_t bounded_checks = 0;
+  size_t bounded_hits = 0;
+  double est_total_count = 0.0;
+  double true_total_count = 0.0;
+  for (const ResultRow& row : rows) {
+    const std::string key = RowKey(row);
+    ASSERT_TRUE(truth.count(key) > 0) << "group not in oracle: " << key;
+    const ResultRow& t = truth.at(key);
+    for (const size_t col : {size_t{1}, size_t{2}}) {
+      const double got = row.values[col].AsNumber();
+      const double want = t.values[col].AsNumber();
+      EXPECT_GT(row.error_bounds[col], 0.0) << key;
+      EXPECT_TRUE(std::isfinite(row.error_bounds[col])) << key;
+      ++bounded_checks;
+      if (std::fabs(got - want) <= row.error_bounds[col]) {
+        ++bounded_hits;
+      }
+    }
+    est_total_count += row.values[1].AsNumber();
+    true_total_count += t.values[1].AsNumber();
+    // AVG: unscaled sample mean of the shipped events — near the true mean,
+    // no error bound.
+    EXPECT_DOUBLE_EQ(row.error_bounds[3], 0.0) << key;
+    if (!t.values[3].is_null() && !row.values[3].is_null()) {
+      const double want_avg = t.values[3].AsNumber();
+      EXPECT_NEAR(row.values[3].AsNumber(), want_avg,
+                  0.30 * (1.0 + std::fabs(want_avg)))
+          << key;
+    }
+  }
+  // 95% intervals concede ~5% misses; demand at least 85% coverage.
+  EXPECT_GE(bounded_hits, (bounded_checks * 85) / 100)
+      << bounded_hits << "/" << bounded_checks << " inside the bound";
+  // The fleet-wide COUNT estimate must sit close to the truth.
+  EXPECT_NEAR(est_total_count, true_total_count, 0.10 * true_total_count);
+}
+
+TEST_F(ShardedSampledDifferentialTest, HostSampledUngroupedCountSum) {
+  const char* sampled_text =
+      "SELECT COUNT(*), SUM(bid.price) FROM bid "
+      "WINDOW 2 s DURATION 10 s SAMPLE HOSTS 50%;";
+  const char* unsampled_text =
+      "SELECT COUNT(*), SUM(bid.price) FROM bid "
+      "WINDOW 2 s DURATION 10 s;";
+  const size_t kHosts = 8;
+  const auto streams = FleetStreams(kHosts, 300, 99, 4);
+
+  // Host sampling: the even hosts ship EVERY event; the odd hosts ship
+  // nothing at all (not even counters) — the coordinator must scale by
+  // hosts_targeted / hosts_sampled and bound from host-stage variance.
+  std::vector<std::vector<bool>> shipped(kHosts);
+  for (size_t h = 0; h < kHosts; h += 2) {
+    shipped[h].assign(streams[h].size(), true);
+  }
+
+  const CentralPlan plan =
+      PlanFor(sampled_text, 43, /*targeted=*/kHosts, /*sampled=*/kHosts / 2);
+  const std::vector<ResultRow> rows = RunSampledSharded(
+      plan, streams, shipped, /*shards=*/2, /*workers=*/0);
+  const std::map<std::string, ResultRow> truth =
+      OracleRows(unsampled_text, streams);
+  ASSERT_FALSE(rows.empty());
+
+  size_t misses = 0;
+  for (const ResultRow& row : rows) {
+    const std::string key = RowKey(row);
+    ASSERT_TRUE(truth.count(key) > 0) << key;
+    const ResultRow& t = truth.at(key);
+    for (const size_t col : {size_t{0}, size_t{1}}) {
+      EXPECT_GT(row.error_bounds[col], 0.0) << key;
+      if (std::fabs(row.values[col].AsNumber() - t.values[col].AsNumber()) >
+          row.error_bounds[col]) {
+        ++misses;
+      }
+    }
+  }
+  // 5 windows x 2 bounded columns at 95% confidence: allow one miss.
+  EXPECT_LE(misses, 1u);
 }
 
 }  // namespace

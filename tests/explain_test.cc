@@ -64,6 +64,29 @@ TEST_F(ExplainTest, ShowsSamplingAndSliding) {
   EXPECT_NE(text.find("hosts 10%"), std::string::npos) << text;
 }
 
+TEST_F(ExplainTest, ShowsPhysicalPipelineOperators) {
+  const std::string agg = ExplainQuery(
+      "SELECT bid.user_id, COUNT(*) FROM bid GROUP BY bid.user_id "
+      "WINDOW 10 s DURATION 60 s;",
+      registry_);
+  EXPECT_NE(agg.find("physical pipeline:"), std::string::npos) << agg;
+  EXPECT_NE(agg.find("Decode("), std::string::npos) << agg;
+  EXPECT_NE(agg.find("GroupFold("), std::string::npos) << agg;
+  EXPECT_NE(agg.find("WindowClose("), std::string::npos) << agg;
+  EXPECT_NE(agg.find("Finalize("), std::string::npos) << agg;
+  EXPECT_EQ(agg.find("Join("), std::string::npos) << agg;
+
+  const std::string join = ExplainQuery(
+      "SELECT COUNT(*) FROM bid, impression WINDOW 10 s DURATION 60 s;",
+      registry_);
+  EXPECT_NE(join.find("Join("), std::string::npos) << join;
+
+  const std::string raw = ExplainQuery(
+      "SELECT bid.user_id FROM bid WINDOW 10 s DURATION 60 s;", registry_);
+  EXPECT_NE(raw.find("Project("), std::string::npos) << raw;
+  EXPECT_EQ(raw.find("Finalize("), std::string::npos) << raw;
+}
+
 TEST_F(ExplainTest, ErrorsRenderAsText) {
   const std::string text = ExplainQuery("SELECT COUNT(*) FROM ghost;",
                                         registry_);

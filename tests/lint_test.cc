@@ -322,6 +322,48 @@ TEST_F(LintTest, RetryHeadroomAppliesToRawQueriesToo) {
   EXPECT_EQ(WithRule(Lint(q), lint_rules::kNoRetryHeadroom).size(), 1u);
 }
 
+// --- (j) scrubql-sampling-sharded-estimate ---------------------------------
+
+TEST_F(LintTest, SamplingShardedEstimateNotesGroupedScaledAggregates) {
+  const std::string q =
+      "SELECT bid.country, COUNT(*) FROM bid GROUP BY bid.country "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kSamplingShardedEstimate);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kNote);
+  EXPECT_NE(SpanText(q, hits[0].span).find("SAMPLE EVENTS"),
+            std::string::npos);
+}
+
+TEST_F(LintTest, SamplingShardedEstimateCoversHostSampledSum) {
+  const std::string q =
+      "SELECT bid.country, SUM(bid.price) FROM bid GROUP BY bid.country "
+      "WINDOW 5 s DURATION 60 s SAMPLE HOSTS 50%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kSamplingShardedEstimate);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(SpanText(q, hits[0].span).find("SAMPLE HOSTS"),
+            std::string::npos);
+}
+
+TEST_F(LintTest, SamplingShardedEstimateQuietWithoutGroupOrSampling) {
+  // Ungrouped sampled COUNT gets the single-instance Eq. 2-3 bound already;
+  // grouped unsampled needs no estimate; grouped sampled MIN never scales.
+  EXPECT_TRUE(WithRule(Lint("SELECT COUNT(*) FROM bid WINDOW 5 s "
+                            "DURATION 60 s SAMPLE EVENTS 50%;"),
+                       lint_rules::kSamplingShardedEstimate)
+                  .empty());
+  EXPECT_TRUE(WithRule(Lint("SELECT bid.country, COUNT(*) FROM bid "
+                            "GROUP BY bid.country WINDOW 5 s "
+                            "DURATION 60 s;"),
+                       lint_rules::kSamplingShardedEstimate)
+                  .empty());
+  EXPECT_TRUE(WithRule(Lint("SELECT bid.country, MIN(bid.price) FROM bid "
+                            "GROUP BY bid.country WINDOW 5 s DURATION 60 s "
+                            "SAMPLE EVENTS 50%;"),
+                       lint_rules::kSamplingShardedEstimate)
+                  .empty());
+}
+
 TEST_F(LintTest, WellFormedQueryIsCompletelyClean) {
   const std::string q =
       "SELECT bid.country, COUNT(*), COUNT_DISTINCT(bid.user_id) FROM bid "

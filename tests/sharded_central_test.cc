@@ -1,8 +1,10 @@
 // Tests for the sharded ScrubCentral deployment: result parity with a
 // single instance (the defining property), join colocation by request id,
-// shard balance, and the sampling restriction.
+// shard balance, and the coordinator-level Eq. 1-3 estimation for sampled
+// plans.
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include <gtest/gtest.h>
@@ -213,23 +215,10 @@ TEST_F(ShardedCentralTest, LoadSpreadsAcrossShards) {
   EXPECT_EQ(total, 4000u);
 }
 
-TEST_F(ShardedCentralTest, RefusesSampledPlans) {
-  ShardedCentral sharded(&registry_, 2);
-  CentralPlan plan = PlanFor(
-      "SELECT COUNT(*) FROM bid WINDOW 10 s DURATION 10 s "
-      "SAMPLE EVENTS 10%;",
-      7);
-  EXPECT_EQ(sharded.InstallQuery(plan, [](const ResultRow&) {}).code(),
-            StatusCode::kUnimplemented);
-  // A refused install leaves no residue on any shard.
-  EXPECT_FALSE(sharded.shard(0).HasQuery(plan.query_id));
-  EXPECT_FALSE(sharded.shard(1).HasQuery(plan.query_id));
-}
-
-TEST_F(ShardedCentralTest, RefusalIsACleanStatusForBothSamplingKinds) {
-  // Both sampling flavors must come back as a well-formed Status with an
-  // actionable message — never a crash or a half-installed query — and the
-  // instance must stay fully usable afterwards.
+TEST_F(ShardedCentralTest, AcceptsSampledPlansOfBothKinds) {
+  // Sampled plans shard: the shard pipelines stop at WindowClose and the
+  // coordinator's Finalize runs the Eq. 1-3 estimator over globally merged
+  // counters, so neither sampling flavor is refused anymore.
   ShardedCentral sharded(&registry_, 2);
   const CentralPlan host_sampled = PlanFor(
       "SELECT COUNT(*) FROM bid WINDOW 10 s DURATION 10 s "
@@ -242,32 +231,108 @@ TEST_F(ShardedCentralTest, RefusalIsACleanStatusForBothSamplingKinds) {
   for (const CentralPlan* plan : {&host_sampled, &event_sampled}) {
     const Status status =
         sharded.InstallQuery(*plan, [](const ResultRow&) {});
-    EXPECT_EQ(status.code(), StatusCode::kUnimplemented);
-    EXPECT_NE(status.message().find("sampling"), std::string_view::npos)
-        << status.ToString();
-    EXPECT_FALSE(sharded.HasQuery(plan->query_id));
-    EXPECT_FALSE(sharded.shard(0).HasQuery(plan->query_id));
-    EXPECT_FALSE(sharded.shard(1).HasQuery(plan->query_id));
-    // Feeding a batch for the refused query is a no-op, not a crash.
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    EXPECT_TRUE(sharded.HasQuery(plan->query_id));
+    EXPECT_TRUE(sharded.shard(0).HasQuery(plan->query_id));
+    EXPECT_TRUE(sharded.shard(1).HasQuery(plan->query_id));
     EXPECT_TRUE(sharded
                     .IngestBatch(Pack(plan->query_id, RandomBids(10, 1, 5)), 0)
                     .ok());
   }
-  // The refusals left the instance healthy: an unsampled plan installs and
-  // runs end to end.
-  const CentralPlan clean = PlanFor(
-      "SELECT COUNT(*) FROM bid WINDOW 10 s DURATION 10 s;", 13);
-  uint64_t total = 0;
+}
+
+TEST_F(ShardedCentralTest, SampledCountEstimatesPopulationFromCounters) {
+  // One host reports 50 of 100 seen events (SAMPLE EVENTS 50%). The
+  // coordinator's Finalize must scale the merged readings by the global
+  // M_i / m_i: COUNT comes back as exactly 100 — even though the 50 shipped
+  // events were split across shards — with a zero bound (all-1.0 readings,
+  // no unsampled-host stage, so Eq. 3 variance is 0).
+  ShardedCentral sharded(&registry_, 2);
+  CentralPlan plan = PlanFor(
+      "SELECT COUNT(*) FROM bid WINDOW 10 s DURATION 10 s "
+      "SAMPLE EVENTS 50%;",
+      7);
+  std::vector<ResultRow> rows;
   ASSERT_TRUE(sharded
-                  .InstallQuery(clean, [&](const ResultRow& row) {
-                    total += static_cast<uint64_t>(row.values[0].AsInt());
-                  })
+                  .InstallQuery(plan,
+                                [&](const ResultRow& row) {
+                                  rows.push_back(row);
+                                })
                   .ok());
-  ASSERT_TRUE(sharded
-                  .IngestBatch(Pack(clean.query_id, RandomBids(50, 2, 5)), 0)
-                  .ok());
+  EventBatch batch = Pack(plan.query_id, RandomBids(50, 19, 10));
+  WindowCounter counter;
+  counter.window_start = plan.start_time;
+  counter.seen = 100;
+  counter.sampled = 50;
+  batch.counters.push_back(counter);
+  ASSERT_TRUE(sharded.IngestBatch(batch, 0).ok());
   sharded.OnTick(60 * kMicrosPerSecond);
-  EXPECT_EQ(total, 50u);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].values[0].AsNumber(), 100.0);
+  ASSERT_EQ(rows[0].error_bounds.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].error_bounds[0], 0.0);
+  EXPECT_DOUBLE_EQ(rows[0].completeness, 1.0);
+}
+
+TEST_F(ShardedCentralTest, SampledGroupedCountsCarryPerGroupBounds) {
+  // Grouped + sampled: each group's estimate is bounded per group at the
+  // coordinator. With several hosts sampling at 50%, the per-group COUNT
+  // estimates must bracket the true per-group populations within the
+  // reported Eq. 2-3 bound, and groups the sample missed entirely still
+  // finalize cleanly on the groups it did see.
+  constexpr int kHosts = 6;
+  constexpr int kPerHost = 200;  // events seen per host
+  ShardedCentral sharded(&registry_, 3);
+  CentralPlan plan = PlanFor(
+      "SELECT bid.user_id, COUNT(*) FROM bid GROUP BY bid.user_id "
+      "WINDOW 10 s DURATION 10 s SAMPLE EVENTS 50%;",
+      8);
+  plan.hosts_targeted = kHosts;
+  plan.hosts_sampled = kHosts;
+  std::vector<ResultRow> rows;
+  ASSERT_TRUE(sharded
+                  .InstallQuery(plan,
+                                [&](const ResultRow& row) {
+                                  rows.push_back(row);
+                                })
+                  .ok());
+  // Per host: kPerHost events over 4 users, every second event "sampled".
+  std::map<int64_t, uint64_t> truth;  // user -> fleet-wide population
+  Rng rng(23);
+  for (int h = 0; h < kHosts; ++h) {
+    std::vector<Event> shipped;
+    uint64_t sampled = 0;
+    for (int i = 0; i < kPerHost; ++i) {
+      const int64_t user = static_cast<int64_t>(rng.NextBelow(4));
+      ++truth[user];
+      if (i % 2 == 0) {
+        Event e(bid_schema_, rng.NextUint64(), 100 + i);
+        e.SetField(0, Value(user));
+        e.SetField(1, Value(1.0));
+        shipped.push_back(std::move(e));
+        ++sampled;
+      }
+    }
+    EventBatch batch = Pack(plan.query_id, shipped);
+    batch.host = static_cast<HostId>(h);
+    WindowCounter counter;
+    counter.window_start = plan.start_time;
+    counter.seen = kPerHost;
+    counter.sampled = sampled;
+    batch.counters.push_back(counter);
+    ASSERT_TRUE(sharded.IngestBatch(batch, 0).ok());
+  }
+  sharded.OnTick(60 * kMicrosPerSecond);
+  ASSERT_EQ(rows.size(), truth.size());
+  for (const ResultRow& row : rows) {
+    const int64_t user = row.values[0].AsInt();
+    const double estimate = row.values[1].AsNumber();
+    const double bound = row.error_bounds[1];
+    EXPECT_GT(bound, 0.0);
+    EXPECT_LE(std::abs(estimate - static_cast<double>(truth[user])), bound)
+        << "user " << user << ": estimate " << estimate << " truth "
+        << truth[user] << " bound " << bound;
+  }
 }
 
 TEST_F(ShardedCentralTest, RawModeShardsAndMatchesSingleInstance) {

@@ -45,6 +45,15 @@ def ingest_runs(doc):
             section.get("speedup_vs_row"))
 
 
+def ingest_join_runs(doc):
+    # The join case nests under ingest.join (added with the executor's
+    # columnar join path); legacy baselines without it yield empty runs and
+    # the gate degrades to NOTEs on the fresh side.
+    section = (doc.get("ingest") or {}).get("join") or {}
+    return ({r["pipeline"]: r for r in section.get("runs", [])},
+            section.get("speedup_vs_row"))
+
+
 def gate_events_per_sec(label, baseline, fresh, threshold, failures):
     for key in sorted(baseline):
         base = baseline[key]
@@ -91,6 +100,17 @@ def main():
     fresh_ingest, fresh_speedup = ingest_runs(fresh)
     gate_events_per_sec("ingest", base_ingest, fresh_ingest, args.threshold,
                         failures)
+
+    base_join, _ = ingest_join_runs(baseline)
+    fresh_join, fresh_join_speedup = ingest_join_runs(fresh)
+    gate_events_per_sec("ingest.join", base_join, fresh_join, args.threshold,
+                        failures)
+    if fresh_join_speedup is not None:
+        # Informational: the join's columnar win rides on lazy
+        # materialization, not the vectorized filter, so it has no
+        # architectural floor of its own.
+        print(f"ok   ingest.join columnar speedup vs row: "
+              f"{fresh_join_speedup:.2f}x")
 
     if fresh_ingest:
         if fresh_speedup is None and \

@@ -18,11 +18,14 @@ BUILD_DIR="${REPO}/build-bench"
 OUT="${1:-${REPO}/BENCH_scrub.json}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+# Logs live inside the build tree (gitignored as a directory); nothing is
+# ever written next to it at the repo root.
+mkdir -p "${BUILD_DIR}"
 cmake -B "${BUILD_DIR}" -S "${REPO}" -DCMAKE_BUILD_TYPE=Release \
-  > "${BUILD_DIR}.cmake.log" 2>&1
+  > "${BUILD_DIR}/cmake.log" 2>&1
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
   --target bench_parallel_central bench_ingest \
-  > "${BUILD_DIR}.build.log" 2>&1
+  > "${BUILD_DIR}/build.log" 2>&1
 
 PC_JSON="$(mktemp /tmp/bench_pc.XXXXXX.json)"
 INGEST_JSON="$(mktemp /tmp/bench_ingest.XXXXXX.json)"

@@ -34,7 +34,8 @@ note "format check"
 if command -v clang-format >/dev/null 2>&1; then
   # shellcheck disable=SC2046
   if ! clang-format --dry-run --Werror \
-      $(find "${REPO}/src" "${REPO}/tests" "${REPO}/examples" \
+      $(find "${REPO}/src" "${REPO}/tests" "${REPO}/bench" \
+             "${REPO}/examples" \
              -name '*.cc' -o -name '*.h' -o -name '*.cpp'); then
     fail "clang-format found unformatted files"
   fi
@@ -44,13 +45,14 @@ fi
 
 # ------------------------------------------------- sanitizer build + test ----
 note "ASan+UBSan build"
+mkdir -p "${BUILD_DIR}"
 if ! cmake -B "${BUILD_DIR}" -S "${REPO}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-      -DSCRUB_SANITIZE=ON -DSCRUB_WERROR=ON > "${BUILD_DIR}.cmake.log" 2>&1 \
-   || ! cmake --build "${BUILD_DIR}" -j "${JOBS}" > "${BUILD_DIR}.build.log" 2>&1
+      -DSCRUB_SANITIZE=ON -DSCRUB_WERROR=ON > "${BUILD_DIR}/cmake.log" 2>&1 \
+   || ! cmake --build "${BUILD_DIR}" -j "${JOBS}" > "${BUILD_DIR}/build.log" 2>&1
 then
-  tail -40 "${BUILD_DIR}.build.log" 2>/dev/null
-  fail "sanitizer build failed (logs: ${BUILD_DIR}.build.log)"
+  tail -40 "${BUILD_DIR}/build.log" 2>/dev/null
+  fail "sanitizer build failed (logs: ${BUILD_DIR}/build.log)"
 else
   note "tier-1 tests under ASan+UBSan"
   if ! (cd "${BUILD_DIR}" && \
@@ -74,14 +76,15 @@ fi
 note "TSan build"
 TSAN_DIR="${REPO}/build-tsan"
 TSAN_TESTS="common_test parallel_determinism_test differential_test sharded_central_test chaos_test"
+mkdir -p "${TSAN_DIR}"
 if ! cmake -B "${TSAN_DIR}" -S "${REPO}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-      -DSCRUB_TSAN=ON -DSCRUB_WERROR=ON > "${TSAN_DIR}.cmake.log" 2>&1 \
+      -DSCRUB_TSAN=ON -DSCRUB_WERROR=ON > "${TSAN_DIR}/cmake.log" 2>&1 \
    || ! cmake --build "${TSAN_DIR}" -j "${JOBS}" \
-        --target ${TSAN_TESTS} > "${TSAN_DIR}.build.log" 2>&1
+        --target ${TSAN_TESTS} > "${TSAN_DIR}/build.log" 2>&1
 then
-  tail -40 "${TSAN_DIR}.build.log" 2>/dev/null
-  fail "TSan build failed (logs: ${TSAN_DIR}.build.log)"
+  tail -40 "${TSAN_DIR}/build.log" 2>/dev/null
+  fail "TSan build failed (logs: ${TSAN_DIR}/build.log)"
 else
   note "parallel tests under TSan"
   for t in ${TSAN_TESTS}; do
@@ -96,7 +99,7 @@ note "benchmark suite vs committed baseline (parallel-central + ingest)"
 if [ -f "${REPO}/BENCH_scrub.json" ]; then
   FRESH_BENCH="$(mktemp /tmp/BENCH_scrub.XXXXXX.json)"
   if ! "${REPO}/tools/bench_run.sh" "${FRESH_BENCH}"; then
-    fail "benchmark run failed (logs: ${REPO}/build-bench.build.log)"
+    fail "benchmark run failed (logs: ${REPO}/build-bench/build.log)"
   elif ! python3 "${REPO}/tools/bench_compare.py" \
         "${REPO}/BENCH_scrub.json" "${FRESH_BENCH}"; then
     fail "events/sec regressed >15% vs committed BENCH_scrub.json, or the columnar ingest speedup fell below its 1.5x floor"

@@ -8,11 +8,16 @@
 //    selection vector, EncodeColumnBatch / DecodeColumnBatch, per-row fold
 //    straight off the columns (no intermediate Event).
 //
-// Two cases run: "scan" (single-source grouped aggregate, the historical
-// bench) and "join" (two sources equi-joined on request id). The join case
-// exercises the executor's columnar join path: the probe reads the
-// request-id column directly and an Event materializes only when a row
-// first survives the join — orphans never materialize.
+// Three cases run: "scan" (single-source grouped aggregate, the historical
+// bench), "join" (two sources equi-joined on request id), and "filter"
+// (the agent-flush selection step in isolation). The join case exercises
+// the executor's columnar join path: the probe reads the request-id column
+// directly and an Event materializes only when a row first survives the
+// join — orphans never materialize. The filter case pits the legacy
+// tree-walking conjunct loop against the lowered expression-IR programs on
+// a WHERE with install-time-foldable arithmetic and redundant bounds: the
+// planner folds the constants and prunes the implied conjuncts once, so
+// the per-event program does strictly less work ("speedup_vs_legacy").
 //
 // Both runs of a case must produce the identical result transcript
 // (asserted) — the benchmark measures representation, not semantics. Timing
@@ -39,6 +44,7 @@
 #include "src/event/column_batch.h"
 #include "src/event/wire.h"
 #include "src/plan/expr_eval.h"
+#include "src/plan/expr_ir.h"
 #include "src/plan/vectorized.h"
 #include "src/query/analyzer.h"
 
@@ -174,6 +180,158 @@ Workload JoinWorkload(size_t events_per_batch) {
     }
   }
   return w;
+}
+
+// The agent-flush selection step with a WHERE full of install-time slack:
+// `4.0 / 2.0` re-divides per event in the tree walk, and the two weaker
+// price bounds are implied by `price > 2`. The IR pipeline folds the
+// division and prunes the implied conjuncts at plan time, so its per-event
+// filter runs two short programs instead of four tree walks.
+Workload FilterWorkload(size_t events_per_batch) {
+  Workload w;
+  w.schemas.push_back(*EventSchema::Builder("bid")
+                           .AddField("user_id", FieldType::kLong)
+                           .AddField("price", FieldType::kDouble)
+                           .AddField("tag", FieldType::kString)
+                           .Build());
+  if (!w.registry.Register(w.schemas[0]).ok()) {
+    std::abort();
+  }
+  w.Plan(
+      "SELECT bid.user_id, COUNT(*) FROM bid "
+      "WHERE bid.price > 4.0 / 2.0 AND bid.price > 1.0 AND "
+      "bid.price > 0.5 AND bid.tag != 'nosuch' "
+      "GROUP BY bid.user_id WINDOW 1 s DURATION 60 s;");
+
+  static const char* kTags[] = {"organic", "paid", "house", "remnant"};
+  Rng rng(1357);
+  for (int tick = 0; tick < kTicks; ++tick) {
+    for (int host = 0; host < kHosts; ++host) {
+      auto& events = w.stream[static_cast<size_t>(tick)]
+                             [static_cast<size_t>(host)][0];
+      events.reserve(events_per_batch);
+      for (size_t i = 0; i < events_per_batch; ++i) {
+        Event e(w.schemas[0], rng.NextUint64(),
+                tick * kTickMicros +
+                    static_cast<TimeMicros>(rng.NextBelow(
+                        static_cast<uint64_t>(kTickMicros))));
+        e.SetField(0, Value(static_cast<int64_t>(rng.NextBelow(64))));
+        e.SetField(1, Value(rng.NextDouble() * 5));  // ~60% pass > 2.0
+        e.SetField(2, Value(kTags[rng.NextBelow(4)]));
+        events.push_back(std::move(e));
+      }
+      w.total_events += events.size();
+    }
+  }
+  return w;
+}
+
+struct FilterResult {
+  std::string pipeline;
+  uint64_t events = 0;
+  uint64_t matched = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+};
+
+constexpr int kFilterPasses = 4;
+
+// The selection step alone: no staging, encode or fold — pure predicate
+// work, which is what the IR lowering set out to cheapen.
+FilterResult RunFilter(const Workload& w, bool ir, bool columnar) {
+  const HostSourcePlan& sp = w.sources[0];
+  FilterResult r;
+  r.pipeline = std::string(ir ? "ir" : "legacy") +
+               (columnar ? "_columnar" : "_row");
+
+  // Columnar batches are staged outside the timed region; both pipelines
+  // would stage identically.
+  std::vector<ColumnBatch> batches;
+  if (columnar) {
+    for (const auto& per_host : w.stream) {
+      for (const auto& per_source : per_host) {
+        ColumnBatch cols(w.schemas[0]);
+        cols.Reserve(per_source[0].size());
+        for (const Event& e : per_source[0]) {
+          cols.AppendEvent(e);
+        }
+        batches.push_back(std::move(cols));
+      }
+    }
+  }
+
+  const uint64_t cpu0 = WorkerPool::ThreadCpuNs();
+  for (int pass = 0; pass < kFilterPasses; ++pass) {
+    r.matched = 0;
+    if (!columnar) {
+      for (const auto& per_host : w.stream) {
+        for (const auto& per_source : per_host) {
+          for (const Event& e : per_source[0]) {
+            bool keep = true;
+            if (!ir) {
+              for (const CompiledExpr& conjunct : sp.conjuncts) {
+                if (!EvalPredicateSingle(conjunct, e)) {
+                  keep = false;
+                  break;
+                }
+              }
+            } else {
+              keep = !sp.never_matches;
+              for (const ExprProgram& program : sp.programs) {
+                if (!keep) {
+                  break;
+                }
+                if (!EvalProgramPredicateSingle(program, e)) {
+                  keep = false;
+                }
+              }
+            }
+            r.matched += keep ? 1 : 0;
+          }
+        }
+      }
+    } else {
+      for (const ColumnBatch& cols : batches) {
+        std::vector<uint32_t> selection(cols.rows());
+        std::iota(selection.begin(), selection.end(), 0u);
+        if (!ir) {
+          for (const CompiledExpr& conjunct : sp.conjuncts) {
+            EvalPredicateBatch(conjunct, cols, &selection);
+            if (selection.empty()) {
+              break;
+            }
+          }
+        } else {
+          if (sp.never_matches) {
+            selection.clear();
+          }
+          for (const ExprProgram& program : sp.programs) {
+            if (selection.empty()) {
+              break;
+            }
+            EvalProgramPredicateBatch(program, cols, &selection);
+          }
+        }
+        r.matched += selection.size();
+      }
+    }
+  }
+  r.seconds =
+      static_cast<double>(WorkerPool::ThreadCpuNs() - cpu0) / 1e9;
+  r.events = w.total_events * kFilterPasses;
+  r.events_per_sec = static_cast<double>(r.events) / r.seconds;
+  return r;
+}
+
+FilterResult BestFilter(const Workload& w, bool ir, bool columnar) {
+  FilterResult best = RunFilter(w, ir, columnar);
+  for (int rep = 1; rep < 3; ++rep) {
+    FilterResult again = RunFilter(w, ir, columnar);
+    if (again.seconds < best.seconds) {
+      best = std::move(again);
+    }
+  }
+  return best;
 }
 
 struct RunResult {
@@ -331,9 +489,29 @@ int Main(int argc, char** argv) {
       argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 1024;
   const Workload scan = ScanWorkload(events_per_batch);
   const Workload join = JoinWorkload(events_per_batch);
+  const Workload filter = FilterWorkload(events_per_batch);
 
   const CasePair scan_pair = RunCase(scan, "scan");
   const CasePair join_pair = RunCase(join, "join");
+
+  const FilterResult f_legacy_row = BestFilter(filter, false, false);
+  const FilterResult f_ir_row = BestFilter(filter, true, false);
+  const FilterResult f_legacy_col = BestFilter(filter, false, true);
+  const FilterResult f_ir_col = BestFilter(filter, true, true);
+  // Representation must not change semantics: every pipeline keeps the
+  // exact same rows.
+  if (f_legacy_row.matched != f_ir_row.matched ||
+      f_legacy_col.matched != f_ir_col.matched ||
+      f_legacy_row.matched != f_legacy_col.matched) {
+    std::fprintf(stderr,
+                 "filter pipelines diverged: row %llu/%llu columnar "
+                 "%llu/%llu\n",
+                 static_cast<unsigned long long>(f_legacy_row.matched),
+                 static_cast<unsigned long long>(f_ir_row.matched),
+                 static_cast<unsigned long long>(f_legacy_col.matched),
+                 static_cast<unsigned long long>(f_ir_col.matched));
+    std::exit(1);
+  }
 
   // The scan case keeps the legacy top-level layout ("runs" /
   // "speedup_vs_row") so committed baselines compare without migration; the
@@ -361,6 +539,27 @@ int Main(int argc, char** argv) {
   out += StrFormat("    \"speedup_vs_row\": %.3f\n",
                    join_pair.col.events_per_sec /
                        join_pair.row.events_per_sec);
+  out += "  },\n";
+  out += "  \"filter\": {\n";
+  out += "    \"query\": \"4 conjuncts with foldable arithmetic and "
+         "implied bounds; IR executes 2 folded programs\",\n";
+  out += "    \"runs\": [\n";
+  const FilterResult* filter_results[] = {&f_legacy_row, &f_ir_row,
+                                          &f_legacy_col, &f_ir_col};
+  for (const FilterResult* fr : filter_results) {
+    out += StrFormat(
+        "      {\"pipeline\": \"%s\", \"events\": %llu, "
+        "\"matched\": %llu, \"seconds\": %.6f, "
+        "\"events_per_sec\": %.0f}%s\n",
+        fr->pipeline.c_str(), static_cast<unsigned long long>(fr->events),
+        static_cast<unsigned long long>(fr->matched), fr->seconds,
+        fr->events_per_sec, fr == &f_ir_col ? "" : ",");
+  }
+  out += "    ],\n";
+  out += StrFormat("    \"speedup_vs_legacy\": %.3f,\n",
+                   f_ir_row.events_per_sec / f_legacy_row.events_per_sec);
+  out += StrFormat("    \"speedup_vs_legacy_columnar\": %.3f\n",
+                   f_ir_col.events_per_sec / f_legacy_col.events_per_sec);
   out += "  }\n";
   out += "}\n";
   std::fputs(out.c_str(), stdout);

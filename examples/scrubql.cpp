@@ -56,7 +56,8 @@ void PrintUsage(const char* argv0) {
       "  runs the Scrub query against a simulated ad-bidding platform.\n"
       "  --lint checks the query statically and prints diagnostics only.\n"
       "  with no query argument, reads one query per line from stdin;\n"
-      "  ':lint <query>' lints a query without running it.\n",
+      "  ':lint <query>' lints a query without running it;\n"
+      "  ':explain <query>' prints the plan, typed IR and lint findings.\n",
       argv0);
 }
 
@@ -194,6 +195,11 @@ int main(int argc, char** argv) {
       lint_options.lint_only = true;
       status = RunQuery(lint_options,
                         std::string(StripWhitespace(query.substr(5))));
+    } else if (query.rfind(":explain", 0) == 0) {
+      Options explain_options = options;
+      explain_options.explain_only = true;
+      status = RunQuery(explain_options,
+                        std::string(StripWhitespace(query.substr(8))));
     } else if (!query.empty()) {
       status = RunQuery(options, query);
     }

@@ -126,13 +126,16 @@ int64_t ScrubAgent::LogEventImpl(const Event& event, Event* owned) {
       continue;
     }
 
-    // 2. Selection.
-    bool pass = true;
-    for (const CompiledExpr& conjunct : sp->conjuncts) {
-      ns += c.predicate_term_ns * conjunct.node_count;
-      if (!EvalPredicateSingle(conjunct, event)) {
-        pass = false;
+    // 2. Selection, on the folded IR programs (always-true conjuncts are
+    // already pruned; a provably unsatisfiable filter ships nothing).
+    bool pass = !sp->never_matches;
+    for (const ExprProgram& program : sp->programs) {
+      if (!pass) {
         break;
+      }
+      ns += c.predicate_term_ns * static_cast<int64_t>(program.insts.size());
+      if (!EvalProgramPredicateSingle(program, event)) {
+        pass = false;
       }
     }
     if (!pass) {
@@ -191,13 +194,16 @@ void ScrubAgent::FlushColumns(QueryId query_id, ActiveQuery& q,
   std::vector<uint32_t> selection(cols.rows());
   std::iota(selection.begin(), selection.end(), 0U);
   int64_t ns = 0;
-  for (const CompiledExpr& conjunct : sp.conjuncts) {
-    ns += c.predicate_term_ns * conjunct.node_count *
-          static_cast<int64_t>(selection.size());
-    EvalPredicateBatch(conjunct, cols, &selection);
+  if (sp.never_matches) {
+    selection.clear();
+  }
+  for (const ExprProgram& program : sp.programs) {
     if (selection.empty()) {
       break;
     }
+    ns += c.predicate_term_ns * static_cast<int64_t>(program.insts.size()) *
+          static_cast<int64_t>(selection.size());
+    EvalProgramPredicateBatch(program, cols, &selection);
   }
   q.stats.events_filtered += cols.rows() - selection.size();
   q.stats.events_staged += selection.size();

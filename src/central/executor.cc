@@ -234,7 +234,7 @@ void Executor::FoldInto(QueryState& q, WindowState& w, const InputChunk& chunk,
           q.pipeline.bounded_aggregates[b])];
       double v = 1.0;  // COUNT: indicator reading
       if (spec.func == AggregateFunc::kSum) {
-        const Value arg = EvalExprColumns(spec.arg, batch, row);
+        const Value arg = EvalProgramColumns(spec.arg_program, batch, row);
         v = arg.is_numeric() ? arg.AsNumber() : 0.0;
       }
       hs.readings[b].Add(v);
@@ -251,7 +251,7 @@ void Executor::FoldInto(QueryState& q, WindowState& w, const InputChunk& chunk,
         q.pipeline.bounded_aggregates[b])];
     double v = 1.0;  // COUNT: indicator reading
     if (spec.func == AggregateFunc::kSum) {
-      const Value arg = EvalExpr(spec.arg, tuple);
+      const Value arg = EvalProgram(spec.arg_program, tuple);
       v = arg.is_numeric() ? arg.AsNumber() : 0.0;
     }
     hs.readings[b].Add(v);
@@ -323,9 +323,9 @@ void Executor::GroupFoldTuple(QueryState& q, WindowState& w,
     row.query_id = plan.query_id;
     row.window_start = w.start;
     row.window_end = w.start + plan.window_micros;
-    row.values.reserve(plan.raw_select.size());
-    for (const CompiledExpr& e : plan.raw_select) {
-      row.values.push_back(EvalExpr(e, tuple));
+    row.values.reserve(plan.raw_select_programs.size());
+    for (const ExprProgram& e : plan.raw_select_programs) {
+      row.values.push_back(EvalProgram(e, tuple));
     }
     row.error_bounds.assign(row.values.size(), 0.0);
     ++q.stats.rows_emitted;
@@ -334,17 +334,17 @@ void Executor::GroupFoldTuple(QueryState& q, WindowState& w,
   }
 
   GroupKey key;
-  key.reserve(plan.group_by.size());
-  for (const CompiledExpr& g : plan.group_by) {
-    key.push_back(EvalExpr(g, tuple));
+  key.reserve(plan.group_by_programs.size());
+  for (const ExprProgram& g : plan.group_by_programs) {
+    key.push_back(EvalProgram(g, tuple));
   }
   HashedGroupKey hk(std::move(key));
   GroupState& group = w.groups[std::move(hk)];
   if (group.accumulators.empty()) {
     group.accumulators.resize(plan.aggregates.size());
   }
-  CollectGroupReadings(q, &group, host, [&](const CompiledExpr& e) {
-    return EvalExpr(e, tuple);
+  CollectGroupReadings(q, &group, host, [&](const ExprProgram& e) {
+    return EvalProgram(e, tuple);
   });
   for (size_t i = 0; i < plan.aggregates.size(); ++i) {
     meter_->ChargeScrub(config_->costs.central_group_update_ns);
@@ -361,9 +361,9 @@ void Executor::GroupFoldColumn(QueryState& q, WindowState& w,
     result.query_id = plan.query_id;
     result.window_start = w.start;
     result.window_end = w.start + plan.window_micros;
-    result.values.reserve(plan.raw_select.size());
-    for (const CompiledExpr& e : plan.raw_select) {
-      result.values.push_back(EvalExprColumns(e, batch, row));
+    result.values.reserve(plan.raw_select_programs.size());
+    for (const ExprProgram& e : plan.raw_select_programs) {
+      result.values.push_back(EvalProgramColumns(e, batch, row));
     }
     result.error_bounds.assign(result.values.size(), 0.0);
     ++q.stats.rows_emitted;
@@ -372,9 +372,9 @@ void Executor::GroupFoldColumn(QueryState& q, WindowState& w,
   }
 
   GroupKey key;
-  key.reserve(plan.group_by.size());
-  for (const CompiledExpr& g : plan.group_by) {
-    key.push_back(EvalExprColumns(g, batch, row));
+  key.reserve(plan.group_by_programs.size());
+  for (const ExprProgram& g : plan.group_by_programs) {
+    key.push_back(EvalProgramColumns(g, batch, row));
   }
   // One hash per row, reused for the map probe (and, pre-bucketed, by the
   // sharded router).
@@ -383,15 +383,15 @@ void Executor::GroupFoldColumn(QueryState& q, WindowState& w,
   if (group.accumulators.empty()) {
     group.accumulators.resize(plan.aggregates.size());
   }
-  CollectGroupReadings(q, &group, host, [&](const CompiledExpr& e) {
-    return EvalExprColumns(e, batch, row);
+  CollectGroupReadings(q, &group, host, [&](const ExprProgram& e) {
+    return EvalProgramColumns(e, batch, row);
   });
   for (size_t i = 0; i < plan.aggregates.size(); ++i) {
     meter_->ChargeScrub(config_->costs.central_group_update_ns);
     const AggregateSpec& spec = plan.aggregates[i];
     Value arg;
     if (spec.has_arg) {
-      arg = EvalExprColumns(spec.arg, batch, row);
+      arg = EvalProgramColumns(spec.arg_program, batch, row);
       if (arg.is_null()) {
         continue;  // SQL-style: aggregates skip null arguments
       }
@@ -405,7 +405,7 @@ void Executor::UpdateAccumulator(const AggregateSpec& spec,
                                  const EventTuple& tuple) {
   Value arg;
   if (spec.has_arg) {
-    arg = EvalExpr(spec.arg, tuple);
+    arg = EvalProgram(spec.arg_program, tuple);
     if (arg.is_null()) {
       return;  // SQL-style: aggregates skip null arguments
     }

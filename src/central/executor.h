@@ -367,7 +367,7 @@ class Executor {
           q.plan.aggregates[static_cast<size_t>(q.pipeline.scaled_slots[s])];
       double v = 1.0;  // COUNT: indicator reading
       if (spec.func == AggregateFunc::kSum) {
-        const Value arg = eval(spec.arg);
+        const Value arg = eval(spec.arg_program);
         v = arg.is_numeric() ? arg.AsNumber() : 0.0;
       }
       readings[s].Add(v);

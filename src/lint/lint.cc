@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "src/common/strings.h"
+#include "src/plan/expr_analysis.h"
+#include "src/plan/expr_ir.h"
 #include "src/sketch/stats.h"
 
 namespace scrub {
@@ -100,6 +102,7 @@ class Linter {
     CheckWindowUnderFlush();
     CheckSpanBudget();
     CheckRetryHeadroom();
+    CheckSemanticIr();
     return std::move(diags_);
   }
 
@@ -542,6 +545,122 @@ class Linter {
                    DurationText(options_.retry_rtt_micros).c_str(),
                    DurationText(needed).c_str()),
          q_.spans.window);
+  }
+
+  // --- (k)-(n) semantic rules over the expression IR --------------------------
+  //
+  // Each WHERE conjunct is lowered to the typed IR and run through the
+  // abstract interpreter, exactly as the planner does before installing the
+  // filter — so what lint reports is what execution prunes.
+  void CheckSemanticIr() {
+    const SourceSpan where_span = q_.spans.where;
+    for (size_t i = 0; i < q_.sources.size(); ++i) {
+      const std::vector<std::string> single_source = {q_.sources[i]};
+      const std::vector<SchemaPtr> single_schema = {aq_.schemas[i]};
+      std::vector<ExprProgram> programs;
+      std::vector<SourceSpan> spans;
+      for (size_t c = 0; c < aq_.conjuncts.size(); ++c) {
+        const int src = aq_.conjunct_source[c];
+        if (src != static_cast<int>(i) && src != -1) {
+          continue;
+        }
+        // Source-free constant conjuncts would be diagnosed once per source;
+        // report them only with the first.
+        if (src == -1 && i != 0) {
+          continue;
+        }
+        const Expr& e = *aq_.conjuncts[c];
+        const SourceSpan span = e.span.IsValid() ? e.span : where_span;
+        Result<CompiledExpr> compiled =
+            CompileExpr(e, single_source, single_schema);
+        if (!compiled.ok()) {
+          continue;  // admission rejects it elsewhere
+        }
+        ExprProgram program = LowerExpr(*compiled, single_schema);
+        const ProgramAnalysis analysis = AnalyzeProgram(program);
+        if (analysis.predicate == PredicateClass::kAlwaysFalse) {
+          Emit(LintSeverity::kWarning, lint_rules::kFilterContradiction,
+               "WHERE conjunct can never be true: it filters out every "
+               "event, so the query returns nothing",
+               span);
+        } else if (analysis.predicate == PredicateClass::kAlwaysTrue) {
+          Emit(LintSeverity::kWarning, lint_rules::kRedundantConjunct,
+               "WHERE conjunct is always true: it filters nothing and is "
+               "pruned from the executed filter",
+               span);
+        }
+        for (const AnalysisNote& note : analysis.notes) {
+          if (note.kind == AnalysisNoteKind::kDivisionByZero) {
+            Emit(LintSeverity::kWarning, lint_rules::kDivisionByZero,
+                 "division by a divisor that is provably zero always yields "
+                 "NULL",
+                 span);
+          } else {
+            Emit(LintSeverity::kWarning, lint_rules::kNullComparison,
+                 "ordered comparison with an always-NULL operand is never "
+                 "true",
+                 span);
+          }
+        }
+        FoldProgram(&program, analysis);
+        if (analysis.predicate == PredicateClass::kUnknown) {
+          programs.push_back(std::move(program));
+          spans.push_back(span);
+        }
+      }
+      // Cross-conjunct reasoning on the same field (the per-source conjunct
+      // set the host filter executes).
+      std::vector<const ExprProgram*> refs;
+      refs.reserve(programs.size());
+      for (const ExprProgram& p : programs) {
+        refs.push_back(&p);
+      }
+      const ConjunctSetResult set = AnalyzeConjunctSet(refs);
+      if (set.contradiction) {
+        std::string field = "a field";
+        if (static_cast<size_t>(set.contradiction_field) <
+            aq_.schemas[i]->field_count()) {
+          field = StrFormat(
+              "'%s.%s'", q_.sources[i].c_str(),
+              aq_.schemas[i]
+                  ->field(static_cast<size_t>(set.contradiction_field))
+                  .name.c_str());
+        }
+        Emit(LintSeverity::kWarning, lint_rules::kFilterContradiction,
+             StrFormat("WHERE conjuncts on %s contradict each other: no "
+                       "event can satisfy all of them, so the query returns "
+                       "nothing",
+                       field.c_str()),
+             where_span);
+      } else {
+        for (const int r : set.redundant) {
+          Emit(LintSeverity::kWarning, lint_rules::kRedundantConjunct,
+               "WHERE conjunct is implied by the other conjuncts on the "
+               "same field and does no additional filtering",
+               spans[static_cast<size_t>(r)]);
+        }
+      }
+    }
+    // Divisions in the SELECT list (aggregate arguments and output math)
+    // never reach the WHERE lowering above; catch constant-zero divisors
+    // syntactically.
+    for (const SelectItem& item : q_.select) {
+      CheckZeroDivisor(*item.expr);
+    }
+  }
+
+  void CheckZeroDivisor(const Expr& e) {
+    if (e.kind == ExprKind::kBinary && e.binary_op == BinaryOp::kDiv &&
+        e.children[1]->kind == ExprKind::kLiteral &&
+        e.children[1]->literal.is_numeric() &&
+        e.children[1]->literal.AsNumber() == 0.0) {
+      Emit(LintSeverity::kWarning, lint_rules::kDivisionByZero,
+           "division by a divisor that is provably zero always yields NULL",
+           e.span.IsValid() ? e.span : q_.spans.from);
+    }
+    for (const ExprPtr& child : e.children) {
+      CheckZeroDivisor(*child);
+    }
   }
 
   const AnalyzedQuery& aq_;

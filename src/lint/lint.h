@@ -66,6 +66,25 @@ inline constexpr std::string_view kNoRetryHeadroom =
 // reports the Eq. 1 ratio estimate without bounds for grouped plans.
 inline constexpr std::string_view kSamplingShardedEstimate =
     "scrubql-sampling-sharded-estimate";
+// Semantic rules driven by the expression-IR abstract interpreter
+// (src/plan/expr_analysis.h).
+// (k) WHERE conjunct provably unsatisfiable, alone or jointly with the other
+// conjuncts on the same field (`status == 200 AND status >= 500`): the
+// query ships nothing. Warning, not error: the query is well-formed and the
+// planner executes it (as a no-op filter) either way.
+inline constexpr std::string_view kFilterContradiction =
+    "scrubql-filter-contradiction";
+// (l) Conjunct always true, or implied by the other conjuncts on the same
+// field: it filters nothing and is pruned from the executed program.
+inline constexpr std::string_view kRedundantConjunct =
+    "scrubql-redundant-conjunct";
+// (m) Division whose divisor is provably zero: the result is always NULL.
+inline constexpr std::string_view kDivisionByZero =
+    "scrubql-division-by-zero";
+// (n) Ordered comparison (<, <=, >, >=) with an always-NULL operand: never
+// true under ScrubQL null semantics.
+inline constexpr std::string_view kNullComparison =
+    "scrubql-null-comparison";
 }  // namespace lint_rules
 
 struct Diagnostic {

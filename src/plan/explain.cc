@@ -1,10 +1,27 @@
 #include "src/plan/explain.h"
 
 #include "src/common/strings.h"
+#include "src/plan/expr_analysis.h"
 #include "src/plan/physical.h"
 
 namespace scrub {
 namespace {
+
+std::string IndentLines(const std::string& text, const char* pad) {
+  std::string out;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    out += pad;
+    out.append(text, start, end - start);
+    out += "\n";
+    start = end + 1;
+  }
+  return out;
+}
 
 std::string DurationText(TimeMicros micros) {
   if (micros % kMicrosPerMinute == 0) {
@@ -109,6 +126,59 @@ std::string ExplainPlan(const AnalyzedQuery& analyzed, const QueryPlan& plan,
   for (const PhysicalOp& op : pipeline.ops) {
     out += StrFormat("    %s(%s)\n", PhysicalOpKindName(op.kind),
                      op.detail.c_str());
+  }
+
+  // Typed expression IR: the lowered, folded programs the row and columnar
+  // evaluators execute, with the abstract interpreter's facts.
+  out += "ir:\n";
+  for (size_t i = 0; i < plan.host.sources.size(); ++i) {
+    const HostSourcePlan& sp = plan.host.sources[i];
+    const std::vector<std::string> single_source = {sp.event_type};
+    const std::vector<SchemaPtr> single_schema = {analyzed.schemas[i]};
+    if (sp.never_matches) {
+      out += StrFormat("  source '%s': filter proven unsatisfiable — no "
+                       "event ever ships\n",
+                       sp.event_type.c_str());
+    }
+    const size_t pruned = sp.conjuncts.size() - sp.programs.size();
+    if (pruned > 0 && !sp.never_matches) {
+      out += StrFormat("  source '%s': %zu conjunct(s) folded away or "
+                       "implied by the rest\n",
+                       sp.event_type.c_str(), pruned);
+    }
+    for (size_t pi = 0; pi < sp.programs.size(); ++pi) {
+      const ExprProgram& program = sp.programs[pi];
+      const ProgramAnalysis analysis = AnalyzeProgram(program);
+      out += StrFormat("  source '%s' filter program %zu: result %s, "
+                       "predicate %s\n",
+                       sp.event_type.c_str(), pi,
+                       analysis.result.ToString().c_str(),
+                       PredicateClassName(analysis.predicate));
+      out += IndentLines(ProgramToString(program, single_source,
+                                         single_schema),
+                         "    ");
+    }
+  }
+  {
+    size_t agg_args = 0;
+    size_t agg_insts = 0;
+    for (const AggregateSpec& spec : central.aggregates) {
+      if (spec.has_arg) {
+        ++agg_args;
+        agg_insts += spec.arg_program.insts.size();
+      }
+    }
+    size_t central_insts = agg_insts;
+    for (const ExprProgram& p : central.group_by_programs) {
+      central_insts += p.insts.size();
+    }
+    for (const ExprProgram& p : central.raw_select_programs) {
+      central_insts += p.insts.size();
+    }
+    out += StrFormat("  central: %zu group-key, %zu aggregate-arg, %zu "
+                     "raw-select program(s), %zu instruction(s) total\n",
+                     central.group_by_programs.size(), agg_args,
+                     central.raw_select_programs.size(), central_insts);
   }
 
   const std::vector<Diagnostic> diags = LintQuery(analyzed, lint_options);

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "src/common/strings.h"
+#include "src/plan/expr_analysis.h"
 
 namespace scrub {
 
@@ -29,6 +30,21 @@ const HostSourcePlan* HostPlan::FindSource(std::string_view event_type) const {
 }
 
 namespace {
+
+// Lower to the IR and apply the analysis-driven constant fold. Every
+// consumer (host filter, group keys, raw select, aggregate args) goes
+// through this one helper, so all evaluators execute the same lowering.
+ExprProgram LowerOptimized(const CompiledExpr& expr,
+                           const std::vector<SchemaPtr>& schemas,
+                           PredicateClass* predicate = nullptr) {
+  ExprProgram program = LowerExpr(expr, schemas);
+  const ProgramAnalysis analysis = AnalyzeProgram(program);
+  FoldProgram(&program, analysis);
+  if (predicate != nullptr) {
+    *predicate = analysis.predicate;
+  }
+  return program;
+}
 
 class Planner {
  public:
@@ -78,7 +94,37 @@ class Planner {
           return compiled.status();
         }
         sp.predicate_nodes += compiled->node_count;
+
+        // Lower/fold for the hot path: an always-true conjunct drops out, an
+        // always-false one makes the whole source filter unsatisfiable.
+        PredicateClass cls = PredicateClass::kUnknown;
+        ExprProgram program =
+            LowerOptimized(*compiled, single_schema, &cls);
+        if (cls == PredicateClass::kAlwaysFalse) {
+          sp.never_matches = true;
+        }
+        if (cls == PredicateClass::kUnknown) {
+          sp.programs.push_back(std::move(program));
+        }
         sp.conjuncts.push_back(std::move(compiled).value());
+      }
+
+      // Cross-conjunct reasoning: an unsatisfiable set (status == 200 AND
+      // status >= 500) ships nothing; implied conjuncts are dead and drop
+      // out of the executed filter (the implying conjuncts stay).
+      std::vector<const ExprProgram*> refs;
+      refs.reserve(sp.programs.size());
+      for (const ExprProgram& p : sp.programs) {
+        refs.push_back(&p);
+      }
+      const ConjunctSetResult set = AnalyzeConjunctSet(refs);
+      if (set.contradiction) {
+        sp.never_matches = true;
+      } else {
+        for (auto it = set.redundant.rbegin(); it != set.redundant.rend();
+             ++it) {
+          sp.programs.erase(sp.programs.begin() + *it);
+        }
       }
 
       // Projection mask.
@@ -122,6 +168,8 @@ class Planner {
         if (!compiled.ok()) {
           return compiled.status();
         }
+        central->raw_select_programs.push_back(
+            LowerOptimized(*compiled, aq_.schemas));
         central->raw_select.push_back(std::move(compiled).value());
       }
       return OkStatus();
@@ -133,6 +181,8 @@ class Planner {
       if (!compiled.ok()) {
         return compiled.status();
       }
+      central->group_by_programs.push_back(
+          LowerOptimized(*compiled, aq_.schemas));
       central->group_by.push_back(std::move(compiled).value());
     }
 
@@ -170,6 +220,7 @@ class Planner {
             return arg.status();
           }
           spec.has_arg = true;
+          spec.arg_program = LowerOptimized(*arg, aq_.schemas);
           spec.arg = std::move(arg).value();
         }
         out.kind = OutputKind::kAggregate;

@@ -25,6 +25,7 @@
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/plan/expr_eval.h"
+#include "src/plan/expr_ir.h"
 #include "src/query/analyzer.h"
 
 namespace scrub {
@@ -39,9 +40,18 @@ struct HostSourcePlan {
   int source_index = 0;  // position in the query's FROM list
 
   // Selection: conjuncts compiled against this single source; an event must
-  // satisfy all of them to be shipped.
+  // satisfy all of them to be shipped. The tree form is kept for the wire
+  // size model, explain, and the logging baselines (which intentionally stay
+  // on the tree evaluator as a differential backstop).
   std::vector<CompiledExpr> conjuncts;
   int predicate_nodes = 0;  // total compiled nodes, for CPU cost accounting
+
+  // The same conjuncts lowered to the typed IR, constant-folded, with
+  // always-true and implied (dead) conjuncts pruned — what the agent hot
+  // path actually executes. When the analysis proves the conjunct set
+  // unsatisfiable, never_matches is set and the agent ships nothing.
+  std::vector<ExprProgram> programs;
+  bool never_matches = false;
 
   // Projection: keep_field[i] is true iff the query reads schema field i.
   std::vector<bool> keep_field;
@@ -84,7 +94,8 @@ struct AggregateSpec {
   AggregateFunc func = AggregateFunc::kCount;
   int64_t topk_k = 0;
   bool has_arg = false;
-  CompiledExpr arg;  // evaluated against the joined tuple
+  CompiledExpr arg;       // tree form, kept for explain / baselines
+  ExprProgram arg_program;  // lowered+folded form the executor evaluates
 
   // COUNT/SUM estimates are scaled up under sampling (Eq. 1); AVG is a ratio
   // so scaling cancels; MIN/MAX/TOPK/COUNT_DISTINCT are never scaled.
@@ -112,6 +123,11 @@ struct CentralPlan {
   std::vector<OutputColumn> outputs;       // aggregate mode
   std::vector<CompiledExpr> raw_select;    // raw mode
   std::vector<std::string> column_names;   // both modes, in select order
+
+  // Lowered+folded twins of group_by / raw_select (one shared lowering; the
+  // row and columnar executors both run these).
+  std::vector<ExprProgram> group_by_programs;
+  std::vector<ExprProgram> raw_select_programs;
 
   TimeMicros window_micros = 0;
   TimeMicros slide_micros = 0;  // < window: sliding; == window: tumbling

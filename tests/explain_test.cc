@@ -87,6 +87,40 @@ TEST_F(ExplainTest, ShowsPhysicalPipelineOperators) {
   EXPECT_EQ(raw.find("Finalize("), std::string::npos) << raw;
 }
 
+TEST_F(ExplainTest, ShowsTypedIrPrograms) {
+  const std::string text = ExplainQuery(
+      "SELECT COUNT(*) FROM bid WHERE bid.price > 2.0 "
+      "WINDOW 10 s DURATION 60 s;",
+      registry_);
+  EXPECT_NE(text.find("ir:"), std::string::npos) << text;
+  EXPECT_NE(text.find("filter program 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("bid.price"), std::string::npos) << text;
+  EXPECT_NE(text.find("null|double"), std::string::npos) << text;
+  EXPECT_NE(text.find("predicate unknown"), std::string::npos) << text;
+  EXPECT_NE(text.find("central:"), std::string::npos) << text;
+
+  // An unsatisfiable filter is called out, its programs pruned, and lint
+  // flags the contradiction alongside.
+  const std::string dead = ExplainQuery(
+      "SELECT COUNT(*) FROM bid WHERE bid.user_id = 200 AND "
+      "bid.user_id >= 500 WINDOW 10 s DURATION 60 s;",
+      registry_);
+  EXPECT_NE(dead.find("unsatisfiable"), std::string::npos) << dead;
+  EXPECT_NE(dead.find("scrubql-filter-contradiction"), std::string::npos)
+      << dead;
+
+  // A redundant conjunct is pruned from the executed programs: only the
+  // stronger bound survives.
+  const std::string pruned = ExplainQuery(
+      "SELECT COUNT(*) FROM bid WHERE bid.price > 10 AND bid.price > 5 "
+      "WINDOW 10 s DURATION 60 s;",
+      registry_);
+  EXPECT_NE(pruned.find("folded away or implied"), std::string::npos)
+      << pruned;
+  EXPECT_NE(pruned.find("filter program 0"), std::string::npos) << pruned;
+  EXPECT_EQ(pruned.find("filter program 1"), std::string::npos) << pruned;
+}
+
 TEST_F(ExplainTest, ErrorsRenderAsText) {
   const std::string text = ExplainQuery("SELECT COUNT(*) FROM ghost;",
                                         registry_);

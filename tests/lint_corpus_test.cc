@@ -1,0 +1,154 @@
+// Golden lint corpus: a fixed set of queries with the exact diagnostics the
+// linter must emit, as "rule[severity]@begin-end" summaries. The point is
+// drift detection: any change to rule logic, ordering, severities or span
+// attribution shows up as a corpus diff that has to be reviewed here, next
+// to the query that produced it. When an intentional change lands, rerun and
+// paste the printed actual summaries.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/lint/lint.h"
+#include "src/query/analyzer.h"
+
+namespace scrub {
+namespace {
+
+struct CorpusCase {
+  const char* query;
+  const char* expected;  // "clean" or space-joined diagnostic summaries
+};
+
+std::string Summarize(const std::vector<Diagnostic>& diags) {
+  if (diags.empty()) {
+    return "clean";
+  }
+  std::vector<std::string> parts;
+  for (const Diagnostic& d : diags) {
+    std::string where = "query";
+    if (d.span.IsValid()) {
+      where = StrFormat("%zu-%zu", d.span.begin, d.span.end);
+    }
+    parts.push_back(StrFormat("%s[%s]@%s", d.rule.c_str(),
+                              LintSeverityName(d.severity), where.c_str()));
+  }
+  return StrJoin(parts, " ");
+}
+
+TEST(LintCorpusTest, GoldenDiagnostics) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register(*EventSchema::Builder("bid")
+                                 .AddField("user_id", FieldType::kLong)
+                                 .AddField("price", FieldType::kDouble)
+                                 .AddField("country", FieldType::kString)
+                                 .AddField("won", FieldType::kBool)
+                                 .Build())
+                  .ok());
+  LintOptions options;
+  options.fleet_hosts = 100;
+  options.events_per_host_per_second = 1000.0;
+  options.field_cardinality = {{"user_id", 1'000'000}, {"country", 8}};
+
+  const std::vector<CorpusCase> corpus = {
+      // 1. Well-formed grouped aggregation: nothing to say.
+      {"SELECT bid.country, COUNT(*) FROM bid WHERE bid.country = 'US' "
+       "@[SERVICE IN BidServers] GROUP BY bid.country WINDOW 5 s "
+       "DURATION 60 s;",
+       "clean"},
+      // 2. High-cardinality GROUP BY without TOPK.
+      {"SELECT bid.user_id, COUNT(*) FROM bid GROUP BY bid.user_id "
+       "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;",
+       "scrubql-unbounded-group-by[error]@47-58 scrubql-sampling-sharded-estimate[note]@84-101"},
+      // 3. GROUP BY the join key: one group per request.
+      {"SELECT bid.__request_id, COUNT(*) FROM bid GROUP BY "
+       "bid.__request_id WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;",
+       "scrubql-unbounded-group-by[error]@52-68 scrubql-sampling-sharded-estimate[note]@94-111"},
+      // 4. Aggregate-free GROUP BY = exact distinct enumeration.
+      {"SELECT bid.country FROM bid GROUP BY bid.country WINDOW 5 s "
+       "DURATION 60 s SAMPLE EVENTS 10%;",
+       "scrubql-exact-distinct[warning]@28-48"},
+      // 5. Sampling so aggressive the Eq. 1-3 error bound is useless.
+      {"SELECT COUNT(*) FROM bid WHERE bid.user_id = 7 WINDOW 5 s "
+       "DURATION 60 s SAMPLE HOSTS 2% SAMPLE EVENTS 1%;",
+       "scrubql-sampling-error[warning]@88-104 scrubql-dead-projection[note]@31-42"},
+      // 6. Whole fleet, no target, no sampling.
+      {"SELECT COUNT(*) FROM bid WINDOW 5 s DURATION 60 s;", "scrubql-full-fleet[warning]@16-24"},
+      // 7. Field ships with every event but central never reads it.
+      {"SELECT bid.country, COUNT(*), MIN(bid.price) FROM bid "
+       "WHERE bid.won = true GROUP BY bid.country WINDOW 5 s "
+       "DURATION 60 s SAMPLE EVENTS 50%;",
+       "scrubql-sampling-sharded-estimate[note]@121-138 scrubql-dead-projection[note]@60-67"},
+      // 8. Predicate with selectivity ~ 1 ships everything anyway.
+      {"SELECT COUNT(*) FROM bid WHERE bid.user_id != 7 WINDOW 5 s "
+       "DURATION 60 s SAMPLE EVENTS 50%;",
+       "scrubql-dead-projection[note]@31-42 scrubql-ineffective-filter[warning]@25-47"},
+      // 9. Window shorter than the agent flush interval.
+      {"SELECT COUNT(*) FROM bid WINDOW 100 ms DURATION 60 s "
+       "SAMPLE EVENTS 50%;",
+       "scrubql-window-under-flush[warning]@25-38"},
+      // 10. Span eats most of the admission duration budget.
+      {"SELECT COUNT(*) FROM bid WINDOW 1 m DURATION 20 h "
+       "SAMPLE EVENTS 50%;",
+       "scrubql-span-budget[warning]@36-49"},
+      // 11. Grouped + sampled COUNT: sharded central adds per-group bounds.
+      {"SELECT bid.country, COUNT(*) FROM bid GROUP BY bid.country "
+       "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;",
+       "scrubql-sampling-sharded-estimate[note]@84-101"},
+      // 12. Equality pin vs excluded range: unsatisfiable conjunct set.
+      {"SELECT COUNT(*) FROM bid WHERE bid.user_id = 200 AND "
+       "bid.user_id >= 500 WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;",
+       "scrubql-dead-projection[note]@31-42 scrubql-filter-contradiction[warning]@25-71"},
+      // 13. Empty integral band: no integer strictly between 1 and 2.
+      {"SELECT COUNT(*) FROM bid WHERE bid.user_id > 1 AND bid.user_id < 2 "
+       "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;",
+       "scrubql-dead-projection[note]@31-42 scrubql-filter-contradiction[warning]@25-66"},
+      // 14. Weaker bound implied by the stronger one.
+      {"SELECT COUNT(*) FROM bid WHERE bid.price > 10 AND bid.price > 5 "
+       "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;",
+       "scrubql-dead-projection[note]@31-40 scrubql-redundant-conjunct[warning]@50-63"},
+      // 15. Equality pin subsumes a consistent range check.
+      {"SELECT COUNT(*) FROM bid WHERE bid.user_id = 7 AND "
+       "bid.user_id < 10 WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;",
+       "scrubql-dead-projection[note]@31-42 scrubql-redundant-conjunct[warning]@51-67"},
+      // 16. Duplicate conjunct.
+      {"SELECT COUNT(*) FROM bid WHERE bid.price > 10 AND bid.price > 10 "
+       "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;",
+       "scrubql-dead-projection[note]@31-40 scrubql-redundant-conjunct[warning]@50-64"},
+      // 17. Division by a constant zero in WHERE: always NULL, ordered
+      // compare against it never true, so the filter also contradicts.
+      {"SELECT COUNT(*) FROM bid WHERE bid.price / 0 > 1 WINDOW 5 s "
+       "DURATION 60 s SAMPLE EVENTS 50%;",
+       "scrubql-dead-projection[note]@31-40 scrubql-filter-contradiction[warning]@31-48 scrubql-division-by-zero[warning]@31-48 scrubql-null-comparison[warning]@31-48"},
+      // 18. Division by a constant zero in the SELECT list.
+      {"SELECT SUM(bid.price) / 0 FROM bid WINDOW 5 s DURATION 60 s "
+       "SAMPLE EVENTS 50%;",
+       "scrubql-division-by-zero[warning]@7-25"},
+      // 19. Satisfiable band: tightening bounds are not redundant (the
+      // filter-only field still notes as a dead projection).
+      {"SELECT COUNT(*) FROM bid WHERE bid.price > 10 AND bid.price < 20 "
+       "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;",
+       "scrubql-dead-projection[note]@31-40"},
+      // 20. Raw projection of a selective slice: clean.
+      {"SELECT bid.price, bid.country FROM bid WHERE bid.country = 'US' "
+       "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;",
+       "clean"},
+  };
+
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const CorpusCase& c = corpus[i];
+    Result<AnalyzedQuery> analyzed = ParseAndAnalyze(c.query, registry);
+    ASSERT_TRUE(analyzed.ok())
+        << "corpus " << i + 1 << ": " << analyzed.status().ToString();
+    const std::string actual = Summarize(LintQuery(*analyzed, options));
+    EXPECT_EQ(actual, c.expected)
+        << "corpus " << i + 1 << "\n  query:  " << c.query
+        << "\n  actual: {\"" << actual << "\"}";
+  }
+}
+
+}  // namespace
+}  // namespace scrub

@@ -364,6 +364,139 @@ TEST_F(LintTest, SamplingShardedEstimateQuietWithoutGroupOrSampling) {
                   .empty());
 }
 
+TEST_F(LintTest, SamplingShardedEstimateQuietOnUnsampledGroupedQuery) {
+  // Grouped, scaling aggregates, but no SAMPLE clause at all: there is no
+  // estimate to annotate, sharded central or not.
+  const std::string q =
+      "SELECT bid.country, SUM(bid.price), COUNT(*) FROM bid "
+      "GROUP BY bid.country WINDOW 5 s DURATION 60 s;";
+  EXPECT_TRUE(
+      WithRule(Lint(q), lint_rules::kSamplingShardedEstimate).empty());
+}
+
+// --- (k) scrubql-filter-contradiction --------------------------------------
+
+TEST_F(LintTest, FilterContradictionFiresOnConflictingConjuncts) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid "
+      "WHERE bid.user_id = 200 AND bid.user_id >= 500 "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;";
+  const auto diags = Lint(q);
+  const auto hits = WithRule(diags, lint_rules::kFilterContradiction);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(hits[0].message.find("user_id"), std::string::npos);
+  // Semantic rules warn; the query is well-formed and admission accepts it.
+  EXPECT_FALSE(HasLintErrors(WithRule(diags,
+                                      lint_rules::kFilterContradiction)));
+}
+
+TEST_F(LintTest, FilterContradictionFiresOnEmptyIntegerBand) {
+  // No integer lies strictly between 1 and 2 and user_id is integral.
+  const std::string q =
+      "SELECT COUNT(*) FROM bid "
+      "WHERE bid.user_id > 1 AND bid.user_id < 2 "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;";
+  EXPECT_EQ(WithRule(Lint(q), lint_rules::kFilterContradiction).size(), 1u);
+}
+
+TEST_F(LintTest, SatisfiableBoundsAreNotAContradiction) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid "
+      "WHERE bid.user_id >= 200 AND bid.user_id <= 500 "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;";
+  const auto diags = Lint(q);
+  EXPECT_TRUE(WithRule(diags, lint_rules::kFilterContradiction).empty());
+  EXPECT_TRUE(WithRule(diags, lint_rules::kRedundantConjunct).empty());
+}
+
+// --- (l) scrubql-redundant-conjunct ----------------------------------------
+
+TEST_F(LintTest, RedundantConjunctFiresOnImpliedBound) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid "
+      "WHERE bid.price > 10 AND bid.price > 5 "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kRedundantConjunct);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kWarning);
+  // The weaker bound is the redundant one.
+  EXPECT_EQ(SpanText(q, hits[0].span), "bid.price > 5");
+}
+
+TEST_F(LintTest, RedundantConjunctFiresOnEqualityPinnedRange) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid "
+      "WHERE bid.user_id = 7 AND bid.user_id < 10 "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kRedundantConjunct);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(SpanText(q, hits[0].span), "bid.user_id < 10");
+}
+
+TEST_F(LintTest, TighteningBoundsAreNotRedundant) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid "
+      "WHERE bid.price > 10 AND bid.price < 20 "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kRedundantConjunct).empty());
+}
+
+// --- (m) scrubql-division-by-zero ------------------------------------------
+
+TEST_F(LintTest, DivisionByZeroFiresInWhere) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid "
+      "WHERE bid.price / 0 > 1 "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kDivisionByZero);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(hits[0].message.find("NULL"), std::string::npos);
+}
+
+TEST_F(LintTest, DivisionByZeroFiresInSelectList) {
+  const std::string q =
+      "SELECT SUM(bid.price) / 0 FROM bid "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;";
+  EXPECT_EQ(WithRule(Lint(q), lint_rules::kDivisionByZero).size(), 1u);
+}
+
+TEST_F(LintTest, NonZeroDivisorIsClean) {
+  const std::string q =
+      "SELECT SUM(bid.price) / 100 FROM bid "
+      "WHERE bid.price / 2 > 1 "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;";
+  const auto diags = Lint(q);
+  EXPECT_TRUE(WithRule(diags, lint_rules::kDivisionByZero).empty());
+  EXPECT_TRUE(WithRule(diags, lint_rules::kNullComparison).empty());
+}
+
+// --- (n) scrubql-null-comparison -------------------------------------------
+
+TEST_F(LintTest, NullComparisonFiresOnProvablyNullOperand) {
+  // price / 0 is always NULL, and an ordered comparison against NULL is
+  // never true — so this also contradicts.
+  const std::string q =
+      "SELECT COUNT(*) FROM bid "
+      "WHERE bid.price / 0 > 1 "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;";
+  const auto diags = Lint(q);
+  const auto hits = WithRule(diags, lint_rules::kNullComparison);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kWarning);
+  EXPECT_EQ(WithRule(diags, lint_rules::kFilterContradiction).size(), 1u);
+  // Warnings all the way down: the query still admits.
+  EXPECT_FALSE(HasLintErrors(diags));
+}
+
+TEST_F(LintTest, OrdinaryComparisonIsNotNullComparison) {
+  const std::string q =
+      "SELECT COUNT(*) FROM bid WHERE bid.price > 1 "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 50%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kNullComparison).empty());
+}
+
 TEST_F(LintTest, WellFormedQueryIsCompletelyClean) {
   const std::string q =
       "SELECT bid.country, COUNT(*), COUNT_DISTINCT(bid.user_id) FROM bid "

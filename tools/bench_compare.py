@@ -54,6 +54,14 @@ def ingest_join_runs(doc):
             section.get("speedup_vs_row"))
 
 
+def ingest_filter_runs(doc):
+    # The filter case (legacy tree conjuncts vs lowered IR programs) nests
+    # under ingest.filter; absent in pre-IR baselines.
+    section = (doc.get("ingest") or {}).get("filter") or {}
+    return ({r["pipeline"]: r for r in section.get("runs", [])},
+            section.get("speedup_vs_legacy"))
+
+
 def gate_events_per_sec(label, baseline, fresh, threshold, failures):
     for key in sorted(baseline):
         base = baseline[key]
@@ -87,6 +95,9 @@ def main():
     parser.add_argument("--min-ingest-speedup", type=float, default=1.5,
                         help="columnar-over-row floor for the fresh ingest "
                              "bench")
+    parser.add_argument("--min-filter-speedup", type=float, default=1.05,
+                        help="IR-over-legacy floor for the fresh filter "
+                             "bench (row path)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -111,6 +122,23 @@ def main():
         # architectural floor of its own.
         print(f"ok   ingest.join columnar speedup vs row: "
               f"{fresh_join_speedup:.2f}x")
+
+    base_filter, _ = ingest_filter_runs(baseline)
+    fresh_filter, fresh_filter_speedup = ingest_filter_runs(fresh)
+    gate_events_per_sec("ingest.filter", base_filter, fresh_filter,
+                        args.threshold, failures)
+    if fresh_filter_speedup is not None:
+        # Absolute floor: the lowered+folded IR must stay ahead of the
+        # legacy tree walk on the foldable-conjunct workload, or the whole
+        # install-time-analysis argument quietly evaporated.
+        line = (f"ingest.filter IR speedup vs legacy: "
+                f"{fresh_filter_speedup:.2f}x "
+                f"(floor {args.min_filter_speedup:.2f}x)")
+        if fresh_filter_speedup < args.min_filter_speedup:
+            failures.append(line)
+            print("FAIL " + line)
+        else:
+            print("ok   " + line)
 
     if fresh_ingest:
         if fresh_speedup is None and \

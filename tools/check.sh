@@ -94,6 +94,32 @@ else
   done
 fi
 
+# ------------------------------------------------- IR verifier pass ----------
+# The expression-IR verifier aborts on malformed programs only in debug /
+# SCRUB_IR_VERIFY builds; release builds log and limp on. This pass builds
+# release WITH the hard-fail on and drives every lowering-heavy suite, so a
+# planner change that emits broken IR dies here and not on the fleet.
+note "IR verifier build (release + SCRUB_IR_VERIFY)"
+IRV_DIR="${REPO}/build-irverify"
+IRV_TESTS="expr_ir_test expr_semantics_test plan_test explain_test lint_test lint_corpus_test executor_test"
+mkdir -p "${IRV_DIR}"
+if ! cmake -B "${IRV_DIR}" -S "${REPO}" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DSCRUB_IR_VERIFY=ON -DSCRUB_WERROR=ON > "${IRV_DIR}/cmake.log" 2>&1 \
+   || ! cmake --build "${IRV_DIR}" -j "${JOBS}" \
+        --target ${IRV_TESTS} > "${IRV_DIR}/build.log" 2>&1
+then
+  tail -40 "${IRV_DIR}/build.log" 2>/dev/null
+  fail "IR verifier build failed (logs: ${IRV_DIR}/build.log)"
+else
+  note "lowering-heavy tests with the IR verifier hard-failing"
+  for t in ${IRV_TESTS}; do
+    if ! "${IRV_DIR}/tests/${t}" > /dev/null; then
+      fail "${t} failed under SCRUB_IR_VERIFY"
+    fi
+  done
+fi
+
 # ------------------------------------------------- benchmark regression ------
 note "benchmark suite vs committed baseline (parallel-central + ingest)"
 if [ -f "${REPO}/BENCH_scrub.json" ]; then
@@ -102,7 +128,7 @@ if [ -f "${REPO}/BENCH_scrub.json" ]; then
     fail "benchmark run failed (logs: ${REPO}/build-bench/build.log)"
   elif ! python3 "${REPO}/tools/bench_compare.py" \
         "${REPO}/BENCH_scrub.json" "${FRESH_BENCH}"; then
-    fail "events/sec regressed >15% vs committed BENCH_scrub.json, or the columnar ingest speedup fell below its 1.5x floor"
+    fail "events/sec regressed >15% vs committed BENCH_scrub.json, or the columnar ingest (1.5x) / IR filter (1.05x) speedup floors broke"
   fi
   rm -f "${FRESH_BENCH}"
 else

@@ -92,8 +92,10 @@ struct Workload {
 };
 
 // Single-source grouped aggregate over a ~80%-selective predicate: the
-// historical ingest bench, dominated by filter + project + fold.
-Workload ScanWorkload(size_t events_per_batch) {
+// historical ingest bench, dominated by filter + project + fold. The spill
+// case reuses it at a higher group-key cardinality so a fractional state
+// budget actually bites.
+Workload ScanWorkload(size_t events_per_batch, uint64_t cardinality = 64) {
   Workload w;
   w.schemas.push_back(*EventSchema::Builder("bid")
                            .AddField("user_id", FieldType::kLong)
@@ -120,7 +122,7 @@ Workload ScanWorkload(size_t events_per_batch) {
                 tick * kTickMicros +
                     static_cast<TimeMicros>(rng.NextBelow(
                         static_cast<uint64_t>(kTickMicros))));
-        e.SetField(0, Value(static_cast<int64_t>(rng.NextBelow(64))));
+        e.SetField(0, Value(static_cast<int64_t>(rng.NextBelow(cardinality))));
         e.SetField(1, Value(rng.NextDouble() * 5));  // ~80% pass > 1.0
         e.SetField(2, Value(kTags[rng.NextBelow(4)]));
         events.push_back(std::move(e));
@@ -341,14 +343,19 @@ struct RunResult {
   uint64_t payload_bytes = 0;
   double seconds = 0.0;
   double events_per_sec = 0.0;
+  // Memory-pressure readings (spill case): the accountant's high-water mark
+  // and the spill/shed counters for the bench query.
+  size_t state_peak = 0;
+  size_t budget = 0;
+  uint64_t spilled = 0;
+  uint64_t shed = 0;
   std::vector<std::string> transcript;
 };
 
 // One full pass of the stream through the chosen pipeline. The returned
 // transcript is the self-check: both representations must emit the same
 // rows in the same order.
-RunResult RunOne(const Workload& w, bool columnar) {
-  CentralConfig config;
+RunResult RunOne(const Workload& w, bool columnar, CentralConfig config = {}) {
   config.allowed_lateness = 0;
   ScrubCentral central(&w.registry, config);
   RunResult r;
@@ -429,11 +436,19 @@ RunResult RunOne(const Workload& w, bool columnar) {
     }
     central.OnTick(now);
   }
+  // Read the high-water mark before the final tick: that tick runs past the
+  // query's span, and retirement releases the accountant entry.
+  r.state_peak = central.accountant().peak(w.central_plan.query_id);
   central.OnTick(kTicks * kTickMicros + kMicrosPerMinute);
   r.seconds =
       static_cast<double>(WorkerPool::ThreadCpuNs() - cpu0) / 1e9;
   r.events = w.total_events;
   r.events_per_sec = static_cast<double>(w.total_events) / r.seconds;
+  if (const CentralQueryStats* stats =
+          central.StatsFor(w.central_plan.query_id)) {
+    r.spilled = stats->events_spilled;
+    r.shed = stats->events_shed;
+  }
   if (r.transcript.empty()) {
     std::abort();  // the bench must actually compute something
   }
@@ -468,6 +483,62 @@ CasePair RunCase(const Workload& w, const char* name) {
   return pair;
 }
 
+// Memory-pressure case: the columnar pipeline over a high-cardinality
+// grouped scan at state-budget tiers {unlimited, 1/2, 1/8 of the measured
+// working set}. Spill keeps every tier's transcript byte-identical
+// (asserted); the budgeted tiers pay serialize + replay, so only the
+// unlimited tier — the production default, accountant fully inactive — is
+// regression-gated by tools/bench_compare.py.
+struct SpillCaseResult {
+  size_t working_set = 0;
+  std::vector<RunResult> tiers;
+};
+
+SpillCaseResult RunSpillCase(const Workload& w) {
+  SpillCaseResult out;
+  // Calibration pass (untimed for gating purposes): tracking on, no budget,
+  // to learn the unbounded working set.
+  CentralConfig tracked;
+  tracked.track_state_bytes = true;
+  const RunResult calibration = RunOne(w, /*columnar=*/true, tracked);
+  out.working_set = calibration.state_peak;
+
+  struct Tier {
+    const char* name;
+    size_t budget;
+  };
+  const Tier tiers[] = {{"unlimited", 0},
+                        {"half", out.working_set / 2},
+                        {"eighth", out.working_set / 8}};
+  for (const Tier& tier : tiers) {
+    CentralConfig config;
+    config.query_state_budget_bytes = tier.budget;
+    if (tier.budget > 0) {
+      config.spill_dir = "/tmp/scrub_bench_spill";
+    }
+    RunResult best = RunOne(w, /*columnar=*/true, config);
+    for (int rep = 1; rep < 3; ++rep) {
+      RunResult again = RunOne(w, /*columnar=*/true, config);
+      if (again.seconds < best.seconds) {
+        best = std::move(again);
+      }
+    }
+    if (best.transcript != calibration.transcript || best.shed != 0) {
+      std::fprintf(stderr,
+                   "spill tier '%s' diverged from the unbounded run "
+                   "(%zu vs %zu rows, %llu shed)\n",
+                   tier.name, best.transcript.size(),
+                   calibration.transcript.size(),
+                   static_cast<unsigned long long>(best.shed));
+      std::exit(1);
+    }
+    best.pipeline = tier.name;
+    best.budget = tier.budget;
+    out.tiers.push_back(std::move(best));
+  }
+  return out;
+}
+
 std::string RunsJson(const CasePair& pair, const char* indent) {
   std::string out;
   for (const RunResult* r : {&pair.row, &pair.col}) {
@@ -490,9 +561,11 @@ int Main(int argc, char** argv) {
   const Workload scan = ScanWorkload(events_per_batch);
   const Workload join = JoinWorkload(events_per_batch);
   const Workload filter = FilterWorkload(events_per_batch);
+  const Workload spill = ScanWorkload(events_per_batch, /*cardinality=*/2048);
 
   const CasePair scan_pair = RunCase(scan, "scan");
   const CasePair join_pair = RunCase(join, "join");
+  const SpillCaseResult spill_case = RunSpillCase(spill);
 
   const FilterResult f_legacy_row = BestFilter(filter, false, false);
   const FilterResult f_ir_row = BestFilter(filter, true, false);
@@ -539,6 +612,27 @@ int Main(int argc, char** argv) {
   out += StrFormat("    \"speedup_vs_row\": %.3f\n",
                    join_pair.col.events_per_sec /
                        join_pair.row.events_per_sec);
+  out += "  },\n";
+  out += "  \"spill\": {\n";
+  out += "    \"query\": \"grouped scan over 2048 keys/window at state "
+         "budgets {unlimited, 1/2, 1/8 working set}; spill keeps tiers "
+         "byte-identical, only the unlimited tier is gated\",\n";
+  out += StrFormat("    \"working_set_bytes\": %zu,\n",
+                   spill_case.working_set);
+  out += "    \"runs\": [\n";
+  for (size_t i = 0; i < spill_case.tiers.size(); ++i) {
+    const RunResult& tier = spill_case.tiers[i];
+    out += StrFormat(
+        "      {\"pipeline\": \"%s\", \"budget_bytes\": %zu, "
+        "\"events\": %llu, \"spilled\": %llu, \"seconds\": %.6f, "
+        "\"events_per_sec\": %.0f}%s\n",
+        tier.pipeline.c_str(), tier.budget,
+        static_cast<unsigned long long>(tier.events),
+        static_cast<unsigned long long>(tier.spilled), tier.seconds,
+        tier.events_per_sec,
+        i + 1 == spill_case.tiers.size() ? "" : ",");
+  }
+  out += "    ]\n";
   out += "  },\n";
   out += "  \"filter\": {\n";
   out += "    \"query\": \"4 conjuncts with foldable arithmetic and "

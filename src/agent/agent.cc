@@ -23,7 +23,10 @@ void ScrubAgent::InstallQuery(const HostPlan& plan) {
   it->second.use_columns = config_.columnar && plan.sources.size() == 1;
 }
 
-void ScrubAgent::RemoveQuery(QueryId query_id) { queries_.erase(query_id); }
+void ScrubAgent::RemoveQuery(QueryId query_id) {
+  queries_.erase(query_id);
+  staging_accountant_.ReleaseAll(query_id);  // staged events die with it
+}
 
 TimeMicros ScrubAgent::WindowStartFor(const ActiveQuery& q,
                                       TimeMicros ts) const {
@@ -40,6 +43,13 @@ TimeMicros ScrubAgent::WindowStartFor(const ActiveQuery& q,
   return q.plan.start_time + (rel / grid) * grid;
 }
 
+void ScrubAgent::CountShed(ActiveQuery& q, TimeMicros ts) {
+  const TimeMicros start = WindowStartFor(q, ts);
+  WindowCounter& counter = q.pending_counters[start];
+  counter.window_start = start;
+  ++counter.shed;
+}
+
 void ScrubAgent::StageRow(ActiveQuery& q, const HostSourcePlan& sp,
                           const Event& event, Event* owned) {
   Event projected(event.schema(), event.request_id(), event.timestamp());
@@ -49,10 +59,22 @@ void ScrubAgent::StageRow(ActiveQuery& q, const HostSourcePlan& sp,
                                              : Value(event.field(i)));
     }
   }
+  // Byte budget first (logical wire size), then the entry-count cap. Both
+  // degrade the same way: drop, count, never block the application thread.
+  const size_t bytes =
+      staging_accountant_.active() ? projected.WireSize() : 0;
+  if (bytes > 0 &&
+      !staging_accountant_.TryCharge(q.plan.query_id, bytes)) {
+    ++q.stats.events_dropped;
+    CountShed(q, projected.timestamp());
+    return;
+  }
   if (q.staged.TryPush(std::move(projected))) {
     ++q.stats.events_staged;
   } else {
+    staging_accountant_.Release(q.plan.query_id, bytes);
     ++q.stats.events_dropped;
+    CountShed(q, event.timestamp());
   }
 }
 
@@ -118,10 +140,19 @@ int64_t ScrubAgent::LogEventImpl(const Event& event, Event* owned) {
       if (q.columns == nullptr) {
         q.columns = std::make_unique<ColumnBatch>(event.schema());
       }
-      if (q.columns->rows() < config_.staging_capacity) {
-        q.columns->AppendEvent(event);
-      } else {
+      if (q.columns->rows() >= config_.staging_capacity) {
         ++q.stats.events_dropped;
+        CountShed(q, ts);
+      } else if (staging_accountant_.active() &&
+                 !staging_accountant_.TryCharge(q.plan.query_id,
+                                                event.WireSize())) {
+        // Columnar staging keeps the un-projected event until the flush
+        // pre-pass, so the budget is charged at the full wire size —
+        // conservative relative to the row path's projected charge.
+        ++q.stats.events_dropped;
+        CountShed(q, ts);
+      } else {
+        q.columns->AppendEvent(event);
       }
       continue;
     }
@@ -293,6 +324,11 @@ std::vector<EventBatch> ScrubAgent::Flush(TimeMicros now,
       if (events.empty()) {
         break;  // counters-only flush
       }
+    }
+    // A flush drains the query's staging completely (row buffer above, the
+    // column batch in FlushColumns), so its whole byte charge comes back.
+    if (staging_accountant_.active()) {
+      staging_accountant_.ReleaseAll(it->first);
     }
     // Retire expired queries after their final drain.
     if (now >= q.plan.end_time) {

@@ -33,6 +33,7 @@
 #include "src/common/bounded_buffer.h"
 #include "src/common/cost_model.h"
 #include "src/common/rng.h"
+#include "src/common/spill.h"
 #include "src/cluster/host_registry.h"
 #include "src/event/column_batch.h"
 #include "src/event/event.h"
@@ -51,6 +52,10 @@ struct WindowCounter {
   TimeMicros window_start = 0;
   uint64_t seen = 0;
   uint64_t sampled = 0;
+  // Events this host staged for the window but shed before shipping
+  // (staging buffer full or staging byte budget hit). Central folds this
+  // into the window's fidelity — honest accounting, never the estimator.
+  uint64_t shed = 0;
 };
 
 // One flush's worth of traffic from a host to ScrubCentral for one query.
@@ -70,19 +75,25 @@ struct EventBatch {
   size_t event_count = 0;
   std::vector<WindowCounter> counters;  // deltas since the previous flush
 
-  // Honest wire accounting: the encoded events, each counter's three u64
-  // readings, and the header (query_id 8 + host 4 + seq 8 + epoch 8 +
-  // event_count 4 + counter_count 4). Columnar batches spend one extra byte
-  // on the format discriminator; row batches stay byte-identical to the
-  // pre-columnar wire.
+  // Honest wire accounting: the encoded events, each counter's window start
+  // plus three u64 readings (seen, sampled, shed), and the header (query_id
+  // 8 + host 4 + seq 8 + epoch 8 + event_count 4 + counter_count 4).
+  // Columnar batches spend one extra byte on the format discriminator; row
+  // batches stay byte-identical to the pre-columnar wire.
   size_t WireSize() const {
-    return payload.size() + 24 * counters.size() + 36 +
+    return payload.size() + 32 * counters.size() + 36 +
            (format == BatchFormat::kColumnar ? 1 : 0);
   }
 };
 
 struct AgentConfig {
   size_t staging_capacity = 8192;  // events buffered per query
+  // Byte budget over one query's staged events (logical wire sizes; 0 =
+  // unlimited). The staging buffer's event-count cap bounds entries; this
+  // bounds bytes, so a query over wide events cannot balloon the host. The
+  // degradation here is drop-and-count (log() never blocks, never spills);
+  // every drop is counted per window and folded into central's fidelity.
+  size_t staging_budget_bytes = 0;
   size_t max_batch_events = 1024;  // flush splits batches beyond this
   // Reliable delivery. A flushed batch is held for retransmission until
   // acked; unacked batches are re-sent with exponential backoff + jitter
@@ -136,7 +147,10 @@ class ScrubAgent {
         // perturbs the event-sampling coin flips (faulted and clean runs
         // must sample identically).
         retry_rng_(sampling_seed ^ 0x9E3779B97F4A7C15ULL),
-        epoch_(epoch) {}
+        epoch_(epoch) {
+    staging_accountant_.set_budgets(config_.staging_budget_bytes,
+                                    /*total_bytes=*/0);
+  }
 
   // Installs a query object received from the query server. Idempotent: a
   // duplicate install (retry that raced its ack) is a no-op, preserving
@@ -221,6 +235,10 @@ class ScrubAgent {
 
   TimeMicros WindowStartFor(const ActiveQuery& q, TimeMicros ts) const;
 
+  // Records one staged-but-shed event in the window's counter, so central
+  // can fold the loss into that window's fidelity.
+  void CountShed(ActiveQuery& q, TimeMicros ts);
+
   // Stats survive retirement; explicit RemoveQuery discards them (existing
   // behavior), in which case this returns nullptr.
   AgentQueryStats* MutableStatsFor(QueryId query_id);
@@ -234,6 +252,9 @@ class ScrubAgent {
   Rng rng_;
   Rng retry_rng_;
   uint64_t epoch_;
+  // Logical bytes staged per query, against staging_budget_bytes. Released
+  // when a flush drains the query's staging (row buffer or column batch).
+  MemoryAccountant staging_accountant_;
   std::unordered_map<QueryId, ActiveQuery> queries_;
   std::unordered_map<QueryId, AgentQueryStats> retired_stats_;
   // Retransmit buffers outlive query retirement: the final flush's batches

@@ -59,6 +59,9 @@ void ScrubCentral::RemoveQuery(QueryId query_id) {
   }
   retired_stats_[query_id] = q.stats;
   queries_.erase(it);
+  // Windows release their charges as they close; this sweeps any residue so
+  // a retired query never pins budget.
+  accountant_.ReleaseAll(query_id);
 }
 
 Status ScrubCentral::IngestBatch(const EventBatch& batch, TimeMicros now) {
@@ -89,6 +92,7 @@ Status ScrubCentral::IngestBatch(const EventBatch& batch, TimeMicros now) {
       HostWindowStats& hs = w->host_stats[batch.host];
       hs.population += counter.seen;
       hs.sampled += counter.sampled;
+      hs.shed += counter.shed;
       hs.readings.resize(q.pipeline.bounded_aggregates.size());
     }
   }

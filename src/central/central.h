@@ -36,7 +36,13 @@ namespace scrub {
 class ScrubCentral {
  public:
   ScrubCentral(const SchemaRegistry* registry, CentralConfig config = {})
-      : registry_(registry), config_(config) {}
+      : registry_(registry), config_(config) {
+    accountant_.set_budgets(config_.query_state_budget_bytes,
+                            config_.central_state_budget_bytes);
+    accountant_.set_tracking(config_.track_state_bytes);
+    spill_.Configure(config_.spill_dir, config_.spill_instance,
+                     config_.spill_seed, config_.spill_faults);
+  }
 
   // Registers a query; rows will flow to `sink` as windows close. Compiles
   // the single-instance pipeline (every stage, Finalize included).
@@ -84,13 +90,26 @@ class ScrubCentral {
   // Compiled pipeline for an installed query (EXPLAIN, tests).
   const PhysicalPipeline* PipelineFor(QueryId query_id) const;
 
+  // Memory-pressure introspection (DESIGN.md §13): the state accountant and
+  // what the spill layer has done so far.
+  const MemoryAccountant& accountant() const { return accountant_; }
+  const SpillStats& spill_stats() const { return spill_.stats(); }
+  // Re-arms the spill fault stream (chaos controls; forwarded by
+  // ScrubSystem::SetFaultPlan).
+  void SetSpillFaults(SpillFaultSpec faults, uint64_t seed) {
+    config_.spill_faults = faults;
+    spill_.SetFaults(faults, seed);
+  }
+
  private:
   Status Install(const CentralPlan& plan, QueryState q);
 
   const SchemaRegistry* registry_;
   CentralConfig config_;
   CostMeter meter_;
-  Executor executor_{registry_, &config_, &meter_};
+  MemoryAccountant accountant_;
+  SpillManager spill_;
+  Executor executor_{registry_, &config_, &meter_, &accountant_, &spill_};
   std::unordered_map<QueryId, QueryState> queries_;
   std::unordered_map<QueryId, CentralQueryStats> retired_stats_;
 };

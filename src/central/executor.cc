@@ -8,6 +8,44 @@
 
 namespace scrub {
 
+namespace {
+
+// Logical state-size estimates for the memory accountant (DESIGN.md §13).
+// These are representation-independent constants — never sizeof(container)
+// or capacity — so the row and columnar pipelines charge identical byte
+// sequences and cross a budget at exactly the same event.
+constexpr size_t kGroupStateBytes = 96;    // map node + GroupState shell
+constexpr size_t kJoinBucketBytes = 64;    // join_state node + per-source vecs
+constexpr size_t kJoinEntryBytes = 48;     // JoinEntry shell around the event
+constexpr size_t kHllStructBytes = 64;     // HyperLogLog shell (+ registers)
+constexpr size_t kTopKCounterBytes = 48;   // one SpaceSaving counter slot
+
+// Bytes a newly created group will hold: its key, one accumulator per
+// aggregate, and the sketches COUNT DISTINCT / TOPK slots allocate on first
+// update (charged up front — they are created by the group's first row with
+// near certainty, and charging here keeps the sequence deterministic).
+size_t GroupCreationBytes(const CentralConfig& config, const CentralPlan& plan,
+                          const GroupKey& key) {
+  size_t bytes =
+      kGroupStateBytes + plan.aggregates.size() * sizeof(AggAccumulator);
+  for (const Value& v : key) {
+    bytes += v.WireSize();
+  }
+  for (const AggregateSpec& spec : plan.aggregates) {
+    if (spec.func == AggregateFunc::kCountDistinct) {
+      bytes += (size_t{1} << config.hll_precision) + kHllStructBytes;
+    } else if (spec.func == AggregateFunc::kTopK) {
+      bytes += kTopKCounterBytes *
+               std::max(config.min_topk_capacity,
+                        static_cast<size_t>(spec.topk_k) *
+                            config.topk_capacity_factor);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
 void AggAccumulator::Merge(AggAccumulator&& other) {
   count += other.count;
   sum += other.sum;
@@ -120,6 +158,9 @@ std::string ResultRow::ToString() const {
   if (completeness < 1.0) {
     out += StrFormat(" [completeness %.2f]", completeness);
   }
+  if (fidelity < 1.0) {
+    out += StrFormat(" [fidelity %.2f]", fidelity);
+  }
   return out;
 }
 
@@ -216,6 +257,22 @@ void Executor::Fold(QueryState& q, HostId host, const InputChunk& chunk) {
 
 void Executor::FoldInto(QueryState& q, WindowState& w, const InputChunk& chunk,
                         size_t i, int column_source, HostId host) {
+  if (!w.replaying) {
+    ++w.input_events;  // fidelity denominator: folded, deferred, or shed
+    if (w.shedding) {
+      ShedEvent(q, w);
+      return;
+    }
+    if (w.spill != nullptr ||
+        (accountant_ != nullptr && accountant_->active() && OverBudget(q))) {
+      // Deferring must still record the host's first touch now: host_stats
+      // insertion order feeds float summation in Finalize, and the unbounded
+      // run inserts hosts in arrival order, not replay order.
+      w.host_stats[host];
+      SpillOrShed(q, w, chunk, i, host);
+      return;
+    }
+  }
   HostWindowStats& hs = w.host_stats[host];
   hs.readings.resize(q.pipeline.bounded_aggregates.size());
   ++hs.received;
@@ -259,6 +316,98 @@ void Executor::FoldInto(QueryState& q, WindowState& w, const InputChunk& chunk,
   GroupFoldTuple(q, w, tuple, host);
 }
 
+bool Executor::OverBudget(const QueryState& q) const {
+  return accountant_->OverBudget(q.plan.query_id);
+}
+
+void Executor::ShedEvent(QueryState& q, WindowState& w) {
+  ++w.shed_events;
+  ++q.stats.events_shed;
+}
+
+void Executor::ChargeState(QueryState& q, WindowState& w, size_t bytes) {
+  accountant_->Charge(q.plan.query_id, bytes);
+  w.state_bytes += bytes;
+}
+
+size_t Executor::LogicalEventSize(const InputChunk& chunk, size_t i) const {
+  if (chunk.columnar()) {
+    return chunk.columns->MaterializeEvent(chunk.row(i)).WireSize();
+  }
+  return (*chunk.events)[i].WireSize();
+}
+
+void Executor::SpillOrShed(QueryState& q, WindowState& w,
+                           const InputChunk& chunk, size_t i, HostId host) {
+  if (w.spill == nullptr) {
+    w.spill =
+        spill_ == nullptr ? nullptr : spill_->Open(q.plan.query_id, w.start);
+    if (w.spill == nullptr) {
+      // Ladder bottom: spill disabled or the run failed to open. The window
+      // stays in shed mode — retrying the open per event would make the
+      // fault surface nondeterministic.
+      w.shedding = true;
+      ShedEvent(q, w);
+      return;
+    }
+    ++q.stats.spill_runs;
+  }
+  if (config_->max_spill_bytes_per_query > 0 &&
+      q.stats.spill_bytes >= config_->max_spill_bytes_per_query) {
+    ShedEvent(q, w);  // spill budget exhausted: this event is counted shed
+    return;
+  }
+  std::string payload;
+  if (chunk.columnar()) {
+    EncodeEvent(chunk.columns->MaterializeEvent(chunk.row(i)), &payload);
+  } else {
+    EncodeEvent((*chunk.events)[i], &payload);
+  }
+  meter_->ChargeScrub(static_cast<int64_t>(payload.size()) *
+                      config_->costs.serialize_per_byte_ns);
+  const size_t wrote = w.spill->Append(static_cast<uint32_t>(host), payload);
+  if (wrote == 0) {
+    ++q.stats.spill_write_failures;
+    ShedEvent(q, w);  // exactly this record lost; the run stays replayable
+    return;
+  }
+  ++q.stats.events_spilled;
+  q.stats.spill_bytes += wrote;
+}
+
+void Executor::ReplaySpill(QueryState& q, WindowState* w) {
+  if (w->spill == nullptr) {
+    return;
+  }
+  SpillRun& run = *w->spill;
+  uint64_t replayed = 0;
+  if (run.BeginReplay()) {
+    w->replaying = true;
+    uint32_t host = 0;
+    std::string payload;
+    std::vector<Event> one(1);
+    while (run.Next(&host, &payload)) {
+      size_t offset = 0;
+      Result<Event> event = DecodeEvent(*registry_, payload, &offset);
+      if (!event.ok()) {
+        break;  // corrupt record: the remainder is lost, counted below
+      }
+      one[0] = std::move(*event);
+      FoldInto(q, *w, InputChunk::Rows(one), 0, /*column_source=*/-1,
+               static_cast<HostId>(host));
+      ++replayed;
+    }
+    w->replaying = false;
+  }
+  const uint64_t lost = run.records() - replayed;
+  if (lost > 0) {
+    ++q.stats.spill_read_failures;
+    w->shed_events += lost;
+    q.stats.events_shed += lost;
+  }
+  w->spill.reset();  // closes and unlinks the run
+}
+
 void Executor::JoinFold(QueryState& q, WindowState& w, const InputChunk& chunk,
                         size_t i, int column_source, HostId host) {
   // Symmetric hash join on request id, scoped to the window.
@@ -277,15 +426,22 @@ void Executor::JoinFold(QueryState& q, WindowState& w, const InputChunk& chunk,
     return;  // not part of this query (shouldn't happen: host filtered)
   }
   const RequestId rid = chunk.request_id(i);
+  const bool track = accountant_ != nullptr && accountant_->active();
   auto state_it = w.join_state.find(rid);
   if (state_it == w.join_state.end()) {
     if (w.join_state.size() >= config_->max_join_requests_per_window) {
       ++q.stats.join_shed;  // shed, never grow without bound
+      ShedEvent(q, w);      // dents the window's fidelity like any shed
       return;
     }
     state_it =
         w.join_state.emplace(rid, std::vector<std::vector<JoinEntry>>())
             .first;
+    if (track) {
+      ChargeState(q, w,
+                  kJoinBucketBytes +
+                      q.plan.sources.size() * sizeof(std::vector<JoinEntry>));
+    }
   }
   auto& per_request = state_it->second;
   per_request.resize(q.plan.sources.size());
@@ -310,6 +466,9 @@ void Executor::JoinFold(QueryState& q, WindowState& w, const InputChunk& chunk,
       ++q.stats.tuples_joined;
       GroupFoldTuple(q, w, tuple, host);
     }
+  }
+  if (track) {
+    ChargeState(q, w, kJoinEntryBytes + LogicalEventSize(chunk, i));
   }
   per_request[static_cast<size_t>(source)].push_back(std::move(self));
 }
@@ -339,9 +498,15 @@ void Executor::GroupFoldTuple(QueryState& q, WindowState& w,
     key.push_back(EvalProgram(g, tuple));
   }
   HashedGroupKey hk(std::move(key));
+  const bool track = accountant_ != nullptr && accountant_->active();
+  const size_t creation_bytes =
+      track ? GroupCreationBytes(*config_, plan, hk.key) : 0;
   GroupState& group = w.groups[std::move(hk)];
   if (group.accumulators.empty()) {
     group.accumulators.resize(plan.aggregates.size());
+    if (track) {
+      ChargeState(q, w, creation_bytes);
+    }
   }
   CollectGroupReadings(q, &group, host, [&](const ExprProgram& e) {
     return EvalProgram(e, tuple);
@@ -379,9 +544,15 @@ void Executor::GroupFoldColumn(QueryState& q, WindowState& w,
   // One hash per row, reused for the map probe (and, pre-bucketed, by the
   // sharded router).
   HashedGroupKey hk(std::move(key));
+  const bool track = accountant_ != nullptr && accountant_->active();
+  const size_t creation_bytes =
+      track ? GroupCreationBytes(*config_, plan, hk.key) : 0;
   GroupState& group = w.groups[std::move(hk)];
   if (group.accumulators.empty()) {
     group.accumulators.resize(plan.aggregates.size());
+    if (track) {
+      ChargeState(q, w, creation_bytes);
+    }
   }
   CollectGroupReadings(q, &group, host, [&](const ExprProgram& e) {
     return EvalProgramColumns(e, batch, row);
@@ -543,6 +714,10 @@ void Executor::CloseWindow(QueryState& q, WindowState* w) {
     return;
   }
   w->closed = true;
+  // Deferred events replay through the ordinary fold first, so completeness,
+  // orphan accounting and emission below all see exactly the state the
+  // unbounded run would have built.
+  ReplaySpill(q, w);
   const CentralPlan& plan = q.plan;
 
   const double completeness = WindowCompleteness(q, *w);
@@ -552,6 +727,35 @@ void Executor::CloseWindow(QueryState& q, WindowState* w) {
   if (completeness < 1.0) {
     ++q.stats.windows_incomplete;
   }
+
+  // Fidelity: the fraction of events bound for this window that actually
+  // folded in. The denominator includes the agent-side staging shed reported
+  // via counters; the numerator drops every central-side ladder rung
+  // (budget shed, join-capacity shed, spill I/O losses).
+  uint64_t agent_shed = 0;
+  for (const auto& [shed_host, hs] : w->host_stats) {
+    agent_shed += hs.shed;
+  }
+  const uint64_t central_shed = std::min(w->shed_events, w->input_events);
+  const uint64_t attempted = w->input_events + agent_shed;
+  const double fidelity =
+      attempted == 0 ? 1.0
+                     : static_cast<double>(w->input_events - central_shed) /
+                           static_cast<double>(attempted);
+  q.stats.agent_events_shed += agent_shed;
+  q.stats.fidelity_sum += fidelity;
+  q.stats.fidelity_min = std::min(q.stats.fidelity_min, fidelity);
+  if (fidelity < 1.0) {
+    ++q.stats.windows_lossy;
+  }
+  // The window's charged state dies with it (partials move it to the
+  // coordinator's accounting domain, emission frees it).
+  const auto release_state = [&] {
+    if (accountant_ != nullptr && w->state_bytes > 0) {
+      accountant_->Release(q.plan.query_id, w->state_bytes);
+      w->state_bytes = 0;
+    }
+  };
 
   // Join orphans: request ids where one side never arrived. Orphaned
   // columnar entries are still deferred here — they drop with the window
@@ -571,7 +775,8 @@ void Executor::CloseWindow(QueryState& q, WindowState* w) {
   }
 
   if (!plan.aggregate_mode) {
-    return;  // raw rows were emitted eagerly
+    release_state();
+    return;  // raw rows were emitted eagerly (or on replay, just above)
   }
 
   if (q.partial_sink != nullptr) {
@@ -580,6 +785,8 @@ void Executor::CloseWindow(QueryState& q, WindowState* w) {
     partial.query_id = plan.query_id;
     partial.window_start = w->start;
     partial.completeness = completeness;
+    partial.input_events = w->input_events;
+    partial.shed_events = central_shed;
     partial.keys.reserve(w->groups.size());
     partial.key_hashes.reserve(w->groups.size());
     partial.accumulators.reserve(w->groups.size());
@@ -605,6 +812,7 @@ void Executor::CloseWindow(QueryState& q, WindowState* w) {
     }
     ++q.stats.rows_emitted;  // one partial per window
     q.partial_sink(std::move(partial));
+    release_state();
     return;
   }
 
@@ -622,6 +830,7 @@ void Executor::CloseWindow(QueryState& q, WindowState* w) {
     row.window_start = w->start;
     row.window_end = w->start + plan.window_micros;
     row.completeness = completeness;
+    row.fidelity = fidelity;
 
     std::vector<Value> agg_values(plan.aggregates.size());
     std::vector<double> agg_bounds(plan.aggregates.size(), 0.0);
@@ -642,6 +851,7 @@ void Executor::CloseWindow(QueryState& q, WindowState* w) {
     ++q.stats.rows_emitted;
     q.sink(row);
   }
+  release_state();
 }
 
 }  // namespace scrub

@@ -47,6 +47,7 @@
 
 #include "src/agent/agent.h"
 #include "src/common/cost_model.h"
+#include "src/common/spill.h"
 #include "src/event/schema.h"
 #include "src/event/wire.h"
 #include "src/plan/physical.h"
@@ -149,6 +150,11 @@ struct WindowPartial {
   // parallel to `keys` (empty otherwise). The coordinator merges these
   // across shards and runs the Eq. 1-3 estimator per group.
   std::vector<std::vector<GroupHostReadings>> group_readings;
+  // Fidelity inputs, shipped raw so the coordinator can compute the exact
+  // ratio across shards: events routed to this shard's window, and the
+  // subset it shed under pressure (budget shed, spill I/O losses).
+  uint64_t input_events = 0;
+  uint64_t shed_events = 0;
 };
 
 using PartialSink = std::function<void(WindowPartial&&)>;
@@ -166,6 +172,12 @@ struct ResultRow {
   // closed. 1.0 = every expected host reported; below that, the window's
   // answer is partition/crash-degraded and the user can tell.
   double completeness = 1.0;
+  // Fraction of the events that reached (or were staged for) this window
+  // that actually folded into the answer. Below 1.0 the window shed under
+  // memory pressure — at the agent's staging buffer, at the central budget
+  // with spill unavailable, or to a spill I/O fault — and the result is
+  // honest-but-lossy rather than exact-looking (DESIGN.md §13).
+  double fidelity = 1.0;
 
   std::string ToString() const;
 };
@@ -204,6 +216,27 @@ struct CentralConfig {
   size_t topk_capacity_factor = 10;  // SpaceSaving counters per requested k
   size_t min_topk_capacity = 100;
   int hll_precision = 14;
+  // ---- Memory-pressure resilience (DESIGN.md §13) ----
+  // Logical-byte budgets over WindowState group maps and join buffers
+  // (0 = unlimited). When a query crosses its budget, its open windows
+  // switch to defer-and-replay spill; when the central total crosses, every
+  // query's do. Charges use logical (wire) sizes, so the row and columnar
+  // pipelines cross a budget at exactly the same event.
+  size_t query_state_budget_bytes = 0;
+  size_t central_state_budget_bytes = 0;
+  // Track state bytes (accountant high-water marks) even without budgets.
+  bool track_state_bytes = false;
+  // Where spill runs live. Empty = spill disabled: over-budget events take
+  // the degradation ladder's last rung (counted shed + fidelity flag).
+  std::string spill_dir;
+  // Namespaces spill file names; ShardedCentral gives each shard its own.
+  std::string spill_instance = "central";
+  uint64_t spill_seed = 1;
+  // Cumulative spill-file bytes one query may write (0 = unlimited); beyond
+  // it, over-budget events are shed and counted.
+  size_t max_spill_bytes_per_query = 0;
+  // Seeded per-record spill I/O failures (chaos testing).
+  SpillFaultSpec spill_faults;
   CostModel costs;
 };
 
@@ -222,6 +255,18 @@ struct CentralQueryStats {
   uint64_t windows_incomplete = 0;  // closed with completeness < 1
   double completeness_min = 1.0;
   double completeness_sum = 0.0;    // mean = sum / windows_closed
+  // Memory-pressure accounting (DESIGN.md §13).
+  uint64_t events_spilled = 0;     // deferred to disk under budget pressure
+  uint64_t spill_runs = 0;         // windows that opened a spill run
+  uint64_t spill_bytes = 0;        // cumulative run bytes written
+  uint64_t spill_write_failures = 0;  // records lost on append (counted shed)
+  uint64_t spill_read_failures = 0;   // replays aborted (remainder shed)
+  uint64_t events_shed = 0;   // central-side counted shed, all ladder rungs
+  uint64_t agent_events_shed = 0;  // staging shed reported via counters
+  // Fidelity accounting across closed windows (mirrors completeness).
+  uint64_t windows_lossy = 0;  // closed with fidelity < 1
+  double fidelity_min = 1.0;
+  double fidelity_sum = 0.0;  // mean = sum / windows_closed
 };
 
 // ---------------------------------------------------------------------------
@@ -241,6 +286,10 @@ struct HostWindowStats {
   uint64_t population = 0;  // M_i: from agent counters
   uint64_t sampled = 0;     // m_i: from agent counters
   uint64_t received = 0;    // events that actually arrived (post-selection)
+  // Events the agent staged for this window but shed before shipping
+  // (staging buffer/budget overflow), from agent counters. Folded into the
+  // window's fidelity, never into the sampling estimator.
+  uint64_t shed = 0;
   // Readings per *bounded* aggregate (ungrouped scaled COUNT/SUM slots).
   std::vector<RunningStats> readings;
 };
@@ -276,6 +325,18 @@ struct WindowState {
       join_state;
   std::unordered_map<HostId, HostWindowStats> host_stats;
   bool closed = false;
+  // ---- Memory-pressure bookkeeping (DESIGN.md §13) ----
+  uint64_t input_events = 0;  // events routed here (folded, deferred or shed)
+  uint64_t shed_events = 0;   // counted central-side shed
+  size_t state_bytes = 0;     // bytes charged to the accountant, released at
+                              // close
+  // Defer-and-replay spill: non-null once the window crossed its budget.
+  // Every later event appends here in arrival order and replays through the
+  // ordinary fold at close, which is what keeps transcripts byte-identical
+  // to the unbounded run.
+  std::unique_ptr<SpillRun> spill;
+  bool shedding = false;   // ladder bottom: spill unavailable or failed open
+  bool replaying = false;  // close-time replay in progress
 };
 
 // Everything one installed query needs to execute: the plan, its compiled
@@ -299,9 +360,13 @@ struct QueryState {
 
 class Executor {
  public:
+  // `accountant` and `spill` may be null (no budgets, no spill): every
+  // pressure path is then skipped and the fold is exactly the pre-spill one.
   Executor(const SchemaRegistry* registry, const CentralConfig* config,
-           CostMeter* meter)
-      : registry_(registry), config_(config), meter_(meter) {}
+           CostMeter* meter, MemoryAccountant* accountant = nullptr,
+           SpillManager* spill = nullptr)
+      : registry_(registry), config_(config), meter_(meter),
+        accountant_(accountant), spill_(spill) {}
 
   // Decode operator: wire payload -> InputChunk, then Fold. (The dedup and
   // counter admission stays with the owning facility.)
@@ -325,9 +390,26 @@ class Executor {
 
  private:
   // One chunk position folded into one covering window: host stats, bounded
-  // readings, then the Join or GroupFold/Project operator.
+  // readings, then the Join or GroupFold/Project operator. Under memory
+  // pressure the event is deferred to the window's spill run (or shed and
+  // counted) instead.
   void FoldInto(QueryState& q, WindowState& w, const InputChunk& chunk,
                 size_t i, int column_source, HostId host);
+  // True once the query (or the whole central) is over its state budget.
+  bool OverBudget(const QueryState& q) const;
+  // Pressure path for one event: append to the window's spill run, opening
+  // it on first use, or fall down the ladder to counted shed.
+  void SpillOrShed(QueryState& q, WindowState& w, const InputChunk& chunk,
+                   size_t i, HostId host);
+  void ShedEvent(QueryState& q, WindowState& w);
+  // Replays the window's spill run through the ordinary fold (arrival
+  // order), counting records a read failure lost; then discards the run.
+  void ReplaySpill(QueryState& q, WindowState* w);
+  // Accountant charge tied to the window (released when the window closes).
+  void ChargeState(QueryState& q, WindowState& w, size_t bytes);
+  // Logical (wire) size of chunk position i — identical for the row and
+  // columnar representations of the same event.
+  size_t LogicalEventSize(const InputChunk& chunk, size_t i) const;
   // Join operator. `column_source` is the chunk's source index (columnar
   // chunks carry one schema); row positions resolve per event.
   void JoinFold(QueryState& q, WindowState& w, const InputChunk& chunk,
@@ -377,6 +459,8 @@ class Executor {
   const SchemaRegistry* registry_;
   const CentralConfig* config_;
   CostMeter* meter_;
+  MemoryAccountant* accountant_;
+  SpillManager* spill_;
 };
 
 }  // namespace scrub

@@ -20,7 +20,17 @@ ShardedCentral::ShardedCentral(const SchemaRegistry* registry, size_t shards,
   assert(shards > 0);
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<ScrubCentral>(registry, config));
+    // Each shard gets its own spill namespace and fault seed: file names in
+    // a shared spill directory never collide, and each shard's fault stream
+    // is consumed in that shard's own fold order, so runs stay deterministic
+    // for any worker count.
+    CentralConfig shard_config = config;
+    shard_config.spill_instance =
+        config.spill_instance + "_s" + std::to_string(i);
+    shard_config.spill_seed =
+        config.spill_seed ^ (0x9E3779B97F4A7C15ULL * (i + 1));
+    shards_.push_back(
+        std::make_unique<ScrubCentral>(registry, std::move(shard_config)));
   }
 }
 
@@ -131,6 +141,9 @@ Status ShardedCentral::IngestBatches(const std::vector<EventBatch>& batches,
       if (counter.window_start >= c.plan.start_time &&
           counter.window_start < c.plan.end_time) {
         c.window_hosts[counter.window_start].insert(batch.host);
+        if (counter.shed > 0) {
+          c.window_shed[counter.window_start] += counter.shed;
+        }
         if (keep_counters) {
           HostCounter& hc = c.window_counters[counter.window_start]
                                              [batch.host];
@@ -294,6 +307,11 @@ void ShardedCentral::AbsorbPartial(WindowPartial&& partial) {
   if (it == coordinators_.end()) {
     return;
   }
+  if (partial.input_events > 0 || partial.shed_events > 0) {
+    WindowShed& ws = it->second.window_fidelity[partial.window_start];
+    ws.input_events += partial.input_events;
+    ws.shed_events += partial.shed_events;
+  }
   auto& window = it->second.windows[partial.window_start];
   for (size_t g = 0; g < partial.keys.size(); ++g) {
     // Reuse the hash the shard computed at fold time; recompute only for
@@ -348,6 +366,27 @@ void ShardedCentral::FinalizeWindow(Coordinator& c, TimeMicros start,
                             static_cast<double>(plan.hosts_sampled));
     }
   }
+  // Fidelity: central-side shed from the shards' partials, agent-side shed
+  // from the counters of every slide-grid slot the window covers — the same
+  // ratio the single-instance close computes per window.
+  uint64_t input_events = 0;
+  uint64_t shed_events = 0;
+  const auto fit = c.window_fidelity.find(start);
+  if (fit != c.window_fidelity.end()) {
+    input_events = fit->second.input_events;
+    shed_events = std::min(fit->second.shed_events, input_events);
+  }
+  uint64_t agent_shed = 0;
+  for (auto sit = c.window_shed.lower_bound(start);
+       sit != c.window_shed.end() && sit->first < start + plan.window_micros;
+       ++sit) {
+    agent_shed += sit->second;
+  }
+  const uint64_t attempted = input_events + agent_shed;
+  const double fidelity =
+      attempted == 0 ? 1.0
+                     : static_cast<double>(input_events - shed_events) /
+                           static_cast<double>(attempted);
   // Finalize-stage sampling inputs: global per-host M_i / m_i summed over
   // the slots this window covers, and the ratio fallback scale (Eq. 1) for
   // scaled slots outside the bounded set (join plans).
@@ -451,6 +490,7 @@ void ShardedCentral::FinalizeWindow(Coordinator& c, TimeMicros start,
     row.window_start = start;
     row.window_end = start + plan.window_micros;
     row.completeness = completeness;
+    row.fidelity = fidelity;
     for (const OutputColumn& column : plan.outputs) {
       row.values.push_back(
           EvalOutputExpr(column.expr, hashed_key.key, agg_values));
@@ -480,6 +520,7 @@ void ShardedCentral::OnTick(TimeMicros now) {
       if (window_end + config_.allowed_lateness <= now ||
           now >= c.plan.end_time + config_.allowed_lateness) {
         FinalizeWindow(c, wit->first, wit->second);
+        c.window_fidelity.erase(wit->first);
         wit = c.windows.erase(wit);
       } else {
         ++wit;
@@ -497,6 +538,12 @@ void ShardedCentral::OnTick(TimeMicros now) {
                    config_.allowed_lateness <=
                now) {
       c.window_counters.erase(c.window_counters.begin());
+    }
+    while (!c.window_shed.empty() &&
+           c.window_shed.begin()->first + c.plan.window_micros +
+                   config_.allowed_lateness <=
+               now) {
+      c.window_shed.erase(c.window_shed.begin());
     }
     if (now >= c.plan.end_time + config_.allowed_lateness) {
       cit = coordinators_.erase(cit);

@@ -127,6 +127,14 @@ class ShardedCentral {
     uint64_t sampled = 0;
   };
 
+  // Central-side fidelity inputs for one window, summed over the shards'
+  // partials: events the shards routed into the window, and the subset they
+  // shed under memory pressure.
+  struct WindowShed {
+    uint64_t input_events = 0;
+    uint64_t shed_events = 0;
+  };
+
   struct Coordinator {
     CentralPlan plan;
     // Finalize-stage parameterization (coordinator role): which slots get
@@ -147,6 +155,11 @@ class ShardedCentral {
     // (pre-re-bucket, so the view is global). The Finalize estimator sums
     // the slots each window covers.
     std::map<TimeMicros, std::map<HostId, HostCounter>> window_counters;
+    // Agent staging shed per slide-grid slot (from batch counters, kept at
+    // admission like window_hosts) — the fidelity denominator's agent part.
+    std::map<TimeMicros, uint64_t> window_shed;
+    // Central-side fidelity inputs per window, merged from shard partials.
+    std::map<TimeMicros, WindowShed> window_fidelity;
   };
 
   // Drains per-shard partial buffers in shard-index order (the determinism

@@ -30,6 +30,7 @@
 #include "src/cluster/host_registry.h"
 #include "src/cluster/scheduler.h"
 #include "src/common/rng.h"
+#include "src/common/spill.h"
 
 namespace scrub {
 
@@ -82,6 +83,11 @@ struct FaultPlan {
   std::array<FaultSpec, static_cast<size_t>(TrafficCategory::kCategoryCount)>
       by_category = {};
   std::vector<PartitionSpec> partitions;
+  // Spill-path I/O faults (seeded per-record write/read failures). Not a
+  // network category: ScrubSystem forwards this spec to the central's
+  // SpillManager, whose fault stream is seeded from `seed` but independent
+  // of the network fault RNG — arming one never perturbs the other.
+  SpillFaultSpec spill;
 
   FaultSpec& Category(TrafficCategory c) {
     return by_category[static_cast<size_t>(c)];

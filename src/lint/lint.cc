@@ -64,6 +64,20 @@ std::string DurationText(TimeMicros micros) {
   return StrFormat("%lldus", static_cast<long long>(micros));
 }
 
+std::string BytesText(uint64_t bytes) {
+  if (bytes >= 1024ull * 1024 * 1024) {
+    return StrFormat("%.1f GiB",
+                     static_cast<double>(bytes) / (1024.0 * 1024 * 1024));
+  }
+  if (bytes >= 1024ull * 1024) {
+    return StrFormat("%.1f MiB", static_cast<double>(bytes) / (1024.0 * 1024));
+  }
+  if (bytes >= 1024) {
+    return StrFormat("%.1f KiB", static_cast<double>(bytes) / 1024.0);
+  }
+  return StrFormat("%llu B", static_cast<unsigned long long>(bytes));
+}
+
 // Equality selectivity: 1/cardinality when one side is a field with known
 // cardinality, otherwise a default guess.
 double EqualitySelectivity(const Expr& e, const LintOptions& options) {
@@ -102,6 +116,7 @@ class Linter {
     CheckWindowUnderFlush();
     CheckSpanBudget();
     CheckRetryHeadroom();
+    CheckWindowStateBudget();
     CheckSemanticIr();
     return std::move(diags_);
   }
@@ -545,6 +560,124 @@ class Linter {
                    DurationText(options_.retry_rtt_micros).c_str(),
                    DurationText(needed).c_str()),
          q_.spans.window);
+  }
+
+  // --- (o) scrubql-window-state-budget ---------------------------------------
+  //
+  // Predicts the live central state one window of this query holds — the
+  // same logical sizing the executor's MemoryAccountant charges — and warns
+  // when the prediction exceeds the configured per-query budget: the query
+  // would run under memory pressure from its first full window, spilling
+  // every window to disk when a spill directory is configured (lossless,
+  // slower) or shedding events with fidelity < 1 when it is not.
+  void CheckWindowStateBudget() {
+    if (options_.query_state_budget_bytes == 0) {
+      return;
+    }
+    // Mirrors the executor's representation-independent charges
+    // (src/central/executor.cc): per-group overhead, per-aggregate
+    // accumulator, sketch structure, join-buffer entry, plus a rough wire
+    // model for buffered join rows.
+    constexpr double kGroupStateBytes = 96;
+    constexpr double kAccumulatorBytes = 48;
+    constexpr double kHllSketchBytes = (1 << 12) + 64;  // default precision
+    constexpr double kJoinEntryBytes = 48;
+    constexpr double kKeyBytes = 24;
+    constexpr double kEventHeaderBytes = 36;
+    constexpr double kEventFieldBytes = 24;
+
+    double grouped_bytes = 0;
+    double groups = 0;
+    if (!q_.group_by.empty() && !SelectHasTopK()) {
+      groups = 1;
+      for (const ExprPtr& g : q_.group_by) {
+        const uint64_t card = CardinalityOf(*g);
+        if (card == 0 || card == kUnboundedCardinality) {
+          // Unknown cardinality predicts nothing; the unbounded sentinel is
+          // already rule (a)'s error.
+          groups = 0;
+          break;
+        }
+        groups *= static_cast<double>(card);
+      }
+      if (groups > 0) {
+        double aggregates = 0;
+        double sketches = 0;
+        for (const SelectItem& item : q_.select) {
+          aggregates += CountAggregates(*item.expr);
+          if (HasAggregateFunc(*item.expr, AggregateFunc::kCountDistinct)) {
+            sketches += 1;
+          }
+        }
+        grouped_bytes =
+            groups * (kGroupStateBytes + aggregates * kAccumulatorBytes +
+                      sketches * kHllSketchBytes +
+                      static_cast<double>(q_.group_by.size()) * kKeyBytes);
+      }
+    }
+
+    double join_bytes = 0;
+    double join_rows = 0;
+    if (aq_.is_join() && q_.window_micros > 0) {
+      // Join buffers hold every surviving event until window close.
+      join_rows = static_cast<double>(options_.fleet_hosts) *
+                  options_.events_per_host_per_second *
+                  (static_cast<double>(q_.window_micros) / 1e6) *
+                  q_.host_sample_rate * q_.event_sample_rate;
+      if (q_.where != nullptr) {
+        join_rows *= EstimateSelectivity(*q_.where, options_);
+      }
+      size_t fields = 0;
+      for (const auto& per_source : aq_.fields_per_source) {
+        fields += per_source.size();
+      }
+      const double avg_fields =
+          static_cast<double>(fields) /
+          static_cast<double>(std::max<size_t>(1, aq_.fields_per_source.size()));
+      join_bytes = join_rows * (kJoinEntryBytes + kEventHeaderBytes +
+                                avg_fields * kEventFieldBytes);
+    }
+
+    const double total = grouped_bytes + join_bytes;
+    const double budget =
+        static_cast<double>(options_.query_state_budget_bytes);
+    if (total <= budget) {
+      return;
+    }
+    std::string detail;
+    if (grouped_bytes > 0) {
+      detail = StrFormat("~%.0f live groups", groups);
+    }
+    if (join_bytes > 0) {
+      if (!detail.empty()) {
+        detail += " plus ";
+      }
+      detail += StrFormat("~%.0f buffered join rows", join_rows);
+    }
+    const uint64_t total_bytes =
+        total > 1e18 ? ~uint64_t{0} : static_cast<uint64_t>(total);
+    const SourceSpan span = grouped_bytes >= join_bytes &&
+                                    q_.spans.group_by.IsValid()
+                                ? q_.spans.group_by
+                                : q_.spans.from;
+    Emit(LintSeverity::kWarning, lint_rules::kWindowStateBudget,
+         StrFormat("estimated per-window central state ~%s (%s) exceeds the "
+                   "per-query state budget %s: every window runs under "
+                   "memory pressure - lossless disk spill when a spill "
+                   "directory is configured, counted shed with fidelity < 1 "
+                   "when it is not. Bound the state with TOPK, a coarser "
+                   "group key, or SAMPLE EVENTS",
+                   BytesText(total_bytes).c_str(), detail.c_str(),
+                   BytesText(options_.query_state_budget_bytes).c_str()),
+         span);
+  }
+
+  static int CountAggregates(const Expr& e) {
+    int n = e.kind == ExprKind::kAggregate ? 1 : 0;
+    for (const ExprPtr& child : e.children) {
+      n += CountAggregates(*child);
+    }
+    return n;
   }
 
   // --- (k)-(n) semantic rules over the expression IR --------------------------

@@ -85,6 +85,13 @@ inline constexpr std::string_view kDivisionByZero =
 // true under ScrubQL null semantics.
 inline constexpr std::string_view kNullComparison =
     "scrubql-null-comparison";
+// (o) Estimated per-window central state (group maps, join buffers) exceeds
+// the configured per-query state budget: the query runs under memory
+// pressure from its first full window — every window spills to disk
+// (lossless but slower) or, with spill unconfigured, sheds events with
+// fidelity < 1. Only fires when a budget is configured.
+inline constexpr std::string_view kWindowStateBudget =
+    "scrubql-window-state-budget";
 }  // namespace lint_rules
 
 struct Diagnostic {
@@ -120,6 +127,10 @@ struct LintOptions {
   // ScrubSystem wires both from its live configuration.
   TimeMicros allowed_lateness_micros = 2 * kMicrosPerSecond;
   TimeMicros retry_rtt_micros = 0;
+  // scrubql-window-state-budget: central's per-query window-state budget in
+  // logical bytes (CentralConfig::query_state_budget_bytes). 0 disables the
+  // rule; the ScrubSystem wires it from its live configuration.
+  uint64_t query_state_budget_bytes = 0;
 
   // Known distinct-value counts, keyed "event_type.field" (a bare "field"
   // key matches any source). Fields with unknown cardinality never trip the

@@ -27,6 +27,14 @@ ScrubSystem::ScrubSystem(SystemConfig config)
   server_host_ = registry_.AddHost("scrub-server-00", "ScrubServer", "DC1",
                                    /*monitorable=*/false);
 
+  // Spill I/O faults ride the FaultPlan (one chaos knob) but execute inside
+  // the central's SpillManager, on a stream seeded from the plan's seed yet
+  // independent of the network fault RNG — arming one never perturbs the
+  // other.
+  if (config_.faults.spill.Active()) {
+    config_.central.spill_faults = config_.faults.spill;
+    config_.central.spill_seed = config_.faults.seed ^ 0x5b111e5eedULL;
+  }
   central_ = std::make_unique<ScrubCentral>(&schemas_, config_.central);
 
   // The admission linter should judge windows against the real agent flush
@@ -39,6 +47,9 @@ ScrubSystem::ScrubSystem(SystemConfig config)
       config_.central.allowed_lateness;
   config_.server.lint.retry_rtt_micros =
       2 * config_.transport.cross_dc_latency + config_.agent.retransmit_backoff;
+  // ... and state estimates against the central's real per-query budget.
+  config_.server.lint.query_state_budget_bytes =
+      config_.central.query_state_budget_bytes;
 
   // Reliable delivery: retransmit until the central's straggler grace is
   // spent (plus one flush round for the initial send), then shed. Heartbeat
@@ -96,6 +107,7 @@ uint64_t ScrubSystem::AgentSeed(HostId host, uint64_t epoch) const {
 }
 
 void ScrubSystem::SetFaultPlan(FaultPlan plan) {
+  central_->SetSpillFaults(plan.spill, plan.seed ^ 0x5b111e5eedULL);
   transport_.SetFaultPlan(std::move(plan));
 }
 
@@ -210,6 +222,7 @@ std::string ScrubSystem::Explain(std::string_view query_text) const {
 LintOptions ScrubSystem::LintConfig() const {
   LintOptions options = config_.server.lint;
   options.fleet_hosts = agents_.size();  // monitorable hosts only
+  options.query_state_budget_bytes = config_.central.query_state_budget_bytes;
   return options;
 }
 
@@ -287,14 +300,30 @@ std::string ScrubSystem::DescribeQuery(QueryId id) const {
   }
   out += StrFormat(
       "  central: batches=%llu duplicates=%llu ingested=%llu late=%llu "
-      "joined=%llu orphans=%llu rows=%llu\n",
+      "joined=%llu orphans=%llu join_shed=%llu rows=%llu\n",
       static_cast<unsigned long long>(cs->batches),
       static_cast<unsigned long long>(cs->batches_duplicate),
       static_cast<unsigned long long>(cs->events_ingested),
       static_cast<unsigned long long>(cs->events_late),
       static_cast<unsigned long long>(cs->tuples_joined),
       static_cast<unsigned long long>(cs->join_orphans),
+      static_cast<unsigned long long>(cs->join_shed),
       static_cast<unsigned long long>(cs->rows_emitted));
+  // Memory-pressure ladder: printed only once any rung engaged, so a query
+  // that never felt pressure reads exactly as before.
+  if (cs->events_spilled > 0 || cs->events_shed > 0 ||
+      cs->agent_events_shed > 0 || cs->spill_runs > 0) {
+    out += StrFormat(
+        "  pressure: spilled=%llu spill_runs=%llu spill_bytes=%llu "
+        "write_failures=%llu read_failures=%llu shed=%llu agent_shed=%llu\n",
+        static_cast<unsigned long long>(cs->events_spilled),
+        static_cast<unsigned long long>(cs->spill_runs),
+        static_cast<unsigned long long>(cs->spill_bytes),
+        static_cast<unsigned long long>(cs->spill_write_failures),
+        static_cast<unsigned long long>(cs->spill_read_failures),
+        static_cast<unsigned long long>(cs->events_shed),
+        static_cast<unsigned long long>(cs->agent_events_shed));
+  }
   if (cs->windows_closed > 0) {
     out += StrFormat(
         "  completeness: windows=%llu incomplete=%llu min=%.3f mean=%.3f\n",
@@ -302,6 +331,50 @@ std::string ScrubSystem::DescribeQuery(QueryId id) const {
         static_cast<unsigned long long>(cs->windows_incomplete),
         cs->completeness_min,
         cs->completeness_sum / static_cast<double>(cs->windows_closed));
+    out += StrFormat(
+        "  fidelity: lossy=%llu min=%.3f mean=%.3f\n",
+        static_cast<unsigned long long>(cs->windows_lossy), cs->fidelity_min,
+        cs->fidelity_sum / static_cast<double>(cs->windows_closed));
+  }
+  return out;
+}
+
+std::string ScrubSystem::ExplainAnalyze(QueryId id) const {
+  const PhysicalPipeline* pipeline = central_->PipelineFor(id);
+  std::string out;
+  if (pipeline != nullptr) {
+    out += pipeline->ToString();
+    if (!out.empty() && out.back() != '\n') {
+      out += '\n';
+    }
+  }
+  out += DescribeQuery(id);
+  // Facility-level pressure view: budgets and high-water marks from the
+  // accountant, spill-layer totals across every query.
+  const MemoryAccountant& acct = central_->accountant();
+  if (acct.active()) {
+    out += StrFormat(
+        "  state bytes: usage=%llu peak=%llu central_usage=%llu "
+        "central_peak=%llu budget=%llu central_budget=%llu\n",
+        static_cast<unsigned long long>(acct.usage(id)),
+        static_cast<unsigned long long>(acct.peak(id)),
+        static_cast<unsigned long long>(acct.total_usage()),
+        static_cast<unsigned long long>(acct.peak_total()),
+        static_cast<unsigned long long>(acct.per_key_budget()),
+        static_cast<unsigned long long>(acct.total_budget()));
+  }
+  const SpillStats& spill = central_->spill_stats();
+  if (spill.runs_opened > 0 || spill.open_failures > 0) {
+    out += StrFormat(
+        "  spill: runs=%llu open_failures=%llu written=%llu bytes=%llu "
+        "write_failures=%llu replayed=%llu read_failures=%llu\n",
+        static_cast<unsigned long long>(spill.runs_opened),
+        static_cast<unsigned long long>(spill.open_failures),
+        static_cast<unsigned long long>(spill.records_written),
+        static_cast<unsigned long long>(spill.bytes_written),
+        static_cast<unsigned long long>(spill.write_failures),
+        static_cast<unsigned long long>(spill.records_replayed),
+        static_cast<unsigned long long>(spill.read_failures));
   }
   return out;
 }

@@ -139,6 +139,14 @@ class ScrubSystem {
   // span and after retirement.
   std::string DescribeQuery(QueryId id) const;
 
+  // EXPLAIN ANALYZE: the compiled physical pipeline of an *installed* query
+  // annotated with its runtime counters (DescribeQuery's view) plus the
+  // central's memory-pressure ledger — state-byte usage and high-water
+  // marks against the configured budgets, and spill-layer totals. The
+  // pipeline and budget sections need the query still installed; the
+  // counter section works after retirement too.
+  std::string ExplainAnalyze(QueryId id) const;
+
   // ---- Measurement ----
   OverheadReport HostOverhead(HostId host) const;
   OverheadReport ServiceOverhead(std::string_view service) const;

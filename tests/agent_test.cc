@@ -237,7 +237,7 @@ TEST_F(AgentTest, WireSizeCountsHeaderAndCounters) {
   const EventBatch& b = batches[0];
   EXPECT_FALSE(b.payload.empty());
   EXPECT_FALSE(b.counters.empty());
-  EXPECT_EQ(b.WireSize(), b.payload.size() + 24 * b.counters.size() + 36);
+  EXPECT_EQ(b.WireSize(), b.payload.size() + 32 * b.counters.size() + 36);
 }
 
 TEST_F(AgentTest, RetransmitsUntilAcked) {

@@ -497,6 +497,62 @@ TEST_F(LintTest, OrdinaryComparisonIsNotNullComparison) {
   EXPECT_TRUE(WithRule(Lint(q), lint_rules::kNullComparison).empty());
 }
 
+// --- (o) scrubql-window-state-budget ----------------------------------------
+
+TEST_F(LintTest, WindowStateBudgetFiresOnGroupedStateOverBudget) {
+  // 8 country groups at ~170 logical bytes each cannot fit in 256 bytes.
+  options_.query_state_budget_bytes = 256;
+  const std::string q =
+      "SELECT bid.country, COUNT(*) FROM bid GROUP BY bid.country "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  const auto hits = WithRule(Lint(q), lint_rules::kWindowStateBudget);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(hits[0].message.find("live groups"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("spill"), std::string::npos);
+  EXPECT_TRUE(hits[0].span.IsValid());
+}
+
+TEST_F(LintTest, WindowStateBudgetFiresOnJoinBuffer) {
+  EXPECT_TRUE(registry_
+                  .Register(*EventSchema::Builder("impression")
+                                 .AddField("cost", FieldType::kDouble)
+                                 .Build())
+                  .ok());
+  // 100 hosts x 1000 ev/s x 10 s buffered until window close dwarfs 64 KiB.
+  options_.query_state_budget_bytes = 64 * 1024;
+  const std::string q =
+      "SELECT COUNT(*) FROM bid, impression WINDOW 10 s DURATION 60 s;";
+  const auto hits = WithRule(Lint(q), lint_rules::kWindowStateBudget);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(hits[0].message.find("buffered join rows"), std::string::npos);
+}
+
+TEST_F(LintTest, WindowStateBudgetQuietUnderBudget) {
+  options_.query_state_budget_bytes = 1024 * 1024;
+  const std::string q =
+      "SELECT bid.country, COUNT(*) FROM bid GROUP BY bid.country "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kWindowStateBudget).empty());
+}
+
+TEST_F(LintTest, WindowStateBudgetDisabledWithoutBudget) {
+  // The default (no budget configured) never predicts pressure.
+  const std::string q =
+      "SELECT bid.country, COUNT(*) FROM bid GROUP BY bid.country "
+      "WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kWindowStateBudget).empty());
+}
+
+TEST_F(LintTest, TopKBoundSilencesWindowStateBudget) {
+  options_.query_state_budget_bytes = 256;
+  const std::string q =
+      "SELECT bid.country, TOPK(5, bid.country) FROM bid "
+      "GROUP BY bid.country WINDOW 5 s DURATION 60 s SAMPLE EVENTS 10%;";
+  EXPECT_TRUE(WithRule(Lint(q), lint_rules::kWindowStateBudget).empty());
+}
+
 TEST_F(LintTest, WellFormedQueryIsCompletelyClean) {
   const std::string q =
       "SELECT bid.country, COUNT(*), COUNT_DISTINCT(bid.user_id) FROM bid "

@@ -54,6 +54,15 @@ def ingest_join_runs(doc):
             section.get("speedup_vs_row"))
 
 
+def ingest_spill_runs(doc):
+    # The spill case (state-budget tiers over a high-cardinality scan) nests
+    # under ingest.spill; absent in pre-spill baselines. Only the
+    # "unlimited" tier is gated — budgeted tiers pay serialize + replay by
+    # design and are reported informationally.
+    section = (doc.get("ingest") or {}).get("spill") or {}
+    return {r["pipeline"]: r for r in section.get("runs", [])}
+
+
 def ingest_filter_runs(doc):
     # The filter case (legacy tree conjuncts vs lowered IR programs) nests
     # under ingest.filter; absent in pre-IR baselines.
@@ -122,6 +131,22 @@ def main():
         # architectural floor of its own.
         print(f"ok   ingest.join columnar speedup vs row: "
               f"{fresh_join_speedup:.2f}x")
+
+    base_spill = ingest_spill_runs(baseline)
+    fresh_spill = ingest_spill_runs(fresh)
+    gate_events_per_sec(
+        "ingest.spill",
+        {k: v for k, v in base_spill.items() if k == "unlimited"},
+        {k: v for k, v in fresh_spill.items() if k == "unlimited"},
+        args.threshold, failures)
+    unlimited = fresh_spill.get("unlimited")
+    for tier in ("half", "eighth"):
+        run = fresh_spill.get(tier)
+        if run and unlimited and run["events_per_sec"]:
+            print(f"ok   ingest.spill {tier} budget: "
+                  f"{unlimited['events_per_sec'] / run['events_per_sec']:.2f}x "
+                  f"slower than unlimited "
+                  f"({run.get('spilled', 0):,} events spilled, lossless)")
 
     base_filter, _ = ingest_filter_runs(baseline)
     fresh_filter, fresh_filter_speedup = ingest_filter_runs(fresh)

@@ -66,6 +66,12 @@ else
        "${REPO}/tools/chaos_sweep.sh" "${BUILD_DIR}/tests/chaos_test"; then
     fail "chaos sweep failed (re-run one seed: SCRUB_CHAOS_SEED=<n> ${BUILD_DIR}/tests/chaos_test)"
   fi
+  note "tiny-budget spill stress under ASan+UBSan (1/64 working set)"
+  if ! ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+       SCRUB_SPILL_STRESS_DIVISOR=64 \
+       "${BUILD_DIR}/tests/spill_test" > /dev/null; then
+    fail "spill stress failed under sanitizers (re-run: SCRUB_SPILL_STRESS_DIVISOR=64 ${BUILD_DIR}/tests/spill_test)"
+  fi
 fi
 
 # ------------------------------------------------- TSan build + test ---------
@@ -75,7 +81,7 @@ fi
 # exercise threads.
 note "TSan build"
 TSAN_DIR="${REPO}/build-tsan"
-TSAN_TESTS="common_test parallel_determinism_test differential_test sharded_central_test chaos_test"
+TSAN_TESTS="common_test parallel_determinism_test differential_test sharded_central_test chaos_test spill_test"
 mkdir -p "${TSAN_DIR}"
 if ! cmake -B "${TSAN_DIR}" -S "${REPO}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -20,7 +20,8 @@ void ScrubAgent::InstallQuery(const HostPlan& plan) {
   // Joins stay on the row path even in columnar mode: a single interleaved
   // staging stream is what keeps the central join's arrival order identical
   // across pipelines.
-  it->second.use_columns = config_.columnar && plan.sources.size() == 1;
+  it->second.use_columns =
+      config_.columnar && plan.sources.size() == 1 && !plan.preaggregate;
 }
 
 void ScrubAgent::RemoveQuery(QueryId query_id) {
@@ -130,6 +131,29 @@ int64_t ScrubAgent::LogEventImpl(const Event& event, Event* owned) {
       }
     }
     ++counter.sampled;
+
+    // Pre-aggregation path: selection runs here on the folded IR (same
+    // charges as the row path), then the event folds into its slot's delta
+    // cells — the same arithmetic central's accumulator update runs, so
+    // shipping deltas changes bytes, never results.
+    if (q.plan.preaggregate) {
+      bool selected = !sp->never_matches;
+      for (const ExprProgram& program : sp->programs) {
+        if (!selected) {
+          break;
+        }
+        ns += c.predicate_term_ns * static_cast<int64_t>(program.insts.size());
+        if (!EvalProgramPredicateSingle(program, event)) {
+          selected = false;
+        }
+      }
+      if (!selected) {
+        ++q.stats.events_filtered;
+        continue;
+      }
+      ns += PreAggFold(q, event, ts);
+      continue;
+    }
 
     // Columnar path: append the sampled event to the per-query column
     // builder and defer selection + projection to the vectorized flush
@@ -274,6 +298,99 @@ void ScrubAgent::FlushColumns(QueryId query_id, ActiveQuery& q,
   }
 }
 
+int64_t ScrubAgent::PreAggFold(ActiveQuery& q, const Event& event,
+                               TimeMicros ts) {
+  const CostModel& c = config_.costs;
+  int64_t ns = c.enqueue_ns;
+  ActiveQuery::PreAggState& slot = q.preagg[WindowStartFor(q, ts)];
+  ++slot.events;
+  ++q.stats.events_staged;
+
+  GroupKey key;
+  key.reserve(q.plan.group_by_programs.size());
+  for (const ExprProgram& g : q.plan.group_by_programs) {
+    ns += c.predicate_term_ns * static_cast<int64_t>(g.insts.size());
+    key.push_back(EvalProgramSingle(g, event));
+  }
+  HashedGroupKey hk(std::move(key));
+  size_t idx;
+  const auto it = slot.index.find(hk);
+  if (it != slot.index.end()) {
+    idx = it->second;
+  } else {
+    idx = slot.groups.size();
+    PreAggGroup group;
+    group.keys = hk.key;
+    group.cells.resize(q.plan.preagg.size());
+    slot.groups.push_back(std::move(group));
+    slot.index.emplace(std::move(hk), idx);
+  }
+
+  PreAggGroup& group = slot.groups[idx];
+  for (size_t i = 0; i < q.plan.preagg.size(); ++i) {
+    const HostPlan::PreAggSpec& spec = q.plan.preagg[i];
+    // The aggregation CPU the flat topology spends at central runs here on
+    // the application host — the cost the ablation makes visible.
+    ns += c.central_group_update_ns;
+    Value arg;
+    if (spec.has_arg) {
+      arg = EvalProgramSingle(spec.arg_program, event);
+      if (arg.is_null()) {
+        continue;  // SQL semantics, mirroring central's accumulator update
+      }
+    }
+    PreAggCell& cell = group.cells[i];
+    ++cell.count;
+    if (spec.func == AggregateFunc::kSum) {
+      cell.sum += arg.is_numeric() ? arg.AsNumber() : 0.0;
+    }
+  }
+  return ns;
+}
+
+void ScrubAgent::FlushPreAgg(QueryId query_id, ActiveQuery& q, TimeMicros now,
+                             std::vector<EventBatch>* batches) {
+  if (q.preagg.empty()) {
+    return;
+  }
+  const CostModel& c = config_.costs;
+  std::vector<PreAggSlot> slots;
+  slots.reserve(q.preagg.size());
+  uint64_t events = 0;
+  for (auto& [start, state] : q.preagg) {
+    PreAggSlot slot;
+    slot.window_start = start;
+    slot.events = state.events;
+    slot.groups = std::move(state.groups);
+    events += state.events;
+    slots.push_back(std::move(slot));
+  }
+  q.preagg.clear();
+
+  EventBatch batch;
+  batch.query_id = query_id;
+  batch.host = host_;
+  batch.seq = ++next_seq_[query_id];
+  batch.epoch = epoch_;
+  batch.format = BatchFormat::kPreAgg;
+  batch.event_count = events;
+  batch.payload = EncodePreAggBatch(slots);
+  q.stats.events_shipped += events;
+  // Counters ride with the first batch of the flush (same contract as the
+  // other paths; a counters-only flush falls through to the row drain loop).
+  if (!q.pending_counters.empty()) {
+    for (auto& [start, counter] : q.pending_counters) {
+      batch.counters.push_back(counter);
+    }
+    q.pending_counters.clear();
+  }
+  meter_->ChargeScrub(static_cast<int64_t>(batch.payload.size()) *
+                      c.serialize_per_byte_ns);
+  ++q.stats.batches_sent;
+  HoldForRetransmit(q, query_id, batch, now);
+  batches->push_back(std::move(batch));
+}
+
 std::vector<EventBatch> ScrubAgent::Flush(TimeMicros now,
                                           std::vector<QueryId>* expired) {
   std::vector<EventBatch> batches;
@@ -288,12 +405,26 @@ std::vector<EventBatch> ScrubAgent::Flush(TimeMicros now,
       const TimeMicros hb_ts = std::min(now, q.plan.end_time - 1);
       const TimeMicros w = WindowStartFor(q, hb_ts);
       q.pending_counters[w].window_start = w;
+      // A flush landing exactly on a slot boundary belongs to the slot that
+      // just OPENED, so the slot that just closed under it would never hear
+      // from an event-less host (with window <= flush interval the first
+      // window reports only event-bearing hosts). Cover it explicitly; the
+      // slot map dedups, so off-boundary flushes add nothing.
+      if (hb_ts - 1 >= q.plan.start_time) {
+        const TimeMicros prev = WindowStartFor(q, hb_ts - 1);
+        q.pending_counters[prev].window_start = prev;
+      }
     }
     // Columnar queries filter + project + encode vectorized; leftover
     // counters (heartbeats, zero-survivor flushes) drain through the row
     // loop below as a counters-only batch.
     if (q.use_columns) {
       FlushColumns(it->first, q, now, &batches);
+    }
+    // Pre-aggregating queries ship their accumulated delta cells; same
+    // leftover-counter contract as the columnar path.
+    if (q.plan.preaggregate) {
+      FlushPreAgg(it->first, q, now, &batches);
     }
     // Drain staged events into one or more batches.
     while (!q.staged.empty() || !q.pending_counters.empty()) {

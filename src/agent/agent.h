@@ -39,6 +39,7 @@
 #include "src/event/event.h"
 #include "src/event/wire.h"
 #include "src/plan/expr_eval.h"
+#include "src/plan/group_key.h"
 #include "src/plan/plan.h"
 
 namespace scrub {
@@ -78,11 +79,11 @@ struct EventBatch {
   // Honest wire accounting: the encoded events, each counter's window start
   // plus three u64 readings (seen, sampled, shed), and the header (query_id
   // 8 + host 4 + seq 8 + epoch 8 + event_count 4 + counter_count 4).
-  // Columnar batches spend one extra byte on the format discriminator; row
-  // batches stay byte-identical to the pre-columnar wire.
+  // Columnar and pre-aggregated batches spend one extra byte on the format
+  // discriminator; row batches stay byte-identical to the pre-columnar wire.
   size_t WireSize() const {
     return payload.size() + 32 * counters.size() + 36 +
-           (format == BatchFormat::kColumnar ? 1 : 0);
+           (format == BatchFormat::kRow ? 0 : 1);
   }
 };
 
@@ -200,6 +201,17 @@ class ScrubAgent {
     std::unique_ptr<ColumnBatch> columns;
     // Counter deltas keyed by window start, flushed incrementally.
     std::map<TimeMicros, WindowCounter> pending_counters;
+    // Pre-aggregation path (plan.preaggregate): selected events fold into
+    // per-(slot, group) COUNT/SUM delta cells; a flush ships one kPreAgg
+    // batch of deltas instead of the events. `index` maps a hashed group
+    // key to its position in `groups`, which preserves first-touch order so
+    // the encoded payload is a deterministic function of the event stream.
+    struct PreAggState {
+      uint64_t events = 0;  // selected events folded into this slot
+      std::unordered_map<HashedGroupKey, size_t, HashedGroupKeyHash> index;
+      std::vector<PreAggGroup> groups;
+    };
+    std::map<TimeMicros, PreAggState> preagg;
     AgentQueryStats stats;
 
     explicit ActiveQuery(const HostPlan& p, size_t capacity)
@@ -228,6 +240,13 @@ class ScrubAgent {
   // staged ColumnBatch and append the resulting wire batches to `batches`.
   void FlushColumns(QueryId query_id, ActiveQuery& q, TimeMicros now,
                     std::vector<EventBatch>* batches);
+
+  // Pre-aggregation path: folds one selected event into its slot's delta
+  // cells (returns the CPU charged), and flushes the accumulated deltas as
+  // a single kPreAgg batch.
+  int64_t PreAggFold(ActiveQuery& q, const Event& event, TimeMicros ts);
+  void FlushPreAgg(QueryId query_id, ActiveQuery& q, TimeMicros now,
+                   std::vector<EventBatch>* batches);
 
   // Keeps a retransmit copy of a just-flushed batch, budget permitting.
   void HoldForRetransmit(ActiveQuery& q, QueryId query_id,

@@ -79,6 +79,44 @@ void AggAccumulator::Merge(AggAccumulator&& other) {
   }
 }
 
+AggAccumulator AggAccumulator::Clone() const {
+  AggAccumulator copy;
+  copy.count = count;
+  copy.sum = sum;
+  copy.has_minmax = has_minmax;
+  copy.min_value = min_value;
+  copy.max_value = max_value;
+  if (hll != nullptr) {
+    copy.hll = std::make_unique<HyperLogLog>(*hll);
+  }
+  if (topk != nullptr) {
+    copy.topk = std::make_unique<SpaceSaving<Value, ValueHash>>(*topk);
+  }
+  return copy;
+}
+
+WindowPartial WindowPartial::Clone() const {
+  WindowPartial copy;
+  copy.query_id = query_id;
+  copy.window_start = window_start;
+  copy.completeness = completeness;
+  copy.keys = keys;
+  copy.key_hashes = key_hashes;
+  copy.accumulators.reserve(accumulators.size());
+  for (const std::vector<AggAccumulator>& group : accumulators) {
+    std::vector<AggAccumulator> cloned;
+    cloned.reserve(group.size());
+    for (const AggAccumulator& acc : group) {
+      cloned.push_back(acc.Clone());
+    }
+    copy.accumulators.push_back(std::move(cloned));
+  }
+  copy.group_readings = group_readings;
+  copy.input_events = input_events;
+  copy.shed_events = shed_events;
+  return copy;
+}
+
 Value FinalizeAccumulator(const AggregateSpec& spec,
                           const AggAccumulator& acc, double scale) {
   switch (spec.func) {
@@ -206,6 +244,14 @@ std::vector<WindowState*> Executor::WindowsFor(QueryState& q, TimeMicros ts) {
 
 Status Executor::DecodeAndFold(QueryState& q, HostId host,
                                const EventBatch& batch) {
+  if (batch.format == BatchFormat::kPreAgg) {
+    Result<std::vector<PreAggSlot>> slots = DecodePreAggBatch(batch.payload);
+    if (!slots.ok()) {
+      return slots.status();
+    }
+    FoldPreAgg(q, host, *slots);
+    return OkStatus();
+  }
   if (batch.format == BatchFormat::kColumnar) {
     Result<ColumnBatch> cols = DecodeColumnBatch(*registry_, batch.payload);
     if (!cols.ok()) {
@@ -224,6 +270,47 @@ Status Executor::DecodeAndFold(QueryState& q, HostId host,
   }
   Fold(q, host, InputChunk::Rows(*events));
   return OkStatus();
+}
+
+void Executor::FoldPreAgg(QueryState& q, HostId host,
+                          const std::vector<PreAggSlot>& slots) {
+  const CentralPlan& plan = q.plan;
+  for (const PreAggSlot& slot : slots) {
+    meter_->ChargeScrub(config_->costs.central_ingest_ns);
+    q.stats.events_ingested += slot.events;
+    const std::vector<WindowState*> windows = WindowsFor(q, slot.window_start);
+    if (windows.empty()) {
+      q.stats.events_late += slot.events;
+      continue;
+    }
+    for (WindowState* w : windows) {
+      w->input_events += slot.events;
+      HostWindowStats& hs = w->host_stats[host];
+      hs.readings.resize(q.pipeline.bounded_aggregates.size());
+      hs.received += slot.events;
+      for (const PreAggGroup& g : slot.groups) {
+        GroupKey key = g.keys;  // each covering window owns its key
+        HashedGroupKey hk(std::move(key));
+        const bool track = accountant_ != nullptr && accountant_->active();
+        const size_t creation_bytes =
+            track ? GroupCreationBytes(*config_, plan, hk.key) : 0;
+        GroupState& group = w->groups[std::move(hk)];
+        if (group.accumulators.empty()) {
+          group.accumulators.resize(plan.aggregates.size());
+          if (track) {
+            ChargeState(q, *w, creation_bytes);
+          }
+        }
+        const size_t cells = std::min(g.cells.size(),
+                                      group.accumulators.size());
+        for (size_t i = 0; i < cells; ++i) {
+          meter_->ChargeScrub(config_->costs.central_group_update_ns);
+          group.accumulators[i].count += g.cells[i].count;
+          group.accumulators[i].sum += g.cells[i].sum;
+        }
+      }
+    }
+  }
 }
 
 void Executor::Fold(QueryState& q, HostId host, const InputChunk& chunk) {
@@ -824,7 +911,18 @@ void Executor::CloseWindow(QueryState& q, WindowState* w) {
   }
 
   const double group_scale = GroupScaleFor(q, *w);
+  std::vector<std::pair<const HashedGroupKey*, GroupState*>> ordered;
+  ordered.reserve(w->groups.size());
   for (auto& [hashed_key, group] : w->groups) {
+    ordered.emplace_back(&hashed_key, &group);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              return CanonicalGroupOrder(*a.first, *b.first);
+            });
+  for (auto& [hashed_key_ptr, group_ptr] : ordered) {
+    const HashedGroupKey& hashed_key = *hashed_key_ptr;
+    GroupState& group = *group_ptr;
     ResultRow row;
     row.query_id = plan.query_id;
     row.window_start = w->start;

@@ -50,6 +50,7 @@
 #include "src/common/spill.h"
 #include "src/event/schema.h"
 #include "src/event/wire.h"
+#include "src/plan/group_key.h"
 #include "src/plan/physical.h"
 #include "src/plan/plan.h"
 #include "src/sketch/hyperloglog.h"
@@ -59,41 +60,9 @@
 namespace scrub {
 
 // Group keys and mergeable aggregate state are shared with the sharded
-// deployment (ShardedCentral), whose coordinator merges per-shard partials.
-using GroupKey = std::vector<Value>;
-
-struct GroupKeyHash {
-  size_t operator()(const GroupKey& key) const {
-    size_t seed = 0x517cc1b7;
-    for (const Value& v : key) {
-      seed ^= v.Hash() + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2);
-    }
-    return seed;
-  }
-};
-
-// A group key bundled with its hash, computed once per row: the fold's map
-// probe, the coordinator's merge and the shard re-bucket all reuse it
-// instead of rehashing a vector<Value>. The hash is exactly GroupKeyHash's,
-// so every pipeline (row, columnar, sharded) buckets groups identically —
-// part of the byte-identical-transcript argument.
-struct HashedGroupKey {
-  GroupKey key;
-  size_t hash = 0;
-
-  HashedGroupKey() = default;
-  explicit HashedGroupKey(GroupKey k)
-      : key(std::move(k)), hash(GroupKeyHash{}(key)) {}
-  HashedGroupKey(GroupKey k, size_t h) : key(std::move(k)), hash(h) {}
-
-  bool operator==(const HashedGroupKey& other) const {
-    return key == other.key;
-  }
-};
-
-struct HashedGroupKeyHash {
-  size_t operator()(const HashedGroupKey& k) const { return k.hash; }
-};
+// deployment (ShardedCentral) and the regional combiner tier, whose
+// coordinators merge per-shard / per-region partials. The key types live in
+// src/plan/group_key.h so host-side code shares the exact hash.
 
 // One aggregate's running state within one group. Mergeable: partials from
 // independent shards combine into the same state one stream would build.
@@ -107,6 +76,10 @@ struct AggAccumulator {
   std::unique_ptr<SpaceSaving<Value, ValueHash>> topk;
 
   void Merge(AggAccumulator&& other);
+  // Deep copy (sketches included). The combiner tier holds clones of
+  // in-flight partials for retransmission; the merge-algebra property tests
+  // replay the same inputs through many merge orders.
+  AggAccumulator Clone() const;
 };
 
 // Finalizes one accumulator to its result value on the exact path (scale
@@ -155,6 +128,8 @@ struct WindowPartial {
   // subset it shed under pressure (budget shed, spill I/O losses).
   uint64_t input_events = 0;
   uint64_t shed_events = 0;
+
+  WindowPartial Clone() const;
 };
 
 using PartialSink = std::function<void(WindowPartial&&)>;
@@ -371,6 +346,13 @@ class Executor {
   // Decode operator: wire payload -> InputChunk, then Fold. (The dedup and
   // counter admission stays with the owning facility.)
   Status DecodeAndFold(QueryState& q, HostId host, const EventBatch& batch);
+
+  // Absorbs pre-aggregated COUNT/SUM deltas (BatchFormat::kPreAgg). Sound
+  // even for sliding windows: every ts inside one slide-grid slot is covered
+  // by the same window set, so folding a slot at its window_start assigns
+  // each delta to exactly the windows its events would have reached.
+  void FoldPreAgg(QueryState& q, HostId host,
+                  const std::vector<PreAggSlot>& slots);
 
   // Window-assigns each chunk position, then runs Join / GroupFold /
   // Project per covering window. One loop for both representations.

@@ -1,6 +1,5 @@
 #include "src/central/sharded_central.h"
 
-#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -14,6 +13,7 @@ ShardedCentral::ShardedCentral(const SchemaRegistry* registry, size_t shards,
                                CentralConfig config, size_t workers)
     : registry_(registry),
       config_(config),
+      coordinator_(config),
       pending_partials_(shards),
       pending_rows_(shards),
       pool_(workers) {
@@ -39,7 +39,7 @@ Status ShardedCentral::InstallQuery(const CentralPlan& plan,
   if (sink == nullptr) {
     return InvalidArgument("result sink must be set");
   }
-  if (coordinators_.count(plan.query_id) > 0) {
+  if (coordinator_.HasQuery(plan.query_id)) {
     return AlreadyExists(StrFormat(
         "query %llu already installed",
         static_cast<unsigned long long>(plan.query_id)));
@@ -78,13 +78,7 @@ Status ShardedCentral::InstallQuery(const CentralPlan& plan,
       return s;
     }
   }
-  Coordinator c;
-  c.plan = plan;
-  c.pipeline = CompilePhysical(plan, PipelineRole::kCoordinator);
-  c.sink = std::move(sink);
-  c.raw = !plan.aggregate_mode;
-  coordinators_.emplace(plan.query_id, std::move(c));
-  return OkStatus();
+  return coordinator_.InstallQuery(plan, std::move(sink));
 }
 
 void ShardedCentral::RemoveQuery(QueryId query_id) {
@@ -96,14 +90,7 @@ void ShardedCentral::RemoveQuery(QueryId query_id) {
   }
   DrainShardRows();
   DrainPartials();
-  const auto it = coordinators_.find(query_id);
-  if (it == coordinators_.end()) {
-    return;
-  }
-  for (auto& [start, groups] : it->second.windows) {
-    FinalizeWindow(it->second, start, groups);
-  }
-  coordinators_.erase(it);
+  coordinator_.RemoveQuery(query_id);
 }
 
 Status ShardedCentral::IngestBatch(const EventBatch& batch, TimeMicros now) {
@@ -121,37 +108,18 @@ Status ShardedCentral::IngestBatches(const std::vector<EventBatch>& batches,
   std::vector<Admitted> admitted;
   admitted.reserve(batches.size());
   for (const EventBatch& batch : batches) {
-    const auto cit = coordinators_.find(batch.query_id);
-    if (cit == coordinators_.end()) {
-      continue;  // raced teardown, mirror ScrubCentral's behaviour
-    }
-    Coordinator& c = cit->second;
-    // Dedup here, before re-bucketing: sub-batches are unsequenced.
-    if (batch.seq != 0 &&
-        !c.dedup[batch.host][batch.epoch].Insert(batch.seq)) {
-      ++c.batches_duplicate;
+    // Dedup here, before re-bucketing: sub-batches are unsequenced. A false
+    // return is either a duplicate (counted at the coordinator) or a query
+    // that raced teardown — both skip, mirroring ScrubCentral's behaviour.
+    if (!coordinator_.AdmitSequenced(batch.query_id, batch.host, batch.epoch,
+                                     batch.seq)) {
       continue;
     }
     // Record host presence per slide-grid slot for completeness accounting,
     // and — for sampled plans — keep the global per-host M_i / m_i the
     // coordinator's Finalize estimator needs. This happens pre-re-bucket,
     // so slicing by request id never fragments the population view.
-    const bool keep_counters = c.plan.SamplingActive();
-    for (const WindowCounter& counter : batch.counters) {
-      if (counter.window_start >= c.plan.start_time &&
-          counter.window_start < c.plan.end_time) {
-        c.window_hosts[counter.window_start].insert(batch.host);
-        if (counter.shed > 0) {
-          c.window_shed[counter.window_start] += counter.shed;
-        }
-        if (keep_counters) {
-          HostCounter& hc = c.window_counters[counter.window_start]
-                                             [batch.host];
-          hc.population += counter.seen;
-          hc.sampled += counter.sampled;
-        }
-      }
-    }
+    coordinator_.AbsorbCounters(batch.query_id, batch.host, batch.counters);
     if (batch.event_count == 0) {
       continue;
     }
@@ -284,7 +252,7 @@ Status ShardedCentral::IngestBatches(const std::vector<EventBatch>& batches,
 void ShardedCentral::DrainPartials() {
   for (size_t i = 0; i < pending_partials_.size(); ++i) {
     for (WindowPartial& partial : pending_partials_[i]) {
-      AbsorbPartial(std::move(partial));
+      coordinator_.AbsorbPartial(std::move(partial));
     }
     pending_partials_[i].clear();
   }
@@ -293,213 +261,9 @@ void ShardedCentral::DrainPartials() {
 void ShardedCentral::DrainShardRows() {
   for (size_t i = 0; i < pending_rows_.size(); ++i) {
     for (const ResultRow& row : pending_rows_[i]) {
-      const auto it = coordinators_.find(row.query_id);
-      if (it != coordinators_.end()) {
-        it->second.sink(row);
-      }
+      coordinator_.ForwardRow(row);
     }
     pending_rows_[i].clear();
-  }
-}
-
-void ShardedCentral::AbsorbPartial(WindowPartial&& partial) {
-  const auto it = coordinators_.find(partial.query_id);
-  if (it == coordinators_.end()) {
-    return;
-  }
-  if (partial.input_events > 0 || partial.shed_events > 0) {
-    WindowShed& ws = it->second.window_fidelity[partial.window_start];
-    ws.input_events += partial.input_events;
-    ws.shed_events += partial.shed_events;
-  }
-  auto& window = it->second.windows[partial.window_start];
-  for (size_t g = 0; g < partial.keys.size(); ++g) {
-    // Reuse the hash the shard computed at fold time; recompute only for
-    // partials from senders that predate hash caching.
-    HashedGroupKey hk =
-        g < partial.key_hashes.size()
-            ? HashedGroupKey(std::move(partial.keys[g]),
-                             partial.key_hashes[g])
-            : HashedGroupKey(std::move(partial.keys[g]));
-    CoordGroup& merged = window[std::move(hk)];
-    if (merged.accumulators.empty()) {
-      merged.accumulators = std::move(partial.accumulators[g]);
-    } else {
-      for (size_t a = 0; a < merged.accumulators.size(); ++a) {
-        merged.accumulators[a].Merge(std::move(partial.accumulators[g][a]));
-      }
-    }
-    if (g < partial.group_readings.size()) {
-      // Merge the shard's per-(group, host) readings; RunningStats merge
-      // is exact, so shard boundaries don't affect the estimator.
-      for (GroupHostReadings& ghr : partial.group_readings[g]) {
-        std::vector<RunningStats>& dst = merged.host_readings[ghr.host];
-        if (dst.size() < ghr.readings.size()) {
-          dst.resize(ghr.readings.size());
-        }
-        for (size_t s = 0; s < ghr.readings.size(); ++s) {
-          dst[s].Merge(ghr.readings[s]);
-        }
-      }
-    }
-  }
-}
-
-void ShardedCentral::FinalizeWindow(Coordinator& c, TimeMicros start,
-                                    CoordinatorGroups& groups) {
-  const CentralPlan& plan = c.plan;
-  // Completeness: union of hosts heard from across the slide-grid slots the
-  // window covers. An empty union means no counters ever flowed (hand-built
-  // batches) — expected set unknown, report 1.0.
-  double completeness = 1.0;
-  if (plan.hosts_sampled > 0) {
-    std::set<HostId> hosts;
-    for (auto sit = c.window_hosts.lower_bound(start);
-         sit != c.window_hosts.end() &&
-         sit->first < start + plan.window_micros;
-         ++sit) {
-      hosts.insert(sit->second.begin(), sit->second.end());
-    }
-    if (!hosts.empty()) {
-      completeness =
-          std::min(1.0, static_cast<double>(hosts.size()) /
-                            static_cast<double>(plan.hosts_sampled));
-    }
-  }
-  // Fidelity: central-side shed from the shards' partials, agent-side shed
-  // from the counters of every slide-grid slot the window covers — the same
-  // ratio the single-instance close computes per window.
-  uint64_t input_events = 0;
-  uint64_t shed_events = 0;
-  const auto fit = c.window_fidelity.find(start);
-  if (fit != c.window_fidelity.end()) {
-    input_events = fit->second.input_events;
-    shed_events = std::min(fit->second.shed_events, input_events);
-  }
-  uint64_t agent_shed = 0;
-  for (auto sit = c.window_shed.lower_bound(start);
-       sit != c.window_shed.end() && sit->first < start + plan.window_micros;
-       ++sit) {
-    agent_shed += sit->second;
-  }
-  const uint64_t attempted = input_events + agent_shed;
-  const double fidelity =
-      attempted == 0 ? 1.0
-                     : static_cast<double>(input_events - shed_events) /
-                           static_cast<double>(attempted);
-  // Finalize-stage sampling inputs: global per-host M_i / m_i summed over
-  // the slots this window covers, and the ratio fallback scale (Eq. 1) for
-  // scaled slots outside the bounded set (join plans).
-  const bool sampling = plan.SamplingActive();
-  std::map<HostId, HostCounter> host_counters;
-  double ratio_scale = 1.0;
-  if (sampling) {
-    for (auto sit = c.window_counters.lower_bound(start);
-         sit != c.window_counters.end() &&
-         sit->first < start + plan.window_micros;
-         ++sit) {
-      for (const auto& [host, counter] : sit->second) {
-        HostCounter& hc = host_counters[host];
-        hc.population += counter.population;
-        hc.sampled += counter.sampled;
-      }
-    }
-    uint64_t population = 0;
-    uint64_t sampled = 0;
-    for (const auto& [host, hc] : host_counters) {
-      population += hc.population;
-      sampled += hc.sampled;
-    }
-    if (sampled > 0 && population > 0) {
-      ratio_scale =
-          static_cast<double>(population) / static_cast<double>(sampled);
-    }
-    if (plan.hosts_sampled > 0 && plan.hosts_targeted > 0) {
-      ratio_scale *= static_cast<double>(plan.hosts_targeted) /
-                     static_cast<double>(plan.hosts_sampled);
-    }
-  }
-  // Ungrouped queries emit a row even for empty windows (series stay
-  // continuous), matching single-instance behaviour.
-  if (plan.group_by.empty() && groups.empty()) {
-    groups[HashedGroupKey(GroupKey{})].accumulators.resize(
-        plan.aggregates.size());
-  }
-  const std::vector<int>& bounded = c.pipeline.bounded_aggregates;
-  for (auto& [hashed_key, group] : groups) {
-    if (group.accumulators.empty()) {
-      group.accumulators.resize(plan.aggregates.size());
-    }
-    std::vector<Value> agg_values(plan.aggregates.size());
-    std::vector<double> agg_bounds(plan.aggregates.size(), 0.0);
-    for (size_t i = 0; i < plan.aggregates.size(); ++i) {
-      const AggregateSpec& spec = plan.aggregates[i];
-      const auto bounded_it =
-          std::find(bounded.begin(), bounded.end(), static_cast<int>(i));
-      if (sampling && bounded_it != bounded.end()) {
-        // Per-group Eq. 1-3: this group's readings for the slot, per host,
-        // against the *global* per-host population counters. Sampled events
-        // from a host that landed in other groups are zero readings for
-        // this one (m_h - count_{h,g}).
-        const size_t s =
-            static_cast<size_t>(bounded_it - bounded.begin());
-        std::vector<HostSampleStats> host_stats;
-        for (const auto& [host, hc] : host_counters) {
-          HostSampleStats h;
-          h.population = hc.population;
-          uint64_t observed = 0;
-          const auto rit = group.host_readings.find(host);
-          if (rit != group.host_readings.end() && s < rit->second.size()) {
-            h.readings = rit->second[s];
-            observed = h.readings.count();
-          }
-          const uint64_t zeros =
-              hc.sampled > observed ? hc.sampled - observed : 0;
-          if (zeros > 0) {
-            h.readings.Merge(RunningStats::Constant(zeros, 0.0));
-          }
-          host_stats.push_back(std::move(h));
-        }
-        // Hosts that shipped events but no counters (hand-built batches):
-        // no population info, so the observed readings stand in for it.
-        for (const auto& [host, readings] : group.host_readings) {
-          if (host_counters.count(host) > 0) {
-            continue;
-          }
-          HostSampleStats h;
-          if (s < readings.size()) {
-            h.readings = readings[s];
-          }
-          h.population = h.readings.count();
-          host_stats.push_back(std::move(h));
-        }
-        agg_values[i] = FinalizeBoundedSlot(
-            spec, group.accumulators[i], std::move(host_stats),
-            plan.hosts_sampled, plan.hosts_targeted, ratio_scale,
-            &agg_bounds[i]);
-        continue;
-      }
-      const double scale =
-          (c.pipeline.needs_scaling && spec.ScalesUnderSampling())
-              ? ratio_scale
-              : 1.0;
-      agg_values[i] = FinalizeAccumulator(spec, group.accumulators[i], scale);
-    }
-    ResultRow row;
-    row.query_id = plan.query_id;
-    row.window_start = start;
-    row.window_end = start + plan.window_micros;
-    row.completeness = completeness;
-    row.fidelity = fidelity;
-    for (const OutputColumn& column : plan.outputs) {
-      row.values.push_back(
-          EvalOutputExpr(column.expr, hashed_key.key, agg_values));
-      row.error_bounds.push_back(
-          column.expr.kind == OutputKind::kAggregate
-              ? agg_bounds[static_cast<size_t>(column.expr.index)]
-              : 0.0);
-    }
-    c.sink(row);
   }
 }
 
@@ -513,49 +277,7 @@ void ShardedCentral::OnTick(TimeMicros now) {
   DrainPartials();
   // Shards have emitted every window whose end + lateness has passed (and
   // retired expired queries, flushing the rest); finalize those windows.
-  for (auto cit = coordinators_.begin(); cit != coordinators_.end();) {
-    Coordinator& c = cit->second;
-    for (auto wit = c.windows.begin(); wit != c.windows.end();) {
-      const TimeMicros window_end = wit->first + c.plan.window_micros;
-      if (window_end + config_.allowed_lateness <= now ||
-          now >= c.plan.end_time + config_.allowed_lateness) {
-        FinalizeWindow(c, wit->first, wit->second);
-        c.window_fidelity.erase(wit->first);
-        wit = c.windows.erase(wit);
-      } else {
-        ++wit;
-      }
-    }
-    // GC completeness / counter slots no still-open window can cover.
-    while (!c.window_hosts.empty() &&
-           c.window_hosts.begin()->first + c.plan.window_micros +
-                   config_.allowed_lateness <=
-               now) {
-      c.window_hosts.erase(c.window_hosts.begin());
-    }
-    while (!c.window_counters.empty() &&
-           c.window_counters.begin()->first + c.plan.window_micros +
-                   config_.allowed_lateness <=
-               now) {
-      c.window_counters.erase(c.window_counters.begin());
-    }
-    while (!c.window_shed.empty() &&
-           c.window_shed.begin()->first + c.plan.window_micros +
-                   config_.allowed_lateness <=
-               now) {
-      c.window_shed.erase(c.window_shed.begin());
-    }
-    if (now >= c.plan.end_time + config_.allowed_lateness) {
-      cit = coordinators_.erase(cit);
-    } else {
-      ++cit;
-    }
-  }
-}
-
-uint64_t ShardedCentral::DuplicateBatches(QueryId query_id) const {
-  const auto it = coordinators_.find(query_id);
-  return it == coordinators_.end() ? 0 : it->second.batches_duplicate;
+  coordinator_.OnTick(now);
 }
 
 std::vector<uint64_t> ShardedCentral::ShardLoads(QueryId query_id) const {

@@ -12,10 +12,11 @@
 //    role (Decode..WindowClose): closing a window emits mergeable per-group
 //    state (counts, sums, min/max, HyperLogLog registers, SpaceSaving
 //    summaries) instead of rows.
-//  * The coordinator runs the pipeline's Finalize stage: it merges the
-//    shards' partials per (window, group) and finalizes exactly one row
-//    stream — identical, for exact aggregates, to what a single instance
-//    would produce (tested).
+//  * The coordinator — a PartialCoordinator (src/central/coordinator.h),
+//    shared with the regional combiner tier — runs the pipeline's Finalize
+//    stage: it merges the shards' partials per (window, group) and
+//    finalizes exactly one row stream — identical, for exact aggregates, to
+//    what a single instance would produce (tested).
 //  * Raw-mode (no aggregates) queries shard trivially: every shard emits
 //    finished rows for its slice and the coordinator just forwards them —
 //    no merge step, since each joined tuple is wholly resident on one
@@ -49,13 +50,11 @@
 #ifndef SRC_CENTRAL_SHARDED_CENTRAL_H_
 #define SRC_CENTRAL_SHARDED_CENTRAL_H_
 
-#include <map>
 #include <memory>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "src/central/central.h"
+#include "src/central/coordinator.h"
 #include "src/common/worker_pool.h"
 
 namespace scrub {
@@ -74,7 +73,7 @@ class ShardedCentral {
   Status InstallQuery(const CentralPlan& plan, ResultSink sink);
   void RemoveQuery(QueryId query_id);
   bool HasQuery(QueryId query_id) const {
-    return coordinators_.count(query_id) > 0;
+    return coordinator_.HasQuery(query_id);
   }
 
   // Routes the batch's events to shards by request-id hash. The batch's
@@ -99,83 +98,26 @@ class ShardedCentral {
   size_t shard_count() const { return shards_.size(); }
   const ScrubCentral& shard(size_t i) const { return *shards_[i]; }
   const WorkerPool& pool() const { return pool_; }
+  const PartialCoordinator& coordinator() const { return coordinator_; }
   // Events each shard ingested (balance diagnostics).
   std::vector<uint64_t> ShardLoads(QueryId query_id) const;
   // Router-level dedup hits for one query (retransmits raced their acks).
-  uint64_t DuplicateBatches(QueryId query_id) const;
+  uint64_t DuplicateBatches(QueryId query_id) const {
+    return coordinator_.DuplicateBatches(query_id);
+  }
 
  private:
-  // Merged per-group state at the coordinator: accumulators plus, for
-  // sampled plans, the per-host readings (parallel to the pipeline's scaled
-  // slots) the Eq. 1-3 Finalize consumes. Keyed sorted so the estimator's
-  // host iteration — float summation order included — is deterministic.
-  struct CoordGroup {
-    std::vector<AggAccumulator> accumulators;
-    std::map<HostId, std::vector<RunningStats>> host_readings;
-  };
-
-  // Coordinator group maps are keyed on pre-hashed keys: AbsorbPartial
-  // reuses the hashes the shard computed at fold time (cached once per row)
-  // instead of rehashing vector<Value> per merge probe.
-  using CoordinatorGroups =
-      std::unordered_map<HashedGroupKey, CoordGroup, HashedGroupKeyHash>;
-
-  // Global per-host sampling counters for one slide-grid slot (M_i / m_i
-  // summed over the batches the router admitted).
-  struct HostCounter {
-    uint64_t population = 0;
-    uint64_t sampled = 0;
-  };
-
-  // Central-side fidelity inputs for one window, summed over the shards'
-  // partials: events the shards routed into the window, and the subset they
-  // shed under memory pressure.
-  struct WindowShed {
-    uint64_t input_events = 0;
-    uint64_t shed_events = 0;
-  };
-
-  struct Coordinator {
-    CentralPlan plan;
-    // Finalize-stage parameterization (coordinator role): which slots get
-    // the per-group Eq. 1-3 bound, which fall back to the ratio scale.
-    PhysicalPipeline pipeline;
-    ResultSink sink;
-    bool raw = false;  // raw-mode: forward shard rows, no merge state
-    // window -> group key -> merged accumulators (+ per-host readings).
-    std::map<TimeMicros, CoordinatorGroups> windows;
-    // Router-level dedup: shard sub-batches are unsequenced, so duplicate
-    // suppression must happen before re-bucketing.
-    std::unordered_map<HostId, std::map<uint64_t, SeqTracker>> dedup;
-    uint64_t batches_duplicate = 0;
-    // Hosts heard from per slide-grid slot (from batch counters), the
-    // coordinator's completeness source — shards only see event slices.
-    std::map<TimeMicros, std::set<HostId>> window_hosts;
-    // Sampled plans: per-slot per-host M_i / m_i, absorbed at admission
-    // (pre-re-bucket, so the view is global). The Finalize estimator sums
-    // the slots each window covers.
-    std::map<TimeMicros, std::map<HostId, HostCounter>> window_counters;
-    // Agent staging shed per slide-grid slot (from batch counters, kept at
-    // admission like window_hosts) — the fidelity denominator's agent part.
-    std::map<TimeMicros, uint64_t> window_shed;
-    // Central-side fidelity inputs per window, merged from shard partials.
-    std::map<TimeMicros, WindowShed> window_fidelity;
-  };
-
   // Drains per-shard partial buffers in shard-index order (the determinism
   // keystone: merge order is a pure function of shard index, never of
   // thread completion order).
   void DrainPartials();
   // Forwards buffered raw-mode rows, again in shard-index order.
   void DrainShardRows();
-  void AbsorbPartial(WindowPartial&& partial);
-  void FinalizeWindow(Coordinator& c, TimeMicros start,
-                      CoordinatorGroups& groups);
 
   const SchemaRegistry* registry_;
   CentralConfig config_;
   std::vector<std::unique_ptr<ScrubCentral>> shards_;
-  std::unordered_map<QueryId, Coordinator> coordinators_;
+  PartialCoordinator coordinator_;
   // Slot i is written only by shard i's task; drained between regions by
   // the coordinator thread.
   std::vector<std::vector<WindowPartial>> pending_partials_;

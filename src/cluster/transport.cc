@@ -16,6 +16,8 @@ const char* TrafficCategoryName(TrafficCategory category) {
       return "scrub_acks";
     case TrafficCategory::kScrubResults:
       return "scrub_results";
+    case TrafficCategory::kScrubPartials:
+      return "scrub_partials";
     case TrafficCategory::kBaselineLog:
       return "baseline_log";
     case TrafficCategory::kCategoryCount:
@@ -69,6 +71,7 @@ void Transport::Send(HostId from, HostId to, size_t bytes,
   // then eats it, so bytes are accounted unconditionally.
   bytes_by_category_[static_cast<size_t>(category)] += bytes;
   messages_by_category_[static_cast<size_t>(category)] += 1;
+  bytes_by_destination_[to][static_cast<size_t>(category)] += bytes;
   FaultStats& stats = fault_stats_[static_cast<size_t>(category)];
 
   // A dead endpoint means the message goes nowhere — never execute a
@@ -131,6 +134,14 @@ void Transport::Send(HostId from, HostId to, size_t bytes,
   scheduler_->ScheduleAfter(latency, std::move(guarded));
 }
 
+uint64_t Transport::bytes_to(HostId to, TrafficCategory category) const {
+  const auto it = bytes_by_destination_.find(to);
+  if (it == bytes_by_destination_.end()) {
+    return 0;
+  }
+  return it->second[static_cast<size_t>(category)];
+}
+
 uint64_t Transport::total_bytes() const {
   uint64_t total = 0;
   for (const uint64_t b : bytes_by_category_) {
@@ -156,6 +167,7 @@ void Transport::ResetCounters() {
   bytes_by_category_.fill(0);
   messages_by_category_.fill(0);
   fault_stats_ = {};
+  bytes_by_destination_.clear();
 }
 
 }  // namespace scrub

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/cluster/host_registry.h"
@@ -40,6 +41,7 @@ enum class TrafficCategory {
   kScrubEvents,       // event batches host -> ScrubCentral
   kScrubAcks,         // batch acks ScrubCentral -> host
   kScrubResults,      // result rows ScrubCentral -> user
+  kScrubPartials,     // merged window partials, combiner -> ScrubCentral
   kBaselineLog,       // the full-logging baseline's shipped events
   kCategoryCount,
 };
@@ -150,6 +152,11 @@ class Transport {
   uint64_t bytes_sent(TrafficCategory category) const {
     return bytes_by_category_[static_cast<size_t>(category)];
   }
+  // Bytes addressed to one recipient in one category (accounted at send
+  // time like the totals). The fleet benchmarks read the central host's
+  // ingress link load from here: flat topologies concentrate every
+  // kScrubEvents byte on it, hierarchical ones only the compact partials.
+  uint64_t bytes_to(HostId to, TrafficCategory category) const;
   uint64_t messages_sent(TrafficCategory category) const {
     return messages_by_category_[static_cast<size_t>(category)];
   }
@@ -174,6 +181,10 @@ class Transport {
       messages_by_category_;
   std::array<FaultStats, static_cast<size_t>(TrafficCategory::kCategoryCount)>
       fault_stats_ = {};
+  std::unordered_map<
+      HostId,
+      std::array<uint64_t, static_cast<size_t>(TrafficCategory::kCategoryCount)>>
+      bytes_by_destination_;
 };
 
 }  // namespace scrub

@@ -1,6 +1,7 @@
 #include "src/scrub/scrub_system.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/common/strings.h"
 #include "src/plan/explain.h"
@@ -66,6 +67,47 @@ ScrubSystem::ScrubSystem(SystemConfig config)
 
   transport_.SetFaultPlan(config_.faults);
 
+  // Hierarchical tier: one combiner per region, placed round-robin across
+  // the platform's data centers, plus the coordinator front-end that merges
+  // their partials. Built before the server so the control-plane hooks are
+  // in place at its construction.
+  if (config_.combiner_regions > 0) {
+    const int dcs = std::max(1, config_.platform.datacenters);
+    for (size_t r = 0; r < config_.combiner_regions; ++r) {
+      const std::string dc_name =
+          StrFormat("DC%d", static_cast<int>(r) % dcs + 1);
+      const HostId chost = registry_.AddHost(
+          StrFormat("scrub-combiner-%02d", static_cast<int>(r)),
+          "ScrubCombiner", dc_name, /*monitorable=*/false);
+      epochs_[chost] = 1;
+      combiners_.emplace(chost,
+                         std::make_unique<RegionalCombiner>(
+                             &schemas_, chost, MakeCombinerConfig(r),
+                             /*epoch=*/1));
+      combiner_host_order_.push_back(chost);
+    }
+    // Partials lag the raw batches they summarize: the inner central holds
+    // its windows for a full lateness grace, the envelope takes one more
+    // hop, and lost envelopes retry for the combiner's retransmit budget.
+    // Extend the coordinator's straggler grace accordingly, so hierarchical
+    // windows see exactly the contributions flat windows would.
+    coordinator_lateness_ = config_.central.allowed_lateness +
+                            (config_.central.allowed_lateness +
+                             config_.flush_interval) +
+                            2 * config_.flush_interval;
+    CentralConfig coord = config_.central;
+    coord.allowed_lateness = coordinator_lateness_;
+    coordinator_ = std::make_unique<PartialCoordinator>(coord);
+    config_.server.central_install = [this](const CentralPlan& plan,
+                                            ResultSink sink) {
+      return InstallHierQuery(plan, std::move(sink));
+    };
+    config_.server.central_remove = [this](QueryId id) {
+      RemoveHierQuery(id);
+    };
+  }
+  config_.server.agent_preaggregate = config_.agent_preaggregate;
+
   // One agent per monitorable host.
   for (size_t i = 0; i < registry_.size(); ++i) {
     const HostInfo& info = registry_.Get(static_cast<HostId>(i));
@@ -78,6 +120,36 @@ ScrubSystem::ScrubSystem(SystemConfig config)
     agent_hosts_.push_back(info.id);
   }
   std::sort(agent_hosts_.begin(), agent_hosts_.end());
+
+  // Static agent -> combiner routing: each monitorable host ships its
+  // aggregate-query batches to a combiner in its own DC, round-robin by
+  // within-DC ordinal when a DC hosts several combiners. Fewer regions than
+  // DCs degenerates to a fixed cross-DC assignment.
+  if (!combiners_.empty()) {
+    const size_t regions = combiner_host_order_.size();
+    const size_t dcs =
+        static_cast<size_t>(std::max(1, config_.platform.datacenters));
+    std::unordered_map<std::string, size_t> dc_ordinal;
+    for (const HostId host : agent_hosts_) {
+      const std::string& dc = registry_.Get(host).datacenter;  // "DC<k>"
+      size_t k = 0;
+      if (dc.size() > 2) {
+        k = static_cast<size_t>(
+                std::max(1, std::atoi(dc.c_str() + 2)) - 1) %
+            dcs;
+      }
+      std::vector<size_t> serving;
+      for (size_t r = 0; r < regions; ++r) {
+        if (r % dcs == k) {
+          serving.push_back(r);
+        }
+      }
+      const size_t ordinal = dc_ordinal[dc]++;
+      const size_t region =
+          serving.empty() ? k % regions : serving[ordinal % serving.size()];
+      agent_combiner_[host] = combiner_host_order_[region];
+    }
+  }
 
   server_ = std::make_unique<QueryServer>(
       &scheduler_, &transport_, &registry_, &schemas_, central_.get(),
@@ -120,8 +192,103 @@ void ScrubSystem::ScheduleCrash(HostId host, TimeMicros down_at,
   }
 }
 
+CombinerConfig ScrubSystem::MakeCombinerConfig(size_t region) const {
+  CombinerConfig cfg;
+  cfg.central = config_.central;
+  // A private spill namespace per combiner: inner centrals degrade
+  // independently, never clobbering the real central's runs.
+  cfg.central.spill_instance += StrFormat("_r%d", static_cast<int>(region));
+  cfg.central.spill_seed ^= 0x9E3779B97F4A7C15ULL * (region + 1);
+  cfg.retransmit_backoff = config_.agent.retransmit_backoff;
+  // Same derivation as the agents': retry until central's straggler grace
+  // is spent plus one flush round, then shed honestly.
+  cfg.retransmit_budget =
+      config_.central.allowed_lateness + config_.flush_interval;
+  cfg.seed = config_.seed ^ (0xc0b1u + region);
+  return cfg;
+}
+
+std::vector<HostId> ScrubSystem::combiner_hosts() const {
+  std::vector<HostId> hosts;
+  hosts.reserve(combiners_.size());
+  for (const auto& [host, comb] : combiners_) {
+    hosts.push_back(host);
+  }
+  return hosts;
+}
+
+const RegionalCombiner* ScrubSystem::combiner(HostId host) const {
+  const auto it = combiners_.find(host);
+  return it == combiners_.end() ? nullptr : it->second.get();
+}
+
+HostId ScrubSystem::combiner_for(HostId host) const {
+  const auto it = agent_combiner_.find(host);
+  return it == agent_combiner_.end() ? kInvalidHost : it->second;
+}
+
+Status ScrubSystem::InstallHierQuery(const CentralPlan& plan,
+                                     ResultSink sink) {
+  if (!CombinerEligible(plan)) {
+    // Raw-mode and join queries keep the flat path end to end.
+    return central_->InstallQuery(plan, std::move(sink));
+  }
+  if (coordinator_->HasQuery(plan.query_id)) {
+    return OkStatus();  // control-plane retry: idempotent re-install
+  }
+  // Fan the plan out to every combiner. Modeled as part of the (already
+  // transport-delivered) central install: the coordinator front-end
+  // configures its tier synchronously, so no agent batch can race an
+  // uninstalled combiner.
+  for (auto& [chost, comb] : combiners_) {
+    (void)comb->InstallQuery(plan);
+  }
+  Status status = coordinator_->InstallQuery(plan, std::move(sink));
+  if (status.ok()) {
+    hier_plans_.emplace(plan.query_id, plan);
+  }
+  return status;
+}
+
+void ScrubSystem::RemoveHierQuery(QueryId id) {
+  if (coordinator_ == nullptr || !coordinator_->HasQuery(id)) {
+    central_->RemoveQuery(id);  // flat-path query (raw mode, join)
+    return;
+  }
+  for (auto& [chost, comb] : combiners_) {
+    comb->RemoveQuery(id);
+  }
+  coordinator_->RemoveQuery(id);
+  hier_plans_.erase(id);
+}
+
 void ScrubSystem::RestartHost(HostId host) {
   registry_.SetAlive(host, true);
+  const auto cit = combiners_.find(host);
+  if (cit != combiners_.end()) {
+    // Fresh combiner incarnation: inner window state, digest ledgers and
+    // held envelopes died with the host — the unheard agents simply leave
+    // their windows incomplete, like a crashed agent would. The bumped
+    // epoch keeps the coordinator's dedup from mistaking the new seq 1,
+    // 2, ... for the dead incarnation's. Still-live plans are reinstalled
+    // synchronously, mirroring InstallHierQuery's control-plane model.
+    const uint64_t epoch = ++epochs_[host];
+    size_t region = 0;
+    for (size_t r = 0; r < combiner_host_order_.size(); ++r) {
+      if (combiner_host_order_[r] == host) {
+        region = r;
+      }
+    }
+    cit->second = std::make_unique<RegionalCombiner>(
+        &schemas_, host, MakeCombinerConfig(region), epoch);
+    const TimeMicros now = scheduler_.Now();
+    for (const auto& [qid, plan] : hier_plans_) {
+      if (plan.end_time > now) {
+        (void)cit->second->InstallQuery(plan);
+      }
+    }
+    return;
+  }
   const auto it = agents_.find(host);
   if (it != agents_.end()) {
     // A fresh incarnation: staged events, counters and retransmit buffers
@@ -171,29 +338,135 @@ void ScrubSystem::PumpFlushes() {
   for (size_t i = 0; i < agent_hosts_.size(); ++i) {
     const HostId host = agent_hosts_[i];
     for (EventBatch& batch : per_host[i]) {
-      const size_t bytes = batch.WireSize();
-      const HostId from = host;
+      // Combiner-tier routing is per query: batches of combiner-installed
+      // aggregate queries go to the host's regional combiner; raw-mode and
+      // join batches keep the flat path.
+      if (hier_plans_.count(batch.query_id) > 0) {
+        SendBatchToCombiner(host, agent_combiner_.at(host), std::move(batch));
+      } else {
+        SendBatchToCentral(host, std::move(batch));
+      }
+    }
+  }
+  PumpCombiners(now);
+  central_->OnTick(now);
+  if (coordinator_ != nullptr) {
+    coordinator_->OnTick(now);
+  }
+}
+
+void ScrubSystem::SendBatchToCentral(HostId from, EventBatch batch) {
+  const size_t bytes = batch.WireSize();
+  transport_.Send(
+      from, central_host_, bytes, TrafficCategory::kScrubEvents,
+      [this, from, b = std::move(batch)] {
+        const Status s = central_->IngestBatch(b, scheduler_.Now());
+        (void)s;  // decode failures are programming errors
+        // Ack sequenced batches (duplicates too: the retransmit that
+        // raced a lost ack still needs its buffered copy released).
+        if (b.seq != 0) {
+          transport_.Send(central_host_, from, 24,
+                          TrafficCategory::kScrubAcks,
+                          [this, from, qid = b.query_id, seq = b.seq] {
+                            ScrubAgent* a = agent(from);
+                            if (a != nullptr) {
+                              a->OnAck(qid, seq);
+                            }
+                          });
+        }
+      });
+}
+
+void ScrubSystem::SendBatchToCombiner(HostId from, HostId chost,
+                                      EventBatch batch) {
+  const size_t bytes = batch.WireSize();
+  transport_.Send(
+      from, chost, bytes, TrafficCategory::kScrubEvents,
+      [this, from, chost, b = std::move(batch)] {
+        // Resolve the combiner at delivery time: a restart between send and
+        // delivery replaced the object behind this host id.
+        const auto it = combiners_.find(chost);
+        if (it == combiners_.end()) {
+          return;
+        }
+        const RegionalCombiner::Action action =
+            it->second->IngestBatch(b, scheduler_.Now());
+        if (action == RegionalCombiner::Action::kAbsorbed) {
+          if (b.seq != 0) {
+            transport_.Send(chost, from, 24, TrafficCategory::kScrubAcks,
+                            [this, from, qid = b.query_id, seq = b.seq] {
+                              ScrubAgent* a = agent(from);
+                              if (a != nullptr) {
+                                a->OnAck(qid, seq);
+                              }
+                            });
+          }
+          return;
+        }
+        // kRelay (teardown raced the batch): forward unchanged; central
+        // ingests — or drops an unknown query — and acks the agent, exactly
+        // the flat path with one extra hop.
+        transport_.Send(
+            chost, central_host_, b.WireSize(), TrafficCategory::kScrubEvents,
+            [this, from, b] {
+              (void)central_->IngestBatch(b, scheduler_.Now());
+              if (b.seq != 0) {
+                transport_.Send(central_host_, from, 24,
+                                TrafficCategory::kScrubAcks,
+                                [this, from, qid = b.query_id, seq = b.seq] {
+                                  ScrubAgent* a = agent(from);
+                                  if (a != nullptr) {
+                                    a->OnAck(qid, seq);
+                                  }
+                                });
+              }
+            });
+      });
+}
+
+void ScrubSystem::PumpCombiners(TimeMicros now) {
+  for (auto& [chost, comb] : combiners_) {
+    if (!registry_.IsAlive(chost)) {
+      continue;  // a crashed combiner neither ticks nor ships
+    }
+    std::vector<PartialEnvelope> envelopes = comb->PumpUpstream(now);
+    for (PartialEnvelope& env : envelopes) {
+      // shared_ptr keeps the delivery closure copyable (WindowPartial
+      // holds move-only sketch state); a chaos duplicate delivery of the
+      // same closure is rejected by AdmitSequenced below.
+      auto shared = std::make_shared<PartialEnvelope>(std::move(env));
+      const size_t bytes = shared->WireSize();
       transport_.Send(
-          from, central_host_, bytes, TrafficCategory::kScrubEvents,
-          [this, from, b = std::move(batch)] {
-            const Status s = central_->IngestBatch(b, scheduler_.Now());
-            (void)s;  // decode failures are programming errors
-            // Ack sequenced batches (duplicates too: the retransmit that
-            // raced a lost ack still needs its buffered copy released).
-            if (b.seq != 0) {
-              transport_.Send(central_host_, from, 24,
-                              TrafficCategory::kScrubAcks,
-                              [this, from, qid = b.query_id, seq = b.seq] {
-                                ScrubAgent* a = agent(from);
-                                if (a != nullptr) {
-                                  a->OnAck(qid, seq);
-                                }
-                              });
+          chost, central_host_, bytes, TrafficCategory::kScrubPartials,
+          [this, chost, shared] {
+            PartialEnvelope& e = *shared;
+            if (coordinator_->AdmitSequenced(e.query_id, e.sender, e.epoch,
+                                             e.seq)) {
+              for (const CounterDigest& digest : e.digests) {
+                coordinator_->AbsorbCounters(e.query_id, digest.host,
+                                             digest.counters);
+              }
+              for (WindowPartial& partial : e.partials) {
+                coordinator_->AbsorbPartial(std::move(partial));
+              }
             }
+            // Ack duplicates too (a retransmit racing its lost ack must
+            // release the held clone). The ack resolves the combiner by
+            // host at delivery and checks the incarnation, so a restarted
+            // combiner's fresh seqs are never confused with the dead one's.
+            transport_.Send(central_host_, chost, 24,
+                            TrafficCategory::kScrubAcks,
+                            [this, chost, qid = e.query_id, seq = e.seq,
+                             epoch = e.epoch] {
+                              const auto cit = combiners_.find(chost);
+                              if (cit != combiners_.end() &&
+                                  cit->second->epoch() == epoch) {
+                                cit->second->OnAck(qid, seq);
+                              }
+                            });
           });
     }
   }
-  central_->OnTick(now);
 }
 
 void ScrubSystem::RunUntil(TimeMicros until) {
@@ -207,11 +480,14 @@ void ScrubSystem::RunUntil(TimeMicros until) {
 
 void ScrubSystem::Drain() {
   // Let in-flight batches land and the last windows close: the allowed
-  // lateness plus two flush rounds covers the longest path.
-  const TimeMicros drain_until = scheduler_.Now() +
-                                 config_.central.allowed_lateness +
-                                 3 * config_.flush_interval;
-  RunUntil(drain_until);
+  // lateness plus a few flush rounds covers the longest path. Hierarchical
+  // runs wait out the coordinator's extended grace instead (inner lateness
+  // plus the extra hop and retransmit rounds).
+  const TimeMicros grace =
+      hierarchical()
+          ? coordinator_lateness_ + 4 * config_.flush_interval
+          : config_.central.allowed_lateness + 3 * config_.flush_interval;
+  RunUntil(scheduler_.Now() + grace);
 }
 
 std::string ScrubSystem::Explain(std::string_view query_text) const {
@@ -294,6 +570,10 @@ std::string ScrubSystem::DescribeQuery(QueryId id) const {
         static_cast<unsigned long long>(ctl->teardown_acks));
   }
   const CentralQueryStats* cs = central_->StatsFor(id);
+  if (cs == nullptr && coordinator_ != nullptr) {
+    // Hierarchical aggregate queries live at the coordinator front-end.
+    cs = coordinator_->StatsFor(id);
+  }
   if (cs == nullptr) {
     out += "  central: no record of this query\n";
     return out;

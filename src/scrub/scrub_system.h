@@ -19,6 +19,7 @@
 #ifndef SRC_SCRUB_SCRUB_SYSTEM_H_
 #define SRC_SCRUB_SCRUB_SYSTEM_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -29,6 +30,8 @@
 #include "src/common/worker_pool.h"
 #include "src/bidsim/workload.h"
 #include "src/central/central.h"
+#include "src/central/coordinator.h"
+#include "src/cluster/combiner.h"
 #include "src/cluster/host_registry.h"
 #include "src/cluster/scheduler.h"
 #include "src/cluster/transport.h"
@@ -64,6 +67,20 @@ struct SystemConfig {
   // queries row-wise (the columnar-joins-end-to-end item in ROADMAP.md),
   // so ScrubSystem joins ship rows either way.
   bool columnar = true;
+  // Hierarchical aggregation (million-host fleets): number of regional
+  // combiner nodes. 0 (default) is the flat topology — agents ship straight
+  // to central. With N > 0 regions, combiner r lives in DC (r mod
+  // datacenters); each monitorable host routes its aggregate-query batches
+  // to a combiner in its own DC (round-robin within the DC when a DC hosts
+  // several), which folds them and ships compact WindowPartials + counter
+  // digests to the central coordinator. Raw-mode and join queries keep the
+  // flat path regardless (the paper's host rule).
+  size_t combiner_regions = 0;
+  // Paper-faithful ablation: agents pre-aggregate COUNT/SUM-only queries
+  // host-side and ship per-group deltas instead of events (the relaxation
+  // the paper argues against generalizing; eligibility is gated at the
+  // server). Off by default.
+  bool agent_preaggregate = false;
   // Chaos: installed on the transport at construction. Deterministic per
   // FaultPlan::seed; an inert plan (the default) injects nothing.
   FaultPlan faults;
@@ -109,6 +126,17 @@ class ScrubSystem {
   ScrubCentral& central() { return *central_; }
   QueryServer& server() { return *server_; }
   ScrubAgent* agent(HostId host);
+
+  // ---- Hierarchical topology (combiner_regions > 0) ----
+  bool hierarchical() const { return coordinator_ != nullptr; }
+  // The coordinator front-end merging combiner partials (null when flat).
+  const PartialCoordinator* coordinator() const { return coordinator_.get(); }
+  // Combiner hosts in ascending id order (empty when flat).
+  std::vector<HostId> combiner_hosts() const;
+  const RegionalCombiner* combiner(HostId host) const;
+  // The combiner a monitorable host's aggregate batches route to
+  // (kInvalidHost when flat or unknown).
+  HostId combiner_for(HostId host) const;
 
   // Renders the host/central plan split for a query WITHOUT running it
   // (EXPLAIN): what each host would filter/project, what central would
@@ -157,6 +185,16 @@ class ScrubSystem {
   void PumpFlushes();
   void RestartHost(HostId host);
   uint64_t AgentSeed(HostId host, uint64_t epoch) const;
+  // Hierarchical control plane (invoked via the server's central_install /
+  // central_remove hooks). Eligible aggregate plans fan out to every
+  // combiner and register at the coordinator; everything else falls back to
+  // the flat ScrubCentral.
+  Status InstallHierQuery(const CentralPlan& plan, ResultSink sink);
+  void RemoveHierQuery(QueryId id);
+  CombinerConfig MakeCombinerConfig(size_t region) const;
+  void SendBatchToCentral(HostId from, EventBatch batch);
+  void SendBatchToCombiner(HostId from, HostId chost, EventBatch batch);
+  void PumpCombiners(TimeMicros now);
 
   SystemConfig config_;
   Scheduler scheduler_;
@@ -177,6 +215,17 @@ class ScrubSystem {
   std::unordered_map<HostId, uint64_t> epochs_;  // incarnation per host
   HostId central_host_ = kInvalidHost;
   HostId server_host_ = kInvalidHost;
+  // Hierarchical tier (empty / null when combiner_regions == 0).
+  std::unique_ptr<PartialCoordinator> coordinator_;
+  std::map<HostId, std::unique_ptr<RegionalCombiner>> combiners_;
+  std::vector<HostId> combiner_host_order_;      // by region index
+  std::unordered_map<HostId, HostId> agent_combiner_;  // agent -> combiner
+  // Combiner-eligible central plans, kept for crash-restart reinstalls and
+  // per-batch routing (agents route these to their combiner).
+  std::map<QueryId, CentralPlan> hier_plans_;
+  // The coordinator's extended straggler grace: partials lag raw batches by
+  // the inner central's lateness plus the extra hop and retransmit rounds.
+  TimeMicros coordinator_lateness_ = 0;
   TimeMicros last_flush_ = 0;
 };
 

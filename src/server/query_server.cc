@@ -107,6 +107,35 @@ Result<SubmittedQuery> QueryServer::SubmitParsed(const Query& query,
   plan->central.hosts_targeted = targeted->size();
   plan->central.hosts_sampled = chosen.size();
 
+  // Agent-side pre-aggregation ablation: stamp the host plan only when the
+  // host-side fold is provably the central fold — a single-source,
+  // unsampled aggregate query whose aggregates are all plain COUNT/SUM.
+  // Sampled plans are excluded because Eq. 2-3 error bounds need per-host
+  // readings no delta cell can carry; sketches/min-max stay central-side.
+  if (config_.agent_preaggregate && plan->central.aggregate_mode &&
+      !plan->central.is_join() && !plan->central.SamplingActive()) {
+    bool eligible = true;
+    for (const AggregateSpec& spec : plan->central.aggregates) {
+      if (spec.func != AggregateFunc::kCount &&
+          spec.func != AggregateFunc::kSum) {
+        eligible = false;
+        break;
+      }
+    }
+    if (eligible) {
+      plan->host.preaggregate = true;
+      plan->host.group_by_programs = plan->central.group_by_programs;
+      plan->host.preagg.reserve(plan->central.aggregates.size());
+      for (const AggregateSpec& spec : plan->central.aggregates) {
+        HostPlan::PreAggSpec p;
+        p.func = spec.func;
+        p.has_arg = spec.has_arg;
+        p.arg_program = spec.arg_program;
+        plan->host.preagg.push_back(std::move(p));
+      }
+    }
+  }
+
   ActiveInfo info;
   info.installed_hosts = chosen;
   info.end_time = plan->host.end_time;
@@ -174,7 +203,11 @@ void QueryServer::SendCentralInstall(QueryId id) {
         // Install failures here are programming errors (the plan was
         // validated at submission); a re-send hits AlreadyExists, which is
         // exactly the idempotence we want — ack either way.
-        (void)central_->InstallQuery(central_plan, routed);
+        if (config_.central_install) {
+          (void)config_.central_install(central_plan, routed);
+        } else {
+          (void)central_->InstallQuery(central_plan, routed);
+        }
         const QueryId qid = central_plan.query_id;
         transport_->Send(central_host_, server_host_, 24,
                          TrafficCategory::kScrubControl,
@@ -350,8 +383,13 @@ Status QueryServer::Cancel(QueryId id) {
   // Central removal is single-shot: a lost cancel leaves central running
   // until its own span-end self-expiry, which is acceptable.
   transport_->Send(server_host_, central_host_, 32,
-                   TrafficCategory::kScrubControl,
-                   [this, id] { central_->RemoveQuery(id); });
+                   TrafficCategory::kScrubControl, [this, id] {
+                     if (config_.central_remove) {
+                       config_.central_remove(id);
+                     } else {
+                       central_->RemoveQuery(id);
+                     }
+                   });
   // Agent removal goes through the reliable teardown machinery.
   Teardown(id);
   return OkStatus();

@@ -65,6 +65,16 @@ struct ServerConfig {
   // Teardown retries are bounded: self-expiry is the backstop, so a host
   // that stays unreachable must not be paged forever.
   int teardown_max_attempts = 4;
+  // Hierarchical deployments route central-side installs/removals through
+  // a coordinator front-end (ScrubSystem overrides these when a combiner
+  // tier is configured). Unset means the plain ScrubCentral passed at
+  // construction — the flat topology.
+  std::function<Status(const CentralPlan&, ResultSink)> central_install;
+  std::function<void(QueryId)> central_remove;
+  // Paper-faithful ablation: stamp eligible COUNT/SUM-only aggregate
+  // queries for agent-side pre-aggregation (HostPlan::preaggregate), the
+  // relaxation of the paper's strict hosts-select-only rule.
+  bool agent_preaggregate = false;
 };
 
 // Per-query control-plane delivery accounting; retained after teardown.

@@ -357,6 +357,227 @@ TEST(ChaosTest, DuplicatesAndLostAcksNeverDoubleCount) {
 }
 
 // ---------------------------------------------------------------------------
+// Hierarchical topology: a DC partition must surface as completeness ==
+// reachable-host fraction through BOTH hops. The cut severs the DC2 combiner
+// from central, so the partials AND the counter digests for the affected
+// windows are lost together — degraded windows report 5/9 with fewer counts,
+// never full counts at 5/9 or missing counts at 1.0.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, HierarchicalPartitionShowsReachableFractionThroughTwoHops) {
+  auto run = [](const FaultPlan& faults) {
+    SystemConfig config = ChaosSystem(12, /*datacenters=*/2);
+    config.combiner_regions = 2;  // combiner 0 -> DC1, combiner 1 -> DC2
+    config.faults = faults;
+    auto system = std::make_unique<ScrubSystem>(config);
+    PoissonLoadConfig load;
+    load.requests_per_second = 300;
+    load.duration = 6 * kMicrosPerSecond;
+    system->workload().SchedulePoissonLoad(load);
+    std::vector<ResultRow> rows;
+    EXPECT_TRUE(system
+                    ->Submit("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                             "DURATION 6 s;",
+                             [&rows](const ResultRow& r) { rows.push_back(r); })
+                    .ok());
+    system->RunUntil(7 * kMicrosPerSecond);
+    system->Drain();
+    return std::make_pair(std::move(rows), std::move(system));
+  };
+
+  auto [clean_rows, clean] = run(FaultPlan{});
+
+  // The cut starts at 5 s: window [w, w+1) reaches central as a partial
+  // envelope once the inner lateness grace (2 s) expires, so windows 0 and 1
+  // ship before the cut and windows 2..5 are marooned on the DC2 side until
+  // the combiner's retransmit budget expires.
+  FaultPlan hostile;
+  hostile.seed = ChaosSeed();
+  PartitionSpec partition;
+  partition.datacenter = "DC2";
+  partition.start = 5 * kMicrosPerSecond;
+  partition.end = 20 * kMicrosPerSecond;
+  hostile.partitions.push_back(partition);
+  auto [faulted_rows, faulted] = run(hostile);
+
+  const double reachable = 5.0 / 9.0;  // DC1's five hosts of nine
+  ASSERT_EQ(clean_rows.size(), 6u);
+  ASSERT_EQ(faulted_rows.size(), 6u);
+  for (size_t i = 0; i < faulted_rows.size(); ++i) {
+    const ResultRow& f = faulted_rows[i];
+    const ResultRow& c = clean_rows[i];
+    ASSERT_EQ(f.window_start, c.window_start);
+    if (f.window_start < 2 * kMicrosPerSecond) {
+      EXPECT_DOUBLE_EQ(f.completeness, 1.0) << "window " << f.window_start;
+      EXPECT_EQ(f.values[0].AsInt(), c.values[0].AsInt())
+          << "window " << f.window_start;
+    } else {
+      EXPECT_NEAR(f.completeness, reachable, 1e-9)
+          << "window " << f.window_start;
+      // Honest accounting: the count is dented in exactly the windows that
+      // say so — DC2's events are missing, not silently absorbed.
+      EXPECT_LT(f.values[0].AsInt(), c.values[0].AsInt())
+          << "window " << f.window_start;
+    }
+  }
+
+  // The cut really hit the combiner -> central hop, and the DC2 combiner
+  // really retried until its budget was spent.
+  EXPECT_GT(faulted->transport()
+                .fault_stats(TrafficCategory::kScrubPartials)
+                .partitioned,
+            0u);
+  const std::vector<HostId> chosts = faulted->combiner_hosts();
+  ASSERT_EQ(chosts.size(), 2u);
+  const CombinerStats& dc2 = faulted->combiner(chosts[1])->stats();
+  EXPECT_GT(dc2.envelopes_retransmitted, 0u);
+  EXPECT_GT(dc2.envelopes_expired, 0u);
+  // DC1's combiner never lost an envelope.
+  EXPECT_EQ(faulted->combiner(chosts[0])->stats().envelopes_expired, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Combiner crash + restart. A combiner acks agent batches before shipping
+// their aggregate upstream, so a crash loses exactly the acked-but-unshipped
+// state (the documented at-least-once corner); everything still buffered on
+// the agents is retransmitted into the fresh incarnation and recovered. The
+// counts must never exceed the clean run's — dedup across incarnations.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, CombinerCrashLosesOnlyUnshippedStateAndRecovers) {
+  auto run = [](bool crash) {
+    SystemConfig config = ChaosSystem(32, /*datacenters=*/2);
+    config.combiner_regions = 2;
+    auto system = std::make_unique<ScrubSystem>(config);
+    PoissonLoadConfig load;
+    load.requests_per_second = 300;
+    load.duration = 5 * kMicrosPerSecond;
+    system->workload().SchedulePoissonLoad(load);
+    if (crash) {
+      const std::vector<HostId> chosts = system->combiner_hosts();
+      EXPECT_EQ(chosts.size(), 2u);
+      // Down across the 1.0 s and 2.0 s flush pumps: those batches go
+      // unacked and survive on the agents; the 0.5 s pump's batches were
+      // acked and die with the incarnation.
+      system->ScheduleCrash(chosts[1], /*down_at=*/900 * kMicrosPerMilli,
+                            /*up_at=*/2100 * kMicrosPerMilli);
+    }
+    std::vector<ResultRow> rows;
+    EXPECT_TRUE(system
+                    ->Submit("SELECT COUNT(*) FROM bid WINDOW 1 s "
+                             "DURATION 5 s;",
+                             [&rows](const ResultRow& r) { rows.push_back(r); })
+                    .ok());
+    system->RunUntil(6 * kMicrosPerSecond);
+    system->Drain();
+    return std::make_pair(std::move(rows), std::move(system));
+  };
+
+  auto [clean_rows, clean] = run(false);
+  auto [faulted_rows, faulted] = run(true);
+
+  ASSERT_EQ(clean_rows.size(), 5u);
+  ASSERT_EQ(faulted_rows.size(), 5u);
+  for (size_t i = 0; i < faulted_rows.size(); ++i) {
+    const ResultRow& f = faulted_rows[i];
+    const ResultRow& c = clean_rows[i];
+    ASSERT_EQ(f.window_start, c.window_start);
+    // Never MORE than the clean run: retransmits into the fresh incarnation
+    // are deduped per (host, epoch, seq), and the coordinator never merges
+    // the same envelope twice.
+    EXPECT_LE(f.values[0].AsInt(), c.values[0].AsInt())
+        << "window " << f.window_start;
+    if (f.window_start == 0) {
+      // DC2's [0, 0.5 s) events were acked into the dead incarnation and
+      // never shipped upstream: gone. (Their hosts still surface in later
+      // slot-0 heartbeat deltas, so completeness alone cannot flag this —
+      // the at-least-once corner DESIGN.md documents.)
+      EXPECT_LT(f.values[0].AsInt(), c.values[0].AsInt());
+    } else {
+      // Unacked batches outlived the crash agent-side and were delivered to
+      // the fresh incarnation within the inner lateness grace.
+      EXPECT_EQ(f.values[0].AsInt(), c.values[0].AsInt())
+          << "window " << f.window_start;
+      EXPECT_DOUBLE_EQ(f.completeness, 1.0) << "window " << f.window_start;
+    }
+  }
+
+  // The restart really produced a fresh incarnation that re-installed the
+  // query and absorbed the retransmits.
+  const std::vector<HostId> chosts = faulted->combiner_hosts();
+  const RegionalCombiner* fresh = faulted->combiner(chosts[1]);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->epoch(), 2u);
+  EXPECT_GT(fresh->stats().batches_absorbed, 0u);
+  EXPECT_GT(SumAgentStat(*faulted, 1, &AgentQueryStats::batches_retransmitted),
+            0u);
+  EXPECT_GT(faulted->transport().TotalFaultStats().dead_host, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Lossy combiner -> central hop: dropped partial envelopes are retransmitted
+// until acked, dropped acks make retransmits race their admission — and the
+// coordinator's per-(combiner, epoch, seq) dedup keeps the merge exactly
+//-once. Counts match the fault-free run bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, LostPartialEnvelopesRetransmitWithoutDoubleCounting) {
+  auto run = [](const FaultPlan& faults) {
+    SystemConfig config = ChaosSystem(61);
+    config.combiner_regions = 1;
+    config.central.allowed_lateness = 5 * kMicrosPerSecond;
+    config.agent.retransmit_backoff = 125 * kMicrosPerMilli;
+    config.faults = faults;
+    auto system = std::make_unique<ScrubSystem>(config);
+    PoissonLoadConfig load;
+    load.requests_per_second = 300;
+    load.duration = 4 * kMicrosPerSecond;
+    system->workload().SchedulePoissonLoad(load);
+    std::vector<ResultRow> rows;
+    // 16 half-second windows: every flush pump past the lateness grace
+    // ships a fresh envelope, so the fault probabilities below fire at
+    // every sweep seed, not just the default.
+    EXPECT_TRUE(system
+                    ->Submit("SELECT COUNT(*) FROM bid WINDOW 500 ms "
+                             "DURATION 8 s;",
+                             [&rows](const ResultRow& r) { rows.push_back(r); })
+                    .ok());
+    system->RunUntil(9 * kMicrosPerSecond);
+    system->Drain();
+    return std::make_pair(std::move(rows), std::move(system));
+  };
+
+  auto [clean_rows, clean] = run(FaultPlan{});
+
+  FaultPlan hostile;
+  hostile.seed = ChaosSeed();
+  hostile.Category(TrafficCategory::kScrubPartials).drop = 0.3;
+  hostile.Category(TrafficCategory::kScrubPartials).duplicate = 0.5;
+  hostile.Category(TrafficCategory::kScrubAcks).drop = 0.3;
+  auto [faulted_rows, faulted] = run(hostile);
+
+  // The fault layer fired on the upstream hop, the combiner retried, and at
+  // least one retransmit raced a lost ack into the coordinator's dedup.
+  EXPECT_GT(faulted->transport()
+                .fault_stats(TrafficCategory::kScrubPartials)
+                .dropped,
+            0u);
+  const std::vector<HostId> chosts = faulted->combiner_hosts();
+  ASSERT_EQ(chosts.size(), 1u);
+  const CombinerStats& cs = faulted->combiner(chosts[0])->stats();
+  EXPECT_GT(cs.envelopes_retransmitted, 0u);
+  ASSERT_NE(faulted->coordinator(), nullptr);
+  EXPECT_GT(faulted->coordinator()->DuplicateBatches(1), 0u);
+
+  // Exactly-once merge: same windows, same counts, whole windows.
+  ASSERT_FALSE(clean_rows.empty());
+  EXPECT_EQ(Counts(faulted_rows), Counts(clean_rows));
+  for (const ResultRow& r : faulted_rows) {
+    EXPECT_GE(r.completeness, 0.99) << "window " << r.window_start;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // The whole point of seeded chaos: an identically-seeded hostile run is
 // bit-identical, faults and all.
 // ---------------------------------------------------------------------------

@@ -111,9 +111,11 @@ std::string RenderRow(const ResultRow& row) {
 }
 
 // Builds and drives one system; returned so the caller can keep its schema
-// registry alive for the oracle replay.
+// registry alive for the oracle replay. `regions` > 0 inserts the regional
+// combiner tier between the agents and central.
 std::unique_ptr<ScrubSystem> RunPipeline(const Combo& combo, bool columnar,
-                                         PipelineRun* out) {
+                                         PipelineRun* out,
+                                         size_t regions = 0) {
   SystemConfig config;
   config.seed = combo.seed;
   config.platform.seed = combo.seed;
@@ -123,6 +125,7 @@ std::unique_ptr<ScrubSystem> RunPipeline(const Combo& combo, bool columnar,
   config.platform.num_campaigns = 3;
   config.platform.line_items_per_campaign = 3;
   config.columnar = columnar;
+  config.combiner_regions = regions;
   // Row and columnar payloads have different sizes; zero out the per-byte
   // transport latency so delivery timing — and therefore the transcripts —
   // can be compared byte-for-byte across pipelines.
@@ -157,7 +160,11 @@ std::unique_ptr<ScrubSystem> RunPipeline(const Combo& combo, bool columnar,
   system->Drain();
 
   // The oracle comparison below assumes nothing was dropped for lateness.
+  // Combiner-handled queries keep their stats at the partial coordinator.
   const CentralQueryStats* stats = system->central().StatsFor(submitted->id);
+  if (stats == nullptr && system->hierarchical()) {
+    stats = system->coordinator()->StatsFor(submitted->id);
+  }
   EXPECT_NE(stats, nullptr);
   if (stats != nullptr) {
     EXPECT_EQ(stats->events_late, 0u);
@@ -165,38 +172,22 @@ std::unique_ptr<ScrubSystem> RunPipeline(const Combo& combo, bool columnar,
   return system;
 }
 
-void RunCombo(const Combo& combo) {
-  SCOPED_TRACE(combo.query);
-
-  // Run the identical workload through both data planes. The columnar
-  // pipeline is not "close to" the row pipeline — it must emit the very
-  // same bytes in the very same order.
-  PipelineRun row_run;
-  PipelineRun col_run;
-  std::unique_ptr<ScrubSystem> row_system;
-  {
-    SCOPED_TRACE("row pipeline");
-    row_system = RunPipeline(combo, /*columnar=*/false, &row_run);
-  }
-  {
-    SCOPED_TRACE("columnar pipeline");
-    RunPipeline(combo, /*columnar=*/true, &col_run);
-  }
-  ASSERT_EQ(row_run.tapped.size(), col_run.tapped.size());
-  EXPECT_EQ(col_run.transcript, row_run.transcript);
-
-  const std::vector<ResultRow>& scrub_rows = row_run.rows;
+// Replays `run`'s tapped ground truth through the naive oracle and checks
+// the pipeline's rows column-by-column under the per-kind checks.
+void CompareToOracle(const Combo& combo, const PipelineRun& run,
+                     const SchemaRegistry& schemas) {
+  const std::vector<ResultRow>& scrub_rows = run.rows;
 
   // Oracle: re-derive the plan the server built (submit time was 0) and
   // replay the tap through the naive executor.
   AnalyzerOptions options;
   Result<AnalyzedQuery> analyzed =
-      ParseAndAnalyze(combo.query, row_system->schemas(), options);
+      ParseAndAnalyze(combo.query, schemas, options);
   ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
-  Result<QueryPlan> plan = PlanQuery(*analyzed, row_run.query_id, 0);
+  Result<QueryPlan> plan = PlanQuery(*analyzed, run.query_id, 0);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   ReferenceExecutor oracle(*analyzed, plan->central);
-  for (const Event& event : row_run.tapped) {
+  for (const Event& event : run.tapped) {
     oracle.Observe(event);
   }
   const std::vector<ResultRow> oracle_rows = oracle.Execute();
@@ -280,6 +271,63 @@ void RunCombo(const Combo& combo) {
           break;
         }
       }
+    }
+  }
+}
+
+void RunCombo(const Combo& combo) {
+  SCOPED_TRACE(combo.query);
+
+  // Run the identical workload through both data planes. The columnar
+  // pipeline is not "close to" the row pipeline — it must emit the very
+  // same bytes in the very same order.
+  PipelineRun row_run;
+  PipelineRun col_run;
+  std::unique_ptr<ScrubSystem> row_system;
+  {
+    SCOPED_TRACE("row pipeline");
+    row_system = RunPipeline(combo, /*columnar=*/false, &row_run);
+  }
+  {
+    SCOPED_TRACE("columnar pipeline");
+    RunPipeline(combo, /*columnar=*/true, &col_run);
+  }
+  ASSERT_EQ(row_run.tapped.size(), col_run.tapped.size());
+  EXPECT_EQ(col_run.transcript, row_run.transcript);
+  CompareToOracle(combo, row_run, row_system->schemas());
+
+  // Whether flat-vs-hierarchical transcripts can be byte-compared: COUNT /
+  // MIN / MAX finals are order-independent bit-for-bit, while SUM / AVG
+  // accumulate floats in a different order across the tier and sketches are
+  // envelope-checked — those still go through the oracle below.
+  AnalyzerOptions options;
+  Result<AnalyzedQuery> analyzed =
+      ParseAndAnalyze(combo.query, row_system->schemas(), options);
+  ASSERT_TRUE(analyzed.ok());
+  Result<QueryPlan> plan = PlanQuery(*analyzed, row_run.query_id, 0);
+  ASSERT_TRUE(plan.ok());
+  bool exact_transcript = true;
+  for (const AggregateSpec& spec : plan->central.aggregates) {
+    if (spec.func != AggregateFunc::kCount &&
+        spec.func != AggregateFunc::kMin &&
+        spec.func != AggregateFunc::kMax) {
+      exact_transcript = false;
+    }
+  }
+
+  // The same combo through the regional combiner tier, at several region
+  // counts (4 regions over 2 DCs exercises multiple combiners per DC).
+  // Every topology must satisfy the oracle; exact-aggregate topologies must
+  // reproduce the flat transcript byte-for-byte.
+  for (const size_t regions : {size_t{1}, size_t{2}, size_t{4}}) {
+    SCOPED_TRACE(StrFormat("hierarchical, %zu regions", regions));
+    PipelineRun hier_run;
+    std::unique_ptr<ScrubSystem> hier_system =
+        RunPipeline(combo, /*columnar=*/false, &hier_run, regions);
+    ASSERT_EQ(hier_run.tapped.size(), row_run.tapped.size());
+    CompareToOracle(combo, hier_run, hier_system->schemas());
+    if (exact_transcript) {
+      EXPECT_EQ(hier_run.transcript, row_run.transcript);
     }
   }
 }

@@ -132,8 +132,12 @@ TEST_F(ShardedDeterminismTest, MoreWorkersThanShardsIsStillDeterministic) {
 // Full ScrubSystem: agent flush fan-out across simulated hosts.
 // ---------------------------------------------------------------------------
 
-std::vector<std::string> RunSystem(size_t workers, double drop_rate,
-                                   bool columnar = true) {
+std::vector<std::string> RunSystem(
+    size_t workers, double drop_rate, bool columnar = true,
+    size_t regions = 0,
+    const char* query =
+        "SELECT bid.user_id, COUNT(*), SUM(bid.bid_price) FROM bid "
+        "GROUP BY bid.user_id WINDOW 1 s DURATION 3 s;") {
   SystemConfig config;
   config.seed = 7;
   config.platform.seed = 7;
@@ -144,6 +148,7 @@ std::vector<std::string> RunSystem(size_t workers, double drop_rate,
   config.platform.line_items_per_campaign = 3;
   config.workers = workers;
   config.columnar = columnar;
+  config.combiner_regions = regions;
   // Row and columnar payloads differ in size; a zero per-byte transport
   // latency keeps delivery timing — and the transcript — comparable across
   // the two pipelines, not just across worker counts.
@@ -159,10 +164,8 @@ std::vector<std::string> RunSystem(size_t workers, double drop_rate,
   load.duration = 3 * kMicrosPerSecond;
   system.workload().SchedulePoissonLoad(load);
   std::vector<std::string> transcript;
-  auto submitted = system.Submit(
-      "SELECT bid.user_id, COUNT(*), SUM(bid.bid_price) FROM bid "
-      "GROUP BY bid.user_id WINDOW 1 s DURATION 3 s;",
-      [&transcript](const ResultRow& row) {
+  auto submitted =
+      system.Submit(query, [&transcript](const ResultRow& row) {
         transcript.push_back(RenderRow(row));
       });
   EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
@@ -217,6 +220,44 @@ TEST(SystemDeterminismTest, PipelinesAgreeByteForByteUnderDrops) {
   for (const size_t workers : {size_t{0}, size_t{1}, size_t{2}, size_t{8}}) {
     EXPECT_EQ(RunSystem(workers, 0.2, /*columnar=*/true), reference)
         << "workers=" << workers;
+  }
+}
+
+TEST(SystemDeterminismTest, HierarchicalTranscriptIdenticalAcrossWorkers) {
+  // The regional combiner tier must keep the worker knob pure: flat and
+  // hierarchical are different row pipelines, but WITHIN the hierarchical
+  // topology every worker count replays the same transcript byte for byte.
+  const std::vector<std::string> reference =
+      RunSystem(0, 0.0, /*columnar=*/true, /*regions=*/2);
+  EXPECT_EQ(RunSystem(2, 0.0, /*columnar=*/true, /*regions=*/2), reference);
+  EXPECT_EQ(RunSystem(8, 0.0, /*columnar=*/true, /*regions=*/2), reference);
+}
+
+TEST(SystemDeterminismTest, HierarchicalTranscriptIdenticalUnderDrops) {
+  // Drops now hit the agent -> combiner hop; combiner dedup plus envelope
+  // sequencing must keep the replay exact for every worker count.
+  const std::vector<std::string> reference =
+      RunSystem(0, 0.2, /*columnar=*/true, /*regions=*/2);
+  EXPECT_EQ(RunSystem(2, 0.2, /*columnar=*/true, /*regions=*/2), reference);
+  EXPECT_EQ(RunSystem(8, 0.2, /*columnar=*/true, /*regions=*/2), reference);
+}
+
+TEST(SystemDeterminismTest, FlatAndHierarchicalAgreeOnExactAggregates) {
+  // COUNT finals are order-independent bit for bit, so the full worker x
+  // topology matrix must collapse onto ONE transcript: flat workers {0,2,8}
+  // and hierarchical {1,2,4} regions x workers {0,2,8} all byte-identical.
+  const char* query =
+      "SELECT bid.user_id, COUNT(*) FROM bid "
+      "GROUP BY bid.user_id WINDOW 1 s DURATION 3 s;";
+  const std::vector<std::string> reference =
+      RunSystem(0, 0.0, /*columnar=*/true, /*regions=*/0, query);
+  for (const size_t workers : {size_t{0}, size_t{2}, size_t{8}}) {
+    EXPECT_EQ(RunSystem(workers, 0.0, true, 0, query), reference)
+        << "flat workers=" << workers;
+    for (const size_t regions : {size_t{1}, size_t{2}, size_t{4}}) {
+      EXPECT_EQ(RunSystem(workers, 0.0, true, regions, query), reference)
+          << "regions=" << regions << " workers=" << workers;
+    }
   }
 }
 

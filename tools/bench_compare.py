@@ -10,16 +10,22 @@ against the committed baseline:
   * the fresh ingest section's columnar speedup over row must hold the
     architectural floor (default 1.5x) — this one is absolute, not relative
     to the baseline, so the columnar data plane can never quietly decay into
-    a wash.
+    a wash;
+  * fleet runs, keyed by topology (flat / hierarchical / *_preagg):
+    central-link bytes and central CPU must not GROW by more than the
+    threshold, and the fresh flat/hierarchical bytes ratio must hold the
+    scaling floor (default 5x) — the combiner tier's reason to exist.
 
-Improvements never fail; configurations present on only one side are
-reported but not fatal (the sweep grid may grow between PRs). Legacy
-baselines (a bare parallel_central document with top-level "runs") are still
-understood.
+Improvements never fail. Configurations present on only one side are FATAL
+in both directions: a section silently missing from the fresh run means the
+bench stopped measuring it (the gate would otherwise pass vacuously), and a
+fresh section with no baseline means BENCH_scrub.json was not regenerated —
+refresh it with tools/bench_run.sh and commit it.
 
 Usage:
     tools/bench_compare.py BASELINE FRESH [--threshold 0.15]
                            [--min-ingest-speedup 1.5]
+                           [--min-fleet-bytes-reduction 5.0]
 """
 
 import argparse
@@ -47,8 +53,8 @@ def ingest_runs(doc):
 
 def ingest_join_runs(doc):
     # The join case nests under ingest.join (added with the executor's
-    # columnar join path); legacy baselines without it yield empty runs and
-    # the gate degrades to NOTEs on the fresh side.
+    # columnar join path). Coverage is fatal in both directions, so a
+    # baseline predating a new section must be regenerated, not ignored.
     section = (doc.get("ingest") or {}).get("join") or {}
     return ({r["pipeline"]: r for r in section.get("runs", [])},
             section.get("speedup_vs_row"))
@@ -71,7 +77,23 @@ def ingest_filter_runs(doc):
             section.get("speedup_vs_legacy"))
 
 
+def gate_coverage(label, baseline, fresh, failures):
+    """Both directions fatal: a configuration the baseline knows must be
+    measured by the fresh run, and a fresh configuration must have a
+    committed baseline (regenerate BENCH_scrub.json)."""
+    for key in sorted(set(baseline) - set(fresh)):
+        line = f"{label} {key}: present in baseline, missing from fresh run"
+        failures.append(line)
+        print("FAIL " + line)
+    for key in sorted(set(fresh) - set(baseline)):
+        line = (f"{label} {key}: new configuration with no baseline — "
+                "refresh BENCH_scrub.json with tools/bench_run.sh")
+        failures.append(line)
+        print("FAIL " + line)
+
+
 def gate_events_per_sec(label, baseline, fresh, threshold, failures):
+    gate_coverage(label, baseline, fresh, failures)
     for key in sorted(baseline):
         base = baseline[key]
         cur = fresh.get(key)
@@ -79,8 +101,7 @@ def gate_events_per_sec(label, baseline, fresh, threshold, failures):
             ("shards", "workers") if isinstance(key, tuple) else ("pipeline",),
             key if isinstance(key, tuple) else (key,)))
         if cur is None:
-            print(f"NOTE {label} {name}: missing from fresh run")
-            continue
+            continue  # already failed by gate_coverage
         base_eps = base["events_per_sec"]
         cur_eps = cur["events_per_sec"]
         delta = (cur_eps - base_eps) / base_eps if base_eps else 0.0
@@ -91,8 +112,52 @@ def gate_events_per_sec(label, baseline, fresh, threshold, failures):
             print("FAIL " + line)
         else:
             print("ok   " + line)
-    for key in sorted(set(fresh) - set(baseline)):
-        print(f"NOTE {label} {key}: new configuration, no baseline")
+
+
+def fleet_runs(doc):
+    section = doc.get("fleet") or {}
+    return ({r["topology"]: r for r in section.get("runs", [])},
+            section.get("bytes_reduction"))
+
+
+def gate_fleet(baseline, fresh, threshold, min_reduction, failures):
+    base_runs, _ = fleet_runs(baseline)
+    fresh_runs, fresh_reduction = fleet_runs(fresh)
+    gate_coverage("fleet", base_runs, fresh_runs, failures)
+    # Bytes and modeled CPU regress UPWARD: gate growth, celebrate shrinkage.
+    for key in sorted(base_runs):
+        cur = fresh_runs.get(key)
+        if cur is None:
+            continue  # already failed by gate_coverage
+        base = base_runs[key]
+        for metric, unit in (("central_link_bytes", "B"),
+                             ("central_cpu_seconds", "s")):
+            base_v = base[metric]
+            cur_v = cur[metric]
+            delta = (cur_v - base_v) / base_v if base_v else 0.0
+            line = (f"fleet {key} {metric}: "
+                    f"{base_v:,.6g} -> {cur_v:,.6g} {unit} ({delta:+.1%})")
+            if delta > threshold:
+                failures.append(line)
+                print("FAIL " + line)
+            else:
+                print("ok   " + line)
+    if fresh_runs:
+        if fresh_reduction is None:
+            line = "fleet: fresh run has no bytes_reduction field"
+            failures.append(line)
+            print("FAIL " + line)
+        else:
+            # Absolute floor, like the ingest speedup: the combiner tier must
+            # keep the central link sublinear in fleet size or the
+            # hierarchical story quietly evaporated.
+            line = (f"fleet flat/hierarchical bytes reduction: "
+                    f"{fresh_reduction:.2f}x (floor {min_reduction:.2f}x)")
+            if fresh_reduction < min_reduction:
+                failures.append(line)
+                print("FAIL " + line)
+            else:
+                print("ok   " + line)
 
 
 def main():
@@ -107,6 +172,10 @@ def main():
     parser.add_argument("--min-filter-speedup", type=float, default=1.05,
                         help="IR-over-legacy floor for the fresh filter "
                              "bench (row path)")
+    parser.add_argument("--min-fleet-bytes-reduction", type=float,
+                        default=5.0,
+                        help="flat-over-hierarchical central-link-bytes "
+                             "floor for the fresh fleet bench")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -147,6 +216,9 @@ def main():
                   f"{unlimited['events_per_sec'] / run['events_per_sec']:.2f}x "
                   f"slower than unlimited "
                   f"({run.get('spilled', 0):,} events spilled, lossless)")
+
+    gate_fleet(baseline, fresh, args.threshold,
+               args.min_fleet_bytes_reduction, failures)
 
     base_filter, _ = ingest_filter_runs(baseline)
     fresh_filter, fresh_filter_speedup = ingest_filter_runs(fresh)

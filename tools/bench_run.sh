@@ -3,7 +3,8 @@
 # (non-sanitized, optimized) tree, runs the parallel-central sweep and the
 # row-vs-columnar ingest microbench, and merges their JSON into one document:
 #
-#   {"bench": "scrub", "parallel_central": {...}, "ingest": {...}}
+#   {"bench": "scrub", "parallel_central": {...}, "ingest": {...},
+#    "fleet": {...}}
 #
 # The committed BENCH_scrub.json is the regression baseline
 # tools/bench_compare.py gates against in tools/check.sh.
@@ -24,26 +25,31 @@ mkdir -p "${BUILD_DIR}"
 cmake -B "${BUILD_DIR}" -S "${REPO}" -DCMAKE_BUILD_TYPE=Release \
   > "${BUILD_DIR}/cmake.log" 2>&1
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-  --target bench_parallel_central bench_ingest \
+  --target bench_parallel_central bench_ingest bench_fleet \
   > "${BUILD_DIR}/build.log" 2>&1
 
 PC_JSON="$(mktemp /tmp/bench_pc.XXXXXX.json)"
 INGEST_JSON="$(mktemp /tmp/bench_ingest.XXXXXX.json)"
-trap 'rm -f "${PC_JSON}" "${INGEST_JSON}"' EXIT
+FLEET_JSON="$(mktemp /tmp/bench_fleet.XXXXXX.json)"
+trap 'rm -f "${PC_JSON}" "${INGEST_JSON}" "${FLEET_JSON}"' EXIT
 
 "${BUILD_DIR}/bench/bench_parallel_central" > "${PC_JSON}"
 "${BUILD_DIR}/bench/bench_ingest" > "${INGEST_JSON}"
+"${BUILD_DIR}/bench/bench_fleet" > "${FLEET_JSON}"
 
-python3 - "${OUT}" "${PC_JSON}" "${INGEST_JSON}" <<'EOF'
+python3 - "${OUT}" "${PC_JSON}" "${INGEST_JSON}" "${FLEET_JSON}" <<'EOF'
 import json
 import sys
 
-out_path, pc_path, ingest_path = sys.argv[1:4]
+out_path, pc_path, ingest_path, fleet_path = sys.argv[1:5]
 with open(pc_path) as f:
     pc = json.load(f)
 with open(ingest_path) as f:
     ingest = json.load(f)
-doc = {"bench": "scrub", "parallel_central": pc, "ingest": ingest}
+with open(fleet_path) as f:
+    fleet = json.load(f)
+doc = {"bench": "scrub", "parallel_central": pc, "ingest": ingest,
+       "fleet": fleet}
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")

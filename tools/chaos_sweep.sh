@@ -10,6 +10,14 @@
 #
 #   SCRUB_CHAOS_SEED=13 build/tests/chaos_test
 #
+# The suite covers both topologies: the flat agent -> central pipeline and
+# the hierarchical regional-combiner tier (two-hop DC partitions, combiner
+# crash/restart across incarnations, lossy partial-envelope links). Set
+# SCRUB_CHAOS_FILTER to a --gtest_filter pattern to sweep a subset, e.g.
+#
+#   SCRUB_CHAOS_FILTER='*Hierarchical*:*Combiner*:*Envelope*' \
+#     tools/chaos_sweep.sh
+#
 # Usage:
 #   tools/chaos_sweep.sh [binary] [first_seed] [last_seed]
 #
@@ -22,6 +30,7 @@ REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BINARY="${1:-${REPO}/build/tests/chaos_test}"
 FIRST="${2:-1}"
 LAST="${3:-20}"
+FILTER="${SCRUB_CHAOS_FILTER:-}"
 
 if [ ! -x "${BINARY}" ]; then
   echo "chaos_sweep: test binary not found: ${BINARY}" >&2
@@ -34,7 +43,8 @@ FAILED_SEEDS=()
 
 for seed in $(seq "${FIRST}" "${LAST}"); do
   log="${LOG_DIR}/chaos_seed_${seed}.log"
-  if SCRUB_CHAOS_SEED="${seed}" "${BINARY}" > "${log}" 2>&1; then
+  if SCRUB_CHAOS_SEED="${seed}" "${BINARY}" \
+      ${FILTER:+--gtest_filter="${FILTER}"} > "${log}" 2>&1; then
     printf 'seed %3d: ok\n' "${seed}"
   else
     printf 'seed %3d: FAILED (log: %s)\n' "${seed}" "${log}"

@@ -81,7 +81,10 @@ fi
 # exercise threads.
 note "TSan build"
 TSAN_DIR="${REPO}/build-tsan"
-TSAN_TESTS="common_test parallel_determinism_test differential_test sharded_central_test chaos_test spill_test"
+# merge_algebra_test and the hierarchical halves of the determinism /
+# differential / chaos suites drive the combiner tier; the worker-pool
+# hierarchical runs are what TSan is here for.
+TSAN_TESTS="common_test parallel_determinism_test differential_test sharded_central_test chaos_test spill_test merge_algebra_test"
 mkdir -p "${TSAN_DIR}"
 if ! cmake -B "${TSAN_DIR}" -S "${REPO}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -127,14 +130,14 @@ else
 fi
 
 # ------------------------------------------------- benchmark regression ------
-note "benchmark suite vs committed baseline (parallel-central + ingest)"
+note "benchmark suite vs committed baseline (parallel-central + ingest + fleet)"
 if [ -f "${REPO}/BENCH_scrub.json" ]; then
   FRESH_BENCH="$(mktemp /tmp/BENCH_scrub.XXXXXX.json)"
   if ! "${REPO}/tools/bench_run.sh" "${FRESH_BENCH}"; then
     fail "benchmark run failed (logs: ${REPO}/build-bench/build.log)"
   elif ! python3 "${REPO}/tools/bench_compare.py" \
         "${REPO}/BENCH_scrub.json" "${FRESH_BENCH}"; then
-    fail "events/sec regressed >15% vs committed BENCH_scrub.json, or the columnar ingest (1.5x) / IR filter (1.05x) speedup floors broke"
+    fail "events/sec regressed >15% vs committed BENCH_scrub.json, or the columnar ingest (1.5x) / IR filter (1.05x) / fleet bytes-reduction (5x) floors broke"
   fi
   rm -f "${FRESH_BENCH}"
 else

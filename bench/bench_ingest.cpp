@@ -8,16 +8,20 @@
 //    selection vector, EncodeColumnBatch / DecodeColumnBatch, per-row fold
 //    straight off the columns (no intermediate Event).
 //
-// Three cases run: "scan" (single-source grouped aggregate, the historical
-// bench), "join" (two sources equi-joined on request id), and "filter"
-// (the agent-flush selection step in isolation). The join case exercises
-// the executor's columnar join path: the probe reads the request-id column
-// directly and an Event materializes only when a row first survives the
-// join — orphans never materialize. The filter case pits the legacy
-// tree-walking conjunct loop against the lowered expression-IR programs on
-// a WHERE with install-time-foldable arithmetic and redundant bounds: the
-// planner folds the constants and prunes the implied conjuncts once, so
-// the per-event program does strictly less work ("speedup_vs_legacy").
+// Cases: "scan" (single-source grouped aggregate, the historical bench),
+// "join" (two sources equi-joined on request id, run as row batches,
+// per-source kColumnar batches, AND the staged kColumnarJoin format whose
+// order bytes carry the arrival interleave), "dict" (a kept low-cardinality
+// string column, gated on the wire-bytes reduction the dictionary encoding
+// buys), and "filter" (the agent-flush selection step in isolation). The
+// join case exercises the executor's columnar join path: the probe reads
+// the request-id column directly and joined tuples fold column-direct
+// through mixed slots — orphans never materialize an Event. The filter
+// case pits the legacy tree-walking conjunct loop against the lowered
+// expression-IR programs on a WHERE with install-time-foldable arithmetic
+// and redundant bounds: the planner folds the constants and prunes the
+// implied conjuncts once, so the per-event program does strictly less work
+// ("speedup_vs_legacy").
 //
 // Both runs of a case must produce the identical result transcript
 // (asserted) — the benchmark measures representation, not semantics. Timing
@@ -184,6 +188,51 @@ Workload JoinWorkload(size_t events_per_batch) {
   return w;
 }
 
+// Low-cardinality string projection: the tag column (4 distinct ~12-byte
+// values) is a group key, so it survives projection onto the wire — where
+// the columnar encoder dictionary-encodes it (4-entry dict + one code byte
+// per row instead of a length-prefixed string per row). The case gates the
+// wire-bytes reduction vs the row pipeline and asserts the dictionary was
+// actually chosen.
+Workload DictWorkload(size_t events_per_batch) {
+  Workload w;
+  w.schemas.push_back(*EventSchema::Builder("bid")
+                           .AddField("user_id", FieldType::kLong)
+                           .AddField("price", FieldType::kDouble)
+                           .AddField("tag", FieldType::kString)
+                           .Build());
+  if (!w.registry.Register(w.schemas[0]).ok()) {
+    std::abort();
+  }
+  w.Plan(
+      "SELECT bid.tag, COUNT(*), SUM(bid.price) FROM bid "
+      "WHERE bid.price > 1.0 GROUP BY bid.tag "
+      "WINDOW 1 s DURATION 60 s;");
+
+  static const char* kTags[] = {"organic_search", "paid_social",
+                                "house_banner", "remnant_fill"};
+  Rng rng(2468);
+  for (int tick = 0; tick < kTicks; ++tick) {
+    for (int host = 0; host < kHosts; ++host) {
+      auto& events = w.stream[static_cast<size_t>(tick)]
+                             [static_cast<size_t>(host)][0];
+      events.reserve(events_per_batch);
+      for (size_t i = 0; i < events_per_batch; ++i) {
+        Event e(w.schemas[0], rng.NextUint64(),
+                tick * kTickMicros +
+                    static_cast<TimeMicros>(rng.NextBelow(
+                        static_cast<uint64_t>(kTickMicros))));
+        e.SetField(0, Value(static_cast<int64_t>(rng.NextBelow(64))));
+        e.SetField(1, Value(rng.NextDouble() * 5));  // ~80% pass > 1.0
+        e.SetField(2, Value(kTags[rng.NextBelow(4)]));
+        events.push_back(std::move(e));
+      }
+      w.total_events += events.size();
+    }
+  }
+  return w;
+}
+
 // The agent-flush selection step with a WHERE full of install-time slack:
 // `4.0 / 2.0` re-divides per event in the tree walk, and the two weaker
 // price bounds are implied by `price > 2`. The IR pipeline folds the
@@ -343,6 +392,9 @@ struct RunResult {
   uint64_t payload_bytes = 0;
   double seconds = 0.0;
   double events_per_sec = 0.0;
+  // Per-field wire encoding of the last columnar flush (EncodeColumnBatch's
+  // convention: -1 dropped/all-null, 0 plain, n > 0 dict with n entries).
+  std::vector<int> encodings;
   // Memory-pressure readings (spill case): the accountant's high-water mark
   // and the spill/shed counters for the bench query.
   size_t state_peak = 0;
@@ -352,14 +404,21 @@ struct RunResult {
   std::vector<std::string> transcript;
 };
 
+// Pipeline under test. kColumnarJoin ships ALL of a (tick, host)'s sources
+// as one kColumnarJoin batch: per-source sections plus the staging order —
+// exactly what the agent's per-source join staging puts on the wire.
+enum class Mode { kRow, kColumnar, kColumnarJoin };
+
 // One full pass of the stream through the chosen pipeline. The returned
-// transcript is the self-check: both representations must emit the same
+// transcript is the self-check: every representation must emit the same
 // rows in the same order.
-RunResult RunOne(const Workload& w, bool columnar, CentralConfig config = {}) {
+RunResult RunOne(const Workload& w, Mode mode, CentralConfig config = {}) {
   config.allowed_lateness = 0;
   ScrubCentral central(&w.registry, config);
   RunResult r;
-  r.pipeline = columnar ? "columnar" : "row";
+  r.pipeline = mode == Mode::kRow ? "row"
+               : mode == Mode::kColumnar ? "columnar"
+                                         : "join_columnar";
   auto sink = [&r](const ResultRow& row) {
     r.transcript.push_back(
         StrFormat("w%lld %s", static_cast<long long>(row.window_start),
@@ -374,6 +433,59 @@ RunResult RunOne(const Workload& w, bool columnar, CentralConfig config = {}) {
   for (int tick = 0; tick < kTicks; ++tick) {
     const TimeMicros now = (tick + 1) * kTickMicros;
     for (int host = 0; host < kHosts; ++host) {
+      if (mode == Mode::kColumnarJoin) {
+        // Stage every source columnar, filter vectorized, then ship the
+        // survivors as one kColumnarJoin batch whose order bytes replay the
+        // row path's fold sequence (all of source 0, then source 1, ...).
+        std::vector<ColumnBatch> staged;
+        std::vector<std::vector<uint32_t>> selections(w.sources.size());
+        for (size_t s = 0; s < w.sources.size(); ++s) {
+          const auto& events = w.stream[static_cast<size_t>(tick)]
+                                       [static_cast<size_t>(host)][s];
+          ColumnBatch cols(w.schemas[s]);
+          cols.Reserve(events.size());
+          for (const Event& e : events) {
+            cols.AppendEvent(e);
+          }
+          selections[s].resize(cols.rows());
+          std::iota(selections[s].begin(), selections[s].end(), 0u);
+          for (const CompiledExpr& conjunct : w.sources[s].conjuncts) {
+            EvalPredicateBatch(conjunct, cols, &selections[s]);
+            if (selections[s].empty()) {
+              break;
+            }
+          }
+          staged.push_back(std::move(cols));
+        }
+        std::vector<ColumnJoinSection> sections;
+        std::vector<uint8_t> order;
+        for (size_t s = 0; s < w.sources.size(); ++s) {
+          if (selections[s].empty()) {
+            continue;
+          }
+          order.insert(order.end(), selections[s].size(),
+                       static_cast<uint8_t>(sections.size()));
+          sections.push_back({&staged[s], selections[s].data(),
+                              selections[s].size(),
+                              &w.sources[s].keep_field});
+        }
+        if (sections.empty()) {
+          continue;
+        }
+        EventBatch batch;
+        batch.query_id = w.central_plan.query_id;
+        batch.host = static_cast<HostId>(host);
+        batch.seq = seq++;
+        batch.format = BatchFormat::kColumnarJoin;
+        batch.event_count = order.size();
+        EncodeColumnJoinBatch(sections, order, &batch.payload);
+        r.shipped += batch.event_count;
+        r.payload_bytes += batch.WireSize();
+        if (!central.IngestBatch(batch, now).ok()) {
+          std::abort();
+        }
+        continue;
+      }
       for (size_t s = 0; s < w.sources.size(); ++s) {
         const HostSourcePlan& sp = w.sources[s];
         const size_t field_count = w.schemas[s]->field_count();
@@ -383,7 +495,7 @@ RunResult RunOne(const Workload& w, bool columnar, CentralConfig config = {}) {
         batch.query_id = w.central_plan.query_id;
         batch.host = static_cast<HostId>(host);
         batch.seq = seq++;
-        if (!columnar) {
+        if (mode == Mode::kRow) {
           // Row data plane: per-event predicate, per-event projection copy.
           std::vector<Event> shipped;
           for (const Event& e : events) {
@@ -425,7 +537,7 @@ RunResult RunOne(const Workload& w, bool columnar, CentralConfig config = {}) {
           batch.format = BatchFormat::kColumnar;
           batch.event_count = selection.size();
           EncodeColumnBatch(cols, selection.data(), selection.size(),
-                            &sp.keep_field, &batch.payload);
+                            &sp.keep_field, &batch.payload, &r.encodings);
         }
         r.shipped += batch.event_count;
         r.payload_bytes += batch.WireSize();
@@ -463,24 +575,62 @@ struct CasePair {
 
 CasePair RunCase(const Workload& w, const char* name) {
   CasePair pair;
-  pair.row = RunOne(w, /*columnar=*/false);
-  pair.col = RunOne(w, /*columnar=*/true);
+  pair.row = RunOne(w, Mode::kRow);
+  pair.col = RunOne(w, Mode::kColumnar);
   if (pair.row.transcript != pair.col.transcript) {
     std::fprintf(stderr, "%s pipelines diverged: %zu vs %zu rows\n", name,
                  pair.row.transcript.size(), pair.col.transcript.size());
     std::exit(1);
   }
   for (int rep = 1; rep < 3; ++rep) {
-    RunResult again = RunOne(w, /*columnar=*/false);
+    RunResult again = RunOne(w, Mode::kRow);
     if (again.seconds < pair.row.seconds) {
       pair.row = std::move(again);
     }
-    again = RunOne(w, /*columnar=*/true);
+    again = RunOne(w, Mode::kColumnar);
     if (again.seconds < pair.col.seconds) {
       pair.col = std::move(again);
     }
   }
   return pair;
+}
+
+// The join case runs three representations: row batches, per-source
+// kColumnar batches (the lazy-probe legacy), and the kColumnarJoin staged
+// format. All three transcripts must be byte-identical.
+struct JoinCase {
+  RunResult row;
+  RunResult col;
+  RunResult join_col;
+};
+
+JoinCase RunJoinCase(const Workload& w) {
+  JoinCase out;
+  out.row = RunOne(w, Mode::kRow);
+  out.col = RunOne(w, Mode::kColumnar);
+  out.join_col = RunOne(w, Mode::kColumnarJoin);
+  if (out.row.transcript != out.col.transcript ||
+      out.row.transcript != out.join_col.transcript) {
+    std::fprintf(stderr, "join pipelines diverged: %zu / %zu / %zu rows\n",
+                 out.row.transcript.size(), out.col.transcript.size(),
+                 out.join_col.transcript.size());
+    std::exit(1);
+  }
+  for (int rep = 1; rep < 3; ++rep) {
+    RunResult again = RunOne(w, Mode::kRow);
+    if (again.seconds < out.row.seconds) {
+      out.row = std::move(again);
+    }
+    again = RunOne(w, Mode::kColumnar);
+    if (again.seconds < out.col.seconds) {
+      out.col = std::move(again);
+    }
+    again = RunOne(w, Mode::kColumnarJoin);
+    if (again.seconds < out.join_col.seconds) {
+      out.join_col = std::move(again);
+    }
+  }
+  return out;
 }
 
 // Memory-pressure case: the columnar pipeline over a high-cardinality
@@ -500,7 +650,7 @@ SpillCaseResult RunSpillCase(const Workload& w) {
   // to learn the unbounded working set.
   CentralConfig tracked;
   tracked.track_state_bytes = true;
-  const RunResult calibration = RunOne(w, /*columnar=*/true, tracked);
+  const RunResult calibration = RunOne(w, Mode::kColumnar, tracked);
   out.working_set = calibration.state_peak;
 
   struct Tier {
@@ -516,9 +666,9 @@ SpillCaseResult RunSpillCase(const Workload& w) {
     if (tier.budget > 0) {
       config.spill_dir = "/tmp/scrub_bench_spill";
     }
-    RunResult best = RunOne(w, /*columnar=*/true, config);
+    RunResult best = RunOne(w, Mode::kColumnar, config);
     for (int rep = 1; rep < 3; ++rep) {
-      RunResult again = RunOne(w, /*columnar=*/true, config);
+      RunResult again = RunOne(w, Mode::kColumnar, config);
       if (again.seconds < best.seconds) {
         best = std::move(again);
       }
@@ -560,12 +710,22 @@ int Main(int argc, char** argv) {
       argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 1024;
   const Workload scan = ScanWorkload(events_per_batch);
   const Workload join = JoinWorkload(events_per_batch);
+  const Workload dict = DictWorkload(events_per_batch);
   const Workload filter = FilterWorkload(events_per_batch);
   const Workload spill = ScanWorkload(events_per_batch, /*cardinality=*/2048);
 
   const CasePair scan_pair = RunCase(scan, "scan");
-  const CasePair join_pair = RunCase(join, "join");
+  const JoinCase join_case = RunJoinCase(join);
+  const CasePair dict_pair = RunCase(dict, "dict");
   const SpillCaseResult spill_case = RunSpillCase(spill);
+
+  // The dict case only means something if the dictionary actually fired on
+  // the kept string column (field 2, "tag").
+  if (dict_pair.col.encodings.size() != 3 ||
+      dict_pair.col.encodings[2] <= 0) {
+    std::fprintf(stderr, "dict case: tag column was not dict-encoded\n");
+    std::exit(1);
+  }
 
   const FilterResult f_legacy_row = BestFilter(filter, false, false);
   const FilterResult f_ir_row = BestFilter(filter, true, false);
@@ -607,11 +767,35 @@ int Main(int argc, char** argv) {
   out += "    \"query\": \"bid x impression equi-join on request id, "
          "grouped COUNT/SUM\",\n";
   out += "    \"runs\": [\n";
-  out += RunsJson(join_pair, "      ");
+  const RunResult* join_results[] = {&join_case.row, &join_case.col,
+                                     &join_case.join_col};
+  for (const RunResult* r : join_results) {
+    out += StrFormat(
+        "      {\"pipeline\": \"%s\", \"events\": %llu, \"shipped\": %llu, "
+        "\"payload_bytes\": %llu, \"seconds\": %.6f, "
+        "\"events_per_sec\": %.0f}%s\n",
+        r->pipeline.c_str(), static_cast<unsigned long long>(r->events),
+        static_cast<unsigned long long>(r->shipped),
+        static_cast<unsigned long long>(r->payload_bytes), r->seconds,
+        r->events_per_sec, r == &join_case.join_col ? "" : ",");
+  }
   out += "    ],\n";
+  // The gated figure: the staged kColumnarJoin pipeline over the row
+  // pipeline, end to end.
   out += StrFormat("    \"speedup_vs_row\": %.3f\n",
-                   join_pair.col.events_per_sec /
-                       join_pair.row.events_per_sec);
+                   join_case.join_col.events_per_sec /
+                       join_case.row.events_per_sec);
+  out += "  },\n";
+  out += "  \"dict\": {\n";
+  out += "    \"query\": \"grouped COUNT/SUM keyed by a 4-value string "
+         "column: the kept tag ships as a dictionary + code bytes\",\n";
+  out += "    \"runs\": [\n";
+  out += RunsJson(dict_pair, "      ");
+  out += "    ],\n";
+  out += StrFormat("    \"dict_entries\": %d,\n", dict_pair.col.encodings[2]);
+  out += StrFormat("    \"wire_bytes_reduction\": %.3f\n",
+                   static_cast<double>(dict_pair.row.payload_bytes) /
+                       static_cast<double>(dict_pair.col.payload_bytes));
   out += "  },\n";
   out += "  \"spill\": {\n";
   out += "    \"query\": \"grouped scan over 2048 keys/window at state "

@@ -17,11 +17,16 @@ void ScrubAgent::InstallQuery(const HostPlan& plan) {
   }
   auto [it, inserted] = queries_.emplace(
       plan.query_id, ActiveQuery(plan, config_.staging_capacity));
-  // Joins stay on the row path even in columnar mode: a single interleaved
-  // staging stream is what keeps the central join's arrival order identical
-  // across pipelines.
-  it->second.use_columns =
-      config_.columnar && plan.sources.size() == 1 && !plan.preaggregate;
+  // Joins stage columnar too: one batch per source plus the explicit
+  // arrival-order interleave (kColumnarJoin), which is what keeps the
+  // central join's fold order identical across pipelines. The wire format
+  // caps the per-batch section count, so wider joins keep the row path.
+  it->second.use_columns = config_.columnar && !plan.preaggregate &&
+                           plan.sources.size() <= kMaxColumnJoinSections;
+  it->second.stats.columnar_staging = it->second.use_columns;
+  for (const HostSourcePlan& sp : plan.sources) {
+    it->second.stats.source_types.push_back(sp.event_type);
+  }
 }
 
 void ScrubAgent::RemoveQuery(QueryId query_id) {
@@ -155,16 +160,20 @@ int64_t ScrubAgent::LogEventImpl(const Event& event, Event* owned) {
       continue;
     }
 
-    // Columnar path: append the sampled event to the per-query column
+    // Columnar path: append the sampled event to its source's column
     // builder and defer selection + projection to the vectorized flush
     // pre-pass. Only the enqueue cost is paid at log() time; the predicate
     // and projection charges move to flush, where the work actually runs.
     if (q.use_columns) {
       ns += c.enqueue_ns;
-      if (q.columns == nullptr) {
-        q.columns = std::make_unique<ColumnBatch>(event.schema());
+      const size_t si = static_cast<size_t>(sp - q.plan.sources.data());
+      if (q.columns.empty()) {
+        q.columns.resize(q.plan.sources.size());
       }
-      if (q.columns->rows() >= config_.staging_capacity) {
+      if (q.columns[si] == nullptr) {
+        q.columns[si] = std::make_unique<ColumnBatch>(event.schema());
+      }
+      if (StagedColumnRows(q) >= config_.staging_capacity) {
         ++q.stats.events_dropped;
         CountShed(q, ts);
       } else if (staging_accountant_.active() &&
@@ -176,7 +185,10 @@ int64_t ScrubAgent::LogEventImpl(const Event& event, Event* owned) {
         ++q.stats.events_dropped;
         CountShed(q, ts);
       } else {
-        q.columns->AppendEvent(event);
+        q.columns[si]->AppendEvent(event);
+        if (q.plan.sources.size() > 1) {
+          q.staging_order.push_back(static_cast<uint8_t>(si));
+        }
       }
       continue;
     }
@@ -231,16 +243,25 @@ void ScrubAgent::HoldForRetransmit(ActiveQuery& q, QueryId query_id,
   }
 }
 
+size_t ScrubAgent::StagedColumnRows(const ActiveQuery& q) const {
+  size_t rows = 0;
+  for (const std::unique_ptr<ColumnBatch>& b : q.columns) {
+    rows += b == nullptr ? 0 : b->rows();
+  }
+  return rows;
+}
+
 void ScrubAgent::FlushColumns(QueryId query_id, ActiveQuery& q,
                               TimeMicros now,
                               std::vector<EventBatch>* batches) {
-  if (q.columns == nullptr || q.columns->rows() == 0) {
+  if (q.columns.empty() || q.columns[0] == nullptr ||
+      q.columns[0]->rows() == 0) {
     return;
   }
   const CostModel& c = config_.costs;
   const HostSourcePlan& sp = q.plan.sources[0];
-  ColumnBatch cols = std::move(*q.columns);
-  *q.columns = ColumnBatch(cols.schema());
+  ColumnBatch cols = std::move(*q.columns[0]);
+  *q.columns[0] = ColumnBatch(cols.schema());
 
   // Vectorized selection: each conjunct compacts the selection vector, the
   // batch twin of the row path's per-event short-circuit loop — and the
@@ -279,11 +300,154 @@ void ScrubAgent::FlushColumns(QueryId query_id, ActiveQuery& q,
     batch.epoch = epoch_;
     batch.format = BatchFormat::kColumnar;
     batch.event_count = n;
+    if (q.stats.last_encodings.empty()) {
+      q.stats.last_encodings.resize(1);
+    }
     EncodeColumnBatch(cols, selection.data() + start, n, &sp.keep_field,
-                      &batch.payload);
+                      &batch.payload, &q.stats.last_encodings[0]);
     q.stats.events_shipped += n;
     // Counters ride with the first batch of the flush (same contract as the
     // row path; a counters-only flush falls through to the row drain loop).
+    if (start == 0 && !q.pending_counters.empty()) {
+      for (auto& [window_start, counter] : q.pending_counters) {
+        batch.counters.push_back(counter);
+      }
+      q.pending_counters.clear();
+    }
+    meter_->ChargeScrub(static_cast<int64_t>(batch.payload.size()) *
+                        c.serialize_per_byte_ns);
+    ++q.stats.batches_sent;
+    HoldForRetransmit(q, query_id, batch, now);
+    batches->push_back(std::move(batch));
+  }
+}
+
+void ScrubAgent::FlushColumnJoin(QueryId query_id, ActiveQuery& q,
+                                 TimeMicros now,
+                                 std::vector<EventBatch>* batches) {
+  if (q.staging_order.empty()) {
+    return;
+  }
+  const CostModel& c = config_.costs;
+  const size_t num_sources = q.plan.sources.size();
+  std::vector<std::unique_ptr<ColumnBatch>> staged = std::move(q.columns);
+  q.columns.clear();
+  std::vector<uint8_t> order = std::move(q.staging_order);
+  q.staging_order.clear();
+
+  // Per-source vectorized selection, with the same charge pattern as the
+  // single-source pre-pass: a conjunct is charged only for the rows that
+  // reached it, projection per surviving row.
+  int64_t ns = 0;
+  std::vector<std::vector<bool>> survived(num_sources);
+  for (size_t si = 0; si < num_sources; ++si) {
+    if (staged[si] == nullptr || staged[si]->rows() == 0) {
+      continue;
+    }
+    const HostSourcePlan& sp = q.plan.sources[si];
+    ColumnBatch& cols = *staged[si];
+    std::vector<uint32_t> selection(cols.rows());
+    std::iota(selection.begin(), selection.end(), 0U);
+    if (sp.never_matches) {
+      selection.clear();
+    }
+    for (const ExprProgram& program : sp.programs) {
+      if (selection.empty()) {
+        break;
+      }
+      ns += c.predicate_term_ns * static_cast<int64_t>(program.insts.size()) *
+            static_cast<int64_t>(selection.size());
+      EvalProgramPredicateBatch(program, cols, &selection);
+    }
+    q.stats.events_filtered += cols.rows() - selection.size();
+    q.stats.events_staged += selection.size();
+    ns += c.projection_per_field_ns * sp.kept_fields *
+          static_cast<int64_t>(selection.size());
+    survived[si].assign(cols.rows(), false);
+    for (const uint32_t r : selection) {
+      survived[si][r] = true;
+    }
+  }
+  meter_->ChargeScrub(ns);
+
+  // Walk the arrival interleave once: surviving events keep their original
+  // order, which is exactly the sequence the row path's single staging
+  // buffer would have drained.
+  struct Arrival {
+    uint8_t source;
+    uint32_t row;
+  };
+  std::vector<Arrival> arrivals;
+  std::vector<uint32_t> cursor(num_sources, 0);
+  for (const uint8_t s : order) {
+    const uint32_t r = cursor[s]++;
+    if (!survived[s].empty() && survived[s][r]) {
+      arrivals.push_back({s, r});
+    }
+  }
+
+  if (!arrivals.empty()) {
+    // Reset only when this flush ships data, so a trailing empty drain
+    // does not wipe the "most recent shipped encodings" report.
+    q.stats.last_encodings.assign(num_sources, {});
+  }
+  for (size_t start = 0; start < arrivals.size();
+       start += config_.max_batch_events) {
+    const size_t n =
+        std::min(config_.max_batch_events, arrivals.size() - start);
+    // Per-source row lists for this chunk. Rows within a source are in row
+    // order (arrival order restricted to the source), so each section is a
+    // plain ascending selection.
+    std::vector<std::vector<uint32_t>> chunk_rows(num_sources);
+    for (size_t i = 0; i < n; ++i) {
+      chunk_rows[arrivals[start + i].source].push_back(
+          arrivals[start + i].row);
+    }
+    // Sections carry only the sources present in this chunk, in plan order;
+    // the order bytes index sections. Central re-identifies each section's
+    // source by its schema type name, the same way the row path classifies
+    // interleaved events.
+    std::vector<ColumnJoinSection> sections;
+    std::vector<int> section_of(num_sources, -1);
+    for (size_t si = 0; si < num_sources; ++si) {
+      if (chunk_rows[si].empty()) {
+        continue;
+      }
+      section_of[si] = static_cast<int>(sections.size());
+      ColumnJoinSection section;
+      section.batch = staged[si].get();
+      section.selection = chunk_rows[si].data();
+      section.selected = chunk_rows[si].size();
+      section.keep_field = &q.plan.sources[si].keep_field;
+      sections.push_back(section);
+    }
+    std::vector<uint8_t> chunk_order(n);
+    for (size_t i = 0; i < n; ++i) {
+      chunk_order[i] =
+          static_cast<uint8_t>(section_of[arrivals[start + i].source]);
+    }
+
+    EventBatch batch;
+    batch.query_id = query_id;
+    batch.host = host_;
+    batch.seq = ++next_seq_[query_id];
+    batch.epoch = epoch_;
+    batch.format = BatchFormat::kColumnarJoin;
+    batch.event_count = n;
+    std::vector<std::vector<int>> encodings;
+    EncodeColumnJoinBatch(sections, chunk_order, &batch.payload, &encodings);
+    {
+      size_t section = 0;
+      for (size_t si = 0; si < num_sources; ++si) {
+        if (section_of[si] >= 0) {
+          q.stats.last_encodings[si] = std::move(encodings[section++]);
+        }
+      }
+    }
+    q.stats.events_shipped += n;
+    // Counters ride with the first batch of the flush (same contract as the
+    // other paths; a counters-only flush falls through to the row drain
+    // loop).
     if (start == 0 && !q.pending_counters.empty()) {
       for (auto& [window_start, counter] : q.pending_counters) {
         batch.counters.push_back(counter);
@@ -419,7 +583,11 @@ std::vector<EventBatch> ScrubAgent::Flush(TimeMicros now,
     // counters (heartbeats, zero-survivor flushes) drain through the row
     // loop below as a counters-only batch.
     if (q.use_columns) {
-      FlushColumns(it->first, q, now, &batches);
+      if (q.plan.sources.size() > 1) {
+        FlushColumnJoin(it->first, q, now, &batches);
+      } else {
+        FlushColumns(it->first, q, now, &batches);
+      }
     }
     // Pre-aggregating queries ship their accumulated delta cells; same
     // leftover-counter contract as the columnar path.

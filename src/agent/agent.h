@@ -109,11 +109,13 @@ struct AgentConfig {
   // per in-span query, so ScrubCentral can tell "host reachable, nothing to
   // report" from "host silent" — the basis of completeness accounting.
   bool flush_heartbeats = false;
-  // Columnar data plane: single-source queries stage events in a per-query
-  // ColumnBatch and run selection/projection vectorized at flush time,
-  // shipping the columnar wire format. Joins (and row-mode agents) keep the
-  // per-event row path. Off by default so hand-built unit-test agents see
-  // the historical row behavior; ScrubSystem propagates its pipeline switch.
+  // Columnar data plane: queries stage events in per-source ColumnBatches
+  // and run selection/projection vectorized at flush time. Single-source
+  // queries ship the columnar wire format; joins ship one columnar section
+  // per source plus the explicit arrival-order interleave (kColumnarJoin),
+  // so the central join replays the exact event sequence the row path would
+  // have shipped. Off by default so hand-built unit-test agents see the
+  // historical row behavior; ScrubSystem propagates its pipeline switch.
   bool columnar = false;
   CostModel costs;
 };
@@ -132,6 +134,16 @@ struct AgentQueryStats {
   uint64_t batches_expired = 0;       // retransmit budget spent, shed
   uint64_t batches_evicted = 0;       // retransmit buffer overflow, shed
   uint64_t events_abandoned = 0;      // events in shed batches
+  // Per-source, per-field wire encoding chosen by the most recent columnar
+  // flush that shipped data (EncodeColumnBatch's convention: -1 dropped or
+  // all-null, 0 plain, n > 0 dictionary with n entries). Empty until a
+  // columnar flush ships; row-path and pre-agg queries never fill it.
+  std::vector<std::vector<int>> last_encodings;
+  // Staging shape, fixed at install: whether this query stages columnar
+  // and the plan-ordered source event types. Lives in the stats (not the
+  // ActiveQuery) so DescribeQuery can still render it after teardown.
+  bool columnar_staging = false;
+  std::vector<std::string> source_types;
 };
 
 class ScrubAgent {
@@ -198,7 +210,17 @@ class ScrubAgent {
     // projection run vectorized at flush. Lazily created from the first
     // matching event's schema (the agent holds no SchemaRegistry).
     bool use_columns = false;
-    std::unique_ptr<ColumnBatch> columns;
+    // One staging batch per plan source (lazily sized to plan.sources, each
+    // batch lazily created from its first matching event's schema — the
+    // agent holds no SchemaRegistry). Single-source plans use slot 0; joins
+    // stage every source and record the arrival interleave in
+    // `staging_order` so the central join replays the row path's exact
+    // event sequence.
+    std::vector<std::unique_ptr<ColumnBatch>> columns;
+    // Source index of each column-staged event, in arrival order. Only
+    // maintained for multi-source plans (a single source's arrival order is
+    // its batch's row order).
+    std::vector<uint8_t> staging_order;
     // Counter deltas keyed by window start, flushed incrementally.
     std::map<TimeMicros, WindowCounter> pending_counters;
     // Pre-aggregation path (plan.preaggregate): selected events fold into
@@ -236,10 +258,22 @@ class ScrubAgent {
   void StageRow(ActiveQuery& q, const HostSourcePlan& sp, const Event& event,
                 Event* owned);
 
-  // Vectorized flush pre-pass for a columnar query: filter + project the
-  // staged ColumnBatch and append the resulting wire batches to `batches`.
+  // Vectorized flush pre-pass for a single-source columnar query: filter +
+  // project the staged ColumnBatch and append the resulting wire batches to
+  // `batches`.
   void FlushColumns(QueryId query_id, ActiveQuery& q, TimeMicros now,
                     std::vector<EventBatch>* batches);
+
+  // Join twin of FlushColumns: per-source vectorized selection, then the
+  // surviving events are chunked in arrival order (per staging_order) into
+  // kColumnarJoin batches carrying one columnar section per source plus the
+  // interleave, so the chunk boundaries and the central fold order are
+  // byte-identical to the row path's single interleaved staging stream.
+  void FlushColumnJoin(QueryId query_id, ActiveQuery& q, TimeMicros now,
+                       std::vector<EventBatch>* batches);
+
+  // Total rows staged across a columnar query's per-source batches.
+  size_t StagedColumnRows(const ActiveQuery& q) const;
 
   // Pre-aggregation path: folds one selected event into its slot's delta
   // cells (returns the CPU charged), and flushes the accumulated deltas as

@@ -130,6 +130,18 @@ Status ScrubCentral::IngestColumns(QueryId query_id, HostId host,
   return OkStatus();
 }
 
+Status ScrubCentral::IngestJoinColumns(QueryId query_id, HostId host,
+                                       const ColumnJoinSlice& slice) {
+  const auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return OkStatus();  // raced teardown, mirror IngestBatch
+  }
+  QueryState& q = it->second;
+  ++q.stats.batches;
+  executor_.FoldColumnJoin(q, host, slice);
+  return OkStatus();
+}
+
 void ScrubCentral::OnTick(TimeMicros now) {
   std::vector<QueryId> to_retire;
   for (auto& [qid, q] : queries_) {

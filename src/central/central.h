@@ -79,6 +79,13 @@ class ScrubCentral {
                        std::shared_ptr<const ColumnBatch> batch,
                        const uint32_t* selection, size_t selected);
 
+  // Join twin of IngestColumns: folds a multi-source columnar slice (per-
+  // source sections plus the agent's staging interleave) in the exact order
+  // the rows were staged, so the join transcript is byte-identical to the
+  // interleaved row stream. Same concurrency contract as IngestEvents.
+  Status IngestJoinColumns(QueryId query_id, HostId host,
+                           const ColumnJoinSlice& slice);
+
   // Closes windows whose grace period has passed; retires queries whose span
   // plus grace has passed. Call periodically from the scheduler.
   void OnTick(TimeMicros now);

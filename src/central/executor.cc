@@ -264,6 +264,31 @@ Status Executor::DecodeAndFold(QueryState& q, HostId host,
                                       /*selected=*/0));
     return OkStatus();
   }
+  if (batch.format == BatchFormat::kColumnarJoin) {
+    Result<ColumnJoinBatch> join =
+        DecodeColumnJoinBatch(*registry_, batch.payload);
+    if (!join.ok()) {
+      return join.status();
+    }
+    // Sections are shared for the same reason as single-source columnar
+    // batches: deferred join entries may outlive the fold.
+    ColumnJoinSlice slice;
+    slice.sections.reserve(join->sections.size());
+    for (ColumnBatch& section : join->sections) {
+      slice.sections.push_back(
+          std::make_shared<const ColumnBatch>(std::move(section)));
+    }
+    slice.order = std::move(join->order);
+    // The interleave consumes each section's rows in order, so position i's
+    // row is its section's running count.
+    slice.rows.resize(slice.order.size());
+    std::vector<uint32_t> cursor(slice.sections.size(), 0);
+    for (size_t i = 0; i < slice.order.size(); ++i) {
+      slice.rows[i] = cursor[slice.order[i]]++;
+    }
+    FoldColumnJoin(q, host, slice);
+    return OkStatus();
+  }
   Result<std::vector<Event>> events = DecodeBatch(*registry_, batch.payload);
   if (!events.ok()) {
     return events.status();
@@ -313,6 +338,22 @@ void Executor::FoldPreAgg(QueryState& q, HostId host,
   }
 }
 
+void Executor::FoldColumnJoin(QueryState& q, HostId host,
+                              const ColumnJoinSlice& slice) {
+  size_t i = 0;
+  while (i < slice.order.size()) {
+    const uint8_t s = slice.order[i];
+    size_t j = i + 1;
+    while (j < slice.order.size() && slice.order[j] == s) {
+      ++j;
+    }
+    Fold(q, host,
+         InputChunk::Columns(slice.sections[s], slice.rows.data() + i,
+                             j - i));
+    i = j;
+  }
+}
+
 void Executor::Fold(QueryState& q, HostId host, const InputChunk& chunk) {
   // A columnar chunk carries one schema, so the join's source index resolves
   // once per chunk; row spans may mix types and resolve per event.
@@ -326,6 +367,38 @@ void Executor::Fold(QueryState& q, HostId host, const InputChunk& chunk) {
       }
     }
   }
+  // Non-join columnar chunks precompute the group-key / aggregate-argument
+  // programs in one vectorized pass per program (FoldColumns). Pure
+  // computation, so the transcript is identical with or without it.
+  ChunkEvalCache cache;
+  const ChunkEvalCache* cache_ptr = nullptr;
+  if (chunk.columnar() && !q.plan.is_join()) {
+    std::vector<const ExprProgram*> programs;
+    const auto add = [&](const ExprProgram& p) {
+      if (cache.index.emplace(&p, programs.size()).second) {
+        programs.push_back(&p);
+      }
+    };
+    if (q.plan.aggregate_mode) {
+      for (const ExprProgram& g : q.plan.group_by_programs) {
+        add(g);
+      }
+      for (const AggregateSpec& spec : q.plan.aggregates) {
+        if (spec.has_arg) {
+          add(spec.arg_program);
+        }
+      }
+    } else {
+      for (const ExprProgram& e : q.plan.raw_select_programs) {
+        add(e);
+      }
+    }
+    if (!programs.empty()) {
+      FoldColumns(programs, *chunk.columns, chunk.selection, chunk.size(),
+                  &cache.folded);
+      cache_ptr = &cache;
+    }
+  }
   const size_t n = chunk.size();
   for (size_t i = 0; i < n; ++i) {
     meter_->ChargeScrub(config_->costs.central_ingest_ns);
@@ -337,13 +410,14 @@ void Executor::Fold(QueryState& q, HostId host, const InputChunk& chunk) {
       continue;
     }
     for (WindowState* w : windows) {
-      FoldInto(q, *w, chunk, i, column_source, host);
+      FoldInto(q, *w, chunk, i, column_source, host, cache_ptr);
     }
   }
 }
 
 void Executor::FoldInto(QueryState& q, WindowState& w, const InputChunk& chunk,
-                        size_t i, int column_source, HostId host) {
+                        size_t i, int column_source, HostId host,
+                        const ChunkEvalCache* cache) {
   if (!w.replaying) {
     ++w.input_events;  // fidelity denominator: folded, deferred, or shed
     if (w.shedding) {
@@ -378,12 +452,17 @@ void Executor::FoldInto(QueryState& q, WindowState& w, const InputChunk& chunk,
           q.pipeline.bounded_aggregates[b])];
       double v = 1.0;  // COUNT: indicator reading
       if (spec.func == AggregateFunc::kSum) {
-        const Value arg = EvalProgramColumns(spec.arg_program, batch, row);
+        const Value* cached =
+            cache != nullptr ? cache->Lookup(spec.arg_program, i) : nullptr;
+        const Value arg = cached != nullptr
+                              ? *cached
+                              : EvalProgramColumns(spec.arg_program, batch,
+                                                   row);
         v = arg.is_numeric() ? arg.AsNumber() : 0.0;
       }
       hs.readings[b].Add(v);
     }
-    GroupFoldColumn(q, w, batch, row, host);
+    GroupFoldColumn(q, w, batch, row, host, cache, i);
     return;
   }
 
@@ -540,19 +619,32 @@ void Executor::JoinFold(QueryState& q, WindowState& w, const InputChunk& chunk,
           ? JoinEntry(chunk.columns, static_cast<uint32_t>(chunk.row(i)))
           : JoinEntry((*chunk.events)[i]);
   // Probe the other side(s) before inserting: new tuples are exactly the
-  // cross product of this event with previously arrived partners.
+  // cross product of this event with previously arrived partners. Joined
+  // tuples fold through mixed slots, so a columnar side never materializes
+  // an Event: its slot points straight into the decoded batch.
+  std::vector<TupleSlot> slots(q.plan.sources.size());
+  TupleSlot& self_slot = slots[static_cast<size_t>(source)];
+  if (chunk.columnar()) {
+    self_slot.batch = chunk.columns.get();
+    self_slot.row = static_cast<uint32_t>(chunk.row(i));
+  } else {
+    self_slot.event = &(*chunk.events)[i];
+  }
   for (size_t other = 0; other < per_request.size(); ++other) {
     if (static_cast<int>(other) == source) {
       continue;
     }
     for (JoinEntry& e2 : per_request[other]) {
       meter_->ChargeScrub(config_->costs.central_join_probe_ns);
-      EventTuple tuple(q.plan.sources.size(), nullptr);
-      tuple[static_cast<size_t>(source)] = &self.Materialize();
-      tuple[other] = &e2.Materialize();
+      if (e2.columns != nullptr) {
+        slots[other] = TupleSlot{nullptr, e2.columns.get(), e2.row};
+      } else {
+        slots[other] = TupleSlot{&e2.event, nullptr, 0};
+      }
       ++q.stats.tuples_joined;
-      GroupFoldTuple(q, w, tuple, host);
+      GroupFoldMixed(q, w, slots, host);
     }
+    slots[other] = TupleSlot{};  // absent again for the next partner source
   }
   if (track) {
     ChargeState(q, w, kJoinEntryBytes + LogicalEventSize(chunk, i));
@@ -560,8 +652,14 @@ void Executor::JoinFold(QueryState& q, WindowState& w, const InputChunk& chunk,
   per_request[static_cast<size_t>(source)].push_back(std::move(self));
 }
 
-void Executor::GroupFoldTuple(QueryState& q, WindowState& w,
-                              const EventTuple& tuple, HostId host) {
+// The one group-fold body. Every tuple representation — row EventTuple,
+// columnar (batch, row), mixed join slots — funnels through here with its
+// own `eval`, so the raw-emission path, group creation and accounting, the
+// Eq. 1-3 readings, and the null-skip aggregate update cannot drift between
+// representations.
+template <typename EvalFn>
+void Executor::GroupFoldWith(QueryState& q, WindowState& w, HostId host,
+                             EvalFn&& eval) {
   const CentralPlan& plan = q.plan;
   if (!plan.aggregate_mode) {
     // Project operator: raw rows render and emit eagerly.
@@ -571,7 +669,7 @@ void Executor::GroupFoldTuple(QueryState& q, WindowState& w,
     row.window_end = w.start + plan.window_micros;
     row.values.reserve(plan.raw_select_programs.size());
     for (const ExprProgram& e : plan.raw_select_programs) {
-      row.values.push_back(EvalProgram(e, tuple));
+      row.values.push_back(eval(e));
     }
     row.error_bounds.assign(row.values.size(), 0.0);
     ++q.stats.rows_emitted;
@@ -582,51 +680,7 @@ void Executor::GroupFoldTuple(QueryState& q, WindowState& w,
   GroupKey key;
   key.reserve(plan.group_by_programs.size());
   for (const ExprProgram& g : plan.group_by_programs) {
-    key.push_back(EvalProgram(g, tuple));
-  }
-  HashedGroupKey hk(std::move(key));
-  const bool track = accountant_ != nullptr && accountant_->active();
-  const size_t creation_bytes =
-      track ? GroupCreationBytes(*config_, plan, hk.key) : 0;
-  GroupState& group = w.groups[std::move(hk)];
-  if (group.accumulators.empty()) {
-    group.accumulators.resize(plan.aggregates.size());
-    if (track) {
-      ChargeState(q, w, creation_bytes);
-    }
-  }
-  CollectGroupReadings(q, &group, host, [&](const ExprProgram& e) {
-    return EvalProgram(e, tuple);
-  });
-  for (size_t i = 0; i < plan.aggregates.size(); ++i) {
-    meter_->ChargeScrub(config_->costs.central_group_update_ns);
-    UpdateAccumulator(plan.aggregates[i], &group.accumulators[i], tuple);
-  }
-}
-
-void Executor::GroupFoldColumn(QueryState& q, WindowState& w,
-                               const ColumnBatch& batch, size_t row,
-                               HostId host) {
-  const CentralPlan& plan = q.plan;
-  if (!plan.aggregate_mode) {
-    ResultRow result;
-    result.query_id = plan.query_id;
-    result.window_start = w.start;
-    result.window_end = w.start + plan.window_micros;
-    result.values.reserve(plan.raw_select_programs.size());
-    for (const ExprProgram& e : plan.raw_select_programs) {
-      result.values.push_back(EvalProgramColumns(e, batch, row));
-    }
-    result.error_bounds.assign(result.values.size(), 0.0);
-    ++q.stats.rows_emitted;
-    q.sink(result);
-    return;
-  }
-
-  GroupKey key;
-  key.reserve(plan.group_by_programs.size());
-  for (const ExprProgram& g : plan.group_by_programs) {
-    key.push_back(EvalProgramColumns(g, batch, row));
+    key.push_back(eval(g));
   }
   // One hash per row, reused for the map probe (and, pre-bucketed, by the
   // sharded router).
@@ -641,15 +695,13 @@ void Executor::GroupFoldColumn(QueryState& q, WindowState& w,
       ChargeState(q, w, creation_bytes);
     }
   }
-  CollectGroupReadings(q, &group, host, [&](const ExprProgram& e) {
-    return EvalProgramColumns(e, batch, row);
-  });
+  CollectGroupReadings(q, &group, host, eval);
   for (size_t i = 0; i < plan.aggregates.size(); ++i) {
     meter_->ChargeScrub(config_->costs.central_group_update_ns);
     const AggregateSpec& spec = plan.aggregates[i];
     Value arg;
     if (spec.has_arg) {
-      arg = EvalProgramColumns(spec.arg_program, batch, row);
+      arg = eval(spec.arg_program);
       if (arg.is_null()) {
         continue;  // SQL-style: aggregates skip null arguments
       }
@@ -658,17 +710,28 @@ void Executor::GroupFoldColumn(QueryState& q, WindowState& w,
   }
 }
 
-void Executor::UpdateAccumulator(const AggregateSpec& spec,
-                                 AggAccumulator* acc,
-                                 const EventTuple& tuple) {
-  Value arg;
-  if (spec.has_arg) {
-    arg = EvalProgram(spec.arg_program, tuple);
-    if (arg.is_null()) {
-      return;  // SQL-style: aggregates skip null arguments
-    }
-  }
-  UpdateAccumulatorValue(spec, acc, arg);
+void Executor::GroupFoldTuple(QueryState& q, WindowState& w,
+                              const EventTuple& tuple, HostId host) {
+  GroupFoldWith(q, w, host,
+                [&](const ExprProgram& e) { return EvalProgram(e, tuple); });
+}
+
+void Executor::GroupFoldColumn(QueryState& q, WindowState& w,
+                               const ColumnBatch& batch, size_t row,
+                               HostId host, const ChunkEvalCache* cache,
+                               size_t pos) {
+  GroupFoldWith(q, w, host, [&](const ExprProgram& e) {
+    const Value* cached = cache != nullptr ? cache->Lookup(e, pos) : nullptr;
+    return cached != nullptr ? *cached : EvalProgramColumns(e, batch, row);
+  });
+}
+
+void Executor::GroupFoldMixed(QueryState& q, WindowState& w,
+                              const std::vector<TupleSlot>& slots,
+                              HostId host) {
+  GroupFoldWith(q, w, host, [&](const ExprProgram& e) {
+    return EvalProgramMixed(e, slots);
+  });
 }
 
 void Executor::UpdateAccumulatorValue(const AggregateSpec& spec,

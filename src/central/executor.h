@@ -53,6 +53,7 @@
 #include "src/plan/group_key.h"
 #include "src/plan/physical.h"
 #include "src/plan/plan.h"
+#include "src/plan/vectorized.h"
 #include "src/sketch/hyperloglog.h"
 #include "src/sketch/multistage.h"
 #include "src/sketch/space_saving.h"
@@ -333,6 +334,32 @@ struct QueryState {
 
 // ---------------------------------------------------------------------------
 
+// A decoded kColumnarJoin batch (or a re-bucketed slice of one): the shared
+// per-source columnar sections plus this consumer's arrival-order interleave.
+// order[i] names the section of the i-th event, rows[i] (parallel) its row
+// within that section. Sections are shared so join entries can stay deferred
+// past the fold.
+struct ColumnJoinSlice {
+  std::vector<std::shared_ptr<const ColumnBatch>> sections;
+  std::vector<uint8_t> order;
+  std::vector<uint32_t> rows;
+};
+
+// Per-chunk precomputed column evaluations (vectorized FoldColumns), keyed
+// by program identity and indexed by chunk position. Built once per columnar
+// non-join chunk; the per-row folds consult it and fall back to the per-row
+// evaluator for any program not precomputed. Pure caching: building or
+// skipping it changes no observable (charges, stats, transcripts).
+struct ChunkEvalCache {
+  std::unordered_map<const ExprProgram*, size_t> index;
+  FoldedColumns folded;
+
+  const Value* Lookup(const ExprProgram& p, size_t pos) const {
+    const auto it = index.find(&p);
+    return it == index.end() ? nullptr : &folded.values[it->second][pos];
+  }
+};
+
 class Executor {
  public:
   // `accountant` and `spill` may be null (no budgets, no spill): every
@@ -358,6 +385,14 @@ class Executor {
   // Project per covering window. One loop for both representations.
   void Fold(QueryState& q, HostId host, const InputChunk& chunk);
 
+  // Folds a decoded (or re-bucketed) kColumnarJoin slice by replaying its
+  // arrival interleave: consecutive same-section positions fold as one
+  // columnar chunk, which preserves the exact per-position transcript of the
+  // row path's single interleaved batch (Fold's per-chunk preamble has no
+  // observable effects).
+  void FoldColumnJoin(QueryState& q, HostId host,
+                      const ColumnJoinSlice& slice);
+
   // WindowClose operator: completeness + orphan accounting, then Finalize
   // (row emission) or WindowPartial export (shard role).
   void CloseWindow(QueryState& q, WindowState* w);
@@ -376,7 +411,8 @@ class Executor {
   // pressure the event is deferred to the window's spill run (or shed and
   // counted) instead.
   void FoldInto(QueryState& q, WindowState& w, const InputChunk& chunk,
-                size_t i, int column_source, HostId host);
+                size_t i, int column_source, HostId host,
+                const ChunkEvalCache* cache = nullptr);
   // True once the query (or the whole central) is over its state budget.
   bool OverBudget(const QueryState& q) const;
   // Pressure path for one event: append to the window's spill run, opening
@@ -396,14 +432,25 @@ class Executor {
   // chunks carry one schema); row positions resolve per event.
   void JoinFold(QueryState& q, WindowState& w, const InputChunk& chunk,
                 size_t i, int column_source, HostId host);
+  // GroupFold/Project with the row's representation abstracted behind an
+  // expression evaluator: one body for row tuples, columnar rows, and mixed
+  // join tuples, so the folds cannot drift from each other. Defined in the
+  // .cc (every instantiation lives there).
+  template <typename EvalFn>
+  void GroupFoldWith(QueryState& q, WindowState& w, HostId host,
+                     EvalFn&& eval);
   // GroupFold/Project over a joined (or singleton) row tuple.
   void GroupFoldTuple(QueryState& q, WindowState& w, const EventTuple& tuple,
                       HostId host);
-  // GroupFold/Project straight off columns (non-join plans).
+  // GroupFold/Project straight off columns (non-join plans). `pos` is the
+  // chunk position for `cache` lookups (cache may be null).
   void GroupFoldColumn(QueryState& q, WindowState& w,
-                       const ColumnBatch& batch, size_t row, HostId host);
-  void UpdateAccumulator(const AggregateSpec& spec, AggAccumulator* acc,
-                         const EventTuple& tuple);
+                       const ColumnBatch& batch, size_t row, HostId host,
+                       const ChunkEvalCache* cache, size_t pos);
+  // GroupFold/Project over a mixed join tuple (column-direct where a side
+  // arrived columnar).
+  void GroupFoldMixed(QueryState& q, WindowState& w,
+                      const std::vector<TupleSlot>& slots, HostId host);
   // Accumulator update with the argument already evaluated (shared by the
   // row and columnar folds; `arg` is null for argument-less aggregates).
   void UpdateAccumulatorValue(const AggregateSpec& spec, AggAccumulator* acc,

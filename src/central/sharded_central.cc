@@ -134,6 +134,9 @@ Status ShardedCentral::IngestBatches(const std::vector<EventBatch>& batches,
   struct Decoded {
     std::vector<Event> events;                 // row format
     std::shared_ptr<const ColumnBatch> columns;  // columnar format
+    // Columnar join format: per-source sections plus the staging interleave.
+    std::vector<std::shared_ptr<const ColumnBatch>> join_sections;
+    std::vector<uint8_t> join_order;
   };
   std::vector<Decoded> decoded(admitted.size());
   std::vector<Status> decode_status(admitted.size());
@@ -146,6 +149,21 @@ Status ShardedCentral::IngestBatches(const std::vector<EventBatch>& batches,
             std::make_shared<const ColumnBatch>(std::move(*cols));
       } else {
         decode_status[k] = cols.status();
+      }
+      return;
+    }
+    if (admitted[k].batch->format == BatchFormat::kColumnarJoin) {
+      Result<ColumnJoinBatch> join =
+          DecodeColumnJoinBatch(*registry_, admitted[k].batch->payload);
+      if (join.ok()) {
+        decoded[k].join_sections.reserve(join->sections.size());
+        for (ColumnBatch& section : join->sections) {
+          decoded[k].join_sections.push_back(
+              std::make_shared<const ColumnBatch>(std::move(section)));
+        }
+        decoded[k].join_order = std::move(join->order);
+      } else {
+        decode_status[k] = join.status();
       }
       return;
     }
@@ -180,9 +198,38 @@ Status ShardedCentral::IngestBatches(const std::vector<EventBatch>& batches,
     std::vector<Event> events;                   // row format
     std::shared_ptr<const ColumnBatch> columns;  // columnar format
     std::vector<uint32_t> selection;             // rows of `columns`
+    ColumnJoinSlice join;  // columnar join format (non-empty order)
   };
   std::vector<std::vector<ShardWork>> work(shards_.size());
   for (size_t k = 0; k < limit; ++k) {
+    if (!decoded[k].join_order.empty()) {
+      // Join slices re-bucket position by position through the staging
+      // interleave — the same per-event request-id routing the row path
+      // applies — so each shard's (order, rows) sub-slice preserves the
+      // arrival interleave of the requests it owns.
+      std::vector<ColumnJoinSlice> buckets(shards_.size());
+      std::vector<uint32_t> cursor(decoded[k].join_sections.size(), 0);
+      for (const uint8_t s : decoded[k].join_order) {
+        const uint32_t row = cursor[s]++;
+        const size_t shard = static_cast<size_t>(
+            HashMix64(decoded[k].join_sections[s]->request_id(row)) %
+            shards_.size());
+        buckets[shard].order.push_back(s);
+        buckets[shard].rows.push_back(row);
+      }
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        if (buckets[s].order.empty()) {
+          continue;
+        }
+        ShardWork sw;
+        sw.query_id = admitted[k].batch->query_id;
+        sw.host = admitted[k].batch->host;
+        sw.join = std::move(buckets[s]);
+        sw.join.sections = decoded[k].join_sections;  // shared, read-only
+        work[s].push_back(std::move(sw));
+      }
+      continue;
+    }
     if (decoded[k].columns != nullptr) {
       const ColumnBatch& cols = *decoded[k].columns;
       std::vector<std::vector<uint32_t>> buckets(shards_.size());
@@ -229,12 +276,16 @@ Status ShardedCentral::IngestBatches(const std::vector<EventBatch>& batches,
   std::vector<Status> shard_status(shards_.size());
   pool_.ParallelFor(shards_.size(), [&](size_t s) {
     for (const ShardWork& sw : work[s]) {
-      Status st =
-          sw.columns != nullptr
-              ? shards_[s]->IngestColumns(sw.query_id, sw.host, sw.columns,
-                                          sw.selection.data(),
-                                          sw.selection.size())
-              : shards_[s]->IngestEvents(sw.query_id, sw.host, sw.events);
+      Status st;
+      if (!sw.join.order.empty()) {
+        st = shards_[s]->IngestJoinColumns(sw.query_id, sw.host, sw.join);
+      } else if (sw.columns != nullptr) {
+        st = shards_[s]->IngestColumns(sw.query_id, sw.host, sw.columns,
+                                       sw.selection.data(),
+                                       sw.selection.size());
+      } else {
+        st = shards_[s]->IngestEvents(sw.query_id, sw.host, sw.events);
+      }
       if (!st.ok() && shard_status[s].ok()) {
         shard_status[s] = st;
       }

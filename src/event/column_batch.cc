@@ -52,6 +52,9 @@ void ColumnBatch::Reserve(size_t rows) {
       case Rep::kGeneric:
         col.generic.reserve(rows);
         break;
+      case Rep::kDict:
+        col.ints.reserve(rows);
+        break;
     }
   }
 }
@@ -85,6 +88,9 @@ void ColumnBatch::AppendValue(size_t field, const Value& value) {
       case Rep::kGeneric:
         col.generic.emplace_back();
         break;
+      case Rep::kDict:
+        col.ints.push_back(0);  // placeholder code; the null bit rules
+        break;
     }
     return;
   }
@@ -111,6 +117,8 @@ void ColumnBatch::AppendValue(size_t field, const Value& value) {
     case Rep::kGeneric:
       col.generic.push_back(value);
       return;
+    case Rep::kDict:
+      break;  // dictionaries are decode-only; appends box the column
   }
   // The value does not fit the column's physical representation: box the
   // whole column so mixed-type inputs keep row-path semantics.
@@ -152,6 +160,11 @@ Value ColumnBatch::ValueAt(size_t field, size_t row) const {
                                     col.offsets[row + 1] - col.offsets[row]));
     case Rep::kGeneric:
       return col.generic[row];
+    case Rep::kDict: {
+      const size_t code = static_cast<size_t>(col.ints[row]);
+      return Value(col.arena.substr(col.offsets[code],
+                                    col.offsets[code + 1] - col.offsets[code]));
+    }
   }
   return Value();
 }
@@ -195,6 +208,11 @@ void ColumnBatch::FillAllNull(size_t field, size_t rows) {
       break;
     case Rep::kGeneric:
       col.generic.assign(rows, Value());
+      break;
+    case Rep::kDict:
+      col.ints.assign(rows, 0);
+      col.offsets.assign(1, 0);
+      col.arena.clear();
       break;
   }
 }

@@ -50,18 +50,30 @@ inline void BitmapSet(std::vector<uint8_t>* bits, size_t i) {
 
 class ColumnBatch {
  public:
-  // Physical representation of one column.
-  enum class Rep : uint8_t { kBool, kInt, kDouble, kString, kGeneric };
+  // Physical representation of one column. kDict is a decode-side string
+  // representation (the wire's dictionary encoding): `ints` holds one
+  // dictionary code per row (placeholder 0 for null rows) and
+  // `offsets`/`arena` hold the dictionary entries — dict_size()+1 offset
+  // bounds instead of rows()+1. ValueAt materializes the referenced entry,
+  // so every row-semantics consumer works unchanged; appending a value to a
+  // kDict column migrates it to kGeneric like any representation mismatch.
+  enum class Rep : uint8_t { kBool, kInt, kDouble, kString, kGeneric, kDict };
 
   struct Column {
     Rep rep = Rep::kGeneric;
     std::vector<uint8_t> bools;     // kBool: one byte per row
-    std::vector<int64_t> ints;      // kInt (int/long/datetime)
+    std::vector<int64_t> ints;      // kInt (int/long/datetime); kDict codes
     std::vector<double> doubles;    // kDouble (float/double)
-    std::vector<uint32_t> offsets;  // kString: rows()+1 bounds into arena
-    std::string arena;              // kString payload bytes
+    std::vector<uint32_t> offsets;  // kString: rows()+1 bounds into arena;
+                                    // kDict: dict_size()+1 bounds
+    std::string arena;              // kString / kDict payload bytes
     std::vector<Value> generic;     // kGeneric: boxed fallback
     std::vector<uint8_t> nulls;     // authoritative null bitmap
+
+    // Number of dictionary entries (kDict only).
+    size_t dict_size() const {
+      return offsets.empty() ? 0 : offsets.size() - 1;
+    }
   };
 
   ColumnBatch() = default;

@@ -1,6 +1,8 @@
 #include "src/event/wire.h"
 
 #include <cstring>
+#include <string_view>
+#include <unordered_map>
 
 #include "src/common/strings.h"
 
@@ -132,7 +134,12 @@ enum ColumnTag : uint8_t {
   kColDouble = 3,
   kColString = 4,
   kColGeneric = 5,
+  kColDict = 6,  // dictionary-encoded strings: dictionary + u8 codes
 };
+
+// One code byte per row caps the dictionary at 256 entries; the encoder
+// stops deduplicating past this and falls back to plain strings.
+constexpr size_t kMaxDictEntries = 256;
 
 // Reads ceil(count/8) bitmap bytes. The caller still has to check padding.
 bool ReadBitmap(const std::string& buf, size_t* off, size_t count,
@@ -326,9 +333,12 @@ Result<std::vector<Event>> DecodeBatch(const SchemaRegistry& registry,
 
 size_t EncodeColumnBatch(const ColumnBatch& batch, const uint32_t* selection,
                          size_t selected, const std::vector<bool>* keep_field,
-                         std::string* out) {
+                         std::string* out, std::vector<int>* encodings) {
   const size_t before = out->size();
   const size_t rows = selection != nullptr ? selected : batch.rows();
+  if (encodings != nullptr) {
+    encodings->assign(batch.column_count(), 0);
+  }
   auto row_at = [&](size_t i) -> size_t {
     return selection != nullptr ? selection[i] : i;
   };
@@ -354,6 +364,9 @@ size_t EncodeColumnBatch(const ColumnBatch& batch, const uint32_t* selection,
     }
     if (dropped || all_null) {
       out->push_back(static_cast<char>(kColNull));
+      if (encodings != nullptr) {
+        (*encodings)[f] = -1;
+      }
       continue;
     }
     std::vector<uint8_t> bits((rows + 7) / 8, 0);
@@ -408,16 +421,75 @@ size_t EncodeColumnBatch(const ColumnBatch& batch, const uint32_t* selection,
         }
         break;
       }
-      case ColumnBatch::Rep::kString: {
+      case ColumnBatch::Rep::kString:
+      case ColumnBatch::Rep::kDict: {
+        // Byte span of row r's string without materializing a Value (kDict
+        // rows indirect through their code).
+        auto slice = [&col](size_t r) -> std::string_view {
+          const size_t idx = col.rep == ColumnBatch::Rep::kDict
+                                 ? static_cast<size_t>(col.ints[r])
+                                 : r;
+          return std::string_view(col.arena)
+              .substr(col.offsets[idx], col.offsets[idx + 1] - col.offsets[idx]);
+        };
+        // Dictionary pass: dedupe the selected non-null strings in
+        // first-appearance order. Dict wins only when the dictionary plus
+        // one code byte per value is strictly smaller than the plain
+        // length-prefixed bytes — so pathological (high-cardinality)
+        // columns cost one wasted scan, never wire bytes.
+        std::vector<std::string_view> entries;
+        std::unordered_map<std::string_view, uint32_t> index;
+        std::vector<uint8_t> codes;
+        codes.reserve(non_null);
+        size_t plain_bytes = 0;
+        size_t entry_bytes = 0;
+        bool eligible =
+            batch.schema()->field(f).type == FieldType::kString;
+        for (size_t i = 0; i < rows && eligible; ++i) {
+          const size_t r = row_at(i);
+          if (BitmapGet(col.nulls, r)) {
+            continue;
+          }
+          const std::string_view sv = slice(r);
+          plain_bytes += 4 + sv.size();
+          auto it = index.find(sv);
+          if (it == index.end()) {
+            if (entries.size() >= kMaxDictEntries) {
+              eligible = false;
+              break;
+            }
+            it = index.emplace(sv, static_cast<uint32_t>(entries.size()))
+                     .first;
+            entries.push_back(sv);
+            entry_bytes += 4 + sv.size();
+          }
+          codes.push_back(static_cast<uint8_t>(it->second));
+        }
+        const size_t dict_bytes = 4 + entry_bytes + codes.size();
+        if (eligible && !entries.empty() && dict_bytes < plain_bytes) {
+          out->push_back(static_cast<char>(kColDict));
+          out->append(reinterpret_cast<const char*>(bits.data()),
+                      bits.size());
+          PutU32(out, static_cast<uint32_t>(entries.size()));
+          for (const std::string_view sv : entries) {
+            PutU32(out, static_cast<uint32_t>(sv.size()));
+            out->append(sv.data(), sv.size());
+          }
+          out->append(reinterpret_cast<const char*>(codes.data()),
+                      codes.size());
+          if (encodings != nullptr) {
+            (*encodings)[f] = static_cast<int>(entries.size());
+          }
+          break;
+        }
         out->push_back(static_cast<char>(kColString));
         out->append(reinterpret_cast<const char*>(bits.data()), bits.size());
         for (size_t i = 0; i < rows; ++i) {
           const size_t r = row_at(i);
           if (!BitmapGet(col.nulls, r)) {
-            const uint32_t begin = col.offsets[r];
-            const uint32_t end = col.offsets[r + 1];
-            PutU32(out, end - begin);
-            out->append(col.arena, begin, end - begin);
+            const std::string_view sv = slice(r);
+            PutU32(out, static_cast<uint32_t>(sv.size()));
+            out->append(sv.data(), sv.size());
           }
         }
         break;
@@ -583,6 +655,51 @@ Result<ColumnBatch> DecodeColumnBatch(const SchemaRegistry& registry,
         }
         break;
       }
+      case kColDict: {
+        // Dictionaries are a string-column encoding only; a dict tag on any
+        // other schema type is a hostile or corrupted payload.
+        if ((*schema)->field(f).type != FieldType::kString) {
+          return InvalidArgument("dictionary column on non-string field");
+        }
+        uint32_t dict_count;
+        if (!GetU32(buffer, &off, &dict_count)) {
+          return InvalidArgument("truncated dictionary header");
+        }
+        if (dict_count == 0 || dict_count > kMaxDictEntries) {
+          return InvalidArgument("dictionary count out of range");
+        }
+        // Each entry costs at least its 4-byte length prefix.
+        if (static_cast<size_t>(dict_count) > (buffer.size() - off) / 4 + 1) {
+          return InvalidArgument("dictionary count exceeds buffer");
+        }
+        col->rep = ColumnBatch::Rep::kDict;
+        col->offsets.assign(1, 0);
+        col->arena.clear();
+        for (uint32_t d = 0; d < dict_count; ++d) {
+          uint32_t n;
+          if (!GetU32(buffer, &off, &n) || buffer.size() - off < n) {
+            return InvalidArgument("truncated dictionary entry");
+          }
+          col->arena.append(buffer, off, n);
+          off += n;
+          col->offsets.push_back(static_cast<uint32_t>(col->arena.size()));
+        }
+        col->ints.assign(rows, 0);
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (BitmapGet(bits, r)) {
+            continue;
+          }
+          uint8_t code;
+          if (!GetU8(buffer, &off, &code)) {
+            return InvalidArgument("truncated dictionary codes");
+          }
+          if (code >= dict_count) {
+            return InvalidArgument("dictionary code out of range");
+          }
+          col->ints[r] = code;
+        }
+        break;
+      }
       default:
         return InvalidArgument(StrFormat("unknown column tag %u", tag));
     }
@@ -592,6 +709,88 @@ Result<ColumnBatch> DecodeColumnBatch(const SchemaRegistry& registry,
   }
   batch.SetRowMeta(std::move(request_ids), std::move(timestamps));
   return batch;
+}
+
+size_t EncodeColumnJoinBatch(const std::vector<ColumnJoinSection>& sections,
+                             const std::vector<uint8_t>& order,
+                             std::string* out,
+                             std::vector<std::vector<int>>* encodings) {
+  const size_t before = out->size();
+  PutU32(out, static_cast<uint32_t>(sections.size()));
+  if (encodings != nullptr) {
+    encodings->assign(sections.size(), {});
+  }
+  for (size_t s = 0; s < sections.size(); ++s) {
+    const ColumnJoinSection& sec = sections[s];
+    const size_t len_pos = out->size();
+    PutU32(out, 0);  // patched below once the section length is known
+    EncodeColumnBatch(*sec.batch, sec.selection, sec.selected, sec.keep_field,
+                      out, encodings != nullptr ? &(*encodings)[s] : nullptr);
+    const uint32_t len = static_cast<uint32_t>(out->size() - len_pos - 4);
+    std::memcpy(&(*out)[len_pos], &len, 4);
+  }
+  PutU32(out, static_cast<uint32_t>(order.size()));
+  out->append(reinterpret_cast<const char*>(order.data()), order.size());
+  return out->size() - before;
+}
+
+Result<ColumnJoinBatch> DecodeColumnJoinBatch(const SchemaRegistry& registry,
+                                              const std::string& buffer) {
+  size_t off = 0;
+  uint32_t section_count;
+  if (!GetU32(buffer, &off, &section_count)) {
+    return InvalidArgument("truncated join batch header");
+  }
+  if (section_count == 0 || section_count > kMaxColumnJoinSections) {
+    return InvalidArgument("join batch section count out of range");
+  }
+  ColumnJoinBatch out;
+  out.sections.reserve(section_count);
+  size_t total_rows = 0;
+  for (uint32_t s = 0; s < section_count; ++s) {
+    uint32_t len;
+    if (!GetU32(buffer, &off, &len) || buffer.size() - off < len) {
+      return InvalidArgument("truncated join batch section");
+    }
+    // Each section is a complete columnar payload; decoding the exact
+    // subrange inherits the full hostile-input discipline, including its
+    // own trailing-bytes check against the declared section length.
+    Result<ColumnBatch> sec =
+        DecodeColumnBatch(registry, buffer.substr(off, len));
+    if (!sec.ok()) {
+      return sec.status();
+    }
+    off += len;
+    total_rows += sec->rows();
+    out.sections.push_back(std::move(sec).value());
+  }
+  uint32_t order_count;
+  if (!GetU32(buffer, &off, &order_count)) {
+    return InvalidArgument("truncated join batch order header");
+  }
+  if (order_count != total_rows || buffer.size() - off < order_count) {
+    return InvalidArgument("join batch order does not match section rows");
+  }
+  std::vector<size_t> seen(section_count, 0);
+  out.order.resize(order_count);
+  for (uint32_t i = 0; i < order_count; ++i) {
+    const uint8_t s = static_cast<uint8_t>(buffer[off + i]);
+    if (s >= section_count) {
+      return InvalidArgument("join batch order index out of range");
+    }
+    ++seen[s];
+    out.order[i] = s;
+  }
+  off += order_count;
+  for (uint32_t s = 0; s < section_count; ++s) {
+    if (seen[s] != out.sections[s].rows()) {
+      return InvalidArgument("join batch order does not match section rows");
+    }
+  }
+  if (off != buffer.size()) {
+    return InvalidArgument("trailing bytes after join batch");
+  }
+  return out;
 }
 
 std::string EncodePreAggBatch(const std::vector<PreAggSlot>& slots) {

@@ -30,6 +30,11 @@ enum class BatchFormat : uint8_t {
   // Agent-side pre-aggregation ablation: the payload is per-(slot, group)
   // COUNT/SUM cells, not events (EncodePreAggBatch below).
   kPreAgg = 2,
+  // Multi-source (join) columnar staging: one columnar section per query
+  // source plus the explicit arrival-order interleave, so the central join
+  // replays the exact event sequence the row path would have shipped
+  // (EncodeColumnJoinBatch below).
+  kColumnarJoin = 3,
 };
 
 // Appends the encoding of `event` to `out`. Returns bytes written.
@@ -63,25 +68,80 @@ Result<std::vector<Event>> DecodeBatch(const SchemaRegistry& registry,
 //         double  -> 8-byte IEEE 754
 //         string  -> u32 length + bytes
 //         generic -> the row codec's tagged value encoding (same depth guard)
+//         dict    -> u32 dictionary count (1..256), that many u32-length-
+//                    prefixed entries, then one u8 code per non-null row.
+//                    The encoder picks dict over string per column whenever
+//                    the observed cardinality is low enough that the
+//                    dictionary + codes are strictly smaller than the plain
+//                    bytes; only string-typed schema fields may carry it.
 //
 // Decode applies the same hostile-input discipline as the row format:
 // truncation checks on every read, row counts capped by what the remaining
 // bytes could possibly hold, nonzero bitmap padding rejected, unknown column
-// tags rejected, trailing bytes rejected.
+// tags rejected, out-of-range dictionary codes and truncated/oversized
+// dictionaries rejected, dict tags on non-string fields rejected, trailing
+// bytes rejected.
 
 // Appends the columnar encoding of the selected rows to `out`; returns bytes
 // written. `selection` lists row indices in emission order (nullptr = all
 // rows, `selected` ignored then must equal batch.rows()). Fields with
 // keep_field[f] == false are encoded as dropped (all-null) columns, which is
 // how projection reaches the wire without copying values. Pass
-// keep_field == nullptr to keep every column.
+// keep_field == nullptr to keep every column. When `encodings` is non-null
+// it is resized to one entry per schema field reporting the encoding chosen:
+// -1 dropped/all-null, 0 plain, n > 0 dictionary with n entries.
 size_t EncodeColumnBatch(const ColumnBatch& batch, const uint32_t* selection,
                          size_t selected, const std::vector<bool>* keep_field,
-                         std::string* out);
+                         std::string* out,
+                         std::vector<int>* encodings = nullptr);
 
 // Decodes a columnar payload against `registry`.
 Result<ColumnBatch> DecodeColumnBatch(const SchemaRegistry& registry,
                                       const std::string& buffer);
+
+// ---- Columnar join batch format (BatchFormat::kColumnarJoin) ---------------
+//
+// Multi-source plans stage one ColumnBatch per source at the agent, but the
+// central join folds events in arrival order, so the wire carries both: the
+// per-source columnar sections AND the explicit interleave that says which
+// source each staged event came from. Layout:
+//   u32 section_count (1..kMaxColumnJoinSections)
+//   per section: u32 payload_len + a complete columnar payload (above)
+//   u32 order_count (must equal the sum of section row counts)
+//   order_count x u8 source index (< section_count; each source index must
+//     appear exactly its section's row count of times)
+// Decode rejects out-of-range section counts, truncated sections, order
+// entries that disagree with the sections, and trailing bytes; each section
+// is decoded with the full columnar hostile-input discipline (including the
+// per-section trailing-bytes check).
+
+inline constexpr size_t kMaxColumnJoinSections = 16;
+
+// One source's staged rows for EncodeColumnJoinBatch; same selection /
+// projection contract as EncodeColumnBatch.
+struct ColumnJoinSection {
+  const ColumnBatch* batch = nullptr;
+  const uint32_t* selection = nullptr;
+  size_t selected = 0;
+  const std::vector<bool>* keep_field = nullptr;
+};
+
+// `order[i]` is the source index of the i-th surviving event in arrival
+// order; its length must equal the sum of the sections' selected counts.
+// `encodings`, when non-null, receives one per-field report per section
+// (same convention as EncodeColumnBatch).
+size_t EncodeColumnJoinBatch(const std::vector<ColumnJoinSection>& sections,
+                             const std::vector<uint8_t>& order,
+                             std::string* out,
+                             std::vector<std::vector<int>>* encodings = nullptr);
+
+struct ColumnJoinBatch {
+  std::vector<ColumnBatch> sections;  // one per query source, in plan order
+  std::vector<uint8_t> order;         // arrival interleave over the sections
+};
+
+Result<ColumnJoinBatch> DecodeColumnJoinBatch(const SchemaRegistry& registry,
+                                              const std::string& buffer);
 
 // ---- Pre-aggregated batch format (BatchFormat::kPreAgg) --------------------
 //

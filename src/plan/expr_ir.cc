@@ -7,6 +7,7 @@
 
 #include "src/common/strings.h"
 #include "src/plan/expr_analysis.h"
+#include "src/plan/vectorized.h"
 
 namespace scrub {
 
@@ -501,6 +502,58 @@ struct ColumnLoader {
   }
 };
 
+// Mixed join tuple: each slot delegates to the loader matching its
+// representation, so a columnar slot reads exactly what ColumnLoader would
+// and a row slot exactly what TupleLoader would — the mixed path cannot
+// drift from either.
+struct MixedLoader {
+  const TupleSlot* slots;
+
+  Value LoadField(uint16_t source, uint16_t field,
+                  const std::vector<std::string>* path) const {
+    const TupleSlot& slot = slots[source];
+    if (slot.batch != nullptr) {
+      return ColumnLoader{slot.batch, slot.row}.LoadField(source, field,
+                                                          path);
+    }
+    if (slot.event == nullptr) {
+      return Value::Null();
+    }
+    const Value* v = &slot.event->field(field);
+    if (path != nullptr) {
+      for (const std::string& step : *path) {
+        if (!v->is_object()) {
+          return Value::Null();
+        }
+        const Value* next = v->AsObject().Find(step);
+        if (next == nullptr) {
+          return Value::Null();
+        }
+        v = next;
+      }
+    }
+    return *v;
+  }
+  Value LoadRequestId(uint16_t source) const {
+    const TupleSlot& slot = slots[source];
+    if (slot.batch != nullptr) {
+      return Value(static_cast<int64_t>(slot.batch->request_id(slot.row)));
+    }
+    return slot.event == nullptr
+               ? Value::Null()
+               : Value(static_cast<int64_t>(slot.event->request_id()));
+  }
+  Value LoadTimestamp(uint16_t source) const {
+    const TupleSlot& slot = slots[source];
+    if (slot.batch != nullptr) {
+      return Value(static_cast<int64_t>(slot.batch->timestamp(slot.row)));
+    }
+    return slot.event == nullptr
+               ? Value::Null()
+               : Value(static_cast<int64_t>(slot.event->timestamp()));
+  }
+};
+
 template <typename Loader>
 Value RunProgram(const ExprProgram& p, const Loader& loader, Value* regs) {
   const size_t n = p.insts.size();
@@ -606,6 +659,11 @@ Value EvalProgramColumns(const ExprProgram& program, const ColumnBatch& batch,
   return RunWithScratch(program, ColumnLoader{&batch, row});
 }
 
+Value EvalProgramMixed(const ExprProgram& program,
+                       const std::vector<TupleSlot>& slots) {
+  return RunWithScratch(program, MixedLoader{slots.data()});
+}
+
 bool EvalProgramPredicateColumns(const ExprProgram& program,
                                  const ColumnBatch& batch, size_t row) {
   return Truthy(EvalProgramColumns(program, batch, row));
@@ -613,10 +671,11 @@ bool EvalProgramPredicateColumns(const ExprProgram& program,
 
 namespace {
 
-// `field <cmp> literal` (either operand order) over a typed numeric column:
-// the shape that dominates pushed-down predicates. Reads the typed storage
-// directly; each comparison still routes through ApplyBinaryOp, so the
-// semantics cannot drift from the interpreter.
+// `field <cmp> literal` (either operand order): extract the shape from the
+// lowered program and hand it to the shared branch-free selection-vector
+// kernel (RunCompareKernel), which covers typed numeric, string, and
+// dictionary columns and probes null semantics through ApplyBinaryOp, so
+// the kernel cannot drift from the interpreter.
 bool TryProgramCompareKernel(const ExprProgram& p, const ColumnBatch& batch,
                              std::vector<uint32_t>* selection) {
   if (p.insts.size() != 3) {
@@ -645,28 +704,9 @@ bool TryProgramCompareKernel(const ExprProgram& p, const ColumnBatch& batch,
   if (load->a != 0 || load->imm >= 0) {
     return false;
   }
-  const ColumnBatch::Column& col = batch.column(load->b);
-  if (col.rep != ColumnBatch::Rep::kInt &&
-      col.rep != ColumnBatch::Rep::kDouble) {
-    return false;
-  }
-  const BinaryOp op = BinaryOpOf(cmp.op);
-  const Value& literal = p.consts[static_cast<size_t>(konst->imm)];
-  size_t kept = 0;
-  for (const uint32_t r : *selection) {
-    Value probe;  // null when the row's cell is null
-    if (!BitmapGet(col.nulls, r)) {
-      probe = col.rep == ColumnBatch::Rep::kInt ? Value(col.ints[r])
-                                                : Value(col.doubles[r]);
-    }
-    const Value verdict = field_on_lhs ? ApplyBinaryOp(op, probe, literal)
-                                       : ApplyBinaryOp(op, literal, probe);
-    if (Truthy(verdict)) {
-      (*selection)[kept++] = r;
-    }
-  }
-  selection->resize(kept);
-  return true;
+  return RunCompareKernel(batch, load->b, BinaryOpOf(cmp.op),
+                          p.consts[static_cast<size_t>(konst->imm)],
+                          field_on_lhs, selection);
 }
 
 }  // namespace

@@ -5,8 +5,8 @@
 // null/short-circuit rules node for node), but driven by a selection vector
 // over a ColumnBatch instead of one Event at a time. EvalPredicateBatch is
 // the agent-flush and central-ingest hot loop: a conjunct compacts the
-// selection in place, and simple `field <cmp> literal` conjuncts read the
-// typed column storage directly without materializing a boxed Value per row.
+// selection in place, and simple `field <cmp> literal` conjuncts run the
+// branch-free RunCompareKernel below instead of boxing a Value per row.
 
 #ifndef SRC_PLAN_VECTORIZED_H_
 #define SRC_PLAN_VECTORIZED_H_
@@ -16,6 +16,7 @@
 
 #include "src/event/column_batch.h"
 #include "src/plan/expr_eval.h"
+#include "src/plan/expr_ir.h"
 
 namespace scrub {
 
@@ -34,6 +35,47 @@ bool EvalPredicateColumns(const CompiledExpr& expr, const ColumnBatch& batch,
 // mirror of the row path's per-event short-circuit conjunct loop.
 void EvalPredicateBatch(const CompiledExpr& expr, const ColumnBatch& batch,
                         std::vector<uint32_t>* selection);
+
+// ---- Branch-free selection-vector kernels ----------------------------------
+
+// Compacts `selection` to the rows where `field <op> literal` (operand order
+// per `field_on_lhs`) holds, exactly as the per-row ApplyBinaryOp fallback
+// would, but as a typed contiguous loop with an arithmetic keep predicate —
+// an unconditional `sel[kept] = r; kept += keep` compaction with no per-row
+// branch, so the compiler can auto-vectorize it. The comparison forms are
+// derived from Value::Compare's exact semantics (Compare() answers 0 when
+// NaN is involved, so Le compiles to !(v > lit), never (v <= lit)), and the
+// null-row verdict is probed once through ApplyBinaryOp itself, so the
+// kernels cannot drift from the row path. Kernels exist for:
+//   * int/double columns vs int/double literals,
+//   * string columns vs string literals,
+//   * dictionary columns vs any literal (one ApplyBinaryOp per dictionary
+//     entry builds a per-code verdict table, then rows compare codes),
+//   * any typed (non-generic) column vs a null literal (constant verdicts).
+// Returns false — selection untouched — when no kernel matches; callers fall
+// back to the per-row evaluator.
+bool RunCompareKernel(const ColumnBatch& batch, size_t field, BinaryOp op,
+                      const Value& literal, bool field_on_lhs,
+                      std::vector<uint32_t>* selection);
+
+// ---- Batched group-key / aggregate-argument evaluation ---------------------
+
+// The per-program values for every selected row: values[p][i] is program p
+// evaluated at selection[i]. A missing (empty) inner vector means the
+// program list was empty.
+struct FoldedColumns {
+  std::vector<std::vector<Value>> values;  // [program][selection index]
+};
+
+// Evaluates every program at every selected row in one pass per program.
+// Programs that are a single LoadField / LoadRequestId / LoadTimestamp /
+// Const instruction gather straight from the typed column storage (no
+// per-row interpreter setup); everything else falls back to
+// EvalProgramColumns row by row. Pure computation — no charges, no stats —
+// so callers may precompute speculatively without observable effects.
+void FoldColumns(const std::vector<const ExprProgram*>& programs,
+                 const ColumnBatch& batch, const uint32_t* selection,
+                 size_t selected, FoldedColumns* out);
 
 }  // namespace scrub
 

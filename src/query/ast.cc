@@ -191,20 +191,29 @@ std::string Expr::ToString() const {
     case ExprKind::kFieldRef: {
       std::string out = qualifier.empty() ? field : qualifier + "." + field;
       for (const std::string& p : path) {
-        out += "." + p;
+        out += ".";
+        out += p;
       }
       return out;
     }
     case ExprKind::kStar:
       return "*";
-    case ExprKind::kUnary:
-      if (unary_op == UnaryOp::kNegate) {
-        return "-(" + children[0]->ToString() + ")";
-      }
-      return "NOT (" + children[0]->ToString() + ")";
-    case ExprKind::kBinary:
-      return "(" + children[0]->ToString() + " " + BinaryOpName(binary_op) +
-             " " + children[1]->ToString() + ")";
+    case ExprKind::kUnary: {
+      std::string out = unary_op == UnaryOp::kNegate ? "-(" : "NOT (";
+      out += children[0]->ToString();
+      out += ")";
+      return out;
+    }
+    case ExprKind::kBinary: {
+      std::string out = "(";
+      out += children[0]->ToString();
+      out += " ";
+      out += BinaryOpName(binary_op);
+      out += " ";
+      out += children[1]->ToString();
+      out += ")";
+      return out;
+    }
     case ExprKind::kInList: {
       std::string out = children[0]->ToString() + " IN (";
       for (size_t i = 1; i < children.size(); ++i) {
@@ -251,22 +260,34 @@ std::string QuoteTargetName(const std::string& name) {
 std::string TargetSpec::ToString() const {
   std::vector<std::string> terms;
   for (const std::string& s : services) {
-    terms.push_back("SERVICE IN " + QuoteTargetName(s));
+    std::string term = "SERVICE IN ";
+    term += QuoteTargetName(s);
+    terms.push_back(std::move(term));
   }
   if (hosts.size() == 1) {
-    terms.push_back("SERVER = " + QuoteTargetName(hosts[0]));
+    std::string term = "SERVER = ";
+    term += QuoteTargetName(hosts[0]);
+    terms.push_back(std::move(term));
   } else if (hosts.size() > 1) {
     std::vector<std::string> quoted;
     quoted.reserve(hosts.size());
     for (const std::string& h : hosts) {
       quoted.push_back(QuoteTargetName(h));
     }
-    terms.push_back("SERVERS IN (" + StrJoin(quoted, ", ") + ")");
+    std::string term = "SERVERS IN (";
+    term += StrJoin(quoted, ", ");
+    term += ")";
+    terms.push_back(std::move(term));
   }
   for (const std::string& dc : datacenters) {
-    terms.push_back("DATACENTER = " + QuoteTargetName(dc));
+    std::string term = "DATACENTER = ";
+    term += QuoteTargetName(dc);
+    terms.push_back(std::move(term));
   }
-  return "@[" + StrJoin(terms, " AND ") + "]";
+  std::string out = "@[";
+  out += StrJoin(terms, " AND ");
+  out += "]";
+  return out;
 }
 
 SelectItem SelectItem::Clone() const {
@@ -279,7 +300,8 @@ SelectItem SelectItem::Clone() const {
 std::string SelectItem::ToString() const {
   std::string out = expr->ToString();
   if (!alias.empty()) {
-    out += " AS " + alias;
+    out += " AS ";
+    out += alias;
   }
   return out;
 }
@@ -340,12 +362,15 @@ std::string Query::ToString() const {
     }
     out += select[i].ToString();
   }
-  out += " FROM " + StrJoin(sources, ", ");
+  out += " FROM ";
+  out += StrJoin(sources, ", ");
   if (where != nullptr) {
-    out += " WHERE " + where->ToString();
+    out += " WHERE ";
+    out += where->ToString();
   }
   if (!targets.IsUnrestricted()) {
-    out += " " + targets.ToString();
+    out += " ";
+    out += targets.ToString();
   }
   if (!group_by.empty()) {
     out += " GROUP BY ";
@@ -357,22 +382,28 @@ std::string Query::ToString() const {
     }
   }
   if (window_micros > 0) {
-    out += " WINDOW " + DurationToString(window_micros);
+    out += " WINDOW ";
+    out += DurationToString(window_micros);
     if (slide_micros > 0 && slide_micros != window_micros) {
-      out += " SLIDE " + DurationToString(slide_micros);
+      out += " SLIDE ";
+      out += DurationToString(slide_micros);
     }
   }
   if (start_offset_micros > 0) {
-    out += " START " + DurationToString(start_offset_micros);
+    out += " START ";
+    out += DurationToString(start_offset_micros);
   }
   if (duration_micros > 0) {
-    out += " DURATION " + DurationToString(duration_micros);
+    out += " DURATION ";
+    out += DurationToString(duration_micros);
   }
   if (host_sample_rate < 1.0) {
-    out += " SAMPLE HOSTS " + RateToPercent(host_sample_rate);
+    out += " SAMPLE HOSTS ";
+    out += RateToPercent(host_sample_rate);
   }
   if (event_sample_rate < 1.0) {
-    out += " SAMPLE EVENTS " + RateToPercent(event_sample_rate);
+    out += " SAMPLE EVENTS ";
+    out += RateToPercent(event_sample_rate);
   }
   out += ";";
   return out;

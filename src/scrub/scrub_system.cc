@@ -555,6 +555,67 @@ std::string ScrubSystem::DescribeQuery(QueryId id) const {
       static_cast<unsigned long long>(acked),
       static_cast<unsigned long long>(shed),
       static_cast<unsigned long long>(abandoned));
+  // Staging representation and per-column wire encodings. Staging mode is
+  // config-driven and identical fleet-wide, so one reporting agent is
+  // representative — prefer a host that actually shipped a columnar flush
+  // so the encodings render (a host that never logs the source type keeps
+  // them empty). The shape lives in the stats, so this renders even after
+  // the query is torn down.
+  const AgentQueryStats* s = nullptr;
+  for (const auto& [host, agent_ptr] : agents_) {
+    const AgentQueryStats* cand = agent_ptr->StatsFor(id);
+    if (cand == nullptr || cand->source_types.empty()) {
+      continue;
+    }
+    if (s == nullptr) {
+      s = cand;
+    }
+    const bool has_encodings =
+        std::any_of(cand->last_encodings.begin(), cand->last_encodings.end(),
+                    [](const std::vector<int>& e) { return !e.empty(); });
+    if (has_encodings) {
+      s = cand;
+      break;
+    }
+  }
+  if (s != nullptr) {
+    const bool columnar = s->columnar_staging;
+    const std::vector<std::string>& source_names = s->source_types;
+    out += StrFormat("  staging: %s\n",
+                     !columnar               ? "row"
+                     : source_names.size() > 1 ? "columnar join"
+                                               : "columnar");
+    for (size_t i = 0; i < source_names.size(); ++i) {
+      std::string line =
+          StrFormat("    source %s:", source_names[i].c_str());
+      const std::vector<int>* enc =
+          i < s->last_encodings.size() && !s->last_encodings[i].empty()
+              ? &s->last_encodings[i]
+              : nullptr;
+      if (!columnar) {
+        line += " row events";
+      } else if (enc == nullptr) {
+        line += " no columnar flush shipped yet";
+      } else {
+        Result<SchemaPtr> schema = schemas_.Get(source_names[i]);
+        for (size_t f = 0; f < enc->size(); ++f) {
+          const std::string name =
+              schema.ok() && f < (*schema)->field_count()
+                  ? (*schema)->field(f).name
+                  : StrFormat("f%zu", f);
+          const int e = (*enc)[f];
+          if (e < 0) {
+            line += StrFormat(" %s=dropped", name.c_str());
+          } else if (e == 0) {
+            line += StrFormat(" %s=plain", name.c_str());
+          } else {
+            line += StrFormat(" %s=dict(%d)", name.c_str(), e);
+          }
+        }
+      }
+      out += line + "\n";
+    }
+  }
   const ControlStats* ctl = server_->ControlStatsFor(id);
   if (ctl != nullptr) {
     out += StrFormat(

@@ -115,7 +115,8 @@ std::string RenderRow(const ResultRow& row) {
 // combiner tier between the agents and central.
 std::unique_ptr<ScrubSystem> RunPipeline(const Combo& combo, bool columnar,
                                          PipelineRun* out,
-                                         size_t regions = 0) {
+                                         size_t regions = 0,
+                                         size_t workers = 0) {
   SystemConfig config;
   config.seed = combo.seed;
   config.platform.seed = combo.seed;
@@ -126,6 +127,7 @@ std::unique_ptr<ScrubSystem> RunPipeline(const Combo& combo, bool columnar,
   config.platform.line_items_per_campaign = 3;
   config.columnar = columnar;
   config.combiner_regions = regions;
+  config.workers = workers;
   // Row and columnar payloads have different sizes; zero out the per-byte
   // transport latency so delivery timing — and therefore the transcripts —
   // can be compared byte-for-byte across pipelines.
@@ -373,6 +375,32 @@ TEST(DifferentialTest, JoinWithCrossSourceAggregate) {
        "AVG(impression.cost) FROM bid, impression "
        "GROUP BY impression.campaign_id WINDOW 1 s DURATION 3 s;",
        606});
+}
+
+TEST(DifferentialTest, JoinColumnarStagingAcrossWorkerCounts) {
+  // The columnar-staged join (per-source kColumnarJoin sections + staging
+  // interleave) against the row-staged reference at every worker count:
+  // workers > 0 re-buckets the join slice per request id across shards, and
+  // each transcript must still match the row pipeline byte for byte.
+  const Combo combo = {
+      "SELECT impression.line_item_id, COUNT(*), SUM(bid.bid_price) "
+      "FROM bid, impression GROUP BY impression.line_item_id "
+      "WINDOW 1 s DURATION 3 s;",
+      707};
+  PipelineRun row_run;
+  std::unique_ptr<ScrubSystem> row_system;
+  {
+    SCOPED_TRACE("row pipeline");
+    row_system = RunPipeline(combo, /*columnar=*/false, &row_run);
+  }
+  CompareToOracle(combo, row_run, row_system->schemas());
+  for (const size_t workers : {size_t{0}, size_t{2}, size_t{8}}) {
+    SCOPED_TRACE(StrFormat("columnar pipeline, %zu workers", workers));
+    PipelineRun col_run;
+    RunPipeline(combo, /*columnar=*/true, &col_run, /*regions=*/0, workers);
+    ASSERT_EQ(col_run.tapped.size(), row_run.tapped.size());
+    EXPECT_EQ(col_run.transcript, row_run.transcript);
+  }
 }
 
 TEST(DifferentialTest, CountDistinctUsers) {

@@ -160,5 +160,63 @@ TEST(DescribeQueryTest, ReportsAgentAndCentralCounters) {
   EXPECT_NE(system.DescribeQuery(999).find("no record"), std::string::npos);
 }
 
+TEST(DescribeQueryTest, ReportsStagingAndColumnEncodings) {
+  SystemConfig config;
+  config.seed = 92;
+  config.platform.seed = 92;
+  config.platform.datacenters = 1;
+  config.platform.bidservers_per_dc = 2;
+  config.platform.adservers_per_dc = 1;
+  ScrubSystem system(config);
+  PoissonLoadConfig load;
+  load.requests_per_second = 400;
+  load.duration = 4 * kMicrosPerSecond;
+  system.workload().SchedulePoissonLoad(load);
+  Result<SubmittedQuery> grouped = system.Submit(
+      "SELECT bid.country, COUNT(*) FROM bid GROUP BY bid.country "
+      "WINDOW 2 s DURATION 4 s;",
+      [](const ResultRow&) {});
+  ASSERT_TRUE(grouped.ok());
+  Result<SubmittedQuery> join = system.Submit(
+      "SELECT impression.line_item_id, COUNT(*) FROM bid, impression "
+      "GROUP BY impression.line_item_id WINDOW 2 s DURATION 4 s;",
+      [](const ResultRow&) {});
+  ASSERT_TRUE(join.ok());
+  system.RunUntil(5 * kMicrosPerSecond);
+  system.Drain();
+
+  // Single-source columnar query: the country column is the only shipped
+  // field (low-cardinality, so the dictionary wins); the rest render as
+  // dropped.
+  const std::string g = system.DescribeQuery(grouped->id);
+  EXPECT_NE(g.find("staging: columnar\n"), std::string::npos) << g;
+  EXPECT_NE(g.find("source bid:"), std::string::npos) << g;
+  EXPECT_NE(g.find("country=dict("), std::string::npos) << g;
+  EXPECT_NE(g.find("bid_price=dropped"), std::string::npos) << g;
+  EXPECT_EQ(g.find("country=plain"), std::string::npos) << g;
+
+  // Join query: one staging line per source, flagged as columnar join.
+  const std::string j = system.DescribeQuery(join->id);
+  EXPECT_NE(j.find("staging: columnar join\n"), std::string::npos) << j;
+  EXPECT_NE(j.find("source bid:"), std::string::npos) << j;
+  EXPECT_NE(j.find("source impression:"), std::string::npos) << j;
+  EXPECT_NE(j.find("line_item_id=plain"), std::string::npos) << j;
+
+  // Row mode reports itself honestly.
+  SystemConfig row_config = config;
+  row_config.columnar = false;
+  ScrubSystem row_system(row_config);
+  row_system.workload().SchedulePoissonLoad(load);
+  Result<SubmittedQuery> row_sub = row_system.Submit(
+      "SELECT COUNT(*) FROM bid WINDOW 2 s DURATION 4 s;",
+      [](const ResultRow&) {});
+  ASSERT_TRUE(row_sub.ok());
+  row_system.RunUntil(5 * kMicrosPerSecond);
+  row_system.Drain();
+  const std::string r = row_system.DescribeQuery(row_sub->id);
+  EXPECT_NE(r.find("staging: row\n"), std::string::npos) << r;
+  EXPECT_NE(r.find("source bid: row events"), std::string::npos) << r;
+}
+
 }  // namespace
 }  // namespace scrub

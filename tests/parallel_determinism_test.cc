@@ -223,6 +223,37 @@ TEST(SystemDeterminismTest, PipelinesAgreeByteForByteUnderDrops) {
   }
 }
 
+constexpr const char* kJoinQuery =
+    "SELECT impression.line_item_id, COUNT(*) FROM bid, impression "
+    "GROUP BY impression.line_item_id WINDOW 1 s DURATION 3 s;";
+
+TEST(SystemDeterminismTest, JoinPipelinesAgreeByteForByteAcrossWorkers) {
+  // Joins stage columnar too: per-source sections plus the explicit staging
+  // interleave ride one kColumnarJoin batch, and central re-folds them in
+  // arrival order. The columnar-staged join transcript must equal the
+  // row-staged one byte for byte at every worker count (workers > 0 also
+  // exercises the sharded per-request re-bucket of join slices).
+  const std::vector<std::string> reference =
+      RunSystem(0, 0.0, /*columnar=*/false, /*regions=*/0, kJoinQuery);
+  for (const size_t workers : {size_t{0}, size_t{2}, size_t{8}}) {
+    EXPECT_EQ(RunSystem(workers, 0.0, /*columnar=*/true, 0, kJoinQuery),
+              reference)
+        << "workers=" << workers;
+  }
+}
+
+TEST(SystemDeterminismTest, JoinPipelinesAgreeByteForByteUnderDrops) {
+  // Under a 20% drop plan the retransmit path holds encoded kColumnarJoin
+  // payloads; dedup and replay must keep the join transcript exact.
+  const std::vector<std::string> reference =
+      RunSystem(0, 0.2, /*columnar=*/false, /*regions=*/0, kJoinQuery);
+  for (const size_t workers : {size_t{0}, size_t{2}, size_t{8}}) {
+    EXPECT_EQ(RunSystem(workers, 0.2, /*columnar=*/true, 0, kJoinQuery),
+              reference)
+        << "workers=" << workers;
+  }
+}
+
 TEST(SystemDeterminismTest, HierarchicalTranscriptIdenticalAcrossWorkers) {
   // The regional combiner tier must keep the worker knob pure: flat and
   // hierarchical are different row pipelines, but WITHIN the hierarchical

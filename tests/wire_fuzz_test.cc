@@ -377,6 +377,346 @@ TEST_F(ColumnWireFuzzTest, RandomGarbageNeverCrashesTheColumnarDecoder) {
   }
 }
 
+// ---- Dictionary-encoded string columns -----------------------------------
+// kColDict carries a second layer of attacker-controlled counts: the
+// dictionary entry count, every entry's length prefix, and one code byte
+// per non-null row. Each must be validated against the buffer and against
+// the dictionary itself (codes index entries).
+
+class DictWireFuzzTest : public ::testing::Test {
+ protected:
+  DictWireFuzzTest() {
+    schema_ = *EventSchema::Builder("dictprobe")
+                   .AddField("op", FieldType::kString)
+                   .Build();
+    EXPECT_TRUE(registry_.Register(schema_).ok());
+  }
+
+  // 8 rows alternating between two values: low cardinality, so the encoder
+  // must pick the dictionary (dict bytes 29 < plain bytes 68).
+  std::string EncodedDict(std::vector<int>* encodings = nullptr) const {
+    ColumnBatch batch(schema_);
+    for (size_t i = 0; i < 8; ++i) {
+      Event e(schema_, i + 1, /*timestamp=*/10 + static_cast<TimeMicros>(i));
+      e.SetField(0, Value(i % 2 == 0 ? "alpha" : "beta"));
+      batch.AppendEvent(e);
+    }
+    std::string buf;
+    EncodeColumnBatch(batch, nullptr, batch.rows(), nullptr, &buf, encodings);
+    return buf;
+  }
+
+  // Offset of the string column's tag byte (8 rows, see FirstColumnOffset).
+  size_t TagOffset() const {
+    return 4 + schema_->type_name().size() + 4 + 8 * 16;
+  }
+  // u32 dict_count follows the tag and the single bitmap byte.
+  size_t DictCountOffset() const { return TagOffset() + 2; }
+  // Codes follow the count and the two entries ("alpha", "beta").
+  size_t CodesOffset() const { return DictCountOffset() + 4 + 9 + 8; }
+
+  SchemaRegistry registry_;
+  SchemaPtr schema_;
+};
+
+void PatchU32At(std::string* buf, size_t pos, uint32_t v) {
+  ASSERT_LE(pos + 4, buf->size());
+  std::memcpy(buf->data() + pos, &v, 4);
+}
+
+TEST_F(DictWireFuzzTest, LowCardinalityColumnPicksDictAndRoundTrips) {
+  std::vector<int> encodings;
+  const std::string buf = EncodedDict(&encodings);
+  ASSERT_EQ(encodings.size(), 1u);
+  EXPECT_EQ(encodings[0], 2) << "expected a 2-entry dictionary";
+  ASSERT_LT(TagOffset(), buf.size());
+  EXPECT_EQ(buf[TagOffset()], 6) << "expected the kColDict tag";
+  Result<ColumnBatch> r = DecodeColumnBatch(registry_, buf);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(r->ValueAt(/*field=*/0, i), Value(i % 2 == 0 ? "alpha" : "beta"));
+  }
+}
+
+TEST_F(DictWireFuzzTest, EveryTruncationOfADictBatchFailsCleanly) {
+  // Sweeps through the dictionary header, every entry prefix, and the code
+  // bytes: all the "truncated dictionary ..." decode paths.
+  const std::string full = EncodedDict();
+  for (size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(DecodeColumnBatch(registry_, full.substr(0, len)).ok())
+        << "decode succeeded on prefix of " << len << " bytes";
+  }
+}
+
+TEST_F(DictWireFuzzTest, OutOfRangeDictCodeIsRejected) {
+  std::string buf = EncodedDict();
+  ASSERT_LT(CodesOffset(), buf.size());
+  buf[CodesOffset()] = static_cast<char>(0xfe);  // dict has 2 entries
+  Result<ColumnBatch> r = DecodeColumnBatch(registry_, buf);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("code out of range"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(DictWireFuzzTest, DictCountZeroIsRejected) {
+  std::string buf = EncodedDict();
+  PatchU32At(&buf, DictCountOffset(), 0);
+  Result<ColumnBatch> r = DecodeColumnBatch(registry_, buf);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("count out of range"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(DictWireFuzzTest, DictCountBeyondCapIsRejected) {
+  std::string buf = EncodedDict();
+  PatchU32At(&buf, DictCountOffset(), 0xffffffffu);
+  EXPECT_FALSE(DecodeColumnBatch(registry_, buf).ok());
+}
+
+TEST_F(DictWireFuzzTest, DictCountExceedingBufferIsRejected) {
+  std::string buf = EncodedDict();
+  // 200 is within the 256-entry cap but far beyond what the remaining
+  // bytes could hold even at 4 bytes per entry.
+  PatchU32At(&buf, DictCountOffset(), 200);
+  EXPECT_FALSE(DecodeColumnBatch(registry_, buf).ok());
+}
+
+TEST_F(DictWireFuzzTest, DictTagOnNonStringColumnIsRejected) {
+  // A dictionary tag is only legal on string schema fields; patch one onto
+  // a long column and the decoder must refuse before trusting any count.
+  SchemaRegistry registry;
+  SchemaPtr schema = *EventSchema::Builder("longprobe")
+                          .AddField("n", FieldType::kLong)
+                          .Build();
+  ASSERT_TRUE(registry.Register(schema).ok());
+  ColumnBatch batch(schema);
+  for (size_t i = 0; i < 3; ++i) {
+    Event e(schema, i + 1, 10);
+    e.SetField(0, Value(int64_t{7}));
+    batch.AppendEvent(e);
+  }
+  std::string buf;
+  EncodeColumnBatch(batch, nullptr, batch.rows(), nullptr, &buf);
+  const size_t tag_at = 4 + schema->type_name().size() + 4 + 3 * 16;
+  ASSERT_LT(tag_at, buf.size());
+  buf[tag_at] = 6;  // kColDict
+  Result<ColumnBatch> r = DecodeColumnBatch(registry, buf);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("non-string"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(DictWireFuzzTest, TrailingBytesAfterDictBatchAreRejected) {
+  std::string buf = EncodedDict();
+  buf.push_back('\0');
+  EXPECT_FALSE(DecodeColumnBatch(registry_, buf).ok());
+}
+
+TEST_F(DictWireFuzzTest, RandomByteFlipsNeverCrashTheDictDecoder) {
+  const std::string full = EncodedDict();
+  Rng rng(0xd1c7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string buf = full;
+    const int flips = 1 + static_cast<int>(rng.NextUint64() % 8);
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = static_cast<size_t>(rng.NextUint64() % buf.size());
+      buf[pos] = static_cast<char>(rng.NextUint64() & 0xff);
+    }
+    (void)DecodeColumnBatch(registry_, buf);
+  }
+}
+
+// ---- Columnar join batches -------------------------------------------------
+// The join wrapper adds a section count, per-section length prefixes, and
+// the order bytes — all hostile. The order must agree with the sections
+// exactly (count and per-source multiplicity) or the decode fails.
+
+class JoinWireFuzzTest : public ::testing::Test {
+ protected:
+  JoinWireFuzzTest() {
+    rpc_ = *EventSchema::Builder("rpc")
+                .AddField("op", FieldType::kString)
+                .AddField("lat", FieldType::kLong)
+                .Build();
+    db_ = *EventSchema::Builder("db")
+              .AddField("table", FieldType::kString)
+              .Build();
+    EXPECT_TRUE(registry_.Register(rpc_).ok());
+    EXPECT_TRUE(registry_.Register(db_).ok());
+  }
+
+  // Two sections (3 rpc rows, 2 db rows) and the interleave 0 1 0 1 0.
+  std::string EncodedJoin() const {
+    ColumnBatch rpc(rpc_);
+    for (size_t i = 0; i < 3; ++i) {
+      Event e(rpc_, i + 1, 10 + static_cast<TimeMicros>(i));
+      e.SetField(0, Value("get"));
+      e.SetField(1, Value(static_cast<int64_t>(i)));
+      rpc.AppendEvent(e);
+    }
+    ColumnBatch db(db_);
+    for (size_t i = 0; i < 2; ++i) {
+      Event e(db_, i + 1, 20 + static_cast<TimeMicros>(i));
+      e.SetField(0, Value("users"));
+      db.AppendEvent(e);
+    }
+    const std::vector<ColumnJoinSection> sections = {
+        {&rpc, nullptr, rpc.rows(), nullptr},
+        {&db, nullptr, db.rows(), nullptr}};
+    std::string buf;
+    EncodeColumnJoinBatch(sections, {0, 1, 0, 1, 0}, &buf);
+    return buf;
+  }
+
+  SchemaRegistry registry_;
+  SchemaPtr rpc_;
+  SchemaPtr db_;
+};
+
+TEST_F(JoinWireFuzzTest, JoinBatchRoundTrips) {
+  Result<ColumnJoinBatch> r = DecodeColumnJoinBatch(registry_, EncodedJoin());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->sections.size(), 2u);
+  EXPECT_EQ(r->sections[0].rows(), 3u);
+  EXPECT_EQ(r->sections[1].rows(), 2u);
+  EXPECT_EQ(r->order, (std::vector<uint8_t>{0, 1, 0, 1, 0}));
+  EXPECT_EQ(r->sections[0].ValueAt(/*field=*/0, /*row=*/0), Value("get"));
+  EXPECT_EQ(r->sections[1].ValueAt(/*field=*/0, /*row=*/1), Value("users"));
+}
+
+TEST_F(JoinWireFuzzTest, EveryTruncationOfAJoinBatchFailsCleanly) {
+  const std::string full = EncodedJoin();
+  for (size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(DecodeColumnJoinBatch(registry_, full.substr(0, len)).ok())
+        << "decode succeeded on prefix of " << len << " bytes";
+  }
+}
+
+TEST_F(JoinWireFuzzTest, SectionCountOutOfRangeIsRejected) {
+  for (const uint32_t count : {0u, 17u, 0xffffffffu}) {
+    std::string buf = EncodedJoin();
+    PatchU32At(&buf, 0, count);
+    Result<ColumnJoinBatch> r = DecodeColumnJoinBatch(registry_, buf);
+    ASSERT_FALSE(r.ok()) << "section count " << count;
+  }
+}
+
+TEST_F(JoinWireFuzzTest, OrderIndexOutOfRangeIsRejected) {
+  std::string buf = EncodedJoin();
+  buf[buf.size() - 1] = static_cast<char>(9);  // only 2 sections exist
+  Result<ColumnJoinBatch> r = DecodeColumnJoinBatch(registry_, buf);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("order index"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(JoinWireFuzzTest, OrderSourceMultiplicityMismatchIsRejected) {
+  // Flip one in-range order byte: the order still has 5 entries but now
+  // claims 2 rpc rows and 3 db rows, disagreeing with the sections.
+  std::string buf = EncodedJoin();
+  ASSERT_EQ(buf[buf.size() - 1], 0);
+  buf[buf.size() - 1] = static_cast<char>(1);
+  Result<ColumnJoinBatch> r = DecodeColumnJoinBatch(registry_, buf);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("does not match section rows"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(JoinWireFuzzTest, OrderCountMismatchIsRejected) {
+  std::string buf = EncodedJoin();
+  PatchU32At(&buf, buf.size() - 5 - 4, 4);  // claims 4 entries, rows sum 5
+  EXPECT_FALSE(DecodeColumnJoinBatch(registry_, buf).ok());
+}
+
+TEST_F(JoinWireFuzzTest, TrailingBytesAfterJoinBatchAreRejected) {
+  std::string buf = EncodedJoin();
+  buf.push_back('\0');
+  Result<ColumnJoinBatch> r = DecodeColumnJoinBatch(registry_, buf);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("trailing"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(JoinWireFuzzTest, RandomByteFlipsNeverCrashTheJoinDecoder) {
+  const std::string full = EncodedJoin();
+  Rng rng(0x10b5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string buf = full;
+    const int flips = 1 + static_cast<int>(rng.NextUint64() % 8);
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = static_cast<size_t>(rng.NextUint64() % buf.size());
+      buf[pos] = static_cast<char>(rng.NextUint64() & 0xff);
+    }
+    (void)DecodeColumnJoinBatch(registry_, buf);
+  }
+}
+
+// Property: a multi-source staging (random schemas, random interleave,
+// low-cardinality strings that trigger the dictionary) survives the join
+// codec losslessly — every section row materializes to the original event
+// and the interleave round-trips exactly.
+TEST_F(JoinWireFuzzTest, MultiSourceStagingRoundTripsOnRandomSchemas) {
+  Rng rng(0x2b1d);
+  for (int trial = 0; trial < 40; ++trial) {
+    SchemaRegistry registry;
+    const size_t num_sources = 2 + rng.NextUint64() % 2;  // 2 or 3
+    std::vector<SchemaPtr> schemas;
+    std::vector<std::vector<Event>> events(num_sources);
+    std::vector<ColumnBatch> batches;
+    for (size_t s = 0; s < num_sources; ++s) {
+      auto builder = EventSchema::Builder(StrFormat("j%d_%zu", trial, s));
+      builder.AddField("tag", FieldType::kString);
+      builder.AddField("n", FieldType::kLong);
+      schemas.push_back(*builder.Build());
+      ASSERT_TRUE(registry.Register(schemas.back()).ok());
+      batches.emplace_back(schemas.back());
+    }
+    // Random interleave of 0..20 events across the sources; strings drawn
+    // from a 3-value pool so most trials hit the dictionary encoder.
+    std::vector<uint8_t> order;
+    const size_t total = rng.NextUint64() % 21;
+    for (size_t i = 0; i < total; ++i) {
+      const size_t s = rng.NextUint64() % num_sources;
+      Event e(schemas[s], rng.NextUint64() % 50,
+              static_cast<TimeMicros>(rng.NextUint64() % 1000));
+      if (!rng.NextBool(0.15)) {
+        e.SetField(0, Value(StrFormat("v%llu", static_cast<unsigned long long>(
+                                                   rng.NextUint64() % 3))));
+      }
+      e.SetField(1, Value(static_cast<int64_t>(i)));
+      batches[s].AppendEvent(e);
+      events[s].push_back(std::move(e));
+      order.push_back(static_cast<uint8_t>(s));
+    }
+    std::vector<ColumnJoinSection> sections;
+    for (size_t s = 0; s < num_sources; ++s) {
+      sections.push_back({&batches[s], nullptr, batches[s].rows(), nullptr});
+    }
+    std::string buf;
+    EncodeColumnJoinBatch(sections, order, &buf);
+    Result<ColumnJoinBatch> decoded = DecodeColumnJoinBatch(registry, buf);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_EQ(decoded->order, order) << "trial " << trial;
+    ASSERT_EQ(decoded->sections.size(), num_sources);
+    for (size_t s = 0; s < num_sources; ++s) {
+      ASSERT_EQ(decoded->sections[s].rows(), events[s].size());
+      for (size_t r = 0; r < events[s].size(); ++r) {
+        const Event got = decoded->sections[s].MaterializeEvent(r);
+        EXPECT_EQ(got.request_id(), events[s][r].request_id());
+        EXPECT_EQ(got.timestamp(), events[s][r].timestamp());
+        for (size_t f = 0; f < events[s][r].field_count(); ++f) {
+          EXPECT_EQ(got.field(f), events[s][r].field(f))
+              << "trial " << trial << " source " << s << " row " << r;
+        }
+      }
+    }
+  }
+}
+
 // Property: for ANY schema and any event population, shipping rows through
 // the columnar codec is lossless and agrees field-for-field with the row
 // codec. Randomized over schemas (all field types), null density, and row

@@ -11,6 +11,10 @@ against the committed baseline:
     architectural floor (default 1.5x) — this one is absolute, not relative
     to the baseline, so the columnar data plane can never quietly decay into
     a wash;
+  * the fresh ingest.join section's join_columnar speedup over row holds the
+    same kind of absolute floor (default 1.5x), and the fresh ingest.dict
+    section's wire_bytes_reduction must hold its floor (default 1.3x) — the
+    dictionary encoding has to keep paying for itself;
   * fleet runs, keyed by topology (flat / hierarchical / *_preagg):
     central-link bytes and central CPU must not GROW by more than the
     threshold, and the fresh flat/hierarchical bytes ratio must hold the
@@ -58,6 +62,16 @@ def ingest_join_runs(doc):
     section = (doc.get("ingest") or {}).get("join") or {}
     return ({r["pipeline"]: r for r in section.get("runs", [])},
             section.get("speedup_vs_row"))
+
+
+def ingest_dict_runs(doc):
+    # The dict case (a kept low-cardinality string column, dictionary-
+    # encoded on the wire) nests under ingest.dict; absent in pre-dict
+    # baselines. Gated on events/sec like every case, plus an absolute
+    # wire-bytes-reduction floor vs the row pipeline.
+    section = (doc.get("ingest") or {}).get("dict") or {}
+    return ({r["pipeline"]: r for r in section.get("runs", [])},
+            section.get("wire_bytes_reduction"))
 
 
 def ingest_spill_runs(doc):
@@ -169,6 +183,12 @@ def main():
     parser.add_argument("--min-ingest-speedup", type=float, default=1.5,
                         help="columnar-over-row floor for the fresh ingest "
                              "bench")
+    parser.add_argument("--min-join-speedup", type=float, default=1.5,
+                        help="join_columnar-over-row floor for the fresh "
+                             "ingest join bench")
+    parser.add_argument("--min-dict-bytes-reduction", type=float, default=1.3,
+                        help="row-over-columnar wire-bytes floor for the "
+                             "fresh ingest dict bench")
     parser.add_argument("--min-filter-speedup", type=float, default=1.05,
                         help="IR-over-legacy floor for the fresh filter "
                              "bench (row path)")
@@ -194,12 +214,45 @@ def main():
     fresh_join, fresh_join_speedup = ingest_join_runs(fresh)
     gate_events_per_sec("ingest.join", base_join, fresh_join, args.threshold,
                         failures)
-    if fresh_join_speedup is not None:
-        # Informational: the join's columnar win rides on lazy
-        # materialization, not the vectorized filter, so it has no
-        # architectural floor of its own.
-        print(f"ok   ingest.join columnar speedup vs row: "
-              f"{fresh_join_speedup:.2f}x")
+    if fresh_join:
+        if fresh_join_speedup is None:
+            line = "ingest.join: fresh run has no speedup_vs_row field"
+            failures.append(line)
+            print("FAIL " + line)
+        else:
+            # Absolute floor, like the scan speedup: the staged
+            # kColumnarJoin pipeline (sections + interleave, column-direct
+            # mixed-tuple folds) must hold its margin over the row pipeline
+            # or the columnar join quietly decayed into a wash.
+            line = (f"ingest.join join_columnar speedup vs row: "
+                    f"{fresh_join_speedup:.2f}x "
+                    f"(floor {args.min_join_speedup:.2f}x)")
+            if fresh_join_speedup < args.min_join_speedup:
+                failures.append(line)
+                print("FAIL " + line)
+            else:
+                print("ok   " + line)
+
+    base_dict, _ = ingest_dict_runs(baseline)
+    fresh_dict, fresh_dict_reduction = ingest_dict_runs(fresh)
+    gate_events_per_sec("ingest.dict", base_dict, fresh_dict, args.threshold,
+                        failures)
+    if fresh_dict:
+        if fresh_dict_reduction is None:
+            line = "ingest.dict: fresh run has no wire_bytes_reduction field"
+            failures.append(line)
+            print("FAIL " + line)
+        else:
+            # Absolute floor: the dictionary must keep shrinking the wire on
+            # the low-cardinality workload it exists for.
+            line = (f"ingest.dict wire bytes reduction vs row: "
+                    f"{fresh_dict_reduction:.2f}x "
+                    f"(floor {args.min_dict_bytes_reduction:.2f}x)")
+            if fresh_dict_reduction < args.min_dict_bytes_reduction:
+                failures.append(line)
+                print("FAIL " + line)
+            else:
+                print("ok   " + line)
 
     base_spill = ingest_spill_runs(baseline)
     fresh_spill = ingest_spill_runs(fresh)

@@ -72,6 +72,19 @@ else
        "${BUILD_DIR}/tests/spill_test" > /dev/null; then
     fail "spill stress failed under sanitizers (re-run: SCRUB_SPILL_STRESS_DIVISOR=64 ${BUILD_DIR}/tests/spill_test)"
   fi
+  # The dict/join wire decoders parse hostile bytes; run their fuzz fixtures
+  # by name (in addition to the full ctest pass above) so a fixture rename
+  # or deletion is a visible gate change, not silent coverage loss.
+  note "dict/join wire fuzz under ASan+UBSan"
+  if ! "${BUILD_DIR}/tests/wire_fuzz_test" --gtest_list_tests \
+       --gtest_filter='DictWireFuzzTest.*:JoinWireFuzzTest.*' 2>/dev/null | \
+       grep -q '^  '; then
+    fail "dict/join fuzz fixtures missing from wire_fuzz_test"
+  elif ! ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+       "${BUILD_DIR}/tests/wire_fuzz_test" \
+       --gtest_filter='DictWireFuzzTest.*:JoinWireFuzzTest.*' > /dev/null; then
+    fail "dict/join wire fuzz failed under sanitizers (re-run: ${BUILD_DIR}/tests/wire_fuzz_test --gtest_filter='DictWireFuzzTest.*:JoinWireFuzzTest.*')"
+  fi
 fi
 
 # ------------------------------------------------- TSan build + test ---------
@@ -83,7 +96,11 @@ note "TSan build"
 TSAN_DIR="${REPO}/build-tsan"
 # merge_algebra_test and the hierarchical halves of the determinism /
 # differential / chaos suites drive the combiner tier; the worker-pool
-# hierarchical runs are what TSan is here for.
+# hierarchical runs are what TSan is here for. The columnar-join suites
+# (parallel_determinism_test's JoinPipelines* and differential_test's
+# JoinColumnarStagingAcrossWorkerCounts) exercise the sharded kColumnarJoin
+# re-bucket — parallel decode plus shared read-only sections — at workers
+# {2, 8}, so those binaries double as the join-path race check.
 TSAN_TESTS="common_test parallel_determinism_test differential_test sharded_central_test chaos_test spill_test merge_algebra_test"
 mkdir -p "${TSAN_DIR}"
 if ! cmake -B "${TSAN_DIR}" -S "${REPO}" \
@@ -137,7 +154,7 @@ if [ -f "${REPO}/BENCH_scrub.json" ]; then
     fail "benchmark run failed (logs: ${REPO}/build-bench/build.log)"
   elif ! python3 "${REPO}/tools/bench_compare.py" \
         "${REPO}/BENCH_scrub.json" "${FRESH_BENCH}"; then
-    fail "events/sec regressed >15% vs committed BENCH_scrub.json, or the columnar ingest (1.5x) / IR filter (1.05x) / fleet bytes-reduction (5x) floors broke"
+    fail "events/sec regressed >15% vs committed BENCH_scrub.json, or the columnar ingest (1.5x) / join_columnar (1.5x) / dict wire-bytes (1.3x) / IR filter (1.05x) / fleet bytes-reduction (5x) floors broke"
   fi
   rm -f "${FRESH_BENCH}"
 else

@@ -689,6 +689,42 @@ SpillCaseResult RunSpillCase(const Workload& w) {
   return out;
 }
 
+// Metrics-overhead case: the identical columnar scan with the operator-
+// metrics plane on (the production default) vs off. The plane is pure
+// counters plus one thread-CPU read per chunk, so metrics-on must hold the
+// absolute floor against metrics-off (tools/bench_compare.py gates the
+// ratio at 0.95 by default) — the observability tax can never quietly grow.
+struct MetricsCase {
+  RunResult on;
+  RunResult off;
+};
+
+MetricsCase RunMetricsCase(const Workload& w) {
+  MetricsCase out;
+  CentralConfig metrics_off;
+  metrics_off.collect_op_metrics = false;
+  out.on = RunOne(w, Mode::kColumnar);
+  out.off = RunOne(w, Mode::kColumnar, metrics_off);
+  if (out.on.transcript != out.off.transcript) {
+    std::fprintf(stderr, "metrics on/off diverged: %zu vs %zu rows\n",
+                 out.on.transcript.size(), out.off.transcript.size());
+    std::exit(1);
+  }
+  for (int rep = 1; rep < 3; ++rep) {
+    RunResult again = RunOne(w, Mode::kColumnar);
+    if (again.seconds < out.on.seconds) {
+      out.on = std::move(again);
+    }
+    again = RunOne(w, Mode::kColumnar, metrics_off);
+    if (again.seconds < out.off.seconds) {
+      out.off = std::move(again);
+    }
+  }
+  out.on.pipeline = "metrics_on";
+  out.off.pipeline = "metrics_off";
+  return out;
+}
+
 std::string RunsJson(const CasePair& pair, const char* indent) {
   std::string out;
   for (const RunResult* r : {&pair.row, &pair.col}) {
@@ -718,6 +754,7 @@ int Main(int argc, char** argv) {
   const JoinCase join_case = RunJoinCase(join);
   const CasePair dict_pair = RunCase(dict, "dict");
   const SpillCaseResult spill_case = RunSpillCase(spill);
+  const MetricsCase metrics_case = RunMetricsCase(scan);
 
   // The dict case only means something if the dictionary actually fired on
   // the kept string column (field 2, "tag").
@@ -838,6 +875,24 @@ int Main(int argc, char** argv) {
                    f_ir_row.events_per_sec / f_legacy_row.events_per_sec);
   out += StrFormat("    \"speedup_vs_legacy_columnar\": %.3f\n",
                    f_ir_col.events_per_sec / f_legacy_col.events_per_sec);
+  out += "  },\n";
+  out += "  \"metrics\": {\n";
+  out += "    \"query\": \"the scan workload with the operator-metrics "
+         "plane on vs off; the ratio is the observability tax and is "
+         "floor-gated\",\n";
+  out += "    \"runs\": [\n";
+  for (const RunResult* r : {&metrics_case.on, &metrics_case.off}) {
+    out += StrFormat(
+        "      {\"pipeline\": \"%s\", \"events\": %llu, "
+        "\"seconds\": %.6f, \"events_per_sec\": %.0f}%s\n",
+        r->pipeline.c_str(), static_cast<unsigned long long>(r->events),
+        r->seconds, r->events_per_sec,
+        r == &metrics_case.off ? "" : ",");
+  }
+  out += "    ],\n";
+  out += StrFormat("    \"events_per_sec_ratio\": %.3f\n",
+                   metrics_case.on.events_per_sec /
+                       metrics_case.off.events_per_sec);
   out += "  }\n";
   out += "}\n";
   std::fputs(out.c_str(), stdout);

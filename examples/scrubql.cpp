@@ -32,6 +32,7 @@ struct Options {
   uint64_t seed = 42;
   bool explain_only = false;
   bool lint_only = false;
+  bool analyze = false;
   std::string query;
 };
 
@@ -52,12 +53,16 @@ void PrintUsage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--qps N] [--seconds N] [--seed N] [--explain] [--lint] "
-      "[query]\n"
+      "[--analyze] [query]\n"
       "  runs the Scrub query against a simulated ad-bidding platform.\n"
       "  --lint checks the query statically and prints diagnostics only.\n"
+      "  --analyze runs the query and finishes with EXPLAIN ANALYZE: the\n"
+      "  physical pipeline annotated with per-operator rows/selectivity/CPU\n"
+      "  and the memory-pressure ledger.\n"
       "  with no query argument, reads one query per line from stdin;\n"
       "  ':lint <query>' lints a query without running it;\n"
-      "  ':explain <query>' prints the plan, typed IR and lint findings.\n",
+      "  ':explain <query>' prints the plan, typed IR and lint findings;\n"
+      "  ':analyze <query>' runs it and prints EXPLAIN ANALYZE.\n",
       argv0);
 }
 
@@ -75,6 +80,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->explain_only = true;
     } else if (arg == "--lint") {
       options->lint_only = true;
+    } else if (arg == "--analyze") {
+      options->analyze = true;
     } else if (arg == "--qps") {
       double v;
       if (!next(&v) || v <= 0) {
@@ -157,12 +164,20 @@ int RunQuery(const Options& options, const std::string& query) {
               submitted->hosts_installed, submitted->hosts_targeted,
               options.seconds, options.qps);
 
+  // EXPLAIN ANALYZE needs the query still installed to render its pipeline,
+  // so snapshot it just before the span expires.
+  std::string analyze_out;
+  if (options.analyze && submitted->end_time > 0) {
+    system.RunUntil(submitted->end_time - 1);
+    analyze_out = system.ExplainAnalyze(submitted->id);
+  }
   system.RunUntil(std::max<TimeMicros>(
       submitted->end_time, options.seconds * kMicrosPerSecond));
   system.Drain();
 
   std::printf("-- %zu rows --\n%s", rows,
-              system.DescribeQuery(submitted->id).c_str());
+              options.analyze ? analyze_out.c_str()
+                              : system.DescribeQuery(submitted->id).c_str());
   const OverheadReport report = system.TotalOverhead();
   std::printf("host overhead: %.3f%% of application CPU went to Scrub\n",
               report.scrub_fraction * 100.0);
@@ -199,6 +214,11 @@ int main(int argc, char** argv) {
       Options explain_options = options;
       explain_options.explain_only = true;
       status = RunQuery(explain_options,
+                        std::string(StripWhitespace(query.substr(8))));
+    } else if (query.rfind(":analyze", 0) == 0) {
+      Options analyze_options = options;
+      analyze_options.analyze = true;
+      status = RunQuery(analyze_options,
                         std::string(StripWhitespace(query.substr(8))));
     } else if (!query.empty()) {
       status = RunQuery(options, query);

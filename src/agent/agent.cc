@@ -34,6 +34,31 @@ void ScrubAgent::RemoveQuery(QueryId query_id) {
   staging_accountant_.ReleaseAll(query_id);  // staged events die with it
 }
 
+void ScrubAgent::SetBatchOverride(QueryId query_id, size_t max_batch_events) {
+  const auto it = queries_.find(query_id);
+  if (it != queries_.end()) {
+    it->second.batch_override = max_batch_events;
+  }
+}
+
+void ScrubAgent::SetPipelineOverride(QueryId query_id, bool columnar) {
+  const auto it = queries_.find(query_id);
+  if (it != queries_.end()) {
+    it->second.pending_pipeline = columnar ? 1 : 0;
+  }
+}
+
+bool ScrubAgent::UsesColumns(QueryId query_id) const {
+  const auto it = queries_.find(query_id);
+  return it != queries_.end() && it->second.use_columns;
+}
+
+size_t ScrubAgent::BatchLimitFor(QueryId query_id) const {
+  const auto it = queries_.find(query_id);
+  return it == queries_.end() ? config_.max_batch_events
+                              : EffectiveBatch(it->second);
+}
+
 TimeMicros ScrubAgent::WindowStartFor(const ActiveQuery& q,
                                       TimeMicros ts) const {
   // Counters are kept per slide period; for tumbling queries the slide
@@ -289,10 +314,9 @@ void ScrubAgent::FlushColumns(QueryId query_id, ActiveQuery& q,
         static_cast<int64_t>(selection.size());
   meter_->ChargeScrub(ns);
 
-  for (size_t start = 0; start < selection.size();
-       start += config_.max_batch_events) {
-    const size_t n =
-        std::min(config_.max_batch_events, selection.size() - start);
+  const size_t max_batch = EffectiveBatch(q);
+  for (size_t start = 0; start < selection.size(); start += max_batch) {
+    const size_t n = std::min(max_batch, selection.size() - start);
     EventBatch batch;
     batch.query_id = query_id;
     batch.host = host_;
@@ -391,10 +415,9 @@ void ScrubAgent::FlushColumnJoin(QueryId query_id, ActiveQuery& q,
     // does not wipe the "most recent shipped encodings" report.
     q.stats.last_encodings.assign(num_sources, {});
   }
-  for (size_t start = 0; start < arrivals.size();
-       start += config_.max_batch_events) {
-    const size_t n =
-        std::min(config_.max_batch_events, arrivals.size() - start);
+  const size_t max_batch = EffectiveBatch(q);
+  for (size_t start = 0; start < arrivals.size(); start += max_batch) {
+    const size_t n = std::min(max_batch, arrivals.size() - start);
     // Per-source row lists for this chunk. Rows within a source are in row
     // order (arrival order restricted to the source), so each section is a
     // plain ascending selection.
@@ -602,7 +625,7 @@ std::vector<EventBatch> ScrubAgent::Flush(TimeMicros now,
       batch.seq = ++next_seq_[it->first];
       batch.epoch = epoch_;
       std::vector<Event> events;
-      q.staged.DrainInto(&events, config_.max_batch_events);
+      q.staged.DrainInto(&events, EffectiveBatch(q));
       batch.event_count = events.size();
       q.stats.events_shipped += events.size();
       batch.payload = EncodeBatch(events);
@@ -628,6 +651,18 @@ std::vector<EventBatch> ScrubAgent::Flush(TimeMicros now,
     // column batch in FlushColumns), so its whole byte charge comes back.
     if (staging_accountant_.active()) {
       staging_accountant_.ReleaseAll(it->first);
+    }
+    // Apply a pending pipeline switch here, where staging is provably empty
+    // (both paths fully drained above): no staged event ever changes
+    // representation, and central folds each batch by its own format, so
+    // the switch cannot perturb the result transcript.
+    if (q.pending_pipeline >= 0) {
+      q.use_columns = q.pending_pipeline == 1 && !q.plan.preaggregate &&
+                      q.plan.sources.size() <= kMaxColumnJoinSections;
+      q.stats.columnar_staging = q.use_columns;
+      q.pending_pipeline = -1;
+      q.columns.clear();
+      q.staging_order.clear();
     }
     // Retire expired queries after their final drain.
     if (now >= q.plan.end_time) {

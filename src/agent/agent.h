@@ -199,6 +199,27 @@ class ScrubAgent {
   size_t pending_retransmits() const;
   uint64_t epoch() const { return epoch_; }
 
+  // Adaptive-execution hooks (driven by the central AdaptiveController).
+  //
+  // SetBatchOverride replaces config.max_batch_events for one query (0
+  // restores the configured default). It takes effect at the next flush;
+  // batch boundaries carry no fold effects at central, so re-chunking is
+  // transcript-neutral by construction.
+  void SetBatchOverride(QueryId query_id, size_t max_batch_events);
+  // SetPipelineOverride requests row (false) or columnar (true) staging for
+  // one query. The switch is deferred to the end of the query's next flush
+  // — the one point where staging is provably empty — so no staged event
+  // ever changes representation mid-stream. Columnar is granted only if the
+  // plan is eligible (no pre-aggregation, source count within the wire's
+  // section cap); an ineligible request silently keeps the row path, which
+  // is exactly the install-time fallback behavior.
+  void SetPipelineOverride(QueryId query_id, bool columnar);
+  // Introspection for DescribeQuery and the controller: current staging
+  // pipeline and effective batch cap (returns config defaults for unknown
+  // queries).
+  bool UsesColumns(QueryId query_id) const;
+  size_t BatchLimitFor(QueryId query_id) const;
+
   const AgentQueryStats* StatsFor(QueryId query_id) const;
   uint64_t total_events_logged() const { return total_events_logged_; }
 
@@ -234,6 +255,11 @@ class ScrubAgent {
       std::vector<PreAggGroup> groups;
     };
     std::map<TimeMicros, PreAggState> preagg;
+    // Adaptive overrides: 0 = use config.max_batch_events; pending_pipeline
+    // is -1 (none) / 0 (row) / 1 (columnar), applied at the next flush's
+    // empty-staging point.
+    size_t batch_override = 0;
+    int pending_pipeline = -1;
     AgentQueryStats stats;
 
     explicit ActiveQuery(const HostPlan& p, size_t capacity)
@@ -274,6 +300,12 @@ class ScrubAgent {
 
   // Total rows staged across a columnar query's per-source batches.
   size_t StagedColumnRows(const ActiveQuery& q) const;
+
+  // Per-query flush chunk cap: the adaptive override when set, else the
+  // configured default.
+  size_t EffectiveBatch(const ActiveQuery& q) const {
+    return q.batch_override > 0 ? q.batch_override : config_.max_batch_events;
+  }
 
   // Pre-aggregation path: folds one selected event into its slot's delta
   // cells (returns the CPU charged), and flushes the accumulated deltas as

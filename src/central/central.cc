@@ -57,6 +57,11 @@ void ScrubCentral::RemoveQuery(QueryId query_id) {
   for (auto& [start, window] : q.windows) {
     executor_.CloseWindow(q, &window);
   }
+  // Stamp the accountant's high-water mark into the stats snapshot before
+  // ReleaseAll forgets the query, so post-mortem DescribeQuery still shows
+  // the honest peak (the same survival trick last_encodings uses).
+  q.stats.peak_state_bytes =
+      std::max<uint64_t>(q.stats.peak_state_bytes, accountant_.peak(query_id));
   retired_stats_[query_id] = q.stats;
   queries_.erase(it);
   // Windows release their charges as they close; this sweeps any residue so
@@ -111,6 +116,7 @@ Status ScrubCentral::IngestEvents(QueryId query_id, HostId host,
   }
   QueryState& q = it->second;
   ++q.stats.batches;
+  executor_.StampDecodeRows(q, events.size());
   executor_.Fold(q, host, InputChunk::Rows(events));
   return OkStatus();
 }
@@ -125,6 +131,8 @@ Status ScrubCentral::IngestColumns(QueryId query_id, HostId host,
   }
   QueryState& q = it->second;
   ++q.stats.batches;
+  executor_.StampDecodeRows(
+      q, selection != nullptr ? selected : batch->rows());
   executor_.Fold(q, host,
                  InputChunk::Columns(std::move(batch), selection, selected));
   return OkStatus();
@@ -138,6 +146,7 @@ Status ScrubCentral::IngestJoinColumns(QueryId query_id, HostId host,
   }
   QueryState& q = it->second;
   ++q.stats.batches;
+  executor_.StampDecodeRows(q, slice.order.size());
   executor_.FoldColumnJoin(q, host, slice);
   return OkStatus();
 }

@@ -91,6 +91,16 @@ class ScrubCentral {
   void OnTick(TimeMicros now);
 
   const CentralQueryStats* StatsFor(QueryId query_id) const;
+  // Ids of every installed (not yet retired) query, unordered. The adaptive
+  // controller walks these to read per-operator metrics each pump.
+  std::vector<QueryId> ActiveQueryIds() const {
+    std::vector<QueryId> ids;
+    ids.reserve(queries_.size());
+    for (const auto& [qid, q] : queries_) {
+      ids.push_back(qid);
+    }
+    return ids;
+  }
   const CostMeter& meter() const { return meter_; }
   // State-size introspection (memory pressure experiments).
   size_t OpenWindows(QueryId query_id) const;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/strings.h"
+#include "src/common/worker_pool.h"
 
 namespace scrub {
 
@@ -95,6 +96,11 @@ void PartialCoordinator::AbsorbPartial(WindowPartial&& partial) {
     return;
   }
   Coordinator& c = it->second;
+  // Shard-side operator metrics merge even off a late partial: the shard
+  // did that work whether or not the window can still absorb its groups.
+  if (!partial.op_metrics.empty()) {
+    MergeOperatorMetrics(c.stats.upstream_op_metrics, partial.op_metrics);
+  }
   if (partial.window_start <= c.closed_through) {
     // The window already finalized and emitted; merging now would re-create
     // it and double-emit at expiry. Count the loss instead — lateness
@@ -149,12 +155,34 @@ void PartialCoordinator::ForwardRow(const ResultRow& row) {
   if (it == coordinators_.end()) {
     return;
   }
-  ++it->second.stats.rows_emitted;
-  it->second.sink(row);
+  Coordinator& c = it->second;
+  if (config_.collect_op_metrics && !c.pipeline.ops.empty()) {
+    // Raw-mode Finalize is a passthrough; row counts only (no per-row clock).
+    if (c.stats.op_metrics.empty()) {
+      c.stats.op_metrics.resize(c.pipeline.ops.size());
+    }
+    OperatorMetrics& m = c.stats.op_metrics.front();
+    m.rows_in += 1;
+    m.rows_out += 1;
+  }
+  ++c.stats.rows_emitted;
+  c.sink(row);
 }
 
 void PartialCoordinator::FinalizeWindow(Coordinator& c, TimeMicros start,
                                         CoordinatorGroups& groups) {
+  // The coordinator pipeline is the single Finalize op; one timed batch per
+  // finalized window.
+  const bool metrics = config_.collect_op_metrics && !c.pipeline.ops.empty();
+  uint64_t t0 = 0;
+  uint64_t groups_in = 0;
+  if (metrics) {
+    if (c.stats.op_metrics.empty()) {
+      c.stats.op_metrics.resize(c.pipeline.ops.size());
+    }
+    t0 = WorkerPool::ThreadCpuNs();
+    groups_in = groups.size();
+  }
   const CentralPlan& plan = c.plan;
   // Completeness: union of hosts heard from across the slide-grid slots the
   // window covers. An empty union means no counters ever flowed (hand-built
@@ -335,6 +363,13 @@ void PartialCoordinator::FinalizeWindow(Coordinator& c, TimeMicros start,
     ++c.stats.groups_emitted;
     ++c.stats.rows_emitted;
     c.sink(row);
+  }
+  if (metrics) {
+    OperatorMetrics& m = c.stats.op_metrics.front();
+    m.rows_in += groups_in;
+    m.rows_out += ordered.size();
+    m.batches += 1;
+    m.cpu_ns += WorkerPool::ThreadCpuNs() - t0;
   }
   c.closed_through = std::max(c.closed_through, start);
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/strings.h"
+#include "src/common/worker_pool.h"
 #include "src/plan/vectorized.h"
 
 namespace scrub {
@@ -114,7 +115,78 @@ WindowPartial WindowPartial::Clone() const {
   copy.group_readings = group_readings;
   copy.input_events = input_events;
   copy.shed_events = shed_events;
+  copy.op_metrics = op_metrics;
   return copy;
+}
+
+void Executor::EnsureOpIndex(QueryState& q) const {
+  if (q.op_index_ready) {
+    return;
+  }
+  q.op_index_ready = true;
+  q.stats.op_metrics.resize(q.pipeline.ops.size());
+  for (size_t i = 0; i < q.pipeline.ops.size(); ++i) {
+    switch (q.pipeline.ops[i].kind) {
+      case PhysicalOpKind::kDecode:
+        q.op_decode = static_cast<int>(i);
+        break;
+      case PhysicalOpKind::kJoin:
+        q.op_join = static_cast<int>(i);
+        break;
+      case PhysicalOpKind::kProject:
+      case PhysicalOpKind::kGroupFold:
+        q.op_fold = static_cast<int>(i);
+        break;
+      case PhysicalOpKind::kWindowClose:
+        q.op_close = static_cast<int>(i);
+        break;
+      case PhysicalOpKind::kFinalize:
+        q.op_finalize = static_cast<int>(i);
+        break;
+    }
+  }
+}
+
+void Executor::StampFoldMetrics(QueryState& q, size_t rows, uint64_t t0,
+                                uint64_t joined0, uint64_t emitted0,
+                                uint64_t late0, uint64_t shed0,
+                                uint64_t spilled0) const {
+  const int target = q.op_join >= 0 ? q.op_join : q.op_fold;
+  if (target < 0) {
+    return;
+  }
+  OperatorMetrics& m = q.stats.op_metrics[static_cast<size_t>(target)];
+  m.rows_in += rows;
+  m.batches += 1;
+  m.cpu_ns += WorkerPool::ThreadCpuNs() - t0;
+  if (q.op_join >= 0) {
+    // Join pipelines fuse probe and fold in one loop, so the chunk's CPU
+    // lands on Join; the downstream op still gets honest row counts.
+    const uint64_t tuples = q.stats.tuples_joined - joined0;
+    m.rows_out += tuples;
+    if (q.op_fold >= 0) {
+      OperatorMetrics& f = q.stats.op_metrics[static_cast<size_t>(q.op_fold)];
+      f.rows_in += tuples;
+      f.rows_out += q.plan.aggregate_mode
+                        ? tuples
+                        : q.stats.rows_emitted - emitted0;
+      f.batches += 1;
+    }
+    return;
+  }
+  if (!q.plan.aggregate_mode) {
+    // Project emits eagerly; sliding windows can fan one row out to several
+    // emissions, so selectivity above 1.0 is honest, not a bug.
+    m.rows_out += q.stats.rows_emitted - emitted0;
+    return;
+  }
+  // GroupFold: rows that actually reached an accumulator this chunk — late,
+  // shed and spilled rows didn't. Saturating: under sliding windows one row
+  // can shed in several covering windows.
+  const uint64_t rejected = (q.stats.events_late - late0) +
+                            (q.stats.events_shed - shed0) +
+                            (q.stats.events_spilled - spilled0);
+  m.rows_out += rows > rejected ? rows - rejected : 0;
 }
 
 Value FinalizeAccumulator(const AggregateSpec& spec,
@@ -244,11 +316,30 @@ std::vector<WindowState*> Executor::WindowsFor(QueryState& q, TimeMicros ts) {
 
 Status Executor::DecodeAndFold(QueryState& q, HostId host,
                                const EventBatch& batch) {
+  // Decode-operator metrics: one clock read before the wire decode, one
+  // after; the fold stages time themselves.
+  const bool metrics = MetricsOn();
+  uint64_t t0 = 0;
+  if (metrics) {
+    EnsureOpIndex(q);
+    t0 = WorkerPool::ThreadCpuNs();
+  }
+  const auto stamp_decode = [&](size_t rows_out) {
+    if (!metrics || q.op_decode < 0) {
+      return;
+    }
+    OperatorMetrics& m = q.stats.op_metrics[static_cast<size_t>(q.op_decode)];
+    m.rows_in += batch.event_count;
+    m.rows_out += rows_out;
+    m.batches += 1;
+    m.cpu_ns += WorkerPool::ThreadCpuNs() - t0;
+  };
   if (batch.format == BatchFormat::kPreAgg) {
     Result<std::vector<PreAggSlot>> slots = DecodePreAggBatch(batch.payload);
     if (!slots.ok()) {
       return slots.status();
     }
+    stamp_decode(slots->size());
     FoldPreAgg(q, host, *slots);
     return OkStatus();
   }
@@ -260,6 +351,7 @@ Status Executor::DecodeAndFold(QueryState& q, HostId host,
     // Shared ownership so join entries can defer materialization past the
     // chunk's lifetime (the batch lives while any orphan references it).
     auto shared = std::make_shared<const ColumnBatch>(std::move(*cols));
+    stamp_decode(shared->rows());
     Fold(q, host, InputChunk::Columns(std::move(shared), /*selection=*/nullptr,
                                       /*selected=*/0));
     return OkStatus();
@@ -286,6 +378,7 @@ Status Executor::DecodeAndFold(QueryState& q, HostId host,
     for (size_t i = 0; i < slice.order.size(); ++i) {
       slice.rows[i] = cursor[slice.order[i]]++;
     }
+    stamp_decode(slice.order.size());
     FoldColumnJoin(q, host, slice);
     return OkStatus();
   }
@@ -293,12 +386,37 @@ Status Executor::DecodeAndFold(QueryState& q, HostId host,
   if (!events.ok()) {
     return events.status();
   }
+  stamp_decode(events->size());
   Fold(q, host, InputChunk::Rows(*events));
   return OkStatus();
 }
 
+void Executor::StampDecodeRows(QueryState& q, size_t rows) {
+  if (!MetricsOn()) {
+    return;
+  }
+  EnsureOpIndex(q);
+  if (q.op_decode < 0) {
+    return;
+  }
+  OperatorMetrics& m = q.stats.op_metrics[static_cast<size_t>(q.op_decode)];
+  m.rows_in += rows;
+  m.rows_out += rows;
+  m.batches += 1;
+}
+
 void Executor::FoldPreAgg(QueryState& q, HostId host,
                           const std::vector<PreAggSlot>& slots) {
+  const bool metrics = MetricsOn();
+  uint64_t t0 = 0;
+  uint64_t ingested0 = 0;
+  uint64_t late0 = 0;
+  if (metrics) {
+    EnsureOpIndex(q);
+    t0 = WorkerPool::ThreadCpuNs();
+    ingested0 = q.stats.events_ingested;
+    late0 = q.stats.events_late;
+  }
   const CentralPlan& plan = q.plan;
   for (const PreAggSlot& slot : slots) {
     meter_->ChargeScrub(config_->costs.central_ingest_ns);
@@ -336,6 +454,16 @@ void Executor::FoldPreAgg(QueryState& q, HostId host,
       }
     }
   }
+  if (metrics && q.op_fold >= 0) {
+    // Pre-aggregated deltas fold straight into GroupFold (no join, no
+    // per-row representation): rows are the events the slots represent.
+    OperatorMetrics& m = q.stats.op_metrics[static_cast<size_t>(q.op_fold)];
+    const uint64_t represented = q.stats.events_ingested - ingested0;
+    m.rows_in += represented;
+    m.rows_out += represented - (q.stats.events_late - late0);
+    m.batches += 1;
+    m.cpu_ns += WorkerPool::ThreadCpuNs() - t0;
+  }
 }
 
 void Executor::FoldColumnJoin(QueryState& q, HostId host,
@@ -355,6 +483,24 @@ void Executor::FoldColumnJoin(QueryState& q, HostId host,
 }
 
 void Executor::Fold(QueryState& q, HostId host, const InputChunk& chunk) {
+  // Chunk-granularity operator metrics: snapshot the stats the fold already
+  // maintains, stamp the deltas once at the end. No per-row clock reads.
+  const bool metrics = MetricsOn();
+  uint64_t t0 = 0;
+  uint64_t joined0 = 0;
+  uint64_t emitted0 = 0;
+  uint64_t late0 = 0;
+  uint64_t shed0 = 0;
+  uint64_t spilled0 = 0;
+  if (metrics) {
+    EnsureOpIndex(q);
+    t0 = WorkerPool::ThreadCpuNs();
+    joined0 = q.stats.tuples_joined;
+    emitted0 = q.stats.rows_emitted;
+    late0 = q.stats.events_late;
+    shed0 = q.stats.events_shed;
+    spilled0 = q.stats.events_spilled;
+  }
   // A columnar chunk carries one schema, so the join's source index resolves
   // once per chunk; row spans may mix types and resolve per event.
   int column_source = -1;
@@ -412,6 +558,9 @@ void Executor::Fold(QueryState& q, HostId host, const InputChunk& chunk) {
     for (WindowState* w : windows) {
       FoldInto(q, *w, chunk, i, column_source, host, cache_ptr);
     }
+  }
+  if (metrics) {
+    StampFoldMetrics(q, n, t0, joined0, emitted0, late0, shed0, spilled0);
   }
 }
 
@@ -864,6 +1013,28 @@ void Executor::CloseWindow(QueryState& q, WindowState* w) {
     return;
   }
   w->closed = true;
+  // WindowClose metrics cover everything up to (not including) Finalize:
+  // spill replay, completeness/fidelity accounting, orphan sweep, partial
+  // export. rows_in = events the window absorbed, rows_out = groups held at
+  // close, one batch per closed window.
+  const bool metrics = MetricsOn();
+  uint64_t t0 = 0;
+  if (metrics) {
+    EnsureOpIndex(q);
+    t0 = WorkerPool::ThreadCpuNs();
+  }
+  const auto stamp_close = [&]() -> uint64_t {
+    const uint64_t now = metrics ? WorkerPool::ThreadCpuNs() : 0;
+    if (metrics && q.op_close >= 0) {
+      OperatorMetrics& m =
+          q.stats.op_metrics[static_cast<size_t>(q.op_close)];
+      m.rows_in += w->input_events;
+      m.rows_out += w->groups.size();
+      m.batches += 1;
+      m.cpu_ns += now - t0;
+    }
+    return now;
+  };
   // Deferred events replay through the ordinary fold first, so completeness,
   // orphan accounting and emission below all see exactly the state the
   // unbounded run would have built.
@@ -925,6 +1096,7 @@ void Executor::CloseWindow(QueryState& q, WindowState* w) {
   }
 
   if (!plan.aggregate_mode) {
+    stamp_close();
     release_state();
     return;  // raw rows were emitted eagerly (or on replay, just above)
   }
@@ -937,6 +1109,24 @@ void Executor::CloseWindow(QueryState& q, WindowState* w) {
     partial.completeness = completeness;
     partial.input_events = w->input_events;
     partial.shed_events = central_shed;
+    if (metrics) {
+      // Export the delta since this shard's previous partial; the
+      // coordinator sums deltas into upstream_op_metrics. Stamping close
+      // first keeps this window's own close time inside its delta.
+      stamp_close();
+      q.exported_op_metrics.resize(q.stats.op_metrics.size());
+      partial.op_metrics.resize(q.stats.op_metrics.size());
+      for (size_t i = 0; i < q.stats.op_metrics.size(); ++i) {
+        const OperatorMetrics& cur = q.stats.op_metrics[i];
+        OperatorMetrics& base = q.exported_op_metrics[i];
+        OperatorMetrics& delta = partial.op_metrics[i];
+        delta.rows_in = cur.rows_in - base.rows_in;
+        delta.rows_out = cur.rows_out - base.rows_out;
+        delta.batches = cur.batches - base.batches;
+        delta.cpu_ns = cur.cpu_ns - base.cpu_ns;
+        base = cur;
+      }
+    }
     partial.keys.reserve(w->groups.size());
     partial.key_hashes.reserve(w->groups.size());
     partial.accumulators.reserve(w->groups.size());
@@ -965,6 +1155,10 @@ void Executor::CloseWindow(QueryState& q, WindowState* w) {
     release_state();
     return;
   }
+
+  // Everything below is the Finalize operator: estimator scales,
+  // accumulator finalization, canonical-order emission.
+  const uint64_t t_finalize = stamp_close();
 
   // Ungrouped aggregate queries emit a row even for an empty window, so
   // time series stay continuous.
@@ -1011,6 +1205,14 @@ void Executor::CloseWindow(QueryState& q, WindowState* w) {
     ++q.stats.groups_emitted;
     ++q.stats.rows_emitted;
     q.sink(row);
+  }
+  if (metrics && q.op_finalize >= 0) {
+    OperatorMetrics& m =
+        q.stats.op_metrics[static_cast<size_t>(q.op_finalize)];
+    m.rows_in += ordered.size();
+    m.rows_out += ordered.size();
+    m.batches += 1;
+    m.cpu_ns += WorkerPool::ThreadCpuNs() - t_finalize;
   }
   release_state();
 }

@@ -129,6 +129,11 @@ struct WindowPartial {
   // subset it shed under pressure (budget shed, spill I/O losses).
   uint64_t input_events = 0;
   uint64_t shed_events = 0;
+  // Operator-metrics delta since this shard's previous export (parallel to
+  // the shard pipeline's ops; empty when collection is off). Sideband
+  // observability: excluded from wire-size accounting, merged by the
+  // coordinator into upstream_op_metrics the way completeness/fidelity ride.
+  std::vector<OperatorMetrics> op_metrics;
 
   WindowPartial Clone() const;
 };
@@ -213,6 +218,10 @@ struct CentralConfig {
   size_t max_spill_bytes_per_query = 0;
   // Seeded per-record spill I/O failures (chaos testing).
   SpillFaultSpec spill_faults;
+  // Operator-level metrics plane (DESIGN.md §16): per-op rows/batches/CPU
+  // counters charged at chunk granularity. Pure observers — disabling them
+  // changes no transcript byte; the bench gate holds their overhead under 5%.
+  bool collect_op_metrics = true;
   CostModel costs;
 };
 
@@ -243,6 +252,20 @@ struct CentralQueryStats {
   uint64_t windows_lossy = 0;  // closed with fidelity < 1
   double fidelity_min = 1.0;
   double fidelity_sum = 0.0;  // mean = sum / windows_closed
+  // ---- Operator-metrics plane (DESIGN.md §16) ----
+  // One entry per op of the *local* compiled pipeline (parallel to
+  // PhysicalPipeline::ops; empty until the first metered chunk or when
+  // collection is off). For join pipelines the chunk-granularity CPU timer
+  // lands on the Join op (the fold is fused into the probe loop); the
+  // GroupFold/Project entry still carries honest row counts.
+  std::vector<OperatorMetrics> op_metrics;
+  // Coordinator role only: shard-side op metrics summed from WindowPartial
+  // deltas (parallel to the *shard* pipeline's ops). Lets EXPLAIN ANALYZE
+  // render the full sharded plan: upstream ops + the local Finalize.
+  std::vector<OperatorMetrics> upstream_op_metrics;
+  // Final accountant high-water mark, stamped at teardown (the accountant
+  // forgets a retired query, so post-mortem DescribeQuery reads this).
+  uint64_t peak_state_bytes = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -330,6 +353,19 @@ struct QueryState {
   // Windows at or before this start have been emitted and erased; events
   // mapping into them are late.
   TimeMicros closed_through = std::numeric_limits<TimeMicros>::min();
+  // ---- Operator-metrics bookkeeping (observers only; DESIGN.md §16) ----
+  // Cached op indexes into pipeline.ops / stats.op_metrics, filled lazily
+  // from the compiled pipeline on the first metered call (-1 = op absent).
+  int op_decode = -1;
+  int op_join = -1;
+  int op_fold = -1;  // kGroupFold or kProject
+  int op_close = -1;
+  int op_finalize = -1;
+  bool op_index_ready = false;
+  // Shard role: counters already shipped in earlier partials, so each
+  // export carries only the delta (retransmitted envelopes are deduped by
+  // the coordinator before absorption, so deltas never double-count).
+  std::vector<OperatorMetrics> exported_op_metrics;
 };
 
 // ---------------------------------------------------------------------------
@@ -390,6 +426,12 @@ class Executor {
   // columnar chunk, which preserves the exact per-position transcript of the
   // row path's single interleaved batch (Fold's per-chunk preamble has no
   // observable effects).
+  // Books decode rows for pre-decoded ingestion (the sharded router decodes
+  // once and feeds shards Events/columns directly): honest row and batch
+  // counts on the Decode op, no CPU stamp — the decode time was spent at
+  // the router, not on this shard. Mirrors the fused-join convention.
+  void StampDecodeRows(QueryState& q, size_t rows);
+
   void FoldColumnJoin(QueryState& q, HostId host,
                       const ColumnJoinSlice& slice);
 
@@ -406,6 +448,19 @@ class Executor {
   double WindowCompleteness(const QueryState& q, const WindowState& w) const;
 
  private:
+  // ---- Operator-metrics plane (DESIGN.md §16). Counters are charged at
+  // chunk granularity (one thread-CPU clock read per operator per chunk) and
+  // never observed by the fold itself, so collection cannot perturb
+  // transcripts and its overhead stays within the 5% bench gate.
+  bool MetricsOn() const { return config_->collect_op_metrics; }
+  // Sizes stats.op_metrics and caches the pipeline's op indexes (idempotent;
+  // derived purely from the compiled pipeline).
+  void EnsureOpIndex(QueryState& q) const;
+  // Books one Fold chunk against the Join (join plans) or GroupFold/Project
+  // op: rows in/out from the stats deltas across the chunk, CPU since `t0`.
+  void StampFoldMetrics(QueryState& q, size_t rows, uint64_t t0,
+                        uint64_t joined0, uint64_t emitted0, uint64_t late0,
+                        uint64_t shed0, uint64_t spilled0) const;
   // One chunk position folded into one covering window: host stats, bounded
   // readings, then the Join or GroupFold/Project operator. Under memory
   // pressure the event is deferred to the window's spill run (or shed and

@@ -331,6 +331,18 @@ void ShardedCentral::OnTick(TimeMicros now) {
   coordinator_.OnTick(now);
 }
 
+std::vector<OperatorMetrics> ShardedCentral::ShardOpMetrics(
+    QueryId query_id) const {
+  std::vector<OperatorMetrics> merged;
+  for (const auto& shard : shards_) {
+    const CentralQueryStats* stats = shard->StatsFor(query_id);
+    if (stats != nullptr) {
+      MergeOperatorMetrics(merged, stats->op_metrics);
+    }
+  }
+  return merged;
+}
+
 std::vector<uint64_t> ShardedCentral::ShardLoads(QueryId query_id) const {
   std::vector<uint64_t> loads;
   loads.reserve(shards_.size());

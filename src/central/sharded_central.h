@@ -101,6 +101,10 @@ class ShardedCentral {
   const PartialCoordinator& coordinator() const { return coordinator_; }
   // Events each shard ingested (balance diagnostics).
   std::vector<uint64_t> ShardLoads(QueryId query_id) const;
+  // Per-operator metrics summed across shards, parallel to the shard
+  // pipeline's ops (live view; retired shard stats still count). EXPLAIN
+  // ANALYZE composes this with the coordinator's local Finalize metrics.
+  std::vector<OperatorMetrics> ShardOpMetrics(QueryId query_id) const;
   // Router-level dedup hits for one query (retransmits raced their acks).
   uint64_t DuplicateBatches(QueryId query_id) const {
     return coordinator_.DuplicateBatches(query_id);

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/common/strings.h"
+#include "src/event/wire.h"
 #include "src/plan/expr_analysis.h"
 #include "src/plan/expr_ir.h"
 #include "src/sketch/stats.h"
@@ -100,6 +101,14 @@ double EqualitySelectivity(const Expr& e, const LintOptions& options) {
   return kDefaultEqSelectivity;
 }
 
+int CountAggregateNodes(const Expr& e) {
+  int n = e.kind == ExprKind::kAggregate ? 1 : 0;
+  for (const ExprPtr& child : e.children) {
+    n += CountAggregateNodes(*child);
+  }
+  return n;
+}
+
 class Linter {
  public:
   Linter(const AnalyzedQuery& analyzed, const LintOptions& options)
@@ -117,6 +126,7 @@ class Linter {
     CheckSpanBudget();
     CheckRetryHeadroom();
     CheckWindowStateBudget();
+    CheckJoinWidthRowFallback();
     CheckSemanticIr();
     return std::move(diags_);
   }
@@ -672,6 +682,28 @@ class Linter {
          span);
   }
 
+  // --- (p) scrubql-join-width-row-fallback -----------------------------------
+  //
+  // The columnar wire format carries at most kMaxColumnJoinSections
+  // per-source sections per batch (src/event/wire.h). A join reading from
+  // more sources still runs correctly — agents silently stage it row-wise —
+  // but without vectorized selection or the dictionary wire encoding the
+  // columnar path provides. Surface the fallback so the width is a choice,
+  // not a surprise.
+  void CheckJoinWidthRowFallback() {
+    if (q_.sources.size() <= kMaxColumnJoinSections) {
+      return;
+    }
+    Emit(LintSeverity::kNote, lint_rules::kJoinWidthRowFallback,
+         StrFormat("join reads from %zu sources, above the columnar wire's "
+                   "%zu-section cap: agents fall back to row staging for "
+                   "this query (correct, but without vectorized selection "
+                   "or dictionary wire encoding). Split the join or drop "
+                   "sources to keep the columnar pipeline",
+                   q_.sources.size(), kMaxColumnJoinSections),
+         q_.spans.from);
+  }
+
   static int CountAggregates(const Expr& e) {
     int n = e.kind == ExprKind::kAggregate ? 1 : 0;
     for (const ExprPtr& child : e.children) {
@@ -859,6 +891,45 @@ double EstimateSelectivity(const Expr& predicate, const LintOptions& options) {
       return 1.0;  // not valid in WHERE; the analyzer already rejected it
   }
   return 1.0;
+}
+
+uint64_t PredictCentralCostNsPerSec(const AnalyzedQuery& analyzed,
+                                    const LintOptions& options) {
+  const Query& q = analyzed.query;
+  // Events/sec arriving at central: every source contributes the fleet's
+  // per-host rate, scaled by the query's sampling plan and the host-side
+  // WHERE filter (only survivors ship).
+  double shipped_per_sec =
+      static_cast<double>(options.fleet_hosts) *
+      options.events_per_host_per_second * q.host_sample_rate *
+      q.event_sample_rate *
+      static_cast<double>(std::max<size_t>(1, q.sources.size()));
+  if (q.where != nullptr) {
+    shipped_per_sec *= EstimateSelectivity(*q.where, options);
+  }
+  // Per-event central work: decode/ingest always; a hash probe per event for
+  // joins; one fold update per aggregate for grouped/aggregated plans.
+  const CostModel& costs = options.costs;
+  double per_event = static_cast<double>(costs.central_ingest_ns);
+  if (analyzed.is_join()) {
+    per_event += static_cast<double>(costs.central_join_probe_ns);
+  }
+  if (analyzed.has_aggregates || !q.group_by.empty()) {
+    int aggregates = 0;
+    for (const SelectItem& item : q.select) {
+      aggregates += CountAggregateNodes(*item.expr);
+    }
+    per_event += static_cast<double>(costs.central_group_update_ns) *
+                 static_cast<double>(std::max(1, aggregates));
+  }
+  const double total = shipped_per_sec * per_event;
+  if (total <= 0) {
+    return 0;
+  }
+  if (total > 1e18) {
+    return ~uint64_t{0};
+  }
+  return static_cast<uint64_t>(total);
 }
 
 std::vector<Diagnostic> LintQuery(const AnalyzedQuery& analyzed,

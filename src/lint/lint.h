@@ -92,6 +92,12 @@ inline constexpr std::string_view kNullComparison =
 // fidelity < 1. Only fires when a budget is configured.
 inline constexpr std::string_view kWindowStateBudget =
     "scrubql-window-state-budget";
+// (p) Join reads from more sources than the columnar wire's section cap
+// (kMaxColumnJoinSections): agents silently fall back to row staging for
+// the query — correct, but without vectorized selection or the dictionary
+// wire encoding, and invisible unless you know to look.
+inline constexpr std::string_view kJoinWidthRowFallback =
+    "scrubql-join-width-row-fallback";
 }  // namespace lint_rules
 
 struct Diagnostic {
@@ -162,6 +168,18 @@ Result<std::vector<Diagnostic>> LintQueryText(
     std::string_view text, const SchemaRegistry& registry,
     const AnalyzerOptions& analyzer_options = {},
     const LintOptions& options = {});
+
+// Predicted steady-state central CPU demand of a query, in nanoseconds per
+// second of wall time, from the same fleet/traffic assumptions the lint
+// rules use and the cost model's per-row central unit costs: shipped
+// events/sec (fleet x per-host rate x sampling x WHERE selectivity) times
+// per-event central work (ingest + join probe if joining + one group update
+// per aggregate). The QueryServer's predicted-cost admission check sums this
+// over live queries against ServerConfig::central_cpu_budget_ns_per_sec;
+// calibrating the cost model from observed operator metrics
+// (ScrubSystem::CalibrateLintCosts) tightens the prediction.
+uint64_t PredictCentralCostNsPerSec(const AnalyzedQuery& analyzed,
+                                    const LintOptions& options);
 
 // Heuristic selectivity of a (type-checked) boolean predicate, in [0, 1].
 // Equality against a field with known cardinality contributes 1/cardinality;

@@ -34,11 +34,37 @@ const char* PipelineRoleName(PipelineRole role) {
   return "?";
 }
 
-std::string PhysicalPipeline::ToString() const {
-  std::string out;
-  for (const PhysicalOp& op : ops) {
-    out += StrFormat("%s(%s)\n", PhysicalOpKindName(op.kind),
+void MergeOperatorMetrics(std::vector<OperatorMetrics>& into,
+                          const std::vector<OperatorMetrics>& from) {
+  if (into.size() < from.size()) {
+    into.resize(from.size());
+  }
+  for (size_t i = 0; i < from.size(); ++i) {
+    into[i].Merge(from[i]);
+  }
+}
+
+std::string AnnotateOp(const PhysicalOp& op, const OperatorMetrics* m) {
+  if (m == nullptr || m->Empty()) {
+    return StrFormat("%s(%s)\n", PhysicalOpKindName(op.kind),
                      op.detail.c_str());
+  }
+  return StrFormat(
+      "%s(%s)  [rows %llu -> %llu, sel %.3f, batches %llu, cpu %.3f ms]\n",
+      PhysicalOpKindName(op.kind), op.detail.c_str(),
+      static_cast<unsigned long long>(m->rows_in),
+      static_cast<unsigned long long>(m->rows_out), m->Selectivity(),
+      static_cast<unsigned long long>(m->batches),
+      static_cast<double>(m->cpu_ns) / 1e6);
+}
+
+std::string PhysicalPipeline::ToString(
+    const std::vector<OperatorMetrics>* metrics) const {
+  std::string out;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const OperatorMetrics* m =
+        metrics != nullptr && i < metrics->size() ? &(*metrics)[i] : nullptr;
+    out += AnnotateOp(ops[i], m);
   }
   return out;
 }

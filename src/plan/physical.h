@@ -91,6 +91,41 @@ struct PhysicalOp {
   std::string detail;  // parameterization, rendered by EXPLAIN
 };
 
+// Observed per-operator execution counters, one per PhysicalOp, indexed in
+// parallel with PhysicalPipeline::ops. Counters are pure observers: they are
+// charged at chunk granularity (one ThreadCpuNs read per operator per chunk,
+// not per row), never feed the CostMeter, and never influence the fold — so
+// collecting them cannot perturb transcripts. Shards export deltas inside
+// WindowPartial envelopes (sideband: excluded from wire-size accounting) and
+// the coordinator sums them, the same way completeness/fidelity ride.
+struct OperatorMetrics {
+  uint64_t rows_in = 0;   // rows presented to the operator
+  uint64_t rows_out = 0;  // rows surviving it (join survivors, rows emitted)
+  uint64_t batches = 0;   // chunks / windows the operator processed
+  uint64_t cpu_ns = 0;    // CLOCK_THREAD_CPUTIME_ID ns attributed to it
+
+  void Merge(const OperatorMetrics& other) {
+    rows_in += other.rows_in;
+    rows_out += other.rows_out;
+    batches += other.batches;
+    cpu_ns += other.cpu_ns;
+  }
+  // rows_out / rows_in, 1.0 when nothing was presented yet.
+  double Selectivity() const {
+    return rows_in == 0 ? 1.0
+                        : static_cast<double>(rows_out) /
+                              static_cast<double>(rows_in);
+  }
+  bool Empty() const {
+    return rows_in == 0 && rows_out == 0 && batches == 0 && cpu_ns == 0;
+  }
+};
+
+// Sums two parallel metric vectors (resizing `into` as needed): the
+// shard -> coordinator merge and the DescribeQuery roll-up both use it.
+void MergeOperatorMetrics(std::vector<OperatorMetrics>& into,
+                          const std::vector<OperatorMetrics>& from);
+
 // Where a compiled pipeline instance runs.
 enum class PipelineRole {
   kSingleInstance,  // every stage, Finalize included
@@ -121,9 +156,21 @@ struct PhysicalPipeline {
   // into WindowPartials so the coordinator's Finalize sees Eq. 3's s_i^2.
   bool collect_group_readings = false;
 
-  // One "Op(detail)" line per operator, newline-terminated (EXPLAIN).
-  std::string ToString() const;
+  // One "Op(detail)" line per operator, newline-terminated (EXPLAIN). When
+  // `metrics` is non-null, each line whose operator has observed counters is
+  // annotated with rows in/out, selectivity, batches and CPU time — the
+  // EXPLAIN ANALYZE rendering. Metric entries beyond ops.size() (e.g. the
+  // coordinator's Finalize appended after shard ops) are ignored here;
+  // callers with composite pipelines render them via AnnotateOp directly.
+  std::string ToString(
+      const std::vector<OperatorMetrics>* metrics = nullptr) const;
 };
+
+// One annotated "Op(detail)  [rows ...]" line (newline-terminated) for an
+// operator with observed counters; falls back to the plain EXPLAIN line when
+// `m` is null or empty. Shared by ToString(metrics) and the sharded-plan
+// renderer, which stitches shard ops and the coordinator Finalize together.
+std::string AnnotateOp(const PhysicalOp& op, const OperatorMetrics* m);
 
 PhysicalPipeline CompilePhysical(const CentralPlan& plan, PipelineRole role);
 

@@ -151,6 +151,25 @@ ScrubSystem::ScrubSystem(SystemConfig config)
     }
   }
 
+  // Adaptive controller: decisions fan out to every agent in ascending host
+  // order (a host without the query treats the override as a no-op). Both
+  // callbacks run from the single-threaded pump, never concurrently with
+  // the flush pool.
+  if (config_.adaptive.enabled) {
+    adaptive_ = std::make_unique<AdaptiveController>(
+        config_.adaptive, config_.agent.max_batch_events, config_.columnar,
+        [this](QueryId qid, size_t batch) {
+          for (const HostId host : agent_hosts_) {
+            agents_.at(host)->SetBatchOverride(qid, batch);
+          }
+        },
+        [this](QueryId qid, bool columnar) {
+          for (const HostId host : agent_hosts_) {
+            agents_.at(host)->SetPipelineOverride(qid, columnar);
+          }
+        });
+  }
+
   server_ = std::make_unique<QueryServer>(
       &scheduler_, &transport_, &registry_, &schemas_, central_.get(),
       server_host_, central_host_,
@@ -313,8 +332,35 @@ Result<SubmittedQuery> ScrubSystem::Submit(std::string_view query_text,
   return server_->Submit(query_text, std::move(sink));
 }
 
+void ScrubSystem::PumpAdaptive(TimeMicros now) {
+  if (adaptive_ == nullptr) {
+    return;
+  }
+  // Sorted ids: the decision order is a pure function of the query set,
+  // never of hash-map iteration order.
+  std::vector<QueryId> ids = central_->ActiveQueryIds();
+  std::sort(ids.begin(), ids.end());
+  for (const QueryId qid : ids) {
+    if (hier_plans_.count(qid) > 0) {
+      continue;  // combiner-routed queries keep their static configuration
+    }
+    const CentralQueryStats* cs = central_->StatsFor(qid);
+    if (cs == nullptr) {
+      continue;
+    }
+    const HostPlan* hp = server_->HostPlanFor(qid);
+    const bool eligible = hp != nullptr && !hp->preaggregate &&
+                          hp->sources.size() <= kMaxColumnJoinSections;
+    adaptive_->OnInstall(qid, now, eligible);
+    adaptive_->OnPump(qid, now, *cs);
+  }
+}
+
 void ScrubSystem::PumpFlushes() {
   const TimeMicros now = scheduler_.Now();
+  // Adaptive decisions first, so a pipeline/batch override issued this tick
+  // is applied by this tick's flush (the agent's empty-staging point).
+  PumpAdaptive(now);
   // Fan the per-host flush/retransmit evaluation (selection residue,
   // encoding, backoff bookkeeping) across the pool. Each task touches only
   // its own agent, its own host CostMeter and its own RNG streams, so hosts
@@ -508,6 +554,64 @@ Result<std::vector<Diagnostic>> ScrubSystem::Lint(
                        LintConfig());
 }
 
+CostModel ScrubSystem::CalibrateLintCosts() {
+  CostModel costs = config_.server.lint.costs;
+  uint64_t decode_cpu = 0, decode_rows = 0;
+  uint64_t join_cpu = 0, join_rows = 0;
+  uint64_t fold_cpu = 0, fold_rows = 0;
+  std::vector<QueryId> ids = central_->ActiveQueryIds();
+  std::sort(ids.begin(), ids.end());
+  for (const QueryId qid : ids) {
+    const PhysicalPipeline* pipe = central_->PipelineFor(qid);
+    const CentralQueryStats* cs = central_->StatsFor(qid);
+    if (pipe == nullptr || cs == nullptr) {
+      continue;
+    }
+    for (size_t i = 0;
+         i < cs->op_metrics.size() && i < pipe->ops.size(); ++i) {
+      const OperatorMetrics& m = cs->op_metrics[i];
+      // cpu_ns == 0 marks a fused stamp (join pipelines charge the probe +
+      // fold chunk to the Join op and give the downstream fold honest row
+      // counts only); folding those rows in would dilute the rate.
+      if (m.cpu_ns == 0 || m.rows_in == 0) {
+        continue;
+      }
+      switch (pipe->ops[i].kind) {
+        case PhysicalOpKind::kDecode:
+          decode_cpu += m.cpu_ns;
+          decode_rows += m.rows_in;
+          break;
+        case PhysicalOpKind::kJoin:
+          join_cpu += m.cpu_ns;
+          join_rows += m.rows_in;
+          break;
+        case PhysicalOpKind::kGroupFold:
+        case PhysicalOpKind::kProject:
+          fold_cpu += m.cpu_ns;
+          fold_rows += m.rows_in;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  if (decode_rows > 0) {
+    costs.central_ingest_ns = std::max<int64_t>(
+        1, static_cast<int64_t>(decode_cpu / decode_rows));
+  }
+  if (join_rows > 0) {
+    costs.central_join_probe_ns = std::max<int64_t>(
+        1, static_cast<int64_t>(join_cpu / join_rows));
+  }
+  if (fold_rows > 0) {
+    costs.central_group_update_ns = std::max<int64_t>(
+        1, static_cast<int64_t>(fold_cpu / fold_rows));
+  }
+  config_.server.lint.costs = costs;
+  server_->SetLintCosts(costs);
+  return costs;
+}
+
 std::string ScrubSystem::DescribeQuery(QueryId id) const {
   std::string out = StrFormat("query %llu\n",
                               static_cast<unsigned long long>(id));
@@ -650,6 +754,53 @@ std::string ScrubSystem::DescribeQuery(QueryId id) const {
       static_cast<unsigned long long>(cs->join_orphans),
       static_cast<unsigned long long>(cs->join_shed),
       static_cast<unsigned long long>(cs->rows_emitted));
+  // Per-operator counters (DESIGN.md §16). Named from the compiled pipeline
+  // when the query is still installed; a hierarchical query renders the
+  // combiner tier's shard ops (summed across regions) and the coordinator's
+  // Finalize separately, compiled fresh from the retained plan.
+  const auto op_section = [&out](const char* label,
+                                 const PhysicalPipeline* pipe,
+                                 const std::vector<OperatorMetrics>& ms) {
+    const bool any = std::any_of(ms.begin(), ms.end(),
+                                 [](const OperatorMetrics& m) {
+                                   return !m.Empty();
+                                 });
+    if (!any) {
+      return;
+    }
+    out += StrFormat("  %s:\n", label);
+    for (size_t i = 0; i < ms.size(); ++i) {
+      if (pipe != nullptr && i < pipe->ops.size()) {
+        out += "    " + AnnotateOp(pipe->ops[i], &ms[i]);
+      } else {
+        out += StrFormat(
+            "    op[%zu]  [rows %llu -> %llu, sel %.3f, batches %llu, "
+            "cpu %.3f ms]\n",
+            i, static_cast<unsigned long long>(ms[i].rows_in),
+            static_cast<unsigned long long>(ms[i].rows_out),
+            ms[i].Selectivity(),
+            static_cast<unsigned long long>(ms[i].batches),
+            static_cast<double>(ms[i].cpu_ns) / 1e6);
+      }
+    }
+  };
+  const auto hit = hier_plans_.find(id);
+  if (hit != hier_plans_.end()) {
+    const PhysicalPipeline shard =
+        CompilePhysical(hit->second, PipelineRole::kShard);
+    const PhysicalPipeline fin =
+        CompilePhysical(hit->second, PipelineRole::kCoordinator);
+    op_section("combiner operators (summed)", &shard,
+               cs->upstream_op_metrics);
+    op_section("coordinator operators", &fin, cs->op_metrics);
+  } else {
+    op_section("operators", central_->PipelineFor(id), cs->op_metrics);
+    op_section("upstream operators (summed)", nullptr,
+               cs->upstream_op_metrics);
+  }
+  if (adaptive_ != nullptr) {
+    out += adaptive_->Describe(id);
+  }
   // Memory-pressure ladder: printed only once any rung engaged, so a query
   // that never felt pressure reads exactly as before.
   if (cs->events_spilled > 0 || cs->events_shed > 0 ||
@@ -664,6 +815,15 @@ std::string ScrubSystem::DescribeQuery(QueryId id) const {
         static_cast<unsigned long long>(cs->spill_read_failures),
         static_cast<unsigned long long>(cs->events_shed),
         static_cast<unsigned long long>(cs->agent_events_shed));
+  }
+  // High-water window-state mark. Live queries read the accountant; the
+  // stamped snapshot keeps the honest figure after teardown released the
+  // charges (the peak-survives-retirement fix).
+  const uint64_t peak = std::max<uint64_t>(
+      cs->peak_state_bytes, central_->accountant().peak(id));
+  if (peak > 0) {
+    out += StrFormat("  state peak: %llu bytes\n",
+                     static_cast<unsigned long long>(peak));
   }
   if (cs->windows_closed > 0) {
     out += StrFormat(
@@ -682,11 +842,42 @@ std::string ScrubSystem::DescribeQuery(QueryId id) const {
 
 std::string ScrubSystem::ExplainAnalyze(QueryId id) const {
   const PhysicalPipeline* pipeline = central_->PipelineFor(id);
+  const CentralQueryStats* cs = central_->StatsFor(id);
   std::string out;
   if (pipeline != nullptr) {
-    out += pipeline->ToString();
+    // EXPLAIN ANALYZE proper: the compiled operator tree annotated with the
+    // observed per-operator counters (plain EXPLAIN shape when metrics
+    // collection is off or nothing has run yet).
+    out += pipeline->ToString(
+        cs != nullptr && !cs->op_metrics.empty() ? &cs->op_metrics : nullptr);
     if (!out.empty() && out.back() != '\n') {
       out += '\n';
+    }
+  } else if (coordinator_ != nullptr && hier_plans_.count(id) > 0) {
+    // Hierarchical query: the physical plan spans two tiers. Render the
+    // shard-role pipeline the combiners run (annotated with the partial-
+    // envelope metrics summed at the coordinator) and the coordinator's
+    // Finalize stage, compiled fresh from the retained plan.
+    const CentralQueryStats* hs = coordinator_->StatsFor(id);
+    const CentralPlan& plan = hier_plans_.at(id);
+    const PhysicalPipeline shard =
+        CompilePhysical(plan, PipelineRole::kShard);
+    const PhysicalPipeline fin =
+        CompilePhysical(plan, PipelineRole::kCoordinator);
+    out += "combiner pipeline (summed across regions):\n";
+    for (size_t i = 0; i < shard.ops.size(); ++i) {
+      const OperatorMetrics* m =
+          hs != nullptr && i < hs->upstream_op_metrics.size()
+              ? &hs->upstream_op_metrics[i]
+              : nullptr;
+      out += "  " + AnnotateOp(shard.ops[i], m);
+    }
+    out += "coordinator pipeline:\n";
+    for (size_t i = 0; i < fin.ops.size(); ++i) {
+      const OperatorMetrics* m =
+          hs != nullptr && i < hs->op_metrics.size() ? &hs->op_metrics[i]
+                                                     : nullptr;
+      out += "  " + AnnotateOp(fin.ops[i], m);
     }
   }
   out += DescribeQuery(id);
@@ -694,11 +885,15 @@ std::string ScrubSystem::ExplainAnalyze(QueryId id) const {
   // accountant, spill-layer totals across every query.
   const MemoryAccountant& acct = central_->accountant();
   if (acct.active()) {
+    // A retired query's accountant entry is gone; the stamped snapshot
+    // keeps the per-query peak honest post-mortem.
+    const uint64_t query_peak = std::max<uint64_t>(
+        acct.peak(id), cs != nullptr ? cs->peak_state_bytes : 0);
     out += StrFormat(
         "  state bytes: usage=%llu peak=%llu central_usage=%llu "
         "central_peak=%llu budget=%llu central_budget=%llu\n",
         static_cast<unsigned long long>(acct.usage(id)),
-        static_cast<unsigned long long>(acct.peak(id)),
+        static_cast<unsigned long long>(query_peak),
         static_cast<unsigned long long>(acct.total_usage()),
         static_cast<unsigned long long>(acct.peak_total()),
         static_cast<unsigned long long>(acct.per_key_budget()),

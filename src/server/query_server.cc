@@ -70,6 +70,29 @@ Result<SubmittedQuery> QueryServer::SubmitParsed(const Query& query,
     lint_warnings = std::move(diags);
   }
 
+  // Predicted-cost admission: under heavy multi-tenant traffic the query
+  // limit alone cannot protect central — 64 cheap queries and 64 full-fleet
+  // unsampled scans are very different loads. Predict this query's central
+  // CPU demand from the (possibly runtime-calibrated) cost model and admit
+  // only if the running sum stays under budget.
+  uint64_t predicted_cost = 0;
+  if (config_.central_cpu_budget_ns_per_sec > 0) {
+    LintOptions lint_options = config_.lint;
+    lint_options.fleet_hosts = registry_->MonitorableCount();
+    predicted_cost = PredictCentralCostNsPerSec(*analyzed, lint_options);
+    if (admitted_cost_ns_ + predicted_cost >
+        config_.central_cpu_budget_ns_per_sec) {
+      ++rejected_cost_;
+      return ResourceExhausted(StrFormat(
+          "predicted central cost %llu ns/s exceeds remaining budget "
+          "(%llu of %llu ns/s admitted); retry after some queries expire",
+          static_cast<unsigned long long>(predicted_cost),
+          static_cast<unsigned long long>(admitted_cost_ns_),
+          static_cast<unsigned long long>(
+              config_.central_cpu_budget_ns_per_sec)));
+    }
+  }
+
   // Resolve the target clause BEFORE minting the id: a bad clause fails the
   // submission outright.
   Result<std::vector<HostId>> targeted =
@@ -153,6 +176,8 @@ Result<SubmittedQuery> QueryServer::SubmitParsed(const Query& query,
                      [sink, row] { sink(row); });
   };
   info.unacked_installs.insert(chosen.begin(), chosen.end());
+  info.predicted_cost_ns_per_sec = predicted_cost;
+  admitted_cost_ns_ += predicted_cost;
   active_.emplace(id, std::move(info));
   Disseminate(id);
 
@@ -328,7 +353,10 @@ void QueryServer::Teardown(QueryId id) {
     SendTeardown(id, host);
   }
   // Central keeps the query alive until end_time + allowed lateness so the
-  // final windows drain; its own OnTick retires it.
+  // final windows drain; its own OnTick retires it. The query's predicted
+  // cost charge is released with it.
+  admitted_cost_ns_ -=
+      std::min(admitted_cost_ns_, it->second.predicted_cost_ns_per_sec);
   active_.erase(it);
   if (!pending.unacked.empty()) {
     const TimeMicros delay = Jittered(pending.backoff);
@@ -398,6 +426,11 @@ Status QueryServer::Cancel(QueryId id) {
 const ControlStats* QueryServer::ControlStatsFor(QueryId id) const {
   const auto it = control_stats_.find(id);
   return it == control_stats_.end() ? nullptr : &it->second;
+}
+
+const HostPlan* QueryServer::HostPlanFor(QueryId id) const {
+  const auto it = active_.find(id);
+  return it == active_.end() ? nullptr : &it->second.host_plan;
 }
 
 }  // namespace scrub

@@ -75,6 +75,14 @@ struct ServerConfig {
   // queries for agent-side pre-aggregation (HostPlan::preaggregate), the
   // relaxation of the paper's strict hosts-select-only rule.
   bool agent_preaggregate = false;
+  // Predicted-cost admission control for heavy multi-tenant traffic: each
+  // submission's central CPU demand is predicted from the lint cost model
+  // (PredictCentralCostNsPerSec) and the sum over live queries must stay
+  // under this budget, else the submission is rejected with
+  // kResourceExhausted. 0 (default) disables the check. Calibrating the
+  // lint cost model from observed operator metrics tightens the prediction
+  // (ScrubSystem::CalibrateLintCosts).
+  uint64_t central_cpu_budget_ns_per_sec = 0;
 };
 
 // Per-query control-plane delivery accounting; retained after teardown.
@@ -125,6 +133,17 @@ class QueryServer {
   // Unacked teardowns still being retried (introspection for tests).
   size_t pending_teardowns() const { return teardowns_.size(); }
   const ControlStats* ControlStatsFor(QueryId id) const;
+  // The retained host-side plan of a live query (null after teardown).
+  // The adaptive controller reads pipeline eligibility from it.
+  const HostPlan* HostPlanFor(QueryId id) const;
+  // Replaces the lint cost model (admission linting AND the predicted-cost
+  // admission check pick up the new unit costs immediately). Used by
+  // ScrubSystem::CalibrateLintCosts.
+  void SetLintCosts(const CostModel& costs) { config_.lint.costs = costs; }
+  // Predicted-cost admission accounting: the live sum of admitted
+  // predictions and how many submissions the budget rejected.
+  uint64_t admitted_cost_ns_per_sec() const { return admitted_cost_ns_; }
+  uint64_t queries_rejected_cost() const { return rejected_cost_; }
 
  private:
   struct ActiveInfo {
@@ -137,6 +156,8 @@ class QueryServer {
     std::unordered_set<HostId> unacked_installs;
     bool central_acked = false;
     TimeMicros retry_backoff = 0;
+    // This query's predicted central demand, released at teardown.
+    uint64_t predicted_cost_ns_per_sec = 0;
   };
 
   struct PendingTeardown {
@@ -175,6 +196,8 @@ class QueryServer {
   std::unordered_map<QueryId, ActiveInfo> active_;
   std::unordered_map<QueryId, PendingTeardown> teardowns_;
   std::unordered_map<QueryId, ControlStats> control_stats_;
+  uint64_t admitted_cost_ns_ = 0;  // sum of live predicted costs
+  uint64_t rejected_cost_ = 0;     // submissions the cost budget rejected
 };
 
 }  // namespace scrub

@@ -1,0 +1,564 @@
+// Operator-metrics plane, adaptive execution and the calibrated cost model
+// (DESIGN.md §16): per-operator counters accumulate on every pipeline shape
+// (row, columnar, join, sharded, hierarchical), surface through
+// DescribeQuery / EXPLAIN ANALYZE, survive teardown, drive the
+// AdaptiveController's calibration and batch tuning, and feed the
+// predicted-cost admission check.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/central/adaptive.h"
+#include "src/central/sharded_central.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/event/wire.h"
+#include "src/lint/lint.h"
+#include "src/query/analyzer.h"
+#include "src/scrub/scrub_system.h"
+
+namespace scrub {
+namespace {
+
+constexpr const char* kAggQuery =
+    "SELECT bid.user_id, COUNT(*), SUM(bid.bid_price) FROM bid "
+    "GROUP BY bid.user_id WINDOW 1 s DURATION 10 s;";
+constexpr const char* kJoinQuery =
+    "SELECT impression.line_item_id, COUNT(*) FROM bid, impression "
+    "GROUP BY impression.line_item_id WINDOW 1 s DURATION 10 s;";
+
+SystemConfig SmallSystem(bool columnar) {
+  SystemConfig config;
+  config.seed = 7;
+  config.platform.seed = 7;
+  config.platform.bidservers_per_dc = 3;
+  config.platform.adservers_per_dc = 1;
+  config.platform.presentation_per_dc = 1;
+  config.columnar = columnar;
+  return config;
+}
+
+void DriveLoad(ScrubSystem& system, double qps = 300,
+               TimeMicros duration = 3 * kMicrosPerSecond) {
+  PoissonLoadConfig load;
+  load.requests_per_second = qps;
+  load.duration = duration;
+  system.workload().SchedulePoissonLoad(load);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics accumulation per pipeline shape.
+// ---------------------------------------------------------------------------
+
+class PipelineMetricsTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(PipelineMetricsTest, CountersConsistentWithCentralStats) {
+  ScrubSystem system(SmallSystem(/*columnar=*/GetParam()));
+  DriveLoad(system);
+  auto submitted = system.Submit(kAggQuery, [](const ResultRow&) {});
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  system.RunUntil(4 * kMicrosPerSecond);
+
+  const CentralQueryStats* cs = system.central().StatsFor(submitted->id);
+  ASSERT_NE(cs, nullptr);
+  const PhysicalPipeline* pipe = system.central().PipelineFor(submitted->id);
+  ASSERT_NE(pipe, nullptr);
+  ASSERT_EQ(cs->op_metrics.size(), pipe->ops.size());
+
+  // Decode's input is exactly what central ingested; the tail op's output is
+  // exactly the rows emitted so far.
+  const OperatorMetrics& decode = cs->op_metrics.front();
+  EXPECT_GT(decode.rows_in, 0u);
+  EXPECT_EQ(decode.rows_in, cs->events_ingested);
+  EXPECT_GT(decode.batches, 0u);
+  EXPECT_EQ(cs->op_metrics.back().rows_out, cs->rows_emitted);
+
+  // Chunk-granularity thread-CPU timing: the pipeline as a whole must have
+  // burned measurable time on thousands of events.
+  uint64_t total_cpu = 0;
+  for (const OperatorMetrics& m : cs->op_metrics) {
+    total_cpu += m.cpu_ns;
+  }
+  EXPECT_GT(total_cpu, 0u);
+
+  // Selectivity is rows_out / rows_in, clamped sane.
+  for (const OperatorMetrics& m : cs->op_metrics) {
+    if (m.rows_in > 0) {
+      EXPECT_GE(m.Selectivity(), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RowAndColumnar, PipelineMetricsTest,
+                         ::testing::Values(false, true));
+
+TEST(MetricsTest, JoinPipelineFusesProbeAndFold) {
+  ScrubSystem system(SmallSystem(/*columnar=*/true));
+  DriveLoad(system);
+  auto submitted = system.Submit(kJoinQuery, [](const ResultRow&) {});
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  system.RunUntil(4 * kMicrosPerSecond);
+
+  const CentralQueryStats* cs = system.central().StatsFor(submitted->id);
+  const PhysicalPipeline* pipe = system.central().PipelineFor(submitted->id);
+  ASSERT_NE(cs, nullptr);
+  ASSERT_NE(pipe, nullptr);
+  ASSERT_EQ(cs->op_metrics.size(), pipe->ops.size());
+  int join_at = -1;
+  for (size_t i = 0; i < pipe->ops.size(); ++i) {
+    if (pipe->ops[i].kind == PhysicalOpKind::kJoin) {
+      join_at = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(join_at, 0);
+  const OperatorMetrics& join = cs->op_metrics[static_cast<size_t>(join_at)];
+  EXPECT_GT(join.rows_in, 0u);
+  // The fold downstream of the probe is fused into the join loop: it still
+  // counts rows honestly but carries no CPU stamp of its own.
+  ASSERT_GT(cs->op_metrics.size(), static_cast<size_t>(join_at) + 1);
+  const OperatorMetrics& fold =
+      cs->op_metrics[static_cast<size_t>(join_at) + 1];
+  EXPECT_GT(fold.rows_in, 0u);
+  EXPECT_EQ(fold.cpu_ns, 0u);
+}
+
+TEST(MetricsTest, CollectionOffLeavesStatsEmpty) {
+  SystemConfig config = SmallSystem(/*columnar=*/true);
+  config.central.collect_op_metrics = false;
+  ScrubSystem system(config);
+  DriveLoad(system);
+  auto submitted = system.Submit(kAggQuery, [](const ResultRow&) {});
+  ASSERT_TRUE(submitted.ok());
+  system.RunUntil(4 * kMicrosPerSecond);
+  const CentralQueryStats* cs = system.central().StatsFor(submitted->id);
+  ASSERT_NE(cs, nullptr);
+  EXPECT_GT(cs->events_ingested, 0u);  // the query itself still ran
+  EXPECT_TRUE(cs->op_metrics.empty());
+}
+
+TEST(MetricsTest, ShardedCentralMergesShardMetricsAtCoordinator) {
+  SchemaRegistry registry;
+  SchemaPtr schema = *EventSchema::Builder("bid")
+                          .AddField("user_id", FieldType::kLong)
+                          .AddField("price", FieldType::kDouble)
+                          .Build();
+  ASSERT_TRUE(registry.Register(schema).ok());
+  AnalyzerOptions options;
+  Result<AnalyzedQuery> aq = ParseAndAnalyze(
+      "SELECT bid.user_id, COUNT(*), SUM(bid.price) FROM bid "
+      "GROUP BY bid.user_id WINDOW 1 s DURATION 10 s;",
+      registry, options);
+  ASSERT_TRUE(aq.ok()) << aq.status().ToString();
+  Result<QueryPlan> plan = PlanQuery(*aq, 1, 0);
+  ASSERT_TRUE(plan.ok());
+  CentralPlan central = plan->central;
+  central.hosts_targeted = 1;
+  central.hosts_sampled = 1;
+
+  ShardedCentral sharded(&registry, /*shards=*/4, CentralConfig{},
+                         /*workers=*/2);
+  ASSERT_TRUE(sharded.InstallQuery(central, [](const ResultRow&) {}).ok());
+  Rng rng(99);
+  uint64_t seq = 1;
+  for (int tick = 0; tick < 4; ++tick) {
+    std::vector<Event> events;
+    for (int i = 0; i < 200; ++i) {
+      Event e(schema, rng.NextUint64(),
+              tick * 500 * kMicrosPerMilli +
+                  static_cast<TimeMicros>(rng.NextBelow(500'000)));
+      e.SetField(0, Value(static_cast<int64_t>(rng.NextBelow(16))));
+      e.SetField(1, Value(rng.NextDouble() * 5));
+      events.push_back(std::move(e));
+    }
+    EventBatch batch;
+    batch.query_id = 1;
+    batch.host = 0;
+    batch.seq = seq++;
+    batch.event_count = events.size();
+    batch.payload = EncodeBatch(events);
+    ASSERT_TRUE(sharded.IngestBatch(batch, (tick + 1) * 500 * kMicrosPerMilli)
+                    .ok());
+    sharded.OnTick((tick + 1) * 500 * kMicrosPerMilli);
+  }
+  sharded.OnTick(8 * kMicrosPerSecond);
+
+  // Shard-side metrics sum across the 4 shards and cover all 800 events.
+  const std::vector<OperatorMetrics> shard_ops = sharded.ShardOpMetrics(1);
+  ASSERT_FALSE(shard_ops.empty());
+  EXPECT_EQ(shard_ops.front().rows_in, 800u);
+
+  // The coordinator absorbed the same metrics from WindowPartial deltas and
+  // stamped its own Finalize counters.
+  const CentralQueryStats* cs = sharded.coordinator().StatsFor(1);
+  ASSERT_NE(cs, nullptr);
+  ASSERT_FALSE(cs->upstream_op_metrics.empty());
+  EXPECT_EQ(cs->upstream_op_metrics.front().rows_in, 800u);
+  ASSERT_FALSE(cs->op_metrics.empty());
+  EXPECT_GT(cs->op_metrics.back().rows_out, 0u);
+}
+
+TEST(MetricsTest, HierarchicalMetricsReachTheCoordinator) {
+  SystemConfig config = SmallSystem(/*columnar=*/true);
+  config.combiner_regions = 2;
+  ScrubSystem system(config);
+  DriveLoad(system);
+  auto submitted = system.Submit(kAggQuery, [](const ResultRow&) {});
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  ASSERT_TRUE(system.hierarchical());
+  system.RunUntil(5 * kMicrosPerSecond);
+
+  const CentralQueryStats* cs = system.coordinator()->StatsFor(submitted->id);
+  ASSERT_NE(cs, nullptr);
+  EXPECT_FALSE(cs->upstream_op_metrics.empty());
+  const std::string described = system.DescribeQuery(submitted->id);
+  EXPECT_NE(described.find("combiner operators (summed)"), std::string::npos)
+      << described;
+  const std::string analyzed = system.ExplainAnalyze(submitted->id);
+  EXPECT_NE(analyzed.find("coordinator pipeline:"), std::string::npos)
+      << analyzed;
+}
+
+// ---------------------------------------------------------------------------
+// Surfacing: DescribeQuery, EXPLAIN ANALYZE, post-teardown peak.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, ExplainAnalyzeRendersAnnotatedOperators) {
+  ScrubSystem system(SmallSystem(/*columnar=*/true));
+  DriveLoad(system);
+  auto submitted = system.Submit(kAggQuery, [](const ResultRow&) {});
+  ASSERT_TRUE(submitted.ok());
+  system.RunUntil(4 * kMicrosPerSecond);
+  const std::string analyzed = system.ExplainAnalyze(submitted->id);
+  EXPECT_NE(analyzed.find("Decode"), std::string::npos) << analyzed;
+  EXPECT_NE(analyzed.find("rows "), std::string::npos) << analyzed;
+  EXPECT_NE(analyzed.find("sel "), std::string::npos) << analyzed;
+  EXPECT_NE(analyzed.find("batches"), std::string::npos) << analyzed;
+  const std::string described = system.DescribeQuery(submitted->id);
+  EXPECT_NE(described.find("operators:"), std::string::npos) << described;
+}
+
+TEST(MetricsTest, PeakStateBytesSurviveTeardown) {
+  SystemConfig config = SmallSystem(/*columnar=*/true);
+  config.central.track_state_bytes = true;
+  ScrubSystem system(config);
+  DriveLoad(system);
+  auto submitted = system.Submit(
+      "SELECT bid.user_id, COUNT(*) FROM bid GROUP BY bid.user_id "
+      "WINDOW 1 s DURATION 3 s;",
+      [](const ResultRow&) {});
+  ASSERT_TRUE(submitted.ok());
+  system.RunUntil(6 * kMicrosPerSecond);
+  system.Drain();  // span expired: the query is torn down and retired
+
+  const CentralQueryStats* cs = system.central().StatsFor(submitted->id);
+  ASSERT_NE(cs, nullptr);
+  EXPECT_GT(cs->peak_state_bytes, 0u);
+  const std::string described = system.DescribeQuery(submitted->id);
+  EXPECT_NE(described.find("state peak:"), std::string::npos) << described;
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveController unit behavior (synthetic stats, recorded overrides).
+// ---------------------------------------------------------------------------
+
+struct RecordedOverrides {
+  std::vector<std::pair<QueryId, size_t>> batch;
+  std::vector<std::pair<QueryId, bool>> pipeline;
+};
+
+AdaptiveController MakeController(const AdaptiveConfig& config,
+                                  RecordedOverrides* rec,
+                                  size_t default_batch = 1024,
+                                  bool default_columnar = true) {
+  return AdaptiveController(
+      config, default_batch, default_columnar,
+      [rec](QueryId id, size_t n) { rec->batch.emplace_back(id, n); },
+      [rec](QueryId id, bool c) { rec->pipeline.emplace_back(id, c); });
+}
+
+TEST(AdaptiveControllerTest, DisabledControllerNeverOverrides) {
+  RecordedOverrides rec;
+  AdaptiveConfig config;  // enabled defaults to false: the kill switch
+  AdaptiveController ctl = MakeController(config, &rec);
+  CentralQueryStats stats;
+  stats.op_metrics.resize(1);
+  ctl.OnInstall(1, 0, true);
+  for (int i = 0; i < 10; ++i) {
+    ctl.OnPump(1, i, stats);
+  }
+  EXPECT_TRUE(rec.batch.empty());
+  EXPECT_TRUE(rec.pipeline.empty());
+  EXPECT_EQ(ctl.Describe(1), "");
+}
+
+TEST(AdaptiveControllerTest, CalibrationPicksTheCheaperPipeline) {
+  RecordedOverrides rec;
+  AdaptiveConfig config;
+  config.enabled = true;
+  config.calibration_pumps = 1;
+  AdaptiveController ctl = MakeController(config, &rec);
+  ctl.OnInstall(1, 0, /*columnar_eligible=*/true);
+  // Install forces the row pipeline for the first calibration phase.
+  ASSERT_EQ(rec.pipeline.size(), 1u);
+  EXPECT_FALSE(rec.pipeline[0].second);
+
+  CentralQueryStats stats;
+  stats.op_metrics.resize(1);
+  ctl.OnPump(1, 1, stats);  // phase snapshot
+  // Row phase: 1000 rows at 200 ns/row.
+  stats.op_metrics[0].rows_in = 1000;
+  stats.op_metrics[0].batches = 10;
+  stats.op_metrics[0].cpu_ns = 200'000;
+  ctl.OnPump(1, 2, stats);  // measures row, switches to columnar phase
+  ASSERT_EQ(rec.pipeline.size(), 2u);
+  EXPECT_TRUE(rec.pipeline[1].second);
+
+  ctl.OnPump(1, 3, stats);  // columnar phase snapshot
+  // Columnar phase: another 1000 rows at only 50 ns/row.
+  stats.op_metrics[0].rows_in = 2000;
+  stats.op_metrics[0].batches = 20;
+  stats.op_metrics[0].cpu_ns = 250'000;
+  ctl.OnPump(1, 4, stats);  // measures columnar, locks the cheaper pipeline
+  ASSERT_EQ(rec.pipeline.size(), 3u);
+  EXPECT_TRUE(rec.pipeline[2].second);
+
+  const std::string described = ctl.Describe(1);
+  EXPECT_NE(described.find("phase=steady"), std::string::npos) << described;
+  EXPECT_NE(described.find("chose columnar pipeline"), std::string::npos)
+      << described;
+  const std::vector<AdaptiveDecision>* decisions = ctl.DecisionsFor(1);
+  ASSERT_NE(decisions, nullptr);
+  EXPECT_GE(decisions->size(), 4u);
+}
+
+TEST(AdaptiveControllerTest, CalibrationKeepsRowWhenColumnarLoses) {
+  RecordedOverrides rec;
+  AdaptiveConfig config;
+  config.enabled = true;
+  config.calibration_pumps = 1;
+  AdaptiveController ctl = MakeController(config, &rec);
+  ctl.OnInstall(1, 0, true);
+  CentralQueryStats stats;
+  stats.op_metrics.resize(1);
+  ctl.OnPump(1, 1, stats);
+  // Row phase: 50 ns/row. Columnar phase: 400 ns/row.
+  stats.op_metrics[0].rows_in = 1000;
+  stats.op_metrics[0].batches = 10;
+  stats.op_metrics[0].cpu_ns = 50'000;
+  ctl.OnPump(1, 2, stats);
+  ctl.OnPump(1, 3, stats);
+  stats.op_metrics[0].rows_in = 2000;
+  stats.op_metrics[0].batches = 20;
+  stats.op_metrics[0].cpu_ns = 450'000;
+  ctl.OnPump(1, 4, stats);
+  ASSERT_EQ(rec.pipeline.size(), 3u);
+  EXPECT_FALSE(rec.pipeline[2].second);  // row locked despite columnar default
+  EXPECT_NE(ctl.Describe(1).find("chose row pipeline"), std::string::npos);
+}
+
+TEST(AdaptiveControllerTest, PhaseExtendsUntilTrafficArrives) {
+  RecordedOverrides rec;
+  AdaptiveConfig config;
+  config.enabled = true;
+  config.calibration_pumps = 1;
+  AdaptiveController ctl = MakeController(config, &rec);
+  ctl.OnInstall(1, 0, true);
+  CentralQueryStats stats;
+  stats.op_metrics.resize(1);
+  for (int i = 1; i <= 5; ++i) {
+    ctl.OnPump(1, i, stats);  // zero rows folded: the row phase must hold
+  }
+  ASSERT_EQ(rec.pipeline.size(), 1u);  // still only the install-time force
+  stats.op_metrics[0].rows_in = 500;
+  stats.op_metrics[0].batches = 5;
+  stats.op_metrics[0].cpu_ns = 100'000;
+  ctl.OnPump(1, 6, stats);  // traffic at last: row measured, phase advances
+  EXPECT_EQ(rec.pipeline.size(), 2u);
+}
+
+TEST(AdaptiveControllerTest, IneligiblePlanSkipsCalibrationAndTunesBatch) {
+  RecordedOverrides rec;
+  AdaptiveConfig config;
+  config.enabled = true;
+  config.tune_interval_pumps = 1;
+  config.min_batch_events = 128;
+  config.max_batch_events = 4096;
+  AdaptiveController ctl = MakeController(config, &rec);
+  ctl.OnInstall(1, 0, /*columnar_eligible=*/false);
+  EXPECT_TRUE(rec.pipeline.empty());  // nothing to A/B
+  EXPECT_NE(ctl.Describe(1).find("columnar ineligible"), std::string::npos);
+
+  CentralQueryStats stats;
+  stats.op_metrics.resize(1);
+  // Near-full flushes (avg fill 1000 of cap 1024) double the cap...
+  stats.op_metrics[0].rows_in = 10'000;
+  stats.op_metrics[0].batches = 10;
+  ctl.OnPump(1, 1, stats);
+  ASSERT_EQ(rec.batch.size(), 1u);
+  EXPECT_EQ(rec.batch[0].second, 2048u);
+  // ...and near-empty flushes (avg fill 100 of cap 2048) halve it again.
+  stats.op_metrics[0].rows_in = 11'000;
+  stats.op_metrics[0].batches = 20;
+  ctl.OnPump(1, 2, stats);
+  ASSERT_EQ(rec.batch.size(), 2u);
+  EXPECT_EQ(rec.batch[1].second, 1024u);
+}
+
+TEST(MetricsTest, AdaptiveDecisionsVisibleInDescribeQuery) {
+  SystemConfig config = SmallSystem(/*columnar=*/true);
+  config.adaptive.enabled = true;
+  config.adaptive.calibration_pumps = 2;
+  config.adaptive.tune_interval_pumps = 2;
+  ScrubSystem system(config);
+  DriveLoad(system);
+  auto submitted = system.Submit(kAggQuery, [](const ResultRow&) {});
+  ASSERT_TRUE(submitted.ok());
+  system.RunUntil(5 * kMicrosPerSecond);
+  ASSERT_NE(system.adaptive_controller(), nullptr);
+  const std::string described = system.DescribeQuery(submitted->id);
+  EXPECT_NE(described.find("adaptive: phase="), std::string::npos)
+      << described;
+  EXPECT_NE(described.find("calibration started"), std::string::npos)
+      << described;
+  const std::vector<AdaptiveDecision>* decisions =
+      system.adaptive_controller()->DecisionsFor(submitted->id);
+  ASSERT_NE(decisions, nullptr);
+  EXPECT_FALSE(decisions->empty());
+}
+
+// ---------------------------------------------------------------------------
+// Calibrated cost model and predicted-cost admission.
+// ---------------------------------------------------------------------------
+
+TEST(CostModelTest, PredictionScalesWithFleetAndPlanShape) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register(*EventSchema::Builder("bid")
+                                 .AddField("user_id", FieldType::kLong)
+                                 .AddField("price", FieldType::kDouble)
+                                 .Build())
+                  .ok());
+  ASSERT_TRUE(registry
+                  .Register(*EventSchema::Builder("impression")
+                                 .AddField("line_item_id", FieldType::kLong)
+                                 .Build())
+                  .ok());
+  AnalyzerOptions options;
+  const auto analyze = [&](const char* text) {
+    Result<AnalyzedQuery> aq = ParseAndAnalyze(text, registry, options);
+    EXPECT_TRUE(aq.ok()) << aq.status().ToString();
+    return std::move(*aq);
+  };
+  LintOptions lint;
+  const AnalyzedQuery simple = analyze(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 10 s;");
+  const AnalyzedQuery join = analyze(
+      "SELECT COUNT(*) FROM bid, impression WINDOW 1 s DURATION 10 s;");
+  const AnalyzedQuery sampled = analyze(
+      "SELECT COUNT(*) FROM bid WINDOW 1 s DURATION 10 s "
+      "SAMPLE EVENTS 10%;");
+
+  const uint64_t simple_cost = PredictCentralCostNsPerSec(simple, lint);
+  EXPECT_GT(simple_cost, 0u);
+  // A join pays the probe on top of ingest, over twice the sources.
+  EXPECT_GT(PredictCentralCostNsPerSec(join, lint), simple_cost);
+  // Event sampling scales the shipped rate straight down.
+  EXPECT_LT(PredictCentralCostNsPerSec(sampled, lint), simple_cost / 5);
+  // Twice the fleet, twice the demand.
+  LintOptions big = lint;
+  big.fleet_hosts = lint.fleet_hosts * 2;
+  EXPECT_EQ(PredictCentralCostNsPerSec(simple, big), simple_cost * 2);
+}
+
+TEST(CostModelTest, AdmissionRejectsWhenBudgetExhausted) {
+  SystemConfig config = SmallSystem(/*columnar=*/true);
+  ScrubSystem system_probe(config);
+  // Size the budget to admit exactly one copy of the query: predict its
+  // cost under the same lint options admission will use.
+  AnalyzerOptions analyzer;
+  Result<AnalyzedQuery> aq =
+      ParseAndAnalyze(kAggQuery, system_probe.schemas(), analyzer);
+  ASSERT_TRUE(aq.ok());
+  const uint64_t cost =
+      PredictCentralCostNsPerSec(*aq, system_probe.LintConfig());
+  ASSERT_GT(cost, 0u);
+
+  config.server.central_cpu_budget_ns_per_sec = cost + cost / 2;
+  ScrubSystem system(config);
+  auto first = system.Submit(kAggQuery, [](const ResultRow&) {});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(system.server().admitted_cost_ns_per_sec(), cost);
+
+  auto second = system.Submit(kAggQuery, [](const ResultRow&) {});
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(system.server().queries_rejected_cost(), 1u);
+
+  // Tearing the first down releases its charge; the next submission fits.
+  ASSERT_TRUE(system.server().Cancel(first->id).ok());
+  EXPECT_EQ(system.server().admitted_cost_ns_per_sec(), 0u);
+  auto third = system.Submit(kAggQuery, [](const ResultRow&) {});
+  EXPECT_TRUE(third.ok()) << third.status().ToString();
+}
+
+TEST(CostModelTest, CalibrationDerivesUnitCostsFromObservedMetrics) {
+  ScrubSystem system(SmallSystem(/*columnar=*/true));
+  DriveLoad(system);
+  auto submitted = system.Submit(kAggQuery, [](const ResultRow&) {});
+  ASSERT_TRUE(submitted.ok());
+  system.RunUntil(4 * kMicrosPerSecond);
+
+  const CostModel calibrated = system.CalibrateLintCosts();
+  EXPECT_GT(calibrated.central_ingest_ns, 0);
+  EXPECT_GT(calibrated.central_group_update_ns, 0);
+  // The calibrated model is live in the server's lint options: admission
+  // predictions now use observed costs.
+  EXPECT_EQ(system.LintConfig().costs.central_ingest_ns,
+            calibrated.central_ingest_ns);
+}
+
+TEST(LintTest, JoinWiderThanColumnSectionsGetsRowFallbackNote) {
+  SchemaRegistry registry;
+  std::string from;
+  for (size_t i = 0; i < kMaxColumnJoinSections + 1; ++i) {
+    const std::string name = StrFormat("s%zu", i);
+    ASSERT_TRUE(registry
+                    .Register(*EventSchema::Builder(name)
+                                   .AddField(StrFormat("f%zu", i),
+                                             FieldType::kLong)
+                                   .Build())
+                    .ok());
+    from += (i == 0 ? "" : ", ") + name;
+  }
+  AnalyzerOptions analyzer;
+  analyzer.max_sources = kMaxColumnJoinSections + 2;
+  Result<AnalyzedQuery> aq = ParseAndAnalyze(
+      StrFormat("SELECT COUNT(*) FROM %s WINDOW 1 s DURATION 5 s;",
+                from.c_str()),
+      registry, analyzer);
+  ASSERT_TRUE(aq.ok()) << aq.status().ToString();
+  const std::vector<Diagnostic> diags = LintQuery(*aq, LintOptions{});
+  bool found = false;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == lint_rules::kJoinWidthRowFallback) {
+      found = true;
+      EXPECT_EQ(d.severity, LintSeverity::kNote);
+      EXPECT_NE(d.message.find("row staging"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+  // A two-way join stays under the cap: no note.
+  AnalyzerOptions two;
+  Result<AnalyzedQuery> narrow = ParseAndAnalyze(
+      "SELECT COUNT(*) FROM s0, s1 WINDOW 1 s DURATION 5 s;", registry, two);
+  ASSERT_TRUE(narrow.ok());
+  for (const Diagnostic& d : LintQuery(*narrow, LintOptions{})) {
+    EXPECT_NE(d.rule, lint_rules::kJoinWidthRowFallback);
+  }
+}
+
+}  // namespace
+}  // namespace scrub

@@ -132,12 +132,15 @@ TEST_F(ShardedDeterminismTest, MoreWorkersThanShardsIsStillDeterministic) {
 // Full ScrubSystem: agent flush fan-out across simulated hosts.
 // ---------------------------------------------------------------------------
 
-std::vector<std::string> RunSystem(
-    size_t workers, double drop_rate, bool columnar = true,
-    size_t regions = 0,
-    const char* query =
-        "SELECT bid.user_id, COUNT(*), SUM(bid.bid_price) FROM bid "
-        "GROUP BY bid.user_id WINDOW 1 s DURATION 3 s;") {
+constexpr const char* kAggQuery =
+    "SELECT bid.user_id, COUNT(*), SUM(bid.bid_price) FROM bid "
+    "GROUP BY bid.user_id WINDOW 1 s DURATION 3 s;";
+
+std::vector<std::string> RunSystem(size_t workers, double drop_rate,
+                                   bool columnar = true, size_t regions = 0,
+                                   const char* query = kAggQuery,
+                                   bool metrics = true,
+                                   bool adaptive = false) {
   SystemConfig config;
   config.seed = 7;
   config.platform.seed = 7;
@@ -153,6 +156,16 @@ std::vector<std::string> RunSystem(
   // latency keeps delivery timing — and the transcript — comparable across
   // the two pipelines, not just across worker counts.
   config.transport.micros_per_byte = 0;
+  config.central.collect_op_metrics = metrics;
+  if (adaptive) {
+    // Short phases so the full decision sequence — forced-row calibration,
+    // forced-columnar calibration, pipeline lock, batch retune — lands
+    // inside the 3 s trace.
+    config.adaptive.enabled = true;
+    config.adaptive.calibration_pumps = 2;
+    config.adaptive.tune_interval_pumps = 2;
+    config.adaptive.min_batch_events = 16;
+  }
   if (drop_rate > 0) {
     config.faults.Category(TrafficCategory::kScrubEvents).drop = drop_rate;
     config.central.allowed_lateness = 5 * kMicrosPerSecond;
@@ -219,6 +232,49 @@ TEST(SystemDeterminismTest, PipelinesAgreeByteForByteUnderDrops) {
       RunSystem(0, 0.2, /*columnar=*/false);
   for (const size_t workers : {size_t{0}, size_t{1}, size_t{2}, size_t{8}}) {
     EXPECT_EQ(RunSystem(workers, 0.2, /*columnar=*/true), reference)
+        << "workers=" << workers;
+  }
+}
+
+TEST(SystemDeterminismTest, MetricsAndAdaptiveMatrixCollapsesToOneTranscript) {
+  // The operator-metrics plane is pure observation and the adaptive
+  // controller's overrides land only at empty-staging flush boundaries, so
+  // the whole matrix — metrics {off,on} x adaptive {off,on} x workers
+  // {0,2,8}, for BOTH static pipelines — must collapse onto the single
+  // reference transcript. Adaptive runs include the forced-row ->
+  // forced-columnar calibration switch mid-query; metrics-off + adaptive-on
+  // starves the controller (no counters), which must also be harmless.
+  const std::vector<std::string> reference = RunSystem(0, 0.0);
+  for (const bool columnar : {false, true}) {
+    for (const size_t workers : {size_t{0}, size_t{2}, size_t{8}}) {
+      for (const bool metrics : {false, true}) {
+        for (const bool adaptive : {false, true}) {
+          EXPECT_EQ(RunSystem(workers, 0.0, columnar, 0, kAggQuery, metrics,
+                              adaptive),
+                    reference)
+              << "columnar=" << columnar << " workers=" << workers
+              << " metrics=" << metrics << " adaptive=" << adaptive;
+        }
+      }
+    }
+  }
+}
+
+TEST(SystemDeterminismTest, AdaptiveJoinTranscriptNeutralAcrossWorkers) {
+  // Join plans exercise the other agent staging paths (row arrivals and
+  // columnar join sections); the calibration switch must stay invisible
+  // there too.
+  const std::vector<std::string> reference = RunSystem(
+      0, 0.0, /*columnar=*/true, 0,
+      "SELECT impression.line_item_id, COUNT(*) FROM bid, impression "
+      "GROUP BY impression.line_item_id WINDOW 1 s DURATION 3 s;");
+  for (const size_t workers : {size_t{0}, size_t{2}, size_t{8}}) {
+    EXPECT_EQ(RunSystem(workers, 0.0, /*columnar=*/true, 0,
+                        "SELECT impression.line_item_id, COUNT(*) FROM bid, "
+                        "impression GROUP BY impression.line_item_id "
+                        "WINDOW 1 s DURATION 3 s;",
+                        /*metrics=*/true, /*adaptive=*/true),
+              reference)
         << "workers=" << workers;
   }
 }

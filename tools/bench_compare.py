@@ -15,6 +15,12 @@ against the committed baseline:
     same kind of absolute floor (default 1.5x), and the fresh ingest.dict
     section's wire_bytes_reduction must hold its floor (default 1.3x) — the
     dictionary encoding has to keep paying for itself;
+  * the fresh ingest.metrics section's metrics-on over metrics-off
+    events/sec ratio must hold an absolute floor (default 0.95) — the
+    operator-metrics plane is on by default and its tax must stay small;
+  * the multitenant section must show predicted-cost admission actually
+    working (admits AND cost rejections, counts summing to submissions),
+    with the usual relative events/sec gate on admitted-tenant throughput;
   * fleet runs, keyed by topology (flat / hierarchical / *_preagg):
     central-link bytes and central CPU must not GROW by more than the
     threshold, and the fresh flat/hierarchical bytes ratio must hold the
@@ -89,6 +95,49 @@ def ingest_filter_runs(doc):
     section = (doc.get("ingest") or {}).get("filter") or {}
     return ({r["pipeline"]: r for r in section.get("runs", [])},
             section.get("speedup_vs_legacy"))
+
+
+def ingest_metrics_runs(doc):
+    # The metrics case (identical columnar scan, operator-metrics plane on
+    # vs off) nests under ingest.metrics; absent in pre-metrics baselines.
+    # Gated on events/sec like every case, plus an absolute on/off ratio
+    # floor — the observability tax must stay within 5%.
+    section = (doc.get("ingest") or {}).get("metrics") or {}
+    return ({r["pipeline"]: r for r in section.get("runs", [])},
+            section.get("events_per_sec_ratio"))
+
+
+def multitenant_run(doc):
+    return doc.get("multitenant") or {}
+
+
+def gate_multitenant(baseline, fresh, threshold, failures):
+    """The multitenant bench is gated structurally: predicted-cost admission
+    must have actually admitted AND rejected work, the accounting identity
+    must hold, and central throughput across the admitted tenants gets the
+    usual relative events/sec gate."""
+    base = multitenant_run(baseline)
+    cur = multitenant_run(fresh)
+    gate_coverage("multitenant", {"scenario": 1} if base else {},
+                  {"scenario": 1} if cur else {}, failures)
+    if not base or not cur:
+        return
+    admitted = cur.get("admitted", 0)
+    rejected_cost = cur.get("rejected_cost", 0)
+    rejected_limit = cur.get("rejected_limit", 0)
+    submitted = cur.get("queries_submitted", 0)
+    line = (f"multitenant admission: {admitted} admitted, "
+            f"{rejected_cost} cost-rejected, {rejected_limit} "
+            f"limit-rejected of {submitted}")
+    if admitted <= 0 or rejected_cost <= 0 or \
+            admitted + rejected_cost + rejected_limit != submitted:
+        failures.append(line + " (needs admits AND cost rejections, "
+                        "and the counts must sum to submissions)")
+        print("FAIL " + line)
+    else:
+        print("ok   " + line)
+    gate_events_per_sec("multitenant", {"all_tenants": base},
+                        {"all_tenants": cur}, threshold, failures)
 
 
 def gate_coverage(label, baseline, fresh, failures):
@@ -192,6 +241,9 @@ def main():
     parser.add_argument("--min-filter-speedup", type=float, default=1.05,
                         help="IR-over-legacy floor for the fresh filter "
                              "bench (row path)")
+    parser.add_argument("--min-metrics-ratio", type=float, default=0.95,
+                        help="metrics-on over metrics-off events/sec floor "
+                             "for the fresh ingest metrics bench")
     parser.add_argument("--min-fleet-bytes-reduction", type=float,
                         default=5.0,
                         help="flat-over-hierarchical central-link-bytes "
@@ -270,8 +322,32 @@ def main():
                   f"slower than unlimited "
                   f"({run.get('spilled', 0):,} events spilled, lossless)")
 
+    base_metrics, _ = ingest_metrics_runs(baseline)
+    fresh_metrics, fresh_metrics_ratio = ingest_metrics_runs(fresh)
+    gate_events_per_sec("ingest.metrics", base_metrics, fresh_metrics,
+                        args.threshold, failures)
+    if fresh_metrics:
+        if fresh_metrics_ratio is None:
+            line = "ingest.metrics: fresh run has no events_per_sec_ratio"
+            failures.append(line)
+            print("FAIL " + line)
+        else:
+            # Absolute floor: the operator-metrics plane is pure counters
+            # plus one thread-CPU read per chunk, and it is on by default —
+            # its tax must stay within 5% of the uninstrumented pipeline.
+            line = (f"ingest.metrics on/off throughput ratio: "
+                    f"{fresh_metrics_ratio:.3f} "
+                    f"(floor {args.min_metrics_ratio:.2f})")
+            if fresh_metrics_ratio < args.min_metrics_ratio:
+                failures.append(line)
+                print("FAIL " + line)
+            else:
+                print("ok   " + line)
+
     gate_fleet(baseline, fresh, args.threshold,
                args.min_fleet_bytes_reduction, failures)
+
+    gate_multitenant(baseline, fresh, args.threshold, failures)
 
     base_filter, _ = ingest_filter_runs(baseline)
     fresh_filter, fresh_filter_speedup = ingest_filter_runs(fresh)

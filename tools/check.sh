@@ -100,8 +100,11 @@ TSAN_DIR="${REPO}/build-tsan"
 # (parallel_determinism_test's JoinPipelines* and differential_test's
 # JoinColumnarStagingAcrossWorkerCounts) exercise the sharded kColumnarJoin
 # re-bucket — parallel decode plus shared read-only sections — at workers
-# {2, 8}, so those binaries double as the join-path race check.
-TSAN_TESTS="common_test parallel_determinism_test differential_test sharded_central_test chaos_test spill_test merge_algebra_test"
+# {2, 8}, so those binaries double as the join-path race check. metrics_test
+# rides along for the operator-metrics plane: sharded shard->coordinator
+# delta export under the worker pool is exactly the kind of counter traffic
+# TSan exists to vet.
+TSAN_TESTS="common_test metrics_test parallel_determinism_test differential_test sharded_central_test chaos_test spill_test merge_algebra_test"
 mkdir -p "${TSAN_DIR}"
 if ! cmake -B "${TSAN_DIR}" -S "${REPO}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -154,7 +157,7 @@ if [ -f "${REPO}/BENCH_scrub.json" ]; then
     fail "benchmark run failed (logs: ${REPO}/build-bench/build.log)"
   elif ! python3 "${REPO}/tools/bench_compare.py" \
         "${REPO}/BENCH_scrub.json" "${FRESH_BENCH}"; then
-    fail "events/sec regressed >15% vs committed BENCH_scrub.json, or the columnar ingest (1.5x) / join_columnar (1.5x) / dict wire-bytes (1.3x) / IR filter (1.05x) / fleet bytes-reduction (5x) floors broke"
+    fail "events/sec regressed >15% vs committed BENCH_scrub.json, or the columnar ingest (1.5x) / join_columnar (1.5x) / dict wire-bytes (1.3x) / IR filter (1.05x) / metrics on-off ratio (0.95) / fleet bytes-reduction (5x) floors broke, or multitenant admission stopped rejecting"
   fi
   rm -f "${FRESH_BENCH}"
 else
